@@ -1,0 +1,108 @@
+//! Detection-quality metrics against ground truth (Fig. 14).
+
+use std::collections::HashSet;
+
+/// Confusion counts and derived rates for one epoch's report set.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DetectionMetrics {
+    pub true_positives: usize,
+    pub false_positives: usize,
+    pub false_negatives: usize,
+}
+
+impl DetectionMetrics {
+    /// Compare a reported key set against the ground-truth key set.
+    pub fn compare(reported: &HashSet<u64>, truth: &HashSet<u64>) -> Self {
+        let tp = reported.intersection(truth).count();
+        DetectionMetrics {
+            true_positives: tp,
+            false_positives: reported.len() - tp,
+            false_negatives: truth.len() - tp,
+        }
+    }
+
+    /// Recall — the paper's "accuracy": the fraction of true targets the
+    /// system caught.
+    pub fn accuracy(&self) -> f64 {
+        let t = self.true_positives + self.false_negatives;
+        if t == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / t as f64
+        }
+    }
+
+    /// Precision.
+    pub fn precision(&self) -> f64 {
+        let r = self.true_positives + self.false_positives;
+        if r == 0 {
+            1.0
+        } else {
+            self.true_positives as f64 / r as f64
+        }
+    }
+
+    /// False-positive rate over a candidate-key universe of `universe`
+    /// keys (FP / (FP + TN)); sketch collisions are the only FP source.
+    pub fn fpr(&self, universe: usize) -> f64 {
+        let negatives = universe.saturating_sub(self.true_positives + self.false_negatives);
+        if negatives == 0 {
+            0.0
+        } else {
+            self.false_positives as f64 / negatives as f64
+        }
+    }
+
+    /// F1 score.
+    pub fn f1(&self) -> f64 {
+        let p = self.precision();
+        let r = self.accuracy();
+        if p + r == 0.0 {
+            0.0
+        } else {
+            2.0 * p * r / (p + r)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(v: &[u64]) -> HashSet<u64> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn perfect_detection() {
+        let m = DetectionMetrics::compare(&set(&[1, 2, 3]), &set(&[1, 2, 3]));
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.fpr(100), 0.0);
+        assert_eq!(m.f1(), 1.0);
+    }
+
+    #[test]
+    fn misses_lower_accuracy() {
+        let m = DetectionMetrics::compare(&set(&[1]), &set(&[1, 2, 3, 4]));
+        assert_eq!(m.accuracy(), 0.25);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.false_negatives, 3);
+    }
+
+    #[test]
+    fn false_positives_raise_fpr() {
+        let m = DetectionMetrics::compare(&set(&[1, 9, 8]), &set(&[1]));
+        assert_eq!(m.false_positives, 2);
+        assert!((m.fpr(101) - 0.02).abs() < 1e-12);
+        assert_eq!(m.precision(), 1.0 / 3.0);
+    }
+
+    #[test]
+    fn empty_sets_are_well_defined() {
+        let m = DetectionMetrics::compare(&set(&[]), &set(&[]));
+        assert_eq!(m.accuracy(), 1.0);
+        assert_eq!(m.precision(), 1.0);
+        assert_eq!(m.fpr(0), 0.0);
+    }
+}

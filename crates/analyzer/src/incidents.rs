@@ -1,0 +1,159 @@
+//! Incident tracking across epochs.
+//!
+//! Raw epoch reports are noisy — a flood that spans ten epochs produces
+//! ten report sets. Operators think in *incidents*: a (query, key) pair
+//! with a first-seen time, a last-seen time, and a duration. This module
+//! folds per-epoch report sets into exactly that.
+
+use newton_dataplane::QueryId;
+use std::collections::HashMap;
+
+/// One ongoing or closed incident.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Incident {
+    pub query: QueryId,
+    pub key: u64,
+    /// Epoch index the incident was first reported.
+    pub first_epoch: usize,
+    /// Epoch index it was last reported.
+    pub last_epoch: usize,
+    /// How many epochs reported it (may be < the span if it flapped).
+    pub epochs_reported: usize,
+}
+
+impl Incident {
+    /// Whether the incident was still firing at `epoch`.
+    pub fn active_at(&self, epoch: usize) -> bool {
+        self.last_epoch == epoch
+    }
+
+    /// Span in epochs, inclusive.
+    pub fn span(&self) -> usize {
+        self.last_epoch - self.first_epoch + 1
+    }
+}
+
+/// Folds per-epoch reports into per-(query, key) incidents.
+#[derive(Debug, Clone, Default)]
+pub struct IncidentLog {
+    incidents: HashMap<(QueryId, u64), Incident>,
+    epoch: usize,
+}
+
+impl IncidentLog {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Ingest one epoch's final report set for one query. Call once per
+    /// (query, epoch); then [`IncidentLog::end_epoch`] advances the clock.
+    pub fn observe_epoch(&mut self, query: QueryId, keys: impl IntoIterator<Item = u64>) {
+        for key in keys {
+            let e = self.incidents.entry((query, key)).or_insert(Incident {
+                query,
+                key,
+                first_epoch: self.epoch,
+                last_epoch: self.epoch,
+                epochs_reported: 0,
+            });
+            if e.last_epoch != self.epoch || e.epochs_reported == 0 {
+                e.epochs_reported += 1;
+            }
+            e.last_epoch = self.epoch;
+        }
+    }
+
+    /// Advance the epoch clock.
+    pub fn end_epoch(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Current epoch index.
+    pub fn epoch(&self) -> usize {
+        self.epoch
+    }
+
+    /// All incidents, ordered by first occurrence then key.
+    pub fn incidents(&self) -> Vec<Incident> {
+        let mut v: Vec<Incident> = self.incidents.values().copied().collect();
+        v.sort_by_key(|i| (i.first_epoch, i.query, i.key));
+        v
+    }
+
+    /// Incidents still firing in the most recent completed epoch.
+    pub fn active(&self) -> Vec<Incident> {
+        let last = self.epoch.saturating_sub(1);
+        self.incidents().into_iter().filter(|i| i.active_at(last)).collect()
+    }
+
+    pub fn len(&self) -> usize {
+        self.incidents.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.incidents.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spanning_reports_fold_into_one_incident() {
+        let mut log = IncidentLog::new();
+        for _ in 0..3 {
+            log.observe_epoch(1, [0xBEEF]);
+            log.end_epoch();
+        }
+        let incidents = log.incidents();
+        assert_eq!(incidents.len(), 1);
+        assert_eq!(incidents[0].first_epoch, 0);
+        assert_eq!(incidents[0].last_epoch, 2);
+        assert_eq!(incidents[0].span(), 3);
+        assert_eq!(incidents[0].epochs_reported, 3);
+    }
+
+    #[test]
+    fn flapping_incident_counts_reported_epochs() {
+        let mut log = IncidentLog::new();
+        log.observe_epoch(1, [7]);
+        log.end_epoch();
+        log.end_epoch(); // silent epoch
+        log.observe_epoch(1, [7]);
+        log.end_epoch();
+        let i = log.incidents()[0];
+        assert_eq!(i.span(), 3);
+        assert_eq!(i.epochs_reported, 2, "the silent middle epoch does not count");
+    }
+
+    #[test]
+    fn active_reflects_the_latest_epoch_only() {
+        let mut log = IncidentLog::new();
+        log.observe_epoch(1, [1]);
+        log.end_epoch();
+        log.observe_epoch(1, [2]);
+        log.end_epoch();
+        let active = log.active();
+        assert_eq!(active.len(), 1);
+        assert_eq!(active[0].key, 2);
+        assert_eq!(log.len(), 2);
+    }
+
+    #[test]
+    fn queries_do_not_mix() {
+        let mut log = IncidentLog::new();
+        log.observe_epoch(1, [5]);
+        log.observe_epoch(2, [5]);
+        log.end_epoch();
+        assert_eq!(log.len(), 2, "same key under two queries = two incidents");
+    }
+
+    #[test]
+    fn duplicate_keys_within_an_epoch_count_once() {
+        let mut log = IncidentLog::new();
+        log.observe_epoch(1, [9, 9, 9]);
+        log.end_epoch();
+        assert_eq!(log.incidents()[0].epochs_reported, 1);
+    }
+}

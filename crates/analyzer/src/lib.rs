@@ -1,0 +1,21 @@
+//! The software analyzer: the CPU half of Newton.
+//!
+//! The data plane mirrors reports for whatever it can decide; the analyzer
+//! finishes the rest (§7: non-monotone thresholds, cross-packet merges) by
+//! **probing switch registers at epoch end** through the compiled plan's
+//! [`ProbeSpec`]s — re-hashing candidate keys exactly as the installed ℍ
+//! rules do and reading the 𝕊 arrays. It also measures what the
+//! evaluation needs: detection quality against ground truth (Fig. 14) and
+//! monitoring overhead in messages per raw packet (Figs. 12/13).
+//!
+//! [`ProbeSpec`]: newton_compiler::ProbeSpec
+
+pub mod accuracy;
+pub mod analyzer;
+pub mod incidents;
+pub mod overhead;
+
+pub use accuracy::DetectionMetrics;
+pub use analyzer::{Analyzer, RegisterReader};
+pub use incidents::{Incident, IncidentLog};
+pub use overhead::OverheadMeter;

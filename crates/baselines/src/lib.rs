@@ -1,0 +1,84 @@
+//! The comparison systems of the evaluation (Figs. 10, 12, 13).
+//!
+//! Each baseline is modelled at the granularity the figures need: **what
+//! messages it sends to the monitoring plane per packet of workload**, and
+//! for Sonata, **what a query update does to the forwarding plane**.
+//! The models follow each system's published export discipline:
+//!
+//! | System | Export unit | Behaviour |
+//! |---|---|---|
+//! | Sonata | per-intent report | exact exportation like Newton, but updates recompile the P4 program → switch reboot + table restore ([`sonata::RebootModel`], Fig. 10) |
+//! | TurboFlow | per-flow record | fixed-size flow table; collision/FIN/epoch-end evictions each export one record |
+//! | \*Flow | grouped packet vector | per-flow GPV cache; a full GPV, a collision or epoch end exports one GPV |
+//! | FlowRadar | encoded flowset | periodic export of the whole counting-table, packed into messages |
+//! | Scream | sketch counters | periodic export of its sketch rows, packed into messages |
+//!
+//! All models implement [`ExportModel`] so the overhead benchmark treats
+//! them uniformly.
+
+pub mod flowradar;
+pub mod scream;
+pub mod sonata;
+pub mod starflow;
+pub mod turboflow;
+
+pub use flowradar::FlowRadar;
+pub use scream::Scream;
+pub use sonata::{RebootModel, SonataExporter};
+pub use starflow::StarFlow;
+pub use turboflow::TurboFlow;
+
+use newton_packet::Packet;
+
+/// A monitoring system's export behaviour, as the overhead figures see it.
+pub trait ExportModel {
+    /// Human-readable system name (figure legend).
+    fn name(&self) -> &'static str;
+
+    /// Observe one packet; returns monitoring messages emitted *now*.
+    fn observe(&mut self, pkt: &Packet) -> u64;
+
+    /// Close the measurement epoch; returns messages emitted at the
+    /// boundary (flushes, periodic exports due within the epoch).
+    fn end_epoch(&mut self) -> u64;
+
+    /// Approximate bytes per message (bandwidth accounting).
+    fn message_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_trace::{caida_like, Trace};
+
+    fn run(model: &mut dyn ExportModel, trace: &Trace) -> (u64, u64) {
+        let mut messages = 0;
+        for epoch in trace.epochs(100) {
+            for p in epoch {
+                messages += model.observe(p);
+            }
+            messages += model.end_epoch();
+        }
+        (messages, trace.packets().len() as u64)
+    }
+
+    #[test]
+    fn per_packet_exporters_scale_with_traffic_and_newton_like_does_not() {
+        let trace = caida_like(3, 30_000);
+        let mut tf = TurboFlow::default_model();
+        let mut sf = StarFlow::default_model();
+        let mut fr = FlowRadar::default_model();
+        let (m_tf, n) = run(&mut tf, &trace);
+        let (m_sf, _) = run(&mut sf, &trace);
+        let (m_fr, _) = run(&mut fr, &trace);
+        let r_tf = m_tf as f64 / n as f64;
+        let r_sf = m_sf as f64 / n as f64;
+        let r_fr = m_fr as f64 / n as f64;
+        // *Flow exports GPVs (several per flow), TurboFlow one record per
+        // flow; both far above FlowRadar's periodic encoded flowset.
+        assert!(r_sf > r_tf * 0.8, "starflow {r_sf:.4} vs turboflow {r_tf:.4}");
+        assert!(r_tf > 0.01, "turboflow ratio {r_tf:.4} should be packet-scale");
+        assert!(r_fr < r_tf, "flowradar {r_fr:.4} must undercut per-flow export");
+        assert!(r_fr > 0.001, "flowradar ~1%: {r_fr:.4}");
+    }
+}

@@ -1,0 +1,123 @@
+//! The Sonata baseline: exact exportation, but static compilation.
+//!
+//! Sonata compiles queries into the P4 program itself, so changing the
+//! query set means recompiling and **reloading the switch** — forwarding
+//! stops until the program is loaded and every forwarding-table rule is
+//! restored (Fig. 10). Its steady-state export discipline is as precise as
+//! Newton's (reports only when an intent fires), which is why both sit two
+//! orders of magnitude below the per-packet exporters in Fig. 12.
+
+use crate::ExportModel;
+use newton_packet::Packet;
+use newton_query::{Interpreter, Query};
+
+/// The Fig. 10 outage model: reloading switch.p4-plus-queries wipes the
+/// tables; forwarding resumes only after the program boots and all rules
+/// are re-installed.
+#[derive(Debug, Clone, Copy)]
+pub struct RebootModel {
+    /// Program load + pipeline bring-up, ms ("about 7.5 s outage").
+    pub base_reboot_ms: f64,
+    /// Per-TCAM-rule restore cost, ms.
+    pub per_tcam_rule_ms: f64,
+    /// Per-SRAM-rule restore cost, ms.
+    pub per_sram_rule_ms: f64,
+}
+
+impl Default for RebootModel {
+    fn default() -> Self {
+        // Calibrated to Fig. 10: ~7.5 s at zero rules, ~30 s at 60 K rules.
+        RebootModel { base_reboot_ms: 7_500.0, per_tcam_rule_ms: 0.42, per_sram_rule_ms: 0.33 }
+    }
+}
+
+impl RebootModel {
+    /// Forwarding outage (ms) for a query update that must restore
+    /// `tcam_rules` + `sram_rules` forwarding entries.
+    pub fn outage_ms(&self, tcam_rules: usize, sram_rules: usize) -> f64 {
+        self.base_reboot_ms
+            + self.per_tcam_rule_ms * tcam_rules as f64
+            + self.per_sram_rule_ms * sram_rules as f64
+    }
+
+    /// Newton's outage for the same operation: none — rule updates never
+    /// touch forwarding (§6.1).
+    pub fn newton_outage_ms(&self) -> f64 {
+        0.0
+    }
+}
+
+/// Sonata's steady-state exporter: runs the query with exact semantics and
+/// emits one report per key whose aggregate crosses the intent threshold
+/// (evaluated per epoch, like the paper's 100 ms windows).
+pub struct SonataExporter {
+    interp: Interpreter,
+}
+
+impl SonataExporter {
+    pub fn new(query: Query) -> Self {
+        SonataExporter { interp: Interpreter::new(query) }
+    }
+}
+
+impl ExportModel for SonataExporter {
+    fn name(&self) -> &'static str {
+        "Sonata"
+    }
+
+    fn observe(&mut self, pkt: &Packet) -> u64 {
+        self.interp.observe(pkt);
+        0
+    }
+
+    fn end_epoch(&mut self) -> u64 {
+        self.interp.end_epoch().reported.len() as u64
+    }
+
+    fn message_bytes(&self) -> u64 {
+        32 // key + aggregate + metadata
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_packet::{PacketBuilder, TcpFlags};
+    use newton_query::catalog;
+
+    #[test]
+    fn outage_matches_paper_calibration() {
+        let m = RebootModel::default();
+        let at_zero = m.outage_ms(0, 0);
+        assert!((7_000.0..8_000.0).contains(&at_zero), "base outage {at_zero} ms");
+        let at_60k = m.outage_ms(30_000, 30_000);
+        assert!((25_000.0..35_000.0).contains(&at_60k), "60K-rule outage {at_60k} ms ≈ 0.5 min");
+        assert_eq!(m.newton_outage_ms(), 0.0);
+    }
+
+    #[test]
+    fn outage_grows_linearly_in_rules() {
+        let m = RebootModel::default();
+        let d1 = m.outage_ms(10_000, 0) - m.outage_ms(0, 0);
+        let d2 = m.outage_ms(20_000, 0) - m.outage_ms(10_000, 0);
+        assert!((d1 - d2).abs() < 1e-9);
+        assert!(m.per_tcam_rule_ms > m.per_sram_rule_ms, "TCAM restore is slower");
+    }
+
+    #[test]
+    fn exporter_reports_once_per_key_per_epoch() {
+        let mut s = SonataExporter::new(catalog::q1_new_tcp());
+        let mut msgs = 0;
+        for i in 0..200u16 {
+            let p = PacketBuilder::new()
+                .src_ip(i as u32)
+                .dst_ip(7)
+                .src_port(1000 + i)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            msgs += s.observe(&p);
+        }
+        msgs += s.end_epoch();
+        assert_eq!(msgs, 1, "one victim, one report, despite 200 packets");
+    }
+}

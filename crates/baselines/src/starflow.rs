@@ -1,0 +1,130 @@
+//! \*Flow: grouped packet vectors (GPVs).
+//!
+//! \*Flow exports richer data than TurboFlow: per-flow *vectors of
+//! per-packet features*, assembled in a cache and shipped to software
+//! analyzers that run the queries. A GPV is exported when it fills up
+//! (`gpv_capacity` packet features), when its cache slot is stolen, and at
+//! epoch end. Export volume is proportional to *packets* (every packet's
+//! features leave the switch eventually) — the 8-CPU-cores-per-640-Gbps
+//! cost §3.1 quotes.
+
+use crate::ExportModel;
+use newton_packet::{FlowKey, Packet};
+use newton_sketch::HashFn;
+
+#[derive(Debug, Clone, Copy)]
+struct GpvSlot {
+    key: FlowKey,
+    features: u32,
+}
+
+/// The \*Flow export model.
+pub struct StarFlow {
+    slots: Vec<Option<GpvSlot>>,
+    hash: HashFn,
+    gpv_capacity: u32,
+}
+
+impl StarFlow {
+    pub fn new(slots: usize, gpv_capacity: u32) -> Self {
+        assert!(slots > 0 && gpv_capacity > 0);
+        StarFlow {
+            slots: vec![None; slots],
+            hash: HashFn::new(0x5F10, slots as u32),
+            gpv_capacity,
+        }
+    }
+
+    /// Paper-scale default: 8 Ki cache slots, 32 packet features per GPV.
+    pub fn default_model() -> Self {
+        StarFlow::new(8 * 1024, 32)
+    }
+}
+
+impl ExportModel for StarFlow {
+    fn name(&self) -> &'static str {
+        "*Flow"
+    }
+
+    fn observe(&mut self, pkt: &Packet) -> u64 {
+        let key = pkt.flow_key();
+        let idx = self.hash.hash_bytes(&key.to_bytes()) as usize;
+        match &mut self.slots[idx] {
+            Some(slot) if slot.key == key => {
+                slot.features += 1;
+                if slot.features >= self.gpv_capacity {
+                    self.slots[idx] = None;
+                    1 // full GPV shipped
+                } else {
+                    0
+                }
+            }
+            Some(_) => {
+                // Collision evicts the partial GPV.
+                self.slots[idx] = Some(GpvSlot { key, features: 1 });
+                1
+            }
+            None => {
+                self.slots[idx] = Some(GpvSlot { key, features: 1 });
+                0
+            }
+        }
+    }
+
+    fn end_epoch(&mut self) -> u64 {
+        let mut flushed = 0;
+        for s in &mut self.slots {
+            if s.take().is_some() {
+                flushed += 1;
+            }
+        }
+        flushed
+    }
+
+    fn message_bytes(&self) -> u64 {
+        // 5-tuple + up to gpv_capacity packed per-packet features.
+        16 + 4 * self.gpv_capacity as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_packet::PacketBuilder;
+
+    #[test]
+    fn full_gpvs_ship_mid_epoch() {
+        let mut sf = StarFlow::new(1 << 10, 8);
+        let p = PacketBuilder::new().src_port(9).build();
+        let mut msgs = 0;
+        for _ in 0..24 {
+            msgs += sf.observe(&p);
+        }
+        assert_eq!(msgs, 3, "24 packets at 8 features/GPV = 3 full GPVs");
+        assert_eq!(sf.end_epoch(), 0, "nothing resident after exact multiples");
+    }
+
+    #[test]
+    fn partial_gpvs_flush_at_epoch_end() {
+        let mut sf = StarFlow::new(1 << 10, 32);
+        let mut msgs = 0;
+        for f in 0..50u16 {
+            msgs += sf.observe(&PacketBuilder::new().src_port(2000 + f).build());
+        }
+        msgs += sf.end_epoch();
+        assert_eq!(msgs, 50, "one GPV per flow (collision evictions count too)");
+    }
+
+    #[test]
+    fn export_volume_tracks_packets_not_flows() {
+        let mut sf = StarFlow::new(1 << 12, 4);
+        let mut msgs = 0;
+        // One flow, many packets: messages grow with packets.
+        let p = PacketBuilder::new().src_port(1).build();
+        for _ in 0..400 {
+            msgs += sf.observe(&p);
+        }
+        msgs += sf.end_epoch();
+        assert_eq!(msgs, 100, "400 packets / 4 features per GPV");
+    }
+}

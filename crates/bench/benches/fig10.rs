@@ -1,0 +1,67 @@
+//! Fig. 10: forwarding interruption caused by updating queries.
+//!
+//! (a) Sonata's update reloads the P4 program: ~7.5 s outage even with an
+//!     empty forwarding table, while Newton's rule update causes none.
+//! (b) The outage grows linearly with the number of forwarding-table
+//!     entries (TCAM or SRAM) that must be restored — ~0.5 min at 60 K.
+
+use newton::baselines::RebootModel;
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::query::catalog;
+use newton_bench::print_table;
+
+fn main() {
+    let model = RebootModel::default();
+
+    // (a) Throughput outage for one query update at a typical table size.
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 10);
+    let first = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+    let newton_update = ctl.update(first.id, &catalog::q6_syn_flood(), &mut net, 12).unwrap();
+
+    print_table(
+        "Fig. 10(a) — interruption of one query update",
+        &["System", "Forwarding outage", "Notes"],
+        &[
+            vec![
+                "Sonata".into(),
+                format!("{:.1} s", model.outage_ms(0, 0) / 1000.0),
+                "program reload, empty table".into(),
+            ],
+            vec![
+                "Sonata (20K rules)".into(),
+                format!("{:.1} s", model.outage_ms(10_000, 10_000) / 1000.0),
+                "reload + rule restore".into(),
+            ],
+            vec![
+                "Newton".into(),
+                "0 ms".into(),
+                format!("rule update finished in {:.1} ms", newton_update.delay_ms),
+            ],
+        ],
+    );
+
+    // (b) Outage vs table entries, TCAM and SRAM series.
+    let mut rows = Vec::new();
+    for entries in (0..=60_000).step_by(10_000) {
+        rows.push(vec![
+            format!("{entries}"),
+            format!("{:.2}", model.outage_ms(entries, 0) / 1000.0),
+            format!("{:.2}", model.outage_ms(0, entries) / 1000.0),
+            "0.00".into(),
+        ]);
+    }
+    print_table(
+        "Fig. 10(b) — interruption delay vs restored table entries",
+        &["Entries", "Sonata TCAM (s)", "Sonata SRAM (s)", "Newton (s)"],
+        &rows,
+    );
+
+    // Shape checks the paper states.
+    assert!((7.0..8.0).contains(&(model.outage_ms(0, 0) / 1000.0)));
+    let at_60k = model.outage_ms(30_000, 30_000) / 1000.0;
+    assert!((25.0..35.0).contains(&at_60k), "~0.5 min at 60K entries, got {at_60k:.1}s");
+}

@@ -1,0 +1,78 @@
+//! Fig. 15 (and Fig. 7): query compilation evaluation.
+//!
+//! (a) primitives per query; (b) modules and stages per query at each
+//! cumulative optimization level (baseline → +Opt.1 → +Opt.2 → +Opt.3),
+//! plus Sonata's logical tables / estimated stages for comparison; and the
+//! Fig. 7 overall reduction ratios.
+
+use newton::compiler::{sonata_estimate, stats_for, CompilerConfig};
+use newton::query::catalog;
+use newton_bench::print_table;
+
+fn main() {
+    let cfg = CompilerConfig::default();
+    let queries = catalog::all_queries();
+
+    // Fig. 15(a): primitives per query.
+    let rows: Vec<Vec<String>> = queries
+        .iter()
+        .enumerate()
+        .map(|(i, q)| vec![format!("Q{}", i + 1), q.primitive_count().to_string()])
+        .collect();
+    print_table("Fig. 15(a) — primitives per query", &["Query", "Primitives"], &rows);
+
+    // Fig. 15(b): modules and stages per optimization level + Sonata.
+    let mut mod_rows = Vec::new();
+    let mut stage_rows = Vec::new();
+    let mut min_mod_red = f64::MAX;
+    let mut min_stage_red = f64::MAX;
+    let mut fig7 = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        let stats = stats_for(q, &cfg);
+        let sonata = sonata_estimate(q);
+        let m: Vec<usize> = stats.levels.iter().map(|l| l.1).collect();
+        let s: Vec<usize> = stats.levels.iter().map(|l| l.2).collect();
+        mod_rows.push(vec![
+            format!("Q{}", i + 1),
+            m[0].to_string(),
+            m[1].to_string(),
+            m[2].to_string(),
+            m[3].to_string(),
+            sonata.tables.to_string(),
+        ]);
+        stage_rows.push(vec![
+            format!("Q{}", i + 1),
+            s[0].to_string(),
+            s[1].to_string(),
+            s[2].to_string(),
+            s[3].to_string(),
+            sonata.stages.to_string(),
+        ]);
+        min_mod_red = min_mod_red.min(stats.module_reduction());
+        min_stage_red = min_stage_red.min(stats.stage_reduction());
+        fig7.push(vec![
+            format!("Q{}", i + 1),
+            format!("{:.1}%", stats.module_reduction() * 100.0),
+            format!("{:.1}%", stats.stage_reduction() * 100.0),
+        ]);
+        assert!(s[3] <= 12, "Q{}: optimized stages must fit a Tofino", i + 1);
+        assert!(s[3] <= sonata.stages, "Q{}: optimized Newton must not exceed Sonata stages", i + 1);
+    }
+    print_table(
+        "Fig. 15(b) — modules per query",
+        &["Query", "baseline", "+opt1", "+opt2", "+opt3", "Sonata tables"],
+        &mod_rows,
+    );
+    print_table(
+        "Fig. 15(b) — stages per query",
+        &["Query", "baseline", "+opt1", "+opt2", "+opt3", "Sonata stages"],
+        &stage_rows,
+    );
+
+    print_table("Fig. 7 — optimization reduction ratios", &["Query", "Modules", "Stages"], &fig7);
+    println!(
+        "\nminimum reductions across Q1–Q9: modules {:.1}%, stages {:.1}% (paper: 42.4% / 69.7%)",
+        min_mod_red * 100.0,
+        min_stage_red * 100.0
+    );
+}

@@ -1,0 +1,59 @@
+//! Fig. 16: resource multiplexing over concurrent clones of Q4.
+//!
+//! Sonata and S-Newton (clones over the *same* traffic) grow linearly in
+//! modules and stages; P-Newton (clones over *different* traffic) reuses
+//! the same module instances and only adds rules.
+
+use newton::compiler::{concurrent, CompilerConfig};
+use newton::query::catalog;
+use newton_bench::print_table;
+
+fn main() {
+    let cfg = CompilerConfig::default();
+    let q4 = catalog::q4_port_scan();
+    let mut mod_rows = Vec::new();
+    let mut stage_rows = Vec::new();
+    for n in [1usize, 5, 10, 20, 40, 60, 80, 100] {
+        let so = concurrent::sonata_chained(&q4, n);
+        let s = concurrent::s_newton(&q4, n, &cfg);
+        let p = concurrent::p_newton(&q4, n, &cfg);
+        mod_rows.push(vec![
+            n.to_string(),
+            so.modules.to_string(),
+            s.modules.to_string(),
+            p.modules.to_string(),
+            p.rules.to_string(),
+        ]);
+        stage_rows.push(vec![
+            n.to_string(),
+            so.stages.to_string(),
+            s.stages.to_string(),
+            p.stages.to_string(),
+        ]);
+    }
+    print_table(
+        "Fig. 16(a) — module number vs concurrent Q4 queries",
+        &["N", "Sonata (tables)", "S-Newton", "P-Newton", "P-Newton rules"],
+        &mod_rows,
+    );
+    print_table(
+        "Fig. 16(b) — stage number vs concurrent Q4 queries",
+        &["N", "Sonata", "S-Newton", "P-Newton"],
+        &stage_rows,
+    );
+
+    let p1 = concurrent::p_newton(&q4, 1, &cfg);
+    let p100 = concurrent::p_newton(&q4, 100, &cfg);
+    assert_eq!(p1.modules, p100.modules, "P-Newton modules must be constant");
+    assert_eq!(p1.stages, p100.stages, "P-Newton stages must be constant");
+    assert_eq!(
+        concurrent::s_newton(&q4, 100, &cfg).stages,
+        100 * concurrent::s_newton(&q4, 1, &cfg).stages,
+        "S-Newton must be linear"
+    );
+    println!(
+        "\nP-Newton holds {} modules / {} stages even at 100 queries; \
+         Sonata and S-Newton grow linearly (paper: same shape).",
+        p100.modules, p100.stages
+    );
+}

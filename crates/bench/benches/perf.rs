@@ -1,0 +1,65 @@
+//! Library performance (Criterion): not a paper figure, but the numbers a
+//! downstream user of this simulator cares about — pipeline throughput,
+//! compile latency, placement latency.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use newton::compiler::{compile, compile_sliced, CompilerConfig};
+use newton::controller::place_query;
+use newton::dataplane::{PipelineConfig, Switch};
+use newton::net::Topology;
+use newton::query::catalog;
+use newton::trace::caida_like;
+
+fn pipeline_throughput(c: &mut Criterion) {
+    let cfg = CompilerConfig::default();
+    let mut sw = Switch::new(PipelineConfig::default());
+    for (i, q) in catalog::all_queries().iter().enumerate() {
+        sw.install(&compile(q, i as u32 + 1, &cfg).rules).unwrap();
+    }
+    let trace = caida_like(7, 10_000);
+    let packets = trace.packets().to_vec();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.throughput(Throughput::Elements(packets.len() as u64));
+    g.bench_function("process_10k_packets_9_queries", |b| {
+        b.iter(|| {
+            let mut reports = 0usize;
+            for p in &packets {
+                reports += sw.process(p, None).reports.len();
+            }
+            std::hint::black_box(reports)
+        })
+    });
+    g.finish();
+}
+
+fn compile_latency(c: &mut Criterion) {
+    let cfg = CompilerConfig::default();
+    let queries = catalog::all_queries();
+    c.bench_function("compile_all_nine_queries", |b| {
+        b.iter(|| {
+            for (i, q) in queries.iter().enumerate() {
+                std::hint::black_box(compile(q, i as u32 + 1, &cfg));
+            }
+        })
+    });
+    c.bench_function("compile_sliced_q4_budget4", |b| {
+        b.iter(|| std::hint::black_box(compile_sliced(&queries[3], 1, &cfg, 4)))
+    });
+}
+
+fn placement_latency(c: &mut Criterion) {
+    let cfg = CompilerConfig::default();
+    let rules = compile(&catalog::q4_port_scan(), 1, &cfg).rules;
+    let topo = Topology::fat_tree(16);
+    c.bench_function("place_q4_fat_tree_16", |b| {
+        b.iter(|| std::hint::black_box(place_query(&rules, &topo, topo.edge_switches(), 5)))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = pipeline_throughput, compile_latency, placement_latency
+}
+criterion_main!(benches);

@@ -1,0 +1,573 @@
+//! Step 2: module rule composition (Algorithm 1, §4.3).
+//!
+//! Given the decomposed module specs, this module applies the paper's three
+//! optimizations and assigns each surviving module to a pipeline stage:
+//!
+//! * **Opt.1** — front `filter`s over 5-tuple/flags fields are absorbed by
+//!   `newton_init`, removing their whole suites.
+//! * **Opt.2** — unused modules (a `map`'s ℍ/𝕊/ℝ, a single-row `reduce`'s
+//!   ℝ) are removed, and redundant 𝕂s are removed when a previous 𝕂 of the
+//!   same branch and metadata set already selected the same operation keys.
+//! * **Opt.3** — vertical composition: consecutive primitives alternate
+//!   metadata sets, and a greedy packer shares stages between dependency-
+//!   free modules (one module of each kind per stage — the compact layout).
+//!
+//! Stage packing honours three hard constraints:
+//! 1. modules of the same branch and set execute in order across stages
+//!    (write-read dependencies, Fig. 4);
+//! 2. a state-*writing* 𝕊 executes strictly after every earlier ℝ gate of
+//!    its branch (a packet rejected by a filter must not have counted);
+//! 3. ℝ modules touching the global result keep their relative order.
+
+use crate::decompose::{Decomposition, ModuleRole, ModuleSpec};
+use newton_dataplane::{ModuleKind, SetId};
+use newton_query::Query;
+
+/// Which optimizations to apply (Fig. 15 sweeps these cumulatively).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct OptLevel {
+    pub front_filter: bool,
+    pub remove_unneeded: bool,
+    pub vertical: bool,
+}
+
+impl OptLevel {
+    /// The naïve baseline: no optimization, one module per stage.
+    pub fn none() -> Self {
+        OptLevel { front_filter: false, remove_unneeded: false, vertical: false }
+    }
+
+    /// Baseline + Opt.1.
+    pub fn opt1() -> Self {
+        OptLevel { front_filter: true, remove_unneeded: false, vertical: false }
+    }
+
+    /// Baseline + Opt.1 + Opt.2.
+    pub fn opt2() -> Self {
+        OptLevel { front_filter: true, remove_unneeded: true, vertical: false }
+    }
+
+    /// All optimizations (Opt.1–3).
+    pub fn full() -> Self {
+        OptLevel { front_filter: true, remove_unneeded: true, vertical: true }
+    }
+
+    /// The four cumulative levels in Fig. 15 order.
+    pub fn ladder() -> [(&'static str, OptLevel); 4] {
+        [
+            ("baseline", OptLevel::none()),
+            ("+opt1", OptLevel::opt1()),
+            ("+opt2", OptLevel::opt2()),
+            ("+opt3", OptLevel::full()),
+        ]
+    }
+}
+
+/// The composed query: surviving modules with set and stage assignments.
+#[derive(Debug, Clone)]
+pub struct Composition {
+    /// Surviving module specs (sets assigned).
+    pub kept: Vec<ModuleSpec>,
+    /// Stage index per kept module.
+    pub stage_of: Vec<usize>,
+    /// Number of front filters absorbed into `newton_init`, per branch.
+    pub absorbed_front_filters: Vec<usize>,
+    /// The optimization level used.
+    pub opt: OptLevel,
+}
+
+impl Composition {
+    /// Module count (Fig. 15b's y-axis).
+    pub fn modules(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// Stage count (Fig. 15b's y-axis).
+    pub fn stages(&self) -> usize {
+        self.stage_of.iter().copied().max().map_or(0, |s| s + 1)
+    }
+
+    /// Kept modules of one stage.
+    pub fn stage_modules(&self, stage: usize) -> impl Iterator<Item = &ModuleSpec> {
+        self.kept.iter().zip(&self.stage_of).filter(move |(_, &s)| s == stage).map(|(m, _)| m)
+    }
+}
+
+/// Run Algorithm 1 over a decomposition at the given optimization level.
+pub fn compose(query: &Query, decomp: &Decomposition, opt: OptLevel) -> Composition {
+    let mut kept: Vec<ModuleSpec> = Vec::with_capacity(decomp.specs.len());
+    let absorbed: Vec<usize> =
+        if opt.front_filter { decomp.front_filters.clone() } else { vec![0; query.branches.len()] };
+
+    // Opt.1: drop the suites of absorbed front filters.
+    for spec in &decomp.specs {
+        let fr = absorbed.get(spec.branch as usize).copied().unwrap_or(0);
+        if opt.front_filter && spec.prim_idx < fr {
+            continue;
+        }
+        kept.push(spec.clone());
+    }
+
+    // Opt.3 part 1: vertical set assignment. Consecutive primitives
+    // alternate metadata sets so their modules can share stages — but a
+    // primitive reusing the previous primitive's operation keys stays in
+    // the same set, so Opt.2's redundant-𝕂 removal still applies (this is
+    // Algorithm 1's θ₁/θ₂ bookkeeping: alternating sets blindly would
+    // force restoring removed 𝕂s).
+    if opt.vertical {
+        let mut assignment: std::collections::HashMap<(u8, usize), SetId> =
+            std::collections::HashMap::new();
+        for b in 0..query.branches.len() as u8 {
+            let mut prev_mask: Option<u128> = None;
+            let mut current = if b % 2 == 0 { SetId::Set1 } else { SetId::Set2 };
+            let mut prims: Vec<usize> = kept
+                .iter()
+                .filter(|m| m.branch == b)
+                .map(|m| m.prim_idx)
+                .collect();
+            prims.sort_unstable();
+            prims.dedup();
+            for p in prims {
+                let mask = kept.iter().find_map(|m| match m.role {
+                    ModuleRole::SelectKeys { mask } if m.branch == b && m.prim_idx == p => {
+                        Some(mask)
+                    }
+                    _ => None,
+                });
+                match (mask, prev_mask) {
+                    (Some(m), Some(pm)) if m != pm => current = current.other(),
+                    _ => {}
+                }
+                if mask.is_some() {
+                    prev_mask = mask;
+                }
+                assignment.insert((b, p), current);
+            }
+        }
+        for spec in &mut kept {
+            if let Some(&set) = assignment.get(&(spec.branch, spec.prim_idx)) {
+                spec.set = set;
+            }
+        }
+        // ℝ-only modules must report the operation keys of their branch's
+        // last key-bearing suite: inherit the set of the nearest preceding
+        // stateful module of the same branch.
+        for i in 0..kept.len() {
+            if kept[i].kind == ModuleKind::ResultProcess && is_r_only(&kept[i].role) {
+                let set = kept[..i]
+                    .iter()
+                    .rev()
+                    .find(|m| m.branch == kept[i].branch && m.kind == ModuleKind::StateBank)
+                    .map(|m| m.set);
+                if let Some(set) = set {
+                    kept[i].set = set;
+                }
+            }
+        }
+    }
+
+    // Opt.2: remove unused modules and redundant 𝕂s.
+    if opt.remove_unneeded {
+        kept.retain(|m| m.role != ModuleRole::Unused);
+        let mut theta: std::collections::HashMap<(u8, SetId), u128> = std::collections::HashMap::new();
+        kept = kept
+            .into_iter()
+            .filter(|m| match m.role {
+                ModuleRole::SelectKeys { mask } => {
+                    let key = (m.branch, m.set);
+                    if theta.get(&key) == Some(&mask) {
+                        false // same operation keys already selected (Opt.2)
+                    } else {
+                        theta.insert(key, mask);
+                        true
+                    }
+                }
+                _ => true,
+            })
+            .collect();
+    }
+
+    // Stage assignment.
+    let stage_of = if opt.vertical { pack_stages(&kept) } else { (0..kept.len()).collect() };
+
+    Composition { kept, stage_of, absorbed_front_filters: absorbed, opt }
+}
+
+/// Compose for an *executable* naive layout: one module per stage, where
+/// stage `i` of the pipeline hosts module kind `ALL[i % 4]` (𝕂,ℍ,𝕊,ℝ
+/// cycling). Each module takes the next stage of its kind, so modules sit
+/// strictly in sequence — trivially hazard-free, and maximally wasteful:
+/// up to three stages skip between consecutive modules, which is exactly
+/// the utilization gap the compact layout closes (§4.2).
+pub fn compose_naive_executable(query: &Query, decomp: &Decomposition) -> Composition {
+    // Opt.1/Opt.2 still apply (they are rule-level); only the layout and
+    // packing differ.
+    let base = compose(query, decomp, OptLevel::opt2());
+    let mut stage_of = Vec::with_capacity(base.kept.len());
+    let mut next = 0usize;
+    for m in &base.kept {
+        // Advance to the next stage hosting this module's kind.
+        while ModuleKind::ALL[next % 4] != m.kind {
+            next += 1;
+        }
+        stage_of.push(next);
+        next += 1;
+    }
+    Composition {
+        kept: base.kept,
+        stage_of,
+        absorbed_front_filters: base.absorbed_front_filters,
+        opt: OptLevel::opt2(),
+    }
+}
+
+/// Retarget a compact-layout rule set (slot = kind depth) to the naive
+/// layout's single slot per stage.
+pub fn retarget_to_naive(rules: &newton_dataplane::RuleSet) -> newton_dataplane::RuleSet {
+    use newton_dataplane::ModuleAddr;
+    fn zero_slot<T: Clone>(v: &[(ModuleAddr, T)]) -> Vec<(ModuleAddr, T)> {
+        v.iter().map(|(a, r)| (ModuleAddr { stage: a.stage, slot: 0 }, r.clone())).collect()
+    }
+    newton_dataplane::RuleSet {
+        init: rules.init.clone(),
+        k: zero_slot(&rules.k),
+        h: zero_slot(&rules.h),
+        s: zero_slot(&rules.s),
+        r: zero_slot(&rules.r),
+    }
+}
+
+/// ℝ roles that are not part of a 𝕂ℍ𝕊ℝ suite of their own.
+fn is_r_only(role: &ModuleRole) -> bool {
+    matches!(
+        role,
+        ModuleRole::Threshold { .. }
+            | ModuleRole::DistinctCheckGlobal
+            | ModuleRole::MergeSet
+            | ModuleRole::MergeAccum
+    )
+}
+
+/// Whether an ℝ role gates the branch (can stop it): state writes of the
+/// same branch must come strictly later.
+fn is_gate(role: &ModuleRole) -> bool {
+    matches!(
+        role,
+        ModuleRole::FilterCheck { .. }
+            | ModuleRole::DistinctCheckGlobal
+            | ModuleRole::DistinctCheckState
+            | ModuleRole::Threshold { stop_below: true, .. }
+    )
+}
+
+/// Whether a role writes persistent state.
+fn writes_state(role: &ModuleRole) -> bool {
+    matches!(
+        role,
+        ModuleRole::StateAdd { .. } | ModuleRole::StateMax { .. } | ModuleRole::StateOr
+    )
+}
+
+/// PHV containers modules contend over. Within one packet walk, a stage
+/// reads containers at stage entry and writes them at stage exit, so
+/// hazards are exactly the classic pipeline ones:
+///
+/// * **RAW** — a reader must be in a strictly later stage than the value's
+///   producer;
+/// * **WAR** — the next writer of a container must not land in an earlier
+///   stage than the previous value's readers (same stage is fine: reads
+///   happen at entry, writes at exit);
+/// * **WAW** — writers of one container are strictly stage-ordered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Container {
+    OpKeys(SetId),
+    Hash(SetId),
+    State(SetId),
+    Global,
+}
+
+/// The container a module writes, if any.
+fn writes_container(m: &ModuleSpec) -> Option<Container> {
+    match m.kind {
+        ModuleKind::KeySelection => Some(Container::OpKeys(m.set)),
+        ModuleKind::HashCalculation => Some(Container::Hash(m.set)),
+        ModuleKind::StateBank => Some(Container::State(m.set)),
+        ModuleKind::ResultProcess => match m.role {
+            ModuleRole::RowMin
+            | ModuleRole::MergeSet
+            | ModuleRole::MergeAccum
+            | ModuleRole::DistinctCheckGlobal => Some(Container::Global),
+            _ => None,
+        },
+    }
+}
+
+/// The containers a module reads.
+fn reads_containers(m: &ModuleSpec) -> Vec<Container> {
+    match m.kind {
+        ModuleKind::KeySelection => Vec::new(), // packet fields only
+        ModuleKind::HashCalculation => vec![Container::OpKeys(m.set)],
+        ModuleKind::StateBank => vec![Container::Hash(m.set)],
+        ModuleKind::ResultProcess => match &m.role {
+            ModuleRole::FilterCheck { .. } | ModuleRole::DistinctCheckState => {
+                vec![Container::State(m.set)]
+            }
+            ModuleRole::RowMin | ModuleRole::MergeAccum => {
+                vec![Container::State(m.set), Container::Global]
+            }
+            ModuleRole::MergeSet => vec![Container::State(m.set)],
+            ModuleRole::DistinctCheckGlobal => vec![Container::Global],
+            // A reporting threshold also mirrors the operation keys, so it
+            // reads the OpKeys container too.
+            ModuleRole::Threshold { on_global, report, .. } => {
+                let mut reads = vec![if *on_global {
+                    Container::Global
+                } else {
+                    Container::State(m.set)
+                }];
+                if *report {
+                    reads.push(Container::OpKeys(m.set));
+                }
+                reads
+            }
+            _ => Vec::new(),
+        },
+    }
+}
+
+/// Greedy stage packing under the pipeline hazards above, plus two
+/// semantic constraints: a state-writing 𝕊 executes strictly after every
+/// earlier ℝ gate of its branch (a filtered-out packet must never have
+/// counted), and global-result ℝs keep their relative logical order.
+pub(crate) fn pack_stages(kept: &[ModuleSpec]) -> Vec<usize> {
+    let n = kept.len();
+    // strict[i]: j must be assigned with stage < current to place i.
+    // weak[i]: j must be assigned with stage <= current to place i.
+    let mut strict: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut weak: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for i in 0..n {
+        let m = &kept[i];
+        // RAW: nearest preceding writer of each container read.
+        for c in reads_containers(m) {
+            if let Some(j) = (0..i).rev().find(|&j| writes_container(&kept[j]) == Some(c)) {
+                strict[i].push(j);
+            }
+        }
+        if let Some(c) = writes_container(m) {
+            if let Some(w1) = (0..i).rev().find(|&j| writes_container(&kept[j]) == Some(c)) {
+                // WAW: strictly after the previous writer.
+                strict[i].push(w1);
+                // WAR: not before the previous value's readers.
+                for r in w1 + 1..i {
+                    if reads_containers(&kept[r]).contains(&c) {
+                        weak[i].push(r);
+                    }
+                }
+            }
+        }
+        // Gating: state writes strictly after earlier gates of the branch.
+        if writes_state(&m.role) {
+            strict[i]
+                .extend((0..i).filter(|&j| kept[j].branch == m.branch && is_gate(&kept[j].role)));
+        }
+        // Global serialization order.
+        if let Some(o) = m.global_order {
+            strict[i].extend(
+                (0..n).filter(|&j| j != i && kept[j].global_order.is_some_and(|oj| oj < o)),
+            );
+        }
+    }
+
+    let mut stage_of: Vec<Option<usize>> = vec![None; n];
+    let mut assigned = 0;
+    let mut stage = 0;
+    while assigned < n {
+        let mut used: Vec<ModuleKind> = Vec::with_capacity(4);
+        for i in 0..n {
+            if stage_of[i].is_some() || used.contains(&kept[i].kind) {
+                continue;
+            }
+            let strict_ok = strict[i].iter().all(|&j| stage_of[j].is_some_and(|s| s < stage));
+            let weak_ok = weak[i].iter().all(|&j| stage_of[j].is_some_and(|s| s <= stage));
+            if !strict_ok || !weak_ok {
+                continue;
+            }
+            stage_of[i] = Some(stage);
+            used.push(kept[i].kind);
+            assigned += 1;
+        }
+        stage += 1;
+        assert!(stage <= 4 * n + 4, "stage packing failed to converge ({assigned}/{n} assigned)");
+    }
+    stage_of.into_iter().map(|s| s.expect("all assigned")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::decompose_query;
+    use crate::CompilerConfig;
+    use newton_query::catalog;
+
+    fn comp(q: &Query, opt: OptLevel) -> Composition {
+        let d = decompose_query(q, &CompilerConfig::default());
+        compose(q, &d, opt)
+    }
+
+    #[test]
+    fn baseline_uses_one_stage_per_module() {
+        let q = catalog::q1_new_tcp();
+        let c = comp(&q, OptLevel::none());
+        assert_eq!(c.stages(), c.modules());
+        assert!(c.modules() >= 20, "baseline Q1 should be large, got {}", c.modules());
+    }
+
+    #[test]
+    fn opt1_removes_front_filter_suites() {
+        let q = catalog::q1_new_tcp();
+        let base = comp(&q, OptLevel::none());
+        let o1 = comp(&q, OptLevel::opt1());
+        assert_eq!(base.modules() - o1.modules(), 8, "two front filters × 4 modules");
+        assert_eq!(o1.absorbed_front_filters, vec![2]);
+    }
+
+    #[test]
+    fn opt2_removes_unused_and_redundant() {
+        let q = catalog::q1_new_tcp();
+        let o1 = comp(&q, OptLevel::opt1());
+        let o2 = comp(&q, OptLevel::opt2());
+        assert!(o2.modules() < o1.modules());
+        // Q1 after opt2: map K(1) + reduce rows (2×(H,S,R)) + threshold(1)
+        // = 8 (reduce 𝕂s redundant after map's 𝕂).
+        assert_eq!(o2.modules(), 8);
+    }
+
+    #[test]
+    fn opt3_packs_stages_below_module_count() {
+        for q in catalog::all_queries() {
+            let c = comp(&q, OptLevel::full());
+            assert!(
+                c.stages() < c.modules() || c.modules() <= 2,
+                "{}: packing gained nothing ({} stages for {} modules)",
+                q.name,
+                c.stages(),
+                c.modules()
+            );
+        }
+    }
+
+    #[test]
+    fn q4_matches_paper_scale() {
+        // §6.5: Q4 occupies 10 stages and 19 modules after optimization.
+        let q = catalog::q4_port_scan();
+        let c = comp(&q, OptLevel::full());
+        assert_eq!(c.modules(), 19, "Q4 optimized module count");
+        assert!(
+            (8..=11).contains(&c.stages()),
+            "Q4 optimized stages {} should be ~10",
+            c.stages()
+        );
+    }
+
+    #[test]
+    fn no_pipeline_hazards() {
+        // RAW / WAR / WAW discipline over all PHV containers, for every
+        // catalog query at full optimization.
+        for q in catalog::all_queries() {
+            let c = comp(&q, OptLevel::full());
+            let n = c.kept.len();
+            for i in 0..n {
+                // RAW: every read sees its producer strictly earlier.
+                for cont in reads_containers(&c.kept[i]) {
+                    if let Some(w) =
+                        (0..i).rev().find(|&j| writes_container(&c.kept[j]) == Some(cont))
+                    {
+                        assert!(
+                            c.stage_of[w] < c.stage_of[i],
+                            "{}: RAW hazard on {:?} between #{w} and #{i}",
+                            q.name,
+                            cont
+                        );
+                    }
+                }
+                // WAW + WAR.
+                if let Some(cont) = writes_container(&c.kept[i]) {
+                    if let Some(w1) =
+                        (0..i).rev().find(|&j| writes_container(&c.kept[j]) == Some(cont))
+                    {
+                        assert!(
+                            c.stage_of[w1] < c.stage_of[i],
+                            "{}: WAW hazard on {cont:?}",
+                            q.name
+                        );
+                        for r in w1 + 1..i {
+                            if reads_containers(&c.kept[r]).contains(&cont) {
+                                assert!(
+                                    c.stage_of[r] <= c.stage_of[i],
+                                    "{}: WAR hazard on {cont:?} (reader #{r} after writer #{i})",
+                                    q.name
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn state_writes_follow_gates() {
+        for q in catalog::all_queries() {
+            let c = comp(&q, OptLevel::full());
+            for (i, m) in c.kept.iter().enumerate() {
+                if !writes_state(&m.role) {
+                    continue;
+                }
+                for (j, g) in c.kept.iter().enumerate().take(i) {
+                    if g.branch == m.branch && is_gate(&g.role) {
+                        assert!(
+                            c.stage_of[j] < c.stage_of[i],
+                            "{}: state write at stage {} not after gate at {}",
+                            q.name,
+                            c.stage_of[i],
+                            c.stage_of[j]
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_module_kind_per_stage() {
+        for q in catalog::all_queries() {
+            let c = comp(&q, OptLevel::full());
+            for s in 0..c.stages() {
+                let mut kinds: Vec<ModuleKind> = c.stage_modules(s).map(|m| m.kind).collect();
+                let before = kinds.len();
+                kinds.dedup();
+                kinds.sort_by_key(|k| k.depth());
+                kinds.dedup();
+                assert_eq!(kinds.len(), before, "{}: duplicate kind in stage {s}", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn global_order_is_respected_across_stages() {
+        for q in catalog::all_queries() {
+            let c = comp(&q, OptLevel::full());
+            let mut ordered: Vec<(usize, usize)> = c
+                .kept
+                .iter()
+                .zip(&c.stage_of)
+                .filter_map(|(m, &s)| m.global_order.map(|o| (o, s)))
+                .collect();
+            ordered.sort_unstable();
+            for w in ordered.windows(2) {
+                assert!(w[0].1 < w[1].1, "{}: global ops share or invert stages", q.name);
+            }
+        }
+    }
+}

@@ -1,0 +1,93 @@
+//! Concurrent-query resource multiplexing (Fig. 16).
+//!
+//! With `n` concurrent clones of one query, three deployment models differ:
+//!
+//! * **Sonata** chains the queries in one P4 program: tables and stages
+//!   both grow linearly with `n`.
+//! * **S-Newton** — the clones monitor the *same* traffic, so Newton chains
+//!   them: each clone needs its own module instances (a packet walks all of
+//!   them), so modules and stages grow linearly, like Sonata.
+//! * **P-Newton** — the clones monitor *different* traffic (`newton_init`
+//!   dispatches disjoint slices), so every clone reuses the *same* module
+//!   instances with its own rules: module/stage usage stays constant and
+//!   only the rule count grows (bounded by the 256-rule module capacity).
+
+use crate::compose::{compose, OptLevel};
+use crate::decompose::decompose_query;
+use crate::sonata;
+use crate::CompilerConfig;
+use newton_query::Query;
+
+/// Modules/stages/rules needed by `n` concurrent clones under one model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConcurrentCost {
+    pub modules: usize,
+    pub stages: usize,
+    /// Total module rules across clones.
+    pub rules: usize,
+}
+
+/// Resource usage of one compiled clone.
+fn one(query: &Query, config: &CompilerConfig) -> (usize, usize, usize) {
+    let d = decompose_query(query, config);
+    let c = compose(query, &d, OptLevel::full());
+    // Rules ≈ modules (each module instance holds one rule per clone; ℝ
+    // gates hold two). Count from the actual generated rule set.
+    let (rules, _) = crate::rulegen::generate_rules(query, 1, &d, &c, config);
+    (c.modules(), c.stages(), rules.module_rule_count())
+}
+
+/// S-Newton: `n` clones over the same traffic, chained.
+pub fn s_newton(query: &Query, n: usize, config: &CompilerConfig) -> ConcurrentCost {
+    let (m, s, r) = one(query, config);
+    ConcurrentCost { modules: m * n, stages: s * n, rules: r * n }
+}
+
+/// P-Newton: `n` clones over disjoint traffic, multiplexing module
+/// instances.
+pub fn p_newton(query: &Query, n: usize, config: &CompilerConfig) -> ConcurrentCost {
+    let (m, s, r) = one(query, config);
+    ConcurrentCost { modules: m, stages: s, rules: r * n }
+}
+
+/// Sonata: `n` clones chained in one program.
+pub fn sonata_chained(query: &Query, n: usize) -> ConcurrentCost {
+    let c = sonata::estimate(query);
+    ConcurrentCost { modules: c.tables * n, stages: c.stages * n, rules: c.tables * n }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+
+    #[test]
+    fn p_newton_is_constant_in_modules_and_stages() {
+        let cfg = CompilerConfig::default();
+        let q = catalog::q4_port_scan();
+        let one = p_newton(&q, 1, &cfg);
+        let hundred = p_newton(&q, 100, &cfg);
+        assert_eq!(one.modules, hundred.modules);
+        assert_eq!(one.stages, hundred.stages);
+        assert_eq!(hundred.rules, one.rules * 100);
+    }
+
+    #[test]
+    fn s_newton_and_sonata_grow_linearly() {
+        let cfg = CompilerConfig::default();
+        let q = catalog::q4_port_scan();
+        for n in [1usize, 10, 50] {
+            assert_eq!(s_newton(&q, n, &cfg).stages, n * s_newton(&q, 1, &cfg).stages);
+            assert_eq!(sonata_chained(&q, n).stages, n * sonata_chained(&q, 1).stages);
+        }
+    }
+
+    #[test]
+    fn p_newton_beats_both_at_scale() {
+        let cfg = CompilerConfig::default();
+        let q = catalog::q4_port_scan();
+        let p = p_newton(&q, 100, &cfg);
+        assert!(p.modules < s_newton(&q, 100, &cfg).modules / 10);
+        assert!(p.modules < sonata_chained(&q, 100).modules / 10);
+    }
+}

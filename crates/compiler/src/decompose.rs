@@ -1,0 +1,644 @@
+//! Step 1: query primitive decomposition (§4.1, Fig. 3).
+//!
+//! Each primitive lowers to module specifications. A [`ModuleSpec`] is a
+//! *logical* module occurrence: which kind, what role (the rule it will
+//! carry), which branch/primitive it came from. Composition (step 2)
+//! decides placement, set assignment and removal.
+//!
+//! Sketch shape policy: a **single-branch** query may spend the global
+//! result on multi-array sketches (a `bf_hashes`-array Bloom filter for
+//! `distinct`, a `cm_depth`-row Count-Min for `reduce`), because nothing
+//! else contends for the accumulator. A **multi-branch** query reserves the
+//! global result for merging branch results (Fig. 6), so each branch uses
+//! single-array sketches — exactly the structure Fig. 6 shows.
+
+use crate::plan::AnalyzerTask;
+use crate::CompilerConfig;
+use newton_dataplane::{ModuleKind, SetId};
+use newton_packet::Field;
+use newton_query::ast::{keys_mask, CmpOp, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc};
+
+/// Maximum per-packet increment of a byte-volume reduce — the report
+/// window width for sum-threshold crossing detection.
+pub const MAX_WIRE_LEN: u32 = 1514;
+
+/// What rule a module occurrence will carry.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModuleRole {
+    /// 𝕂: mask the global field vector.
+    SelectKeys { mask: u128 },
+    /// ℍ: hash the operation keys into a register index.
+    HashKeys { seed: u64, range: u32 },
+    /// ℍ in direct mode: a key field's value becomes the result.
+    HashDirect { field: Field },
+    /// 𝕊: pass the hash result through (stateless suites).
+    StatePass,
+    /// 𝕊: `reg += operand` (counter / byte sum).
+    StateAdd { field: Option<Field> },
+    /// 𝕊: `reg = max(reg, field)` (running maxima).
+    StateMax { field: Field },
+    /// 𝕊: `old = reg; reg |= 1` (Bloom bit).
+    StateOr,
+    /// ℝ: equality check of a filter (`state == value`), else stop branch.
+    FilterCheck { value: u32 },
+    /// ℝ: `global = min(global, state)` — accumulate a sketch row.
+    RowMin,
+    /// ℝ: multi-array distinct freshness check — `global == 0` means fresh
+    /// (continue, reset global), else stop branch.
+    DistinctCheckGlobal,
+    /// ℝ: single-array distinct freshness check — `state == 0` (the old
+    /// bit) means fresh, else stop branch.
+    DistinctCheckState,
+    /// ℝ: threshold with report. Matches `[lo, hi]` on the state or global
+    /// result; on hit: report (if `report`); below: stop branch if
+    /// `stop_below`.
+    Threshold { lo: u32, hi: u32, on_global: bool, report: bool, stop_below: bool },
+    /// ℝ: first merge step — `global = state` (branch 0's result).
+    MergeSet,
+    /// ℝ: accumulate another branch into the merge (`min` on data plane).
+    MergeAccum,
+    /// Placeholder for an unused module of a suite (naïve accounting only;
+    /// Opt.2 removes it).
+    Unused,
+}
+
+impl ModuleRole {
+    /// Whether this ℝ role reads or writes the global result — such roles
+    /// must keep their relative stage order.
+    pub fn touches_global(&self) -> bool {
+        matches!(
+            self,
+            ModuleRole::RowMin
+                | ModuleRole::DistinctCheckGlobal
+                | ModuleRole::MergeSet
+                | ModuleRole::MergeAccum
+                | ModuleRole::Threshold { on_global: true, .. }
+        )
+    }
+}
+
+/// One logical module occurrence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModuleSpec {
+    pub branch: u8,
+    /// Index of the source primitive within the branch (merge modules use
+    /// the branch's primitive count).
+    pub prim_idx: usize,
+    pub kind: ModuleKind,
+    pub role: ModuleRole,
+    /// Metadata set; assigned during composition (Opt.3), `Set1` before.
+    pub set: SetId,
+    /// Sketch row within the primitive (0 for stateless suites) — rows of
+    /// one sketch are independent and may interleave stages.
+    pub row: usize,
+    /// Global-result serialization index (see [`ModuleRole::touches_global`]).
+    pub global_order: Option<usize>,
+}
+
+/// Sketch shape chosen for a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SketchPolicy {
+    /// Bloom arrays per `distinct`.
+    pub bf_rows: usize,
+    /// Count-Min rows per `reduce`.
+    pub cm_rows: usize,
+}
+
+impl SketchPolicy {
+    /// Policy for a query: multi-array sketches when nothing contends for
+    /// the global accumulator — single-branch queries, and multi-branch
+    /// queries whose branches consume disjoint packets (e.g. Q9's UDP vs
+    /// TCP branches) and merge on the analyzer. Same-packet branches
+    /// (Q6's data-plane merge, Q8's shared filters) stay single-row, the
+    /// Fig. 6 structure.
+    pub fn for_query(query: &Query, config: &CompilerConfig) -> SketchPolicy {
+        let multi = query.branches.len() == 1
+            || (query.branches_packet_disjoint() && !dp_mergeable(query));
+        if multi {
+            SketchPolicy { bf_rows: config.bf_hashes.max(1), cm_rows: config.cm_depth.max(1) }
+        } else {
+            SketchPolicy { bf_rows: 1, cm_rows: 1 }
+        }
+    }
+}
+
+/// Whether the query's merge runs on the data plane (see `decompose_query`).
+fn dp_mergeable(query: &Query) -> bool {
+    matches!(
+        &query.merge,
+        Some(Merge::Combine { op: MergeOp::Min, cmp, .. })
+            if cmp.is_monotone() && query.mergeable_on_data_plane()
+    )
+}
+
+/// The decomposition of a whole query.
+#[derive(Debug, Clone)]
+pub struct Decomposition {
+    /// All module occurrences, in logical execution order.
+    pub specs: Vec<ModuleSpec>,
+    /// Per-branch count of front filters replaceable by `newton_init`.
+    pub front_filters: Vec<usize>,
+    /// Analyzer-side work recorded during lowering.
+    pub tasks: Vec<AnalyzerTask>,
+    /// The sketch policy used.
+    pub policy: SketchPolicy,
+}
+
+/// Shift a predicate's comparison value into field-aligned position
+/// (matching what ℍ-direct over masked keys produces).
+fn shifted_value(p: &Predicate) -> u32 {
+    (p.value << (p.expr.field.width() - p.expr.prefix)) as u32
+}
+
+/// Row seed for the hash family.
+fn row_seed(config: &CompilerConfig, branch: u8, prim: usize, row: usize) -> u64 {
+    config
+        .seed
+        .wrapping_add(branch as u64 * 7919)
+        .wrapping_add(prim as u64 * 131)
+        .wrapping_add(row as u64 * 17)
+}
+
+/// Decompose every branch of `query` into module specs and analyzer tasks.
+pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition {
+    let policy = SketchPolicy::for_query(query, config);
+    let mut specs = Vec::new();
+    let mut tasks = Vec::new();
+    let mut front_filters = Vec::new();
+    let mut global_order = 0usize;
+
+    // A Min-merge over same-packet branches runs on the data plane; each
+    // branch's merge ℝ must be emitted right after that branch's modules so
+    // it reads the branch's own state result before any other branch
+    // overwrites the container.
+    let dp_merge = matches!(
+        &query.merge,
+        Some(Merge::Combine { op: MergeOp::Min, cmp, .. })
+            if cmp.is_monotone() && query.mergeable_on_data_plane()
+    );
+    // For analyzer-side merges, branch 0 reports candidate keys at its own
+    // threshold; emitted right after branch 0's modules for the same
+    // container-liveness reason as the data-plane merge.
+    let driver_threshold = match &query.merge {
+        Some(Merge::Combine { cmp, value, .. }) if !dp_merge => Some((*cmp, *value)),
+        Some(Merge::And { left, .. }) => Some(*left),
+        _ => None,
+    };
+
+    for (b, branch) in query.branches.iter().enumerate() {
+        let b = b as u8;
+        front_filters.push(branch.front_filters());
+        let n_prims = branch.primitives.len();
+        for (p, prim) in branch.primitives.iter().enumerate() {
+            let is_last = p + 1 == n_prims;
+            match prim {
+                Primitive::Filter(preds) => {
+                    for pred in preds {
+                        push_suite(
+                            &mut specs,
+                            b,
+                            p,
+                            keys_mask(&[pred.expr]),
+                            [
+                                (ModuleKind::HashCalculation, ModuleRole::HashDirect { field: pred.expr.field }),
+                                (ModuleKind::StateBank, ModuleRole::StatePass),
+                                (
+                                    ModuleKind::ResultProcess,
+                                    ModuleRole::FilterCheck { value: shifted_value(pred) },
+                                ),
+                            ],
+                        );
+                    }
+                }
+                Primitive::Map(keys) => {
+                    // Only 𝕂 does real work; the rest of the suite is
+                    // unused (removable by Opt.2).
+                    specs.push(ModuleSpec {
+                        branch: b,
+                        prim_idx: p,
+                        kind: ModuleKind::KeySelection,
+                        role: ModuleRole::SelectKeys { mask: keys_mask(keys) },
+                        set: SetId::Set1,
+                        row: 0,
+                        global_order: None,
+                    });
+                    for kind in
+                        [ModuleKind::HashCalculation, ModuleKind::StateBank, ModuleKind::ResultProcess]
+                    {
+                        specs.push(ModuleSpec {
+                            branch: b,
+                            prim_idx: p,
+                            kind,
+                            role: ModuleRole::Unused,
+                            set: SetId::Set1,
+                            row: 0,
+                            global_order: None,
+                        });
+                    }
+                }
+                Primitive::Distinct(keys) => {
+                    let rows = policy.bf_rows;
+                    for row in 0..rows {
+                        let r_role = if rows > 1 {
+                            let o = global_order;
+                            global_order += 1;
+                            (ModuleRole::RowMin, Some(o))
+                        } else {
+                            (ModuleRole::DistinctCheckState, None)
+                        };
+                        push_suite_ordered(
+                            &mut specs,
+                            b,
+                            p,
+                            row,
+                            keys_mask(keys),
+                            [
+                                (
+                                    ModuleKind::HashCalculation,
+                                    ModuleRole::HashKeys {
+                                        seed: row_seed(config, b, p, row),
+                                        range: config.registers_per_array,
+                                    },
+                                    None,
+                                ),
+                                (ModuleKind::StateBank, ModuleRole::StateOr, None),
+                                r_role.clone().into_kind(ModuleKind::ResultProcess),
+                            ],
+                        );
+                    }
+                    if rows > 1 {
+                        let o = global_order;
+                        global_order += 1;
+                        specs.push(ModuleSpec {
+                            branch: b,
+                            prim_idx: p,
+                            kind: ModuleKind::ResultProcess,
+                            role: ModuleRole::DistinctCheckGlobal,
+                            set: SetId::Set1,
+                            row: 0,
+                            global_order: Some(o),
+                        });
+                    }
+                }
+                Primitive::Reduce { keys, func } => {
+                    // Maxima are exact under collisions-as-max, so a single
+                    // row suffices; counts/sums use CM rows.
+                    let rows = if matches!(func, ReduceFunc::MaxField(_)) { 1 } else { policy.cm_rows };
+                    let field = match func {
+                        ReduceFunc::Count => None,
+                        ReduceFunc::SumField(f) | ReduceFunc::MaxField(f) => Some(*f),
+                    };
+                    let is_max = matches!(func, ReduceFunc::MaxField(_));
+                    for row in 0..rows {
+                        let r_role = if rows > 1 {
+                            let o = global_order;
+                            global_order += 1;
+                            (ModuleRole::RowMin, Some(o))
+                        } else {
+                            (ModuleRole::Unused, None)
+                        };
+                        push_suite_ordered(
+                            &mut specs,
+                            b,
+                            p,
+                            row,
+                            keys_mask(keys),
+                            [
+                                (
+                                    ModuleKind::HashCalculation,
+                                    ModuleRole::HashKeys {
+                                        seed: row_seed(config, b, p, row),
+                                        range: config.registers_per_array,
+                                    },
+                                    None,
+                                ),
+                                (
+                                    ModuleKind::StateBank,
+                                    if is_max {
+                                        ModuleRole::StateMax { field: field.expect("max needs a field") }
+                                    } else {
+                                        ModuleRole::StateAdd { field }
+                                    },
+                                    None,
+                                ),
+                                r_role.clone().into_kind(ModuleKind::ResultProcess),
+                            ],
+                        );
+                    }
+                }
+                Primitive::ResultFilter { op, value } => {
+                    // The threshold reads where the preceding reduce left
+                    // its result: the global accumulator for multi-row
+                    // sketches, the state result for single-row ones
+                    // (max-reduces are always single-row).
+                    let on_global = branch.primitives[..p]
+                        .iter()
+                        .rev()
+                        .find_map(|prim| match prim {
+                            Primitive::Reduce { func, .. } => {
+                                Some(!matches!(func, ReduceFunc::MaxField(_)) && policy.cm_rows > 1)
+                            }
+                            _ => None,
+                        })
+                        .unwrap_or(policy.cm_rows > 1);
+                    match op {
+                        CmpOp::Ge | CmpOp::Gt => {
+                            let lo = if *op == CmpOp::Ge { *value } else { value + 1 } as u32;
+                            // Crossing window: counts increment by 1, byte
+                            // sums by up to MAX_WIRE_LEN.
+                            let window = crossing_window(branch, p);
+                            let o = on_global.then(|| {
+                                let o = global_order;
+                                global_order += 1;
+                                o
+                            });
+                            specs.push(ModuleSpec {
+                                branch: b,
+                                prim_idx: p,
+                                kind: ModuleKind::ResultProcess,
+                                role: ModuleRole::Threshold {
+                                    lo,
+                                    hi: lo.saturating_add(window).saturating_sub(1),
+                                    on_global,
+                                    report: is_last && query.merge.is_none(),
+                                    stop_below: !is_last,
+                                },
+                                set: SetId::Set1,
+                                row: 0,
+                                global_order: o,
+                            });
+                        }
+                        other => {
+                            // Non-monotone thresholds resolve at epoch end
+                            // on the analyzer (§7 limitations).
+                            tasks.push(AnalyzerTask::EpochThreshold { branch: b, cmp: *other, value: *value });
+                        }
+                    }
+                }
+            }
+        }
+
+        if b == 0 {
+            if let Some((cmp, value)) = driver_threshold {
+                add_driver_threshold(&mut specs, query, cmp, value);
+            }
+        }
+
+        // Fig. 6: fold this branch's result into the global accumulator
+        // right here, while the branch's state result is still live in its
+        // metadata set.
+        if dp_merge {
+            let role = if b == 0 { ModuleRole::MergeSet } else { ModuleRole::MergeAccum };
+            let o = global_order;
+            global_order += 1;
+            specs.push(ModuleSpec {
+                branch: b,
+                prim_idx: n_prims,
+                kind: ModuleKind::ResultProcess,
+                role,
+                set: SetId::Set1,
+                row: 0,
+                global_order: Some(o),
+            });
+        }
+    }
+
+    // Merge lowering (the part after all branches).
+    match &query.merge {
+        None => {}
+        Some(Merge::Combine { cmp, value, .. }) if dp_merge => {
+            // One threshold-report over the merged global value.
+            let lo = if *cmp == CmpOp::Ge { *value } else { value + 1 } as u32;
+            let last = (query.branches.len() - 1) as u8;
+            let o = global_order;
+            specs.push(ModuleSpec {
+                branch: last,
+                prim_idx: query.branches[last as usize].primitives.len() + 1,
+                kind: ModuleKind::ResultProcess,
+                role: ModuleRole::Threshold {
+                    lo,
+                    hi: lo, // counts cross one step at a time through min
+                    on_global: true,
+                    report: true,
+                    stop_below: false,
+                },
+                set: SetId::Set1,
+                row: 0,
+                global_order: Some(o),
+            });
+        }
+        Some(Merge::Combine { op, cmp, value }) => {
+            // Cross-packet or non-min merge: the driver threshold was
+            // emitted after branch 0; the analyzer probes the others.
+            for b in 1..query.branches.len() as u8 {
+                tasks.push(AnalyzerTask::ProbeMerge { branch: b, op: *op, cmp: *cmp, value: *value });
+            }
+        }
+        Some(Merge::And { left: _, right }) => {
+            tasks.push(AnalyzerTask::ProbeCheck { branch: 1, cmp: right.0, value: right.1 });
+        }
+    }
+
+    Decomposition { specs, front_filters, tasks, policy }
+}
+
+/// Add branch 0's candidate-reporting threshold for analyzer-side merges.
+/// If the driver's comparison is monotone it reports at crossing; otherwise
+/// the branch reports first occurrences (state == 1) and the analyzer
+/// re-checks everything at epoch end.
+fn add_driver_threshold(specs: &mut Vec<ModuleSpec>, query: &Query, cmp: CmpOp, value: u64) {
+    let driver = &query.branches[0];
+    let (lo, hi) = if cmp.is_monotone() {
+        let lo = if cmp == CmpOp::Ge { value } else { value + 1 } as u32;
+        let window = crossing_window(driver, driver.primitives.len());
+        (lo, lo.saturating_add(window - 1))
+    } else {
+        (1, 1)
+    };
+    specs.push(ModuleSpec {
+        branch: 0,
+        prim_idx: query.branches[0].primitives.len(),
+        kind: ModuleKind::ResultProcess,
+        role: ModuleRole::Threshold { lo, hi, on_global: false, report: true, stop_below: false },
+        set: SetId::Set1,
+        row: 0,
+        global_order: None,
+    });
+}
+
+/// Crossing-window width for a threshold after the `p`-th primitive of a
+/// branch: 1 for counters, [`MAX_WIRE_LEN`] for byte sums.
+fn crossing_window(branch: &newton_query::ast::Branch, p: usize) -> u32 {
+    let sums_bytes = branch.primitives[..p].iter().rev().find_map(|prim| match prim {
+        Primitive::Reduce { func: ReduceFunc::SumField(_) | ReduceFunc::MaxField(_), .. } => {
+            Some(true)
+        }
+        Primitive::Reduce { func: ReduceFunc::Count, .. } => Some(false),
+        _ => None,
+    });
+    if sums_bytes == Some(true) {
+        MAX_WIRE_LEN
+    } else {
+        1
+    }
+}
+
+/// Helper: convert a (role, order) pair into a (kind, role, order) triple.
+trait IntoKind {
+    fn into_kind(self, kind: ModuleKind) -> (ModuleKind, ModuleRole, Option<usize>);
+}
+
+impl IntoKind for (ModuleRole, Option<usize>) {
+    fn into_kind(self, kind: ModuleKind) -> (ModuleKind, ModuleRole, Option<usize>) {
+        (kind, self.0, self.1)
+    }
+}
+
+/// Push 𝕂 + the given (ℍ, 𝕊, ℝ) role triple as one suite.
+fn push_suite(
+    specs: &mut Vec<ModuleSpec>,
+    branch: u8,
+    prim_idx: usize,
+    mask: u128,
+    rest: [(ModuleKind, ModuleRole); 3],
+) {
+    specs.push(ModuleSpec {
+        branch,
+        prim_idx,
+        kind: ModuleKind::KeySelection,
+        role: ModuleRole::SelectKeys { mask },
+        set: SetId::Set1,
+        row: 0,
+        global_order: None,
+    });
+    for (kind, role) in rest {
+        specs.push(ModuleSpec { branch, prim_idx, kind, role, set: SetId::Set1, row: 0, global_order: None });
+    }
+}
+
+/// Like [`push_suite`] but the last element carries a global order.
+fn push_suite_ordered(
+    specs: &mut Vec<ModuleSpec>,
+    branch: u8,
+    prim_idx: usize,
+    row: usize,
+    mask: u128,
+    rest: [(ModuleKind, ModuleRole, Option<usize>); 3],
+) {
+    specs.push(ModuleSpec {
+        branch,
+        prim_idx,
+        kind: ModuleKind::KeySelection,
+        role: ModuleRole::SelectKeys { mask },
+        set: SetId::Set1,
+        row,
+        global_order: None,
+    });
+    for (kind, role, order) in rest {
+        specs.push(ModuleSpec { branch, prim_idx, kind, role, set: SetId::Set1, row, global_order: order });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+
+    fn cfg() -> CompilerConfig {
+        CompilerConfig::default()
+    }
+
+    #[test]
+    fn q1_decomposition_shape() {
+        let q = catalog::q1_new_tcp();
+        let d = decompose_query(&q, &cfg());
+        // Single branch: multi-row policy.
+        assert_eq!(d.policy.cm_rows, 2);
+        // filter ×2 (4 each) + map (4) + reduce (2 rows × 4) + threshold (1).
+        assert_eq!(d.specs.len(), 4 + 4 + 4 + 8 + 1);
+        assert_eq!(d.front_filters, vec![2]);
+        assert!(d.tasks.is_empty());
+    }
+
+    #[test]
+    fn multi_branch_queries_use_single_row_sketches() {
+        let q = catalog::q6_syn_flood();
+        let d = decompose_query(&q, &cfg());
+        assert_eq!(d.policy, SketchPolicy { bf_rows: 1, cm_rows: 1 });
+        // Merge modules present: MergeSet + 2×MergeAccum + final threshold.
+        let merges = d
+            .specs
+            .iter()
+            .filter(|s| matches!(s.role, ModuleRole::MergeSet | ModuleRole::MergeAccum))
+            .count();
+        assert_eq!(merges, 3);
+        let reports = d
+            .specs
+            .iter()
+            .filter(|s| matches!(s.role, ModuleRole::Threshold { report: true, .. }))
+            .count();
+        assert_eq!(reports, 1, "exactly one reporting threshold after the merge");
+    }
+
+    #[test]
+    fn q8_and_merge_defers_to_analyzer() {
+        let q = catalog::q8_slowloris();
+        let d = decompose_query(&q, &cfg());
+        assert!(matches!(d.tasks[..], [AnalyzerTask::ProbeCheck { branch: 1, .. }]));
+        // Driver branch reports candidates on the data plane.
+        assert!(d
+            .specs
+            .iter()
+            .any(|s| s.branch == 0 && matches!(s.role, ModuleRole::Threshold { report: true, .. })));
+    }
+
+    #[test]
+    fn q7_min_merge_across_packets_is_probed() {
+        let q = catalog::q7_completed_tcp();
+        let d = decompose_query(&q, &cfg());
+        assert!(d.tasks.iter().any(|t| matches!(t, AnalyzerTask::ProbeMerge { branch: 1, .. })));
+    }
+
+    #[test]
+    fn global_orders_are_strictly_increasing() {
+        for q in catalog::all_queries() {
+            let d = decompose_query(&q, &cfg());
+            let orders: Vec<usize> = d.specs.iter().filter_map(|s| s.global_order).collect();
+            for w in orders.windows(2) {
+                assert!(w[0] < w[1], "{}: global order not increasing", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn filter_check_value_is_field_aligned() {
+        let q = catalog::q1_new_tcp();
+        let d = decompose_query(&q, &cfg());
+        let checks: Vec<u32> = d
+            .specs
+            .iter()
+            .filter_map(|s| match s.role {
+                ModuleRole::FilterCheck { value } => Some(value),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(checks, vec![6, 2], "proto == 6, flags == 2");
+    }
+
+    #[test]
+    fn byte_sum_thresholds_get_wide_crossing_windows() {
+        let q = catalog::q8_slowloris();
+        let d = decompose_query(&q, &cfg());
+        // Q8's driver threshold is on a connection COUNT: window 1-wide
+        // would be wrong only for byte sums; driver is branch 0 (count).
+        let th = d
+            .specs
+            .iter()
+            .find_map(|s| match s.role {
+                ModuleRole::Threshold { lo, hi, report: true, .. } => Some((lo, hi)),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(th.0, catalog::thresholds::SLOWLORIS_CONNS as u32);
+    }
+}

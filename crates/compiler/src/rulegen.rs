@@ -1,0 +1,441 @@
+//! Emit installable table rules from a composed query.
+//!
+//! Addresses follow the compact layout convention: within a stage, slot =
+//! module-kind depth (𝕂=0, ℍ=1, 𝕊=2, ℝ=3) — matching
+//! [`newton_dataplane::Layout`]'s compact stage ordering.
+
+use crate::compose::Composition;
+use crate::decompose::{Decomposition, ModuleRole};
+use crate::plan::{BranchPlan, ProbeSpec, QueryPlan};
+use crate::CompilerConfig;
+use newton_dataplane::{
+    HashMode, HRule, InitRule, KRule, ModuleAddr, ModuleKind, QueryId, RAction, RMatch, RRule,
+    RuleSet, SRule, SaluOp,
+};
+use newton_dataplane::rules::Operand;
+use newton_packet::Field;
+use newton_query::ast::{Predicate, Primitive};
+use newton_query::Query;
+
+/// Emit the rule set and analyzer plan for a composed query.
+pub fn generate_rules(
+    query: &Query,
+    id: QueryId,
+    decomp: &Decomposition,
+    composition: &Composition,
+    config: &CompilerConfig,
+) -> (RuleSet, QueryPlan) {
+    let mut rules = RuleSet::default();
+
+    // newton_init entries: one per branch, carrying the absorbed front
+    // filters as ternary matches (Opt.1). A branch with no front filter
+    // gets a catch-all entry.
+    for (b, branch) in query.branches.iter().enumerate() {
+        let absorbed = composition.absorbed_front_filters.get(b).copied().unwrap_or(0);
+        let mut matches = Vec::new();
+        for prim in branch.primitives.iter().take(absorbed) {
+            if let Primitive::Filter(preds) = prim {
+                for p in preds {
+                    matches.push(init_match(p));
+                }
+            }
+        }
+        rules.init.push(InitRule { query: id, branch_mask: 1 << b, matches });
+    }
+
+    // Module rules from the composed specs.
+    for (spec, &stage) in composition.kept.iter().zip(&composition.stage_of) {
+        let addr = |kind: ModuleKind| ModuleAddr { stage, slot: kind.depth() };
+        match &spec.role {
+            ModuleRole::SelectKeys { mask } => rules.k.push((
+                addr(ModuleKind::KeySelection),
+                KRule { query: id, branch: spec.branch, set: spec.set, mask: *mask },
+            )),
+            ModuleRole::HashKeys { seed, range } => rules.h.push((
+                addr(ModuleKind::HashCalculation),
+                HRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    mode: HashMode::Hash { seed: *seed, range: *range },
+                    offset: config.register_offset,
+                },
+            )),
+            ModuleRole::HashDirect { field } => rules.h.push((
+                addr(ModuleKind::HashCalculation),
+                HRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    mode: HashMode::Direct(*field),
+                    offset: 0,
+                },
+            )),
+            ModuleRole::StatePass => rules.s.push((
+                addr(ModuleKind::StateBank),
+                SRule { query: id, branch: spec.branch, set: spec.set, op: SaluOp::PassHash },
+            )),
+            ModuleRole::StateAdd { field } => rules.s.push((
+                addr(ModuleKind::StateBank),
+                SRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    op: SaluOp::Add(match field {
+                        Some(f) => Operand::Field(*f),
+                        None => Operand::Const(1),
+                    }),
+                },
+            )),
+            ModuleRole::StateMax { field } => rules.s.push((
+                addr(ModuleKind::StateBank),
+                SRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    op: SaluOp::Max(Operand::Field(*field)),
+                },
+            )),
+            ModuleRole::StateOr => rules.s.push((
+                addr(ModuleKind::StateBank),
+                SRule { query: id, branch: spec.branch, set: spec.set, op: SaluOp::Or(Operand::Const(1)) },
+            )),
+            ModuleRole::FilterCheck { value } => {
+                push_gate(
+                    &mut rules,
+                    addr(ModuleKind::ResultProcess),
+                    id,
+                    spec.branch,
+                    spec.set,
+                    RMatch::exactly(*value),
+                    Vec::new(),
+                );
+            }
+            ModuleRole::DistinctCheckState => {
+                push_gate(
+                    &mut rules,
+                    addr(ModuleKind::ResultProcess),
+                    id,
+                    spec.branch,
+                    spec.set,
+                    RMatch::exactly(0),
+                    Vec::new(),
+                );
+            }
+            ModuleRole::DistinctCheckGlobal => {
+                let a = addr(ModuleKind::ResultProcess);
+                rules.r.push((
+                    a,
+                    RRule {
+                        query: id,
+                        branch: spec.branch,
+                        set: spec.set,
+                        priority: 1,
+                        state_match: RMatch::ANY,
+                        global_match: RMatch::exactly(0),
+                        actions: vec![RAction::GlobalReset],
+                    },
+                ));
+                rules.r.push((
+                    a,
+                    RRule {
+                        query: id,
+                        branch: spec.branch,
+                        set: spec.set,
+                        priority: 0,
+                        state_match: RMatch::ANY,
+                        global_match: RMatch::ANY,
+                        actions: vec![RAction::StopBranch],
+                    },
+                ));
+            }
+            ModuleRole::RowMin => rules.r.push((
+                addr(ModuleKind::ResultProcess),
+                RRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    priority: 0,
+                    state_match: RMatch::ANY,
+                    global_match: RMatch::ANY,
+                    actions: vec![RAction::GlobalMin],
+                },
+            )),
+            ModuleRole::MergeSet => rules.r.push((
+                addr(ModuleKind::ResultProcess),
+                RRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    priority: 0,
+                    state_match: RMatch::ANY,
+                    global_match: RMatch::ANY,
+                    actions: vec![RAction::GlobalSet],
+                },
+            )),
+            ModuleRole::MergeAccum => rules.r.push((
+                addr(ModuleKind::ResultProcess),
+                RRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    priority: 0,
+                    state_match: RMatch::ANY,
+                    global_match: RMatch::ANY,
+                    actions: vec![RAction::GlobalMin],
+                },
+            )),
+            ModuleRole::Threshold { lo, hi, on_global, report, stop_below } => {
+                let a = addr(ModuleKind::ResultProcess);
+                let (state_match, global_match) = if *on_global {
+                    (RMatch::ANY, RMatch { lo: *lo, hi: *hi })
+                } else {
+                    (RMatch { lo: *lo, hi: *hi }, RMatch::ANY)
+                };
+                let mut actions = Vec::new();
+                if *report {
+                    actions.push(RAction::Report);
+                }
+                rules.r.push((
+                    a,
+                    RRule {
+                        query: id,
+                        branch: spec.branch,
+                        set: spec.set,
+                        priority: 1,
+                        state_match,
+                        global_match,
+                        actions,
+                    },
+                ));
+                if *stop_below {
+                    let below = if *on_global {
+                        (RMatch::ANY, RMatch::at_most(lo.saturating_sub(1)))
+                    } else {
+                        (RMatch::at_most(lo.saturating_sub(1)), RMatch::ANY)
+                    };
+                    rules.r.push((
+                        a,
+                        RRule {
+                            query: id,
+                            branch: spec.branch,
+                            set: spec.set,
+                            priority: 0,
+                            state_match: below.0,
+                            global_match: below.1,
+                            actions: vec![RAction::StopBranch],
+                        },
+                    ));
+                }
+            }
+            ModuleRole::Unused => {}
+        }
+    }
+
+    let plan = build_plan(query, decomp, composition, config);
+    (rules, plan)
+}
+
+/// "Match `m`, continue; anything else, stop the branch."
+fn push_gate(
+    rules: &mut RuleSet,
+    addr: ModuleAddr,
+    id: QueryId,
+    branch: u8,
+    set: newton_dataplane::SetId,
+    state_match: RMatch,
+    actions: Vec<RAction>,
+) {
+    rules.r.push((
+        addr,
+        RRule { query: id, branch, set, priority: 1, state_match, global_match: RMatch::ANY, actions },
+    ));
+    rules.r.push((
+        addr,
+        RRule {
+            query: id,
+            branch,
+            set,
+            priority: 0,
+            state_match: RMatch::ANY,
+            global_match: RMatch::ANY,
+            actions: vec![RAction::StopBranch],
+        },
+    ));
+}
+
+/// Lower a predicate to a `newton_init` ternary match.
+fn init_match(p: &Predicate) -> (Field, u64, u64) {
+    let w = p.expr.field.width();
+    let prefix = p.expr.prefix;
+    let mask = if prefix == 0 { 0 } else { (((1u128 << prefix) - 1) << (w - prefix)) as u64 };
+    (p.expr.field, p.value << (w - prefix), mask)
+}
+
+/// Build the analyzer plan: report fields, state probes, driver branch.
+fn build_plan(
+    query: &Query,
+    decomp: &Decomposition,
+    composition: &Composition,
+    config: &CompilerConfig,
+) -> QueryPlan {
+    let mut branches = Vec::new();
+    for (b, branch) in query.branches.iter().enumerate() {
+        let report_field =
+            branch.report_keys().first().map(|e| e.field).unwrap_or(Field::DstIp);
+
+        // The branch's last reduce: key field/mask + one probe per row.
+        let last_reduce = branch.primitives.iter().enumerate().rev().find_map(|(p, prim)| {
+            match prim {
+                Primitive::Reduce { keys, .. } => Some((p, keys.clone())),
+                _ => None,
+            }
+        });
+        let mut probes = Vec::new();
+        if let Some((prim_idx, keys)) = last_reduce {
+            let key_field = keys.first().map(|e| e.field).unwrap_or(report_field);
+            let key_mask = newton_query::ast::keys_mask(&keys);
+            // Walk composed specs pairing each row's ℍ with its 𝕊.
+            let mut pending_hash: Option<(u64, u32)> = None;
+            for (spec, &stage) in composition.kept.iter().zip(&composition.stage_of) {
+                if spec.branch != b as u8 || spec.prim_idx != prim_idx {
+                    continue;
+                }
+                match &spec.role {
+                    ModuleRole::HashKeys { seed, range } => pending_hash = Some((*seed, *range)),
+                    ModuleRole::StateAdd { .. } | ModuleRole::StateMax { .. } => {
+                        if let Some((seed, range)) = pending_hash.take() {
+                            probes.push(ProbeSpec {
+                                slice: 0,
+                                s_addr: ModuleAddr { stage, slot: ModuleKind::StateBank.depth() },
+                                seed,
+                                range,
+                                offset: config.register_offset,
+                                key_field,
+                                key_mask,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        branches.push(BranchPlan { report_field, probes });
+    }
+
+    let driver = composition
+        .kept
+        .iter()
+        .find_map(|s| match s.role {
+            ModuleRole::Threshold { report: true, .. } => Some(s.branch),
+            _ => None,
+        })
+        .unwrap_or(0);
+
+    let dp_merged = query.merge.is_none()
+        || composition.kept.iter().any(|s| matches!(s.role, ModuleRole::MergeSet));
+
+    QueryPlan {
+        branches,
+        driver,
+        tasks: decomp.tasks.clone(),
+        dp_merged,
+        epoch_ms: query.epoch_ms,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::compose::{compose, OptLevel};
+    use crate::decompose::decompose_query;
+    use newton_query::catalog;
+
+    fn gen(q: &Query) -> (RuleSet, QueryPlan) {
+        let cfg = CompilerConfig::default();
+        let d = decompose_query(q, &cfg);
+        let c = compose(q, &d, OptLevel::full());
+        generate_rules(q, 1, &d, &c, &cfg)
+    }
+
+    #[test]
+    fn q1_rules_land_on_correct_slots() {
+        let (rules, _) = gen(&catalog::q1_new_tcp());
+        for (a, _) in &rules.k {
+            assert_eq!(a.slot, 0);
+        }
+        for (a, _) in &rules.h {
+            assert_eq!(a.slot, 1);
+        }
+        for (a, _) in &rules.s {
+            assert_eq!(a.slot, 2);
+        }
+        for (a, _) in &rules.r {
+            assert_eq!(a.slot, 3);
+        }
+    }
+
+    #[test]
+    fn init_entries_carry_absorbed_filters() {
+        let (rules, _) = gen(&catalog::q1_new_tcp());
+        assert_eq!(rules.init.len(), 1);
+        let m = &rules.init[0].matches;
+        assert_eq!(m.len(), 2, "proto + flags absorbed");
+        assert!(m.contains(&(Field::Proto, 6, 0xFF)));
+        assert!(m.contains(&(Field::TcpFlags, 2, 0xFF)));
+    }
+
+    #[test]
+    fn q3_gets_catch_all_init() {
+        let (rules, _) = gen(&catalog::q3_super_spreader());
+        assert_eq!(rules.init.len(), 1);
+        assert!(rules.init[0].matches.is_empty(), "no front filter → match-all dispatch");
+    }
+
+    #[test]
+    fn probes_cover_cm_rows() {
+        let (_, plan) = gen(&catalog::q1_new_tcp());
+        // Single-branch: 2-row CM → 2 probes.
+        assert_eq!(plan.branches.len(), 1);
+        assert_eq!(plan.branches[0].probes.len(), 2);
+        assert_eq!(plan.branches[0].report_field, Field::DstIp);
+        assert!(plan.dp_merged);
+    }
+
+    #[test]
+    fn q9_plan_probes_the_tcp_branch() {
+        let (_, plan) = gen(&catalog::q9_dns_no_tcp());
+        assert!(!plan.dp_merged);
+        assert_eq!(plan.driver, 0);
+        assert_eq!(
+            plan.branches[1].probes.len(),
+            2,
+            "Q9's packet-disjoint branches use multi-row sketches"
+        );
+        assert_eq!(plan.branches[1].report_field, Field::SrcIp);
+        assert!(matches!(plan.tasks[..], [crate::plan::AnalyzerTask::ProbeCheck { branch: 1, .. }]));
+    }
+
+    #[test]
+    fn q6_merges_on_data_plane() {
+        let (rules, plan) = gen(&catalog::q6_syn_flood());
+        assert!(plan.dp_merged);
+        // Exactly one reporting R rule (the post-merge threshold).
+        let reporters = rules
+            .r
+            .iter()
+            .filter(|(_, r)| r.actions.contains(&RAction::Report))
+            .count();
+        assert_eq!(reporters, 1);
+        // Three init entries (one per branch).
+        assert_eq!(rules.init.len(), 3);
+    }
+
+    #[test]
+    fn every_branch_reaching_state_has_an_init_entry() {
+        for q in catalog::all_queries() {
+            let (rules, _) = gen(&q);
+            assert_eq!(rules.init.len(), q.branches.len(), "{}", q.name);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! CQE-aware compilation: slice a query into per-switch rule sets whose
+//! boundary state fits the 12-byte result snapshot.
+//!
+//! The snapshot carries ONE metadata set (hash + state results) plus the
+//! global result; operation keys re-derive from packet headers only if the
+//! receiving slice re-executes 𝕂. Two consequences drive this module:
+//!
+//! 1. Sliced queries are composed **horizontally** (Opt.1 + Opt.2, no
+//!    vertical set interleaving): with a single live metadata set, any
+//!    stage boundary's state fits the snapshot. This mirrors the paper's
+//!    Algorithm 2 assumption that "stages of queries are sequential".
+//! 2. A slice whose first key-consuming module has no preceding 𝕂 in the
+//!    same slice gets the most recent 𝕂 **restored** at its head (the same
+//!    "Restore 𝕂" move Algorithm 1 uses when operation keys change).
+
+use crate::compose::{compose, OptLevel};
+use crate::decompose::{decompose_query, ModuleRole, ModuleSpec};
+use crate::plan::{ProbeSpec, QueryPlan};
+use crate::rulegen::generate_rules;
+use crate::CompilerConfig;
+use newton_dataplane::{ModuleKind, QueryId, RuleSet, SetId};
+use newton_query::Query;
+
+/// A query compiled into CQE slices.
+#[derive(Debug, Clone)]
+pub struct SlicedCompilation {
+    pub query_name: String,
+    pub id: QueryId,
+    /// One installable rule set per slice; stage numbering restarts at 0
+    /// within each slice. Slice 0 carries the `newton_init` entries.
+    pub slices: Vec<RuleSet>,
+    /// Stage count of each slice (≤ the requested budget).
+    pub slice_stage_counts: Vec<usize>,
+    /// The metadata set live at the end of each slice — what `newton_fin`
+    /// snapshots there and what the next slice restores into.
+    pub capture_sets: Vec<SetId>,
+    /// Analyzer plan; probe addresses carry their slice index.
+    pub plan: QueryPlan,
+}
+
+impl SlicedCompilation {
+    pub fn slice_count(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Total module rules across slices.
+    pub fn total_module_rules(&self) -> usize {
+        self.slices.iter().map(RuleSet::module_rule_count).sum()
+    }
+}
+
+/// Compile `query` for execution across switches offering
+/// `stages_per_switch` module stages each.
+///
+/// The fully-optimized (vertical) composition's module sequence is chunked
+/// *in order*; each chunk re-packs locally with the same greedy packer, so
+/// a chunk still multiplexes up to four modules per stage. Chunking in
+/// spec order guarantees at most one metadata set's (hash, state) pair is
+/// live at any boundary — each produced value is consumed by the next few
+/// specs — so the snapshot's single-set payload suffices. The set captured
+/// at a boundary is the set of the chunk's last module; the next slice
+/// restores into the same set.
+pub fn compile_sliced(
+    query: &Query,
+    id: QueryId,
+    config: &CompilerConfig,
+    stages_per_switch: usize,
+) -> SlicedCompilation {
+    assert!(stages_per_switch >= 2, "slices need room for a restored 𝕂 plus one module");
+    let decomp = decompose_query(query, config);
+    let composition = compose(query, &decomp, OptLevel::full());
+
+    // Chunk the spec sequence, restoring 𝕂 at slice heads where a key
+    // consumer would otherwise see stale operation keys.
+    let mut slices: Vec<Vec<ModuleSpec>> = Vec::new();
+    let mut current: Vec<ModuleSpec> = Vec::new();
+    let mut last_k: std::collections::HashMap<(u8, SetId), ModuleSpec> =
+        std::collections::HashMap::new();
+    let mut keys_fresh: std::collections::HashSet<(u8, SetId)> = std::collections::HashSet::new();
+
+    let packed_stages = |specs: &[ModuleSpec]| -> usize {
+        crate::compose::pack_stages(specs).into_iter().max().map_or(0, |s| s + 1)
+    };
+
+    for spec in &composition.kept {
+        // Candidate additions for this step: a restored 𝕂 (if needed) then
+        // the spec itself.
+        let mut additions: Vec<ModuleSpec> = Vec::new();
+        // ℍ consumes the operation keys; a reporting ℝ mirrors them in its
+        // report. Either way the keys must have been selected within this
+        // slice — they are not part of the snapshot.
+        let needs_keys = matches!(
+            spec.role,
+            ModuleRole::HashKeys { .. }
+                | ModuleRole::HashDirect { .. }
+                | ModuleRole::Threshold { report: true, .. }
+        );
+        let key = (spec.branch, spec.set);
+        if needs_keys && !keys_fresh.contains(&key) {
+            if let Some(k) = last_k.get(&key) {
+                additions.push(k.clone());
+            }
+        }
+        additions.push(spec.clone());
+
+        // Close the chunk if the additions overflow the stage budget.
+        let mut trial = current.clone();
+        trial.extend(additions.iter().cloned());
+        if !current.is_empty() && packed_stages(&trial) > stages_per_switch {
+            slices.push(std::mem::take(&mut current));
+            keys_fresh.clear();
+            // Recompute the restoration need for the fresh chunk.
+            additions.clear();
+            if needs_keys {
+                if let Some(k) = last_k.get(&key) {
+                    additions.push(k.clone());
+                }
+            }
+            additions.push(spec.clone());
+        }
+        for a in additions {
+            if a.kind == ModuleKind::KeySelection {
+                last_k.insert((a.branch, a.set), a.clone());
+                keys_fresh.insert((a.branch, a.set));
+            }
+            current.push(a);
+        }
+    }
+    if !current.is_empty() {
+        slices.push(current);
+    }
+
+    // Emit per-slice rule sets with locally packed stages, and record the
+    // boundary capture sets.
+    let mut out_slices = Vec::with_capacity(slices.len());
+    let mut slice_stage_counts = Vec::with_capacity(slices.len());
+    let mut capture_sets = Vec::with_capacity(slices.len());
+    let mut plan: Option<QueryPlan> = None;
+    let mut packed: Vec<Vec<usize>> = Vec::with_capacity(slices.len());
+    for (si, slice_specs) in slices.iter().enumerate() {
+        let stage_of = crate::compose::pack_stages(slice_specs);
+        let stages = stage_of.iter().copied().max().map_or(0, |s| s + 1);
+        let comp = crate::compose::Composition {
+            kept: slice_specs.clone(),
+            stage_of: stage_of.clone(),
+            absorbed_front_filters: composition.absorbed_front_filters.clone(),
+            opt: OptLevel::full(),
+        };
+        let (mut rules, slice_plan) = generate_rules(query, id, &decomp, &comp, config);
+        if si != 0 {
+            rules.init.clear(); // only the first slice dispatches
+        }
+        slice_stage_counts.push(stages);
+        capture_sets.push(slice_specs.last().map(|m| m.set).unwrap_or(SetId::Set1));
+        out_slices.push(rules);
+        packed.push(stage_of);
+        if plan.is_none() {
+            plan = Some(slice_plan);
+        }
+    }
+
+    // Rebuild the probes over the *chunked* layout: an ℍ→𝕊 row pair may
+    // span a slice boundary, so pairing must walk all slices with global
+    // state rather than per slice.
+    let mut plan = plan.expect("at least one slice");
+    for (b, branch) in query.branches.iter().enumerate() {
+        let Some((prim_idx, keys)) =
+            branch.primitives.iter().enumerate().rev().find_map(|(p, prim)| match prim {
+                newton_query::ast::Primitive::Reduce { keys, .. } => Some((p, keys.clone())),
+                _ => None,
+            })
+        else {
+            continue;
+        };
+        let key_field = keys.first().map(|e| e.field).unwrap_or(plan.branches[b].report_field);
+        let key_mask = newton_query::ast::keys_mask(&keys);
+        let mut probes = Vec::new();
+        let mut pending: Option<(u64, u32)> = None;
+        for (si, slice_specs) in slices.iter().enumerate() {
+            for (i, spec) in slice_specs.iter().enumerate() {
+                if spec.branch != b as u8 || spec.prim_idx != prim_idx {
+                    continue;
+                }
+                match &spec.role {
+                    ModuleRole::HashKeys { seed, range } => pending = Some((*seed, *range)),
+                    ModuleRole::StateAdd { .. } | ModuleRole::StateMax { .. } => {
+                        if let Some((seed, range)) = pending.take() {
+                            probes.push(ProbeSpec {
+                                slice: si,
+                                s_addr: newton_dataplane::ModuleAddr {
+                                    stage: packed[si][i],
+                                    slot: ModuleKind::StateBank.depth(),
+                                },
+                                seed,
+                                range,
+                                offset: config.register_offset,
+                                key_field,
+                                key_mask,
+                            });
+                        }
+                    }
+                    _ => {}
+                }
+            }
+        }
+        plan.branches[b].probes = probes;
+    }
+
+    SlicedCompilation {
+        query_name: query.name.clone(),
+        id,
+        slices: out_slices,
+        slice_stage_counts,
+        capture_sets,
+        plan,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+
+    fn cfg() -> CompilerConfig {
+        CompilerConfig::default()
+    }
+
+    #[test]
+    fn every_query_slices_to_budget() {
+        for q in catalog::all_queries() {
+            for budget in [3usize, 5, 10] {
+                let s = compile_sliced(&q, 1, &cfg(), budget);
+                for (i, count) in s.slice_stage_counts.iter().enumerate() {
+                    assert!(
+                        *count <= budget,
+                        "{}: slice {i} has {count} stages > budget {budget}",
+                        q.name
+                    );
+                }
+                assert!(s.slices[0].init.len() >= q.branches.len());
+                for later in &s.slices[1..] {
+                    assert!(later.init.is_empty(), "{}: init beyond slice 0", q.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn key_consumers_always_have_keys_in_slice() {
+        // Within every slice, any ℍ of a branch must be preceded (within
+        // the same slice) by a 𝕂 of that branch — the restore invariant.
+        for q in catalog::all_queries() {
+            let s = compile_sliced(&q, 1, &cfg(), 4);
+            for (i, slice) in s.slices.iter().enumerate() {
+                for (h_addr, h) in &slice.h {
+                    let has_k = slice
+                        .k
+                        .iter()
+                        .any(|(ka, kr)| kr.branch == h.branch && ka.stage < h_addr.stage);
+                    assert!(has_k, "{}: slice {i} ℍ at {h_addr} lacks a preceding 𝕂", q.name);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn probes_are_slice_tagged() {
+        let s = compile_sliced(&catalog::q1_new_tcp(), 1, &cfg(), 3);
+        let probes = &s.plan.branches[0].probes;
+        assert_eq!(probes.len(), 2, "Q1's 2-row CM");
+        // At a 3-stage budget the rows land in different slices.
+        assert!(probes.iter().any(|p| p.slice > 0), "probes should span slices: {probes:?}");
+    }
+
+    #[test]
+    fn rules_partition_across_slices() {
+        let q = catalog::q4_port_scan();
+        let whole = crate::compile(&q, 1, &cfg());
+        let sliced = compile_sliced(&q, 1, &cfg(), 5);
+        // Restored 𝕂s make the sliced total ≥ the horizontal total, which
+        // itself is ≥ the fully-optimized total.
+        assert!(sliced.total_module_rules() >= whole.rules.module_rule_count());
+        assert!(sliced.slice_count() >= 3);
+    }
+}

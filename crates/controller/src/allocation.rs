@@ -1,0 +1,132 @@
+//! Register allocation across concurrent queries.
+//!
+//! The paper leaves "scheduling concurrent queries to optimally utilize
+//! data plane resources" as an open question (§7). This module provides
+//! the mechanism the rest of the system already supports (ℍ's range +
+//! offset slice the physical arrays) plus two policies:
+//!
+//! * [`AllocationPolicy::Even`] — every query gets an equal slice (what
+//!   the incremental controller does by default);
+//! * [`AllocationPolicy::WeightedByState`] — slices proportional to each
+//!   query's *stateful demand* (its count of sketch rows), so
+//!   distinct-heavy queries get the memory that actually determines their
+//!   accuracy and stateless-ish queries stop wasting registers.
+
+use newton_query::ast::Primitive;
+use newton_query::Query;
+
+/// How to divide the physical register arrays among a query set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AllocationPolicy {
+    /// Equal slices.
+    Even,
+    /// Slices proportional to stateful-primitive weight.
+    WeightedByState,
+}
+
+/// One query's slice of every physical register array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RegisterSlice {
+    /// Registers available to the query per array (ℍ's range).
+    pub range: u32,
+    /// First register of the slice (ℍ's offset).
+    pub offset: u32,
+}
+
+/// A query's stateful demand: one unit per sketch row it will run
+/// (`distinct` and `reduce` each expand to one or more rows; stateless
+/// queries still get weight 1 so they can run at all).
+pub fn state_weight(query: &Query) -> u32 {
+    let stateful: usize = query
+        .branches
+        .iter()
+        .flat_map(|b| &b.primitives)
+        .map(|p| match p {
+            Primitive::Distinct(_) => 2,
+            Primitive::Reduce { .. } => 1,
+            _ => 0,
+        })
+        .sum();
+    (stateful as u32).max(1)
+}
+
+/// Divide `registers_per_array` among `queries` under `policy`. Slices are
+/// contiguous, disjoint, cover at most the whole array, and every query
+/// gets at least one register.
+pub fn allocate(
+    queries: &[Query],
+    registers_per_array: u32,
+    policy: AllocationPolicy,
+) -> Vec<RegisterSlice> {
+    assert!(!queries.is_empty(), "allocation needs at least one query");
+    assert!(
+        registers_per_array as usize >= queries.len(),
+        "fewer registers than queries"
+    );
+    let weights: Vec<u32> = match policy {
+        AllocationPolicy::Even => vec![1; queries.len()],
+        AllocationPolicy::WeightedByState => queries.iter().map(state_weight).collect(),
+    };
+    let total: u64 = weights.iter().map(|&w| w as u64).sum();
+    let mut out = Vec::with_capacity(queries.len());
+    let mut offset = 0u32;
+    for (i, &w) in weights.iter().enumerate() {
+        let remaining_queries = (queries.len() - i) as u32;
+        let remaining_regs = registers_per_array - offset;
+        let mut range = ((registers_per_array as u64 * w as u64) / total) as u32;
+        // Every query gets ≥1 register, and later queries must still fit.
+        range = range.max(1).min(remaining_regs.saturating_sub(remaining_queries - 1));
+        out.push(RegisterSlice { range, offset });
+        offset += range;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+
+    #[test]
+    fn even_split_covers_disjoint_slices() {
+        let qs = catalog::all_queries();
+        let slices = allocate(&qs, 4096, AllocationPolicy::Even);
+        assert_eq!(slices.len(), 9);
+        let mut end = 0;
+        for s in &slices {
+            assert_eq!(s.offset, end, "slices must be contiguous");
+            assert!(s.range >= 1);
+            end = s.offset + s.range;
+        }
+        assert!(end <= 4096);
+    }
+
+    #[test]
+    fn weighted_gives_stateful_queries_more() {
+        let qs = vec![catalog::q1_new_tcp(), catalog::q4_port_scan()];
+        let slices = allocate(&qs, 4096, AllocationPolicy::WeightedByState);
+        // Q4 (distinct + reduce) outweighs Q1 (reduce only).
+        assert!(
+            slices[1].range > slices[0].range,
+            "Q4 should get more registers: {slices:?}"
+        );
+        assert!(state_weight(&qs[1]) > state_weight(&qs[0]));
+    }
+
+    #[test]
+    fn tiny_arrays_still_give_everyone_a_register() {
+        let qs = catalog::all_queries();
+        let slices = allocate(&qs, 9, AllocationPolicy::WeightedByState);
+        for s in &slices {
+            assert!(s.range >= 1);
+        }
+        let end = slices.last().map(|s| s.offset + s.range).unwrap();
+        assert!(end <= 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "fewer registers than queries")]
+    fn impossible_allocation_panics() {
+        allocate(&catalog::all_queries(), 4, AllocationPolicy::Even);
+    }
+}

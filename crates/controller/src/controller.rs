@@ -1,0 +1,435 @@
+//! The controller facade: compile → place → install, remove, update.
+//!
+//! All operations are pure table-rule manipulation on live switches;
+//! packet forwarding continues throughout (the §6.1 property — contrast
+//! with the Sonata reboot model in `newton-baselines`).
+
+use crate::placement::{place_parts, Placement};
+use crate::timing::RuleTimingModel;
+use newton_compiler::{compile, compile_sliced, CompilerConfig, QueryPlan};
+use newton_dataplane::{QueryId, SetId, SliceInfo};
+use newton_net::Network;
+use newton_query::Query;
+use std::collections::HashMap;
+
+/// Outcome of one query operation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InstallReceipt {
+    pub id: QueryId,
+    /// Wall-clock the rule channel took (max over switches — installs are
+    /// issued in parallel), from the timing model.
+    pub delay_ms: f64,
+    /// Total rules touched network-wide.
+    pub rules: usize,
+    /// Switches touched.
+    pub switches: usize,
+    /// CQE slices the query was cut into.
+    pub slices: usize,
+    /// Slices beyond the network's reachable depth: they can never execute
+    /// on the data plane, so the query's remainder defers to the software
+    /// analyzer (§5.2).
+    pub overflow_slices: usize,
+}
+
+/// One installed query's bookkeeping.
+#[derive(Debug, Clone)]
+pub struct InstalledQuery {
+    /// The analyzer plan (probe addresses are slice-relative).
+    pub plan: QueryPlan,
+    pub placement: Placement,
+}
+
+/// The centralized Newton controller.
+#[derive(Debug)]
+pub struct Controller {
+    compiler_cfg: CompilerConfig,
+    timing: RuleTimingModel,
+    next_id: QueryId,
+    installed: HashMap<QueryId, InstalledQuery>,
+    /// Concurrent-query slots: each installed query gets a disjoint
+    /// `1/slots` slice of every physical register array (§4.1's flexible
+    /// register allocation), so independent queries never collide in 𝕊.
+    register_slots: u32,
+    /// Slot index each live query occupies.
+    slots_in_use: HashMap<QueryId, u32>,
+}
+
+impl Controller {
+    pub fn new(compiler_cfg: CompilerConfig, timing_seed: u64) -> Self {
+        Self::with_slots(compiler_cfg, timing_seed, 4)
+    }
+
+    /// A controller provisioned for up to `register_slots` concurrent
+    /// queries sharing the register arrays.
+    pub fn with_slots(compiler_cfg: CompilerConfig, timing_seed: u64, register_slots: u32) -> Self {
+        assert!(register_slots >= 1);
+        Controller {
+            compiler_cfg,
+            timing: RuleTimingModel::new(timing_seed),
+            next_id: 1,
+            installed: HashMap::new(),
+            register_slots,
+            slots_in_use: HashMap::new(),
+        }
+    }
+
+    /// The register slice (range, offset) for a new query.
+    fn allocate_slot(&mut self, id: QueryId) -> CompilerConfig {
+        let used: std::collections::HashSet<u32> = self.slots_in_use.values().copied().collect();
+        let slot = (0..self.register_slots).find(|s| !used.contains(s)).unwrap_or(0);
+        self.slots_in_use.insert(id, slot);
+        let slice = (self.compiler_cfg.registers_per_array / self.register_slots).max(1);
+        CompilerConfig {
+            registers_per_array: slice,
+            register_offset: slot * slice,
+            ..self.compiler_cfg
+        }
+    }
+
+    pub fn compiler_config(&self) -> &CompilerConfig {
+        &self.compiler_cfg
+    }
+
+    /// The installed queries.
+    pub fn installed(&self) -> &HashMap<QueryId, InstalledQuery> {
+        &self.installed
+    }
+
+    /// Compile and deploy a query network-wide with resilient placement
+    /// (Algorithm 2), slicing for CQE when it exceeds one switch's stages.
+    ///
+    /// Transactional across the network: if any switch rejects its rules
+    /// (capacity, layout mismatch), every switch already touched is rolled
+    /// back and the register slot is freed — the network is exactly as it
+    /// was before the call.
+    pub fn install(
+        &mut self,
+        query: &Query,
+        net: &mut Network,
+        stages_per_switch: usize,
+    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        let query_cfg = self.allocate_slot(id);
+        match self.try_install(query, id, &query_cfg, net, stages_per_switch) {
+            Ok(receipt) => Ok(receipt),
+            Err(e) => {
+                // Roll back every switch the partial install touched.
+                for sw in 0..net.switch_count() {
+                    net.switch_mut(sw).remove_query(id);
+                }
+                self.slots_in_use.remove(&id);
+                Err(e)
+            }
+        }
+    }
+
+    fn try_install(
+        &mut self,
+        query: &Query,
+        id: QueryId,
+        query_cfg: &CompilerConfig,
+        net: &mut Network,
+        stages_per_switch: usize,
+    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+        let compilation = compile(query, id, query_cfg);
+
+        // Whole query per switch if it fits; otherwise snapshot-aware CQE
+        // slices (chunked in spec order with restored 𝕂s).
+        let (rulesets, stage_counts, captures, plan) =
+            if compilation.composition.stages() <= stages_per_switch {
+                let stages = compilation.composition.stages();
+                (
+                    vec![compilation.rules.clone()],
+                    vec![stages],
+                    vec![SetId::Set1],
+                    compilation.plan.clone(),
+                )
+            } else {
+                let sliced = compile_sliced(query, id, query_cfg, stages_per_switch);
+                let counts = sliced.slice_stage_counts.clone();
+                (sliced.slices, counts, sliced.capture_sets, sliced.plan)
+            };
+
+        let topo = net.topology().clone();
+        let parts: Vec<usize> = rulesets.iter().map(|r| r.total_rule_count()).collect();
+        let placement = place_parts(parts, &topo, topo.edge_switches());
+
+        let mut total_rules = 0usize;
+        let mut switches = 0usize;
+        let mut max_delay: f64 = 0.0;
+        for (sw_id, slices) in placement.slices.iter().enumerate() {
+            if slices.is_empty() {
+                continue;
+            }
+            switches += 1;
+            let mut sw_rules = 0usize;
+            // A switch holding several slices stacks them at disjoint
+            // stage offsets within its pipeline.
+            let mut offset = 0usize;
+            for &c in slices {
+                let len = stage_counts[c];
+                let slice = rulesets[c].shift_stages(offset);
+                sw_rules += slice.total_rule_count();
+                net.switch_mut(sw_id).install(&slice)?;
+                net.switch_mut(sw_id).add_slice(
+                    id,
+                    SliceInfo {
+                        index: c as u8,
+                        total: placement.slice_count as u8,
+                        capture_set: captures[c],
+                        restore_set: if c == 0 { captures[0] } else { captures[c - 1] },
+                        stages: (offset, offset + len),
+                    },
+                );
+                offset += len;
+            }
+            total_rules += sw_rules;
+            max_delay = max_delay.max(self.timing.install_ms(sw_rules));
+        }
+
+        let depth = crate::placement::reachable_depth(&topo, topo.edge_switches());
+        self.installed
+            .insert(id, InstalledQuery { plan, placement: placement.clone() });
+        Ok(InstallReceipt {
+            id,
+            delay_ms: max_delay,
+            rules: total_rules,
+            switches,
+            slices: placement.slice_count,
+            overflow_slices: placement.slice_count.saturating_sub(depth),
+        })
+    }
+
+    /// Remove an installed query everywhere.
+    pub fn remove(&mut self, id: QueryId, net: &mut Network) -> Option<InstallReceipt> {
+        let entry = self.installed.remove(&id)?;
+        self.slots_in_use.remove(&id);
+        let mut total = 0usize;
+        let mut switches = 0usize;
+        let mut max_delay: f64 = 0.0;
+        for sw_id in 0..net.switch_count() {
+            let removed = net.switch_mut(sw_id).remove_query(id);
+            if removed > 0 {
+                switches += 1;
+                total += removed;
+                max_delay = max_delay.max(self.timing.remove_ms(removed));
+            }
+        }
+        Some(InstallReceipt {
+            id,
+            delay_ms: max_delay,
+            rules: total,
+            switches,
+            slices: entry.placement.slice_count,
+            overflow_slices: 0,
+        })
+    }
+
+    /// Retune a live query's report threshold **in place**: the reporting
+    /// ℝ rules' match ranges are rewritten on every switch holding them —
+    /// a handful of rule modifications, an order of magnitude cheaper than
+    /// remove + reinstall, and the query's accumulated epoch state
+    /// survives. Returns the total rules modified and the modelled delay.
+    ///
+    /// The crossing-window width is preserved (the difference `hi - lo` of
+    /// each reporting rule), so count vs byte-sum semantics carry over.
+    pub fn retune_threshold(
+        &mut self,
+        id: QueryId,
+        new_threshold: u64,
+        net: &mut Network,
+    ) -> Option<InstallReceipt> {
+        if !self.installed.contains_key(&id) {
+            return None;
+        }
+        let mut total = 0usize;
+        let mut max_delay: f64 = 0.0;
+        for sw_id in 0..net.switch_count() {
+            let touched = net.switch_mut(sw_id).update_r_rules(id, &mut |rule| {
+                use newton_dataplane::{RAction, RMatch};
+                if !rule.actions.contains(&RAction::Report) {
+                    return;
+                }
+                // The reporting match lives on whichever side is bounded;
+                // its window width (crossing semantics) is preserved.
+                let on_global = rule.global_match != RMatch::ANY;
+                let old = if on_global { rule.global_match } else { rule.state_match };
+                let lo = new_threshold as u32;
+                let hi = lo.saturating_add(old.hi.saturating_sub(old.lo));
+                let new = RMatch { lo, hi };
+                if on_global {
+                    rule.global_match = new;
+                } else {
+                    rule.state_match = new;
+                }
+            });
+            if touched > 0 {
+                total += touched;
+                max_delay = max_delay.max(self.timing.install_ms(touched));
+            }
+        }
+        Some(InstallReceipt {
+            id,
+            delay_ms: max_delay,
+            rules: total,
+            switches: 0,
+            slices: self.installed[&id].placement.slice_count,
+            overflow_slices: 0,
+        })
+    }
+
+    /// Update = atomic remove + install of the new definition. Forwarding
+    /// is untouched; only the query's rules change.
+    pub fn update(
+        &mut self,
+        old: QueryId,
+        query: &Query,
+        net: &mut Network,
+        stages_per_switch: usize,
+    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+        let removal = self.remove(old, net);
+        let mut receipt = self.install(query, net, stages_per_switch)?;
+        if let Some(r) = removal {
+            receipt.delay_ms += r.delay_ms;
+        }
+        Ok(receipt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_dataplane::PipelineConfig;
+    use newton_net::Topology;
+    use newton_packet::{PacketBuilder, TcpFlags};
+    use newton_query::catalog;
+
+    fn net(n: usize) -> Network {
+        Network::new(Topology::chain(n), PipelineConfig::default())
+    }
+
+    fn controller() -> Controller {
+        Controller::new(CompilerConfig::default(), 42)
+    }
+
+    #[test]
+    fn install_and_remove_roundtrip() {
+        let mut ctl = controller();
+        let mut net = net(3);
+        let r = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+        assert_eq!(r.slices, 1, "Q1 fits one 12-stage switch");
+        assert!(r.delay_ms <= 20.0);
+        assert!(net.total_rules() > 0);
+        let rm = ctl.remove(r.id, &mut net).unwrap();
+        assert_eq!(rm.rules, r.rules);
+        assert_eq!(net.total_rules(), 0);
+        assert!(ctl.remove(r.id, &mut net).is_none(), "double remove is a no-op");
+    }
+
+    #[test]
+    fn installed_query_detects_attack_end_to_end() {
+        let mut ctl = controller();
+        let mut net = net(3);
+        ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+        let mut reports = 0;
+        for i in 0..catalog::thresholds::NEW_TCP as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(i as u32 + 1)
+                .dst_ip(0xAC10_0001)
+                .src_port(1000 + i)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports += net.deliver(&pkt, 0, 2).reports.len();
+        }
+        assert_eq!(reports, 1);
+    }
+
+    #[test]
+    fn sliced_install_spans_chain_and_reports_once() {
+        let mut ctl = controller();
+        let mut net = net(4);
+        // Force slicing: give each switch only 4 stages of budget — Q4
+        // then needs 4 slices, exactly the 4-hop chain's length.
+        let r = ctl.install(&catalog::q4_port_scan(), &mut net, 4).unwrap();
+        assert_eq!(r.slices, 4, "Q4 slices on 4-stage switches");
+
+        let mut reports = Vec::new();
+        for port in 0..catalog::thresholds::PORT_SCAN as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(0xDEAD)
+                .dst_ip(0xAC10_0002)
+                .src_port(41_000)
+                .dst_port(1000 + port)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports.extend(net.deliver(&pkt, 0, 3).reports);
+        }
+        assert_eq!(reports.len(), 1, "CQE reports once");
+        // The report comes from the switch holding the final slice.
+        assert_eq!(reports[0].0, r.slices - 1);
+    }
+
+    #[test]
+    fn forwarding_never_interrupted_by_query_churn() {
+        let mut ctl = controller();
+        let mut net = net(2);
+        let pkt = PacketBuilder::new().tcp_flags(TcpFlags::SYN).build();
+        let mut delivered = 0;
+        for round in 0..5 {
+            delivered += u64::from(net.deliver(&pkt, 0, 1).clean_delivery);
+            let r = ctl.install(&catalog::all_queries()[round % 9], &mut net, 12).unwrap();
+            delivered += u64::from(net.deliver(&pkt, 0, 1).clean_delivery);
+            ctl.remove(r.id, &mut net);
+            delivered += u64::from(net.deliver(&pkt, 0, 1).clean_delivery);
+        }
+        assert_eq!(delivered, 15, "every packet forwarded during churn");
+        assert_eq!(net.switch(0).forwarded(), 15);
+    }
+
+    #[test]
+    fn failed_install_rolls_back_every_switch() {
+        // Sabotage: pre-fill switch 1's rule tables so the controller's
+        // install succeeds on switch 0 but fails on switch 1 - the rollback
+        // must leave the whole network exactly as before.
+        let mut ctl = controller();
+        let mut net = Network::new(
+            Topology::chain(2),
+            newton_dataplane::PipelineConfig { rule_capacity: 3, ..Default::default() },
+        );
+        // Occupy switch 1 almost completely with a foreign query installed
+        // out-of-band.
+        use newton_compiler::compile;
+        let filler_cfg = CompilerConfig { registers_per_array: 128, ..Default::default() };
+        let filler = compile(&catalog::q2_ssh_brute(), 9_000, &filler_cfg);
+        net.switch_mut(1).install(&filler.rules).expect("filler fits alone");
+        let baseline_total = net.total_rules();
+        let baseline_sw0 = net.switch(0).total_rule_count();
+
+        let result = ctl.install(&catalog::q2_ssh_brute(), &mut net, 12);
+        assert!(result.is_err(), "switch 1 must reject the second query at capacity 3");
+        assert_eq!(net.total_rules(), baseline_total, "rollback must restore the network");
+        assert_eq!(net.switch(0).total_rule_count(), baseline_sw0);
+        assert!(ctl.installed().is_empty());
+
+        // The controller remains usable: a small query still installs.
+        let ok = ctl.install(&catalog::q1_new_tcp(), &mut net, 12);
+        assert!(ok.is_ok(), "controller must recover after a failed install: {ok:?}");
+    }
+
+    #[test]
+    fn update_swaps_thresholds_without_interruption() {
+        let mut ctl = controller();
+        let mut net = net(2);
+        let q = catalog::q1_new_tcp();
+        let first = ctl.install(&q, &mut net, 12).unwrap();
+        // Drill-down: tighter variant of the same intent.
+        let mut tighter = q.clone();
+        tighter.name = "q1_tight".into();
+        let receipt = ctl.update(first.id, &tighter, &mut net, 12).unwrap();
+        assert_ne!(receipt.id, first.id);
+        assert!(ctl.installed().contains_key(&receipt.id));
+        assert!(!ctl.installed().contains_key(&first.id));
+        assert!(receipt.delay_ms < 40.0, "update = remove + install, both fast");
+    }
+}

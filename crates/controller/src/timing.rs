@@ -1,0 +1,99 @@
+//! Rule-channel timing model (Fig. 11).
+//!
+//! Hardware substitution (see DESIGN.md): the paper measures query
+//! install/removal latency through the Barefoot runtime's rule channel.
+//! Without a Tofino, we model that channel as a deterministic cost —
+//! a fixed per-batch overhead plus a per-rule cost, with small seeded
+//! jitter reproducing run-to-run variance. Constants are calibrated to the
+//! paper's measurements: Q1 (a ~10-rule query) installs in ≈ 5 ms and
+//! every catalog query stays ≤ 20 ms.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost model for table-rule operations.
+#[derive(Debug, Clone)]
+pub struct RuleTimingModel {
+    /// Fixed cost of one batched rule operation (driver round trip), µs.
+    pub batch_overhead_us: f64,
+    /// Cost per installed rule, µs.
+    pub per_install_us: f64,
+    /// Cost per removed rule, µs (removal is cheaper: no action params).
+    pub per_remove_us: f64,
+    /// Relative jitter amplitude (0.1 = ±10 %).
+    pub jitter: f64,
+    rng: StdRng,
+}
+
+impl RuleTimingModel {
+    /// The calibrated default model.
+    pub fn new(seed: u64) -> Self {
+        RuleTimingModel {
+            batch_overhead_us: 1_800.0,
+            per_install_us: 320.0,
+            per_remove_us: 220.0,
+            jitter: 0.08,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn jittered(&mut self, base_us: f64) -> f64 {
+        let j = self.rng.gen_range(-self.jitter..=self.jitter);
+        base_us * (1.0 + j)
+    }
+
+    /// Milliseconds to install `rules` table rules in one batch.
+    pub fn install_ms(&mut self, rules: usize) -> f64 {
+        self.jittered(self.batch_overhead_us + self.per_install_us * rules as f64) / 1_000.0
+    }
+
+    /// Milliseconds to remove `rules` table rules in one batch.
+    pub fn remove_ms(&mut self, rules: usize) -> f64 {
+        self.jittered(self.batch_overhead_us + self.per_remove_us * rules as f64) / 1_000.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_compiler::{compile, CompilerConfig};
+    use newton_query::catalog;
+
+    #[test]
+    fn q1_installs_in_about_five_ms() {
+        let rules = compile(&catalog::q1_new_tcp(), 1, &CompilerConfig::default())
+            .rules
+            .total_rule_count();
+        let mut t = RuleTimingModel::new(1);
+        let ms = t.install_ms(rules);
+        assert!((3.0..8.0).contains(&ms), "Q1 install {ms:.1} ms (rules = {rules})");
+    }
+
+    #[test]
+    fn all_queries_operate_within_twenty_ms() {
+        let cfg = CompilerConfig::default();
+        let mut t = RuleTimingModel::new(2);
+        for q in catalog::all_queries() {
+            let rules = compile(&q, 1, &cfg).rules.total_rule_count();
+            for _ in 0..100 {
+                let i = t.install_ms(rules);
+                let r = t.remove_ms(rules);
+                assert!(i <= 20.0, "{}: install {i:.1} ms", q.name);
+                assert!(r <= 20.0, "{}: removal {r:.1} ms", q.name);
+                assert!(r < i, "{}: removal should be cheaper than install", q.name);
+            }
+        }
+    }
+
+    #[test]
+    fn jitter_is_bounded_and_seeded() {
+        let mut a = RuleTimingModel::new(7);
+        let mut b = RuleTimingModel::new(7);
+        for _ in 0..50 {
+            let (x, y) = (a.install_ms(10), b.install_ms(10));
+            assert_eq!(x, y, "same seed, same timing");
+            let base = (1_800.0 + 3_200.0) / 1_000.0;
+            assert!((x - base).abs() <= base * 0.08 + 1e-9);
+        }
+    }
+}

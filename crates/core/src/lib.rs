@@ -1,0 +1,58 @@
+//! # Newton: intent-driven network traffic monitoring
+//!
+//! A full-system Rust reproduction of *"Newton: Intent-Driven Network
+//! Traffic Monitoring"* (CoNEXT 2020). Operators express monitoring intents
+//! as stream-processing queries (`filter` / `map` / `distinct` / `reduce`);
+//! Newton compiles them to **table rules** for four reconfigurable
+//! data-plane modules, so queries install, update and remove at runtime
+//! without ever rebooting a switch.
+//!
+//! This facade re-exports every subsystem:
+//!
+//! | Module | Crate | Contents |
+//! |---|---|---|
+//! | [`packet`] | `newton-packet` | headers, flow keys, global field set, result-snapshot header |
+//! | [`sketch`] | `newton-sketch` | hash family, Bloom filter, Count-Min, exact ground truth |
+//! | [`trace`] | `newton-trace` | synthetic CAIDA/MAWI-like traces + attack injectors |
+//! | [`query`] | `newton-query` | query AST, builder, Q1–Q9 catalog, reference interpreter |
+//! | [`dataplane`] | `newton-dataplane` | Tofino-like pipeline, 𝕂/ℍ/𝕊/ℝ modules, resources |
+//! | [`compiler`] | `newton-compiler` | decomposition, Algorithm 1 (Opt.1–3), rule generation |
+//! | [`net`] | `newton-net` | topologies, routing, failures, cross-switch execution |
+//! | [`controller`] | `newton-controller` | rule timing, resilient placement (Algorithm 2) |
+//! | [`analyzer`] | `newton-analyzer` | report collection, deferred query parts, accuracy |
+//! | [`baselines`] | `newton-baselines` | Sonata, \*Flow, TurboFlow, FlowRadar, Scream models |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use newton::compiler::{compile, CompilerConfig};
+//! use newton::dataplane::{PipelineConfig, Switch};
+//! use newton::query::catalog;
+//! use newton::packet::{PacketBuilder, TcpFlags};
+//!
+//! // Compile the paper's Q1 (new TCP connections) and install it into a
+//! // running switch — a pure table-rule operation.
+//! let q1 = catalog::q1_new_tcp();
+//! let compiled = compile(&q1, 1, &CompilerConfig::default());
+//! let mut switch = Switch::new(PipelineConfig::default());
+//! switch.install(&compiled.rules).unwrap();
+//!
+//! // Drive traffic through the pipeline.
+//! let syn = PacketBuilder::new().dst_ip(0xAC10_0001).tcp_flags(TcpFlags::SYN).build();
+//! let out = switch.process(&syn, None);
+//! assert!(out.reports.is_empty(), "one SYN is below Q1's threshold");
+//! ```
+
+pub mod system;
+
+pub use newton_analyzer as analyzer;
+pub use newton_baselines as baselines;
+pub use newton_compiler as compiler;
+pub use newton_controller as controller;
+pub use newton_dataplane as dataplane;
+pub use newton_net as net;
+pub use newton_packet as packet;
+pub use newton_query as query;
+pub use newton_sketch as sketch;
+pub use newton_trace as trace;
+pub use system::{HostMapping, NewtonSystem, RunReport};

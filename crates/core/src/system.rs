@@ -1,0 +1,348 @@
+//! [`NewtonSystem`]: the whole stack behind one handle.
+//!
+//! Wires together a simulated [`Network`], the [`Controller`]
+//! (compile → place → install), and the software [`Analyzer`]
+//! (report collection + epoch-end register probing), and drives traces
+//! through them in epochs — the loop every evaluation experiment and
+//! production deployment shares:
+//!
+//! ```text
+//! per epoch: deliver packets → collect mirrored reports → at the boundary,
+//!            probe registers for deferred query parts → reset state
+//! ```
+
+use newton_analyzer::{Analyzer, IncidentLog, OverheadMeter};
+use newton_compiler::CompilerConfig;
+use newton_controller::{Controller, InstallReceipt};
+use newton_dataplane::{PipelineConfig, QueryId};
+use newton_net::{Network, NodeId, Topology};
+use newton_packet::Packet;
+use newton_packet::FieldVector;
+use newton_query::ast::Primitive;
+use newton_query::{Interpreter, Query};
+use newton_sketch::hash::mix64;
+use newton_trace::Trace;
+use std::collections::{HashMap, HashSet};
+
+/// How packets map to (ingress, egress) edge switches.
+pub enum HostMapping {
+    /// Hash src/dst IPs over the edge switches (deterministic per host).
+    ByAddress,
+    /// A fixed pair — the paper's linear-testbed style.
+    Fixed { ingress: NodeId, egress: NodeId },
+}
+
+/// Results of running one trace through the system.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Per query: the union of finally-reported keys across epochs.
+    pub reported: HashMap<QueryId, HashSet<u64>>,
+    /// Monitoring messages vs raw packets.
+    pub messages: u64,
+    pub packets: u64,
+    /// Epochs executed.
+    pub epochs: usize,
+    /// Extra bytes the snapshot header put on internal links.
+    pub snapshot_bytes: u64,
+    /// Per-(query, key) incidents with first/last epoch timing.
+    pub incidents: IncidentLog,
+}
+
+impl RunReport {
+    /// Messages per raw packet (the Fig. 12 metric).
+    pub fn overhead_ratio(&self) -> f64 {
+        if self.packets == 0 {
+            0.0
+        } else {
+            self.messages as f64 / self.packets as f64
+        }
+    }
+}
+
+/// The full Newton stack: network + controller + analyzer.
+pub struct NewtonSystem {
+    net: Network,
+    controller: Controller,
+    analyzer: Analyzer,
+    mapping: HostMapping,
+    stages_per_switch: usize,
+    /// Queries whose slices exceed the network's reachable depth run their
+    /// logic on the analyzer instead (§5.2): the data plane forwards, the
+    /// software executes — at per-packet mirroring cost.
+    software_fallback: HashMap<QueryId, (Query, Interpreter)>,
+}
+
+impl NewtonSystem {
+    /// Build a system over `topo` with default pipelines and compiler.
+    pub fn new(topo: Topology) -> Self {
+        Self::with_config(topo, PipelineConfig::default(), CompilerConfig::default(), 12)
+    }
+
+    /// Full-control constructor.
+    pub fn with_config(
+        topo: Topology,
+        pipeline: PipelineConfig,
+        compiler: CompilerConfig,
+        stages_per_switch: usize,
+    ) -> Self {
+        NewtonSystem {
+            net: Network::new(topo, pipeline),
+            controller: Controller::with_slots(compiler, 0xA11CE, 8),
+            analyzer: Analyzer::new(),
+            mapping: HostMapping::ByAddress,
+            stages_per_switch,
+            software_fallback: HashMap::new(),
+        }
+    }
+
+    /// Select the packet → edge-switch mapping.
+    pub fn set_mapping(&mut self, mapping: HostMapping) {
+        self.mapping = mapping;
+    }
+
+    /// The underlying network (failure injection, inspection).
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    pub fn network_mut(&mut self) -> &mut Network {
+        &mut self.net
+    }
+
+    /// The controller (timing receipts, installed-query inventory).
+    pub fn controller(&self) -> &Controller {
+        &self.controller
+    }
+
+    /// Install a query network-wide; the analyzer learns its plan.
+    pub fn install(
+        &mut self,
+        query: &Query,
+    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+        let receipt = self.controller.install(query, &mut self.net, self.stages_per_switch)?;
+        let plan = self.controller.installed()[&receipt.id].plan.clone();
+        self.analyzer.register(receipt.id, plan);
+        if receipt.overflow_slices > 0 {
+            // The query needs more switches than any path offers; its
+            // remainder cannot execute on the data plane, so the analyzer
+            // runs the whole query in software on mirrored traffic.
+            self.software_fallback
+                .insert(receipt.id, (query.clone(), Interpreter::new(query.clone())));
+        }
+        Ok(receipt)
+    }
+
+    /// Remove a query everywhere.
+    pub fn remove(&mut self, id: QueryId) -> Option<InstallReceipt> {
+        self.analyzer.unregister(id);
+        self.software_fallback.remove(&id);
+        self.controller.remove(id, &mut self.net)
+    }
+
+    /// Whether a query fell back to software execution.
+    pub fn runs_in_software(&self, id: QueryId) -> bool {
+        self.software_fallback.contains_key(&id)
+    }
+
+    /// One mirrored message per packet matching any branch's front
+    /// filters — what the fallback costs the monitoring plane.
+    fn fallback_mirrors(query: &Query, pkt: &Packet) -> bool {
+        let v = FieldVector::from_packet(pkt);
+        query.branches.iter().any(|b| {
+            b.primitives
+                .iter()
+                .take_while(|p| matches!(p, Primitive::Filter(_)))
+                .all(|p| match p {
+                    Primitive::Filter(preds) => preds.iter().all(|q| q.eval(v)),
+                    _ => true,
+                })
+        })
+    }
+
+    fn endpoints(&self, pkt: &Packet) -> (NodeId, NodeId) {
+        match self.mapping {
+            HostMapping::Fixed { ingress, egress } => (ingress, egress),
+            HostMapping::ByAddress => {
+                let edges = self.net.topology().edge_switches();
+                let pick =
+                    |ip: u32, salt: u64| edges[(mix64(ip as u64 ^ salt) % edges.len() as u64) as usize];
+                (pick(pkt.src_ip, 0x11), pick(pkt.dst_ip, 0x22))
+            }
+        }
+    }
+
+    /// Run a trace in `epoch_ms` windows; returns the per-query final
+    /// report sets and overhead accounting. Data-plane state resets at
+    /// every epoch boundary.
+    pub fn run_trace(&mut self, trace: &Trace, epoch_ms: u64) -> RunReport {
+        self.run_trace_with_events(trace, epoch_ms, &mut newton_net::EventSchedule::new())
+    }
+
+    /// [`run_trace`](Self::run_trace) with scheduled network dynamics: each
+    /// event fires once simulated time passes its timestamp (Fig. 9's
+    /// failure scenarios, scripted).
+    pub fn run_trace_with_events(
+        &mut self,
+        trace: &Trace,
+        epoch_ms: u64,
+        events: &mut newton_net::EventSchedule,
+    ) -> RunReport {
+        let mut report = RunReport::default();
+        let mut meter = OverheadMeter::new();
+        for epoch in trace.epochs(epoch_ms) {
+            report.epochs += 1;
+            for pkt in epoch {
+                meter.packet();
+                events.advance(pkt.ts_ns, self.net.router_mut());
+                let (ingress, egress) = self.endpoints(pkt);
+                let out = self.net.deliver(pkt, ingress, egress);
+                report.snapshot_bytes += out.snapshot_bytes as u64;
+                for (_, r) in out.reports {
+                    meter.message(32);
+                    self.analyzer.ingest(&r);
+                }
+                for (query, interp) in self.software_fallback.values_mut() {
+                    if Self::fallback_mirrors(query, pkt) {
+                        meter.message(pkt.wire_len as u64);
+                        interp.observe(pkt);
+                    }
+                }
+            }
+            for (id, keys) in self.finish_epoch() {
+                report.incidents.observe_epoch(id, keys.iter().copied());
+                report.reported.entry(id).or_default().extend(keys);
+            }
+            for (&id, (_, interp)) in &mut self.software_fallback {
+                let keys = interp.end_epoch().reported;
+                report.incidents.observe_epoch(id, keys.iter().copied());
+                report.reported.entry(id).or_default().extend(keys);
+            }
+            report.incidents.end_epoch();
+            self.net.clear_state();
+        }
+        report.messages = meter.messages();
+        report.packets = meter.raw_packets();
+        report
+    }
+
+    /// Probe-and-finalize the current epoch without resetting state.
+    ///
+    /// A key's per-branch counts may split across the switches holding the
+    /// probed slice (one per traffic entry point), so register reads SUM
+    /// over holders — partial counters add up to the network-wide
+    /// aggregate, and Bloom bits saturate harmlessly.
+    pub fn finish_epoch(&mut self) -> HashMap<QueryId, HashSet<u64>> {
+        let net = &self.net;
+        let read = move |query: QueryId,
+                         slice: usize,
+                         addr: newton_dataplane::ModuleAddr,
+                         idx: usize| {
+            let mut total: Option<u32> = None;
+            for sw in 0..net.switch_count() {
+                if let Some(v) = net.switch(sw).read_slice_register(query, slice as u8, addr, idx)
+                {
+                    total = Some(total.unwrap_or(0).saturating_add(v));
+                }
+            }
+            total
+        };
+        self.analyzer.end_epoch(&read)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+    use newton_trace::attacks::InjectSpec;
+    use newton_trace::background::TraceConfig;
+    use newton_trace::AttackKind;
+
+    fn attack_trace(kind: AttackKind) -> (Trace, u32) {
+        let mut trace = Trace::background(&TraceConfig {
+            packets: 8_000,
+            flows: 500,
+            duration_ms: 200,
+            ..Default::default()
+        });
+        let guilty = trace
+            .inject(kind, &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() })
+            .guilty;
+        (trace, guilty)
+    }
+
+    #[test]
+    fn end_to_end_detection_on_fat_tree() {
+        // A port scan has ONE source, so all its packets enter the fabric
+        // at one edge switch and the per-ingress query state stays whole.
+        // (A many-source flood would fragment across ingresses — the
+        // distributed-state limitation §7 acknowledges.)
+        let (trace, scanner) = attack_trace(AttackKind::PortScan);
+        let mut sys = NewtonSystem::new(Topology::fat_tree(4));
+        let receipt = sys.install(&catalog::q4_port_scan()).unwrap();
+        let report = sys.run_trace(&trace, 100);
+        assert!(report.packets > 0);
+        assert!(
+            report.reported.get(&receipt.id).is_some_and(|k| k.contains(&(scanner as u64))),
+            "scanner {scanner:#x} not reported: {:?}",
+            report.reported
+        );
+        assert!(report.overhead_ratio() < 0.01, "precise exportation expected");
+    }
+
+    #[test]
+    fn deferred_q9_completes_through_system_probing() {
+        // Q9's conjunction resolves by epoch-end register probes routed
+        // through the placement — the full production loop.
+        let (trace, silent) = attack_trace(AttackKind::DnsNoTcp);
+        let mut sys = NewtonSystem::new(Topology::chain(3));
+        let receipt = sys.install(&catalog::q9_dns_no_tcp()).unwrap();
+        let report = sys.run_trace(&trace, 100);
+        let keys = report.reported.get(&receipt.id).cloned().unwrap_or_default();
+        assert!(keys.contains(&(silent as u64)), "silent DNS host not flagged: {keys:?}");
+    }
+
+    #[test]
+    fn install_remove_lifecycle() {
+        let mut sys = NewtonSystem::new(Topology::chain(2));
+        let r = sys.install(&catalog::q1_new_tcp()).unwrap();
+        assert!(sys.network().total_rules() > 0);
+        assert!(sys.remove(r.id).is_some());
+        assert_eq!(sys.network().total_rules(), 0);
+        assert!(sys.remove(r.id).is_none());
+    }
+
+    #[test]
+    fn overflowing_query_falls_back_to_software() {
+        // Two switches with 4-stage budgets cannot host Q4's 4 slices
+        // (reachable depth = 2), so the system runs it in software —
+        // correct answers, but per-packet mirroring cost.
+        let (trace, scanner) = attack_trace(AttackKind::PortScan);
+        let mut sys = NewtonSystem::with_config(
+            Topology::chain(2),
+            PipelineConfig::default(),
+            CompilerConfig::default(),
+            4,
+        );
+        let receipt = sys.install(&catalog::q4_port_scan()).unwrap();
+        assert!(receipt.overflow_slices > 0, "expected overflow on a 2-switch chain");
+        assert!(sys.runs_in_software(receipt.id));
+        let report = sys.run_trace(&trace, 100);
+        assert!(report.reported[&receipt.id].contains(&(scanner as u64)));
+        assert!(
+            report.overhead_ratio() > 0.05,
+            "software fallback must cost per-packet mirroring (got {:.4})",
+            report.overhead_ratio()
+        );
+    }
+
+    #[test]
+    fn fixed_mapping_pins_the_path() {
+        let (trace, victim) = attack_trace(AttackKind::SynFlood);
+        let mut sys = NewtonSystem::new(Topology::chain(3));
+        sys.set_mapping(HostMapping::Fixed { ingress: 0, egress: 2 });
+        let receipt = sys.install(&catalog::q6_syn_flood()).unwrap();
+        let report = sys.run_trace(&trace, 100);
+        assert!(report.reported[&receipt.id].contains(&(victim as u64)));
+    }
+}

@@ -1,0 +1,146 @@
+//! The `newton_init` dispatch table (§4.1).
+//!
+//! `newton_init` "conducts ternary matching on 5-tuple … and TCP control
+//! flag to classify and dispatch traffic for concurrent queries". It also
+//! absorbs front `filter` primitives (Opt.1): a front filter on exact
+//! 5-tuple/flags values becomes part of the dispatch entry, consuming no
+//! module at all.
+//!
+//! One packet can feed several queries (chained same-traffic queries) and,
+//! within a query, several branches — so classification returns *all*
+//! matching `(query, branch-mask)` activations, not just the first.
+
+use crate::rules::{InitRule, QueryId};
+use newton_packet::{FieldVector, Packet};
+use std::collections::BTreeMap;
+
+/// The `newton_init` ternary table.
+#[derive(Debug, Clone, Default)]
+pub struct InitTable {
+    rules: Vec<InitRule>,
+}
+
+impl InitTable {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Install a dispatch entry.
+    pub fn install(&mut self, rule: InitRule) {
+        self.rules.push(rule);
+    }
+
+    /// Remove all entries of a query; returns how many were removed.
+    pub fn remove_query(&mut self, query: QueryId) -> usize {
+        let before = self.rules.len();
+        self.rules.retain(|r| r.query != query);
+        before - self.rules.len()
+    }
+
+    /// Number of installed entries.
+    pub fn rule_count(&self) -> usize {
+        self.rules.len()
+    }
+
+    /// Installed entries.
+    pub fn rules(&self) -> &[InitRule] {
+        &self.rules
+    }
+
+    /// Classify a packet: the union of branch activations per query across
+    /// all matching entries.
+    pub fn classify(&self, pkt: &Packet) -> Vec<(QueryId, u32)> {
+        let v = FieldVector::from_packet(pkt);
+        let mut out: BTreeMap<QueryId, u32> = BTreeMap::new();
+        for rule in &self.rules {
+            let hit = rule.matches.iter().all(|&(field, value, mask)| {
+                (v.get(field) & mask) == (value & mask)
+            });
+            if hit {
+                *out.entry(rule.query).or_insert(0) |= rule.branch_mask;
+            }
+        }
+        out.into_iter().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_packet::{Field, PacketBuilder, Protocol, TcpFlags};
+
+    fn tcp_syn() -> Packet {
+        PacketBuilder::new().tcp_flags(TcpFlags::SYN).dst_port(80).build()
+    }
+
+    fn udp_dns() -> Packet {
+        PacketBuilder::new().protocol(Protocol::Udp).src_port(53).build()
+    }
+
+    #[test]
+    fn empty_table_matches_nothing() {
+        assert!(InitTable::new().classify(&tcp_syn()).is_empty());
+    }
+
+    #[test]
+    fn exact_dispatch_on_proto_and_flags() {
+        let mut t = InitTable::new();
+        t.install(InitRule {
+            query: 1,
+            branch_mask: 0b1,
+            matches: vec![(Field::Proto, 6, 0xFF), (Field::TcpFlags, 2, 0xFF)],
+        });
+        assert_eq!(t.classify(&tcp_syn()), vec![(1, 0b1)]);
+        assert!(t.classify(&udp_dns()).is_empty());
+    }
+
+    #[test]
+    fn union_of_branch_masks_across_entries() {
+        let mut t = InitTable::new();
+        t.install(InitRule { query: 3, branch_mask: 0b01, matches: vec![(Field::Proto, 6, 0xFF)] });
+        t.install(InitRule { query: 3, branch_mask: 0b10, matches: vec![(Field::TcpFlags, 2, 0xFF)] });
+        assert_eq!(t.classify(&tcp_syn()), vec![(3, 0b11)]);
+    }
+
+    #[test]
+    fn multiple_queries_can_match_one_packet() {
+        let mut t = InitTable::new();
+        t.install(InitRule { query: 1, branch_mask: 1, matches: vec![(Field::Proto, 6, 0xFF)] });
+        t.install(InitRule { query: 2, branch_mask: 1, matches: vec![(Field::DstPort, 80, 0xFFFF)] });
+        let hits = t.classify(&tcp_syn());
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn ternary_mask_matches_prefixes() {
+        let mut t = InitTable::new();
+        // Match dst ip in 172.16.0.0/16 via a field-level mask.
+        t.install(InitRule {
+            query: 9,
+            branch_mask: 1,
+            matches: vec![(Field::DstIp, 0xAC10_0000, 0xFFFF_0000)],
+        });
+        let hit = PacketBuilder::new().dst_ip(0xAC10_1234).build();
+        let miss = PacketBuilder::new().dst_ip(0x0A00_0001).build();
+        assert_eq!(t.classify(&hit).len(), 1);
+        assert!(t.classify(&miss).is_empty());
+    }
+
+    #[test]
+    fn remove_query_clears_its_entries_only() {
+        let mut t = InitTable::new();
+        t.install(InitRule { query: 1, branch_mask: 1, matches: vec![] });
+        t.install(InitRule { query: 2, branch_mask: 1, matches: vec![] });
+        assert_eq!(t.remove_query(1), 1);
+        assert_eq!(t.rule_count(), 1);
+        assert_eq!(t.classify(&tcp_syn()), vec![(2, 1)]);
+    }
+
+    #[test]
+    fn catch_all_entry_matches_everything() {
+        let mut t = InitTable::new();
+        t.install(InitRule { query: 5, branch_mask: 1, matches: vec![] });
+        assert_eq!(t.classify(&tcp_syn()).len(), 1);
+        assert_eq!(t.classify(&udp_dns()).len(), 1);
+    }
+}

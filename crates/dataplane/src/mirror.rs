@@ -1,0 +1,91 @@
+//! The report mirror format: how ℝ's reports travel to the analyzer.
+//!
+//! "The first one is *report* that uploads the metadata set to analyzers
+//! via mirroring" (§4.1). On hardware this is a mirrored packet carrying
+//! the metadata set; here is the byte format, so overhead accounting uses
+//! real message sizes and an out-of-band collector can be wire-compatible.
+//!
+//! Layout (big-endian), 32 bytes:
+//! `query(4) | branch(1) | reserved(3) | op_keys(16) | hash(4) | state(4)`
+//! — the global result rides in place of the hash's top bytes? No:
+//! `query(4) | branch(1) | rsvd(3) | op_keys(16) | state(4) | global(4)`,
+//! with the 32-bit hash result recomputable from the keys and therefore
+//! not carried (the analyzer re-hashes when probing anyway).
+
+use crate::phv::Report;
+
+/// Wire length of one mirrored report.
+pub const MIRROR_LEN: usize = 32;
+
+/// Encode a report for mirroring.
+pub fn encode(report: &Report) -> [u8; MIRROR_LEN] {
+    let mut b = [0u8; MIRROR_LEN];
+    b[0..4].copy_from_slice(&report.query.to_be_bytes());
+    b[4] = report.branch;
+    b[8..24].copy_from_slice(&report.op_keys.to_be_bytes());
+    b[24..28].copy_from_slice(&report.state_result.to_be_bytes());
+    b[28..32].copy_from_slice(&report.global_result.to_be_bytes());
+    b
+}
+
+/// Errors decoding a mirrored report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MirrorTruncated(pub usize);
+
+impl std::fmt::Display for MirrorTruncated {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "mirrored report truncated: {} of {MIRROR_LEN} bytes", self.0)
+    }
+}
+
+impl std::error::Error for MirrorTruncated {}
+
+/// Decode a mirrored report. The hash result is not carried on the wire
+/// (recomputable from the operation keys); it decodes as 0.
+pub fn decode(buf: &[u8]) -> Result<Report, MirrorTruncated> {
+    if buf.len() < MIRROR_LEN {
+        return Err(MirrorTruncated(buf.len()));
+    }
+    Ok(Report {
+        query: u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]),
+        branch: buf[4],
+        op_keys: u128::from_be_bytes(buf[8..24].try_into().expect("16 bytes")),
+        hash_result: 0,
+        state_result: u32::from_be_bytes([buf[24], buf[25], buf[26], buf[27]]),
+        global_result: u32::from_be_bytes([buf[28], buf[29], buf[30], buf[31]]),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Report {
+        Report {
+            query: 7,
+            branch: 2,
+            op_keys: 0x1234_5678_9ABC_DEF0_1111_2222_3333_4444,
+            hash_result: 999, // not carried
+            state_result: 40,
+            global_result: 77,
+        }
+    }
+
+    #[test]
+    fn roundtrip_modulo_hash() {
+        let r = sample();
+        let decoded = decode(&encode(&r)).unwrap();
+        assert_eq!(decoded.query, r.query);
+        assert_eq!(decoded.branch, r.branch);
+        assert_eq!(decoded.op_keys, r.op_keys);
+        assert_eq!(decoded.state_result, r.state_result);
+        assert_eq!(decoded.global_result, r.global_result);
+        assert_eq!(decoded.hash_result, 0, "hash is recomputed, not carried");
+    }
+
+    #[test]
+    fn fixed_32_byte_messages() {
+        assert_eq!(encode(&sample()).len(), 32);
+        assert!(decode(&[0u8; 31]).is_err());
+    }
+}

@@ -1,0 +1,274 @@
+//! Data-plane resource accounting (Table 3).
+//!
+//! RMT pipelines slice seven resource categories evenly into physical
+//! stages. Newton's evaluation reports module costs *normalized by the
+//! resource usage of switch.p4* — the de-facto reference P4 program — so
+//! this module does the same: [`ResourceVector`] carries absolute units,
+//! [`SWITCH_P4_REFERENCE`] is the normalization denominator, and
+//! [`ResourceVector::normalized`] yields Table-3-style percentages.
+//!
+//! Absolute per-stage budgets follow Tofino's public architecture numbers
+//! (per stage: 16 crossbar input slots, 80 SRAM blocks, 24 TCAM blocks,
+//! 32 VLIW action slots, 416 hash bits, 4 stateful ALUs, 16 gateways).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Mul};
+
+/// One bundle of the seven per-stage resource categories, in absolute
+/// units.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ResourceVector {
+    /// Match crossbar input slots.
+    pub crossbar: f64,
+    /// SRAM blocks (exact-match tables, register arrays).
+    pub sram: f64,
+    /// TCAM blocks (ternary matches).
+    pub tcam: f64,
+    /// VLIW action instruction slots.
+    pub vliw: f64,
+    /// Hash-distribution bits.
+    pub hash_bits: f64,
+    /// Stateful ALUs.
+    pub salu: f64,
+    /// Gateways (if/else predication).
+    pub gateway: f64,
+}
+
+impl ResourceVector {
+    pub const ZERO: ResourceVector = ResourceVector {
+        crossbar: 0.0,
+        sram: 0.0,
+        tcam: 0.0,
+        vliw: 0.0,
+        hash_bits: 0.0,
+        salu: 0.0,
+        gateway: 0.0,
+    };
+
+    /// Construct from the seven categories in declaration order.
+    pub const fn new(
+        crossbar: f64,
+        sram: f64,
+        tcam: f64,
+        vliw: f64,
+        hash_bits: f64,
+        salu: f64,
+        gateway: f64,
+    ) -> Self {
+        ResourceVector { crossbar, sram, tcam, vliw, hash_bits, salu, gateway }
+    }
+
+    /// Normalize against a reference usage, yielding percentages
+    /// (`100 * self / reference`, per category; 0/0 = 0).
+    pub fn normalized(&self, reference: &ResourceVector) -> ResourceVector {
+        let norm = |a: f64, b: f64| if b == 0.0 { 0.0 } else { 100.0 * a / b };
+        ResourceVector {
+            crossbar: norm(self.crossbar, reference.crossbar),
+            sram: norm(self.sram, reference.sram),
+            tcam: norm(self.tcam, reference.tcam),
+            vliw: norm(self.vliw, reference.vliw),
+            hash_bits: norm(self.hash_bits, reference.hash_bits),
+            salu: norm(self.salu, reference.salu),
+            gateway: norm(self.gateway, reference.gateway),
+        }
+    }
+
+    /// Whether every category fits within `budget`.
+    pub fn fits_within(&self, budget: &ResourceVector) -> bool {
+        self.crossbar <= budget.crossbar
+            && self.sram <= budget.sram
+            && self.tcam <= budget.tcam
+            && self.vliw <= budget.vliw
+            && self.hash_bits <= budget.hash_bits
+            && self.salu <= budget.salu
+            && self.gateway <= budget.gateway
+    }
+
+    /// Category values in declaration order, for tabular output.
+    pub fn as_array(&self) -> [f64; 7] {
+        [self.crossbar, self.sram, self.tcam, self.vliw, self.hash_bits, self.salu, self.gateway]
+    }
+
+    /// Category names matching [`ResourceVector::as_array`].
+    pub const CATEGORY_NAMES: [&'static str; 7] =
+        ["Crossbar", "SRAM", "TCAM", "VLIW", "Hash Bits", "SALU", "Gateway"];
+}
+
+impl Add for ResourceVector {
+    type Output = ResourceVector;
+    fn add(self, o: ResourceVector) -> ResourceVector {
+        ResourceVector {
+            crossbar: self.crossbar + o.crossbar,
+            sram: self.sram + o.sram,
+            tcam: self.tcam + o.tcam,
+            vliw: self.vliw + o.vliw,
+            hash_bits: self.hash_bits + o.hash_bits,
+            salu: self.salu + o.salu,
+            gateway: self.gateway + o.gateway,
+        }
+    }
+}
+
+impl AddAssign for ResourceVector {
+    fn add_assign(&mut self, o: ResourceVector) {
+        *self = *self + o;
+    }
+}
+
+impl Mul<f64> for ResourceVector {
+    type Output = ResourceVector;
+    fn mul(self, k: f64) -> ResourceVector {
+        ResourceVector {
+            crossbar: self.crossbar * k,
+            sram: self.sram * k,
+            tcam: self.tcam * k,
+            vliw: self.vliw * k,
+            hash_bits: self.hash_bits * k,
+            salu: self.salu * k,
+            gateway: self.gateway * k,
+        }
+    }
+}
+
+impl fmt::Display for ResourceVector {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "xbar={:.3} sram={:.3} tcam={:.3} vliw={:.3} hash={:.3} salu={:.3} gw={:.3}",
+            self.crossbar, self.sram, self.tcam, self.vliw, self.hash_bits, self.salu, self.gateway
+        )
+    }
+}
+
+/// Per-stage hardware budget (Tofino-like).
+#[derive(Debug, Clone, Copy)]
+pub struct StageBudget;
+
+impl StageBudget {
+    /// Absolute per-stage capacity.
+    pub const fn capacity() -> ResourceVector {
+        ResourceVector::new(16.0, 80.0, 24.0, 32.0, 416.0, 4.0, 16.0)
+    }
+}
+
+/// Pipeline stage count of the paper's target ("Tofino has 12 stages per
+/// pipeline", §4.3).
+pub const TOFINO_STAGES: usize = 12;
+
+/// Reference resource usage of a switch.p4-like program over a full
+/// 12-stage pipeline — the Table 3 normalization denominator. switch.p4
+/// fills most of the chip; the reference takes ~85 % of every category.
+pub const SWITCH_P4_REFERENCE: ResourceVector = ResourceVector::new(
+    16.0 * 12.0 * 0.86,  // crossbar slots
+    80.0 * 12.0 * 0.89,  // SRAM blocks
+    24.0 * 12.0 * 0.81,  // TCAM blocks
+    32.0 * 12.0 * 0.74,  // VLIW slots
+    416.0 * 12.0 * 0.82, // hash bits
+    4.0 * 12.0 * 0.75,   // SALUs
+    16.0 * 12.0 * 0.91,  // gateways
+);
+
+/// Absolute per-module-instance costs, calibrated so their normalized form
+/// reproduces the relative structure of Table 3's per-module rows: 𝕂 is
+/// VLIW/gateway-heavy (bit-mask actions, predication), ℍ is crossbar/hash-
+/// heavy, 𝕊 dominates SRAM and SALUs, ℝ dominates TCAM and VLIW (ternary
+/// matching + result ALUs).
+pub mod module_costs {
+    use super::ResourceVector;
+
+    /// Key selection 𝕂.
+    pub const KEY_SELECTION: ResourceVector =
+        ResourceVector::new(0.40, 6.0, 0.0, 6.0, 45.0, 0.0, 2.5);
+    /// Hash calculation ℍ.
+    pub const HASH_CALCULATION: ResourceVector =
+        ResourceVector::new(4.45, 3.0, 0.0, 1.5, 65.0, 0.0, 0.0);
+    /// State bank 𝕊 (table + one register array + SALU).
+    pub const STATE_BANK: ResourceVector =
+        ResourceVector::new(2.0, 30.0, 5.0, 4.0, 90.0, 2.0, 0.0);
+    /// Result process ℝ.
+    pub const RESULT_PROCESS: ResourceVector =
+        ResourceVector::new(1.0, 3.0, 10.0, 18.0, 0.0, 0.0, 0.0);
+
+    /// Sum of all four (one full module suite).
+    pub const SUITE: ResourceVector = ResourceVector::new(
+        0.40 + 4.45 + 2.0 + 1.0,
+        6.0 + 3.0 + 30.0 + 3.0,
+        5.0 + 10.0,
+        6.0 + 1.5 + 4.0 + 18.0,
+        45.0 + 65.0 + 90.0,
+        2.0,
+        2.5,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_arithmetic() {
+        let a = ResourceVector::new(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0);
+        let b = a + a;
+        assert_eq!(b.crossbar, 2.0);
+        assert_eq!(b.gateway, 14.0);
+        let c = a * 0.5;
+        assert_eq!(c.sram, 1.0);
+    }
+
+    #[test]
+    fn normalization_handles_zero_reference() {
+        let a = ResourceVector::new(1.0, 0.0, 0.0, 0.0, 0.0, 0.0, 0.0);
+        let n = a.normalized(&ResourceVector::ZERO);
+        assert_eq!(n.crossbar, 0.0);
+    }
+
+    #[test]
+    fn suite_is_sum_of_modules() {
+        let sum = module_costs::KEY_SELECTION
+            + module_costs::HASH_CALCULATION
+            + module_costs::STATE_BANK
+            + module_costs::RESULT_PROCESS;
+        for (a, b) in sum.as_array().iter().zip(module_costs::SUITE.as_array()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn modules_fit_in_one_stage_together() {
+        // The compact layout's premise: one module of each kind fits in a
+        // single stage's budget.
+        assert!(module_costs::SUITE.fits_within(&StageBudget::capacity()));
+    }
+
+    #[test]
+    fn per_module_normalized_costs_are_small() {
+        // Table 3: each module takes a few percent of switch.p4 at most.
+        for m in [
+            module_costs::KEY_SELECTION,
+            module_costs::HASH_CALCULATION,
+            module_costs::STATE_BANK,
+            module_costs::RESULT_PROCESS,
+        ] {
+            let n = m.normalized(&SWITCH_P4_REFERENCE);
+            for v in n.as_array() {
+                assert!(v < 12.0, "normalized module cost {v:.2}% too large");
+            }
+        }
+    }
+
+    #[test]
+    fn resource_profile_matches_table3_structure() {
+        let k = module_costs::KEY_SELECTION.normalized(&SWITCH_P4_REFERENCE);
+        let h = module_costs::HASH_CALCULATION.normalized(&SWITCH_P4_REFERENCE);
+        let s = module_costs::STATE_BANK.normalized(&SWITCH_P4_REFERENCE);
+        let r = module_costs::RESULT_PROCESS.normalized(&SWITCH_P4_REFERENCE);
+        // ℍ leads crossbar; 𝕊 leads SRAM and owns all SALUs; ℝ leads TCAM
+        // and VLIW; 𝕂 owns the gateways.
+        assert!(h.crossbar > k.crossbar && h.crossbar > s.crossbar && h.crossbar > r.crossbar);
+        assert!(s.sram > k.sram && s.sram > h.sram && s.sram > r.sram);
+        assert!(s.salu > 0.0 && k.salu == 0.0 && h.salu == 0.0 && r.salu == 0.0);
+        assert!(r.tcam > s.tcam && k.tcam == 0.0 && h.tcam == 0.0);
+        assert!(r.vliw > k.vliw);
+        assert!(k.gateway > 0.0 && h.gateway == 0.0);
+    }
+}

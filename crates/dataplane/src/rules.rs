@@ -1,0 +1,338 @@
+//! Typed table rules — the unit of Newton reconfiguration.
+//!
+//! "Query reconfigurability requires updating query logic via changing
+//! table rules instead of modifying P4 programs" (§4.1). Everything a query
+//! does on the data plane is expressed by the rule types below; installing,
+//! removing or updating a query only ever adds/removes these plain-data
+//! rules from module instances. No code changes, no pipeline reload.
+
+use crate::layout::ModuleAddr;
+use newton_packet::Field;
+
+use crate::phv::SetId;
+
+/// Identifier of an installed query (assigned by the controller).
+pub type QueryId = u32;
+
+/// Where a SALU / hash operand comes from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Operand {
+    /// An immediate constant.
+    Const(u32),
+    /// A packet header field (read from the original parsed fields, which
+    /// the PHV retains through the whole pipeline).
+    Field(Field),
+}
+
+/// 𝕂 rule: select operation keys by masking the global field vector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KRule {
+    pub query: QueryId,
+    pub branch: u8,
+    /// Which metadata set receives the operation keys.
+    pub set: SetId,
+    /// Bit-mask over the 128-bit global field vector (§4.1's `&` action).
+    pub mask: u128,
+}
+
+/// ℍ's operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HashMode {
+    /// Hash the set's operation keys into `0..range`.
+    Hash { seed: u64, range: u32 },
+    /// Direct mode: use a selected key field's value as the result.
+    Direct(Field),
+}
+
+/// ℍ rule: produce the hash result for a metadata set.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HRule {
+    pub query: QueryId,
+    pub branch: u8,
+    pub set: SetId,
+    pub mode: HashMode,
+    /// Added to the hash output — lets multiple queries slice one register
+    /// array ("flexible register allocation among different queries").
+    pub offset: u32,
+}
+
+/// The stateful ALU executed by 𝕊 over `register[hash_result]`.
+///
+/// The paper's 𝕊 supports four ALU kinds (Fig. 2); `PassHash` is the
+/// stateless fifth behaviour it also names ("𝕊 can also output the hash
+/// result as the state result"), used by `filter`/`map` suites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SaluOp {
+    /// `reg += v`; state result = new value (Count-Min rows, counters).
+    Add(Operand),
+    /// `old = reg; reg |= v`; state result = old value (Bloom-filter bits:
+    /// old == 0 means the bit was fresh).
+    Or(Operand),
+    /// `reg = max(reg, v)`; state result = new value.
+    Max(Operand),
+    /// `old = reg; reg = v`; state result = old value.
+    Write(Operand),
+    /// No register access; state result = hash result.
+    PassHash,
+}
+
+/// 𝕊 rule: which SALU to run for a (query, branch) on this instance's
+/// register array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SRule {
+    pub query: QueryId,
+    pub branch: u8,
+    pub set: SetId,
+    pub op: SaluOp,
+}
+
+/// Inclusive ternary-style range match over a 32-bit result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RMatch {
+    pub lo: u32,
+    pub hi: u32,
+}
+
+impl RMatch {
+    pub const ANY: RMatch = RMatch { lo: 0, hi: u32::MAX };
+
+    pub fn at_least(lo: u32) -> RMatch {
+        RMatch { lo, hi: u32::MAX }
+    }
+
+    pub fn at_most(hi: u32) -> RMatch {
+        RMatch { lo: 0, hi }
+    }
+
+    pub fn exactly(v: u32) -> RMatch {
+        RMatch { lo: v, hi: v }
+    }
+
+    pub fn contains(&self, v: u32) -> bool {
+        (self.lo..=self.hi).contains(&v)
+    }
+}
+
+/// Actions ℝ can take when its match fires (Fig. 2: report via mirroring,
+/// ALUs over the result, global-result updates, stopping the query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RAction {
+    /// Mirror the metadata set + global result to the analyzer.
+    Report,
+    /// Stop this branch for the rest of the pipeline.
+    StopBranch,
+    /// `global = min(global, state_result)`.
+    GlobalMin,
+    /// `global = max(global, state_result)`.
+    GlobalMax,
+    /// `global = global + state_result` (saturating; `GLOBAL_INIT` is
+    /// treated as 0 first).
+    GlobalAdd,
+    /// `global = global - state_result` (saturating).
+    GlobalSub,
+    /// `global = state_result`.
+    GlobalSet,
+    /// `global = GLOBAL_INIT` — hands a clean accumulator to the next
+    /// primitive (e.g. after a `distinct` freshness check).
+    GlobalReset,
+}
+
+/// ℝ rule: ternary match over (state result, global result) → actions.
+/// Rules for the same (query, branch) on one instance are evaluated in
+/// descending `priority`; the first whose matches hold fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RRule {
+    pub query: QueryId,
+    pub branch: u8,
+    pub set: SetId,
+    pub priority: i32,
+    pub state_match: RMatch,
+    pub global_match: RMatch,
+    pub actions: Vec<RAction>,
+}
+
+/// One ternary `newton_init` entry: classify by 5-tuple + TCP flags and
+/// activate query branches (§4.1; also absorbs front filters, Opt.1).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InitRule {
+    pub query: QueryId,
+    /// Bitmask of branches this entry activates.
+    pub branch_mask: u32,
+    /// Conjunction of (field, value, mask-over-field-bits) ternary matches;
+    /// empty = match everything.
+    pub matches: Vec<(Field, u64, u64)>,
+}
+
+/// A compiled query as installable rules: every rule bound to the module
+/// instance ([`ModuleAddr`]) that must host it. This is the unit the
+/// controller installs, removes, and (for CQE) slices across switches.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RuleSet {
+    pub init: Vec<InitRule>,
+    pub k: Vec<(ModuleAddr, KRule)>,
+    pub h: Vec<(ModuleAddr, HRule)>,
+    pub s: Vec<(ModuleAddr, SRule)>,
+    pub r: Vec<(ModuleAddr, RRule)>,
+}
+
+impl RuleSet {
+    /// Total module-rule count (excluding `newton_init` entries) — the
+    /// "table entries" unit of Fig. 17.
+    pub fn module_rule_count(&self) -> usize {
+        self.k.len() + self.h.len() + self.s.len() + self.r.len()
+    }
+
+    /// Total rule count including `newton_init` entries.
+    pub fn total_rule_count(&self) -> usize {
+        self.module_rule_count() + self.init.len()
+    }
+
+    /// Highest stage index any rule touches, if any.
+    pub fn max_stage(&self) -> Option<usize> {
+        let stages = self
+            .k
+            .iter()
+            .map(|(a, _)| a.stage)
+            .chain(self.h.iter().map(|(a, _)| a.stage))
+            .chain(self.s.iter().map(|(a, _)| a.stage))
+            .chain(self.r.iter().map(|(a, _)| a.stage));
+        stages.max()
+    }
+
+    /// Number of distinct stages used.
+    pub fn stages_used(&self) -> usize {
+        let mut stages: Vec<usize> = self
+            .k
+            .iter()
+            .map(|(a, _)| a.stage)
+            .chain(self.h.iter().map(|(a, _)| a.stage))
+            .chain(self.s.iter().map(|(a, _)| a.stage))
+            .chain(self.r.iter().map(|(a, _)| a.stage))
+            .collect();
+        stages.sort_unstable();
+        stages.dedup();
+        stages.len()
+    }
+
+    /// Shift every module rule up by `offset` stages (init entries are
+    /// stage-less) — used to stack several slices of one query into one
+    /// switch's pipeline at disjoint stage ranges.
+    pub fn shift_stages(&self, offset: usize) -> RuleSet {
+        fn shift<T: Clone>(v: &[(ModuleAddr, T)], offset: usize) -> Vec<(ModuleAddr, T)> {
+            v.iter()
+                .map(|(a, r)| (ModuleAddr { stage: a.stage + offset, slot: a.slot }, r.clone()))
+                .collect()
+        }
+        RuleSet {
+            init: self.init.clone(),
+            k: shift(&self.k, offset),
+            h: shift(&self.h, offset),
+            s: shift(&self.s, offset),
+            r: shift(&self.r, offset),
+        }
+    }
+
+    /// Restrict to the rules whose stage lies in `[lo, hi)`, shifting them
+    /// down by `lo` stages — used by CQE slicing (Algorithm 2).
+    pub fn slice_stages(&self, lo: usize, hi: usize) -> RuleSet {
+        fn keep<T: Clone>(v: &[(ModuleAddr, T)], lo: usize, hi: usize) -> Vec<(ModuleAddr, T)> {
+            v.iter()
+                .filter(|(a, _)| (lo..hi).contains(&a.stage))
+                .map(|(a, r)| (ModuleAddr { stage: a.stage - lo, slot: a.slot }, r.clone()))
+                .collect()
+        }
+        RuleSet {
+            init: if lo == 0 { self.init.clone() } else { Vec::new() },
+            k: keep(&self.k, lo, hi),
+            h: keep(&self.h, lo, hi),
+            s: keep(&self.s, lo, hi),
+            r: keep(&self.r, lo, hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(stage: usize, slot: usize) -> ModuleAddr {
+        ModuleAddr { stage, slot }
+    }
+
+    fn sample_ruleset() -> RuleSet {
+        RuleSet {
+            init: vec![InitRule { query: 1, branch_mask: 1, matches: vec![] }],
+            k: vec![(
+                addr(0, 0),
+                KRule { query: 1, branch: 0, set: SetId::Set1, mask: u128::MAX },
+            )],
+            h: vec![(
+                addr(1, 1),
+                HRule {
+                    query: 1,
+                    branch: 0,
+                    set: SetId::Set1,
+                    mode: HashMode::Hash { seed: 1, range: 256 },
+                    offset: 0,
+                },
+            )],
+            s: vec![(
+                addr(2, 2),
+                SRule { query: 1, branch: 0, set: SetId::Set1, op: SaluOp::PassHash },
+            )],
+            r: vec![(
+                addr(3, 3),
+                RRule {
+                    query: 1,
+                    branch: 0,
+                    set: SetId::Set1,
+                    priority: 0,
+                    state_match: RMatch::ANY,
+                    global_match: RMatch::ANY,
+                    actions: vec![RAction::Report],
+                },
+            )],
+        }
+    }
+
+    #[test]
+    fn rmatch_ranges() {
+        assert!(RMatch::at_least(10).contains(10));
+        assert!(!RMatch::at_least(10).contains(9));
+        assert!(RMatch::at_most(5).contains(0));
+        assert!(!RMatch::at_most(5).contains(6));
+        assert!(RMatch::exactly(3).contains(3));
+        assert!(!RMatch::exactly(3).contains(4));
+        assert!(RMatch::ANY.contains(u32::MAX));
+    }
+
+    #[test]
+    fn ruleset_counts() {
+        let rs = sample_ruleset();
+        assert_eq!(rs.module_rule_count(), 4);
+        assert_eq!(rs.total_rule_count(), 5);
+        assert_eq!(rs.max_stage(), Some(3));
+        assert_eq!(rs.stages_used(), 4);
+    }
+
+    #[test]
+    fn slicing_shifts_stages_and_drops_init_for_later_slices() {
+        let rs = sample_ruleset();
+        let first = rs.slice_stages(0, 2);
+        assert_eq!(first.module_rule_count(), 2);
+        assert_eq!(first.init.len(), 1);
+        let second = rs.slice_stages(2, 4);
+        assert_eq!(second.module_rule_count(), 2);
+        assert!(second.init.is_empty());
+        // Stages shift down so the slice starts at stage 0.
+        assert_eq!(second.s[0].0.stage, 0);
+        assert_eq!(second.r[0].0.stage, 1);
+    }
+
+    #[test]
+    fn empty_ruleset_has_no_stages() {
+        let rs = RuleSet::default();
+        assert_eq!(rs.max_stage(), None);
+        assert_eq!(rs.stages_used(), 0);
+    }
+}

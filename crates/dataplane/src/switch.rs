@@ -1,0 +1,761 @@
+//! The full switch pipeline: parser → `newton_init` → stages → `newton_fin`.
+//!
+//! One [`Switch`] models one programmable pipeline. At initialization time
+//! it is given a stage count and a module [`Layout`] (this corresponds to
+//! loading the P4 program). From then on *everything* is runtime table-rule
+//! operations: queries install/remove [`RuleSet`]s, and packet forwarding is
+//! never interrupted — [`Switch::process`] keeps counting forwarded packets
+//! no matter what rule churn happens between calls (the §6.1 claim).
+//!
+//! Cross-switch query execution: the controller assigns this switch a
+//! [`SliceInfo`] per sliced query. Slice 0 is dispatched by `newton_init`;
+//! later slices activate when an incoming result snapshot's cursor matches.
+//! `newton_fin` captures an outgoing snapshot while slices remain.
+
+use crate::init::InitTable;
+use crate::layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
+use crate::modules::{HModule, InstallError, KModule, RModule, SModule, DEFAULT_RULE_CAPACITY};
+use crate::phv::{Phv, Report, SetId};
+use crate::resources::ResourceVector;
+use crate::rules::{QueryId, RuleSet};
+use newton_packet::{Packet, SnapshotHeader};
+use std::collections::HashMap;
+
+/// Pipeline initialization parameters (the "P4 program" knobs).
+#[derive(Debug, Clone, Copy)]
+pub struct PipelineConfig {
+    /// Physical stage count (Tofino: 12).
+    pub stages: usize,
+    /// Module layout loaded at init time.
+    pub layout: LayoutKind,
+    /// Registers per 𝕊 instance array.
+    pub registers_per_array: usize,
+    /// Rule capacity per module instance.
+    pub rule_capacity: usize,
+}
+
+impl Default for PipelineConfig {
+    fn default() -> Self {
+        PipelineConfig {
+            stages: 12,
+            layout: LayoutKind::Compact,
+            registers_per_array: 4096,
+            rule_capacity: DEFAULT_RULE_CAPACITY,
+        }
+    }
+}
+
+/// One slice of a (possibly CQE-sliced) query held by this switch.
+///
+/// Resilient placement can assign a switch *several* slices of one query
+/// (it may sit at different depths on different possible paths); each
+/// slice's rules occupy a distinct stage range of the pipeline, and a
+/// packet executes exactly the slice matching its snapshot cursor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SliceInfo {
+    /// 0-based slice index this assignment executes.
+    pub index: u8,
+    /// Total slices of the query.
+    pub total: u8,
+    /// The metadata set `newton_fin` snapshots on egress.
+    pub capture_set: SetId,
+    /// The metadata set the incoming snapshot restores into (the previous
+    /// slice's capture set; unused for slice 0).
+    pub restore_set: SetId,
+    /// Stage range `[lo, hi)` the slice's rules occupy on THIS switch.
+    pub stages: (usize, usize),
+}
+
+impl SliceInfo {
+    /// A whole (unsliced) query occupying the full pipeline.
+    pub fn whole() -> Self {
+        SliceInfo {
+            index: 0,
+            total: 1,
+            capture_set: SetId::Set1,
+            restore_set: SetId::Set1,
+            stages: (0, usize::MAX),
+        }
+    }
+}
+
+/// One module instance in a stage.
+#[derive(Debug, Clone)]
+enum Instance {
+    K(KModule),
+    H(HModule),
+    S(SModule),
+    R(RModule),
+}
+
+impl Instance {
+    fn kind(&self) -> ModuleKind {
+        match self {
+            Instance::K(_) => ModuleKind::KeySelection,
+            Instance::H(_) => ModuleKind::HashCalculation,
+            Instance::S(_) => ModuleKind::StateBank,
+            Instance::R(_) => ModuleKind::ResultProcess,
+        }
+    }
+
+    fn rule_count(&self) -> usize {
+        match self {
+            Instance::K(m) => m.rule_count(),
+            Instance::H(m) => m.rule_count(),
+            Instance::S(m) => m.rule_count(),
+            Instance::R(m) => m.rule_count(),
+        }
+    }
+}
+
+/// Errors installing a rule set into a switch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchError {
+    /// The address does not exist in this pipeline's layout.
+    NoSuchInstance(ModuleAddr),
+    /// The instance at the address hosts a different module kind.
+    KindMismatch { addr: ModuleAddr, expected: ModuleKind, found: ModuleKind },
+    /// The instance rejected the rule.
+    Install(InstallError),
+}
+
+impl std::fmt::Display for SwitchError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwitchError::NoSuchInstance(a) => write!(f, "no module instance at {a}"),
+            SwitchError::KindMismatch { addr, expected, found } => {
+                write!(f, "instance at {addr} is {found}, rule needs {expected}")
+            }
+            SwitchError::Install(e) => write!(f, "install failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwitchError {}
+
+impl From<InstallError> for SwitchError {
+    fn from(e: InstallError) -> Self {
+        SwitchError::Install(e)
+    }
+}
+
+/// Marker carried by packets whose queries are fully executed: the cursor
+/// matches no slice, so downstream switches neither re-dispatch nor
+/// resume; the header is stripped before host delivery.
+pub const DEAD_MARKER: SnapshotHeader = SnapshotHeader {
+    cursor: u8::MAX,
+    active_mask: 0,
+    hash_result: 0,
+    state_result: 0,
+    global_result: 0,
+};
+
+/// What one pipeline walk produced.
+#[derive(Debug, Clone, Default)]
+pub struct PipelineOutput {
+    /// Reports mirrored to the analyzer.
+    pub reports: Vec<Report>,
+    /// Outgoing result snapshot, if the query continues on a later switch.
+    pub snapshot: Option<SnapshotHeader>,
+}
+
+/// A programmable switch running Newton modules.
+#[derive(Debug, Clone)]
+pub struct Switch {
+    config: PipelineConfig,
+    layout: Layout,
+    init: InitTable,
+    stages: Vec<Vec<Instance>>,
+    slices: HashMap<QueryId, Vec<SliceInfo>>,
+    forwarded: u64,
+}
+
+impl Switch {
+    /// Initialize the pipeline (load the "P4 program").
+    pub fn new(config: PipelineConfig) -> Self {
+        let layout = Layout::new(config.layout, config.stages);
+        let stages = (0..config.stages)
+            .map(|s| {
+                layout
+                    .stage(s)
+                    .iter()
+                    .map(|kind| match kind {
+                        ModuleKind::KeySelection => Instance::K(KModule::new(config.rule_capacity)),
+                        ModuleKind::HashCalculation => {
+                            Instance::H(HModule::new(config.rule_capacity))
+                        }
+                        ModuleKind::StateBank => {
+                            Instance::S(SModule::new(config.rule_capacity, config.registers_per_array))
+                        }
+                        ModuleKind::ResultProcess => Instance::R(RModule::new(config.rule_capacity)),
+                    })
+                    .collect()
+            })
+            .collect();
+        Switch {
+            config,
+            layout,
+            init: InitTable::new(),
+            stages,
+            slices: HashMap::new(),
+            forwarded: 0,
+        }
+    }
+
+    pub fn config(&self) -> &PipelineConfig {
+        &self.config
+    }
+
+    pub fn layout(&self) -> &Layout {
+        &self.layout
+    }
+
+    /// Packets forwarded since construction — rule operations never pause
+    /// this counter.
+    pub fn forwarded(&self) -> u64 {
+        self.forwarded
+    }
+
+    /// Install a compiled rule set. Atomic: on error nothing remains
+    /// installed.
+    pub fn install(&mut self, rules: &RuleSet) -> Result<(), SwitchError> {
+        let query = Self::ruleset_query(rules);
+        let result = self.try_install(rules);
+        if result.is_err() {
+            if let Some(q) = query {
+                self.remove_query(q);
+            }
+        }
+        result
+    }
+
+    fn ruleset_query(rules: &RuleSet) -> Option<QueryId> {
+        rules
+            .init
+            .first()
+            .map(|r| r.query)
+            .or_else(|| rules.k.first().map(|(_, r)| r.query))
+            .or_else(|| rules.h.first().map(|(_, r)| r.query))
+            .or_else(|| rules.s.first().map(|(_, r)| r.query))
+            .or_else(|| rules.r.first().map(|(_, r)| r.query))
+    }
+
+    fn try_install(&mut self, rules: &RuleSet) -> Result<(), SwitchError> {
+        for r in &rules.init {
+            self.init.install(r.clone());
+        }
+        for (addr, rule) in &rules.k {
+            match self.instance_mut(*addr)? {
+                Instance::K(m) => m.install(*rule)?,
+                other => {
+                    return Err(SwitchError::KindMismatch {
+                        addr: *addr,
+                        expected: ModuleKind::KeySelection,
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        for (addr, rule) in &rules.h {
+            match self.instance_mut(*addr)? {
+                Instance::H(m) => m.install(*rule)?,
+                other => {
+                    return Err(SwitchError::KindMismatch {
+                        addr: *addr,
+                        expected: ModuleKind::HashCalculation,
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        for (addr, rule) in &rules.s {
+            match self.instance_mut(*addr)? {
+                Instance::S(m) => m.install(*rule)?,
+                other => {
+                    return Err(SwitchError::KindMismatch {
+                        addr: *addr,
+                        expected: ModuleKind::StateBank,
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        for (addr, rule) in &rules.r {
+            match self.instance_mut(*addr)? {
+                Instance::R(m) => m.install(rule.clone())?,
+                other => {
+                    return Err(SwitchError::KindMismatch {
+                        addr: *addr,
+                        expected: ModuleKind::ResultProcess,
+                        found: other.kind(),
+                    })
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn instance_mut(&mut self, addr: ModuleAddr) -> Result<&mut Instance, SwitchError> {
+        self.stages
+            .get_mut(addr.stage)
+            .and_then(|s| s.get_mut(addr.slot))
+            .ok_or(SwitchError::NoSuchInstance(addr))
+    }
+
+    /// Remove every rule of a query; returns the number of rules removed
+    /// (init entries included).
+    pub fn remove_query(&mut self, query: QueryId) -> usize {
+        let mut removed = self.init.remove_query(query);
+        for stage in &mut self.stages {
+            for inst in stage {
+                removed += match inst {
+                    Instance::K(m) => m.remove_query(query),
+                    Instance::H(m) => m.remove_query(query),
+                    Instance::S(m) => m.remove_query(query),
+                    Instance::R(m) => m.remove_query(query),
+                };
+            }
+        }
+        self.slices.remove(&query);
+        removed
+    }
+
+    /// Assign one CQE slice of `query` to this switch (a switch may hold
+    /// several slices of one query at disjoint stage ranges).
+    pub fn add_slice(&mut self, query: QueryId, slice: SliceInfo) {
+        self.slices.entry(query).or_default().push(slice);
+    }
+
+    /// Replace all slice assignments of `query` with a single one.
+    pub fn set_slice(&mut self, query: QueryId, slice: SliceInfo) {
+        self.slices.insert(query, vec![slice]);
+    }
+
+    /// The slice assignments for `query` (a whole query if unassigned).
+    pub fn slices_of(&self, query: QueryId) -> Vec<SliceInfo> {
+        self.slices.get(&query).cloned().unwrap_or_else(|| vec![SliceInfo::whole()])
+    }
+
+    /// Total installed rules (init + modules).
+    pub fn total_rule_count(&self) -> usize {
+        self.init.rule_count()
+            + self.stages.iter().flatten().map(Instance::rule_count).sum::<usize>()
+    }
+
+    /// Hardware cost of the loaded layout.
+    pub fn layout_cost(&self) -> ResourceVector {
+        self.layout.total_cost()
+    }
+
+    /// Rules installed for one query (init entries included).
+    pub fn rules_of_query(&self, query: QueryId) -> usize {
+        let init = self.init.rules().iter().filter(|r| r.query == query).count();
+        let modules: usize = self
+            .stages
+            .iter()
+            .flatten()
+            .map(|inst| match inst {
+                Instance::K(m) => m.rules().iter().filter(|r| r.query == query).count(),
+                Instance::H(m) => m.rules().iter().filter(|r| r.query == query).count(),
+                Instance::S(m) => m.rules().iter().filter(|r| r.query == query).count(),
+                Instance::R(m) => m.rules().iter().filter(|r| r.query == query).count(),
+            })
+            .sum();
+        init + modules
+    }
+
+    /// Apply `f` to every ℝ rule of `query` across the pipeline — the
+    /// in-place rule-update path (§2.1: "operators can update table rules
+    /// in running switches"). Returns the number of rules modified.
+    pub fn update_r_rules(
+        &mut self,
+        query: QueryId,
+        f: &mut dyn FnMut(&mut crate::rules::RRule),
+    ) -> usize {
+        let mut touched = 0;
+        for stage in &mut self.stages {
+            for inst in stage {
+                if let Instance::R(m) = inst {
+                    touched += m.update_rules(query, f);
+                }
+            }
+        }
+        touched
+    }
+
+    /// Aggregate hardware usage: the loaded layout's instance costs plus
+    /// each installed rule's amortized share of its instance (per the
+    /// Table 3 per-primitive accounting: one rule = 1/capacity of the
+    /// instance).
+    pub fn resource_usage(&self) -> ResourceVector {
+        let mut total = self.layout.total_cost();
+        for (si, stage) in self.stages.iter().enumerate() {
+            for (slot, inst) in stage.iter().enumerate() {
+                let kind = self.layout.kind_at(ModuleAddr { stage: si, slot }).expect("laid out");
+                let share = inst.rule_count() as f64 / self.config.rule_capacity as f64;
+                total += kind.cost() * share;
+            }
+        }
+        total
+    }
+
+    /// Worst-case rule-table occupancy across module instances, as a
+    /// fraction of capacity — the headroom gauge for "how many more
+    /// concurrent queries fit" (§4.1's capacity discussion).
+    pub fn peak_table_occupancy(&self) -> f64 {
+        self.stages
+            .iter()
+            .flatten()
+            .map(|i| i.rule_count() as f64 / self.config.rule_capacity as f64)
+            .fold(0.0, f64::max)
+    }
+
+    /// Reset all stateful memory (epoch boundary).
+    pub fn clear_state(&mut self) {
+        for stage in &mut self.stages {
+            for inst in stage {
+                if let Instance::S(m) = inst {
+                    m.clear_registers();
+                }
+            }
+        }
+    }
+
+    /// Process one packet: forward it, execute matching query slices,
+    /// return reports and an outgoing snapshot.
+    ///
+    /// The snapshot header doubles as a **processed marker**: resilient
+    /// placement (Algorithm 2) installs slice 0 on *every* edge switch, so
+    /// a monitored packet transiting a second slice-0 holder must not
+    /// re-execute the query. Slice 0 therefore runs only on SP-less
+    /// packets; once any query executed, the packet carries the header
+    /// until the last Newton hop strips it (done by `newton-net` before
+    /// host delivery). A fully-executed query's marker has
+    /// `cursor = u8::MAX`, matching no slice.
+    pub fn process(&mut self, pkt: &Packet, sp_in: Option<&SnapshotHeader>) -> PipelineOutput {
+        self.forwarded += 1;
+        let mut out = PipelineOutput::default();
+
+        match sp_in {
+            None => {
+                // Slice-0 queries dispatched by newton_init.
+                let mut continuation: Option<SnapshotHeader> = None;
+                let mut executed = false;
+                for (query, branch_mask) in self.init.classify(pkt) {
+                    let Some(info) =
+                        self.slices_of(query).into_iter().find(|i| i.index == 0)
+                    else {
+                        continue;
+                    };
+                    let mut phv = Phv::new(pkt, query, 0);
+                    phv.active_branches = branch_mask;
+                    self.walk(&mut phv, info.stages);
+                    out.reports.append(&mut phv.reports);
+                    executed = true;
+                    if info.total > 1 && phv.any_active() {
+                        continuation = Some(phv.capture_snapshot(1, info.capture_set));
+                    }
+                }
+                out.snapshot = continuation.or(if executed { Some(DEAD_MARKER) } else { None });
+            }
+            Some(sp) => {
+                // Later slices resumed from the incoming snapshot; by
+                // default the header passes through unchanged.
+                let mut next = *sp;
+                let resume: Vec<(QueryId, SliceInfo)> = self
+                    .slices
+                    .iter()
+                    .flat_map(|(&q, infos)| infos.iter().map(move |&i| (q, i)))
+                    .filter(|(_, i)| i.index == sp.cursor && i.index > 0)
+                    .collect();
+                for (query, info) in resume {
+                    let mut phv = Phv::new(pkt, query, 0);
+                    phv.restore_snapshot(sp, info.restore_set);
+                    if !phv.any_active() {
+                        next = DEAD_MARKER;
+                        continue;
+                    }
+                    self.walk(&mut phv, info.stages);
+                    out.reports.append(&mut phv.reports);
+                    next = if info.index + 1 < info.total && phv.any_active() {
+                        phv.capture_snapshot(info.index + 1, info.capture_set)
+                    } else {
+                        DEAD_MARKER
+                    };
+                }
+                out.snapshot = Some(next);
+            }
+        }
+        out
+    }
+
+    /// Walk the PHV through the stages in `range` with per-stage parallel
+    /// semantics: every instance in a stage reads the stage-entry PHV and
+    /// writes into the stage-exit PHV.
+    fn walk(&mut self, phv: &mut Phv, range: (usize, usize)) {
+        let hi = range.1.min(self.stages.len());
+        for stage in self.stages[range.0.min(hi)..hi].iter_mut() {
+            if !phv.any_active() {
+                break;
+            }
+            let input = phv.clone();
+            for inst in stage.iter_mut() {
+                match inst {
+                    Instance::K(m) => m.execute(&input, phv),
+                    Instance::H(m) => m.execute(&input, phv),
+                    Instance::S(m) => m.execute(&input, phv),
+                    Instance::R(m) => m.execute(&input, phv),
+                }
+            }
+        }
+    }
+
+    /// `newton_init` classification (debug tracing).
+    pub(crate) fn classify_for_debug(&self, pkt: &Packet) -> Vec<(QueryId, u32)> {
+        self.init.classify(pkt)
+    }
+
+    /// Stage count (debug tracing).
+    pub(crate) fn stage_count_for_debug(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// Execute one stage with the usual parallel semantics (debug tracing).
+    pub(crate) fn execute_stage_for_debug(&mut self, stage: usize, input: &Phv, out: &mut Phv) {
+        for inst in self.stages[stage].iter_mut() {
+            match inst {
+                Instance::K(m) => m.execute(input, out),
+                Instance::H(m) => m.execute(input, out),
+                Instance::S(m) => m.execute(input, out),
+                Instance::R(m) => m.execute(input, out),
+            }
+        }
+    }
+
+    /// Read an 𝕊 instance's register (tests, analyzer state drains).
+    pub fn read_register(&self, addr: ModuleAddr, idx: usize) -> Option<u32> {
+        match self.stages.get(addr.stage)?.get(addr.slot)? {
+            Instance::S(m) => Some(m.register(idx)),
+            _ => None,
+        }
+    }
+
+    /// Read a register through a query's slice mapping: `addr` is relative
+    /// to the slice's own stage numbering; this translates by the slice's
+    /// stage offset on this switch. `None` if this switch does not hold
+    /// the slice.
+    pub fn read_slice_register(
+        &self,
+        query: QueryId,
+        slice_index: u8,
+        addr: ModuleAddr,
+        idx: usize,
+    ) -> Option<u32> {
+        let infos = self.slices.get(&query)?;
+        let info = infos.iter().find(|i| i.index == slice_index)?;
+        let phys = ModuleAddr { stage: info.stages.0.saturating_add(addr.stage), slot: addr.slot };
+        self.read_register(phys, idx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::{HashMode, HRule, InitRule, KRule, RAction, RMatch, RRule, SRule, SaluOp};
+    use crate::rules::Operand;
+    use newton_packet::{Field, PacketBuilder, TcpFlags};
+
+    /// Hand-compile a tiny Q1-style query: count SYNs per dst, report ≥ 3.
+    fn tiny_q1(query: QueryId) -> RuleSet {
+        let set = SetId::Set1;
+        RuleSet {
+            init: vec![InitRule {
+                query,
+                branch_mask: 1,
+                matches: vec![(Field::Proto, 6, 0xFF), (Field::TcpFlags, 2, 0xFF)],
+            }],
+            k: vec![(
+                ModuleAddr { stage: 0, slot: 0 },
+                KRule { query, branch: 0, set, mask: Field::DstIp.mask() },
+            )],
+            h: vec![(
+                ModuleAddr { stage: 1, slot: 1 },
+                HRule {
+                    query,
+                    branch: 0,
+                    set,
+                    mode: HashMode::Hash { seed: 11, range: 1024 },
+                    offset: 0,
+                },
+            )],
+            s: vec![(
+                ModuleAddr { stage: 2, slot: 2 },
+                SRule { query, branch: 0, set, op: SaluOp::Add(Operand::Const(1)) },
+            )],
+            r: vec![(
+                ModuleAddr { stage: 3, slot: 3 },
+                RRule {
+                    query,
+                    branch: 0,
+                    set,
+                    priority: 1,
+                    state_match: RMatch::at_least(3),
+                    global_match: RMatch::ANY,
+                    actions: vec![RAction::Report],
+                },
+            )],
+        }
+    }
+
+    fn syn_to(dst: u32) -> newton_packet::Packet {
+        PacketBuilder::new().dst_ip(dst).tcp_flags(TcpFlags::SYN).build()
+    }
+
+    #[test]
+    fn install_walk_report() {
+        let mut sw = Switch::new(PipelineConfig::default());
+        sw.install(&tiny_q1(1)).unwrap();
+        // Two SYNs: below threshold.
+        assert!(sw.process(&syn_to(9), None).reports.is_empty());
+        assert!(sw.process(&syn_to(9), None).reports.is_empty());
+        // Third SYN crosses the threshold.
+        let out = sw.process(&syn_to(9), None);
+        assert_eq!(out.reports.len(), 1);
+        assert_eq!(out.reports[0].state_result, 3);
+        assert_eq!(out.reports[0].query, 1);
+        // Non-matching traffic executes nothing.
+        let udp = PacketBuilder::new().protocol(newton_packet::Protocol::Udp).build();
+        assert!(sw.process(&udp, None).reports.is_empty());
+    }
+
+    #[test]
+    fn forwarding_counter_never_pauses_across_rule_ops() {
+        let mut sw = Switch::new(PipelineConfig::default());
+        for _ in 0..5 {
+            sw.process(&syn_to(1), None);
+        }
+        sw.install(&tiny_q1(1)).unwrap();
+        for _ in 0..5 {
+            sw.process(&syn_to(1), None);
+        }
+        sw.remove_query(1);
+        for _ in 0..5 {
+            sw.process(&syn_to(1), None);
+        }
+        assert_eq!(sw.forwarded(), 15, "every packet forwarded regardless of rule churn");
+    }
+
+    #[test]
+    fn remove_query_erases_all_rules_and_behaviour() {
+        let mut sw = Switch::new(PipelineConfig::default());
+        sw.install(&tiny_q1(1)).unwrap();
+        assert_eq!(sw.total_rule_count(), 5);
+        let removed = sw.remove_query(1);
+        assert_eq!(removed, 5);
+        assert_eq!(sw.total_rule_count(), 0);
+        for _ in 0..10 {
+            assert!(sw.process(&syn_to(9), None).reports.is_empty());
+        }
+    }
+
+    #[test]
+    fn epoch_clear_resets_counts() {
+        let mut sw = Switch::new(PipelineConfig::default());
+        sw.install(&tiny_q1(1)).unwrap();
+        for _ in 0..3 {
+            sw.process(&syn_to(9), None);
+        }
+        sw.clear_state();
+        // Counts restart: two more SYNs stay below threshold.
+        assert!(sw.process(&syn_to(9), None).reports.is_empty());
+        assert!(sw.process(&syn_to(9), None).reports.is_empty());
+    }
+
+    #[test]
+    fn install_is_atomic_on_error() {
+        let mut sw = Switch::new(PipelineConfig::default());
+        let mut rs = tiny_q1(1);
+        // Sabotage: point the S rule at a K slot.
+        rs.s[0].0 = ModuleAddr { stage: 0, slot: 0 };
+        assert!(sw.install(&rs).is_err());
+        assert_eq!(sw.total_rule_count(), 0, "failed install must leave nothing behind");
+    }
+
+    #[test]
+    fn bad_address_is_rejected() {
+        let mut sw = Switch::new(PipelineConfig { stages: 2, ..Default::default() });
+        let mut rs = tiny_q1(1);
+        rs.r[0].0 = ModuleAddr { stage: 99, slot: 0 };
+        assert!(matches!(sw.install(&rs), Err(SwitchError::NoSuchInstance(_))));
+    }
+
+    #[test]
+    fn cqe_two_switch_execution() {
+        // Slice the tiny query: K+H on switch A (stages 0-1), S+R on
+        // switch B (stages 2-3 → shifted to 0-1).
+        let full = tiny_q1(1);
+        let slice_a = full.slice_stages(0, 2);
+        let slice_b = full.slice_stages(2, 4);
+
+        let mut a = Switch::new(PipelineConfig::default());
+        let mut b = Switch::new(PipelineConfig::default());
+        a.install(&slice_a).unwrap();
+        b.install(&slice_b).unwrap();
+        a.set_slice(1, SliceInfo { index: 0, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+        b.set_slice(1, SliceInfo { index: 1, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+
+        let mut reports = Vec::new();
+        for _ in 0..3 {
+            let out_a = a.process(&syn_to(9), None);
+            assert!(out_a.reports.is_empty(), "A has no R module");
+            let sp = out_a.snapshot.expect("A must emit a snapshot");
+            assert_eq!(sp.cursor, 1);
+            let out_b = b.process(&syn_to(9), Some(&sp));
+            assert_eq!(
+                out_b.snapshot,
+                Some(DEAD_MARKER),
+                "B is the last slice: the header becomes a processed marker"
+            );
+            reports.extend(out_b.reports);
+        }
+        assert_eq!(reports.len(), 1, "threshold crossed exactly once at hop B");
+        assert_eq!(reports[0].state_result, 3);
+    }
+
+    #[test]
+    fn naive_layout_hosts_one_module_per_stage() {
+        let mut sw = Switch::new(PipelineConfig {
+            layout: LayoutKind::Naive,
+            stages: 4,
+            ..Default::default()
+        });
+        // The naive layout is K,H,S,R at slots 0 of stages 0..4.
+        let mut rs = tiny_q1(1);
+        rs.k[0].0 = ModuleAddr { stage: 0, slot: 0 };
+        rs.h[0].0 = ModuleAddr { stage: 1, slot: 0 };
+        rs.s[0].0 = ModuleAddr { stage: 2, slot: 0 };
+        rs.r[0].0 = ModuleAddr { stage: 3, slot: 0 };
+        sw.install(&rs).unwrap();
+        for _ in 0..2 {
+            sw.process(&syn_to(5), None);
+        }
+        assert_eq!(sw.process(&syn_to(5), None).reports.len(), 1);
+    }
+
+    #[test]
+    fn dependent_modules_in_same_stage_see_stale_inputs() {
+        // Install K and H in the SAME stage: H reads the stage-entry op
+        // keys (zero), demonstrating the write-read dependency the compact
+        // layout must respect (Fig. 4).
+        let mut sw = Switch::new(PipelineConfig::default());
+        let mut rs = tiny_q1(1);
+        rs.h[0].0 = ModuleAddr { stage: 0, slot: 1 }; // same stage as K
+        rs.h[0].1.mode = HashMode::Direct(Field::DstIp);
+        sw.install(&rs).unwrap();
+        sw.process(&syn_to(0xAABB), None);
+        // S indexed by hash of stale (zero) keys → register 0 counted, not
+        // the register for dst 0xAABB.
+        let s_addr = ModuleAddr { stage: 2, slot: 2 };
+        assert_eq!(sw.read_register(s_addr, 0), Some(1));
+    }
+}

@@ -1,0 +1,115 @@
+//! Scheduled network dynamics: the failure/recovery timelines of Fig. 9.
+//!
+//! Experiments inject link events at trace timestamps; the driver applies
+//! each event as simulated time passes it. Deterministic by construction.
+
+use crate::routing::Router;
+use crate::topology::NodeId;
+
+/// One network dynamic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NetworkEvent {
+    FailLink { a: NodeId, b: NodeId },
+    RestoreLink { a: NodeId, b: NodeId },
+}
+
+/// A time-ordered schedule of events (timestamps in trace nanoseconds).
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    events: Vec<(u64, NetworkEvent)>,
+    cursor: usize,
+}
+
+impl EventSchedule {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an event at `ts_ns`; events keep time order regardless of
+    /// insertion order.
+    pub fn at(mut self, ts_ns: u64, event: NetworkEvent) -> Self {
+        self.events.push((ts_ns, event));
+        self.events.sort_by_key(|&(t, _)| t);
+        self
+    }
+
+    /// Number of events not yet applied.
+    pub fn pending(&self) -> usize {
+        self.events.len() - self.cursor
+    }
+
+    /// Apply every event with `ts ≤ now_ns` to the router; returns how many
+    /// fired.
+    pub fn advance(&mut self, now_ns: u64, router: &mut Router) -> usize {
+        let mut fired = 0;
+        while let Some(&(ts, event)) = self.events.get(self.cursor) {
+            if ts > now_ns {
+                break;
+            }
+            match event {
+                NetworkEvent::FailLink { a, b } => router.fail_link(a, b),
+                NetworkEvent::RestoreLink { a, b } => router.restore_link(a, b),
+            }
+            self.cursor += 1;
+            fired += 1;
+        }
+        fired
+    }
+
+    /// Reset to the beginning (replaying a schedule).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topology::Topology;
+    use newton_packet::FlowKey;
+
+    fn flow() -> FlowKey {
+        FlowKey { src_ip: 1, dst_ip: 2, src_port: 3, dst_port: 4, protocol: 6 }
+    }
+
+    #[test]
+    fn events_apply_in_time_order() {
+        let mut router = Router::new(Topology::fat_tree(4));
+        // Insert out of order; fail at t=100, restore at t=200.
+        let mut sched = EventSchedule::new()
+            .at(200, NetworkEvent::RestoreLink { a: 4, b: 0 })
+            .at(100, NetworkEvent::FailLink { a: 4, b: 0 });
+
+        assert_eq!(sched.advance(50, &mut router), 0);
+        assert!(router.link_up(4, 0));
+        assert_eq!(sched.advance(150, &mut router), 1);
+        assert!(!router.link_up(4, 0));
+        assert_eq!(sched.advance(250, &mut router), 1);
+        assert!(router.link_up(4, 0));
+        assert_eq!(sched.pending(), 0);
+    }
+
+    #[test]
+    fn failure_changes_paths_and_restore_heals() {
+        let topo = Topology::chain(3);
+        let mut router = Router::new(topo);
+        let mut sched = EventSchedule::new()
+            .at(10, NetworkEvent::FailLink { a: 1, b: 2 })
+            .at(20, NetworkEvent::RestoreLink { a: 1, b: 2 });
+        sched.advance(15, &mut router);
+        assert!(router.path(0, 2, &flow()).is_none());
+        sched.advance(25, &mut router);
+        assert_eq!(router.path(0, 2, &flow()).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn rewind_replays() {
+        let mut router = Router::new(Topology::chain(2));
+        let mut sched = EventSchedule::new().at(5, NetworkEvent::FailLink { a: 0, b: 1 });
+        assert_eq!(sched.advance(10, &mut router), 1);
+        sched.rewind();
+        router.restore_link(0, 1);
+        assert_eq!(sched.advance(10, &mut router), 1);
+        assert!(!router.link_up(0, 1));
+    }
+}

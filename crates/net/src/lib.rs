@@ -1,0 +1,20 @@
+//! Network substrate: topologies, routing, failures, and multi-hop packet
+//! delivery with cross-switch query execution.
+//!
+//! The paper's network-wide evaluation needs three topology families —
+//! linear chains (the 3-switch testbed of Figs. 8/13/14), k-ary fat-trees
+//! and an AT&T-like North-America backbone (Fig. 17) — plus shortest-path
+//! routing that reroutes around link failures (the resilience scenario of
+//! Fig. 9). [`sim`] carries packets hop by hop through real
+//! `newton-dataplane` switches, piggybacking the 12-byte result snapshot
+//! between Newton hops and stripping it before host delivery.
+
+pub mod events;
+pub mod routing;
+pub mod sim;
+pub mod topology;
+
+pub use events::{EventSchedule, NetworkEvent};
+pub use routing::{EcmpMode, Router};
+pub use sim::{DeliveryResult, LinkLoad, Network};
+pub use topology::{NodeId, Topology};

@@ -1,0 +1,279 @@
+//! Multi-hop delivery through real switch pipelines, with CQE snapshots.
+//!
+//! [`Network`] owns one `newton-dataplane` [`Switch`] per topology node.
+//! Delivering a packet walks its routed path; at each hop the switch
+//! pipeline executes, and the 12-byte result snapshot rides between
+//! adjacent Newton hops and is stripped before the last hop hands the
+//! packet to the destination host (§5.1).
+
+use crate::routing::Router;
+use crate::topology::{NodeId, Topology};
+use newton_dataplane::{PipelineConfig, Report, Switch};
+use newton_packet::{Packet, SnapshotHeader};
+
+/// One delivered packet's observable outcome.
+#[derive(Debug, Clone)]
+pub struct DeliveryResult {
+    /// The path taken (switch ids), empty if unroutable.
+    pub path: Vec<NodeId>,
+    /// Reports mirrored by each hop, tagged with the reporting switch.
+    pub reports: Vec<(NodeId, Report)>,
+    /// Extra bytes the snapshot added on in-network links (CQE bandwidth
+    /// overhead accounting).
+    pub snapshot_bytes: usize,
+    /// Whether the packet reached the destination with no snapshot header
+    /// attached (it must, always).
+    pub clean_delivery: bool,
+}
+
+/// Per-link byte counters: payload bytes vs snapshot-header bytes, for
+/// bandwidth-overhead accounting (§5.1: "less than 1% bandwidth overhead").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkLoad {
+    pub payload_bytes: u64,
+    pub snapshot_bytes: u64,
+}
+
+impl LinkLoad {
+    /// Snapshot bytes as a fraction of all bytes on the link.
+    pub fn overhead_fraction(&self) -> f64 {
+        let total = self.payload_bytes + self.snapshot_bytes;
+        if total == 0 {
+            0.0
+        } else {
+            self.snapshot_bytes as f64 / total as f64
+        }
+    }
+}
+
+/// A simulated network of programmable switches.
+#[derive(Debug)]
+pub struct Network {
+    router: Router,
+    switches: Vec<Switch>,
+    link_load: std::collections::HashMap<(NodeId, NodeId), LinkLoad>,
+    /// Switches running Newton modules; the rest forward only (§7:
+    /// "Newton supports partial deployment, and CQE only works in
+    /// adjacent Newton-enabled switches").
+    newton_enabled: Vec<bool>,
+}
+
+impl Network {
+    /// Build a network with identical pipelines on every node.
+    pub fn new(topo: Topology, pipeline: PipelineConfig) -> Self {
+        let n = topo.len();
+        Network {
+            router: Router::new(topo),
+            switches: (0..n).map(|_| Switch::new(pipeline)).collect(),
+            link_load: std::collections::HashMap::new(),
+            newton_enabled: vec![true; n],
+        }
+    }
+
+    /// Enable/disable Newton processing at a switch (partial deployment).
+    /// Disabled switches still forward every packet — including frames
+    /// carrying the snapshot header, which pass through them untouched.
+    pub fn set_newton_enabled(&mut self, node: NodeId, enabled: bool) {
+        self.newton_enabled[node] = enabled;
+    }
+
+    /// Whether a switch runs Newton modules.
+    pub fn newton_enabled(&self, node: NodeId) -> bool {
+        self.newton_enabled[node]
+    }
+
+    /// Byte counters of one (undirected) link.
+    pub fn link_load(&self, a: NodeId, b: NodeId) -> LinkLoad {
+        let key = if a <= b { (a, b) } else { (b, a) };
+        self.link_load.get(&key).copied().unwrap_or_default()
+    }
+
+    /// The worst snapshot-overhead fraction across all loaded links.
+    pub fn peak_link_overhead(&self) -> f64 {
+        self.link_load.values().map(LinkLoad::overhead_fraction).fold(0.0, f64::max)
+    }
+
+    pub fn router(&self) -> &Router {
+        &self.router
+    }
+
+    pub fn router_mut(&mut self) -> &mut Router {
+        &mut self.router
+    }
+
+    pub fn topology(&self) -> &Topology {
+        self.router.topology()
+    }
+
+    pub fn switch(&self, id: NodeId) -> &Switch {
+        &self.switches[id]
+    }
+
+    pub fn switch_mut(&mut self, id: NodeId) -> &mut Switch {
+        &mut self.switches[id]
+    }
+
+    pub fn switch_count(&self) -> usize {
+        self.switches.len()
+    }
+
+    /// Deliver one packet from the host behind `ingress` to the host
+    /// behind `egress`. Every hop forwards unconditionally; monitoring is
+    /// a pure observer.
+    pub fn deliver(&mut self, pkt: &Packet, ingress: NodeId, egress: NodeId) -> DeliveryResult {
+        let Some(path) = self.router.path(ingress, egress, &pkt.flow_key()) else {
+            return DeliveryResult {
+                path: Vec::new(),
+                reports: Vec::new(),
+                snapshot_bytes: 0,
+                clean_delivery: false,
+            };
+        };
+
+        let mut reports = Vec::new();
+        let mut snapshot: Option<SnapshotHeader> = None;
+        let mut snapshot_bytes = 0usize;
+        for (i, &hop) in path.iter().enumerate() {
+            if self.newton_enabled[hop] {
+                let out = self.switches[hop].process(pkt, snapshot.as_ref());
+                reports.extend(out.reports.into_iter().map(|r| (hop, r)));
+                snapshot = out.snapshot;
+            }
+            // A non-Newton hop forwards the frame (and any snapshot on it)
+            // untouched.
+            // The snapshot travels on the wire to the next hop, if any.
+            if i + 1 < path.len() {
+                let (a, b) = (hop.min(path[i + 1]), hop.max(path[i + 1]));
+                let load = self.link_load.entry((a, b)).or_default();
+                load.payload_bytes += pkt.wire_len as u64;
+                if snapshot.is_some() {
+                    load.snapshot_bytes += newton_packet::SP_HEADER_LEN as u64;
+                    snapshot_bytes += newton_packet::SP_HEADER_LEN;
+                }
+            }
+        }
+        // The last Newton hop strips the header before host delivery; a
+        // dangling snapshot means the query wanted more switches than the
+        // path had — the remainder defers to the analyzer (§5.2), and the
+        // host still receives a clean packet.
+        DeliveryResult { path, reports, snapshot_bytes, clean_delivery: true }
+    }
+
+    /// Reset all stateful memory network-wide (epoch boundary).
+    pub fn clear_state(&mut self) {
+        for sw in &mut self.switches {
+            sw.clear_state();
+        }
+    }
+
+    /// Total rules installed across all switches.
+    pub fn total_rules(&self) -> usize {
+        self.switches.iter().map(Switch::total_rule_count).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_compiler::{compile, CompilerConfig};
+    use newton_dataplane::{SetId, SliceInfo};
+    use newton_packet::{PacketBuilder, TcpFlags};
+    use newton_query::catalog;
+
+    fn syn(dst: u32, sport: u16) -> Packet {
+        PacketBuilder::new().dst_ip(dst).src_ip(sport as u32).src_port(sport).tcp_flags(TcpFlags::SYN).build()
+    }
+
+    #[test]
+    fn unroutable_packets_are_reported_as_such() {
+        let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+        net.router_mut().fail_link(0, 1);
+        let r = net.deliver(&syn(1, 1), 0, 1);
+        assert!(!r.clean_delivery);
+        assert!(r.path.is_empty());
+    }
+
+    #[test]
+    fn forwarding_is_unconditional_without_rules() {
+        let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+        let r = net.deliver(&syn(1, 1), 0, 2);
+        assert_eq!(r.path, vec![0, 1, 2]);
+        assert!(r.reports.is_empty());
+        assert_eq!(r.snapshot_bytes, 0);
+        assert_eq!(net.switch(1).forwarded(), 1);
+    }
+
+    #[test]
+    fn whole_query_on_first_hop_reports_there() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+        net.switch_mut(0).install(&compiled.rules).unwrap();
+        let mut hits = Vec::new();
+        for i in 0..catalog::thresholds::NEW_TCP as u16 {
+            let out = net.deliver(&syn(0xBEEF, 1000 + i), 0, 2);
+            hits.extend(out.reports);
+        }
+        assert_eq!(hits.len(), 1, "threshold crossed once");
+        assert_eq!(hits[0].0, 0, "reported by the first hop");
+    }
+
+    #[test]
+    fn cqe_spans_two_switches_and_strips_snapshot() {
+        // Slice Q1 at a stage boundary across switches 0 and 1 of a chain.
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let total_stages = compiled.composition.stages();
+        assert!(total_stages >= 2, "need at least 2 stages to slice");
+        let cut = total_stages / 2;
+        let first = compiled.rules.slice_stages(0, cut);
+        let second = compiled.rules.slice_stages(cut, total_stages);
+
+        let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+        net.switch_mut(0).install(&first).unwrap();
+        net.switch_mut(1).install(&second).unwrap();
+        net.switch_mut(0).set_slice(1, SliceInfo { index: 0, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+        net.switch_mut(1).set_slice(1, SliceInfo { index: 1, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+
+        let mut reports = Vec::new();
+        let mut sp_bytes = 0;
+        for i in 0..catalog::thresholds::NEW_TCP as u16 {
+            let out = net.deliver(&syn(0xCAFE, 2000 + i), 0, 2);
+            assert!(out.clean_delivery);
+            reports.extend(out.reports);
+            sp_bytes += out.snapshot_bytes;
+        }
+        assert_eq!(reports.len(), 1, "CQE reports exactly once network-wide");
+        assert_eq!(reports[0].0, 1, "the second slice holds the threshold ℝ");
+        // The header rode the 0→1 link as a live snapshot and the 1→2 link
+        // as the processed marker: 12 bytes per internal link per packet.
+        assert_eq!(sp_bytes as u64, catalog::thresholds::NEW_TCP * 12 * 2);
+    }
+
+    #[test]
+    fn link_load_accounting_is_per_link_and_fractional() {
+        let load = LinkLoad { payload_bytes: 1488 * 100, snapshot_bytes: 12 * 100 };
+        assert!((load.overhead_fraction() - 0.008).abs() < 1e-9);
+        assert_eq!(LinkLoad::default().overhead_fraction(), 0.0);
+        let net = Network::new(Topology::chain(2), PipelineConfig::default());
+        assert_eq!(net.link_load(0, 1), LinkLoad::default());
+        assert_eq!(net.link_load(1, 0), net.link_load(0, 1), "undirected");
+    }
+
+    #[test]
+    fn epoch_clear_resets_network_state() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+        net.switch_mut(0).install(&compiled.rules).unwrap();
+        for i in 0..30u16 {
+            net.deliver(&syn(7, 3000 + i), 0, 1);
+        }
+        net.clear_state();
+        let mut reports = 0;
+        for i in 0..30u16 {
+            reports += net.deliver(&syn(7, 4000 + i), 0, 1).reports.len();
+        }
+        assert_eq!(reports, 0, "30 SYNs after reset stay below the threshold of 40");
+    }
+}

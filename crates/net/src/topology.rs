@@ -1,0 +1,273 @@
+//! Topology graphs: chains, k-ary fat-trees, and an ISP backbone.
+
+use std::collections::BTreeSet;
+
+/// Switch identifier within a topology.
+pub type NodeId = usize;
+
+/// An undirected switch-level topology with designated edge (host-facing)
+/// switches.
+///
+/// ```
+/// use newton_net::Topology;
+/// let t = Topology::fat_tree(4);
+/// assert_eq!(t.len(), 20);
+/// assert_eq!(t.edge_switches().len(), 8);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Topology {
+    name: String,
+    adjacency: Vec<BTreeSet<NodeId>>,
+    edge_switches: Vec<NodeId>,
+}
+
+impl Topology {
+    /// Build an empty topology with `n` switches.
+    pub fn new(name: impl Into<String>, n: usize) -> Self {
+        Topology { name: name.into(), adjacency: vec![BTreeSet::new(); n], edge_switches: Vec::new() }
+    }
+
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of switches.
+    pub fn len(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.adjacency.is_empty()
+    }
+
+    /// Add an undirected link.
+    ///
+    /// # Panics
+    /// Panics on out-of-range nodes or self-loops.
+    pub fn add_link(&mut self, a: NodeId, b: NodeId) {
+        assert!(a != b, "self-loop at {a}");
+        assert!(a < self.len() && b < self.len(), "link ({a},{b}) out of range");
+        self.adjacency[a].insert(b);
+        self.adjacency[b].insert(a);
+    }
+
+    /// Mark a switch as host-facing.
+    pub fn mark_edge(&mut self, s: NodeId) {
+        assert!(s < self.len());
+        if !self.edge_switches.contains(&s) {
+            self.edge_switches.push(s);
+        }
+    }
+
+    /// Neighbors of a switch.
+    pub fn neighbors(&self, s: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        self.adjacency[s].iter().copied()
+    }
+
+    /// Host-facing switches.
+    pub fn edge_switches(&self) -> &[NodeId] {
+        &self.edge_switches
+    }
+
+    /// Total undirected links.
+    pub fn link_count(&self) -> usize {
+        self.adjacency.iter().map(BTreeSet::len).sum::<usize>() / 2
+    }
+
+    /// A linear chain of `n` switches (the paper's testbed shape); both
+    /// ends are edge switches.
+    pub fn chain(n: usize) -> Topology {
+        assert!(n >= 1);
+        let mut t = Topology::new(format!("chain-{n}"), n);
+        for i in 1..n {
+            t.add_link(i - 1, i);
+        }
+        t.mark_edge(0);
+        if n > 1 {
+            t.mark_edge(n - 1);
+        }
+        t
+    }
+
+    /// A k-ary fat-tree: `(k/2)²` core switches, `k` pods of `k/2`
+    /// aggregation + `k/2` edge switches. `k` must be even and ≥ 2.
+    ///
+    /// Node layout: cores `0..(k/2)²`, then per pod: aggs, then edges.
+    pub fn fat_tree(k: usize) -> Topology {
+        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+        let half = k / 2;
+        let cores = half * half;
+        let n = cores + k * k; // + k pods × (half agg + half edge) = k*k
+        let mut t = Topology::new(format!("fat-tree-{k}"), n);
+        for pod in 0..k {
+            let agg0 = cores + pod * k;
+            let edge0 = agg0 + half;
+            for a in 0..half {
+                // Aggregation a of this pod connects to cores
+                // [a*half, (a+1)*half).
+                for c in 0..half {
+                    t.add_link(agg0 + a, a * half + c);
+                }
+                // Full bipartite agg–edge inside the pod.
+                for e in 0..half {
+                    t.add_link(agg0 + a, edge0 + e);
+                }
+            }
+            for e in 0..half {
+                t.mark_edge(edge0 + e);
+            }
+        }
+        t
+    }
+
+    /// An AT&T-like North-America backbone (25 PoPs), reconstructed from
+    /// the public OC-768 map the paper cites: a mesh over major US cities.
+    /// California PoPs (San Francisco=0, Los Angeles=1, Sacramento=2,
+    /// San Diego=3) are edge switches, matching the paper's "traffic
+    /// emitted from California" scenario.
+    pub fn isp_backbone() -> Topology {
+        const N: usize = 25;
+        // 0 SF, 1 LA, 2 Sacramento, 3 San Diego, 4 Seattle, 5 Portland,
+        // 6 Salt Lake City, 7 Phoenix, 8 Denver, 9 Dallas, 10 Houston,
+        // 11 San Antonio, 12 Kansas City, 13 St. Louis, 14 Chicago,
+        // 15 Nashville, 16 Atlanta, 17 Orlando, 18 Miami, 19 Charlotte,
+        // 20 Washington DC, 21 Philadelphia, 22 New York, 23 Boston,
+        // 24 Cleveland.
+        let links: &[(usize, usize)] = &[
+            (0, 2), (0, 1), (0, 4), (0, 6), (1, 3), (1, 7), (1, 9), (2, 4), (2, 6),
+            (3, 7), (4, 5), (5, 6), (6, 8), (7, 9), (8, 12), (8, 9), (8, 14), (9, 10),
+            (9, 12), (10, 11), (10, 16), (11, 7), (12, 13), (13, 14), (13, 15), (14, 24),
+            (14, 22), (15, 16), (16, 17), (16, 19), (17, 18), (19, 20), (20, 21), (21, 22),
+            (22, 23), (24, 20), (24, 22), (13, 16), (12, 15),
+        ];
+        let mut t = Topology::new("isp-na-backbone", N);
+        for &(a, b) in links {
+            t.add_link(a, b);
+        }
+        for ca in [0, 1, 2, 3] {
+            t.mark_edge(ca);
+        }
+        t
+    }
+}
+
+impl Topology {
+    /// The classic Abilene research backbone (11 PoPs) — a second,
+    /// smaller ISP topology for placement experiments.
+    /// Seattle=0, Sunnyvale=1, Los Angeles=2, Denver=3, Kansas City=4,
+    /// Houston=5, Chicago=6, Indianapolis=7, Atlanta=8, Washington=9,
+    /// New York=10. West-coast PoPs are edge switches.
+    pub fn abilene() -> Topology {
+        let links: &[(usize, usize)] = &[
+            (0, 1), (0, 3), (1, 2), (1, 3), (2, 5), (3, 4), (4, 5), (4, 7), (5, 8),
+            (6, 7), (6, 10), (7, 8), (8, 9), (9, 10),
+        ];
+        let mut t = Topology::new("abilene", 11);
+        for &(a, b) in links {
+            t.add_link(a, b);
+        }
+        for west in [0, 1, 2] {
+            t.mark_edge(west);
+        }
+        t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_shape() {
+        let t = Topology::chain(3);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.link_count(), 2);
+        assert_eq!(t.edge_switches(), &[0, 2]);
+        assert_eq!(t.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn single_switch_chain() {
+        let t = Topology::chain(1);
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.edge_switches(), &[0]);
+    }
+
+    #[test]
+    fn fat_tree_counts() {
+        // k=4: 4 cores, 4 pods × (2 agg + 2 edge) = 20 switches; 8 edges.
+        let t = Topology::fat_tree(4);
+        assert_eq!(t.len(), 4 + 16);
+        assert_eq!(t.edge_switches().len(), 8);
+        // Links: core-agg = 4 pods × 2 agg × 2 cores = 16; agg-edge = 4
+        // pods × 2 × 2 = 16.
+        assert_eq!(t.link_count(), 32);
+    }
+
+    #[test]
+    fn fat_tree_scales() {
+        let t8 = Topology::fat_tree(8);
+        assert_eq!(t8.len(), 16 + 64);
+        assert_eq!(t8.edge_switches().len(), 32);
+        let t16 = Topology::fat_tree(16);
+        assert_eq!(t16.len(), 64 + 256, "k=16 fat-tree has 320 switches");
+    }
+
+    #[test]
+    fn fat_tree_edges_touch_aggs_only() {
+        let t = Topology::fat_tree(4);
+        for &e in t.edge_switches() {
+            for n in t.neighbors(e) {
+                // Edge switches only connect to aggregation switches
+                // (cores are 0..4).
+                assert!(n >= 4, "edge {e} wired to core {n}");
+            }
+        }
+    }
+
+    #[test]
+    fn isp_backbone_is_connected() {
+        let t = Topology::isp_backbone();
+        assert_eq!(t.len(), 25);
+        // BFS from node 0 must reach everyone.
+        let mut seen = vec![false; t.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(s) = queue.pop() {
+            for n in t.neighbors(s) {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push(n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "backbone not connected");
+        assert_eq!(t.edge_switches(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn abilene_is_connected_and_small() {
+        let t = Topology::abilene();
+        assert_eq!(t.len(), 11);
+        assert_eq!(t.link_count(), 14);
+        let mut seen = vec![false; t.len()];
+        let mut queue = vec![0usize];
+        seen[0] = true;
+        while let Some(s) = queue.pop() {
+            for n in t.neighbors(s) {
+                if !seen[n] {
+                    seen[n] = true;
+                    queue.push(n);
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(t.edge_switches(), &[0, 1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "self-loop")]
+    fn self_loops_rejected() {
+        Topology::new("t", 2).add_link(1, 1);
+    }
+}

@@ -1,0 +1,222 @@
+//! The global header-field set.
+//!
+//! Newton's key-selection module (𝕂) takes "a list of global fields as
+//! input" and conceals unneeded fields with a bit-mask (§4.1). We model the
+//! global field set as a fixed-width bit vector ([`FieldVector`]) formed by
+//! concatenating the fields below in a fixed order. A 𝕂 rule is then just a
+//! mask over that vector — exactly the `&` action the paper describes — and
+//! flexible logic such as "take the /24 prefix of the source address" is a
+//! mask too.
+
+use crate::packet::Packet;
+use std::fmt;
+
+/// One field from the global header-field set available to queries.
+///
+/// The order of the variants defines the bit layout of [`FieldVector`]:
+/// `SrcIp` occupies the most-significant bits, `TcpFlags` the least.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Field {
+    /// IPv4 source address (32 bits).
+    SrcIp,
+    /// IPv4 destination address (32 bits).
+    DstIp,
+    /// Transport source port (16 bits); 0 for non-TCP/UDP packets.
+    SrcPort,
+    /// Transport destination port (16 bits); 0 for non-TCP/UDP packets.
+    DstPort,
+    /// Total packet wire length in bytes (16 bits); feeds byte-volume
+    /// reduces such as the Slowloris query's traffic sum.
+    PktLen,
+    /// IPv4 protocol number (8 bits).
+    Proto,
+    /// TCP control flags (8 bits); 0 for non-TCP packets.
+    TcpFlags,
+}
+
+/// All global fields in bit-layout order.
+pub const GLOBAL_FIELDS: [Field; 7] = [
+    Field::SrcIp,
+    Field::DstIp,
+    Field::SrcPort,
+    Field::DstPort,
+    Field::PktLen,
+    Field::Proto,
+    Field::TcpFlags,
+];
+
+/// Total width of the global field vector in bits.
+pub const GLOBAL_FIELD_BITS: u32 = 32 + 32 + 16 + 16 + 16 + 8 + 8;
+
+impl Field {
+    /// Width of this field in bits.
+    pub const fn width(self) -> u32 {
+        match self {
+            Field::SrcIp | Field::DstIp => 32,
+            Field::SrcPort | Field::DstPort | Field::PktLen => 16,
+            Field::Proto | Field::TcpFlags => 8,
+        }
+    }
+
+    /// Offset of this field's least-significant bit within the global
+    /// field vector.
+    pub const fn shift(self) -> u32 {
+        match self {
+            Field::SrcIp => 96,
+            Field::DstIp => 64,
+            Field::SrcPort => 48,
+            Field::DstPort => 32,
+            Field::PktLen => 16,
+            Field::Proto => 8,
+            Field::TcpFlags => 0,
+        }
+    }
+
+    /// A mask over the global field vector selecting this entire field.
+    pub const fn mask(self) -> u128 {
+        (((1u128 << self.width()) - 1) << self.shift()) as u128
+    }
+
+    /// A mask selecting only the top `prefix` bits of this field
+    /// (e.g. `Field::SrcIp.prefix_mask(24)` keeps the /24 prefix).
+    ///
+    /// `prefix` is clamped to the field width.
+    pub const fn prefix_mask(self, prefix: u32) -> u128 {
+        let p = if prefix > self.width() { self.width() } else { prefix };
+        if p == 0 {
+            return 0;
+        }
+        let keep = ((1u128 << p) - 1) << (self.width() - p);
+        keep << self.shift()
+    }
+}
+
+impl fmt::Display for Field {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Field::SrcIp => "sip",
+            Field::DstIp => "dip",
+            Field::SrcPort => "sport",
+            Field::DstPort => "dport",
+            Field::PktLen => "len",
+            Field::Proto => "proto",
+            Field::TcpFlags => "tcp.flags",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The packed 112-bit global field vector extracted from a packet.
+///
+/// This is the value that 𝕂 masks and that ℍ hashes. It fits in a `u128`,
+/// which keeps the simulated PHV compact and hashing cheap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct FieldVector(pub u128);
+
+impl FieldVector {
+    /// Extract the full global field vector from a parsed packet.
+    pub fn from_packet(pkt: &Packet) -> Self {
+        let mut v: u128 = 0;
+        v |= (pkt.src_ip as u128) << Field::SrcIp.shift();
+        v |= (pkt.dst_ip as u128) << Field::DstIp.shift();
+        v |= (pkt.src_port as u128) << Field::SrcPort.shift();
+        v |= (pkt.dst_port as u128) << Field::DstPort.shift();
+        v |= (pkt.wire_len as u128) << Field::PktLen.shift();
+        v |= (pkt.protocol.number() as u128) << Field::Proto.shift();
+        v |= (pkt.tcp_flags.bits() as u128) << Field::TcpFlags.shift();
+        FieldVector(v)
+    }
+
+    /// Apply a 𝕂-style bit mask, concealing all unselected bits.
+    pub const fn masked(self, mask: u128) -> Self {
+        FieldVector(self.0 & mask)
+    }
+
+    /// Read one field's value out of the vector.
+    pub const fn get(self, field: Field) -> u64 {
+        ((self.0 >> field.shift()) & ((1u128 << field.width()) - 1)) as u64
+    }
+
+    /// Build a mask that selects each field in `fields` entirely.
+    pub fn mask_of(fields: &[Field]) -> u128 {
+        fields.iter().fold(0u128, |m, f| m | f.mask())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::{PacketBuilder, Protocol, TcpFlags};
+
+    fn sample() -> Packet {
+        PacketBuilder::new()
+            .src_ip(0x0A000001)
+            .dst_ip(0xC0A80102)
+            .src_port(12345)
+            .dst_port(53)
+            .protocol(Protocol::Udp)
+            .build()
+    }
+
+    #[test]
+    fn field_widths_sum_to_vector_width() {
+        let total: u32 = GLOBAL_FIELDS.iter().map(|f| f.width()).sum();
+        assert_eq!(total, GLOBAL_FIELD_BITS);
+    }
+
+    #[test]
+    fn field_layout_is_contiguous_and_disjoint() {
+        let mut acc: u128 = 0;
+        for f in GLOBAL_FIELDS {
+            assert_eq!(acc & f.mask(), 0, "field {f} overlaps another field");
+            acc |= f.mask();
+        }
+        // The seven fields tile the full 128-bit vector exactly.
+        assert_eq!(GLOBAL_FIELD_BITS, 128);
+        assert_eq!(acc, u128::MAX);
+    }
+
+    #[test]
+    fn vector_roundtrips_fields() {
+        let pkt = sample();
+        let v = FieldVector::from_packet(&pkt);
+        assert_eq!(v.get(Field::SrcIp), 0x0A000001);
+        assert_eq!(v.get(Field::DstIp), 0xC0A80102);
+        assert_eq!(v.get(Field::SrcPort), 12345);
+        assert_eq!(v.get(Field::DstPort), 53);
+        assert_eq!(v.get(Field::Proto), Protocol::Udp.number() as u64);
+        assert_eq!(v.get(Field::TcpFlags), 0);
+    }
+
+    #[test]
+    fn masking_conceals_unselected_fields() {
+        let pkt = sample();
+        let v = FieldVector::from_packet(&pkt);
+        let m = FieldVector::mask_of(&[Field::DstPort]);
+        let masked = v.masked(m);
+        assert_eq!(masked.get(Field::DstPort), 53);
+        assert_eq!(masked.get(Field::SrcIp), 0);
+        assert_eq!(masked.get(Field::DstIp), 0);
+    }
+
+    #[test]
+    fn prefix_mask_keeps_top_bits() {
+        let pkt = sample();
+        let v = FieldVector::from_packet(&pkt);
+        let m = Field::DstIp.prefix_mask(24);
+        assert_eq!(v.masked(m).get(Field::DstIp), 0xC0A80100);
+        // /0 conceals everything; over-wide prefixes clamp.
+        assert_eq!(Field::DstIp.prefix_mask(0), 0);
+        assert_eq!(Field::DstIp.prefix_mask(99), Field::DstIp.mask());
+    }
+
+    #[test]
+    fn tcp_flags_extracted_for_tcp() {
+        let pkt = PacketBuilder::new()
+            .protocol(Protocol::Tcp)
+            .tcp_flags(TcpFlags::SYN | TcpFlags::ACK)
+            .build();
+        let v = FieldVector::from_packet(&pkt);
+        assert_eq!(v.get(Field::TcpFlags), (TcpFlags::SYN | TcpFlags::ACK).bits() as u64);
+    }
+}

@@ -1,0 +1,123 @@
+//! Flow identification.
+//!
+//! `newton_init` (§4.1) dispatches traffic to queries by ternary-matching the
+//! 5-tuple plus TCP flags. [`FlowKey`] is the canonical 5-tuple; it is also
+//! the aggregation key the baseline systems (TurboFlow, \*Flow, FlowRadar)
+//! keep state per.
+
+use std::fmt;
+
+/// The classic 5-tuple identifying a flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FlowKey {
+    pub src_ip: u32,
+    pub dst_ip: u32,
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub protocol: u8,
+}
+
+impl FlowKey {
+    /// The reverse-direction key (src/dst swapped), e.g. to pair a TCP SYN
+    /// with its SYN-ACK.
+    pub fn reversed(self) -> FlowKey {
+        FlowKey {
+            src_ip: self.dst_ip,
+            dst_ip: self.src_ip,
+            src_port: self.dst_port,
+            dst_port: self.src_port,
+            protocol: self.protocol,
+        }
+    }
+
+    /// A direction-agnostic canonical form: the lexicographically smaller of
+    /// `self` and `self.reversed()`. Both directions of a connection map to
+    /// the same canonical key.
+    pub fn canonical(self) -> FlowKey {
+        let rev = self.reversed();
+        if (self.src_ip, self.src_port) <= (rev.src_ip, rev.src_port) {
+            self
+        } else {
+            rev
+        }
+    }
+
+    /// Pack the key into a 13-byte array (used by hashing and wire export).
+    pub fn to_bytes(self) -> [u8; 13] {
+        let mut b = [0u8; 13];
+        b[0..4].copy_from_slice(&self.src_ip.to_be_bytes());
+        b[4..8].copy_from_slice(&self.dst_ip.to_be_bytes());
+        b[8..10].copy_from_slice(&self.src_port.to_be_bytes());
+        b[10..12].copy_from_slice(&self.dst_port.to_be_bytes());
+        b[12] = self.protocol;
+        b
+    }
+
+    /// Inverse of [`FlowKey::to_bytes`].
+    pub fn from_bytes(b: &[u8; 13]) -> FlowKey {
+        FlowKey {
+            src_ip: u32::from_be_bytes([b[0], b[1], b[2], b[3]]),
+            dst_ip: u32::from_be_bytes([b[4], b[5], b[6], b[7]]),
+            src_port: u16::from_be_bytes([b[8], b[9]]),
+            dst_port: u16::from_be_bytes([b[10], b[11]]),
+            protocol: b[12],
+        }
+    }
+}
+
+/// Format an IPv4 address stored as a `u32` in dotted-quad notation.
+pub fn fmt_ipv4(ip: u32) -> String {
+    format!("{}.{}.{}.{}", ip >> 24, (ip >> 16) & 0xff, (ip >> 8) & 0xff, ip & 0xff)
+}
+
+impl fmt::Display for FlowKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{} -> {}:{} proto={}",
+            fmt_ipv4(self.src_ip),
+            self.src_port,
+            fmt_ipv4(self.dst_ip),
+            self.dst_port,
+            self.protocol
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key() -> FlowKey {
+        FlowKey { src_ip: 0x0A000001, dst_ip: 0x0A000002, src_port: 99, dst_port: 80, protocol: 6 }
+    }
+
+    #[test]
+    fn reverse_is_involutive() {
+        assert_eq!(key().reversed().reversed(), key());
+    }
+
+    #[test]
+    fn canonical_is_direction_agnostic() {
+        assert_eq!(key().canonical(), key().reversed().canonical());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let k = key();
+        assert_eq!(FlowKey::from_bytes(&k.to_bytes()), k);
+    }
+
+    #[test]
+    fn ipv4_formatting() {
+        assert_eq!(fmt_ipv4(0xC0A80101), "192.168.1.1");
+        assert_eq!(fmt_ipv4(0), "0.0.0.0");
+    }
+
+    #[test]
+    fn display_contains_ports() {
+        let s = format!("{}", key());
+        assert!(s.contains(":99"));
+        assert!(s.contains(":80"));
+    }
+}

@@ -1,0 +1,279 @@
+//! Wire-format header structs with exact encode/decode.
+//!
+//! These mirror what a P4 parser extracts. The simulator usually works with
+//! the parsed [`crate::Packet`], but the wire layer ([`crate::wire`]) uses
+//! these to prove that the result-snapshot header composes with real packet
+//! formats, and trace tooling can emit byte-accurate frames.
+
+/// Errors from header parsing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseError {
+    /// The buffer is shorter than the header needs.
+    Truncated { needed: usize, got: usize },
+    /// A version/length field is inconsistent.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::Truncated { needed, got } => {
+                write!(f, "truncated header: needed {needed} bytes, got {got}")
+            }
+            ParseError::Malformed(what) => write!(f, "malformed header: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn need(buf: &[u8], n: usize) -> Result<(), ParseError> {
+    if buf.len() < n {
+        Err(ParseError::Truncated { needed: n, got: buf.len() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Ethernet II header (14 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EthernetHeader {
+    pub dst_mac: [u8; 6],
+    pub src_mac: [u8; 6],
+    pub ethertype: u16,
+}
+
+/// EtherType for IPv4.
+pub const ETHERTYPE_IPV4: u16 = 0x0800;
+/// EtherType claimed by the Newton result-snapshot header
+/// (IEEE 802 local-experimental range).
+pub const ETHERTYPE_NEWTON_SP: u16 = 0x88B5;
+
+impl EthernetHeader {
+    pub const LEN: usize = 14;
+
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        need(buf, Self::LEN)?;
+        let mut dst = [0u8; 6];
+        let mut src = [0u8; 6];
+        dst.copy_from_slice(&buf[0..6]);
+        src.copy_from_slice(&buf[6..12]);
+        Ok(EthernetHeader {
+            dst_mac: dst,
+            src_mac: src,
+            ethertype: u16::from_be_bytes([buf[12], buf[13]]),
+        })
+    }
+
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.dst_mac);
+        out.extend_from_slice(&self.src_mac);
+        out.extend_from_slice(&self.ethertype.to_be_bytes());
+    }
+}
+
+/// IPv4 header (20 bytes, options unsupported — like the paper's pipeline).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    pub total_len: u16,
+    pub identification: u16,
+    pub ttl: u8,
+    pub protocol: u8,
+    pub src: u32,
+    pub dst: u32,
+}
+
+impl Ipv4Header {
+    pub const LEN: usize = 20;
+
+    /// RFC 1071 header checksum over the 20-byte header with the checksum
+    /// field zeroed.
+    pub fn checksum(&self) -> u16 {
+        let mut bytes = Vec::with_capacity(Self::LEN);
+        self.write_with_checksum(&mut bytes, 0);
+        let mut sum: u32 = 0;
+        for chunk in bytes.chunks(2) {
+            sum += u32::from(u16::from_be_bytes([chunk[0], chunk[1]]));
+        }
+        while sum > 0xFFFF {
+            sum = (sum & 0xFFFF) + (sum >> 16);
+        }
+        !(sum as u16)
+    }
+
+    fn write_with_checksum(&self, out: &mut Vec<u8>, csum: u16) {
+        out.push(0x45); // version 4, IHL 5
+        out.push(0); // DSCP/ECN
+        out.extend_from_slice(&self.total_len.to_be_bytes());
+        out.extend_from_slice(&self.identification.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // flags/fragment offset
+        out.push(self.ttl);
+        out.push(self.protocol);
+        out.extend_from_slice(&csum.to_be_bytes());
+        out.extend_from_slice(&self.src.to_be_bytes());
+        out.extend_from_slice(&self.dst.to_be_bytes());
+    }
+
+    pub fn write(&self, out: &mut Vec<u8>) {
+        let csum = self.checksum();
+        self.write_with_checksum(out, csum);
+    }
+
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        need(buf, Self::LEN)?;
+        if buf[0] >> 4 != 4 {
+            return Err(ParseError::Malformed("IP version is not 4"));
+        }
+        if buf[0] & 0x0F != 5 {
+            return Err(ParseError::Malformed("IPv4 options not supported"));
+        }
+        let hdr = Ipv4Header {
+            total_len: u16::from_be_bytes([buf[2], buf[3]]),
+            identification: u16::from_be_bytes([buf[4], buf[5]]),
+            ttl: buf[8],
+            protocol: buf[9],
+            src: u32::from_be_bytes([buf[12], buf[13], buf[14], buf[15]]),
+            dst: u32::from_be_bytes([buf[16], buf[17], buf[18], buf[19]]),
+        };
+        let stored = u16::from_be_bytes([buf[10], buf[11]]);
+        if stored != hdr.checksum() {
+            return Err(ParseError::Malformed("bad IPv4 checksum"));
+        }
+        Ok(hdr)
+    }
+}
+
+/// TCP header (20 bytes, options unsupported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TcpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub seq: u32,
+    pub ack: u32,
+    pub flags: u8,
+    pub window: u16,
+}
+
+impl TcpHeader {
+    pub const LEN: usize = 20;
+
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.seq.to_be_bytes());
+        out.extend_from_slice(&self.ack.to_be_bytes());
+        out.push(5 << 4); // data offset 5 words
+        out.push(self.flags);
+        out.extend_from_slice(&self.window.to_be_bytes());
+        out.extend_from_slice(&[0, 0, 0, 0]); // checksum + urgent (not modeled)
+    }
+
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        need(buf, Self::LEN)?;
+        if buf[12] >> 4 != 5 {
+            return Err(ParseError::Malformed("TCP options not supported"));
+        }
+        Ok(TcpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            seq: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            ack: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+            flags: buf[13],
+            window: u16::from_be_bytes([buf[14], buf[15]]),
+        })
+    }
+}
+
+/// UDP header (8 bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    pub src_port: u16,
+    pub dst_port: u16,
+    pub length: u16,
+}
+
+impl UdpHeader {
+    pub const LEN: usize = 8;
+
+    pub fn write(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.src_port.to_be_bytes());
+        out.extend_from_slice(&self.dst_port.to_be_bytes());
+        out.extend_from_slice(&self.length.to_be_bytes());
+        out.extend_from_slice(&[0, 0]); // checksum (optional in IPv4)
+    }
+
+    pub fn parse(buf: &[u8]) -> Result<Self, ParseError> {
+        need(buf, Self::LEN)?;
+        Ok(UdpHeader {
+            src_port: u16::from_be_bytes([buf[0], buf[1]]),
+            dst_port: u16::from_be_bytes([buf[2], buf[3]]),
+            length: u16::from_be_bytes([buf[4], buf[5]]),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_roundtrip() {
+        let h = EthernetHeader {
+            dst_mac: [1, 2, 3, 4, 5, 6],
+            src_mac: [7, 8, 9, 10, 11, 12],
+            ethertype: ETHERTYPE_IPV4,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), EthernetHeader::LEN);
+        assert_eq!(EthernetHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn ipv4_roundtrip_and_checksum() {
+        let h = Ipv4Header {
+            total_len: 60,
+            identification: 0xBEEF,
+            ttl: 63,
+            protocol: 6,
+            src: 0x0A000001,
+            dst: 0x0A000002,
+        };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), Ipv4Header::LEN);
+        assert_eq!(Ipv4Header::parse(&buf).unwrap(), h);
+        // Corrupt one byte: checksum must catch it.
+        buf[15] ^= 0xFF;
+        assert!(Ipv4Header::parse(&buf).is_err());
+    }
+
+    #[test]
+    fn tcp_roundtrip() {
+        let h = TcpHeader { src_port: 443, dst_port: 55000, seq: 7, ack: 9, flags: 0x12, window: 1024 };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), TcpHeader::LEN);
+        assert_eq!(TcpHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn udp_roundtrip() {
+        let h = UdpHeader { src_port: 53, dst_port: 3333, length: 30 };
+        let mut buf = Vec::new();
+        h.write(&mut buf);
+        assert_eq!(buf.len(), UdpHeader::LEN);
+        assert_eq!(UdpHeader::parse(&buf).unwrap(), h);
+    }
+
+    #[test]
+    fn truncated_buffers_error() {
+        assert!(matches!(
+            EthernetHeader::parse(&[0u8; 5]),
+            Err(ParseError::Truncated { needed: 14, got: 5 })
+        ));
+        assert!(Ipv4Header::parse(&[0u8; 19]).is_err());
+        assert!(TcpHeader::parse(&[0u8; 19]).is_err());
+        assert!(UdpHeader::parse(&[0u8; 7]).is_err());
+    }
+}

@@ -1,0 +1,30 @@
+//! Packet substrate for the Newton reproduction.
+//!
+//! This crate provides the packet representation used by every other crate:
+//!
+//! * Wire-format headers ([`headers`]) — Ethernet II, IPv4, TCP, UDP — with
+//!   parsing and serialization, the way a P4 parser would see them.
+//! * The *global header-field set* ([`field`]) that Newton's key-selection
+//!   module (𝕂) selects from via bit masks.
+//! * A parsed, simulation-friendly [`Packet`] type ([`packet`]) that carries
+//!   the field values plus trace metadata (timestamp, size).
+//! * Flow identification ([`flow`]) — the 5-tuple `FlowKey` that
+//!   `newton_init` matches on.
+//! * The 12-byte **result snapshot (SP) header** ([`snapshot`]) used by
+//!   cross-switch query execution (§5.1 of the paper).
+//!
+//! Everything here is deterministic and allocation-light: a [`Packet`] is a
+//! small struct, and header encode/decode round-trips exactly.
+
+pub mod field;
+pub mod flow;
+pub mod headers;
+pub mod packet;
+pub mod snapshot;
+pub mod wire;
+
+pub use field::{Field, FieldVector, GLOBAL_FIELDS, GLOBAL_FIELD_BITS};
+pub use flow::FlowKey;
+pub use headers::{EthernetHeader, Ipv4Header, TcpHeader, UdpHeader};
+pub use packet::{Packet, PacketBuilder, Protocol, TcpFlags};
+pub use snapshot::{SnapshotHeader, SP_HEADER_LEN};

@@ -1,0 +1,272 @@
+//! The parsed packet representation used throughout the simulator.
+//!
+//! A [`Packet`] is what the simulated switch pipeline sees after its parser
+//! has run: the header fields Newton queries can select, plus trace metadata
+//! (timestamp, wire length) used by workload generation and overhead
+//! accounting. The raw wire format lives in [`crate::wire`].
+
+use crate::flow::FlowKey;
+use std::fmt;
+use std::ops::BitOr;
+
+/// Transport protocol carried by an IPv4 packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Protocol {
+    Tcp,
+    Udp,
+    Icmp,
+    /// Any other IPv4 protocol, identified by its protocol number.
+    Other(u8),
+}
+
+impl Protocol {
+    /// IANA protocol number.
+    pub const fn number(self) -> u8 {
+        match self {
+            Protocol::Icmp => 1,
+            Protocol::Tcp => 6,
+            Protocol::Udp => 17,
+            Protocol::Other(n) => n,
+        }
+    }
+
+    /// Map a protocol number back to a `Protocol`.
+    pub const fn from_number(n: u8) -> Self {
+        match n {
+            1 => Protocol::Icmp,
+            6 => Protocol::Tcp,
+            17 => Protocol::Udp,
+            other => Protocol::Other(other),
+        }
+    }
+}
+
+/// TCP control flags, stored as the low 8 bits of the flags byte.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct TcpFlags(u8);
+
+impl TcpFlags {
+    pub const NONE: TcpFlags = TcpFlags(0);
+    pub const FIN: TcpFlags = TcpFlags(0x01);
+    pub const SYN: TcpFlags = TcpFlags(0x02);
+    pub const RST: TcpFlags = TcpFlags(0x04);
+    pub const PSH: TcpFlags = TcpFlags(0x08);
+    pub const ACK: TcpFlags = TcpFlags(0x10);
+    pub const URG: TcpFlags = TcpFlags(0x20);
+
+    /// Construct from a raw flags byte.
+    pub const fn from_bits(bits: u8) -> Self {
+        TcpFlags(bits)
+    }
+
+    /// The raw flags byte.
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Whether every flag in `other` is set in `self`.
+    pub const fn contains(self, other: TcpFlags) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// A pure SYN (connection-initiating) packet: SYN set, ACK clear.
+    pub const fn is_pure_syn(self) -> bool {
+        self.0 & Self::SYN.0 != 0 && self.0 & Self::ACK.0 == 0
+    }
+}
+
+impl BitOr for TcpFlags {
+    type Output = TcpFlags;
+    fn bitor(self, rhs: TcpFlags) -> TcpFlags {
+        TcpFlags(self.0 | rhs.0)
+    }
+}
+
+impl fmt::Display for TcpFlags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const NAMES: [(u8, char); 6] =
+            [(0x01, 'F'), (0x02, 'S'), (0x04, 'R'), (0x08, 'P'), (0x10, 'A'), (0x20, 'U')];
+        let mut any = false;
+        for (bit, c) in NAMES {
+            if self.0 & bit != 0 {
+                write!(f, "{c}")?;
+                any = true;
+            }
+        }
+        if !any {
+            f.write_str("-")?;
+        }
+        Ok(())
+    }
+}
+
+/// A parsed packet flowing through the simulated network.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Packet {
+    /// IPv4 source address.
+    pub src_ip: u32,
+    /// IPv4 destination address.
+    pub dst_ip: u32,
+    /// Transport source port (0 when the protocol has no ports).
+    pub src_port: u16,
+    /// Transport destination port (0 when the protocol has no ports).
+    pub dst_port: u16,
+    /// Transport protocol.
+    pub protocol: Protocol,
+    /// TCP control flags ([`TcpFlags::NONE`] for non-TCP packets).
+    pub tcp_flags: TcpFlags,
+    /// Total wire length in bytes, including all headers.
+    pub wire_len: u16,
+    /// IPv4 TTL.
+    pub ttl: u8,
+    /// Trace timestamp in nanoseconds since trace start.
+    pub ts_ns: u64,
+}
+
+impl Packet {
+    /// The 5-tuple flow key of this packet.
+    pub fn flow_key(&self) -> FlowKey {
+        FlowKey {
+            src_ip: self.src_ip,
+            dst_ip: self.dst_ip,
+            src_port: self.src_port,
+            dst_port: self.dst_port,
+            protocol: self.protocol.number(),
+        }
+    }
+
+    /// Whether this packet opens a TCP connection (pure SYN).
+    pub fn is_tcp_syn(&self) -> bool {
+        self.protocol == Protocol::Tcp && self.tcp_flags.is_pure_syn()
+    }
+}
+
+/// Builder for [`Packet`], with sensible defaults for tests and examples.
+///
+/// Defaults: TCP, `10.0.0.1:1000 -> 10.0.0.2:80`, no flags, 64-byte frame,
+/// TTL 64, timestamp 0.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    pkt: Packet,
+}
+
+impl Default for PacketBuilder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PacketBuilder {
+    pub fn new() -> Self {
+        PacketBuilder {
+            pkt: Packet {
+                src_ip: 0x0A000001,
+                dst_ip: 0x0A000002,
+                src_port: 1000,
+                dst_port: 80,
+                protocol: Protocol::Tcp,
+                tcp_flags: TcpFlags::NONE,
+                wire_len: 64,
+                ttl: 64,
+                ts_ns: 0,
+            },
+        }
+    }
+
+    pub fn src_ip(mut self, v: u32) -> Self {
+        self.pkt.src_ip = v;
+        self
+    }
+    pub fn dst_ip(mut self, v: u32) -> Self {
+        self.pkt.dst_ip = v;
+        self
+    }
+    pub fn src_port(mut self, v: u16) -> Self {
+        self.pkt.src_port = v;
+        self
+    }
+    pub fn dst_port(mut self, v: u16) -> Self {
+        self.pkt.dst_port = v;
+        self
+    }
+    pub fn protocol(mut self, v: Protocol) -> Self {
+        self.pkt.protocol = v;
+        if v != Protocol::Tcp {
+            self.pkt.tcp_flags = TcpFlags::NONE;
+        }
+        self
+    }
+    pub fn tcp_flags(mut self, v: TcpFlags) -> Self {
+        self.pkt.tcp_flags = v;
+        self.pkt.protocol = Protocol::Tcp;
+        self
+    }
+    pub fn wire_len(mut self, v: u16) -> Self {
+        self.pkt.wire_len = v;
+        self
+    }
+    pub fn ttl(mut self, v: u8) -> Self {
+        self.pkt.ttl = v;
+        self
+    }
+    pub fn ts_ns(mut self, v: u64) -> Self {
+        self.pkt.ts_ns = v;
+        self
+    }
+
+    pub fn build(self) -> Packet {
+        self.pkt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn protocol_numbers_roundtrip() {
+        for p in [Protocol::Tcp, Protocol::Udp, Protocol::Icmp, Protocol::Other(89)] {
+            assert_eq!(Protocol::from_number(p.number()), p);
+        }
+    }
+
+    #[test]
+    fn pure_syn_detection() {
+        assert!(TcpFlags::SYN.is_pure_syn());
+        assert!(!(TcpFlags::SYN | TcpFlags::ACK).is_pure_syn());
+        assert!(!TcpFlags::ACK.is_pure_syn());
+        assert!(!TcpFlags::NONE.is_pure_syn());
+    }
+
+    #[test]
+    fn builder_clears_flags_for_non_tcp() {
+        let p = PacketBuilder::new()
+            .tcp_flags(TcpFlags::SYN)
+            .protocol(Protocol::Udp)
+            .build();
+        assert_eq!(p.tcp_flags, TcpFlags::NONE);
+        assert!(!p.is_tcp_syn());
+    }
+
+    #[test]
+    fn builder_sets_tcp_when_flags_given() {
+        let p = PacketBuilder::new().protocol(Protocol::Udp).tcp_flags(TcpFlags::SYN).build();
+        assert_eq!(p.protocol, Protocol::Tcp);
+        assert!(p.is_tcp_syn());
+    }
+
+    #[test]
+    fn flow_key_matches_fields() {
+        let p = PacketBuilder::new().src_port(42).dst_port(4242).build();
+        let k = p.flow_key();
+        assert_eq!(k.src_port, 42);
+        assert_eq!(k.dst_port, 4242);
+        assert_eq!(k.protocol, 6);
+    }
+
+    #[test]
+    fn flags_display() {
+        assert_eq!(format!("{}", TcpFlags::SYN | TcpFlags::ACK), "SA");
+        assert_eq!(format!("{}", TcpFlags::NONE), "-");
+    }
+}

@@ -1,0 +1,129 @@
+//! The result snapshot (SP) header for cross-switch query execution (§5.1).
+//!
+//! CQE slices one query's module pipeline across consecutive switches. Only
+//! *stateful* intermediate results need to travel with the packet — the
+//! operation keys are recomputed at each hop from the packet headers by 𝕂,
+//! which is stateless. So the snapshot carries:
+//!
+//! * which slice of the query the next switch should execute (`cursor`),
+//! * which query branches are still active (`active_mask` — a branch
+//!   stopped by ℝ at an earlier hop must stay stopped downstream),
+//! * the active metadata set's hash result and state result,
+//! * the global result (the cross-set accumulator maintained by ℝ, §4.2).
+//!
+//! The paper reserves **12 bytes** for the SP header and reports < 1 %
+//! bandwidth overhead at 1500-byte packets; this encoding is exactly 12
+//! bytes. On the wire the header sits between Ethernet and IPv4, announced
+//! by a dedicated EtherType (no magic byte needed inside the header).
+//! `newton_fin` writes the snapshot on egress; the next switch's parser
+//! restores it; the last Newton hop strips it before delivery (handled by
+//! `newton-net`).
+
+/// Wire length of the snapshot header in bytes.
+pub const SP_HEADER_LEN: usize = 12;
+
+/// The decoded result snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SnapshotHeader {
+    /// Index of the next query slice to execute (0-based). A switch holding
+    /// slice `c` executes it only when `cursor == c`, then increments.
+    pub cursor: u8,
+    /// Bit `b` set ⇔ query branch `b` is still active (up to 8 branches).
+    pub active_mask: u8,
+    /// Hash result of the active metadata set (register index, ≤ 16 bits —
+    /// the paper's register arrays hold at most 4096 entries, Fig. 14).
+    pub hash_result: u16,
+    /// State result of the active metadata set (register/SALU output).
+    pub state_result: u32,
+    /// The global result accumulated across metadata sets by ℝ.
+    pub global_result: u32,
+}
+
+/// Errors decoding a snapshot header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// Fewer than [`SP_HEADER_LEN`] bytes available.
+    Truncated(usize),
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Truncated(got) => {
+                write!(f, "snapshot header truncated: got {got} of {SP_HEADER_LEN} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl SnapshotHeader {
+    /// Encode to the 12-byte wire format.
+    ///
+    /// Layout (big-endian):
+    /// `cursor(1) | active_mask(1) | hash_result(2) | state_result(4) | global_result(4)`.
+    pub fn encode(&self) -> [u8; SP_HEADER_LEN] {
+        let mut b = [0u8; SP_HEADER_LEN];
+        b[0] = self.cursor;
+        b[1] = self.active_mask;
+        b[2..4].copy_from_slice(&self.hash_result.to_be_bytes());
+        b[4..8].copy_from_slice(&self.state_result.to_be_bytes());
+        b[8..12].copy_from_slice(&self.global_result.to_be_bytes());
+        b
+    }
+
+    /// Decode from wire bytes.
+    pub fn decode(buf: &[u8]) -> Result<Self, SnapshotError> {
+        if buf.len() < SP_HEADER_LEN {
+            return Err(SnapshotError::Truncated(buf.len()));
+        }
+        Ok(SnapshotHeader {
+            cursor: buf[0],
+            active_mask: buf[1],
+            hash_result: u16::from_be_bytes([buf[2], buf[3]]),
+            state_result: u32::from_be_bytes([buf[4], buf[5], buf[6], buf[7]]),
+            global_result: u32::from_be_bytes([buf[8], buf[9], buf[10], buf[11]]),
+        })
+    }
+
+    /// Bandwidth overhead of carrying this header on packets of `mtu` bytes,
+    /// as a fraction (the paper: < 1 % at 1500 B).
+    pub fn overhead_fraction(mtu: u16) -> f64 {
+        SP_HEADER_LEN as f64 / mtu as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_is_exactly_12_bytes() {
+        assert_eq!(SnapshotHeader::default().encode().len(), SP_HEADER_LEN);
+        assert_eq!(SP_HEADER_LEN, 12);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let sp = SnapshotHeader {
+            cursor: 3,
+            active_mask: 0b101,
+            hash_result: 0xBEEF,
+            state_result: 0xDEAD_BEEF,
+            global_result: 42,
+        };
+        assert_eq!(SnapshotHeader::decode(&sp.encode()).unwrap(), sp);
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let b = SnapshotHeader::default().encode();
+        assert_eq!(SnapshotHeader::decode(&b[..7]), Err(SnapshotError::Truncated(7)));
+    }
+
+    #[test]
+    fn overhead_below_one_percent_at_mtu() {
+        assert!(SnapshotHeader::overhead_fraction(1500) < 0.01);
+    }
+}

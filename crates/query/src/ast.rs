@@ -1,0 +1,456 @@
+//! The query AST.
+//!
+//! A [`Query`] is one or more [`Branch`]es of [`Primitive`]s plus an
+//! optional [`Merge`] combining the branches' per-key results. Single-branch
+//! queries cover Q1–Q5; multi-branch queries with merges cover Q6–Q9
+//! (SYN-flood diff, completed-connection min, Slowloris conjunction, DNS
+//! non-connector conjunction).
+
+use newton_packet::{Field, FieldVector};
+use std::fmt;
+
+/// A (possibly prefix-masked) reference to one global header field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct FieldExpr {
+    pub field: Field,
+    /// How many leading bits of the field to keep; `field.width()` keeps
+    /// the whole field, 24 over `DstIp` keeps the /24 prefix, etc.
+    pub prefix: u32,
+}
+
+impl FieldExpr {
+    /// The whole field, unmasked.
+    pub fn whole(field: Field) -> Self {
+        FieldExpr { field, prefix: field.width() }
+    }
+
+    /// The top `prefix` bits of the field.
+    pub fn prefix(field: Field, prefix: u32) -> Self {
+        FieldExpr { field, prefix: prefix.min(field.width()) }
+    }
+
+    /// The 𝕂-style mask this expression contributes.
+    pub fn mask(self) -> u128 {
+        self.field.prefix_mask(self.prefix)
+    }
+}
+
+impl fmt::Display for FieldExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.prefix == self.field.width() {
+            write!(f, "{}", self.field)
+        } else {
+            write!(f, "{}/{}", self.field, self.prefix)
+        }
+    }
+}
+
+/// Combined mask of a key list.
+pub fn keys_mask(keys: &[FieldExpr]) -> u128 {
+    keys.iter().fold(0u128, |m, k| m | k.mask())
+}
+
+/// Comparison operators usable in filters, result thresholds and merges.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CmpOp {
+    Eq,
+    Ne,
+    Ge,
+    Gt,
+    Le,
+    Lt,
+}
+
+impl CmpOp {
+    /// Apply the comparison.
+    pub fn eval(self, lhs: u64, rhs: u64) -> bool {
+        match self {
+            CmpOp::Eq => lhs == rhs,
+            CmpOp::Ne => lhs != rhs,
+            CmpOp::Ge => lhs >= rhs,
+            CmpOp::Gt => lhs > rhs,
+            CmpOp::Le => lhs <= rhs,
+            CmpOp::Lt => lhs < rhs,
+        }
+    }
+
+    /// Whether the predicate `count OP value` is *monotone*: once true for a
+    /// growing count it stays true. Monotone thresholds can be checked on
+    /// the data plane as counts accumulate; non-monotone ones (`Le`, `Lt`,
+    /// `Eq`, `Ne`) are only decidable at epoch end and defer to the analyzer.
+    pub fn is_monotone(self) -> bool {
+        matches!(self, CmpOp::Ge | CmpOp::Gt)
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CmpOp::Eq => "==",
+            CmpOp::Ne => "!=",
+            CmpOp::Ge => ">=",
+            CmpOp::Gt => ">",
+            CmpOp::Le => "<=",
+            CmpOp::Lt => "<",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A packet-field predicate (`pkt.dport == 53`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Predicate {
+    pub expr: FieldExpr,
+    pub op: CmpOp,
+    pub value: u64,
+}
+
+impl Predicate {
+    /// Evaluate against a packet's field vector.
+    pub fn eval(&self, v: FieldVector) -> bool {
+        let masked = v.masked(self.expr.mask());
+        self.op.eval(masked.get(self.expr.field), self.value << (self.expr.field.width() - self.expr.prefix))
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pkt.{} {} {}", self.expr, self.op, self.value)
+    }
+}
+
+/// The aggregation function of `reduce`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ReduceFunc {
+    /// Count matching packets.
+    Count,
+    /// Sum a packet field (e.g. `PktLen` for byte volume).
+    SumField(Field),
+    /// Running maximum of a packet field (e.g. largest packet per host —
+    /// the 𝕊 `max` SALU).
+    MaxField(Field),
+}
+
+/// One stream-processing primitive.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Primitive {
+    /// Keep only packets satisfying *all* predicates.
+    Filter(Vec<Predicate>),
+    /// Project the tuple onto the listed (possibly prefix-masked) keys.
+    Map(Vec<FieldExpr>),
+    /// Pass only the first packet per distinct key tuple per epoch.
+    Distinct(Vec<FieldExpr>),
+    /// Aggregate per key tuple.
+    Reduce { keys: Vec<FieldExpr>, func: ReduceFunc },
+    /// Threshold on the running aggregation result of the branch.
+    ResultFilter { op: CmpOp, value: u64 },
+}
+
+impl Primitive {
+    /// Short name, used in reports and figures.
+    pub fn kind_name(&self) -> &'static str {
+        match self {
+            Primitive::Filter(_) => "filter",
+            Primitive::Map(_) => "map",
+            Primitive::Distinct(_) => "distinct",
+            Primitive::Reduce { .. } => "reduce",
+            Primitive::ResultFilter { .. } => "rfilter",
+        }
+    }
+
+    /// Whether the primitive keeps per-epoch state on the data plane.
+    pub fn is_stateful(&self) -> bool {
+        matches!(self, Primitive::Distinct(_) | Primitive::Reduce { .. })
+    }
+}
+
+/// How a multi-branch query combines branch results per key.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MergeOp {
+    Min,
+    Max,
+    Sum,
+    /// Saturating difference `a - b` (e.g. SYNs minus ACKs).
+    Diff,
+}
+
+impl MergeOp {
+    pub fn eval(self, a: u64, b: u64) -> u64 {
+        match self {
+            MergeOp::Min => a.min(b),
+            MergeOp::Max => a.max(b),
+            MergeOp::Sum => a.saturating_add(b),
+            MergeOp::Diff => a.saturating_sub(b),
+        }
+    }
+}
+
+/// The merge step of a multi-branch query.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Merge {
+    /// Fold branch results with `op` left-to-right, then report keys where
+    /// `folded OP value` holds.
+    Combine { op: MergeOp, cmp: CmpOp, value: u64 },
+    /// Report keys where branch 0's result satisfies `left` *and* branch 1's
+    /// result satisfies `right` (Slowloris: many connections AND few bytes).
+    And { left: (CmpOp, u64), right: (CmpOp, u64) },
+}
+
+/// A linear chain of primitives within a query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Branch {
+    pub primitives: Vec<Primitive>,
+}
+
+impl Branch {
+    pub fn new(primitives: Vec<Primitive>) -> Self {
+        Branch { primitives }
+    }
+
+    /// The key tuple the branch reports on: the keys of its last key-bearing
+    /// primitive (`reduce`/`distinct`/`map`).
+    pub fn report_keys(&self) -> Vec<FieldExpr> {
+        for p in self.primitives.iter().rev() {
+            match p {
+                Primitive::Reduce { keys, .. } | Primitive::Distinct(keys) | Primitive::Map(keys) => {
+                    return keys.clone()
+                }
+                _ => {}
+            }
+        }
+        Vec::new()
+    }
+
+    /// Leading filters that test only the 5-tuple and TCP flags — exactly
+    /// the predicates `newton_init` can absorb (Opt.1 of §4.3).
+    pub fn front_filters(&self) -> usize {
+        self.primitives
+            .iter()
+            .take_while(|p| matches!(p, Primitive::Filter(preds) if preds.iter().all(|q| is_init_matchable(q))))
+            .count()
+    }
+}
+
+/// Whether a predicate can be expressed as a `newton_init` ternary match:
+/// equality on a (possibly prefixed) 5-tuple field or the TCP flags.
+pub fn is_init_matchable(p: &Predicate) -> bool {
+    p.op == CmpOp::Eq
+        && matches!(
+            p.expr.field,
+            Field::SrcIp | Field::DstIp | Field::SrcPort | Field::DstPort | Field::Proto | Field::TcpFlags
+        )
+}
+
+/// A complete monitoring query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Query {
+    /// Human-readable name (e.g. `"q4_port_scan"`).
+    pub name: String,
+    pub branches: Vec<Branch>,
+    pub merge: Option<Merge>,
+    /// Stateful-primitive window; the paper evaluates and resets every
+    /// 100 ms (§6).
+    pub epoch_ms: u64,
+}
+
+impl Query {
+    /// Total number of primitives across branches — the x-axis unit of
+    /// Fig. 15(a).
+    pub fn primitive_count(&self) -> usize {
+        self.branches.iter().map(|b| b.primitives.len()).sum()
+    }
+
+    /// Whether all branches share the same leading filters *and* every
+    /// packet that feeds one branch feeds all of them. When true, the merge
+    /// can run on the data plane within a single packet's pipeline walk
+    /// (Fig. 6); otherwise the merge defers to the analyzer (§7,
+    /// limitations).
+    pub fn mergeable_on_data_plane(&self) -> bool {
+        match &self.merge {
+            None => true,
+            Some(_) => {
+                let first: Vec<_> = self.branches[0]
+                    .primitives
+                    .iter()
+                    .filter_map(|p| match p {
+                        Primitive::Filter(preds) => Some(preds.clone()),
+                        _ => None,
+                    })
+                    .collect();
+                self.branches.iter().all(|b| {
+                    let fs: Vec<_> = b
+                        .primitives
+                        .iter()
+                        .filter_map(|p| match p {
+                            Primitive::Filter(preds) => Some(preds.clone()),
+                            _ => None,
+                        })
+                        .collect();
+                    fs == first
+                })
+            }
+        }
+    }
+
+    /// All stateful primitives in the query.
+    pub fn stateful_primitives(&self) -> impl Iterator<Item = &Primitive> {
+        self.branches.iter().flat_map(|b| b.primitives.iter()).filter(|p| p.is_stateful())
+    }
+
+    /// Whether no packet can feed two branches at once: for every pair of
+    /// branches there is a field both equality-filter on, with different
+    /// values (e.g. Q9's `proto == 17` vs `proto == 6`). Such branches
+    /// never contend for the shared global result, so each may use
+    /// multi-row sketches even in a multi-branch query.
+    pub fn branches_packet_disjoint(&self) -> bool {
+        let front_eqs = |b: &Branch| -> Vec<(Field, u64)> {
+            b.primitives
+                .iter()
+                .take_while(|p| matches!(p, Primitive::Filter(_)))
+                .flat_map(|p| match p {
+                    Primitive::Filter(preds) => preds.clone(),
+                    _ => Vec::new(),
+                })
+                .filter(|p| p.op == CmpOp::Eq && p.expr.prefix == p.expr.field.width())
+                .map(|p| (p.expr.field, p.value))
+                .collect()
+        };
+        let eqs: Vec<Vec<(Field, u64)>> = self.branches.iter().map(front_eqs).collect();
+        for i in 0..eqs.len() {
+            for j in i + 1..eqs.len() {
+                let disjoint = eqs[i].iter().any(|(f, v)| {
+                    eqs[j].iter().any(|(g, w)| f == g && v != w)
+                });
+                if !disjoint {
+                    return false;
+                }
+            }
+        }
+        self.branches.len() >= 2
+    }
+}
+
+impl fmt::Display for Query {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "query {} (epoch {}ms):", self.name, self.epoch_ms)?;
+        for (i, b) in self.branches.iter().enumerate() {
+            write!(f, "  branch {i}: ")?;
+            let mut first = true;
+            for p in &b.primitives {
+                if !first {
+                    write!(f, " . ")?;
+                }
+                first = false;
+                write!(f, "{}", p.kind_name())?;
+            }
+            writeln!(f)?;
+        }
+        if let Some(m) = &self.merge {
+            writeln!(f, "  merge: {m:?}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_packet::{PacketBuilder, Protocol, TcpFlags};
+
+    #[test]
+    fn predicate_eval_equality() {
+        let pkt = PacketBuilder::new().protocol(Protocol::Udp).dst_port(53).build();
+        let v = FieldVector::from_packet(&pkt);
+        let p = Predicate { expr: FieldExpr::whole(Field::DstPort), op: CmpOp::Eq, value: 53 };
+        assert!(p.eval(v));
+        let p2 = Predicate { expr: FieldExpr::whole(Field::DstPort), op: CmpOp::Eq, value: 54 };
+        assert!(!p2.eval(v));
+    }
+
+    #[test]
+    fn predicate_eval_prefix() {
+        let pkt = PacketBuilder::new().dst_ip(0xC0A80115).build();
+        let v = FieldVector::from_packet(&pkt);
+        // dip in 192.168.1.0/24
+        let p = Predicate {
+            expr: FieldExpr::prefix(Field::DstIp, 24),
+            op: CmpOp::Eq,
+            value: 0xC0A801,
+        };
+        assert!(p.eval(v));
+    }
+
+    #[test]
+    fn cmp_monotonicity() {
+        assert!(CmpOp::Ge.is_monotone());
+        assert!(CmpOp::Gt.is_monotone());
+        for op in [CmpOp::Le, CmpOp::Lt, CmpOp::Eq, CmpOp::Ne] {
+            assert!(!op.is_monotone());
+        }
+    }
+
+    #[test]
+    fn branch_report_keys_from_last_key_primitive() {
+        let b = Branch::new(vec![
+            Primitive::Filter(vec![]),
+            Primitive::Map(vec![FieldExpr::whole(Field::SrcIp)]),
+            Primitive::Reduce { keys: vec![FieldExpr::whole(Field::DstIp)], func: ReduceFunc::Count },
+            Primitive::ResultFilter { op: CmpOp::Ge, value: 10 },
+        ]);
+        assert_eq!(b.report_keys(), vec![FieldExpr::whole(Field::DstIp)]);
+    }
+
+    #[test]
+    fn front_filters_counts_only_init_matchable() {
+        let f_ok = Primitive::Filter(vec![Predicate {
+            expr: FieldExpr::whole(Field::Proto),
+            op: CmpOp::Eq,
+            value: 6,
+        }]);
+        let f_bad = Primitive::Filter(vec![Predicate {
+            expr: FieldExpr::whole(Field::PktLen),
+            op: CmpOp::Ge,
+            value: 100,
+        }]);
+        let b = Branch::new(vec![f_ok.clone(), f_bad, f_ok]);
+        assert_eq!(b.front_filters(), 1);
+    }
+
+    #[test]
+    fn merge_ops() {
+        assert_eq!(MergeOp::Min.eval(3, 5), 3);
+        assert_eq!(MergeOp::Diff.eval(3, 5), 0);
+        assert_eq!(MergeOp::Diff.eval(9, 5), 4);
+        assert_eq!(MergeOp::Sum.eval(u64::MAX, 5), u64::MAX);
+    }
+
+    #[test]
+    fn query_display_lists_branches_and_merge() {
+        let q = crate::catalog::q6_syn_flood();
+        let text = q.to_string();
+        assert!(text.contains("q6_syn_flood"));
+        assert_eq!(text.matches("branch").count(), 3);
+        assert!(text.contains("merge"));
+    }
+
+    #[test]
+    fn packet_disjointness_detection() {
+        assert!(crate::catalog::q9_dns_no_tcp().branches_packet_disjoint());
+        assert!(crate::catalog::q7_completed_tcp().branches_packet_disjoint());
+        assert!(!crate::catalog::q6_syn_flood().branches_packet_disjoint());
+        assert!(!crate::catalog::q8_slowloris().branches_packet_disjoint());
+        assert!(!crate::catalog::q1_new_tcp().branches_packet_disjoint(), "single branch");
+    }
+
+    #[test]
+    fn tcp_flags_predicate() {
+        let syn = PacketBuilder::new().tcp_flags(TcpFlags::SYN).build();
+        let v = FieldVector::from_packet(&syn);
+        let p = Predicate {
+            expr: FieldExpr::whole(Field::TcpFlags),
+            op: CmpOp::Eq,
+            value: TcpFlags::SYN.bits() as u64,
+        };
+        assert!(p.eval(v));
+    }
+}

@@ -1,0 +1,216 @@
+//! Fluent, Spark-flavoured query construction.
+//!
+//! ```
+//! use newton_query::builder::QueryBuilder;
+//! use newton_query::ast::{CmpOp, ReduceFunc};
+//! use newton_packet::Field;
+//!
+//! // Q1-style: victims receiving many new TCP connections.
+//! let q = QueryBuilder::new("new_tcp")
+//!     .filter_eq(Field::Proto, 6)
+//!     .filter_eq(Field::TcpFlags, 0x02)
+//!     .map(&[Field::DstIp])
+//!     .reduce(&[Field::DstIp], ReduceFunc::Count)
+//!     .result_filter(CmpOp::Ge, 40)
+//!     .build();
+//! assert_eq!(q.primitive_count(), 5);
+//! ```
+
+use crate::ast::{
+    Branch, CmpOp, FieldExpr, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc,
+};
+use newton_packet::Field;
+
+/// Builder for [`Query`]. Primitives accumulate into the current branch;
+/// [`QueryBuilder::branch`] closes it and starts a new one.
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    name: String,
+    done: Vec<Branch>,
+    current: Vec<Primitive>,
+    merge: Option<Merge>,
+    epoch_ms: u64,
+}
+
+impl QueryBuilder {
+    /// Start a query with the paper's default 100 ms epoch.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            name: name.into(),
+            done: Vec::new(),
+            current: Vec::new(),
+            merge: None,
+            epoch_ms: 100,
+        }
+    }
+
+    /// Override the stateful-primitive window.
+    pub fn epoch_ms(mut self, ms: u64) -> Self {
+        self.epoch_ms = ms;
+        self
+    }
+
+    /// `filter(pkt.field == value)`.
+    pub fn filter_eq(mut self, field: Field, value: u64) -> Self {
+        self.current.push(Primitive::Filter(vec![Predicate {
+            expr: FieldExpr::whole(field),
+            op: CmpOp::Eq,
+            value,
+        }]));
+        self
+    }
+
+    /// `filter` with an arbitrary predicate.
+    pub fn filter(mut self, expr: FieldExpr, op: CmpOp, value: u64) -> Self {
+        self.current.push(Primitive::Filter(vec![Predicate { expr, op, value }]));
+        self
+    }
+
+    /// `filter` over a conjunction of predicates.
+    pub fn filter_all(mut self, preds: Vec<Predicate>) -> Self {
+        self.current.push(Primitive::Filter(preds));
+        self
+    }
+
+    /// `map(pkt => (fields...))`, whole fields.
+    pub fn map(mut self, fields: &[Field]) -> Self {
+        self.current.push(Primitive::Map(fields.iter().copied().map(FieldExpr::whole).collect()));
+        self
+    }
+
+    /// `map` with explicit field expressions (prefixes etc.).
+    pub fn map_exprs(mut self, exprs: Vec<FieldExpr>) -> Self {
+        self.current.push(Primitive::Map(exprs));
+        self
+    }
+
+    /// `distinct(keys = (fields...))`.
+    pub fn distinct(mut self, fields: &[Field]) -> Self {
+        self.current
+            .push(Primitive::Distinct(fields.iter().copied().map(FieldExpr::whole).collect()));
+        self
+    }
+
+    /// `reduce(keys = (fields...), f)`.
+    pub fn reduce(mut self, fields: &[Field], func: ReduceFunc) -> Self {
+        self.current.push(Primitive::Reduce {
+            keys: fields.iter().copied().map(FieldExpr::whole).collect(),
+            func,
+        });
+        self
+    }
+
+    /// `reduce` with explicit field expressions (prefix-masked keys, e.g.
+    /// aggregating by /16 source prefix).
+    pub fn reduce_exprs(mut self, keys: Vec<FieldExpr>, func: ReduceFunc) -> Self {
+        self.current.push(Primitive::Reduce { keys, func });
+        self
+    }
+
+    /// `distinct` with explicit field expressions.
+    pub fn distinct_exprs(mut self, keys: Vec<FieldExpr>) -> Self {
+        self.current.push(Primitive::Distinct(keys));
+        self
+    }
+
+    /// Threshold on the branch's aggregation result.
+    pub fn result_filter(mut self, op: CmpOp, value: u64) -> Self {
+        self.current.push(Primitive::ResultFilter { op, value });
+        self
+    }
+
+    /// Close the current branch and start another.
+    ///
+    /// # Panics
+    /// Panics if the current branch is empty.
+    pub fn branch(mut self) -> Self {
+        assert!(!self.current.is_empty(), "cannot close an empty branch");
+        self.done.push(Branch::new(std::mem::take(&mut self.current)));
+        self
+    }
+
+    /// Merge branch results: fold with `op`, report keys where the folded
+    /// value satisfies `cmp value`.
+    pub fn merge_combine(mut self, op: MergeOp, cmp: CmpOp, value: u64) -> Self {
+        self.merge = Some(Merge::Combine { op, cmp, value });
+        self
+    }
+
+    /// Merge two branches with a conjunction of per-branch thresholds.
+    pub fn merge_and(mut self, left: (CmpOp, u64), right: (CmpOp, u64)) -> Self {
+        self.merge = Some(Merge::And { left, right });
+        self
+    }
+
+    /// Finish the query.
+    ///
+    /// # Panics
+    /// Panics if the query has no primitives, or has a merge but fewer than
+    /// two branches.
+    pub fn build(mut self) -> Query {
+        if !self.current.is_empty() {
+            self.done.push(Branch::new(self.current));
+        }
+        assert!(!self.done.is_empty(), "query {:?} has no primitives", self.name);
+        if self.merge.is_some() {
+            assert!(
+                self.done.len() >= 2,
+                "query {:?} has a merge but only {} branch(es)",
+                self.name,
+                self.done.len()
+            );
+        }
+        Query { name: self.name, branches: self.done, merge: self.merge, epoch_ms: self.epoch_ms }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_branch_build() {
+        let q = QueryBuilder::new("t")
+            .filter_eq(Field::Proto, 17)
+            .map(&[Field::DstIp])
+            .build();
+        assert_eq!(q.branches.len(), 1);
+        assert_eq!(q.primitive_count(), 2);
+        assert_eq!(q.epoch_ms, 100);
+    }
+
+    #[test]
+    fn multi_branch_with_merge() {
+        let q = QueryBuilder::new("t")
+            .filter_eq(Field::TcpFlags, 2)
+            .reduce(&[Field::DstIp], ReduceFunc::Count)
+            .branch()
+            .filter_eq(Field::TcpFlags, 16)
+            .reduce(&[Field::DstIp], ReduceFunc::Count)
+            .merge_combine(MergeOp::Diff, CmpOp::Ge, 50)
+            .build();
+        assert_eq!(q.branches.len(), 2);
+        assert!(q.merge.is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "has a merge but only 1")]
+    fn merge_requires_two_branches() {
+        let _ = QueryBuilder::new("t")
+            .filter_eq(Field::Proto, 6)
+            .merge_combine(MergeOp::Min, CmpOp::Ge, 1)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "no primitives")]
+    fn empty_query_panics() {
+        let _ = QueryBuilder::new("t").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "empty branch")]
+    fn empty_branch_panics() {
+        let _ = QueryBuilder::new("t").branch();
+    }
+}

@@ -1,0 +1,296 @@
+//! The nine evaluation queries (Table 2 of the paper).
+//!
+//! The paper takes its queries from the open-source Sonata repository; the
+//! versions here follow the same intents and primitive structure, expressed
+//! in this crate's AST. Thresholds are per-100 ms-epoch defaults chosen to
+//! separate the injected attack traffic from the synthetic background
+//! (`newton-trace` calibrates its injectors against these).
+//!
+//! | Query | Intent |
+//! |-------|--------|
+//! | Q1 | Monitor new TCP connections |
+//! | Q2 | Monitor hosts under SSH brute-force attacks |
+//! | Q3 | Monitor super spreaders |
+//! | Q4 | Monitor hosts performing port scanning |
+//! | Q5 | Monitor hosts under UDP DDoS attacks |
+//! | Q6 | Monitor hosts under SYN flood attacks |
+//! | Q7 | Monitor completed TCP connections |
+//! | Q8 | Monitor hosts under Slowloris attacks |
+//! | Q9 | Monitor hosts that do not create TCP connections after DNS |
+
+use crate::ast::{CmpOp, MergeOp, Query, ReduceFunc};
+use crate::builder::QueryBuilder;
+use newton_packet::Field;
+
+/// TCP protocol number.
+const TCP: u64 = 6;
+/// UDP protocol number.
+const UDP: u64 = 17;
+/// Pure SYN flags byte.
+const SYN: u64 = 0x02;
+/// FIN+ACK flags byte (connection teardown data point).
+const FINACK: u64 = 0x11;
+
+/// Default report thresholds (per 100 ms epoch). Public so that trace
+/// generation and experiments can calibrate against them.
+pub mod thresholds {
+    /// Q1: new connections per destination host.
+    pub const NEW_TCP: u64 = 40;
+    /// Q2: distinct SSH login attempts per server.
+    pub const SSH_BRUTE: u64 = 20;
+    /// Q3: distinct destinations per source.
+    pub const SUPER_SPREADER: u64 = 50;
+    /// Q4: distinct destination ports probed per source.
+    pub const PORT_SCAN: u64 = 30;
+    /// Q5: distinct UDP sources per destination.
+    pub const UDP_DDOS: u64 = 50;
+    /// Q6: min(SYN count, distinct SYN sources, distinct SYN sports).
+    pub const SYN_FLOOD: u64 = 40;
+    /// Q7: completed connections per destination.
+    pub const COMPLETED: u64 = 10;
+    /// Q8: minimum connection count for a Slowloris suspect...
+    pub const SLOWLORIS_CONNS: u64 = 30;
+    /// Q8: ...with at most this much byte volume.
+    pub const SLOWLORIS_BYTES: u64 = 6000;
+    /// Q9: minimum DNS responses received.
+    pub const DNS_RESP: u64 = 1;
+}
+
+/// Q1 — monitor new TCP connections: hosts receiving many connection
+/// attempts (pure SYNs) in an epoch.
+pub fn q1_new_tcp() -> Query {
+    QueryBuilder::new("q1_new_tcp")
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, thresholds::NEW_TCP)
+        .build()
+}
+
+/// Q2 — monitor hosts under SSH brute-force attacks: servers seeing many
+/// distinct (client, packet-length) SSH attempts. Brute-force tools emit
+/// uniform-length login packets, so distinct lengths stay low for benign
+/// traffic while attempt counts spike under attack.
+pub fn q2_ssh_brute() -> Query {
+    QueryBuilder::new("q2_ssh_brute")
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::DstPort, 22)
+        .map(&[Field::DstIp, Field::SrcIp, Field::PktLen])
+        .distinct(&[Field::DstIp, Field::SrcIp, Field::PktLen])
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, thresholds::SSH_BRUTE)
+        .build()
+}
+
+/// Q3 — monitor super spreaders: sources contacting many distinct
+/// destinations.
+pub fn q3_super_spreader() -> Query {
+    QueryBuilder::new("q3_super_spreader")
+        .map(&[Field::SrcIp, Field::DstIp])
+        .distinct(&[Field::SrcIp, Field::DstIp])
+        .map(&[Field::SrcIp])
+        .reduce(&[Field::SrcIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, thresholds::SUPER_SPREADER)
+        .build()
+}
+
+/// Q4 — monitor hosts under port scanning: sources probing many distinct
+/// destination ports with SYNs.
+pub fn q4_port_scan() -> Query {
+    QueryBuilder::new("q4_port_scan")
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .map(&[Field::SrcIp, Field::DstPort])
+        .distinct(&[Field::SrcIp, Field::DstPort])
+        .map(&[Field::SrcIp])
+        .reduce(&[Field::SrcIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, thresholds::PORT_SCAN)
+        .build()
+}
+
+/// Q5 — monitor hosts under UDP DDoS: destinations receiving UDP traffic
+/// from many distinct sources.
+pub fn q5_udp_ddos() -> Query {
+    QueryBuilder::new("q5_udp_ddos")
+        .filter_eq(Field::Proto, UDP)
+        .map(&[Field::DstIp, Field::SrcIp])
+        .distinct(&[Field::DstIp, Field::SrcIp])
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, thresholds::UDP_DDOS)
+        .build()
+}
+
+/// Q6 — monitor hosts under SYN flood attacks (the Fig. 6 query). Three
+/// parallel sub-queries over the *same* SYN stream — raw SYN count, distinct
+/// SYN sources, distinct SYN source ports — merged with `min` per victim:
+/// a true flood scores high on all three. Because every branch consumes the
+/// same packets, the merge runs entirely on the data plane, which is why Q6
+/// multiplexes modules so effectively (Fig. 15).
+pub fn q6_syn_flood() -> Query {
+    QueryBuilder::new("q6_syn_flood")
+        // Branch 0: SYNs per victim.
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .branch()
+        // Branch 1: distinct SYN sources per victim.
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .distinct(&[Field::DstIp, Field::SrcIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .branch()
+        // Branch 2: distinct SYN source ports per victim (spoofed floods
+        // randomize sport).
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .distinct(&[Field::DstIp, Field::SrcPort])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .merge_combine(MergeOp::Min, CmpOp::Ge, thresholds::SYN_FLOOD)
+        .build()
+}
+
+/// Q7 — monitor completed TCP connections: destinations where connections
+/// both open (SYN) and close (FIN+ACK) within the epoch. The two branches
+/// consume *different* packets, so the merge is completed by the analyzer.
+pub fn q7_completed_tcp() -> Query {
+    QueryBuilder::new("q7_completed_tcp")
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .branch()
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, FINACK)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .merge_combine(MergeOp::Min, CmpOp::Ge, thresholds::COMPLETED)
+        .build()
+}
+
+/// Q8 — monitor hosts under Slowloris attacks: many distinct connections
+/// but little byte volume. Branch 0 counts distinct connections per server
+/// (with an on-plane ≥ threshold); branch 1 sums bytes per server; the merge
+/// requires connections ≥ T₁ *and* bytes ≤ T₂ (the `≤` side is non-monotone
+/// and resolves at epoch end on the analyzer).
+pub fn q8_slowloris() -> Query {
+    QueryBuilder::new("q8_slowloris")
+        // Branch 0: distinct connections per web server.
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::DstPort, 80)
+        .map(&[Field::DstIp, Field::SrcIp, Field::SrcPort])
+        .distinct(&[Field::DstIp, Field::SrcIp, Field::SrcPort])
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .branch()
+        // Branch 1: byte volume per web server.
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::DstPort, 80)
+        .map(&[Field::DstIp, Field::PktLen])
+        .reduce(&[Field::DstIp], ReduceFunc::SumField(Field::PktLen))
+        .merge_and(
+            (CmpOp::Ge, thresholds::SLOWLORIS_CONNS),
+            (CmpOp::Le, thresholds::SLOWLORIS_BYTES),
+        )
+        .build()
+}
+
+/// Q9 — monitor hosts that receive DNS responses but never open TCP
+/// connections afterwards (possible exfiltration / C&C lookups). Branch 0
+/// counts DNS responses per host; branch 1 counts connection attempts *by*
+/// that host; the conjunction (≥1 DNS, 0 SYNs) resolves on the analyzer.
+pub fn q9_dns_no_tcp() -> Query {
+    QueryBuilder::new("q9_dns_no_tcp")
+        .filter_eq(Field::Proto, UDP)
+        .filter_eq(Field::SrcPort, 53)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .branch()
+        .filter_eq(Field::Proto, TCP)
+        .filter_eq(Field::TcpFlags, SYN)
+        .map(&[Field::SrcIp])
+        .reduce(&[Field::SrcIp], ReduceFunc::Count)
+        .merge_and((CmpOp::Ge, thresholds::DNS_RESP), (CmpOp::Le, 0))
+        .build()
+}
+
+/// All nine queries in order.
+pub fn all_queries() -> Vec<Query> {
+    vec![
+        q1_new_tcp(),
+        q2_ssh_brute(),
+        q3_super_spreader(),
+        q4_port_scan(),
+        q5_udp_ddos(),
+        q6_syn_flood(),
+        q7_completed_tcp(),
+        q8_slowloris(),
+        q9_dns_no_tcp(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_queries_build() {
+        let qs = all_queries();
+        assert_eq!(qs.len(), 9);
+        for q in &qs {
+            assert!(q.primitive_count() >= 4, "{} too small", q.name);
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        let names: Vec<_> = all_queries().iter().map(|q| q.name.clone()).collect();
+        for (i, n) in names.iter().enumerate() {
+            assert!(n.starts_with(&format!("q{}_", i + 1)), "name {n} out of order");
+        }
+    }
+
+    #[test]
+    fn q6_has_most_primitives_among_singletons_vs_q8() {
+        // The paper highlights Q6 (12 primitives) vs Q8 (10): Q6 has more
+        // primitives spread over parallel sub-queries.
+        let q6 = q6_syn_flood();
+        let q8 = q8_slowloris();
+        assert_eq!(q6.primitive_count(), 12);
+        assert_eq!(q8.primitive_count(), 10);
+        assert_eq!(q6.branches.len(), 3);
+    }
+
+    #[test]
+    fn q6_is_data_plane_mergeable_q7_is_not() {
+        assert!(q6_syn_flood().mergeable_on_data_plane());
+        assert!(!q7_completed_tcp().mergeable_on_data_plane());
+        assert!(!q9_dns_no_tcp().mergeable_on_data_plane());
+    }
+
+    #[test]
+    fn front_filters_exist_for_eight_of_nine() {
+        // §6.4: front-filter replacement applies to 8 of 9 queries — all but
+        // the super-spreader query, which starts with a map.
+        let qs = all_queries();
+        let with_front = qs
+            .iter()
+            .filter(|q| q.branches.iter().all(|b| b.front_filters() > 0))
+            .count();
+        assert_eq!(with_front, 8);
+        assert_eq!(q3_super_spreader().branches[0].front_filters(), 0);
+    }
+
+    #[test]
+    fn report_keys_are_host_addresses() {
+        for q in all_queries() {
+            for b in &q.branches {
+                let keys = b.report_keys();
+                assert_eq!(keys.len(), 1, "{}: report key should be one host field", q.name);
+            }
+        }
+    }
+}

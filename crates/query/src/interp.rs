@@ -1,0 +1,395 @@
+//! Reference interpreter: exact epoch semantics for queries.
+//!
+//! This is the *specification* the rest of the system is measured against:
+//!
+//! * the compiled data-plane pipeline is differentially tested against it
+//!   (same trace in, same report set out — modulo sketch error), and
+//! * Fig. 14's accuracy/FPR numbers use it as ground truth.
+//!
+//! Semantics, per epoch (`Query::epoch_ms`):
+//! 1. Each packet walks each branch's primitive chain. `filter` drops,
+//!    `map` projects, `distinct` passes only first occurrences, `reduce`
+//!    accumulates into an exact per-key table. Aggregation reads field
+//!    values from the original packet (the PHV keeps all header fields
+//!    even after a projection — same as the hardware).
+//! 2. At epoch end, trailing `ResultFilter`s apply to the final counts, and
+//!    the merge (if any) combines the branches per report-key *value*.
+//!
+//! The interpreter is exact: no sketches, no memory limits.
+
+use crate::ast::{Branch, Merge, Primitive, Query, ReduceFunc};
+use newton_packet::{FieldVector, Packet};
+use std::collections::{HashMap, HashSet};
+
+/// Exact result of one epoch.
+#[derive(Debug, Clone, Default)]
+pub struct EpochResult {
+    /// Per-branch table: report-key value → final aggregate.
+    pub branch_tables: Vec<HashMap<u64, u64>>,
+    /// Report-key values the query flags this epoch.
+    pub reported: HashSet<u64>,
+}
+
+/// Per-branch interpreter state for the current epoch.
+#[derive(Debug, Clone)]
+struct BranchState {
+    /// One seen-set per `distinct` primitive (indexed by position).
+    distinct_seen: Vec<HashSet<u128>>,
+    /// One exact table per `reduce` primitive.
+    reduce_tables: Vec<HashMap<u128, u64>>,
+}
+
+impl BranchState {
+    fn new(branch: &Branch) -> Self {
+        let d = branch.primitives.iter().filter(|p| matches!(p, Primitive::Distinct(_))).count();
+        let r = branch.primitives.iter().filter(|p| matches!(p, Primitive::Reduce { .. })).count();
+        BranchState {
+            distinct_seen: vec![HashSet::new(); d],
+            reduce_tables: vec![HashMap::new(); r],
+        }
+    }
+
+    fn clear(&mut self) {
+        for s in &mut self.distinct_seen {
+            s.clear();
+        }
+        for t in &mut self.reduce_tables {
+            t.clear();
+        }
+    }
+}
+
+/// Streaming reference interpreter for one query.
+#[derive(Debug, Clone)]
+pub struct Interpreter {
+    query: Query,
+    states: Vec<BranchState>,
+}
+
+impl Interpreter {
+    pub fn new(query: Query) -> Self {
+        let states = query.branches.iter().map(BranchState::new).collect();
+        Interpreter { query, states }
+    }
+
+    pub fn query(&self) -> &Query {
+        &self.query
+    }
+
+    /// Feed one packet into every branch.
+    pub fn observe(&mut self, pkt: &Packet) {
+        let orig = FieldVector::from_packet(pkt);
+        for (branch, state) in self.query.branches.iter().zip(&mut self.states) {
+            Self::walk(branch, state, orig);
+        }
+    }
+
+    fn walk(branch: &Branch, state: &mut BranchState, orig: FieldVector) {
+        let mut v = orig;
+        let mut d_idx = 0;
+        let mut r_idx = 0;
+        let mut last_count: Option<u64> = None;
+        for prim in &branch.primitives {
+            match prim {
+                Primitive::Filter(preds) => {
+                    if !preds.iter().all(|p| p.eval(v)) {
+                        return;
+                    }
+                }
+                Primitive::Map(keys) => {
+                    v = v.masked(crate::ast::keys_mask(keys));
+                }
+                Primitive::Distinct(keys) => {
+                    let key = orig.masked(crate::ast::keys_mask(keys));
+                    let fresh = state.distinct_seen[d_idx].insert(key.0);
+                    d_idx += 1;
+                    if !fresh {
+                        return;
+                    }
+                    v = key;
+                }
+                Primitive::Reduce { keys, func } => {
+                    let key = orig.masked(crate::ast::keys_mask(keys));
+                    let e = state.reduce_tables[r_idx].entry(key.0).or_insert(0);
+                    match func {
+                        ReduceFunc::Count => *e += 1,
+                        ReduceFunc::SumField(f) => *e += orig.get(*f),
+                        ReduceFunc::MaxField(f) => *e = (*e).max(orig.get(*f)),
+                    }
+                    last_count = Some(*e);
+                    r_idx += 1;
+                    v = key;
+                }
+                Primitive::ResultFilter { .. } => {
+                    // Thresholds are applied exactly at epoch end; during the
+                    // stream they never remove state, so nothing to do here.
+                    let _ = last_count;
+                }
+            }
+        }
+    }
+
+    /// Close the epoch: compute the result and reset all state.
+    pub fn end_epoch(&mut self) -> EpochResult {
+        let mut branch_tables = Vec::with_capacity(self.query.branches.len());
+        for (branch, state) in self.query.branches.iter().zip(&self.states) {
+            branch_tables.push(Self::branch_result(branch, state));
+        }
+
+        let reported = match &self.query.merge {
+            None => {
+                // Single-branch query: the table already had its trailing
+                // thresholds applied.
+                branch_tables[0].keys().copied().collect()
+            }
+            Some(Merge::Combine { op, cmp, value }) => {
+                let mut keys: HashSet<u64> = HashSet::new();
+                for t in &branch_tables {
+                    keys.extend(t.keys().copied());
+                }
+                keys.into_iter()
+                    .filter(|k| {
+                        let mut it = branch_tables.iter().map(|t| t.get(k).copied().unwrap_or(0));
+                        let first = it.next().unwrap_or(0);
+                        let folded = it.fold(first, |acc, x| op.eval(acc, x));
+                        cmp.eval(folded, *value)
+                    })
+                    .collect()
+            }
+            Some(Merge::And { left, right }) => {
+                // Candidate keys come from branch 0 (the "driver" branch):
+                // an absent key means "no evidence", which must not satisfy
+                // the conjunction by accident.
+                branch_tables[0]
+                    .iter()
+                    .filter(|&(k, &a)| {
+                        let b = branch_tables.get(1).and_then(|t| t.get(k)).copied().unwrap_or(0);
+                        left.0.eval(a, left.1) && right.0.eval(b, right.1)
+                    })
+                    .map(|(&k, _)| k)
+                    .collect()
+            }
+        };
+
+        for s in &mut self.states {
+            s.clear();
+        }
+        EpochResult { branch_tables, reported }
+    }
+
+    /// Final per-report-key table of one branch with trailing thresholds
+    /// applied.
+    fn branch_result(branch: &Branch, state: &BranchState) -> HashMap<u64, u64> {
+        let report_keys = branch.report_keys();
+        let report_field = report_keys.first().map(|e| e.field);
+
+        // The final aggregate: the last reduce table if any; otherwise the
+        // last distinct set (count 1 per key); otherwise nothing stateful —
+        // report every key seen is not meaningful without state, so empty.
+        let mut table: HashMap<u128, u64> = if let Some(t) = state.reduce_tables.last() {
+            t.clone()
+        } else if let Some(s) = state.distinct_seen.last() {
+            s.iter().map(|&k| (k, 1)).collect()
+        } else {
+            HashMap::new()
+        };
+
+        // Trailing thresholds (all ResultFilters after the last reduce).
+        let mut past_last_reduce = false;
+        let reduces = state.reduce_tables.len();
+        let mut seen_reduces = 0;
+        for prim in &branch.primitives {
+            match prim {
+                Primitive::Reduce { .. } => {
+                    seen_reduces += 1;
+                    past_last_reduce = seen_reduces == reduces;
+                }
+                Primitive::ResultFilter { op, value } if past_last_reduce || reduces == 0 => {
+                    table.retain(|_, c| op.eval(*c, *value));
+                }
+                _ => {}
+            }
+        }
+
+        // Project onto the report key value.
+        match report_field {
+            Some(f) => {
+                let mut out: HashMap<u64, u64> = HashMap::new();
+                for (k, c) in table {
+                    let val = FieldVector(k).get(f);
+                    let e = out.entry(val).or_insert(0);
+                    // Multiple masked keys can share a report value only when
+                    // the report key is coarser than the aggregate key; sum.
+                    *e += c;
+                }
+                out
+            }
+            None => HashMap::new(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::catalog::{self, thresholds};
+    use newton_packet::{PacketBuilder, Protocol, TcpFlags};
+
+    fn syn(src: u32, dst: u32, sport: u16) -> Packet {
+        PacketBuilder::new()
+            .src_ip(src)
+            .dst_ip(dst)
+            .src_port(sport)
+            .dst_port(80)
+            .tcp_flags(TcpFlags::SYN)
+            .build()
+    }
+
+    #[test]
+    fn q1_reports_victim_over_threshold() {
+        let mut interp = Interpreter::new(catalog::q1_new_tcp());
+        let victim = 0x0A00_0099;
+        for i in 0..thresholds::NEW_TCP {
+            interp.observe(&syn(0x0B00_0000 + i as u32, victim, 1000 + i as u16));
+        }
+        // A quiet host below threshold.
+        interp.observe(&syn(1, 2, 3));
+        let r = interp.end_epoch();
+        assert!(r.reported.contains(&(victim as u64)));
+        assert!(!r.reported.contains(&2));
+    }
+
+    #[test]
+    fn q1_ignores_non_syn_packets() {
+        let mut interp = Interpreter::new(catalog::q1_new_tcp());
+        let victim = 7;
+        for i in 0..200 {
+            let mut p = syn(i, victim, 999);
+            p.tcp_flags = TcpFlags::ACK;
+            interp.observe(&p);
+        }
+        assert!(interp.end_epoch().reported.is_empty());
+    }
+
+    #[test]
+    fn distinct_deduplicates_within_epoch_and_resets_across() {
+        let mut interp = Interpreter::new(catalog::q4_port_scan());
+        let scanner = 0xDEAD;
+        // Same port probed many times: only 1 distinct (sip, dport).
+        for _ in 0..100 {
+            interp.observe(&syn(scanner, 5, 1234));
+        }
+        let r = interp.end_epoch();
+        assert!(r.reported.is_empty());
+
+        // Distinct ports beyond the threshold: reported.
+        for port in 0..thresholds::PORT_SCAN as u16 {
+            let mut p = syn(scanner, 5, 1234);
+            p.dst_port = 1000 + port;
+            interp.observe(&p);
+        }
+        let r = interp.end_epoch();
+        assert!(r.reported.contains(&(scanner as u64)));
+
+        // State reset: the next epoch starts from zero.
+        interp.observe(&syn(scanner, 5, 1234));
+        assert!(interp.end_epoch().reported.is_empty());
+    }
+
+    #[test]
+    fn q6_min_merge_requires_all_three_signals() {
+        let mut interp = Interpreter::new(catalog::q6_syn_flood());
+        let victim = 0xBEEF;
+        // A flood: many SYNs from many sources and ports.
+        for i in 0..thresholds::SYN_FLOOD {
+            interp.observe(&syn(0x0C00_0000 + i as u32, victim, 2000 + i as u16));
+        }
+        // A busy-but-benign host: many SYNs from ONE source/port (e.g. a
+        // reconnecting client) — min() stays at 1.
+        for _ in 0..500 {
+            interp.observe(&syn(42, 0xCAFE, 555));
+        }
+        let r = interp.end_epoch();
+        assert!(r.reported.contains(&(victim as u64)));
+        assert!(!r.reported.contains(&0xCAFE));
+    }
+
+    #[test]
+    fn q8_and_merge_flags_many_small_connections() {
+        let mut interp = Interpreter::new(catalog::q8_slowloris());
+        let server = 0x5050;
+        // Slowloris: many tiny connections.
+        for i in 0..thresholds::SLOWLORIS_CONNS {
+            let p = PacketBuilder::new()
+                .src_ip(0x0D00_0000 + i as u32)
+                .dst_ip(server)
+                .src_port(3000 + i as u16)
+                .tcp_flags(TcpFlags::SYN)
+                .wire_len(64)
+                .build();
+            interp.observe(&p);
+        }
+        // A healthy server: many connections AND lots of bytes.
+        let busy = 0x6060;
+        for i in 0..thresholds::SLOWLORIS_CONNS {
+            let p = PacketBuilder::new()
+                .src_ip(0x0E00_0000 + i as u32)
+                .dst_ip(busy)
+                .src_port(4000 + i as u16)
+                .tcp_flags(TcpFlags::ACK)
+                .wire_len(1500)
+                .build();
+            interp.observe(&p);
+        }
+        let r = interp.end_epoch();
+        assert!(r.reported.contains(&(server as u64)), "slowloris victim not flagged");
+        assert!(!r.reported.contains(&(busy as u64)), "healthy busy server wrongly flagged");
+    }
+
+    #[test]
+    fn q9_flags_dns_clients_without_connections() {
+        let mut interp = Interpreter::new(catalog::q9_dns_no_tcp());
+        let silent = 0x1111;
+        let normal = 0x2222;
+        let dns = |host: u32| {
+            PacketBuilder::new()
+                .src_ip(0x0808_0808)
+                .dst_ip(host)
+                .src_port(53)
+                .dst_port(5353)
+                .protocol(Protocol::Udp)
+                .build()
+        };
+        interp.observe(&dns(silent));
+        interp.observe(&dns(normal));
+        // `normal` follows up with a TCP connection; `silent` does not.
+        interp.observe(&syn(normal, 0x3333, 777));
+        let r = interp.end_epoch();
+        assert!(r.reported.contains(&(silent as u64)));
+        assert!(!r.reported.contains(&(normal as u64)));
+    }
+
+    #[test]
+    fn sum_field_reads_original_packet_length_after_map() {
+        let mut interp = Interpreter::new(catalog::q8_slowloris());
+        let server = 9;
+        let p = PacketBuilder::new().dst_ip(server).tcp_flags(TcpFlags::ACK).wire_len(1000).build();
+        interp.observe(&p);
+        let r = interp.end_epoch();
+        // Branch 1 (bytes) must have summed the real wire length.
+        assert_eq!(r.branch_tables[1].get(&(server as u64)), Some(&1000));
+    }
+
+    #[test]
+    fn branch_tables_expose_exact_counts() {
+        let mut interp = Interpreter::new(catalog::q1_new_tcp());
+        for i in 0..10 {
+            interp.observe(&syn(i, 77, 1000));
+        }
+        let r = interp.end_epoch();
+        // Below threshold: not reported, and (threshold applied) absent from
+        // the final table.
+        assert!(r.reported.is_empty());
+        assert!(r.branch_tables[0].is_empty());
+    }
+}

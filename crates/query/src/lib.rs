@@ -1,0 +1,32 @@
+//! The Newton query language: intents as stream-processing queries.
+//!
+//! Operators express monitoring intents with the four primitives the paper
+//! adopts from Sonata — `filter`, `map`, `distinct`, `reduce` — plus result
+//! thresholds and multi-branch merges (e.g. the SYN-flood query compares a
+//! SYN counter with an ACK counter per victim). This crate provides:
+//!
+//! * [`ast`] — the query AST: [`Query`], [`Branch`], [`Primitive`],
+//!   field expressions and predicates.
+//! * [`builder`] — a fluent, Spark-flavoured builder API.
+//! * [`catalog`] — the nine evaluation queries Q1–Q9 (Table 2).
+//! * [`interp`] — a *reference interpreter* giving exact epoch semantics.
+//!   It is both the ground truth for accuracy experiments (Fig. 14) and the
+//!   oracle the compiled data-plane pipeline is differentially tested
+//!   against.
+//!
+//! The compiler (`newton-compiler`) lowers these ASTs to module rules.
+
+pub mod ast;
+pub mod builder;
+pub mod catalog;
+pub mod interp;
+pub mod parse;
+pub mod validate;
+
+pub use ast::{
+    Branch, CmpOp, FieldExpr, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc,
+};
+pub use builder::QueryBuilder;
+pub use interp::{EpochResult, Interpreter};
+pub use parse::{parse_query, to_text, ParseError};
+pub use validate::{validate, ValidationError};

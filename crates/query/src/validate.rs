@@ -1,0 +1,221 @@
+//! Static query validation: reject intents the compiler cannot realize
+//! *before* they reach the data plane, with actionable errors.
+//!
+//! The builder's panics catch structural mistakes at construction; this
+//! pass catches *semantic* ones — a `ResultFilter` with no aggregation to
+//! filter, merges over mismatched report keys, empty masks, thresholds
+//! that can never fire.
+
+use crate::ast::{CmpOp, Merge, Primitive, Query};
+use std::fmt;
+
+/// A validation failure, pointing at the offending branch/primitive.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ValidationError {
+    /// `ResultFilter` appears before any `reduce`/`distinct` produced a
+    /// result to filter.
+    ResultFilterWithoutAggregate { branch: usize, primitive: usize },
+    /// A `map`/`distinct`/`reduce` with an empty key list.
+    EmptyKeys { branch: usize, primitive: usize },
+    /// A field expression whose prefix is 0 bits (selects nothing).
+    EmptyMask { branch: usize, primitive: usize },
+    /// A filter comparing a field against a value wider than the field.
+    ValueOverflowsField { branch: usize, primitive: usize, width: u32, value: u64 },
+    /// A merged query whose branches report different key *widths* —
+    /// per-key merging would compare apples to oranges.
+    MergeKeyWidthMismatch { width_a: u32, width_b: u32 },
+    /// A branch with no primitives at all.
+    EmptyBranch { branch: usize },
+    /// `count >= 0`-style thresholds match everything.
+    VacuousThreshold { branch: usize, primitive: usize },
+}
+
+impl fmt::Display for ValidationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidationError::ResultFilterWithoutAggregate { branch, primitive } => write!(
+                f,
+                "branch {branch}, primitive {primitive}: result filter has no preceding reduce/distinct"
+            ),
+            ValidationError::EmptyKeys { branch, primitive } => {
+                write!(f, "branch {branch}, primitive {primitive}: empty key list")
+            }
+            ValidationError::EmptyMask { branch, primitive } => {
+                write!(f, "branch {branch}, primitive {primitive}: zero-bit field prefix selects nothing")
+            }
+            ValidationError::ValueOverflowsField { branch, primitive, width, value } => write!(
+                f,
+                "branch {branch}, primitive {primitive}: value {value} does not fit a {width}-bit field"
+            ),
+            ValidationError::MergeKeyWidthMismatch { width_a, width_b } => write!(
+                f,
+                "merge compares {width_a}-bit keys against {width_b}-bit keys"
+            ),
+            ValidationError::EmptyBranch { branch } => write!(f, "branch {branch} is empty"),
+            ValidationError::VacuousThreshold { branch, primitive } => write!(
+                f,
+                "branch {branch}, primitive {primitive}: threshold matches every value (always true)"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ValidationError {}
+
+/// Validate a query; returns every problem found (empty = valid).
+pub fn validate(query: &Query) -> Vec<ValidationError> {
+    let mut errors = Vec::new();
+
+    for (b, branch) in query.branches.iter().enumerate() {
+        if branch.primitives.is_empty() {
+            errors.push(ValidationError::EmptyBranch { branch: b });
+            continue;
+        }
+        let mut has_aggregate = false;
+        for (p, prim) in branch.primitives.iter().enumerate() {
+            match prim {
+                Primitive::Filter(preds) => {
+                    for pred in preds {
+                        if pred.expr.prefix == 0 {
+                            errors.push(ValidationError::EmptyMask { branch: b, primitive: p });
+                        }
+                        let width = pred.expr.prefix.min(pred.expr.field.width());
+                        if width < 64 && pred.value >= (1u64 << width) {
+                            errors.push(ValidationError::ValueOverflowsField {
+                                branch: b,
+                                primitive: p,
+                                width,
+                                value: pred.value,
+                            });
+                        }
+                    }
+                }
+                Primitive::Map(keys) | Primitive::Distinct(keys) => {
+                    if keys.is_empty() {
+                        errors.push(ValidationError::EmptyKeys { branch: b, primitive: p });
+                    }
+                    if keys.iter().any(|k| k.prefix == 0) {
+                        errors.push(ValidationError::EmptyMask { branch: b, primitive: p });
+                    }
+                    if matches!(prim, Primitive::Distinct(_)) {
+                        has_aggregate = true;
+                    }
+                }
+                Primitive::Reduce { keys, .. } => {
+                    if keys.is_empty() {
+                        errors.push(ValidationError::EmptyKeys { branch: b, primitive: p });
+                    }
+                    has_aggregate = true;
+                }
+                Primitive::ResultFilter { op, value } => {
+                    if !has_aggregate {
+                        errors.push(ValidationError::ResultFilterWithoutAggregate {
+                            branch: b,
+                            primitive: p,
+                        });
+                    }
+                    if *op == CmpOp::Ge && *value == 0 {
+                        errors.push(ValidationError::VacuousThreshold { branch: b, primitive: p });
+                    }
+                }
+            }
+        }
+    }
+
+    if let Some(Merge::Combine { .. } | Merge::And { .. }) = &query.merge {
+        let widths: Vec<u32> = query
+            .branches
+            .iter()
+            .filter_map(|br| br.report_keys().first().map(|e| e.field.width()))
+            .collect();
+        for w in widths.windows(2) {
+            if w[0] != w[1] {
+                errors.push(ValidationError::MergeKeyWidthMismatch {
+                    width_a: w[0],
+                    width_b: w[1],
+                });
+            }
+        }
+    }
+
+    errors
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{FieldExpr, ReduceFunc};
+    use crate::builder::QueryBuilder;
+    use crate::catalog;
+    use newton_packet::Field;
+
+    #[test]
+    fn catalog_queries_are_all_valid() {
+        for q in catalog::all_queries() {
+            let errors = validate(&q);
+            assert!(errors.is_empty(), "{}: {errors:?}", q.name);
+        }
+    }
+
+    #[test]
+    fn result_filter_without_aggregate_is_rejected() {
+        let q = QueryBuilder::new("bad")
+            .filter_eq(Field::Proto, 6)
+            .result_filter(CmpOp::Ge, 5)
+            .build();
+        assert!(matches!(
+            validate(&q)[..],
+            [ValidationError::ResultFilterWithoutAggregate { branch: 0, primitive: 1 }]
+        ));
+    }
+
+    #[test]
+    fn oversized_filter_value_is_rejected() {
+        let q = QueryBuilder::new("bad").filter_eq(Field::Proto, 999).build();
+        assert!(validate(&q)
+            .iter()
+            .any(|e| matches!(e, ValidationError::ValueOverflowsField { width: 8, value: 999, .. })));
+    }
+
+    #[test]
+    fn zero_prefix_mask_is_rejected() {
+        let q = QueryBuilder::new("bad")
+            .map_exprs(vec![FieldExpr::prefix(Field::SrcIp, 0)])
+            .reduce(&[Field::SrcIp], ReduceFunc::Count)
+            .build();
+        assert!(validate(&q).iter().any(|e| matches!(e, ValidationError::EmptyMask { .. })));
+    }
+
+    #[test]
+    fn vacuous_threshold_is_flagged() {
+        let q = QueryBuilder::new("bad")
+            .reduce(&[Field::DstIp], ReduceFunc::Count)
+            .result_filter(CmpOp::Ge, 0)
+            .build();
+        assert!(validate(&q).iter().any(|e| matches!(e, ValidationError::VacuousThreshold { .. })));
+    }
+
+    #[test]
+    fn merge_width_mismatch_is_flagged() {
+        use crate::ast::MergeOp;
+        let q = QueryBuilder::new("bad")
+            .reduce(&[Field::DstIp], ReduceFunc::Count) // 32-bit key
+            .branch()
+            .reduce(&[Field::DstPort], ReduceFunc::Count) // 16-bit key
+            .merge_combine(MergeOp::Min, CmpOp::Ge, 1)
+            .build();
+        assert!(validate(&q)
+            .iter()
+            .any(|e| matches!(e, ValidationError::MergeKeyWidthMismatch { width_a: 32, width_b: 16 })));
+    }
+
+    #[test]
+    fn multiple_errors_are_all_reported() {
+        let q = QueryBuilder::new("bad")
+            .filter_eq(Field::TcpFlags, 4096)
+            .result_filter(CmpOp::Ge, 0)
+            .build();
+        let errors = validate(&q);
+        assert!(errors.len() >= 3, "expected 3+ errors, got {errors:?}");
+    }
+}

@@ -1,0 +1,326 @@
+//! Attack traffic injectors — one per catalog query scenario.
+//!
+//! Each injector produces the packets a given attack would contribute and
+//! records the identity it makes guilty (victim or attacker), so experiments
+//! have labelled ground truth independent of any query implementation.
+
+use crate::background::{CLIENT_BASE, SERVER_BASE};
+use newton_packet::{Packet, PacketBuilder, Protocol, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// The attack behaviours the catalog queries detect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AttackKind {
+    /// Burst of new TCP connections to one server (Q1).
+    NewTcpBurst,
+    /// SSH brute force against one server (Q2).
+    SshBrute,
+    /// One source contacting many destinations (Q3).
+    SuperSpreader,
+    /// One source probing many ports on one host (Q4).
+    PortScan,
+    /// Many sources flooding one destination with UDP (Q5).
+    UdpDdos,
+    /// Spoofed SYN flood against one victim (Q6).
+    SynFlood,
+    /// Complete (SYN…FIN) connections to one server (Q7 positive signal).
+    CompletedConns,
+    /// Slowloris: many connections, almost no bytes (Q8).
+    Slowloris,
+    /// DNS responses to a host that never opens TCP connections (Q9).
+    DnsNoTcp,
+}
+
+/// A labelled injection: what was injected, who is guilty, what was sent.
+#[derive(Debug, Clone)]
+pub struct Injection {
+    pub kind: AttackKind,
+    /// The IP the corresponding query should report (victim for floods,
+    /// attacker for scans/spreaders, the silent host for Q9).
+    pub guilty: u32,
+    /// Number of injected packets.
+    pub packets: usize,
+    /// Injection window start (ns).
+    pub start_ns: u64,
+}
+
+/// Parameters shared by injectors.
+#[derive(Debug, Clone, Copy)]
+pub struct InjectSpec {
+    /// Seed for the injector's private RNG.
+    pub seed: u64,
+    /// Intensity: number of attack events (connections, probes, sources…).
+    pub intensity: u32,
+    /// Window start timestamp (ns).
+    pub start_ns: u64,
+    /// Window length (ns) the events spread over.
+    pub window_ns: u64,
+}
+
+impl Default for InjectSpec {
+    fn default() -> Self {
+        InjectSpec { seed: 7, intensity: 100, start_ns: 0, window_ns: 50_000_000 }
+    }
+}
+
+fn ts(spec: &InjectSpec, i: u32) -> u64 {
+    spec.start_ns + (i as u64) * spec.window_ns / (spec.intensity.max(1) as u64)
+}
+
+/// Inject an attack of `kind` into `packets`, returning its label.
+/// `packets` is re-sorted by timestamp afterwards by [`crate::trace::Trace`].
+pub fn inject(kind: AttackKind, spec: &InjectSpec, packets: &mut Vec<Packet>) -> Injection {
+    let mut rng = StdRng::seed_from_u64(spec.seed ^ (kind as u64).wrapping_mul(0x9E37));
+    let before = packets.len();
+    let guilty = match kind {
+        AttackKind::NewTcpBurst => {
+            let victim = SERVER_BASE + 0xFFF0;
+            for i in 0..spec.intensity {
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 16))
+                        .dst_ip(victim)
+                        .src_port(rng.gen_range(1024..u16::MAX))
+                        .dst_port(443)
+                        .tcp_flags(TcpFlags::SYN)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            victim
+        }
+        AttackKind::SshBrute => {
+            let victim = SERVER_BASE + 0xFFF1;
+            for i in 0..spec.intensity {
+                // Brute-force tools: one client, many attempts, uniform-ish
+                // packet sizes; distinct (dip, sip, len) tuples come from a
+                // small set of lengths across many clients.
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(CLIENT_BASE + rng.gen_range(0..2048))
+                        .dst_ip(victim)
+                        .src_port(rng.gen_range(1024..u16::MAX))
+                        .dst_port(22)
+                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                        .wire_len(96 + (i % 13) as u16)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            victim
+        }
+        AttackKind::SuperSpreader => {
+            let spreader = CLIENT_BASE + 0xEEEE;
+            for i in 0..spec.intensity {
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(spreader)
+                        .dst_ip(SERVER_BASE + i) // a fresh destination each time
+                        .src_port(40000)
+                        .dst_port(80)
+                        .tcp_flags(TcpFlags::SYN)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            spreader
+        }
+        AttackKind::PortScan => {
+            let scanner = CLIENT_BASE + 0xDDDD;
+            let target = SERVER_BASE + 0xFFF2;
+            for i in 0..spec.intensity {
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(scanner)
+                        .dst_ip(target)
+                        .src_port(41000)
+                        .dst_port(1 + (i as u16 % 60000)) // sweep ports
+                        .tcp_flags(TcpFlags::SYN)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            scanner
+        }
+        AttackKind::UdpDdos => {
+            let victim = SERVER_BASE + 0xFFF3;
+            for i in 0..spec.intensity {
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 20)) // botnet
+                        .dst_ip(victim)
+                        .src_port(rng.gen_range(1024..u16::MAX))
+                        .dst_port(53)
+                        .protocol(Protocol::Udp)
+                        .wire_len(512)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            victim
+        }
+        AttackKind::SynFlood => {
+            let victim = SERVER_BASE + 0xFFF4;
+            for i in 0..spec.intensity {
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(rng.gen()) // spoofed sources
+                        .dst_ip(victim)
+                        .src_port(rng.gen()) // random sports
+                        .dst_port(80)
+                        .tcp_flags(TcpFlags::SYN)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            victim
+        }
+        AttackKind::CompletedConns => {
+            let server = SERVER_BASE + 0xFFF5;
+            for i in 0..spec.intensity {
+                let client = CLIENT_BASE + rng.gen_range(0..4096);
+                let sport = rng.gen_range(1024..u16::MAX);
+                let t = ts(spec, i);
+                let base = PacketBuilder::new()
+                    .src_ip(client)
+                    .dst_ip(server)
+                    .src_port(sport)
+                    .dst_port(80);
+                packets.push(base.clone().tcp_flags(TcpFlags::SYN).ts_ns(t).build());
+                packets.push(
+                    base.clone().tcp_flags(TcpFlags::ACK | TcpFlags::PSH).wire_len(700).ts_ns(t + 1000).build(),
+                );
+                packets.push(base.tcp_flags(TcpFlags::FIN | TcpFlags::ACK).ts_ns(t + 2000).build());
+            }
+            server
+        }
+        AttackKind::Slowloris => {
+            let victim = SERVER_BASE + 0xFFF6;
+            for i in 0..spec.intensity {
+                // Many connections (distinct sip/sport), headers only.
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(CLIENT_BASE + rng.gen_range(0..256))
+                        .dst_ip(victim)
+                        .src_port(20000 + (i as u16 % 40000))
+                        .dst_port(80)
+                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                        .wire_len(64)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            victim
+        }
+        AttackKind::DnsNoTcp => {
+            let silent = CLIENT_BASE + 0xCCCC;
+            for i in 0..spec.intensity {
+                // DNS responses arrive; the host never opens a connection.
+                packets.push(
+                    PacketBuilder::new()
+                        .src_ip(0x0808_0808)
+                        .dst_ip(silent)
+                        .src_port(53)
+                        .dst_port(rng.gen_range(1024..u16::MAX))
+                        .protocol(Protocol::Udp)
+                        .wire_len(120)
+                        .ts_ns(ts(spec, i))
+                        .build(),
+                );
+            }
+            silent
+        }
+    };
+    Injection { kind, guilty, packets: packets.len() - before, start_ns: spec.start_ns }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(kind: AttackKind) -> (Injection, Vec<Packet>) {
+        let mut pkts = Vec::new();
+        let inj = inject(kind, &InjectSpec::default(), &mut pkts);
+        (inj, pkts)
+    }
+
+    #[test]
+    fn every_kind_injects_packets() {
+        for kind in [
+            AttackKind::NewTcpBurst,
+            AttackKind::SshBrute,
+            AttackKind::SuperSpreader,
+            AttackKind::PortScan,
+            AttackKind::UdpDdos,
+            AttackKind::SynFlood,
+            AttackKind::CompletedConns,
+            AttackKind::Slowloris,
+            AttackKind::DnsNoTcp,
+        ] {
+            let (inj, pkts) = run(kind);
+            assert!(!pkts.is_empty(), "{kind:?} injected nothing");
+            assert_eq!(inj.packets, pkts.len());
+            assert_eq!(inj.kind, kind);
+        }
+    }
+
+    #[test]
+    fn syn_flood_is_spoofed_and_pure_syn() {
+        let (inj, pkts) = run(AttackKind::SynFlood);
+        assert!(pkts.iter().all(|p| p.tcp_flags.is_pure_syn()));
+        assert!(pkts.iter().all(|p| p.dst_ip == inj.guilty));
+        let distinct_srcs: std::collections::HashSet<_> = pkts.iter().map(|p| p.src_ip).collect();
+        assert!(distinct_srcs.len() > 90, "spoofed flood should have many sources");
+    }
+
+    #[test]
+    fn port_scan_sweeps_distinct_ports() {
+        let (inj, pkts) = run(AttackKind::PortScan);
+        assert!(pkts.iter().all(|p| p.src_ip == inj.guilty));
+        let ports: std::collections::HashSet<_> = pkts.iter().map(|p| p.dst_port).collect();
+        assert_eq!(ports.len(), pkts.len(), "each probe must hit a fresh port");
+    }
+
+    #[test]
+    fn completed_conns_have_full_lifecycle() {
+        let (_, pkts) = run(AttackKind::CompletedConns);
+        let syns = pkts.iter().filter(|p| p.tcp_flags.is_pure_syn()).count();
+        let fins = pkts
+            .iter()
+            .filter(|p| p.tcp_flags.contains(TcpFlags::FIN | TcpFlags::ACK))
+            .count();
+        assert_eq!(syns, fins);
+        assert_eq!(pkts.len(), syns * 3);
+    }
+
+    #[test]
+    fn slowloris_is_low_volume() {
+        let (_, pkts) = run(AttackKind::Slowloris);
+        assert!(pkts.iter().all(|p| p.wire_len <= 64));
+        assert!(pkts.iter().all(|p| p.dst_port == 80));
+    }
+
+    #[test]
+    fn dns_no_tcp_emits_only_udp() {
+        let (inj, pkts) = run(AttackKind::DnsNoTcp);
+        assert!(pkts.iter().all(|p| p.protocol == Protocol::Udp && p.src_port == 53));
+        assert!(pkts.iter().all(|p| p.dst_ip == inj.guilty));
+    }
+
+    #[test]
+    fn injection_is_deterministic() {
+        let (a, pa) = run(AttackKind::UdpDdos);
+        let (b, pb) = run(AttackKind::UdpDdos);
+        assert_eq!(pa, pb);
+        assert_eq!(a.guilty, b.guilty);
+    }
+
+    #[test]
+    fn timestamps_respect_window() {
+        let spec = InjectSpec { start_ns: 1_000, window_ns: 9_000, ..Default::default() };
+        let mut pkts = Vec::new();
+        inject(AttackKind::NewTcpBurst, &spec, &mut pkts);
+        assert!(pkts.iter().all(|p| (1_000..10_000).contains(&p.ts_ns)));
+    }
+}

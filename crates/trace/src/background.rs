@@ -1,0 +1,222 @@
+//! Background (benign) traffic generation.
+//!
+//! Flows are laid out with Zipf sizes; each TCP flow gets a realistic life
+//! cycle (SYN, data segments, FIN+ACK). Timestamps interleave flows across
+//! the configured duration so per-epoch slices look like a live link.
+
+use crate::zipf::Zipf;
+use newton_packet::{Packet, Protocol, TcpFlags};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for a synthetic trace.
+#[derive(Debug, Clone)]
+pub struct TraceConfig {
+    /// RNG seed; everything downstream is deterministic in it.
+    pub seed: u64,
+    /// Total background packets to generate.
+    pub packets: usize,
+    /// Number of background flows (Zipf sizes, heaviest first).
+    pub flows: usize,
+    /// Zipf exponent for flow sizes (CAIDA-like ≈ 1.1–1.3).
+    pub zipf_exponent: f64,
+    /// Fraction of flows that are UDP (the rest are TCP).
+    pub udp_fraction: f64,
+    /// Trace duration in milliseconds.
+    pub duration_ms: u64,
+    /// Size of the client address pool.
+    pub clients: u32,
+    /// Size of the server address pool.
+    pub servers: u32,
+}
+
+impl Default for TraceConfig {
+    fn default() -> Self {
+        TraceConfig {
+            seed: 0xC0FFEE,
+            packets: 50_000,
+            flows: 2_000,
+            zipf_exponent: 1.1,
+            udp_fraction: 0.2,
+            duration_ms: 1_000,
+            clients: 5_000,
+            servers: 500,
+        }
+    }
+}
+
+/// Client address space: 10.0.0.0/8.
+pub const CLIENT_BASE: u32 = 0x0A00_0000;
+/// Server address space: 172.16.0.0/12.
+pub const SERVER_BASE: u32 = 0xAC10_0000;
+
+/// Common service ports with rough popularity weights.
+const SERVICE_PORTS: [(u16, u32); 7] =
+    [(80, 35), (443, 30), (53, 10), (22, 5), (8080, 8), (25, 5), (123, 7)];
+
+fn pick_service_port(rng: &mut StdRng) -> u16 {
+    let total: u32 = SERVICE_PORTS.iter().map(|&(_, w)| w).sum();
+    let mut x = rng.gen_range(0..total);
+    for &(port, w) in &SERVICE_PORTS {
+        if x < w {
+            return port;
+        }
+        x -= w;
+    }
+    80
+}
+
+/// Generate the background packets described by `cfg`, sorted by timestamp.
+pub fn generate(cfg: &TraceConfig) -> Vec<Packet> {
+    assert!(cfg.flows > 0 && cfg.packets > 0, "empty trace config");
+    assert!(cfg.clients > 0 && cfg.servers > 0, "empty address pools");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let sizes = Zipf::new(cfg.flows, cfg.zipf_exponent).partition(cfg.packets as u64);
+
+    let mut packets = Vec::with_capacity(cfg.packets);
+    let duration_ns = cfg.duration_ms * 1_000_000;
+    for &size in &sizes {
+        let src = CLIENT_BASE + rng.gen_range(0..cfg.clients);
+        let dst = SERVER_BASE + rng.gen_range(0..cfg.servers);
+        let sport: u16 = rng.gen_range(1024..u16::MAX);
+        let dport = pick_service_port(&mut rng);
+        let is_udp = rng.gen_bool(cfg.udp_fraction);
+        let start = rng.gen_range(0..duration_ns.max(1));
+        // Packets of one flow spread over a window proportional to size.
+        let window = (size.max(1) * 200_000).min(duration_ns.saturating_sub(start).max(1));
+
+        for i in 0..size {
+            let ts = start + if size > 1 { i * window / size } else { 0 };
+            let (flags, len, reply) = if is_udp {
+                (TcpFlags::NONE, rng.gen_range(64..512) as u16, false)
+            } else if i == 0 {
+                (TcpFlags::SYN, 64, false)
+            } else if i == 1 && size > 2 {
+                (TcpFlags::SYN | TcpFlags::ACK, 64, true)
+            } else if i + 1 == size && size > 2 {
+                (TcpFlags::FIN | TcpFlags::ACK, 64, false)
+            } else {
+                let data_len = 64 + ((rng.gen_range(0f64..1f64)).powi(3) * 1386.0) as u16;
+                (TcpFlags::ACK | TcpFlags::PSH, data_len, rng.gen_bool(0.4))
+            };
+            let (s_ip, d_ip, s_po, d_po) =
+                if reply { (dst, src, dport, sport) } else { (src, dst, sport, dport) };
+            let mut p = Packet {
+                src_ip: s_ip,
+                dst_ip: d_ip,
+                src_port: s_po,
+                dst_port: d_po,
+                protocol: if is_udp { Protocol::Udp } else { Protocol::Tcp },
+                tcp_flags: flags,
+                wire_len: len,
+                ttl: 64,
+                ts_ns: ts,
+            };
+            if is_udp {
+                p.tcp_flags = TcpFlags::NONE;
+            }
+            packets.push(p);
+        }
+    }
+    packets.sort_by_key(|p| p.ts_ns);
+    packets
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    fn small() -> TraceConfig {
+        TraceConfig { packets: 5_000, flows: 300, ..Default::default() }
+    }
+
+    #[test]
+    fn generates_requested_packet_count() {
+        let pkts = generate(&small());
+        assert_eq!(pkts.len(), 5_000);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = generate(&small());
+        let b = generate(&small());
+        assert_eq!(a, b);
+        let c = generate(&TraceConfig { seed: 999, ..small() });
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sorted_by_timestamp_within_duration() {
+        let cfg = small();
+        let pkts = generate(&cfg);
+        let max_ns = cfg.duration_ms * 1_000_000;
+        for w in pkts.windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+        assert!(pkts.iter().all(|p| p.ts_ns <= max_ns));
+    }
+
+    #[test]
+    fn tcp_flows_start_with_syn() {
+        let pkts = generate(&small());
+        // Each TCP flow's earliest packet must be the pure SYN.
+        use std::collections::HashMap;
+        let mut first: HashMap<_, &Packet> = HashMap::new();
+        for p in &pkts {
+            if p.protocol == Protocol::Tcp {
+                let k = p.flow_key().canonical();
+                let e = first.entry(k).or_insert(p);
+                if p.ts_ns < e.ts_ns {
+                    *e = p;
+                }
+            }
+        }
+        let bad = first.values().filter(|p| !p.tcp_flags.is_pure_syn()).count();
+        // Replies share the canonical key; allow a tiny fraction of ties.
+        assert!(bad * 20 < first.len(), "{bad} of {} flows do not start with SYN", first.len());
+    }
+
+    #[test]
+    fn flow_sizes_are_heavy_tailed() {
+        let pkts = generate(&TraceConfig { packets: 20_000, flows: 1_000, ..Default::default() });
+        use std::collections::HashMap;
+        let mut sizes: HashMap<_, usize> = HashMap::new();
+        for p in &pkts {
+            *sizes.entry(p.flow_key().canonical()).or_insert(0) += 1;
+        }
+        let mut v: Vec<usize> = sizes.values().copied().collect();
+        v.sort_unstable_by(|a, b| b.cmp(a));
+        let top10: usize = v.iter().take(v.len() / 10).sum();
+        let total: usize = v.iter().sum();
+        assert!(
+            top10 * 2 > total,
+            "top 10% of flows should carry >50% of packets (got {top10}/{total})"
+        );
+    }
+
+    #[test]
+    fn udp_fraction_respected_roughly() {
+        let pkts = generate(&TraceConfig { udp_fraction: 0.5, ..small() });
+        let udp = pkts.iter().filter(|p| p.protocol == Protocol::Udp).count();
+        let frac = udp as f64 / pkts.len() as f64;
+        // Zipf weighting skews per-packet fractions; just require presence
+        // of both protocols in sensible proportion.
+        assert!(frac > 0.1 && frac < 0.9, "udp packet fraction {frac}");
+    }
+
+    #[test]
+    fn addresses_stay_in_pools() {
+        let cfg = small();
+        let pkts = generate(&cfg);
+        let mut clients = HashSet::new();
+        for p in &pkts {
+            // One side is a client, the other a server (either direction).
+            let (c, s) = if p.src_ip >= SERVER_BASE { (p.dst_ip, p.src_ip) } else { (p.src_ip, p.dst_ip) };
+            assert!((CLIENT_BASE..CLIENT_BASE + cfg.clients).contains(&c), "client {c:#x}");
+            assert!((SERVER_BASE..SERVER_BASE + cfg.servers).contains(&s), "server {s:#x}");
+            clients.insert(c);
+        }
+        assert!(clients.len() > 50, "expected many distinct clients");
+    }
+}

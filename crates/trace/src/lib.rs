@@ -1,0 +1,32 @@
+//! Synthetic packet traces for the Newton reproduction.
+//!
+//! The paper evaluates on CAIDA and MAWI captures, which are licensed and
+//! not redistributable. This crate generates seeded synthetic traces with
+//! the statistical properties those captures contribute to the evaluation:
+//!
+//! * heavy-tailed (Zipf) flow-size distribution ([`zipf`], [`background`]),
+//! * realistic 5-tuple structure and TCP connection life cycles
+//!   (SYN → data → FIN/ACK),
+//! * injectable attack behaviours for every catalog query
+//!   ([`attacks`]) — SYN floods, UDP DDoS, port scans, SSH brute force,
+//!   Slowloris, super spreaders, DNS-without-TCP — with the injected
+//!   attacker/victim identities recorded so experiments have labelled
+//!   ground truth,
+//! * presets approximating the two paper traces ([`presets`]),
+//! * libpcap import/export ([`pcap`]) so traces open in Wireshark and real
+//!   captures can drive the simulator.
+//!
+//! Everything is deterministic given [`TraceConfig::seed`].
+
+pub mod attacks;
+pub mod background;
+pub mod pcap;
+pub mod presets;
+pub mod stats;
+pub mod trace;
+pub mod zipf;
+
+pub use attacks::{AttackKind, Injection};
+pub use background::TraceConfig;
+pub use presets::{caida_like, mawi_like};
+pub use trace::Trace;

@@ -1,0 +1,68 @@
+//! Trace presets approximating the paper's two captures.
+//!
+//! | Preset | Models | Character |
+//! |---|---|---|
+//! | [`caida_like`] | CAIDA Chicago 2014 (backbone) | many flows, strong heavy tail, TCP-dominated |
+//! | [`mawi_like`] | MAWI WIDE transit | fewer, longer flows, higher UDP share |
+//!
+//! Absolute rates are scaled down to laptop size; what experiments consume
+//! is the *shape* (flow-size skew, protocol mix, distinct-count behaviour),
+//! which these presets control.
+
+use crate::background::TraceConfig;
+use crate::trace::Trace;
+
+/// A CAIDA-backbone-like trace: many short flows, strong elephant/mice
+/// split, 15 % UDP.
+pub fn caida_like(seed: u64, packets: usize) -> Trace {
+    Trace::background(&TraceConfig {
+        seed,
+        packets,
+        flows: (packets / 12).max(16),
+        zipf_exponent: 1.25,
+        udp_fraction: 0.15,
+        duration_ms: 1_000,
+        clients: 20_000,
+        servers: 2_000,
+    })
+}
+
+/// A MAWI-transit-like trace: fewer but heavier flows, 30 % UDP.
+pub fn mawi_like(seed: u64, packets: usize) -> Trace {
+    Trace::background(&TraceConfig {
+        seed,
+        packets,
+        flows: (packets / 40).max(16),
+        zipf_exponent: 1.05,
+        udp_fraction: 0.30,
+        duration_ms: 1_000,
+        clients: 5_000,
+        servers: 800,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_differ_in_flow_density() {
+        let c = caida_like(1, 20_000).stats();
+        let m = mawi_like(1, 20_000).stats();
+        assert!(c.flows > m.flows, "CAIDA-like should have more flows ({} vs {})", c.flows, m.flows);
+    }
+
+    #[test]
+    fn presets_differ_in_udp_share() {
+        let c = caida_like(1, 20_000).stats();
+        let m = mawi_like(1, 20_000).stats();
+        let cf = c.udp_packets as f64 / c.packets as f64;
+        let mf = m.udp_packets as f64 / m.packets as f64;
+        assert!(mf > cf, "MAWI-like should be more UDP-heavy ({mf:.2} vs {cf:.2})");
+    }
+
+    #[test]
+    fn presets_are_deterministic() {
+        assert_eq!(caida_like(9, 5_000).packets(), caida_like(9, 5_000).packets());
+    }
+}

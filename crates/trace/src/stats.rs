@@ -1,0 +1,174 @@
+//! Flow-level workload statistics.
+//!
+//! The evaluation cares about the *shape* of a workload — how heavy the
+//! elephant flows are, how many mice, the protocol split — because those
+//! properties drive every overhead and accuracy result. This module
+//! quantifies a trace so experiments can assert their workload looks the
+//! way the paper's traces look.
+
+use newton_packet::{FlowKey, Packet, Protocol};
+use std::collections::HashMap;
+
+/// Per-flow aggregates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlowRecord {
+    pub packets: u64,
+    pub bytes: u64,
+    pub first_ns: u64,
+    pub last_ns: u64,
+}
+
+/// Flow-level view of a packet sequence.
+#[derive(Debug, Clone, Default)]
+pub struct FlowTable {
+    flows: HashMap<FlowKey, FlowRecord>,
+}
+
+impl FlowTable {
+    /// Aggregate a packet sequence by canonical (direction-agnostic) flow.
+    pub fn build(packets: &[Packet]) -> Self {
+        let mut flows: HashMap<FlowKey, FlowRecord> = HashMap::new();
+        for p in packets {
+            let e = flows.entry(p.flow_key().canonical()).or_insert(FlowRecord {
+                packets: 0,
+                bytes: 0,
+                first_ns: p.ts_ns,
+                last_ns: p.ts_ns,
+            });
+            e.packets += 1;
+            e.bytes += p.wire_len as u64;
+            e.first_ns = e.first_ns.min(p.ts_ns);
+            e.last_ns = e.last_ns.max(p.ts_ns);
+        }
+        FlowTable { flows }
+    }
+
+    pub fn len(&self) -> usize {
+        self.flows.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.flows.is_empty()
+    }
+
+    /// The `k` heaviest flows by packet count, descending.
+    pub fn top_k(&self, k: usize) -> Vec<(FlowKey, FlowRecord)> {
+        let mut v: Vec<_> = self.flows.iter().map(|(&f, &r)| (f, r)).collect();
+        v.sort_by(|a, b| b.1.packets.cmp(&a.1.packets).then(a.0.cmp(&b.0)));
+        v.truncate(k);
+        v
+    }
+
+    /// Fraction of all packets carried by the heaviest `percent`% of flows
+    /// — the heavy-tail gauge (CAIDA-like traces: top 10% ≫ 50%).
+    pub fn concentration(&self, percent: f64) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        let mut sizes: Vec<u64> = self.flows.values().map(|r| r.packets).collect();
+        sizes.sort_unstable_by(|a, b| b.cmp(a));
+        let take = ((sizes.len() as f64 * percent / 100.0).ceil() as usize).max(1);
+        let top: u64 = sizes.iter().take(take).sum();
+        let total: u64 = sizes.iter().sum();
+        top as f64 / total as f64
+    }
+
+    /// Mean flow duration in nanoseconds (flows with one packet count 0).
+    pub fn mean_duration_ns(&self) -> f64 {
+        if self.flows.is_empty() {
+            return 0.0;
+        }
+        let total: u64 = self.flows.values().map(|r| r.last_ns - r.first_ns).sum();
+        total as f64 / self.flows.len() as f64
+    }
+}
+
+/// Protocol mix of a packet sequence, by packets.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolMix {
+    pub tcp: u64,
+    pub udp: u64,
+    pub other: u64,
+}
+
+impl ProtocolMix {
+    pub fn of(packets: &[Packet]) -> Self {
+        let mut mix = ProtocolMix::default();
+        for p in packets {
+            match p.protocol {
+                Protocol::Tcp => mix.tcp += 1,
+                Protocol::Udp => mix.udp += 1,
+                _ => mix.other += 1,
+            }
+        }
+        mix
+    }
+
+    pub fn udp_fraction(&self) -> f64 {
+        let total = self.tcp + self.udp + self.other;
+        if total == 0 {
+            0.0
+        } else {
+            self.udp as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::presets::{caida_like, mawi_like};
+    use newton_packet::PacketBuilder;
+
+    #[test]
+    fn flow_table_aggregates_both_directions() {
+        let fwd = PacketBuilder::new().src_port(10).dst_port(80).ts_ns(5).build();
+        let rev = PacketBuilder::new()
+            .src_ip(fwd.dst_ip)
+            .dst_ip(fwd.src_ip)
+            .src_port(80)
+            .dst_port(10)
+            .ts_ns(9)
+            .build();
+        let t = FlowTable::build(&[fwd, rev]);
+        assert_eq!(t.len(), 1, "forward and reverse share a canonical flow");
+        let (_, rec) = t.top_k(1)[0];
+        assert_eq!(rec.packets, 2);
+        assert_eq!(rec.first_ns, 5);
+        assert_eq!(rec.last_ns, 9);
+    }
+
+    #[test]
+    fn caida_like_is_more_concentrated_than_uniform() {
+        let trace = caida_like(5, 20_000);
+        let t = FlowTable::build(trace.packets());
+        let c = t.concentration(10.0);
+        assert!(c > 0.5, "top 10% of CAIDA-like flows must carry >50% of packets (got {c:.2})");
+    }
+
+    #[test]
+    fn protocol_mix_matches_presets() {
+        let c = ProtocolMix::of(caida_like(5, 10_000).packets());
+        let m = ProtocolMix::of(mawi_like(5, 10_000).packets());
+        assert!(m.udp_fraction() > c.udp_fraction());
+        assert_eq!(c.other, 0);
+    }
+
+    #[test]
+    fn top_k_orders_by_size() {
+        let trace = caida_like(5, 5_000);
+        let t = FlowTable::build(trace.packets());
+        let top = t.top_k(10);
+        for w in top.windows(2) {
+            assert!(w[0].1.packets >= w[1].1.packets);
+        }
+    }
+
+    #[test]
+    fn empty_input_is_well_defined() {
+        let t = FlowTable::build(&[]);
+        assert!(t.is_empty());
+        assert_eq!(t.concentration(10.0), 0.0);
+        assert_eq!(t.mean_duration_ns(), 0.0);
+    }
+}

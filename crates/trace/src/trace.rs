@@ -1,0 +1,178 @@
+//! The [`Trace`] container: background + injections, epoch slicing, stats.
+
+use crate::attacks::{inject, AttackKind, InjectSpec, Injection};
+use crate::background::{generate, TraceConfig};
+use newton_packet::{Packet, Protocol};
+use std::collections::HashSet;
+
+/// A complete, timestamp-sorted packet trace with labelled injections.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    packets: Vec<Packet>,
+    injections: Vec<Injection>,
+}
+
+impl Trace {
+    /// Generate background traffic only.
+    pub fn background(cfg: &TraceConfig) -> Self {
+        Trace { packets: generate(cfg), injections: Vec::new() }
+    }
+
+    /// Build an empty trace (useful for hand-crafted tests).
+    pub fn from_packets(mut packets: Vec<Packet>) -> Self {
+        packets.sort_by_key(|p| p.ts_ns);
+        Trace { packets, injections: Vec::new() }
+    }
+
+    /// Inject an attack; packets re-sort by timestamp.
+    pub fn inject(&mut self, kind: AttackKind, spec: &InjectSpec) -> &Injection {
+        let inj = inject(kind, spec, &mut self.packets);
+        self.packets.sort_by_key(|p| p.ts_ns);
+        self.injections.push(inj);
+        self.injections.last().expect("just pushed")
+    }
+
+    /// All packets, sorted by timestamp.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+
+    /// Labelled injections, in injection order.
+    pub fn injections(&self) -> &[Injection] {
+        &self.injections
+    }
+
+    /// The guilty IPs for a given attack kind.
+    pub fn guilty(&self, kind: AttackKind) -> HashSet<u32> {
+        self.injections.iter().filter(|i| i.kind == kind).map(|i| i.guilty).collect()
+    }
+
+    /// Iterate over consecutive `epoch_ms` windows of packets.
+    pub fn epochs(&self, epoch_ms: u64) -> impl Iterator<Item = &[Packet]> {
+        let epoch_ns = epoch_ms.max(1) * 1_000_000;
+        EpochIter { packets: &self.packets, epoch_ns, next_start: 0 }
+    }
+
+    /// Basic trace statistics.
+    pub fn stats(&self) -> TraceStats {
+        let mut flows = HashSet::new();
+        let mut bytes: u64 = 0;
+        let mut tcp = 0usize;
+        let mut udp = 0usize;
+        for p in &self.packets {
+            flows.insert(p.flow_key());
+            bytes += p.wire_len as u64;
+            match p.protocol {
+                Protocol::Tcp => tcp += 1,
+                Protocol::Udp => udp += 1,
+                _ => {}
+            }
+        }
+        TraceStats {
+            packets: self.packets.len(),
+            flows: flows.len(),
+            bytes,
+            tcp_packets: tcp,
+            udp_packets: udp,
+            duration_ns: self.packets.last().map(|p| p.ts_ns).unwrap_or(0),
+        }
+    }
+}
+
+/// Summary statistics of a trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceStats {
+    pub packets: usize,
+    pub flows: usize,
+    pub bytes: u64,
+    pub tcp_packets: usize,
+    pub udp_packets: usize,
+    pub duration_ns: u64,
+}
+
+struct EpochIter<'a> {
+    packets: &'a [Packet],
+    epoch_ns: u64,
+    next_start: usize,
+}
+
+impl<'a> Iterator for EpochIter<'a> {
+    type Item = &'a [Packet];
+
+    fn next(&mut self) -> Option<&'a [Packet]> {
+        if self.next_start >= self.packets.len() {
+            return None;
+        }
+        let start = self.next_start;
+        let epoch_idx = self.packets[start].ts_ns / self.epoch_ns;
+        let end_ts = (epoch_idx + 1) * self.epoch_ns;
+        let mut end = start;
+        while end < self.packets.len() && self.packets[end].ts_ns < end_ts {
+            end += 1;
+        }
+        self.next_start = end;
+        Some(&self.packets[start..end])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_packet::PacketBuilder;
+
+    #[test]
+    fn epochs_partition_the_trace() {
+        let cfg = TraceConfig { packets: 3_000, flows: 100, ..Default::default() };
+        let trace = Trace::background(&cfg);
+        let total: usize = trace.epochs(100).map(<[Packet]>::len).sum();
+        assert_eq!(total, trace.packets().len());
+        // 1 second of trace at 100 ms epochs → at most 11 slices.
+        assert!(trace.epochs(100).count() <= 11);
+    }
+
+    #[test]
+    fn epoch_windows_are_time_aligned() {
+        let pkts = vec![
+            PacketBuilder::new().ts_ns(0).build(),
+            PacketBuilder::new().ts_ns(99_999_999).build(),
+            PacketBuilder::new().ts_ns(100_000_000).build(),
+            PacketBuilder::new().ts_ns(250_000_000).build(),
+        ];
+        let trace = Trace::from_packets(pkts);
+        let epochs: Vec<usize> = trace.epochs(100).map(<[Packet]>::len).collect();
+        assert_eq!(epochs, vec![2, 1, 1]);
+    }
+
+    #[test]
+    fn injections_are_labelled_and_merged() {
+        let cfg = TraceConfig { packets: 1_000, flows: 50, ..Default::default() };
+        let mut trace = Trace::background(&cfg);
+        let n_before = trace.packets().len();
+        trace.inject(AttackKind::SynFlood, &InjectSpec { intensity: 123, ..Default::default() });
+        assert_eq!(trace.packets().len(), n_before + 123);
+        assert_eq!(trace.guilty(AttackKind::SynFlood).len(), 1);
+        assert!(trace.guilty(AttackKind::PortScan).is_empty());
+        // Still sorted.
+        for w in trace.packets().windows(2) {
+            assert!(w[0].ts_ns <= w[1].ts_ns);
+        }
+    }
+
+    #[test]
+    fn stats_count_protocols_and_flows() {
+        let cfg = TraceConfig { packets: 2_000, flows: 100, udp_fraction: 0.3, ..Default::default() };
+        let trace = Trace::background(&cfg);
+        let s = trace.stats();
+        assert_eq!(s.packets, 2_000);
+        assert!(s.flows >= 100 && s.flows <= 220, "flows {} (incl. replies)", s.flows);
+        assert_eq!(s.tcp_packets + s.udp_packets, s.packets);
+        assert!(s.bytes > 0);
+    }
+
+    #[test]
+    fn empty_trace_has_no_epochs() {
+        let trace = Trace::from_packets(Vec::new());
+        assert_eq!(trace.epochs(100).count(), 0);
+        assert_eq!(trace.stats().packets, 0);
+    }
+}

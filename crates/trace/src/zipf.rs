@@ -1,0 +1,138 @@
+//! Zipf-distributed sampling for heavy-tailed flow sizes.
+//!
+//! Internet flow sizes are famously heavy-tailed: a few elephant flows
+//! carry most packets, a long tail of mice carry few. CAIDA/MAWI traces
+//! exhibit Zipf-like rank-size behaviour; this module reproduces it.
+
+use rand::Rng;
+
+/// A Zipf(α) distribution over ranks `1..=n`, sampled by inverse-CDF binary
+/// search over precomputed cumulative weights.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Build a Zipf distribution over `n` ranks with exponent `alpha`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `alpha` is not finite and non-negative.
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(alpha.is_finite() && alpha >= 0.0, "alpha must be finite and >= 0");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for rank in 1..=n {
+            acc += (rank as f64).powf(-alpha);
+            cumulative.push(acc);
+        }
+        Zipf { cumulative }
+    }
+
+    /// Sample a rank in `0..n` (0 = heaviest).
+    pub fn sample<R: Rng>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty");
+        let u: f64 = rng.gen_range(0.0..total);
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+
+    /// The expected share of samples landing on `rank` (0-based).
+    pub fn probability(&self, rank: usize) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty");
+        let prev = if rank == 0 { 0.0 } else { self.cumulative[rank - 1] };
+        (self.cumulative[rank] - prev) / total
+    }
+
+    /// Deterministic flow-size assignment: split `total` items over `n`
+    /// ranks proportionally to the Zipf weights, guaranteeing every rank
+    /// gets at least one item and the sizes sum to exactly `total`
+    /// (when `total >= n`).
+    pub fn partition(&self, total: u64) -> Vec<u64> {
+        let n = self.cumulative.len() as u64;
+        if total <= n {
+            return (0..n).map(|i| u64::from(i < total)).collect();
+        }
+        let spare = total - n;
+        let mut out: Vec<u64> = (0..self.cumulative.len())
+            .map(|r| 1 + (self.probability(r) * spare as f64).floor() as u64)
+            .collect();
+        let mut assigned: u64 = out.iter().sum();
+        // Distribute the rounding remainder to the heaviest ranks.
+        let len = out.len();
+        let mut r = 0;
+        while assigned < total {
+            out[r % len] += 1;
+            assigned += 1;
+            r += 1;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn samples_within_range() {
+        let z = Zipf::new(100, 1.1);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            assert!(z.sample(&mut rng) < 100);
+        }
+    }
+
+    #[test]
+    fn rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.2);
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut count0 = 0;
+        let n = 20_000;
+        for _ in 0..n {
+            if z.sample(&mut rng) == 0 {
+                count0 += 1;
+            }
+        }
+        let p0 = z.probability(0);
+        let measured = count0 as f64 / n as f64;
+        assert!((measured - p0).abs() < 0.02, "measured {measured:.3} vs expected {p0:.3}");
+        assert!(p0 > 0.1, "rank 0 should be heavy");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniform() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.probability(r) - 0.1).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn partition_sums_and_is_monotone() {
+        let z = Zipf::new(50, 1.0);
+        let sizes = z.partition(10_000);
+        assert_eq!(sizes.iter().sum::<u64>(), 10_000);
+        assert!(sizes.iter().all(|&s| s >= 1));
+        for w in sizes.windows(2) {
+            assert!(w[0] >= w[1], "sizes must be non-increasing by rank");
+        }
+    }
+
+    #[test]
+    fn partition_with_tiny_total() {
+        let z = Zipf::new(10, 1.0);
+        let sizes = z.partition(3);
+        assert_eq!(sizes.iter().sum::<u64>(), 3);
+        assert_eq!(sizes.len(), 10);
+    }
+
+    #[test]
+    fn heavier_alpha_concentrates_more() {
+        let light = Zipf::new(100, 0.8);
+        let heavy = Zipf::new(100, 1.6);
+        assert!(heavy.probability(0) > light.probability(0));
+    }
+}

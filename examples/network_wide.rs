@@ -1,0 +1,93 @@
+//! Network-wide monitoring with resilient placement and cross-switch query
+//! execution, surviving a link failure (Fig. 9's scenario).
+//!
+//! A port-scan query (Q4) is placed on a 4-ary fat-tree with only 5 module
+//! stages per switch — too few for the whole query, so it slices across
+//! consecutive hops (CQE). Algorithm 2 pre-places every slice along every
+//! possible path, so when a link fails and ECMP reroutes the scanner's
+//! flows, monitoring keeps working with **no controller intervention**.
+//!
+//! ```sh
+//! cargo run --example network_wide
+//! ```
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::packet::flow::fmt_ipv4;
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::catalog;
+
+fn main() {
+    let topo = Topology::fat_tree(4);
+    let (ingress, egress) = (topo.edge_switches()[0], topo.edge_switches()[7]);
+    println!(
+        "topology: {} ({} switches, {} links); monitoring enters at edge {ingress}, exits at edge {egress}",
+        topo.name(),
+        topo.len(),
+        topo.link_count()
+    );
+
+    let mut net = Network::new(topo, PipelineConfig::default());
+    // Pin each host pair to one path (pair-hash ECMP) so sliced query
+    // state stays on the flows' common path.
+    net.router_mut().set_ecmp_mode(newton::net::EcmpMode::PairHash);
+    let mut controller = Controller::new(CompilerConfig::default(), 11);
+
+    // Deploy Q4 with a 5-stage-per-switch budget → CQE slices.
+    let q4 = catalog::q4_port_scan();
+    let receipt = controller.install(&q4, &mut net, 5).expect("placement");
+    println!(
+        "placed {}: {} slices, {} rules over {} switches, install {:.1} ms",
+        q4.name, receipt.slices, receipt.rules, receipt.switches, receipt.delay_ms
+    );
+
+    let scanner = 0x0A00_DEAD;
+    let run_scan = |net: &mut Network, port_base: u16| -> usize {
+        let mut reports = 0;
+        for port in 0..catalog::thresholds::PORT_SCAN as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(scanner)
+                .dst_ip(0xAC10_0001)
+                .src_port(40_000)
+                .dst_port(port_base + port)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports += net.deliver(&pkt, ingress, egress).reports.len();
+        }
+        reports
+    };
+
+    // Epoch 1: the scan is detected on the healthy network.
+    let detected = run_scan(&mut net, 1_000);
+    println!("epoch 1 (healthy):   scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    assert_eq!(detected, 1);
+    net.clear_state();
+
+    // A core link on the scan's current path fails; ECMP reroutes.
+    let probe = PacketBuilder::new()
+        .src_ip(scanner)
+        .dst_ip(0xAC10_0001)
+        .src_port(40_000)
+        .dst_port(1)
+        .tcp_flags(TcpFlags::SYN)
+        .build();
+    let old_path = net.deliver(&probe, ingress, egress).path;
+    net.clear_state();
+    net.router_mut().fail_link(old_path[1], old_path[2]);
+    let new_path = net
+        .router()
+        .path(ingress, egress, &probe.flow_key())
+        .expect("fat-tree survives one failure");
+    println!("link ({},{}) failed: path {:?} → {:?}", old_path[1], old_path[2], old_path, new_path);
+    assert_ne!(old_path, new_path);
+
+    // Epoch 2: same scan, rerouted — the pre-placed slices on the new path
+    // still execute the query end to end.
+    let detected = run_scan(&mut net, 1_000);
+    println!("epoch 2 (rerouted):  scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    assert_eq!(detected, 1, "resilient placement keeps monitoring correct after rerouting");
+
+    println!("resilient placement held: no rule changes were needed after the failure");
+}

@@ -1,0 +1,1 @@
+//! Newton suite: examples and integration tests live in this package.

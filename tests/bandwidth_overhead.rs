@@ -1,0 +1,60 @@
+//! The §5.1 bandwidth claim: "we only need to reserve 12 bytes for SP and
+//! incur less than 1% bandwidth overhead (assume 1500 bytes per packet),
+//! when packets need to execute queries cross switches."
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::catalog;
+
+#[test]
+fn snapshot_overhead_stays_below_one_percent_at_mtu() {
+    let mut net = Network::new(Topology::chain(4), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 44);
+    // Slice Q4 so the snapshot rides every internal link.
+    let receipt = ctl.install(&catalog::q4_port_scan(), &mut net, 4).unwrap();
+    assert!(receipt.slices >= 2);
+
+    for i in 0..2_000u16 {
+        let pkt = PacketBuilder::new()
+            .src_ip(0x0A00_0001)
+            .dst_ip(0xAC10_0001)
+            .src_port(41_000)
+            .dst_port(1 + i)
+            .tcp_flags(TcpFlags::SYN)
+            .wire_len(1500) // MTU-sized, as the paper assumes
+            .build();
+        net.deliver(&pkt, 0, 3);
+    }
+
+    let peak = net.peak_link_overhead();
+    assert!(peak > 0.0, "snapshots must actually be on the wire");
+    assert!(peak < 0.01, "snapshot overhead {peak:.4} must stay below 1% at 1500 B");
+
+    // Every internal link carried both payload and snapshots.
+    for (a, b) in [(0, 1), (1, 2), (2, 3)] {
+        let load = net.link_load(a, b);
+        assert!(load.payload_bytes > 0);
+        assert!(load.snapshot_bytes > 0, "link ({a},{b}) missing snapshot traffic");
+        assert_eq!(load.snapshot_bytes, 12 * 2_000);
+    }
+}
+
+#[test]
+fn unmonitored_traffic_carries_no_snapshot_bytes() {
+    let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 45);
+    // Q5 monitors UDP only; TCP traffic must stay header-free.
+    ctl.install(&catalog::q5_udp_ddos(), &mut net, 12).unwrap();
+    for i in 0..500u16 {
+        let pkt = PacketBuilder::new()
+            .src_port(1000 + i)
+            .tcp_flags(TcpFlags::ACK)
+            .wire_len(1500)
+            .build();
+        net.deliver(&pkt, 0, 2);
+    }
+    assert_eq!(net.peak_link_overhead(), 0.0, "TCP packets must not carry the SP header");
+}

@@ -1,0 +1,126 @@
+//! Concurrency capacity: "the capacity of Newton for supporting concurrent
+//! queries is determined by both available data plane resources (including
+//! the table size of all modules and the register memory size of 𝕊) and
+//! monitoring intents" (§4.1). These tests exercise the limits.
+
+use newton::compiler::{compile, CompilerConfig};
+use newton::dataplane::{PipelineConfig, Switch, SwitchError};
+use newton::packet::Field;
+use newton::query::ast::{CmpOp, ReduceFunc};
+use newton::query::QueryBuilder;
+
+fn tenant_query(t: u32) -> newton::query::ast::Query {
+    QueryBuilder::new(format!("tenant{t}"))
+        .filter_eq(Field::Proto, 6)
+        .filter_eq(Field::DstPort, 10_000 + t as u64)
+        .map(&[Field::DstIp])
+        .reduce(&[Field::DstIp], ReduceFunc::Count)
+        .result_filter(CmpOp::Ge, 10)
+        .build()
+}
+
+#[test]
+fn table_capacity_bounds_concurrent_queries_and_rejects_cleanly() {
+    // Tiny 8-rule module tables: installs succeed until an instance fills,
+    // then fail atomically (the failing query leaves nothing behind).
+    let mut sw = Switch::new(PipelineConfig { rule_capacity: 8, ..Default::default() });
+    let slice = 4096 / 64;
+    let mut installed = 0u32;
+    let mut rejected = None;
+    for t in 0..64 {
+        let cfg = CompilerConfig {
+            registers_per_array: slice,
+            register_offset: t * slice,
+            ..Default::default()
+        };
+        let compiled = compile(&tenant_query(t), t + 1, &cfg);
+        match sw.install(&compiled.rules) {
+            Ok(()) => installed += 1,
+            Err(e) => {
+                rejected = Some(e);
+                break;
+            }
+        }
+    }
+    let err = rejected.expect("capacity must eventually be exhausted");
+    assert!(matches!(err, SwitchError::Install(_)), "unexpected error {err:?}");
+    assert!(installed >= 3, "several queries should fit before exhaustion ({installed})");
+
+    // Atomicity: the rejected query contributed zero rules.
+    let total_before = sw.total_rule_count();
+    assert_eq!(sw.rules_of_query(installed + 1), 0);
+    assert_eq!(sw.total_rule_count(), total_before);
+
+    // Removing one tenant frees room for another.
+    let removed = sw.remove_query(1);
+    assert!(removed > 0);
+    let cfg = CompilerConfig {
+        registers_per_array: slice,
+        register_offset: 63 * slice,
+        ..Default::default()
+    };
+    let compiled = compile(&tenant_query(99), 999, &cfg);
+    sw.install(&compiled.rules).expect("freed capacity must be reusable");
+}
+
+#[test]
+fn occupancy_gauge_tracks_installs() {
+    let mut sw = Switch::new(PipelineConfig { rule_capacity: 64, ..Default::default() });
+    assert_eq!(sw.peak_table_occupancy(), 0.0);
+    let mut last = 0.0;
+    for t in 0..8 {
+        let cfg = CompilerConfig {
+            registers_per_array: 512,
+            register_offset: t * 512,
+            ..Default::default()
+        };
+        sw.install(&compile(&tenant_query(t), t + 1, &cfg).rules).unwrap();
+        let occ = sw.peak_table_occupancy();
+        assert!(occ > last, "occupancy must grow with installs");
+        last = occ;
+    }
+    assert!(last <= 1.0);
+    // Per-query accounting sums to the total (minus nothing).
+    let per_query: usize = (1..=8).map(|id| sw.rules_of_query(id)).sum();
+    assert_eq!(per_query, sw.total_rule_count());
+}
+
+#[test]
+fn resource_usage_grows_with_rules_and_stays_normalized_sane() {
+    use newton::dataplane::resources::SWITCH_P4_REFERENCE;
+    let mut sw = Switch::new(PipelineConfig::default());
+    let empty = sw.resource_usage();
+    sw.install(&compile(&newton::query::catalog::q4_port_scan(), 1, &CompilerConfig::default()).rules)
+        .unwrap();
+    let loaded = sw.resource_usage();
+    assert!(loaded.sram > empty.sram, "rules add amortized SRAM share");
+    // Whole Newton deployment (layout + one heavy query) must fit the
+    // physical chip: per category, usage ≤ 12 stages × per-stage budget.
+    let chip = newton::dataplane::StageBudget::capacity() * 12.0;
+    assert!(loaded.fits_within(&chip), "deployment exceeds the chip: {loaded}");
+    // And the normalization API stays well-defined.
+    let n = loaded.normalized(&SWITCH_P4_REFERENCE);
+    assert!(n.as_array().iter().all(|v| v.is_finite()));
+}
+
+#[test]
+fn default_capacity_hosts_well_over_the_nine_catalog_queries() {
+    // The paper configures 256 rules per module; the whole catalog barely
+    // dents that.
+    let mut sw = Switch::new(PipelineConfig::default());
+    let queries = newton::query::catalog::all_queries();
+    let slice = 4096 / queries.len() as u32;
+    for (i, q) in queries.iter().enumerate() {
+        let cfg = CompilerConfig {
+            registers_per_array: slice,
+            register_offset: i as u32 * slice,
+            ..Default::default()
+        };
+        sw.install(&compile(q, i as u32 + 1, &cfg).rules).unwrap();
+    }
+    assert!(
+        sw.peak_table_occupancy() < 0.15,
+        "nine queries should use <15% of any table (got {:.2})",
+        sw.peak_table_occupancy()
+    );
+}

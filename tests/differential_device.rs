@@ -1,0 +1,133 @@
+//! Differential test: compiled data-plane execution vs. the reference
+//! interpreter, on a single switch.
+//!
+//! For every catalog query that completes on the data plane, the set of
+//! keys the switch reports over an epoch must match what the exact
+//! reference interpreter computes — up to sketch error, which is driven to
+//! ~zero here by giving the pipeline large register arrays relative to the
+//! workload.
+
+use newton::compiler::{compile, CompilerConfig};
+use newton::dataplane::{PipelineConfig, Switch};
+use newton::packet::Packet;
+use newton::query::ast::Query;
+use newton::query::{catalog, Interpreter};
+use newton::trace::{AttackKind, Trace};
+use newton::trace::attacks::InjectSpec;
+use newton::trace::background::TraceConfig;
+use std::collections::HashSet;
+
+/// Run one epoch of `packets` through both the interpreter and a freshly
+/// provisioned switch; return (reference report set, data-plane report set).
+fn run_both(query: &Query, packets: &[Packet]) -> (HashSet<u64>, HashSet<u64>) {
+    // Reference semantics.
+    let mut interp = Interpreter::new(query.clone());
+    for p in packets {
+        interp.observe(p);
+    }
+    let reference = interp.end_epoch().reported;
+
+    // Compiled execution. Large arrays -> negligible sketch error.
+    let cfg = CompilerConfig { registers_per_array: 1 << 20, ..Default::default() };
+    let compiled = compile(query, 1, &cfg);
+    let mut switch = Switch::new(PipelineConfig {
+        stages: compiled.composition.stages().max(12),
+        registers_per_array: 1 << 20,
+        ..Default::default()
+    });
+    switch.install(&compiled.rules).expect("install");
+
+    let report_field = compiled.plan.branches[compiled.plan.driver as usize].report_field;
+    let mut reported = HashSet::new();
+    for p in packets {
+        for r in switch.process(p, None).reports {
+            let keys = newton::packet::FieldVector(r.op_keys);
+            reported.insert(keys.get(report_field));
+        }
+    }
+    (reference, reported)
+}
+
+fn workload(kind: AttackKind) -> Vec<Packet> {
+    let mut trace = Trace::background(&TraceConfig {
+        packets: 8_000,
+        flows: 400,
+        duration_ms: 100, // single epoch
+        ..Default::default()
+    });
+    trace.inject(kind, &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() });
+    trace.packets().to_vec()
+}
+
+/// Queries whose report set must match the reference exactly on the data
+/// plane (single-branch monotone thresholds and the Q6 data-plane merge).
+#[test]
+fn data_plane_matches_reference_for_dp_complete_queries() {
+    let cases = [
+        (catalog::q1_new_tcp(), AttackKind::NewTcpBurst),
+        (catalog::q2_ssh_brute(), AttackKind::SshBrute),
+        (catalog::q3_super_spreader(), AttackKind::SuperSpreader),
+        (catalog::q4_port_scan(), AttackKind::PortScan),
+        (catalog::q5_udp_ddos(), AttackKind::UdpDdos),
+        (catalog::q6_syn_flood(), AttackKind::SynFlood),
+    ];
+    for (query, attack) in cases {
+        let packets = workload(attack);
+        let (reference, reported) = run_both(&query, &packets);
+        assert!(
+            !reference.is_empty(),
+            "{}: workload failed to trigger the reference query",
+            query.name
+        );
+        assert_eq!(
+            reported, reference,
+            "{}: data plane and reference disagree",
+            query.name
+        );
+    }
+}
+
+/// The attack victim must be among the reported keys.
+#[test]
+fn injected_attacks_are_detected_on_the_data_plane() {
+    let cases = [
+        (catalog::q1_new_tcp(), AttackKind::NewTcpBurst),
+        (catalog::q4_port_scan(), AttackKind::PortScan),
+        (catalog::q6_syn_flood(), AttackKind::SynFlood),
+    ];
+    for (query, attack) in cases {
+        let mut trace = Trace::background(&TraceConfig {
+            packets: 5_000,
+            flows: 300,
+            duration_ms: 100,
+            ..Default::default()
+        });
+        let guilty =
+            trace.inject(attack, &InjectSpec { intensity: 200, window_ns: 90_000_000, ..Default::default() }).guilty;
+        let (_, reported) = run_both(&query, &trace.packets().to_vec());
+        assert!(
+            reported.contains(&(guilty as u64)),
+            "{}: injected {:?} victim {:#x} not reported",
+            query.name,
+            attack,
+            guilty
+        );
+    }
+}
+
+/// A quiet background trace with no attack must produce no reports for the
+/// attack-detection queries (no false alarms at these thresholds).
+#[test]
+fn quiet_background_produces_no_reports() {
+    let trace = Trace::background(&TraceConfig {
+        packets: 4_000,
+        flows: 600,
+        duration_ms: 100,
+        ..Default::default()
+    });
+    for query in [catalog::q4_port_scan(), catalog::q5_udp_ddos(), catalog::q6_syn_flood()] {
+        let (reference, reported) = run_both(&query, &trace.packets().to_vec());
+        assert!(reference.is_empty(), "{}: reference fired on background", query.name);
+        assert!(reported.is_empty(), "{}: data plane fired on background", query.name);
+    }
+}

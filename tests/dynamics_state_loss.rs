@@ -1,0 +1,95 @@
+//! Characterization of the §7 limitation: "as for CQE, states in stateful
+//! query primitives could be lost in dynamic scenarios where forwarding
+//! paths are dynamically altered, and the solo switch query execution
+//! model has the same limitation."
+//!
+//! These tests pin down the *expected* behaviour under path changes — both
+//! the failure mode (counts fragment, reports can be missed within the
+//! epoch of the change) and the recovery (the next epoch is correct on the
+//! new path, with no controller involvement thanks to resilient
+//! placement).
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{EcmpMode, Network, Topology};
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::catalog;
+
+fn syn(src: u32, dst: u32, sport: u16) -> newton::packet::Packet {
+    PacketBuilder::new()
+        .src_ip(src)
+        .dst_ip(dst)
+        .src_port(sport)
+        .dst_port(80)
+        .tcp_flags(TcpFlags::SYN)
+        .build()
+}
+
+/// Mid-epoch rerouting can split one flow's state across two paths and
+/// miss the threshold crossing — the documented state-loss window.
+#[test]
+fn mid_epoch_reroute_fragments_state() {
+    let topo = Topology::fat_tree(4);
+    let (ingress, egress) = (topo.edge_switches()[0], topo.edge_switches()[7]);
+    let mut net = Network::new(topo, PipelineConfig::default());
+    net.router_mut().set_ecmp_mode(EcmpMode::PairHash);
+    let mut ctl = Controller::new(CompilerConfig::default(), 21);
+    ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+
+    let victim = 0xAC10_0031;
+    let threshold = catalog::thresholds::NEW_TCP as u16;
+
+    // Half the flood, then a failure on the used path, then the other half.
+    let mut reports = 0;
+    for i in 0..threshold / 2 {
+        reports += net.deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress).reports.len();
+    }
+    let probe = syn(1, victim, 1);
+    let path = net.router().path(ingress, egress, &probe.flow_key()).unwrap();
+    net.router_mut().fail_link(path[1], path[2]);
+    for i in threshold / 2..threshold {
+        reports += net.deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress).reports.len();
+    }
+    // The counts split across the old and new ingress-edge replicas of the
+    // query state... except Q1's state lives at the INGRESS edge switch,
+    // which did not change — so this reroute loses nothing and the report
+    // still fires. That is exactly why Algorithm 2 anchors slice 0 at the
+    // edge.
+    assert_eq!(reports, 1, "edge-anchored state survives a core reroute");
+}
+
+/// When the INGRESS edge itself changes (traffic enters elsewhere), state
+/// fragments and the epoch's report is lost — and the next epoch recovers
+/// with zero rule changes.
+#[test]
+fn ingress_change_loses_the_epoch_but_recovers() {
+    let topo = Topology::fat_tree(4);
+    let edges = topo.edge_switches().to_vec();
+    let (in_a, in_b, egress) = (edges[0], edges[1], edges[7]);
+    let mut net = Network::new(topo, PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 22);
+    ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+
+    let victim = 0xAC10_0032;
+    let threshold = catalog::thresholds::NEW_TCP as u16;
+
+    // Epoch 1: the host's attachment point migrates mid-epoch (e.g. a LAG
+    // failover): half the SYNs enter at edge A, half at edge B.
+    let mut reports = 0;
+    for i in 0..threshold {
+        let ingress = if i < threshold / 2 { in_a } else { in_b };
+        reports +=
+            net.deliver(&syn(0x0B000000 + i as u32, victim, 2000 + i), ingress, egress).reports.len();
+    }
+    assert_eq!(reports, 0, "fragmented state must miss the threshold (documented loss)");
+
+    // Epoch 2: stable on edge B — correct again without any rule change.
+    net.clear_state();
+    let mut reports = 0;
+    for i in 0..threshold {
+        reports +=
+            net.deliver(&syn(0x0C000000 + i as u32, victim, 3000 + i), in_b, egress).reports.len();
+    }
+    assert_eq!(reports, 1, "resilient placement recovers on the next epoch");
+}

@@ -1,0 +1,181 @@
+//! Fast shape guards for every reproduced table/figure, so `cargo test`
+//! alone protects the evaluation (the bench targets assert the same claims
+//! at full scale; these run in milliseconds at reduced scale).
+
+use newton::analyzer::DetectionMetrics;
+use newton::baselines::{ExportModel, RebootModel, StarFlow, TurboFlow};
+use newton::compiler::{compile, p_newton, s_newton, sonata_estimate, stats_for, CompilerConfig};
+use newton::controller::{place_query, RuleTimingModel};
+use newton::dataplane::resources::{module_costs, SWITCH_P4_REFERENCE};
+use newton::dataplane::{Layout, LayoutKind, PipelineConfig, Switch};
+use newton::net::Topology;
+use newton::packet::{Field, FieldVector};
+use newton::query::{catalog, Interpreter};
+use std::collections::HashSet;
+
+/// Table 3: compact layout quadruples per-stage utilization; per-module
+/// profile matches the paper's structure.
+#[test]
+fn table3_shape() {
+    let naive = Layout::new(LayoutKind::Naive, 12).total_cost();
+    let compact = Layout::new(LayoutKind::Compact, 12).total_cost();
+    let ratio = compact.crossbar / naive.crossbar;
+    assert!((3.9..4.1).contains(&ratio));
+    let s = module_costs::STATE_BANK.normalized(&SWITCH_P4_REFERENCE);
+    assert!(s.salu > 5.0 && s.salu < 6.0, "𝕊 owns ~5.5% of switch.p4's SALUs");
+}
+
+/// Fig. 10: Sonata outage seconds-scale and linear; Newton zero.
+#[test]
+fn fig10_shape() {
+    let m = RebootModel::default();
+    assert!(m.outage_ms(0, 0) > 7_000.0);
+    let d1 = m.outage_ms(20_000, 0) - m.outage_ms(10_000, 0);
+    let d2 = m.outage_ms(30_000, 0) - m.outage_ms(20_000, 0);
+    assert!((d1 - d2).abs() < 1e-9, "linear in entries");
+    assert_eq!(m.newton_outage_ms(), 0.0);
+}
+
+/// Fig. 11: every catalog query installs and removes within 20 ms.
+#[test]
+fn fig11_shape() {
+    let cfg = CompilerConfig::default();
+    let mut t = RuleTimingModel::new(1);
+    for q in catalog::all_queries() {
+        let rules = compile(&q, 1, &cfg).rules.total_rule_count();
+        assert!(t.install_ms(rules) <= 20.0, "{}", q.name);
+        assert!(t.remove_ms(rules) <= 20.0, "{}", q.name);
+    }
+}
+
+/// Fig. 12: per-packet exporters cost orders of magnitude more than
+/// Newton's intent-precise reports on the same workload.
+#[test]
+fn fig12_shape() {
+    let trace = newton::trace::caida_like(3, 10_000);
+    let run = |m: &mut dyn ExportModel| -> u64 {
+        let mut msgs = 0;
+        for e in trace.epochs(100) {
+            for p in e {
+                msgs += m.observe(p);
+            }
+            msgs += m.end_epoch();
+        }
+        msgs
+    };
+    let star = run(&mut StarFlow::default_model());
+    let turbo = run(&mut TurboFlow::default_model());
+
+    // Newton: all nine queries on one pipeline, register slices per query.
+    let mut sw = Switch::new(PipelineConfig::default());
+    for (i, q) in catalog::all_queries().iter().enumerate() {
+        let cfg = CompilerConfig {
+            registers_per_array: 455,
+            register_offset: i as u32 * 455,
+            ..Default::default()
+        };
+        sw.install(&compile(q, i as u32 + 1, &cfg).rules).unwrap();
+    }
+    let mut newton_msgs = 0u64;
+    for e in trace.epochs(100) {
+        for p in e {
+            newton_msgs += sw.process(p, None).reports.len() as u64;
+        }
+        sw.clear_state();
+    }
+    assert!(star > newton_msgs.max(1) * 100, "*Flow {star} vs Newton {newton_msgs}");
+    assert!(turbo > newton_msgs.max(1) * 100, "TurboFlow {turbo} vs Newton {newton_msgs}");
+}
+
+/// Fig. 14: pooled CQE registers beat a single switch's memory.
+#[test]
+fn fig14_shape() {
+    let workload = {
+        use newton::packet::{PacketBuilder, TcpFlags};
+        let mut v = Vec::new();
+        for h in 0..400u32 {
+            for c in 0..1 + (h * 80) / 400 {
+                v.push(
+                    PacketBuilder::new()
+                        .src_ip(0x0A00_0000 + h * 131 + c)
+                        .dst_ip(0xAC10_0000 + h)
+                        .src_port((c % 60_000) as u16 + 1_024)
+                        .tcp_flags(TcpFlags::SYN)
+                        .build(),
+                );
+            }
+        }
+        v
+    };
+    let mut interp = Interpreter::new(catalog::q1_new_tcp());
+    for p in &workload {
+        interp.observe(p);
+    }
+    let truth = interp.end_epoch().reported;
+    assert!(!truth.is_empty());
+
+    let accuracy = |registers: u32| -> f64 {
+        let cfg = CompilerConfig { registers_per_array: registers, ..Default::default() };
+        let compiled = compile(&catalog::q1_new_tcp(), 1, &cfg);
+        let mut sw = Switch::new(PipelineConfig {
+            registers_per_array: registers as usize,
+            ..Default::default()
+        });
+        sw.install(&compiled.rules).unwrap();
+        let mut reported = HashSet::new();
+        for p in &workload {
+            for r in sw.process(p, None).reports {
+                reported.insert(FieldVector(r.op_keys).get(Field::DstIp));
+            }
+        }
+        DetectionMetrics::compare(&reported, &truth).accuracy()
+    };
+    let sonata = accuracy(128);
+    let newton3 = accuracy(128 * 3);
+    assert!(
+        newton3 > sonata,
+        "3 switches of pooled memory must beat one ({newton3:.3} vs {sonata:.3})"
+    );
+}
+
+/// Figs. 15/7: every query fits a Tofino after optimization, beats Sonata's
+/// stage estimate, and reductions are substantial.
+#[test]
+fn fig15_shape() {
+    let cfg = CompilerConfig::default();
+    for q in catalog::all_queries() {
+        let s = stats_for(&q, &cfg);
+        assert!(s.final_stages() <= 12, "{}", q.name);
+        assert!(s.final_stages() <= sonata_estimate(&q).stages, "{}", q.name);
+        assert!(s.module_reduction() > 0.3, "{}", q.name);
+        assert!(s.stage_reduction() > 0.5, "{}", q.name);
+    }
+}
+
+/// Fig. 16: P-Newton constant, S-Newton/Sonata linear.
+#[test]
+fn fig16_shape() {
+    let cfg = CompilerConfig::default();
+    let q = catalog::q4_port_scan();
+    assert_eq!(p_newton(&q, 1, &cfg).stages, p_newton(&q, 100, &cfg).stages);
+    assert_eq!(s_newton(&q, 100, &cfg).stages, 100 * s_newton(&q, 1, &cfg).stages);
+}
+
+/// Fig. 17: totals grow with scale; the per-switch average stabilizes.
+#[test]
+fn fig17_shape() {
+    let cfg = CompilerConfig::default();
+    let rules = compile(&catalog::q4_port_scan(), 1, &cfg).rules;
+    let mut prev_total = 0;
+    let mut prev_avg = None::<f64>;
+    for k in [4usize, 8] {
+        let topo = Topology::fat_tree(k);
+        let p = place_query(&rules, &topo, topo.edge_switches(), 5);
+        assert!(p.total_entries() > prev_total);
+        prev_total = p.total_entries();
+        if let Some(a) = prev_avg {
+            assert!((p.avg_entries_per_switch() - a).abs() / a < 0.2, "average stabilizes");
+        }
+        prev_avg = Some(p.avg_entries_per_switch());
+    }
+}

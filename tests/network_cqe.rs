@@ -1,0 +1,119 @@
+//! Cross-switch query execution, end to end: sliced deployments must
+//! produce exactly the reports a single big switch would.
+
+use newton::compiler::{compile, CompilerConfig};
+use newton::controller::Controller;
+use newton::dataplane::{PipelineConfig, Switch};
+use newton::net::{Network, Topology};
+use newton::packet::{FieldVector, Packet};
+use newton::query::catalog;
+use newton::trace::attacks::InjectSpec;
+use newton::trace::background::TraceConfig;
+use newton::trace::{AttackKind, Trace};
+use std::collections::HashSet;
+
+fn workload(kind: AttackKind) -> Vec<Packet> {
+    let mut t = Trace::background(&TraceConfig {
+        packets: 6_000,
+        flows: 400,
+        duration_ms: 100,
+        ..Default::default()
+    });
+    t.inject(kind, &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() });
+    t.packets().to_vec()
+}
+
+/// Report keys from a single whole-query switch.
+fn single_switch_keys(query: &newton::query::ast::Query, packets: &[Packet]) -> HashSet<u64> {
+    let compiled = compile(query, 1, &CompilerConfig::default());
+    let mut sw = Switch::new(PipelineConfig::default());
+    sw.install(&compiled.rules).unwrap();
+    let field = compiled.plan.branches[compiled.plan.driver as usize].report_field;
+    let mut keys = HashSet::new();
+    for p in packets {
+        for r in sw.process(p, None).reports {
+            keys.insert(FieldVector(r.op_keys).get(field));
+        }
+    }
+    keys
+}
+
+/// Report keys from a CQE deployment over a chain, every packet crossing
+/// the whole chain.
+fn sliced_chain_keys(
+    query: &newton::query::ast::Query,
+    packets: &[Packet],
+    chain_len: usize,
+    stages_per_switch: usize,
+) -> (HashSet<u64>, usize) {
+    let mut net = Network::new(Topology::chain(chain_len), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 3);
+    let receipt = ctl.install(query, &mut net, stages_per_switch).unwrap();
+    let compiled = compile(query, receipt.id, &CompilerConfig::default());
+    let field = compiled.plan.branches[compiled.plan.driver as usize].report_field;
+    let mut keys = HashSet::new();
+    for p in packets {
+        for (_, r) in net.deliver(p, 0, chain_len - 1).reports {
+            keys.insert(FieldVector(r.op_keys).get(field));
+        }
+    }
+    (keys, receipt.slices)
+}
+
+#[test]
+fn sliced_q1_matches_single_switch() {
+    let q = catalog::q1_new_tcp();
+    let packets = workload(AttackKind::NewTcpBurst);
+    let whole = single_switch_keys(&q, &packets);
+    assert!(!whole.is_empty(), "workload must trigger Q1");
+    // Q1 is small; 3-stage switches force slicing.
+    let (sliced, slices) = sliced_chain_keys(&q, &packets, 4, 3);
+    assert!(slices >= 2, "Q1 must actually slice (got {slices})");
+    assert_eq!(sliced, whole, "CQE must report the same keys as one big switch");
+}
+
+#[test]
+fn sliced_q4_matches_single_switch() {
+    let q = catalog::q4_port_scan();
+    let packets = workload(AttackKind::PortScan);
+    let whole = single_switch_keys(&q, &packets);
+    assert!(!whole.is_empty());
+    let (sliced, slices) = sliced_chain_keys(&q, &packets, 4, 4);
+    assert_eq!(slices, 4);
+    assert_eq!(sliced, whole);
+}
+
+#[test]
+fn sliced_q6_merge_travels_in_the_snapshot() {
+    // Q6's data-plane merge accumulates in the global result, which must
+    // survive slice boundaries inside the snapshot.
+    let q = catalog::q6_syn_flood();
+    let packets = workload(AttackKind::SynFlood);
+    let whole = single_switch_keys(&q, &packets);
+    assert!(!whole.is_empty(), "flood must trigger Q6");
+    let (sliced, slices) = sliced_chain_keys(&q, &packets, 5, 6);
+    assert!(slices >= 2);
+    assert_eq!(sliced, whole);
+}
+
+#[test]
+fn cqe_reports_once_regardless_of_path_length() {
+    // Fig. 13's mechanism: the same flood through 1-, 2- and 3-hop Newton
+    // paths produces the same number of reports (one per victim), because
+    // the network acts as one consolidated pipeline.
+    let q = catalog::q1_new_tcp();
+    let packets = workload(AttackKind::NewTcpBurst);
+    let mut counts = Vec::new();
+    for hops in [1usize, 2, 3] {
+        let mut net = Network::new(Topology::chain(hops.max(1)), PipelineConfig::default());
+        let mut ctl = Controller::new(CompilerConfig::default(), 1);
+        ctl.install(&q, &mut net, 12).unwrap();
+        let mut n = 0;
+        for p in &packets {
+            n += net.deliver(p, 0, hops - 1).reports.len();
+        }
+        counts.push(n);
+    }
+    assert_eq!(counts[0], counts[1]);
+    assert_eq!(counts[1], counts[2], "report count must be hop-agnostic: {counts:?}");
+}

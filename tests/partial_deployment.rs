@@ -1,0 +1,70 @@
+//! Partial deployment (§7): Newton coexists with plain switches. Plain
+//! hops forward everything (snapshot frames pass through untouched);
+//! whole queries keep working from any Newton-enabled edge; and CQE only
+//! works across *adjacent* Newton-enabled switches — a plain switch
+//! between two slices breaks the chain, exactly as the paper states.
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::catalog;
+
+fn syn(i: u16, dst: u32) -> newton::packet::Packet {
+    PacketBuilder::new()
+        .src_ip(0x0A00_0000 + i as u32)
+        .dst_ip(dst)
+        .src_port(1000 + i)
+        .tcp_flags(TcpFlags::SYN)
+        .build()
+}
+
+#[test]
+fn whole_query_survives_plain_transit_switches() {
+    let mut net = Network::new(Topology::chain(4), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 61);
+    ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+    // The two middle switches are plain (no Newton).
+    net.set_newton_enabled(1, false);
+    net.set_newton_enabled(2, false);
+
+    let mut reports = 0;
+    for i in 0..catalog::thresholds::NEW_TCP as u16 {
+        let out = net.deliver(&syn(i, 0xAC10_0077), 0, 3);
+        assert!(out.clean_delivery);
+        reports += out.reports.len();
+    }
+    assert_eq!(reports, 1, "the Newton-enabled ingress edge still detects");
+    assert_eq!(net.switch(1).forwarded(), 0, "plain switches never run the pipeline");
+}
+
+#[test]
+fn cqe_requires_adjacent_newton_switches() {
+    // Q4 sliced over a 4-chain needs every hop; disabling hop 1 severs the
+    // snapshot relay (slice 1 never executes, so slices 2-3 never resume)
+    // and the report is lost — the documented adjacency restriction.
+    let build = |disable_mid: bool| -> usize {
+        let mut net = Network::new(Topology::chain(4), PipelineConfig::default());
+        let mut ctl = Controller::new(CompilerConfig::default(), 62);
+        let receipt = ctl.install(&catalog::q4_port_scan(), &mut net, 4).unwrap();
+        assert_eq!(receipt.slices, 4);
+        if disable_mid {
+            net.set_newton_enabled(1, false);
+        }
+        let mut reports = 0;
+        for port in 0..catalog::thresholds::PORT_SCAN as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(0xDEAD)
+                .dst_ip(0xAC10_0001)
+                .src_port(41_000)
+                .dst_port(1_000 + port)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports += net.deliver(&pkt, 0, 3).reports.len();
+        }
+        reports
+    };
+    assert_eq!(build(false), 1, "fully-enabled chain detects");
+    assert_eq!(build(true), 0, "a plain switch mid-chain severs CQE (paper §7)");
+}

@@ -1,0 +1,131 @@
+//! Differential property test: for RANDOM queries and RANDOM packet
+//! streams, the compiled data-plane pipeline reports exactly the keys the
+//! exact reference interpreter reports (given collision-free register
+//! sizing).
+
+use newton::compiler::{compile, CompilerConfig};
+use newton::dataplane::{PipelineConfig, Switch};
+use newton::packet::{Field, FieldVector, Packet, PacketBuilder, Protocol, TcpFlags};
+use newton::query::ast::{CmpOp, Query, ReduceFunc};
+use newton::query::{Interpreter, QueryBuilder};
+use proptest::prelude::*;
+use std::collections::HashSet;
+
+/// Packets from a small universe so counts actually accumulate.
+fn arb_stream() -> impl Strategy<Value = Vec<Packet>> {
+    prop::collection::vec(
+        (
+            0u32..6,   // src hosts
+            0u32..6,   // dst hosts
+            0u16..8,   // src ports
+            0u16..4,   // dst ports
+            any::<bool>(), // tcp?
+            prop_oneof![Just(0u8), Just(0x02), Just(0x10), Just(0x11), Just(0x12)],
+            64u16..512,
+        )
+            .prop_map(|(s, d, sp, dp, tcp, flags, len)| {
+                let mut b = PacketBuilder::new()
+                    .src_ip(0x0A00_0000 + s)
+                    .dst_ip(0xAC10_0000 + d)
+                    .src_port(1000 + sp)
+                    .dst_port(if dp == 0 { 80 } else { 8000 + dp })
+                    .wire_len(len);
+                if tcp {
+                    b = b.protocol(Protocol::Tcp).tcp_flags(TcpFlags::from_bits(flags));
+                } else {
+                    b = b.protocol(Protocol::Udp);
+                }
+                b.build()
+            }),
+        20..400,
+    )
+}
+
+/// Random single-branch queries over the small universe.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Func {
+    Count,
+    SumLen,
+    MaxLen,
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    filter_proto: Option<u64>,
+    filter_flags: Option<u64>,
+    key: Field,
+    distinct_extra: Option<Field>,
+    func: Func,
+    threshold: u64,
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        prop_oneof![Just(None), Just(Some(6u64)), Just(Some(17u64))],
+        prop_oneof![Just(None), Just(Some(0x02u64)), Just(Some(0x10u64))],
+        prop_oneof![Just(Field::SrcIp), Just(Field::DstIp), Just(Field::DstPort)],
+        prop_oneof![Just(None), Just(Some(Field::SrcPort)), Just(Some(Field::SrcIp))],
+        prop_oneof![Just(Func::Count), Just(Func::SumLen), Just(Func::MaxLen)],
+        1u64..30,
+    )
+        .prop_map(|(filter_proto, filter_flags, key, distinct_extra, func, threshold)| {
+            QuerySpec { filter_proto, filter_flags, key, distinct_extra, func, threshold }
+        })
+}
+
+fn build(spec: &QuerySpec) -> Query {
+    let mut b = QueryBuilder::new("prop");
+    if let Some(p) = spec.filter_proto {
+        b = b.filter_eq(Field::Proto, p);
+    }
+    if let Some(f) = spec.filter_flags {
+        b = b.filter_eq(Field::Proto, 6).filter_eq(Field::TcpFlags, f);
+    }
+    b = b.map(&[spec.key]);
+    if let Some(extra) = spec.distinct_extra {
+        if extra != spec.key {
+            b = b.distinct(&[spec.key, extra]);
+        }
+    }
+    let (func, threshold) = match spec.func {
+        Func::Count => (ReduceFunc::Count, spec.threshold),
+        Func::SumLen => (ReduceFunc::SumField(Field::PktLen), spec.threshold * 200),
+        Func::MaxLen => (ReduceFunc::MaxField(Field::PktLen), 64 + spec.threshold * 10),
+    };
+    b.reduce(&[spec.key], func).result_filter(CmpOp::Ge, threshold).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+    #[test]
+    fn compiled_pipeline_matches_interpreter(spec in arb_query(), stream in arb_stream()) {
+        let query = build(&spec);
+
+        // Reference.
+        let mut interp = Interpreter::new(query.clone());
+        for p in &stream {
+            interp.observe(p);
+        }
+        let reference = interp.end_epoch().reported;
+
+        // Compiled, with huge registers (no collisions).
+        let cfg = CompilerConfig { registers_per_array: 1 << 22, ..Default::default() };
+        let compiled = compile(&query, 1, &cfg);
+        let mut sw = Switch::new(PipelineConfig {
+            registers_per_array: 1 << 22,
+            ..Default::default()
+        });
+        sw.install(&compiled.rules).unwrap();
+        let field = compiled.plan.branches[0].report_field;
+        let mut reported: HashSet<u64> = HashSet::new();
+        for p in &stream {
+            for r in sw.process(p, None).reports {
+                reported.insert(FieldVector(r.op_keys).get(field));
+            }
+        }
+        prop_assert_eq!(
+            &reported, &reference,
+            "query {:?}: pipeline {:?} vs interpreter {:?}", spec, reported, reference
+        );
+    }
+}

@@ -1,0 +1,74 @@
+//! In-place threshold retuning: the cheapest form of the paper's "update
+//! monitoring tasks" — one or two rule modifications, epoch state intact.
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::catalog;
+
+fn syn(i: u16, dst: u32) -> newton::packet::Packet {
+    PacketBuilder::new()
+        .src_ip(0x0A00_0000 + i as u32)
+        .dst_ip(dst)
+        .src_port(5_000 + i)
+        .tcp_flags(TcpFlags::SYN)
+        .build()
+}
+
+#[test]
+fn retuning_applies_immediately_and_keeps_state() {
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 71);
+    let receipt = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+
+    // 25 SYNs: below the default threshold of 40.
+    let victim = 0xAC10_0042;
+    let mut reports = 0;
+    for i in 0..25 {
+        reports += net.deliver(&syn(i, victim), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 0);
+
+    // Drill down: drop the threshold to 30 — WITHOUT reinstalling, so the
+    // 25 already-counted connections still count.
+    let retune = ctl.retune_threshold(receipt.id, 30, &mut net).expect("query installed");
+    assert!(retune.rules >= 1, "at least the reporting rule was modified");
+    assert!(
+        retune.delay_ms < receipt.delay_ms,
+        "retune ({:.1} ms) must be cheaper than install ({:.1} ms)",
+        retune.delay_ms,
+        receipt.delay_ms
+    );
+
+    // 5 more SYNs cross the NEW threshold at exactly 30 — proof the old
+    // state survived the retune.
+    for i in 25..30 {
+        reports += net.deliver(&syn(i, victim), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 1, "crossing fires at the retuned threshold with preserved state");
+}
+
+#[test]
+fn retuning_a_merged_query_moves_the_global_threshold() {
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 72);
+    let receipt = ctl.install(&catalog::q6_syn_flood(), &mut net, 12).unwrap();
+
+    let victim = 0xAC10_0066;
+    // Lower the flood threshold from 40 to 10.
+    ctl.retune_threshold(receipt.id, 10, &mut net).unwrap();
+    let mut reports = 0;
+    for i in 0..12 {
+        reports += net.deliver(&syn(i, victim), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 1, "the merged (global) threshold was retuned");
+}
+
+#[test]
+fn retuning_unknown_query_is_none() {
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 73);
+    assert!(ctl.retune_threshold(99, 5, &mut net).is_none());
+}

@@ -1,0 +1,63 @@
+//! Fig. 9 scripted: monitoring survives a mid-trace link failure with no
+//! controller intervention, driven through the NewtonSystem facade and a
+//! scheduled event timeline.
+
+use newton::net::{EventSchedule, NetworkEvent, Topology};
+use newton::query::catalog;
+use newton::trace::attacks::InjectSpec;
+use newton::trace::background::TraceConfig;
+use newton::trace::{AttackKind, Trace};
+use newton::{HostMapping, NewtonSystem};
+
+#[test]
+fn scan_detected_in_epochs_before_and_after_a_failure() {
+    let topo = Topology::fat_tree(4);
+    let (ingress, egress) = (topo.edge_switches()[0], topo.edge_switches()[7]);
+    let mut sys = NewtonSystem::new(topo);
+    sys.set_mapping(HostMapping::Fixed { ingress, egress });
+    sys.network_mut().router_mut().set_ecmp_mode(newton::net::EcmpMode::PairHash);
+    let receipt = sys.install(&catalog::q4_port_scan()).unwrap();
+
+    // Two epochs of scanning; a core link on the scan's path dies between
+    // them (t = 100 ms).
+    let mut trace = Trace::background(&TraceConfig {
+        packets: 2_000,
+        flows: 200,
+        duration_ms: 200,
+        ..Default::default()
+    });
+    trace.inject(
+        AttackKind::PortScan,
+        &InjectSpec { intensity: 100, start_ns: 0, window_ns: 90_000_000, ..Default::default() },
+    );
+    trace.inject(
+        AttackKind::PortScan,
+        &InjectSpec {
+            seed: 9,
+            intensity: 100,
+            start_ns: 100_000_000,
+            window_ns: 90_000_000,
+        },
+    );
+    let scanner = *trace.guilty(AttackKind::PortScan).iter().next().unwrap();
+
+    // Find the link the scan currently uses and schedule its death.
+    let probe = trace
+        .packets()
+        .iter()
+        .find(|p| p.src_ip == scanner)
+        .expect("scan packets exist")
+        .clone();
+    let path = sys.network().router().path(ingress, egress, &probe.flow_key()).unwrap();
+    let mut events = EventSchedule::new()
+        .at(100_000_000, NetworkEvent::FailLink { a: path[1], b: path[2] });
+
+    let report = sys.run_trace_with_events(&trace, 100, &mut events);
+    assert_eq!(report.epochs, 2);
+    assert_eq!(events.pending(), 0, "the failure fired");
+    assert!(
+        report.reported[&receipt.id].contains(&(scanner as u64)),
+        "scanner must be reported despite the failure: {:?}",
+        report.reported
+    );
+}
