@@ -178,7 +178,11 @@ mod tests {
             }
         }
         // `normal` then opens a connection.
-        let syn = PacketBuilder::new().src_ip(normal).dst_ip(0xAC10_0001).tcp_flags(TcpFlags::SYN).build();
+        let syn = PacketBuilder::new()
+            .src_ip(normal)
+            .dst_ip(0xAC10_0001)
+            .tcp_flags(TcpFlags::SYN)
+            .build();
         for r in sw.process(&syn, None).reports {
             analyzer.ingest(&r);
         }
@@ -258,7 +262,8 @@ mod tests {
         analyzer.ingest(&Report {
             query: 1,
             branch: 0,
-            op_keys: newton_packet::Field::DstIp.mask() & (0x7u128 << newton_packet::Field::DstIp.shift()),
+            op_keys: newton_packet::Field::DstIp.mask()
+                & (0x7u128 << newton_packet::Field::DstIp.shift()),
             hash_result: 0,
             state_result: 40,
             global_result: 40,
@@ -292,7 +297,8 @@ mod tests {
                 key_mask: newton_packet::Field::DstIp.mask(),
             },
         ];
-        let v = probe_min(1, &probes, 42, &|_, _, addr, _| Some(if addr.stage == 0 { 9 } else { 5 }));
+        let v =
+            probe_min(1, &probes, 42, &|_, _, addr, _| Some(if addr.stage == 0 { 9 } else { 5 }));
         assert_eq!(v, Some(5));
         assert_eq!(probe_min(1, &probes, 42, &|_, _, _, _| None), None);
         assert_eq!(probe_min(1, &[], 42, &|_, _, _, _| Some(1)), None);

@@ -26,7 +26,13 @@ pub struct Scream {
 impl Scream {
     /// Default: 3 × 4096 sketch, pulled every 20 ms, 256 counters/message.
     pub fn default_model() -> Self {
-        Scream { rows: 3, width: 4096, counters_per_message: 256, export_interval_ms: 20, epoch_ms: 100 }
+        Scream {
+            rows: 3,
+            width: 4096,
+            counters_per_message: 256,
+            export_interval_ms: 20,
+            epoch_ms: 100,
+        }
     }
 }
 

@@ -28,11 +28,7 @@ pub struct StarFlow {
 impl StarFlow {
     pub fn new(slots: usize, gpv_capacity: u32) -> Self {
         assert!(slots > 0 && gpv_capacity > 0);
-        StarFlow {
-            slots: vec![None; slots],
-            hash: HashFn::new(0x5F10, slots as u32),
-            gpv_capacity,
-        }
+        StarFlow { slots: vec![None; slots], hash: HashFn::new(0x5F10, slots as u32), gpv_capacity }
     }
 
     /// Paper-scale default: 8 Ki cache slots, 32 packet features per GPV.

@@ -84,12 +84,14 @@ fn main() {
         &["Query", "Naive layout stages", "Compact layout stages"],
         &rows,
     );
-    println!("\nqueries fitting one 12-stage pipeline: naive {fit_naive}/9, compact {fit_compact}/9");
+    println!(
+        "\nqueries fitting one 12-stage pipeline: naive {fit_naive}/9, compact {fit_compact}/9"
+    );
     assert_eq!(fit_compact, 9);
     assert!(fit_naive < fit_compact);
 
     // 3. Per-optimization contribution, averaged over the catalog.
-    let mut avg = vec![0.0f64; 4];
+    let mut avg = [0.0f64; 4];
     for q in catalog::all_queries() {
         let s = stats_for(&q, &cfg);
         for (i, (_, _, stages)) in s.levels.iter().enumerate() {

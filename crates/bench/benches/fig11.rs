@@ -16,7 +16,7 @@ fn stats(samples: &[f64]) -> (f64, f64, f64) {
 
 fn main() {
     let cfg = CompilerConfig::default();
-    let mut timing = RuleTimingModel::new(0xF16_11);
+    let mut timing = RuleTimingModel::new(0xF1611);
     let mut rows = Vec::new();
     for (i, q) in catalog::all_queries().iter().enumerate() {
         let rules = compile(q, i as u32 + 1, &cfg).rules.total_rule_count();

@@ -125,5 +125,7 @@ fn main() {
         let fr = ratios[&(*name, "FlowRadar")];
         assert!((0.001..0.15).contains(&fr), "{name}: FlowRadar ratio {fr:.4} (~1% expected)");
     }
-    println!("\nNewton/Sonata sit ≥2 orders of magnitude below the per-packet exporters (paper: same).");
+    println!(
+        "\nNewton/Sonata sit ≥2 orders of magnitude below the per-packet exporters (paper: same)."
+    );
 }

@@ -22,7 +22,12 @@ use std::collections::HashSet;
 
 /// Run Q1 with `registers` per array; return (accuracy, fpr) against the
 /// exact ground truth.
-fn run(registers: u32, workload: &[newton::packet::Packet], truth: &HashSet<u64>, hosts: usize) -> (f64, f64) {
+fn run(
+    registers: u32,
+    workload: &[newton::packet::Packet],
+    truth: &HashSet<u64>,
+    hosts: usize,
+) -> (f64, f64) {
     let cfg = CompilerConfig { registers_per_array: registers, ..Default::default() };
     let compiled = compile(&catalog::q1_new_tcp(), 1, &cfg);
     let mut sw = Switch::new(PipelineConfig {
@@ -42,7 +47,7 @@ fn run(registers: u32, workload: &[newton::packet::Packet], truth: &HashSet<u64>
 
 fn main() {
     let hosts = 2_000u32;
-    let workload = graded_syn_workload(hosts, 80, 0xF16_14);
+    let workload = graded_syn_workload(hosts, 80, 0xF1614);
 
     // Exact ground truth from the reference interpreter.
     let mut interp = Interpreter::new(catalog::q1_new_tcp());
@@ -67,12 +72,7 @@ fn main() {
             let effective = registers * hops.max(1) as u32;
             let (acc, fpr) = run(effective, &workload, &truth, hosts as usize);
             let label = if hops == 0 { "Sonata".into() } else { format!("Newton_{hops}") };
-            rows.push(vec![
-                registers.to_string(),
-                label,
-                format!("{acc:.3}"),
-                format!("{fpr:.4}"),
-            ]);
+            rows.push(vec![registers.to_string(), label, format!("{acc:.3}"), format!("{fpr:.4}")]);
             if registers == 256 {
                 acc_256.push(acc);
             }

@@ -56,7 +56,11 @@ fn main() {
             format!("{:.1}%", stats.stage_reduction() * 100.0),
         ]);
         assert!(s[3] <= 12, "Q{}: optimized stages must fit a Tofino", i + 1);
-        assert!(s[3] <= sonata.stages, "Q{}: optimized Newton must not exceed Sonata stages", i + 1);
+        assert!(
+            s[3] <= sonata.stages,
+            "Q{}: optimized Newton must not exceed Sonata stages",
+            i + 1
+        );
     }
     print_table(
         "Fig. 15(b) — modules per query",

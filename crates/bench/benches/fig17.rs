@@ -42,7 +42,14 @@ fn main() {
     }
     print_table(
         "Fig. 17(a) — Q4 placement vs required switches",
-        &["Stages/switch", "Required switches", "Topology", "Total entries", "Avg entries", "Covered"],
+        &[
+            "Stages/switch",
+            "Required switches",
+            "Topology",
+            "Total entries",
+            "Avg entries",
+            "Covered",
+        ],
         &rows,
     );
 

@@ -1,65 +1,165 @@
-//! Library performance (Criterion): not a paper figure, but the numbers a
-//! downstream user of this simulator cares about — pipeline throughput,
-//! compile latency, placement latency.
+//! Library performance: single-switch pipeline throughput (compiled
+//! [`ExecPlan`] path vs the per-packet reference path) and network delivery
+//! throughput (sequential `deliver` vs `deliver_batch`), on the full Q1–Q9
+//! workload.
+//!
+//! Prints a table and writes machine-readable results to `BENCH_perf.json`
+//! at the repository root. The refactor's acceptance bar is a ≥2× pipeline
+//! speedup; the bench asserts it.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use newton::compiler::{compile, compile_sliced, CompilerConfig};
-use newton::controller::place_query;
+use std::time::Instant;
+
+use newton::compiler::{compile, CompilerConfig};
 use newton::dataplane::{PipelineConfig, Switch};
-use newton::net::Topology;
+use newton::net::{Network, NodeId, Topology};
+use newton::packet::Packet;
 use newton::query::catalog;
-use newton::trace::caida_like;
+use newton_bench::{evaluation_traces, print_table};
 
-fn pipeline_throughput(c: &mut Criterion) {
-    let cfg = CompilerConfig::default();
+/// Timed passes over the trace; small enough to keep the bench under a
+/// minute, large enough that per-packet costs dominate setup.
+const PIPELINE_REPS: usize = 5;
+const DELIVERY_REPS: usize = 3;
+
+fn q19_switch() -> Switch {
     let mut sw = Switch::new(PipelineConfig::default());
     for (i, q) in catalog::all_queries().iter().enumerate() {
-        sw.install(&compile(q, i as u32 + 1, &cfg).rules).unwrap();
+        let compiled = compile(q, i as u32 + 1, &CompilerConfig::default());
+        sw.install(&compiled.rules).unwrap();
     }
-    let trace = caida_like(7, 10_000);
-    let packets = trace.packets().to_vec();
+    sw
+}
 
-    let mut g = c.benchmark_group("pipeline");
-    g.throughput(Throughput::Elements(packets.len() as u64));
-    g.bench_function("process_10k_packets_9_queries", |b| {
-        b.iter(|| {
-            let mut reports = 0usize;
-            for p in &packets {
-                reports += sw.process(p, None).reports.len();
-            }
-            std::hint::black_box(reports)
+/// Packets/sec over `reps` passes of the trace; the returned `sink` keeps
+/// report counts observable so the loop isn't optimized away.
+fn time_pipeline(
+    mut sw: Switch,
+    packets: &[Packet],
+    reps: usize,
+    mut run: impl FnMut(&mut Switch, &Packet) -> usize,
+) -> (f64, usize) {
+    let mut sink = 0usize;
+    // Warm-up pass: populate registers and fault in the dispatch path.
+    for p in packets {
+        sink += run(&mut sw, p);
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for p in packets {
+            sink += run(&mut sw, p);
+        }
+    }
+    let secs = start.elapsed().as_secs_f64();
+    ((reps * packets.len()) as f64 / secs, sink)
+}
+
+fn q19_network() -> (Network, Vec<NodeId>) {
+    let topo = Topology::fat_tree(4);
+    let edges: Vec<NodeId> = topo.edge_switches().to_vec();
+    let mut net = Network::new(topo, PipelineConfig::default());
+    for (i, q) in catalog::all_queries().iter().enumerate() {
+        let compiled = compile(q, i as u32 + 1, &CompilerConfig::default());
+        let sw = edges[i % edges.len()];
+        net.switch_mut(sw).install(&compiled.rules).unwrap();
+    }
+    (net, edges)
+}
+
+fn endpoints(edges: &[NodeId], n: usize) -> Vec<(NodeId, NodeId)> {
+    (0..n)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            (
+                edges[(x % edges.len() as u64) as usize],
+                edges[((x >> 32) % edges.len() as u64) as usize],
+            )
         })
-    });
-    g.finish();
+        .collect()
 }
 
-fn compile_latency(c: &mut Criterion) {
-    let cfg = CompilerConfig::default();
-    let queries = catalog::all_queries();
-    c.bench_function("compile_all_nine_queries", |b| {
-        b.iter(|| {
-            for (i, q) in queries.iter().enumerate() {
-                std::hint::black_box(compile(q, i as u32 + 1, &cfg));
-            }
-        })
-    });
-    c.bench_function("compile_sliced_q4_budget4", |b| {
-        b.iter(|| std::hint::black_box(compile_sliced(&queries[3], 1, &cfg, 4)))
-    });
+fn fmt_rate(r: f64) -> String {
+    format!("{:.2} Mpkt/s", r / 1e6)
 }
 
-fn placement_latency(c: &mut Criterion) {
-    let cfg = CompilerConfig::default();
-    let rules = compile(&catalog::q4_port_scan(), 1, &cfg).rules;
-    let topo = Topology::fat_tree(16);
-    c.bench_function("place_q4_fat_tree_16", |b| {
-        b.iter(|| std::hint::black_box(place_query(&rules, &topo, topo.edge_switches(), 5)))
-    });
-}
+fn main() {
+    // One evaluation trace with all nine attack behaviours injected, so
+    // every query has work to do.
+    let traces = evaluation_traces(40_000);
+    let packets = traces[0].1.packets();
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = pipeline_throughput, compile_latency, placement_latency
+    // --- Single-switch pipeline: ExecPlan path vs reference path. ---
+    let (ref_rate, ref_sink) = time_pipeline(q19_switch(), packets, PIPELINE_REPS, |sw, p| {
+        sw.process_reference(p, None).reports.len()
+    });
+    let (plan_rate, plan_sink) = time_pipeline(q19_switch(), packets, PIPELINE_REPS, |sw, p| {
+        sw.process(p, None).reports.len()
+    });
+    assert_eq!(plan_sink, ref_sink, "planned and reference paths must emit equal report counts");
+    let pipeline_speedup = plan_rate / ref_rate;
+
+    // --- Network delivery: sequential deliver vs deliver_batch. ---
+    let pairs = endpoints(&q19_network().1, packets.len());
+    let triples: Vec<(&Packet, NodeId, NodeId)> =
+        packets.iter().zip(&pairs).map(|(p, &(ig, eg))| (p, ig, eg)).collect();
+
+    let mut seq_reports = 0usize;
+    let (mut net, _) = q19_network();
+    let start = Instant::now();
+    for _ in 0..DELIVERY_REPS {
+        for &(p, ig, eg) in &triples {
+            seq_reports += net.deliver(p, ig, eg).reports.len();
+        }
+    }
+    let seq_rate = (DELIVERY_REPS * triples.len()) as f64 / start.elapsed().as_secs_f64();
+
+    let mut batch_reports = 0usize;
+    let (mut net, _) = q19_network();
+    let start = Instant::now();
+    for _ in 0..DELIVERY_REPS {
+        batch_reports += net.deliver_batch(&triples).reports.len();
+    }
+    let batch_rate = (DELIVERY_REPS * triples.len()) as f64 / start.elapsed().as_secs_f64();
+    assert_eq!(
+        batch_reports, seq_reports,
+        "batch and sequential delivery must emit equal report counts"
+    );
+    let delivery_speedup = batch_rate / seq_rate;
+
+    print_table(
+        "Pipeline & delivery throughput (Q1–Q9 workload)",
+        &["Path", "Throughput", "Speedup"],
+        &[
+            vec!["Switch::process_reference".into(), fmt_rate(ref_rate), "1.00x".into()],
+            vec![
+                "Switch::process (ExecPlan)".into(),
+                fmt_rate(plan_rate),
+                format!("{pipeline_speedup:.2}x"),
+            ],
+            vec!["Network::deliver (sequential)".into(), fmt_rate(seq_rate), "1.00x".into()],
+            vec![
+                "Network::deliver_batch".into(),
+                fmt_rate(batch_rate),
+                format!("{delivery_speedup:.2}x"),
+            ],
+        ],
+    );
+
+    let json = format!(
+        "{{\n  \"workload\": \"Q1-Q9, CAIDA-like trace, {} packets\",\n  \
+         \"pipeline_reference_pkts_per_sec\": {ref_rate:.0},\n  \
+         \"pipeline_execplan_pkts_per_sec\": {plan_rate:.0},\n  \
+         \"pipeline_speedup\": {pipeline_speedup:.3},\n  \
+         \"delivery_sequential_pkts_per_sec\": {seq_rate:.0},\n  \
+         \"delivery_batch_pkts_per_sec\": {batch_rate:.0},\n  \
+         \"delivery_speedup\": {delivery_speedup:.3}\n}}\n",
+        packets.len(),
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
+    std::fs::write(out, &json).expect("write BENCH_perf.json");
+    println!("\nwrote {out}");
+
+    assert!(
+        pipeline_speedup >= 2.0,
+        "acceptance: ExecPlan pipeline must be >= 2x reference (got {pipeline_speedup:.2}x)"
+    );
 }
-criterion_main!(benches);

@@ -20,8 +20,7 @@ fn row(name: &str, v: ResourceVector) -> Vec<String> {
 }
 
 fn main() {
-    let header =
-        ["Metric", "Crossbar", "SRAM", "TCAM", "VLIW", "Hash Bits", "SALU", "Gateway"];
+    let header = ["Metric", "Crossbar", "SRAM", "TCAM", "VLIW", "Hash Bits", "SALU", "Gateway"];
 
     // Per-stage: average per-stage usage of each layout over 12 stages.
     let naive = Layout::new(LayoutKind::Naive, 12);

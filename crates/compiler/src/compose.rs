@@ -120,11 +120,8 @@ pub fn compose(query: &Query, decomp: &Decomposition, opt: OptLevel) -> Composit
         for b in 0..query.branches.len() as u8 {
             let mut prev_mask: Option<u128> = None;
             let mut current = if b % 2 == 0 { SetId::Set1 } else { SetId::Set2 };
-            let mut prims: Vec<usize> = kept
-                .iter()
-                .filter(|m| m.branch == b)
-                .map(|m| m.prim_idx)
-                .collect();
+            let mut prims: Vec<usize> =
+                kept.iter().filter(|m| m.branch == b).map(|m| m.prim_idx).collect();
             prims.sort_unstable();
             prims.dedup();
             for p in prims {
@@ -169,22 +166,20 @@ pub fn compose(query: &Query, decomp: &Decomposition, opt: OptLevel) -> Composit
     // Opt.2: remove unused modules and redundant 𝕂s.
     if opt.remove_unneeded {
         kept.retain(|m| m.role != ModuleRole::Unused);
-        let mut theta: std::collections::HashMap<(u8, SetId), u128> = std::collections::HashMap::new();
-        kept = kept
-            .into_iter()
-            .filter(|m| match m.role {
-                ModuleRole::SelectKeys { mask } => {
-                    let key = (m.branch, m.set);
-                    if theta.get(&key) == Some(&mask) {
-                        false // same operation keys already selected (Opt.2)
-                    } else {
-                        theta.insert(key, mask);
-                        true
-                    }
+        let mut theta: std::collections::HashMap<(u8, SetId), u128> =
+            std::collections::HashMap::new();
+        kept.retain(|m| match m.role {
+            ModuleRole::SelectKeys { mask } => {
+                let key = (m.branch, m.set);
+                if theta.get(&key) == Some(&mask) {
+                    false // same operation keys already selected (Opt.2)
+                } else {
+                    theta.insert(key, mask);
+                    true
                 }
-                _ => true,
-            })
-            .collect();
+            }
+            _ => true,
+        });
     }
 
     // Stage assignment.
@@ -262,10 +257,7 @@ fn is_gate(role: &ModuleRole) -> bool {
 
 /// Whether a role writes persistent state.
 fn writes_state(role: &ModuleRole) -> bool {
-    matches!(
-        role,
-        ModuleRole::StateAdd { .. } | ModuleRole::StateMax { .. } | ModuleRole::StateOr
-    )
+    matches!(role, ModuleRole::StateAdd { .. } | ModuleRole::StateMax { .. } | ModuleRole::StateOr)
 }
 
 /// PHV containers modules contend over. Within one packet walk, a stage
@@ -320,11 +312,8 @@ fn reads_containers(m: &ModuleSpec) -> Vec<Container> {
             // A reporting threshold also mirrors the operation keys, so it
             // reads the OpKeys container too.
             ModuleRole::Threshold { on_global, report, .. } => {
-                let mut reads = vec![if *on_global {
-                    Container::Global
-                } else {
-                    Container::State(m.set)
-                }];
+                let mut reads =
+                    vec![if *on_global { Container::Global } else { Container::State(m.set) }];
                 if *report {
                     reads.push(Container::OpKeys(m.set));
                 }
@@ -359,8 +348,8 @@ pub(crate) fn pack_stages(kept: &[ModuleSpec]) -> Vec<usize> {
                 // WAW: strictly after the previous writer.
                 strict[i].push(w1);
                 // WAR: not before the previous value's readers.
-                for r in w1 + 1..i {
-                    if reads_containers(&kept[r]).contains(&c) {
+                for (r, other) in kept.iter().enumerate().take(i).skip(w1 + 1) {
+                    if reads_containers(other).contains(&c) {
                         weak[i].push(r);
                     }
                 }
@@ -463,11 +452,7 @@ mod tests {
         let q = catalog::q4_port_scan();
         let c = comp(&q, OptLevel::full());
         assert_eq!(c.modules(), 19, "Q4 optimized module count");
-        assert!(
-            (8..=11).contains(&c.stages()),
-            "Q4 optimized stages {} should be ~10",
-            c.stages()
-        );
+        assert!((8..=11).contains(&c.stages()), "Q4 optimized stages {} should be ~10", c.stages());
     }
 
     #[test]

@@ -16,7 +16,9 @@ use crate::plan::AnalyzerTask;
 use crate::CompilerConfig;
 use newton_dataplane::{ModuleKind, SetId};
 use newton_packet::Field;
-use newton_query::ast::{keys_mask, CmpOp, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc};
+use newton_query::ast::{
+    keys_mask, CmpOp, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc,
+};
 
 /// Maximum per-packet increment of a byte-volume reduce — the report
 /// window width for sum-threshold crossing detection.
@@ -112,8 +114,8 @@ impl SketchPolicy {
     /// (Q6's data-plane merge, Q8's shared filters) stay single-row, the
     /// Fig. 6 structure.
     pub fn for_query(query: &Query, config: &CompilerConfig) -> SketchPolicy {
-        let multi = query.branches.len() == 1
-            || (query.branches_packet_disjoint() && !dp_mergeable(query));
+        let multi =
+            query.branches.len() == 1 || (query.branches_packet_disjoint() && !dp_mergeable(query));
         if multi {
             SketchPolicy { bf_rows: config.bf_hashes.max(1), cm_rows: config.cm_depth.max(1) }
         } else {
@@ -200,7 +202,10 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                             p,
                             keys_mask(&[pred.expr]),
                             [
-                                (ModuleKind::HashCalculation, ModuleRole::HashDirect { field: pred.expr.field }),
+                                (
+                                    ModuleKind::HashCalculation,
+                                    ModuleRole::HashDirect { field: pred.expr.field },
+                                ),
                                 (ModuleKind::StateBank, ModuleRole::StatePass),
                                 (
                                     ModuleKind::ResultProcess,
@@ -222,9 +227,11 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                         row: 0,
                         global_order: None,
                     });
-                    for kind in
-                        [ModuleKind::HashCalculation, ModuleKind::StateBank, ModuleKind::ResultProcess]
-                    {
+                    for kind in [
+                        ModuleKind::HashCalculation,
+                        ModuleKind::StateBank,
+                        ModuleKind::ResultProcess,
+                    ] {
                         specs.push(ModuleSpec {
                             branch: b,
                             prim_idx: p,
@@ -283,7 +290,8 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                 Primitive::Reduce { keys, func } => {
                     // Maxima are exact under collisions-as-max, so a single
                     // row suffices; counts/sums use CM rows.
-                    let rows = if matches!(func, ReduceFunc::MaxField(_)) { 1 } else { policy.cm_rows };
+                    let rows =
+                        if matches!(func, ReduceFunc::MaxField(_)) { 1 } else { policy.cm_rows };
                     let field = match func {
                         ReduceFunc::Count => None,
                         ReduceFunc::SumField(f) | ReduceFunc::MaxField(f) => Some(*f),
@@ -315,7 +323,9 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                                 (
                                     ModuleKind::StateBank,
                                     if is_max {
-                                        ModuleRole::StateMax { field: field.expect("max needs a field") }
+                                        ModuleRole::StateMax {
+                                            field: field.expect("max needs a field"),
+                                        }
                                     } else {
                                         ModuleRole::StateAdd { field }
                                     },
@@ -371,7 +381,11 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                         other => {
                             // Non-monotone thresholds resolve at epoch end
                             // on the analyzer (§7 limitations).
-                            tasks.push(AnalyzerTask::EpochThreshold { branch: b, cmp: *other, value: *value });
+                            tasks.push(AnalyzerTask::EpochThreshold {
+                                branch: b,
+                                cmp: *other,
+                                value: *value,
+                            });
                         }
                     }
                 }
@@ -431,7 +445,12 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
             // Cross-packet or non-min merge: the driver threshold was
             // emitted after branch 0; the analyzer probes the others.
             for b in 1..query.branches.len() as u8 {
-                tasks.push(AnalyzerTask::ProbeMerge { branch: b, op: *op, cmp: *cmp, value: *value });
+                tasks.push(AnalyzerTask::ProbeMerge {
+                    branch: b,
+                    op: *op,
+                    cmp: *cmp,
+                    value: *value,
+                });
             }
         }
         Some(Merge::And { left: _, right }) => {
@@ -512,7 +531,15 @@ fn push_suite(
         global_order: None,
     });
     for (kind, role) in rest {
-        specs.push(ModuleSpec { branch, prim_idx, kind, role, set: SetId::Set1, row: 0, global_order: None });
+        specs.push(ModuleSpec {
+            branch,
+            prim_idx,
+            kind,
+            role,
+            set: SetId::Set1,
+            row: 0,
+            global_order: None,
+        });
     }
 }
 
@@ -535,7 +562,15 @@ fn push_suite_ordered(
         global_order: None,
     });
     for (kind, role, order) in rest {
-        specs.push(ModuleSpec { branch, prim_idx, kind, role, set: SetId::Set1, row, global_order: order });
+        specs.push(ModuleSpec {
+            branch,
+            prim_idx,
+            kind,
+            role,
+            set: SetId::Set1,
+            row,
+            global_order: order,
+        });
     }
 }
 
@@ -586,10 +621,12 @@ mod tests {
         let d = decompose_query(&q, &cfg());
         assert!(matches!(d.tasks[..], [AnalyzerTask::ProbeCheck { branch: 1, .. }]));
         // Driver branch reports candidates on the data plane.
-        assert!(d
-            .specs
-            .iter()
-            .any(|s| s.branch == 0 && matches!(s.role, ModuleRole::Threshold { report: true, .. })));
+        assert!(
+            d.specs
+                .iter()
+                .any(|s| s.branch == 0
+                    && matches!(s.role, ModuleRole::Threshold { report: true, .. }))
+        );
     }
 
     #[test]

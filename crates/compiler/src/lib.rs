@@ -37,7 +37,9 @@ pub mod sonata;
 pub use compose::{compose, compose_naive_executable, retarget_to_naive, Composition, OptLevel};
 pub use concurrent::{p_newton, s_newton, sonata_chained, ConcurrentCost};
 pub use decompose::{decompose_query, ModuleRole, ModuleSpec, SketchPolicy};
-pub use plan::{stats_for, AnalyzerTask, BranchPlan, CompileStats, Compilation, ProbeSpec, QueryPlan};
+pub use plan::{
+    stats_for, AnalyzerTask, BranchPlan, Compilation, CompileStats, ProbeSpec, QueryPlan,
+};
 pub use rulegen::generate_rules;
 pub use slicing::{compile_sliced, SlicedCompilation};
 pub use sonata::{estimate as sonata_estimate, SonataCost};
@@ -67,7 +69,13 @@ pub struct CompilerConfig {
 
 impl Default for CompilerConfig {
     fn default() -> Self {
-        CompilerConfig { registers_per_array: 4096, register_offset: 0, bf_hashes: 3, cm_depth: 2, seed: 0x5EED }
+        CompilerConfig {
+            registers_per_array: 4096,
+            register_offset: 0,
+            bf_hashes: 3,
+            cm_depth: 2,
+            seed: 0x5EED,
+        }
     }
 }
 
@@ -94,8 +102,11 @@ mod tests {
         for (i, q) in catalog::all_queries().iter().enumerate() {
             let c = compile(q, i as QueryId + 1, &cfg);
             assert!(c.rules.module_rule_count() > 0, "{}: no module rules", q.name);
-            assert!(!c.rules.init.is_empty() || q.name.contains("spreader"),
-                "{}: expected init rules", q.name);
+            assert!(
+                !c.rules.init.is_empty() || q.name.contains("spreader"),
+                "{}: expected init rules",
+                q.name
+            );
         }
     }
 

@@ -8,11 +8,11 @@ use crate::compose::Composition;
 use crate::decompose::{Decomposition, ModuleRole};
 use crate::plan::{BranchPlan, ProbeSpec, QueryPlan};
 use crate::CompilerConfig;
+use newton_dataplane::rules::Operand;
 use newton_dataplane::{
-    HashMode, HRule, InitRule, KRule, ModuleAddr, ModuleKind, QueryId, RAction, RMatch, RRule,
+    HRule, HashMode, InitRule, KRule, ModuleAddr, ModuleKind, QueryId, RAction, RMatch, RRule,
     RuleSet, SRule, SaluOp,
 };
-use newton_dataplane::rules::Operand;
 use newton_packet::Field;
 use newton_query::ast::{Predicate, Primitive};
 use newton_query::Query;
@@ -98,7 +98,12 @@ pub fn generate_rules(
             )),
             ModuleRole::StateOr => rules.s.push((
                 addr(ModuleKind::StateBank),
-                SRule { query: id, branch: spec.branch, set: spec.set, op: SaluOp::Or(Operand::Const(1)) },
+                SRule {
+                    query: id,
+                    branch: spec.branch,
+                    set: spec.set,
+                    op: SaluOp::Or(Operand::Const(1)),
+                },
             )),
             ModuleRole::FilterCheck { value } => {
                 push_gate(
@@ -248,7 +253,15 @@ fn push_gate(
 ) {
     rules.r.push((
         addr,
-        RRule { query: id, branch, set, priority: 1, state_match, global_match: RMatch::ANY, actions },
+        RRule {
+            query: id,
+            branch,
+            set,
+            priority: 1,
+            state_match,
+            global_match: RMatch::ANY,
+            actions,
+        },
     ));
     rules.r.push((
         addr,
@@ -281,16 +294,14 @@ fn build_plan(
 ) -> QueryPlan {
     let mut branches = Vec::new();
     for (b, branch) in query.branches.iter().enumerate() {
-        let report_field =
-            branch.report_keys().first().map(|e| e.field).unwrap_or(Field::DstIp);
+        let report_field = branch.report_keys().first().map(|e| e.field).unwrap_or(Field::DstIp);
 
         // The branch's last reduce: key field/mask + one probe per row.
-        let last_reduce = branch.primitives.iter().enumerate().rev().find_map(|(p, prim)| {
-            match prim {
+        let last_reduce =
+            branch.primitives.iter().enumerate().rev().find_map(|(p, prim)| match prim {
                 Primitive::Reduce { keys, .. } => Some((p, keys.clone())),
                 _ => None,
-            }
-        });
+            });
         let mut probes = Vec::new();
         if let Some((prim_idx, keys)) = last_reduce {
             let key_field = keys.first().map(|e| e.field).unwrap_or(report_field);
@@ -335,13 +346,7 @@ fn build_plan(
     let dp_merged = query.merge.is_none()
         || composition.kept.iter().any(|s| matches!(s.role, ModuleRole::MergeSet));
 
-    QueryPlan {
-        branches,
-        driver,
-        tasks: decomp.tasks.clone(),
-        dp_merged,
-        epoch_ms: query.epoch_ms,
-    }
+    QueryPlan { branches, driver, tasks: decomp.tasks.clone(), dp_merged, epoch_ms: query.epoch_ms }
 }
 
 #[cfg(test)]
@@ -413,7 +418,10 @@ mod tests {
             "Q9's packet-disjoint branches use multi-row sketches"
         );
         assert_eq!(plan.branches[1].report_field, Field::SrcIp);
-        assert!(matches!(plan.tasks[..], [crate::plan::AnalyzerTask::ProbeCheck { branch: 1, .. }]));
+        assert!(matches!(
+            plan.tasks[..],
+            [crate::plan::AnalyzerTask::ProbeCheck { branch: 1, .. }]
+        ));
     }
 
     #[test]
@@ -421,11 +429,8 @@ mod tests {
         let (rules, plan) = gen(&catalog::q6_syn_flood());
         assert!(plan.dp_merged);
         // Exactly one reporting R rule (the post-merge threshold).
-        let reporters = rules
-            .r
-            .iter()
-            .filter(|(_, r)| r.actions.contains(&RAction::Report))
-            .count();
+        let reporters =
+            rules.r.iter().filter(|(_, r)| r.actions.contains(&RAction::Report)).count();
         assert_eq!(reporters, 1);
         // Three init entries (one per branch).
         assert_eq!(rules.init.len(), 3);

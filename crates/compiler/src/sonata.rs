@@ -93,11 +93,7 @@ mod tests {
         for q in catalog::all_queries() {
             let newton = compile(&q, 1, &cfg).composition.stages();
             let sonata = estimate(&q).stages;
-            assert!(
-                newton <= sonata,
-                "{}: Newton {newton} stages vs Sonata {sonata}",
-                q.name
-            );
+            assert!(newton <= sonata, "{}: Newton {newton} stages vs Sonata {sonata}", q.name);
         }
     }
 }

@@ -59,10 +59,7 @@ pub fn allocate(
     policy: AllocationPolicy,
 ) -> Vec<RegisterSlice> {
     assert!(!queries.is_empty(), "allocation needs at least one query");
-    assert!(
-        registers_per_array as usize >= queries.len(),
-        "fewer registers than queries"
-    );
+    assert!(registers_per_array as usize >= queries.len(), "fewer registers than queries");
     let weights: Vec<u32> = match policy {
         AllocationPolicy::Even => vec![1; queries.len()],
         AllocationPolicy::WeightedByState => queries.iter().map(state_weight).collect(),
@@ -106,10 +103,7 @@ mod tests {
         let qs = vec![catalog::q1_new_tcp(), catalog::q4_port_scan()];
         let slices = allocate(&qs, 4096, AllocationPolicy::WeightedByState);
         // Q4 (distinct + reduce) outweighs Q1 (reduce only).
-        assert!(
-            slices[1].range > slices[0].range,
-            "Q4 should get more registers: {slices:?}"
-        );
+        assert!(slices[1].range > slices[0].range, "Q4 should get more registers: {slices:?}");
         assert!(state_weight(&qs[1]) > state_weight(&qs[0]));
     }
 

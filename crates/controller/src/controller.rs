@@ -181,7 +181,7 @@ impl Controller {
                         restore_set: if c == 0 { captures[0] } else { captures[c - 1] },
                         stages: (offset, offset + len),
                     },
-                );
+                )?;
                 offset += len;
             }
             total_rules += sw_rules;
@@ -189,8 +189,7 @@ impl Controller {
         }
 
         let depth = crate::placement::reachable_depth(&topo, topo.edge_switches());
-        self.installed
-            .insert(id, InstalledQuery { plan, placement: placement.clone() });
+        self.installed.insert(id, InstalledQuery { plan, placement: placement.clone() });
         Ok(InstallReceipt {
             id,
             delay_ms: max_delay,

@@ -29,10 +29,7 @@ pub struct Placement {
 impl Placement {
     /// Total table entries installed network-wide (the Fig. 17 metric).
     pub fn total_entries(&self) -> usize {
-        self.slices
-            .iter()
-            .map(|set| set.iter().map(|&c| self.slice_rules[c]).sum::<usize>())
-            .sum()
+        self.slices.iter().map(|set| set.iter().map(|&c| self.slice_rules[c]).sum::<usize>()).sum()
     }
 
     /// Average entries per switch that holds at least one slice.
@@ -80,7 +77,11 @@ pub fn reachable_depth(topo: &Topology, edge_switches: &[NodeId]) -> usize {
 /// Algorithm 2 over pre-sliced parts: `slice_rules[c]` is the table-rule
 /// count of part `c`. A depth-first search from each edge switch assigns
 /// part `d` to every switch reachable at depth `d`.
-pub fn place_parts(slice_rules: Vec<usize>, topo: &Topology, edge_switches: &[NodeId]) -> Placement {
+pub fn place_parts(
+    slice_rules: Vec<usize>,
+    topo: &Topology,
+    edge_switches: &[NodeId],
+) -> Placement {
     let slice_count = slice_rules.len().max(1);
     let mut slices: Vec<BTreeSet<usize>> = vec![BTreeSet::new(); topo.len()];
     let mut discovered = vec![false; topo.len()];
@@ -106,8 +107,7 @@ pub fn place_query(
     let slice_count = total_stages.div_ceil(stages_per_switch).max(1);
     let slice_rules: Vec<usize> = (0..slice_count)
         .map(|c| {
-            let (lo, hi) =
-                (c * stages_per_switch, ((c + 1) * stages_per_switch).min(total_stages));
+            let (lo, hi) = (c * stages_per_switch, ((c + 1) * stages_per_switch).min(total_stages));
             rules.slice_stages(lo, hi).total_rule_count()
         })
         .collect();
@@ -190,8 +190,13 @@ mod tests {
         for (i, &src) in edges.iter().enumerate() {
             for &dst in &edges[i + 1..] {
                 for sport in [1u16, 7, 42] {
-                    let flow =
-                        FlowKey { src_ip: 9, dst_ip: 5, src_port: sport, dst_port: 80, protocol: 6 };
+                    let flow = FlowKey {
+                        src_ip: 9,
+                        dst_ip: 5,
+                        src_port: sport,
+                        dst_port: 80,
+                        protocol: 6,
+                    };
                     let path = router.path(src, dst, &flow).expect("connected");
                     for (d, &hop) in path.iter().enumerate().take(p.slice_count) {
                         assert!(

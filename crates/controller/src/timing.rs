@@ -61,9 +61,8 @@ mod tests {
 
     #[test]
     fn q1_installs_in_about_five_ms() {
-        let rules = compile(&catalog::q1_new_tcp(), 1, &CompilerConfig::default())
-            .rules
-            .total_rule_count();
+        let rules =
+            compile(&catalog::q1_new_tcp(), 1, &CompilerConfig::default()).rules.total_rule_count();
         let mut t = RuleTimingModel::new(1);
         let ms = t.install_ms(rules);
         assert!((3.0..8.0).contains(&ms), "Q1 install {ms:.1} ms (rules = {rules})");

@@ -16,8 +16,8 @@ use newton_compiler::CompilerConfig;
 use newton_controller::{Controller, InstallReceipt};
 use newton_dataplane::{PipelineConfig, QueryId};
 use newton_net::{Network, NodeId, Topology};
-use newton_packet::Packet;
 use newton_packet::FieldVector;
+use newton_packet::Packet;
 use newton_query::ast::Primitive;
 use newton_query::{Interpreter, Query};
 use newton_sketch::hash::mix64;
@@ -149,13 +149,10 @@ impl NewtonSystem {
     fn fallback_mirrors(query: &Query, pkt: &Packet) -> bool {
         let v = FieldVector::from_packet(pkt);
         query.branches.iter().any(|b| {
-            b.primitives
-                .iter()
-                .take_while(|p| matches!(p, Primitive::Filter(_)))
-                .all(|p| match p {
-                    Primitive::Filter(preds) => preds.iter().all(|q| q.eval(v)),
-                    _ => true,
-                })
+            b.primitives.iter().take_while(|p| matches!(p, Primitive::Filter(_))).all(|p| match p {
+                Primitive::Filter(preds) => preds.iter().all(|q| q.eval(v)),
+                _ => true,
+            })
         })
     }
 
@@ -164,8 +161,9 @@ impl NewtonSystem {
             HostMapping::Fixed { ingress, egress } => (ingress, egress),
             HostMapping::ByAddress => {
                 let edges = self.net.topology().edge_switches();
-                let pick =
-                    |ip: u32, salt: u64| edges[(mix64(ip as u64 ^ salt) % edges.len() as u64) as usize];
+                let pick = |ip: u32, salt: u64| {
+                    edges[(mix64(ip as u64 ^ salt) % edges.len() as u64) as usize]
+                };
                 (pick(pkt.src_ip, 0x11), pick(pkt.dst_ip, 0x22))
             }
         }
@@ -189,24 +187,39 @@ impl NewtonSystem {
     ) -> RunReport {
         let mut report = RunReport::default();
         let mut meter = OverheadMeter::new();
+        let mut batch: Vec<(&Packet, NodeId, NodeId)> = Vec::new();
         for epoch in trace.epochs(epoch_ms) {
             report.epochs += 1;
             for pkt in epoch {
                 meter.packet();
-                events.advance(pkt.ts_ns, self.net.router_mut());
-                let (ingress, egress) = self.endpoints(pkt);
-                let out = self.net.deliver(pkt, ingress, egress);
-                report.snapshot_bytes += out.snapshot_bytes as u64;
-                for (_, r) in out.reports {
-                    meter.message(32);
-                    self.analyzer.ingest(&r);
+                // Packets queued so far must route under the pre-event
+                // state: flush the batch before any scheduled dynamic
+                // fires, then advance the schedule.
+                if events.next_ts().is_some_and(|t| pkt.ts_ns >= t) {
+                    let out = self.net.deliver_batch(&batch);
+                    batch.clear();
+                    report.snapshot_bytes += out.snapshot_bytes as u64;
+                    for (_, r) in out.reports {
+                        meter.message(32);
+                        self.analyzer.ingest(&r);
+                    }
+                    events.advance(pkt.ts_ns, self.net.router_mut());
                 }
+                let (ingress, egress) = self.endpoints(pkt);
+                batch.push((pkt, ingress, egress));
                 for (query, interp) in self.software_fallback.values_mut() {
                     if Self::fallback_mirrors(query, pkt) {
                         meter.message(pkt.wire_len as u64);
                         interp.observe(pkt);
                     }
                 }
+            }
+            let out = self.net.deliver_batch(&batch);
+            batch.clear();
+            report.snapshot_bytes += out.snapshot_bytes as u64;
+            for (_, r) in out.reports {
+                meter.message(32);
+                self.analyzer.ingest(&r);
             }
             for (id, keys) in self.finish_epoch() {
                 report.incidents.observe_epoch(id, keys.iter().copied());
@@ -239,8 +252,7 @@ impl NewtonSystem {
                          idx: usize| {
             let mut total: Option<u32> = None;
             for sw in 0..net.switch_count() {
-                if let Some(v) = net.switch(sw).read_slice_register(query, slice as u8, addr, idx)
-                {
+                if let Some(v) = net.switch(sw).read_slice_register(query, slice as u8, addr, idx) {
                     total = Some(total.unwrap_or(0).saturating_add(v));
                 }
             }
@@ -266,7 +278,10 @@ mod tests {
             ..Default::default()
         });
         let guilty = trace
-            .inject(kind, &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() })
+            .inject(
+                kind,
+                &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() },
+            )
             .guilty;
         (trace, guilty)
     }

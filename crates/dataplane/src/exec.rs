@@ -1,0 +1,190 @@
+//! The compiled execution plan: configuration split from execution.
+//!
+//! Newton's data plane is a *fixed* engine reconfigured only by table-rule
+//! updates (§4.1) — so the per-packet path should never re-derive dispatch
+//! state from the mutable configuration. This module mirrors that split in
+//! the simulator: every configuration mutation (`install`, `remove_query`,
+//! `add_slice`, `set_slice`) recompiles a flattened, immutable [`ExecPlan`];
+//! [`Switch::process`](crate::Switch::process) only *reads* the plan plus a
+//! reusable [`ExecScratch`], performing no heap allocation for dispatch.
+//!
+//! The plan pre-resolves three things the seed path recomputed per packet:
+//!
+//! * **slice-0 dispatch** — query id → the slice `newton_init` activates
+//!   (replacing a `HashMap` lookup + linear scan per classified query),
+//! * **resume-by-cursor dispatch** — snapshot cursor → the unique later
+//!   slice it resumes (replacing a full scan of every slice assignment;
+//!   uniqueness is guaranteed because conflicting assignments are rejected
+//!   at configuration time — the snapshot header carries no query id, so
+//!   two slices resuming at one cursor would be ambiguous),
+//! * **per-stage op lists** — for each (query, slice), the module slots
+//!   that actually hold rules of that query, grouped by stage, each with
+//!   the table indices of exactly those rules (so execution never scans
+//!   other queries' rules); stages with no ops for the query are skipped
+//!   entirely.
+
+use crate::init::InitTable;
+use crate::phv::Phv;
+use crate::rules::QueryId;
+use crate::switch::SliceInfo;
+use std::collections::HashMap;
+
+/// Pre-resolved module ops of one (query, slice): the slots holding rules
+/// of the query — each with the rule-table indices of exactly those rules
+/// — flattened and grouped by stage.
+#[derive(Debug, Clone, Default)]
+pub struct OpList {
+    /// `(slot, rlo, rhi)` per op in pipeline order: the module slot plus
+    /// its pre-resolved rule indices `rule_idx[rlo..rhi]`.
+    ops: Vec<(u32, u32, u32)>,
+    /// One `(stage, lo, hi)` run per stage with at least one op, where
+    /// `ops[lo..hi]` are that stage's ops.
+    runs: Vec<(u32, u32, u32)>,
+    /// Pooled rule-table indices, shared by every op of the list: the
+    /// positions of the query's rules within each instance's table, in
+    /// table order.
+    rule_idx: Vec<u32>,
+}
+
+impl OpList {
+    /// The per-stage runs: `(stage, lo, hi)` ranges into [`ops`](Self::ops).
+    pub fn runs(&self) -> &[(u32, u32, u32)] {
+        &self.runs
+    }
+
+    /// The flattened `(slot, rlo, rhi)` ops.
+    pub fn ops(&self) -> &[(u32, u32, u32)] {
+        &self.ops
+    }
+
+    /// An op's pre-resolved rule indices.
+    pub fn rules(&self, rlo: u32, rhi: u32) -> &[u32] {
+        &self.rule_idx[rlo as usize..rhi as usize]
+    }
+}
+
+/// One dispatchable slice: its assignment plus its compiled op list.
+#[derive(Debug, Clone)]
+pub struct SliceDispatch {
+    /// The slice assignment (stage range, capture/restore sets, totals).
+    pub info: SliceInfo,
+    /// The ops the slice executes on this switch.
+    pub ops: OpList,
+}
+
+/// The immutable execution plan compiled from a switch's configuration.
+#[derive(Debug, Clone, Default)]
+pub struct ExecPlan {
+    /// Sorted by query id: the slice-0 dispatch for every query
+    /// `newton_init` can classify. `None` when the switch holds only later
+    /// slices of the query (classification then skips it).
+    slice0: Vec<(QueryId, Option<SliceDispatch>)>,
+    /// Sorted by cursor: the unique later slice resuming at each cursor.
+    resume: Vec<(u8, QueryId, SliceDispatch)>,
+}
+
+impl ExecPlan {
+    /// Compile the plan from the current configuration. `stage_slots[s]`
+    /// is the number of module slots in stage `s`; `rules_for(stage, slot,
+    /// query, out)` appends the rule-table indices (in table order) of that
+    /// instance's rules belonging to the query.
+    pub fn build(
+        init: &InitTable,
+        slices: &HashMap<QueryId, Vec<SliceInfo>>,
+        stage_slots: &[usize],
+        rules_for: impl Fn(usize, usize, QueryId, &mut Vec<u32>),
+    ) -> ExecPlan {
+        let compile = |query: QueryId, range: (usize, usize)| -> OpList {
+            let hi = range.1.min(stage_slots.len());
+            let lo = range.0.min(hi);
+            let mut ops = Vec::new();
+            let mut runs = Vec::new();
+            let mut rule_idx = Vec::new();
+            for (stage, &slot_count) in stage_slots.iter().enumerate().take(hi).skip(lo) {
+                let start = ops.len();
+                for slot in 0..slot_count {
+                    let rlo = rule_idx.len();
+                    rules_for(stage, slot, query, &mut rule_idx);
+                    if rule_idx.len() > rlo {
+                        ops.push((slot as u32, rlo as u32, rule_idx.len() as u32));
+                    }
+                }
+                if ops.len() > start {
+                    runs.push((stage as u32, start as u32, ops.len() as u32));
+                }
+            }
+            OpList { ops, runs, rule_idx }
+        };
+
+        let mut queries: Vec<QueryId> = init.rules().iter().map(|r| r.query).collect();
+        queries.sort_unstable();
+        queries.dedup();
+        let slice0 = queries
+            .into_iter()
+            .map(|query| {
+                let info = match slices.get(&query) {
+                    // Unassigned queries execute as a whole pipeline.
+                    None => Some(SliceInfo::whole()),
+                    Some(infos) => infos.iter().find(|i| i.index == 0).copied(),
+                };
+                let dispatch =
+                    info.map(|info| SliceDispatch { ops: compile(query, info.stages), info });
+                (query, dispatch)
+            })
+            .collect();
+
+        let mut resume: Vec<(u8, QueryId, SliceDispatch)> = Vec::new();
+        for (&query, infos) in slices {
+            for &info in infos.iter().filter(|i| i.index > 0) {
+                resume.push((
+                    info.index,
+                    query,
+                    SliceDispatch { ops: compile(query, info.stages), info },
+                ));
+            }
+        }
+        resume.sort_by_key(|&(cursor, query, _)| (cursor, query));
+        ExecPlan { slice0, resume }
+    }
+
+    /// The slice-0 dispatch for a classified query, if this switch
+    /// executes the query's first slice.
+    pub fn slice0(&self, query: QueryId) -> Option<&SliceDispatch> {
+        self.slice0
+            .binary_search_by_key(&query, |&(q, _)| q)
+            .ok()
+            .and_then(|i| self.slice0[i].1.as_ref())
+    }
+
+    /// The slice resuming at `cursor` (exclusive per cursor by
+    /// construction), if any.
+    pub fn resume(&self, cursor: u8) -> Option<(QueryId, &SliceDispatch)> {
+        self.resume
+            .binary_search_by_key(&cursor, |&(c, _, _)| c)
+            .ok()
+            .map(|i| (self.resume[i].1, &self.resume[i].2))
+    }
+}
+
+/// Reusable per-switch scratch for the zero-allocation packet path.
+#[derive(Debug, Clone)]
+pub struct ExecScratch {
+    /// `newton_init::classify_into` output buffer.
+    pub(crate) classify: Vec<(QueryId, u32)>,
+    /// The live PHV walking the pipeline.
+    pub(crate) cur: Phv,
+    /// The frozen stage-entry snapshot of the double-buffered walk.
+    pub(crate) entry: Phv,
+}
+
+impl ExecScratch {
+    pub fn new() -> Self {
+        ExecScratch { classify: Vec::new(), cur: Phv::scratch(), entry: Phv::scratch() }
+    }
+}
+
+impl Default for ExecScratch {
+    fn default() -> Self {
+        Self::new()
+    }
+}

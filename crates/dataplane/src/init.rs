@@ -12,7 +12,6 @@
 
 use crate::rules::{InitRule, QueryId};
 use newton_packet::{FieldVector, Packet};
-use std::collections::BTreeMap;
 
 /// The `newton_init` ternary table.
 #[derive(Debug, Clone, Default)]
@@ -50,17 +49,30 @@ impl InitTable {
     /// Classify a packet: the union of branch activations per query across
     /// all matching entries.
     pub fn classify(&self, pkt: &Packet) -> Vec<(QueryId, u32)> {
-        let v = FieldVector::from_packet(pkt);
-        let mut out: BTreeMap<QueryId, u32> = BTreeMap::new();
+        let mut out = Vec::new();
+        self.classify_into(&FieldVector::from_packet(pkt), &mut out);
+        out
+    }
+
+    /// No-alloc [`classify`](Self::classify): writes the activations into
+    /// `out` (cleared first, capacity reused), sorted by query id. The
+    /// sorted-insert keeps per-packet dispatch order identical to the
+    /// allocating variant; concurrent query counts are small (tens), so a
+    /// binary-searched `Vec` beats a map rebuild.
+    pub fn classify_into(&self, fields: &FieldVector, out: &mut Vec<(QueryId, u32)>) {
+        out.clear();
         for rule in &self.rules {
-            let hit = rule.matches.iter().all(|&(field, value, mask)| {
-                (v.get(field) & mask) == (value & mask)
-            });
+            let hit = rule
+                .matches
+                .iter()
+                .all(|&(field, value, mask)| (fields.get(field) & mask) == (value & mask));
             if hit {
-                *out.entry(rule.query).or_insert(0) |= rule.branch_mask;
+                match out.binary_search_by_key(&rule.query, |&(q, _)| q) {
+                    Ok(pos) => out[pos].1 |= rule.branch_mask,
+                    Err(pos) => out.insert(pos, (rule.query, rule.branch_mask)),
+                }
             }
         }
-        out.into_iter().collect()
     }
 }
 
@@ -98,7 +110,11 @@ mod tests {
     fn union_of_branch_masks_across_entries() {
         let mut t = InitTable::new();
         t.install(InitRule { query: 3, branch_mask: 0b01, matches: vec![(Field::Proto, 6, 0xFF)] });
-        t.install(InitRule { query: 3, branch_mask: 0b10, matches: vec![(Field::TcpFlags, 2, 0xFF)] });
+        t.install(InitRule {
+            query: 3,
+            branch_mask: 0b10,
+            matches: vec![(Field::TcpFlags, 2, 0xFF)],
+        });
         assert_eq!(t.classify(&tcp_syn()), vec![(3, 0b11)]);
     }
 
@@ -106,7 +122,11 @@ mod tests {
     fn multiple_queries_can_match_one_packet() {
         let mut t = InitTable::new();
         t.install(InitRule { query: 1, branch_mask: 1, matches: vec![(Field::Proto, 6, 0xFF)] });
-        t.install(InitRule { query: 2, branch_mask: 1, matches: vec![(Field::DstPort, 80, 0xFFFF)] });
+        t.install(InitRule {
+            query: 2,
+            branch_mask: 1,
+            matches: vec![(Field::DstPort, 80, 0xFFFF)],
+        });
         let hits = t.classify(&tcp_syn());
         assert_eq!(hits.len(), 2);
     }

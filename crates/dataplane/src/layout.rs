@@ -152,10 +152,7 @@ impl Layout {
     /// Hardware cost of the whole layout (instances only, excluding
     /// `newton_init`).
     pub fn total_cost(&self) -> ResourceVector {
-        self.stages
-            .iter()
-            .flatten()
-            .fold(ResourceVector::ZERO, |acc, k| acc + k.cost())
+        self.stages.iter().flatten().fold(ResourceVector::ZERO, |acc, k| acc + k.cost())
     }
 
     /// Per-stage cost of stage `i`.

@@ -27,8 +27,12 @@
 //!   `newton_fin` (result-snapshot emission for CQE), with per-epoch state
 //!   reset and forwarding counters that prove rule operations never disturb
 //!   forwarding.
+//! * [`exec`] — the configuration/execution split: rule operations compile
+//!   a flattened, immutable [`exec::ExecPlan`]; the per-packet path only
+//!   walks it, allocation-free, against a reusable [`exec::ExecScratch`].
 
 pub mod debug;
+pub mod exec;
 pub mod init;
 pub mod layout;
 pub mod mirror;
@@ -38,12 +42,13 @@ pub mod resources;
 pub mod rules;
 pub mod switch;
 
+pub use exec::{ExecPlan, ExecScratch};
 pub use init::InitTable;
 pub use layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
 pub use phv::{MetadataSet, Phv, Report, SetId};
 pub use resources::{ResourceVector, StageBudget};
 pub use rules::{
-    HashMode, HRule, InitRule, KRule, Operand, QueryId, RAction, RMatch, RRule, RuleSet, SRule,
+    HRule, HashMode, InitRule, KRule, Operand, QueryId, RAction, RMatch, RRule, RuleSet, SRule,
     SaluOp,
 };
 pub use switch::{PipelineConfig, PipelineOutput, SliceInfo, Switch, SwitchError};

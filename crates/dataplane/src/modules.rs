@@ -8,7 +8,7 @@
 //! (Fig. 4) and why the two metadata sets make the compact layout work.
 
 use crate::phv::{Phv, Report, GLOBAL_INIT};
-use crate::rules::{HashMode, HRule, KRule, Operand, QueryId, RAction, RRule, SRule, SaluOp};
+use crate::rules::{HRule, HashMode, KRule, Operand, QueryId, RAction, RRule, SRule, SaluOp};
 use newton_packet::FieldVector;
 use newton_sketch::HashFn;
 
@@ -134,6 +134,18 @@ impl KModule {
             }
         }
     }
+
+    /// Execute only the pre-resolved rules at `idx` (the compiled
+    /// [`ExecPlan`](crate::ExecPlan) path): the plan guarantees every
+    /// index holds a rule of the packet's query, in table order.
+    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
+        for &i in idx {
+            let r = &self.rules[i as usize];
+            if input.branch_active(r.branch) {
+                output.set_mut(r.set).op_keys = input.fields.masked(r.mask).0;
+            }
+        }
+    }
 }
 
 impl HModule {
@@ -157,14 +169,28 @@ impl HModule {
     pub fn execute(&self, input: &Phv, output: &mut Phv) {
         for r in &self.rules {
             if r.query == input.query && input.branch_active(r.branch) {
-                let keys = FieldVector(input.set(r.set).op_keys);
-                let h = match r.mode {
-                    HashMode::Hash { seed, range } => HashFn::new(seed, range).hash(keys.0),
-                    HashMode::Direct(field) => keys.get(field) as u32,
-                };
-                output.set_mut(r.set).hash_result = h.wrapping_add(r.offset);
+                Self::fire(r, input, output);
             }
         }
+    }
+
+    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
+    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
+        for &i in idx {
+            let r = &self.rules[i as usize];
+            if input.branch_active(r.branch) {
+                Self::fire(r, input, output);
+            }
+        }
+    }
+
+    fn fire(r: &HRule, input: &Phv, output: &mut Phv) {
+        let keys = FieldVector(input.set(r.set).op_keys);
+        let h = match r.mode {
+            HashMode::Hash { seed, range } => HashFn::new(seed, range).hash(keys.0),
+            HashMode::Direct(field) => keys.get(field) as u32,
+        };
+        output.set_mut(r.set).hash_result = h.wrapping_add(r.offset);
     }
 }
 
@@ -202,39 +228,52 @@ impl SModule {
 
     /// Execute: one transactional SALU operation per matching branch.
     pub fn execute(&mut self, input: &Phv, output: &mut Phv) {
-        let len = self.registers.len();
         for r in &self.rules {
             if r.query != input.query || !input.branch_active(r.branch) {
                 continue;
             }
-            let idx = input.set(r.set).hash_result as usize % len;
-            let state = match r.op {
-                SaluOp::PassHash => input.set(r.set).hash_result,
-                SaluOp::Add(op) => {
-                    let v = resolve(op, input.fields);
-                    self.registers[idx] = self.registers[idx].saturating_add(v);
-                    self.registers[idx]
-                }
-                SaluOp::Or(op) => {
-                    let v = resolve(op, input.fields);
-                    let old = self.registers[idx];
-                    self.registers[idx] |= v;
-                    old
-                }
-                SaluOp::Max(op) => {
-                    let v = resolve(op, input.fields);
-                    self.registers[idx] = self.registers[idx].max(v);
-                    self.registers[idx]
-                }
-                SaluOp::Write(op) => {
-                    let v = resolve(op, input.fields);
-                    let old = self.registers[idx];
-                    self.registers[idx] = v;
-                    old
-                }
-            };
-            output.set_mut(r.set).state_result = state;
+            Self::fire(r, &mut self.registers, input, output);
         }
+    }
+
+    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
+    pub fn execute_planned(&mut self, idx: &[u32], input: &Phv, output: &mut Phv) {
+        for &i in idx {
+            let r = &self.rules[i as usize];
+            if input.branch_active(r.branch) {
+                Self::fire(r, &mut self.registers, input, output);
+            }
+        }
+    }
+
+    fn fire(r: &SRule, registers: &mut [u32], input: &Phv, output: &mut Phv) {
+        let idx = input.set(r.set).hash_result as usize % registers.len();
+        let state = match r.op {
+            SaluOp::PassHash => input.set(r.set).hash_result,
+            SaluOp::Add(op) => {
+                let v = resolve(op, input.fields);
+                registers[idx] = registers[idx].saturating_add(v);
+                registers[idx]
+            }
+            SaluOp::Or(op) => {
+                let v = resolve(op, input.fields);
+                let old = registers[idx];
+                registers[idx] |= v;
+                old
+            }
+            SaluOp::Max(op) => {
+                let v = resolve(op, input.fields);
+                registers[idx] = registers[idx].max(v);
+                registers[idx]
+            }
+            SaluOp::Write(op) => {
+                let v = resolve(op, input.fields);
+                let old = registers[idx];
+                registers[idx] = v;
+                old
+            }
+        };
+        output.set_mut(r.set).state_result = state;
     }
 }
 
@@ -287,39 +326,85 @@ impl RModule {
             }
         }
         for (branch, rule) in fired {
-            for action in &rule.actions {
-                let state = input.set(rule.set).state_result;
-                match action {
-                    RAction::Report => {
-                        let set = input.set(rule.set);
-                        output.reports.push(Report {
-                            query: input.query,
-                            branch,
-                            op_keys: set.op_keys,
-                            hash_result: set.hash_result,
-                            state_result: set.state_result,
-                            global_result: output.global_result,
-                        });
-                    }
-                    RAction::StopBranch => output.deactivate_branch(branch),
-                    RAction::GlobalMin => {
-                        output.global_result = output.global_result.min(state);
-                    }
-                    RAction::GlobalMax => {
-                        let g = if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
-                        output.global_result = g.max(state);
-                    }
-                    RAction::GlobalAdd => {
-                        let g = if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
-                        output.global_result = g.saturating_add(state);
-                    }
-                    RAction::GlobalSub => {
-                        let g = if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
-                        output.global_result = g.saturating_sub(state);
-                    }
-                    RAction::GlobalSet => output.global_result = state,
-                    RAction::GlobalReset => output.global_result = GLOBAL_INIT,
+            Self::fire(rule, branch, input, output);
+        }
+    }
+
+    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
+    /// Same per-branch highest-priority selection as
+    /// [`execute`](Self::execute), tracked on the stack: the PHV's branch
+    /// mask is a `u32`, so at most 32 branches can be active.
+    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
+        // `best[b]` holds branch b's current winner; `order` preserves
+        // first-encounter branch order, matching `execute`'s fired list.
+        let mut best: [Option<&RRule>; 32] = [None; 32];
+        let mut order = [0u8; 32];
+        let mut n = 0usize;
+        for &i in idx {
+            let r = &self.rules[i as usize];
+            if !input.branch_active(r.branch) {
+                continue;
+            }
+            if !r.state_match.contains(input.set(r.set).state_result)
+                || !r.global_match.contains(input.global_result)
+            {
+                continue;
+            }
+            // Mirror `branch_active`'s release-mode shift masking so an
+            // out-of-range branch aliases the same mask bit it tests.
+            let b = (r.branch & 31) as usize;
+            match best[b] {
+                Some(cur) if cur.priority >= r.priority => {}
+                Some(_) => best[b] = Some(r),
+                None => {
+                    best[b] = Some(r);
+                    order[n] = r.branch;
+                    n += 1;
                 }
+            }
+        }
+        for &branch in &order[..n] {
+            Self::fire(best[(branch & 31) as usize].unwrap(), branch, input, output);
+        }
+    }
+
+    /// Apply a fired rule's actions (shared by both execution paths).
+    fn fire(rule: &RRule, branch: u8, input: &Phv, output: &mut Phv) {
+        for action in &rule.actions {
+            let state = input.set(rule.set).state_result;
+            match action {
+                RAction::Report => {
+                    let set = input.set(rule.set);
+                    output.reports.push(Report {
+                        query: input.query,
+                        branch,
+                        op_keys: set.op_keys,
+                        hash_result: set.hash_result,
+                        state_result: set.state_result,
+                        global_result: output.global_result,
+                    });
+                }
+                RAction::StopBranch => output.deactivate_branch(branch),
+                RAction::GlobalMin => {
+                    output.global_result = output.global_result.min(state);
+                }
+                RAction::GlobalMax => {
+                    let g =
+                        if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
+                    output.global_result = g.max(state);
+                }
+                RAction::GlobalAdd => {
+                    let g =
+                        if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
+                    output.global_result = g.saturating_add(state);
+                }
+                RAction::GlobalSub => {
+                    let g =
+                        if output.global_result == GLOBAL_INIT { 0 } else { output.global_result };
+                    output.global_result = g.saturating_sub(state);
+                }
+                RAction::GlobalSet => output.global_result = state,
+                RAction::GlobalReset => output.global_result = GLOBAL_INIT,
             }
         }
     }
@@ -406,8 +491,13 @@ mod tests {
     #[test]
     fn s_add_counts_per_index() {
         let mut s = SModule::new(4, 16);
-        s.install(SRule { query: 1, branch: 0, set: SetId::Set1, op: SaluOp::Add(Operand::Const(1)) })
-            .unwrap();
+        s.install(SRule {
+            query: 1,
+            branch: 0,
+            set: SetId::Set1,
+            op: SaluOp::Add(Operand::Const(1)),
+        })
+        .unwrap();
         let mut input = phv();
         input.set_mut(SetId::Set1).hash_result = 5;
         let mut out = input.clone();
@@ -440,8 +530,13 @@ mod tests {
     #[test]
     fn s_or_returns_old_value_bloom_style() {
         let mut s = SModule::new(4, 8);
-        s.install(SRule { query: 1, branch: 0, set: SetId::Set1, op: SaluOp::Or(Operand::Const(1)) })
-            .unwrap();
+        s.install(SRule {
+            query: 1,
+            branch: 0,
+            set: SetId::Set1,
+            op: SaluOp::Or(Operand::Const(1)),
+        })
+        .unwrap();
         let input = phv();
         let mut out = input.clone();
         s.execute(&input, &mut out);

@@ -183,8 +183,7 @@ pub mod module_costs {
     pub const HASH_CALCULATION: ResourceVector =
         ResourceVector::new(4.45, 3.0, 0.0, 1.5, 65.0, 0.0, 0.0);
     /// State bank 𝕊 (table + one register array + SALU).
-    pub const STATE_BANK: ResourceVector =
-        ResourceVector::new(2.0, 30.0, 5.0, 4.0, 90.0, 2.0, 0.0);
+    pub const STATE_BANK: ResourceVector = ResourceVector::new(2.0, 30.0, 5.0, 4.0, 90.0, 2.0, 0.0);
     /// Result process ℝ.
     pub const RESULT_PROCESS: ResourceVector =
         ResourceVector::new(1.0, 3.0, 10.0, 18.0, 0.0, 0.0, 0.0);

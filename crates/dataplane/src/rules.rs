@@ -262,10 +262,7 @@ mod tests {
     fn sample_ruleset() -> RuleSet {
         RuleSet {
             init: vec![InitRule { query: 1, branch_mask: 1, matches: vec![] }],
-            k: vec![(
-                addr(0, 0),
-                KRule { query: 1, branch: 0, set: SetId::Set1, mask: u128::MAX },
-            )],
+            k: vec![(addr(0, 0), KRule { query: 1, branch: 0, set: SetId::Set1, mask: u128::MAX })],
             h: vec![(
                 addr(1, 1),
                 HRule {

@@ -12,13 +12,14 @@
 //! later slices activate when an incoming result snapshot's cursor matches.
 //! `newton_fin` captures an outgoing snapshot while slices remain.
 
+use crate::exec::{ExecPlan, ExecScratch, OpList};
 use crate::init::InitTable;
 use crate::layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
 use crate::modules::{HModule, InstallError, KModule, RModule, SModule, DEFAULT_RULE_CAPACITY};
 use crate::phv::{Phv, Report, SetId};
 use crate::resources::ResourceVector;
 use crate::rules::{QueryId, RuleSet};
-use newton_packet::{Packet, SnapshotHeader};
+use newton_packet::{FieldVector, Packet, SnapshotHeader};
 use std::collections::HashMap;
 
 /// Pipeline initialization parameters (the "P4 program" knobs).
@@ -81,7 +82,7 @@ impl SliceInfo {
 
 /// One module instance in a stage.
 #[derive(Debug, Clone)]
-enum Instance {
+pub(crate) enum Instance {
     K(KModule),
     H(HModule),
     S(SModule),
@@ -106,6 +107,22 @@ impl Instance {
             Instance::R(m) => m.rule_count(),
         }
     }
+
+    /// Append the table indices of this instance's rules belonging to
+    /// `query`, in table order (plan compilation).
+    fn push_rule_indices(&self, query: QueryId, out: &mut Vec<u32>) {
+        fn collect<R>(rules: &[R], out: &mut Vec<u32>, is_query: impl Fn(&R) -> bool) {
+            out.extend(
+                rules.iter().enumerate().filter(|(_, r)| is_query(r)).map(|(i, _)| i as u32),
+            );
+        }
+        match self {
+            Instance::K(m) => collect(m.rules(), out, |r| r.query == query),
+            Instance::H(m) => collect(m.rules(), out, |r| r.query == query),
+            Instance::S(m) => collect(m.rules(), out, |r| r.query == query),
+            Instance::R(m) => collect(m.rules(), out, |r| r.query == query),
+        }
+    }
 }
 
 /// Errors installing a rule set into a switch.
@@ -117,6 +134,11 @@ pub enum SwitchError {
     KindMismatch { addr: ModuleAddr, expected: ModuleKind, found: ModuleKind },
     /// The instance rejected the rule.
     Install(InstallError),
+    /// A CQE slice assignment would make snapshot-cursor dispatch
+    /// ambiguous: the result snapshot carries no query id, so at most one
+    /// slice may resume at each cursor, and a query's slice 0 may be
+    /// assigned at most once.
+    SliceConflict { query: QueryId, index: u8, existing: QueryId },
 }
 
 impl std::fmt::Display for SwitchError {
@@ -127,6 +149,11 @@ impl std::fmt::Display for SwitchError {
                 write!(f, "instance at {addr} is {found}, rule needs {expected}")
             }
             SwitchError::Install(e) => write!(f, "install failed: {e}"),
+            SwitchError::SliceConflict { query, index, existing } => write!(
+                f,
+                "slice {index} of query {query} conflicts with an existing slice of query \
+                 {existing}: snapshots carry no query id, so each resume cursor must be unique"
+            ),
         }
     }
 }
@@ -168,6 +195,11 @@ pub struct Switch {
     stages: Vec<Vec<Instance>>,
     slices: HashMap<QueryId, Vec<SliceInfo>>,
     forwarded: u64,
+    /// Compiled from `init`/`stages`/`slices` on every configuration
+    /// mutation; [`process`](Self::process) only reads it.
+    plan: ExecPlan,
+    /// Reusable buffers of the zero-allocation packet path.
+    scratch: ExecScratch,
 }
 
 impl Switch {
@@ -184,10 +216,13 @@ impl Switch {
                         ModuleKind::HashCalculation => {
                             Instance::H(HModule::new(config.rule_capacity))
                         }
-                        ModuleKind::StateBank => {
-                            Instance::S(SModule::new(config.rule_capacity, config.registers_per_array))
+                        ModuleKind::StateBank => Instance::S(SModule::new(
+                            config.rule_capacity,
+                            config.registers_per_array,
+                        )),
+                        ModuleKind::ResultProcess => {
+                            Instance::R(RModule::new(config.rule_capacity))
                         }
-                        ModuleKind::ResultProcess => Instance::R(RModule::new(config.rule_capacity)),
                     })
                     .collect()
             })
@@ -199,7 +234,19 @@ impl Switch {
             stages,
             slices: HashMap::new(),
             forwarded: 0,
+            plan: ExecPlan::default(),
+            scratch: ExecScratch::new(),
         }
+    }
+
+    /// Recompile the execution plan from the current configuration.
+    fn rebuild_plan(&mut self) {
+        let stage_slots: Vec<usize> = self.stages.iter().map(Vec::len).collect();
+        let stages = &self.stages;
+        self.plan =
+            ExecPlan::build(&self.init, &self.slices, &stage_slots, |stage, slot, q, out| {
+                stages[stage][slot].push_rule_indices(q, out)
+            });
     }
 
     pub fn config(&self) -> &PipelineConfig {
@@ -226,6 +273,7 @@ impl Switch {
                 self.remove_query(q);
             }
         }
+        self.rebuild_plan();
         result
     }
 
@@ -317,18 +365,52 @@ impl Switch {
             }
         }
         self.slices.remove(&query);
+        self.rebuild_plan();
         removed
     }
 
-    /// Assign one CQE slice of `query` to this switch (a switch may hold
-    /// several slices of one query at disjoint stage ranges).
-    pub fn add_slice(&mut self, query: QueryId, slice: SliceInfo) {
-        self.slices.entry(query).or_default().push(slice);
+    /// Find an assignment `slice` would clash with: a later slice resuming
+    /// at the same snapshot cursor (of *any* query — the snapshot carries
+    /// no query id, making such dispatch ambiguous), or a duplicate
+    /// slice-0 assignment of the same query. With `skip_own`, the query's
+    /// existing assignments are ignored (they are being replaced).
+    fn slice_conflict(&self, query: QueryId, slice: SliceInfo, skip_own: bool) -> Option<QueryId> {
+        for (&q, infos) in &self.slices {
+            if skip_own && q == query {
+                continue;
+            }
+            for info in infos {
+                let ambiguous_resume = slice.index > 0 && info.index == slice.index;
+                let duplicate_dispatch = slice.index == 0 && q == query && info.index == 0;
+                if ambiguous_resume || duplicate_dispatch {
+                    return Some(q);
+                }
+            }
+        }
+        None
     }
 
-    /// Replace all slice assignments of `query` with a single one.
-    pub fn set_slice(&mut self, query: QueryId, slice: SliceInfo) {
+    /// Assign one CQE slice of `query` to this switch (a switch may hold
+    /// several slices of one query at disjoint stage ranges). Rejects
+    /// assignments that would make snapshot-cursor dispatch ambiguous.
+    pub fn add_slice(&mut self, query: QueryId, slice: SliceInfo) -> Result<(), SwitchError> {
+        if let Some(existing) = self.slice_conflict(query, slice, false) {
+            return Err(SwitchError::SliceConflict { query, index: slice.index, existing });
+        }
+        self.slices.entry(query).or_default().push(slice);
+        self.rebuild_plan();
+        Ok(())
+    }
+
+    /// Replace all slice assignments of `query` with a single one. Rejects
+    /// assignments that would make snapshot-cursor dispatch ambiguous.
+    pub fn set_slice(&mut self, query: QueryId, slice: SliceInfo) -> Result<(), SwitchError> {
+        if let Some(existing) = self.slice_conflict(query, slice, true) {
+            return Err(SwitchError::SliceConflict { query, index: slice.index, existing });
+        }
         self.slices.insert(query, vec![slice]);
+        self.rebuild_plan();
+        Ok(())
     }
 
     /// The slice assignments for `query` (a whole query if unassigned).
@@ -435,21 +517,78 @@ impl Switch {
     pub fn process(&mut self, pkt: &Packet, sp_in: Option<&SnapshotHeader>) -> PipelineOutput {
         self.forwarded += 1;
         let mut out = PipelineOutput::default();
+        let fields = FieldVector::from_packet(pkt);
+        let ExecScratch { classify, cur, entry } = &mut self.scratch;
 
         match sp_in {
             None => {
                 // Slice-0 queries dispatched by newton_init.
+                self.init.classify_into(&fields, classify);
+                let mut continuation: Option<SnapshotHeader> = None;
+                let mut executed = false;
+                for &(query, branch_mask) in classify.iter() {
+                    let Some(d) = self.plan.slice0(query) else { continue };
+                    cur.reset(fields, query, 0);
+                    cur.active_branches = branch_mask;
+                    walk_ops(&mut self.stages, &d.ops, cur, entry);
+                    out.reports.append(&mut cur.reports);
+                    executed = true;
+                    if d.info.total > 1 && cur.any_active() {
+                        continuation = Some(cur.capture_snapshot(1, d.info.capture_set));
+                    }
+                }
+                out.snapshot = continuation.or(if executed { Some(DEAD_MARKER) } else { None });
+            }
+            Some(sp) => {
+                // The later slice resumed from the incoming snapshot
+                // cursor (unique by construction); by default the header
+                // passes through unchanged.
+                let mut next = *sp;
+                if let Some((query, d)) = self.plan.resume(sp.cursor) {
+                    cur.reset(fields, query, 0);
+                    cur.restore_snapshot(sp, d.info.restore_set);
+                    if !cur.any_active() {
+                        next = DEAD_MARKER;
+                    } else {
+                        walk_ops(&mut self.stages, &d.ops, cur, entry);
+                        out.reports.append(&mut cur.reports);
+                        next = if d.info.index + 1 < d.info.total && cur.any_active() {
+                            cur.capture_snapshot(d.info.index + 1, d.info.capture_set)
+                        } else {
+                            DEAD_MARKER
+                        };
+                    }
+                }
+                out.snapshot = Some(next);
+            }
+        }
+        out
+    }
+
+    /// The seed (pre-plan) packet path, retained as the behavioural
+    /// reference: re-derives dispatch from the mutable rule tables on
+    /// every packet and clones the PHV per stage. Equivalence proptests
+    /// and `--bench perf` compare [`process`](Self::process) against it.
+    pub fn process_reference(
+        &mut self,
+        pkt: &Packet,
+        sp_in: Option<&SnapshotHeader>,
+    ) -> PipelineOutput {
+        self.forwarded += 1;
+        let mut out = PipelineOutput::default();
+
+        match sp_in {
+            None => {
                 let mut continuation: Option<SnapshotHeader> = None;
                 let mut executed = false;
                 for (query, branch_mask) in self.init.classify(pkt) {
-                    let Some(info) =
-                        self.slices_of(query).into_iter().find(|i| i.index == 0)
+                    let Some(info) = self.slices_of(query).into_iter().find(|i| i.index == 0)
                     else {
                         continue;
                     };
                     let mut phv = Phv::new(pkt, query, 0);
                     phv.active_branches = branch_mask;
-                    self.walk(&mut phv, info.stages);
+                    self.walk_reference(&mut phv, info.stages);
                     out.reports.append(&mut phv.reports);
                     executed = true;
                     if info.total > 1 && phv.any_active() {
@@ -459,8 +598,6 @@ impl Switch {
                 out.snapshot = continuation.or(if executed { Some(DEAD_MARKER) } else { None });
             }
             Some(sp) => {
-                // Later slices resumed from the incoming snapshot; by
-                // default the header passes through unchanged.
                 let mut next = *sp;
                 let resume: Vec<(QueryId, SliceInfo)> = self
                     .slices
@@ -475,7 +612,7 @@ impl Switch {
                         next = DEAD_MARKER;
                         continue;
                     }
-                    self.walk(&mut phv, info.stages);
+                    self.walk_reference(&mut phv, info.stages);
                     out.reports.append(&mut phv.reports);
                     next = if info.index + 1 < info.total && phv.any_active() {
                         phv.capture_snapshot(info.index + 1, info.capture_set)
@@ -491,8 +628,9 @@ impl Switch {
 
     /// Walk the PHV through the stages in `range` with per-stage parallel
     /// semantics: every instance in a stage reads the stage-entry PHV and
-    /// writes into the stage-exit PHV.
-    fn walk(&mut self, phv: &mut Phv, range: (usize, usize)) {
+    /// writes into the stage-exit PHV. Seed implementation kept for
+    /// [`process_reference`](Self::process_reference).
+    fn walk_reference(&mut self, phv: &mut Phv, range: (usize, usize)) {
         let hi = range.1.min(self.stages.len());
         for stage in self.stages[range.0.min(hi)..hi].iter_mut() {
             if !phv.any_active() {
@@ -558,11 +696,39 @@ impl Switch {
     }
 }
 
+/// Walk the PHV through a compiled op list with per-stage parallel
+/// semantics: `entry` freezes the stage-entry state, every instance reads
+/// it and writes into `cur` — the zero-allocation double-buffered twin of
+/// [`Switch::walk_reference`]. Stages without ops for the query are
+/// skipped: no instance there holds a rule that could observe or alter
+/// this query's PHV.
+///
+/// Free function (not a method) so callers can hold disjoint borrows of
+/// the switch's plan, stages and scratch at once.
+fn walk_ops(stages: &mut [Vec<Instance>], ops: &OpList, cur: &mut Phv, entry: &mut Phv) {
+    for &(stage, lo, hi) in ops.runs() {
+        if !cur.any_active() {
+            break;
+        }
+        entry.copy_state_from(cur);
+        let insts = &mut stages[stage as usize];
+        for &(slot, rlo, rhi) in &ops.ops()[lo as usize..hi as usize] {
+            let idx = ops.rules(rlo, rhi);
+            match &mut insts[slot as usize] {
+                Instance::K(m) => m.execute_planned(idx, entry, cur),
+                Instance::H(m) => m.execute_planned(idx, entry, cur),
+                Instance::S(m) => m.execute_planned(idx, entry, cur),
+                Instance::R(m) => m.execute_planned(idx, entry, cur),
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::rules::{HashMode, HRule, InitRule, KRule, RAction, RMatch, RRule, SRule, SaluOp};
     use crate::rules::Operand;
+    use crate::rules::{HRule, HashMode, InitRule, KRule, RAction, RMatch, RRule, SRule, SaluOp};
     use newton_packet::{Field, PacketBuilder, TcpFlags};
 
     /// Hand-compile a tiny Q1-style query: count SYNs per dst, report ≥ 3.
@@ -701,8 +867,28 @@ mod tests {
         let mut b = Switch::new(PipelineConfig::default());
         a.install(&slice_a).unwrap();
         b.install(&slice_b).unwrap();
-        a.set_slice(1, SliceInfo { index: 0, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
-        b.set_slice(1, SliceInfo { index: 1, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+        a.set_slice(
+            1,
+            SliceInfo {
+                index: 0,
+                total: 2,
+                capture_set: SetId::Set1,
+                restore_set: SetId::Set1,
+                stages: (0, 12),
+            },
+        )
+        .unwrap();
+        b.set_slice(
+            1,
+            SliceInfo {
+                index: 1,
+                total: 2,
+                capture_set: SetId::Set1,
+                restore_set: SetId::Set1,
+                stages: (0, 12),
+            },
+        )
+        .unwrap();
 
         let mut reports = Vec::new();
         for _ in 0..3 {
@@ -740,6 +926,60 @@ mod tests {
             sw.process(&syn_to(5), None);
         }
         assert_eq!(sw.process(&syn_to(5), None).reports.len(), 1);
+    }
+
+    #[test]
+    fn conflicting_resume_cursors_rejected() {
+        // Regression: the seed `process` silently dropped the first
+        // query's continuation when two queries resumed at one cursor
+        // (the loop overwrote `next`). The ambiguity is now rejected at
+        // assignment time — the snapshot header carries no query id.
+        let slice = |index: u8, total: u8| SliceInfo {
+            index,
+            total,
+            capture_set: SetId::Set1,
+            restore_set: SetId::Set1,
+            stages: (0, 12),
+        };
+        let mut sw = Switch::new(PipelineConfig::default());
+        sw.set_slice(1, slice(1, 3)).unwrap();
+        let err = sw.add_slice(2, slice(1, 2)).unwrap_err();
+        assert!(
+            matches!(err, SwitchError::SliceConflict { query: 2, index: 1, existing: 1 }),
+            "cursor-1 resume already taken by query 1, got {err:?}"
+        );
+        assert!(sw.set_slice(2, slice(1, 2)).is_err(), "set_slice checks other queries too");
+
+        // Duplicate index of the SAME query is just as ambiguous.
+        assert!(sw.add_slice(1, slice(1, 3)).is_err());
+
+        // Distinct cursors and slice-0 assignments coexist fine.
+        sw.add_slice(1, slice(2, 3)).unwrap();
+        sw.set_slice(2, slice(0, 2)).unwrap();
+        sw.add_slice(3, slice(0, 2)).unwrap();
+        // Replacing a query's own assignment never self-conflicts.
+        sw.set_slice(1, slice(1, 3)).unwrap();
+    }
+
+    #[test]
+    fn planned_process_matches_reference() {
+        // Two switches with identical config: one runs the compiled-plan
+        // path, the other the seed path; outputs must be bit-identical.
+        let mut planned = Switch::new(PipelineConfig::default());
+        let mut reference = Switch::new(PipelineConfig::default());
+        planned.install(&tiny_q1(1)).unwrap();
+        reference.install(&tiny_q1(1)).unwrap();
+        for i in 0..8 {
+            let pkt = syn_to(i % 3);
+            let a = planned.process(&pkt, None);
+            let b = reference.process_reference(&pkt, None);
+            assert_eq!(a.reports, b.reports);
+            assert_eq!(a.snapshot, b.snapshot);
+        }
+        let s_addr = ModuleAddr { stage: 2, slot: 2 };
+        for idx in 0..16 {
+            assert_eq!(planned.read_register(s_addr, idx), reference.read_register(s_addr, idx));
+        }
     }
 
     #[test]

@@ -38,6 +38,12 @@ impl EventSchedule {
         self.events.len() - self.cursor
     }
 
+    /// Timestamp of the next unapplied event — the horizon up to which
+    /// batched delivery may run without [`advance`](Self::advance) firing.
+    pub fn next_ts(&self) -> Option<u64> {
+        self.events.get(self.cursor).map(|&(ts, _)| ts)
+    }
+
     /// Apply every event with `ts ≤ now_ns` to the router; returns how many
     /// fired.
     pub fn advance(&mut self, now_ns: u64, router: &mut Router) -> usize {

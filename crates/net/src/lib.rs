@@ -15,6 +15,6 @@ pub mod sim;
 pub mod topology;
 
 pub use events::{EventSchedule, NetworkEvent};
-pub use routing::{EcmpMode, Router};
-pub use sim::{DeliveryResult, LinkLoad, Network};
+pub use routing::{EcmpMode, RouteScratch, Router};
+pub use sim::{BatchDelivery, DeliveryResult, LinkKey, LinkLoad, Network};
 pub use topology::{NodeId, Topology};

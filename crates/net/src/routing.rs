@@ -20,6 +20,16 @@ pub enum EcmpMode {
     PairHash,
 }
 
+/// Reusable buffers for [`Router::path_into`]: BFS distances, the BFS
+/// queue and the ECMP candidate list survive across calls so steady-state
+/// routing performs no heap allocation.
+#[derive(Debug, Clone, Default)]
+pub struct RouteScratch {
+    dist: Vec<usize>,
+    queue: VecDeque<NodeId>,
+    candidates: Vec<NodeId>,
+}
+
 /// Routing over a topology with a mutable failure set.
 #[derive(Debug, Clone)]
 pub struct Router {
@@ -74,24 +84,45 @@ impl Router {
     /// by `flow`. Returns the node sequence including both endpoints, or
     /// `None` if disconnected.
     pub fn path(&self, src: NodeId, dst: NodeId, flow: &FlowKey) -> Option<Vec<NodeId>> {
+        let mut scratch = RouteScratch::default();
+        let mut out = Vec::new();
+        self.path_into(src, dst, flow, &mut scratch, &mut out).then_some(out)
+    }
+
+    /// No-alloc [`path`](Self::path): writes the node sequence into `out`
+    /// (cleared first) using `scratch`'s buffers, returning `false` if
+    /// disconnected. Bit-identical routing: same BFS discipline, same
+    /// candidate order, same ECMP tie-break.
+    pub fn path_into(
+        &self,
+        src: NodeId,
+        dst: NodeId,
+        flow: &FlowKey,
+        scratch: &mut RouteScratch,
+        out: &mut Vec<NodeId>,
+    ) -> bool {
+        out.clear();
         if src == dst {
-            return Some(vec![src]);
+            out.push(src);
+            return true;
         }
         // BFS from dst: dist[n] = hops to dst.
-        let n = self.topo.len();
-        let mut dist = vec![usize::MAX; n];
+        let RouteScratch { dist, queue, candidates } = scratch;
+        dist.clear();
+        dist.resize(self.topo.len(), usize::MAX);
         dist[dst] = 0;
-        let mut q = VecDeque::from([dst]);
-        while let Some(s) = q.pop_front() {
+        queue.clear();
+        queue.push_back(dst);
+        while let Some(s) = queue.pop_front() {
             for nb in self.live_neighbors(s) {
                 if dist[nb] == usize::MAX {
                     dist[nb] = dist[s] + 1;
-                    q.push_back(nb);
+                    queue.push_back(nb);
                 }
             }
         }
         if dist[src] == usize::MAX {
-            return None;
+            return false;
         }
         // Walk downhill, hashing per the ECMP mode for ties.
         let b = flow.to_bytes();
@@ -103,18 +134,18 @@ impl Router {
             }
             EcmpMode::PairHash => mix64(lo),
         };
-        let mut path = vec![src];
+        out.push(src);
         let mut cur = src;
         while cur != dst {
             let next_dist = dist[cur] - 1;
-            let candidates: Vec<NodeId> =
-                self.live_neighbors(cur).filter(|&nb| dist[nb] == next_dist).collect();
-            let pick = candidates
-                [(mix64(fk ^ (cur as u64).wrapping_mul(0xABCD)) % candidates.len() as u64) as usize];
-            path.push(pick);
+            candidates.clear();
+            candidates.extend(self.live_neighbors(cur).filter(|&nb| dist[nb] == next_dist));
+            let pick = candidates[(mix64(fk ^ (cur as u64).wrapping_mul(0xABCD))
+                % candidates.len() as u64) as usize];
+            out.push(pick);
             cur = pick;
         }
-        Some(path)
+        true
     }
 
     /// All switches on *any* live shortest path between two endpoints —
@@ -141,7 +172,9 @@ impl Router {
             return Vec::new();
         }
         let total = ds[dst];
-        (0..n).filter(|&v| ds[v] != usize::MAX && dd[v] != usize::MAX && ds[v] + dd[v] == total).collect()
+        (0..n)
+            .filter(|&v| ds[v] != usize::MAX && dd[v] != usize::MAX && ds[v] + dd[v] == total)
+            .collect()
     }
 }
 

@@ -6,10 +6,30 @@
 //! adjacent Newton hops and is stripped before the last hop hands the
 //! packet to the destination host (§5.1).
 
-use crate::routing::Router;
+use crate::routing::{RouteScratch, Router};
 use crate::topology::{NodeId, Topology};
 use newton_dataplane::{PipelineConfig, Report, Switch};
 use newton_packet::{Packet, SnapshotHeader};
+
+/// Canonical identifier of an undirected link: `LinkKey::new(a, b)` and
+/// `LinkKey::new(b, a)` name the same link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct LinkKey(NodeId, NodeId);
+
+impl LinkKey {
+    pub fn new(a: NodeId, b: NodeId) -> Self {
+        if a <= b {
+            LinkKey(a, b)
+        } else {
+            LinkKey(b, a)
+        }
+    }
+
+    /// The link's endpoints, in canonical order.
+    pub fn endpoints(self) -> (NodeId, NodeId) {
+        (self.0, self.1)
+    }
+}
 
 /// One delivered packet's observable outcome.
 #[derive(Debug, Clone)]
@@ -46,16 +66,42 @@ impl LinkLoad {
     }
 }
 
+/// Aggregate outcome of a batched delivery ([`Network::deliver_batch`]).
+#[derive(Debug, Clone, Default)]
+pub struct BatchDelivery {
+    /// Reports mirrored by each hop, tagged with the reporting switch, in
+    /// packet order.
+    pub reports: Vec<(NodeId, Report)>,
+    /// Snapshot bytes added on in-network links across the batch.
+    pub snapshot_bytes: usize,
+    /// Packets that reached their destination.
+    pub delivered: usize,
+    /// Packets dropped for lack of a route.
+    pub unrouted: usize,
+}
+
+/// Reusable buffers of the batched delivery path.
+#[derive(Debug, Default)]
+struct DeliverScratch {
+    route: RouteScratch,
+    path: Vec<NodeId>,
+    /// Per-hop `(link, payload, snapshot)` byte deltas, merged into the
+    /// link-load map once per batch — one map operation per distinct link
+    /// instead of one per hop per packet.
+    deltas: Vec<(LinkKey, u64, u64)>,
+}
+
 /// A simulated network of programmable switches.
 #[derive(Debug)]
 pub struct Network {
     router: Router,
     switches: Vec<Switch>,
-    link_load: std::collections::HashMap<(NodeId, NodeId), LinkLoad>,
+    link_load: std::collections::HashMap<LinkKey, LinkLoad>,
     /// Switches running Newton modules; the rest forward only (§7:
     /// "Newton supports partial deployment, and CQE only works in
     /// adjacent Newton-enabled switches").
     newton_enabled: Vec<bool>,
+    scratch: DeliverScratch,
 }
 
 impl Network {
@@ -67,6 +113,7 @@ impl Network {
             switches: (0..n).map(|_| Switch::new(pipeline)).collect(),
             link_load: std::collections::HashMap::new(),
             newton_enabled: vec![true; n],
+            scratch: DeliverScratch::default(),
         }
     }
 
@@ -84,8 +131,7 @@ impl Network {
 
     /// Byte counters of one (undirected) link.
     pub fn link_load(&self, a: NodeId, b: NodeId) -> LinkLoad {
-        let key = if a <= b { (a, b) } else { (b, a) };
-        self.link_load.get(&key).copied().unwrap_or_default()
+        self.link_load.get(&LinkKey::new(a, b)).copied().unwrap_or_default()
     }
 
     /// The worst snapshot-overhead fraction across all loaded links.
@@ -119,18 +165,71 @@ impl Network {
 
     /// Deliver one packet from the host behind `ingress` to the host
     /// behind `egress`. Every hop forwards unconditionally; monitoring is
-    /// a pure observer.
+    /// a pure observer. Thin wrapper over the batched path.
     pub fn deliver(&mut self, pkt: &Packet, ingress: NodeId, egress: NodeId) -> DeliveryResult {
-        let Some(path) = self.router.path(ingress, egress, &pkt.flow_key()) else {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let routed = self.router.path_into(
+            ingress,
+            egress,
+            &pkt.flow_key(),
+            &mut scratch.route,
+            &mut scratch.path,
+        );
+        if !routed {
+            self.scratch = scratch;
             return DeliveryResult {
                 path: Vec::new(),
                 reports: Vec::new(),
                 snapshot_bytes: 0,
                 clean_delivery: false,
             };
-        };
-
+        }
         let mut reports = Vec::new();
+        let snapshot_bytes = self.walk_path(pkt, &scratch.path, &mut reports, &mut scratch.deltas);
+        Self::flush_link_deltas(&mut self.link_load, &mut scratch.deltas);
+        let path = scratch.path.clone();
+        self.scratch = scratch;
+        DeliveryResult { path, reports, snapshot_bytes, clean_delivery: true }
+    }
+
+    /// Deliver a batch of `(packet, ingress, egress)` triples, reusing one
+    /// routing/path/link scratch set across the whole slice. Behaviour is
+    /// identical to calling [`deliver`](Self::deliver) per packet, in
+    /// order; only the aggregate outcome is returned.
+    pub fn deliver_batch(&mut self, batch: &[(&Packet, NodeId, NodeId)]) -> BatchDelivery {
+        let mut out = BatchDelivery::default();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for &(pkt, ingress, egress) in batch {
+            let routed = self.router.path_into(
+                ingress,
+                egress,
+                &pkt.flow_key(),
+                &mut scratch.route,
+                &mut scratch.path,
+            );
+            if !routed {
+                out.unrouted += 1;
+                continue;
+            }
+            out.snapshot_bytes +=
+                self.walk_path(pkt, &scratch.path, &mut out.reports, &mut scratch.deltas);
+            out.delivered += 1;
+        }
+        Self::flush_link_deltas(&mut self.link_load, &mut scratch.deltas);
+        self.scratch = scratch;
+        out
+    }
+
+    /// Walk one routed packet through its hops: execute Newton pipelines,
+    /// tag mirrored reports, and record per-link byte deltas. Returns the
+    /// snapshot bytes the packet put on the wire.
+    fn walk_path(
+        &mut self,
+        pkt: &Packet,
+        path: &[NodeId],
+        reports: &mut Vec<(NodeId, Report)>,
+        deltas: &mut Vec<(LinkKey, u64, u64)>,
+    ) -> usize {
         let mut snapshot: Option<SnapshotHeader> = None;
         let mut snapshot_bytes = 0usize;
         for (i, &hop) in path.iter().enumerate() {
@@ -143,20 +242,43 @@ impl Network {
             // untouched.
             // The snapshot travels on the wire to the next hop, if any.
             if i + 1 < path.len() {
-                let (a, b) = (hop.min(path[i + 1]), hop.max(path[i + 1]));
-                let load = self.link_load.entry((a, b)).or_default();
-                load.payload_bytes += pkt.wire_len as u64;
-                if snapshot.is_some() {
-                    load.snapshot_bytes += newton_packet::SP_HEADER_LEN as u64;
+                let sp = if snapshot.is_some() {
                     snapshot_bytes += newton_packet::SP_HEADER_LEN;
-                }
+                    newton_packet::SP_HEADER_LEN as u64
+                } else {
+                    0
+                };
+                deltas.push((LinkKey::new(hop, path[i + 1]), pkt.wire_len as u64, sp));
             }
         }
         // The last Newton hop strips the header before host delivery; a
         // dangling snapshot means the query wanted more switches than the
         // path had — the remainder defers to the analyzer (§5.2), and the
         // host still receives a clean packet.
-        DeliveryResult { path, reports, snapshot_bytes, clean_delivery: true }
+        snapshot_bytes
+    }
+
+    /// Merge accumulated per-hop byte deltas into the link-load map: sort
+    /// by link, then one map operation per distinct link.
+    fn flush_link_deltas(
+        link_load: &mut std::collections::HashMap<LinkKey, LinkLoad>,
+        deltas: &mut Vec<(LinkKey, u64, u64)>,
+    ) {
+        deltas.sort_unstable_by_key(|&(key, _, _)| key);
+        let mut i = 0;
+        while i < deltas.len() {
+            let key = deltas[i].0;
+            let (mut payload, mut snapshot) = (0u64, 0u64);
+            while i < deltas.len() && deltas[i].0 == key {
+                payload += deltas[i].1;
+                snapshot += deltas[i].2;
+                i += 1;
+            }
+            let load = link_load.entry(key).or_default();
+            load.payload_bytes += payload;
+            load.snapshot_bytes += snapshot;
+        }
+        deltas.clear();
     }
 
     /// Reset all stateful memory network-wide (epoch boundary).
@@ -181,7 +303,12 @@ mod tests {
     use newton_query::catalog;
 
     fn syn(dst: u32, sport: u16) -> Packet {
-        PacketBuilder::new().dst_ip(dst).src_ip(sport as u32).src_port(sport).tcp_flags(TcpFlags::SYN).build()
+        PacketBuilder::new()
+            .dst_ip(dst)
+            .src_ip(sport as u32)
+            .src_port(sport)
+            .tcp_flags(TcpFlags::SYN)
+            .build()
     }
 
     #[test]
@@ -232,8 +359,30 @@ mod tests {
         let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
         net.switch_mut(0).install(&first).unwrap();
         net.switch_mut(1).install(&second).unwrap();
-        net.switch_mut(0).set_slice(1, SliceInfo { index: 0, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
-        net.switch_mut(1).set_slice(1, SliceInfo { index: 1, total: 2, capture_set: SetId::Set1, restore_set: SetId::Set1, stages: (0, 12) });
+        net.switch_mut(0)
+            .set_slice(
+                1,
+                SliceInfo {
+                    index: 0,
+                    total: 2,
+                    capture_set: SetId::Set1,
+                    restore_set: SetId::Set1,
+                    stages: (0, 12),
+                },
+            )
+            .unwrap();
+        net.switch_mut(1)
+            .set_slice(
+                1,
+                SliceInfo {
+                    index: 1,
+                    total: 2,
+                    capture_set: SetId::Set1,
+                    restore_set: SetId::Set1,
+                    stages: (0, 12),
+                },
+            )
+            .unwrap();
 
         let mut reports = Vec::new();
         let mut sp_bytes = 0;
@@ -258,6 +407,53 @@ mod tests {
         let net = Network::new(Topology::chain(2), PipelineConfig::default());
         assert_eq!(net.link_load(0, 1), LinkLoad::default());
         assert_eq!(net.link_load(1, 0), net.link_load(0, 1), "undirected");
+    }
+
+    #[test]
+    fn link_key_is_undirected() {
+        assert_eq!(LinkKey::new(3, 7), LinkKey::new(7, 3));
+        assert_eq!(LinkKey::new(3, 7).endpoints(), (3, 7));
+        assert_eq!(LinkKey::new(5, 5).endpoints(), (5, 5));
+    }
+
+    #[test]
+    fn batch_delivery_matches_sequential() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let build = || {
+            let mut net = Network::new(Topology::fat_tree(4), PipelineConfig::default());
+            net.switch_mut(0).install(&compiled.rules).unwrap();
+            net
+        };
+        let topo = Topology::fat_tree(4);
+        let edges = topo.edge_switches();
+        let pkts: Vec<Packet> = (0..120u16).map(|i| syn(0xBEEF, 1000 + i)).collect();
+        let triples: Vec<(&Packet, NodeId, NodeId)> = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, edges[i % edges.len()], edges[(i + 3) % edges.len()]))
+            .collect();
+
+        let mut seq = build();
+        let mut seq_reports = Vec::new();
+        let mut seq_sp = 0usize;
+        for &(p, ig, eg) in &triples {
+            let r = seq.deliver(p, ig, eg);
+            seq_reports.extend(r.reports);
+            seq_sp += r.snapshot_bytes;
+        }
+
+        let mut bat = build();
+        let out = bat.deliver_batch(&triples);
+        assert_eq!(out.reports, seq_reports);
+        assert_eq!(out.snapshot_bytes, seq_sp);
+        assert_eq!(out.delivered, triples.len());
+        assert_eq!(out.unrouted, 0);
+        for a in 0..seq.switch_count() {
+            for b in a + 1..seq.switch_count() {
+                assert_eq!(seq.link_load(a, b), bat.link_load(a, b), "link ({a},{b})");
+            }
+        }
     }
 
     #[test]

@@ -24,7 +24,11 @@ pub struct Topology {
 impl Topology {
     /// Build an empty topology with `n` switches.
     pub fn new(name: impl Into<String>, n: usize) -> Self {
-        Topology { name: name.into(), adjacency: vec![BTreeSet::new(); n], edge_switches: Vec::new() }
+        Topology {
+            name: name.into(),
+            adjacency: vec![BTreeSet::new(); n],
+            edge_switches: Vec::new(),
+        }
     }
 
     pub fn name(&self) -> &str {
@@ -94,7 +98,7 @@ impl Topology {
     ///
     /// Node layout: cores `0..(k/2)²`, then per pod: aggs, then edges.
     pub fn fat_tree(k: usize) -> Topology {
-        assert!(k >= 2 && k % 2 == 0, "fat-tree arity must be even and >= 2");
+        assert!(k >= 2 && k.is_multiple_of(2), "fat-tree arity must be even and >= 2");
         let half = k / 2;
         let cores = half * half;
         let n = cores + k * k; // + k pods × (half agg + half edge) = k*k
@@ -134,11 +138,45 @@ impl Topology {
         // 20 Washington DC, 21 Philadelphia, 22 New York, 23 Boston,
         // 24 Cleveland.
         let links: &[(usize, usize)] = &[
-            (0, 2), (0, 1), (0, 4), (0, 6), (1, 3), (1, 7), (1, 9), (2, 4), (2, 6),
-            (3, 7), (4, 5), (5, 6), (6, 8), (7, 9), (8, 12), (8, 9), (8, 14), (9, 10),
-            (9, 12), (10, 11), (10, 16), (11, 7), (12, 13), (13, 14), (13, 15), (14, 24),
-            (14, 22), (15, 16), (16, 17), (16, 19), (17, 18), (19, 20), (20, 21), (21, 22),
-            (22, 23), (24, 20), (24, 22), (13, 16), (12, 15),
+            (0, 2),
+            (0, 1),
+            (0, 4),
+            (0, 6),
+            (1, 3),
+            (1, 7),
+            (1, 9),
+            (2, 4),
+            (2, 6),
+            (3, 7),
+            (4, 5),
+            (5, 6),
+            (6, 8),
+            (7, 9),
+            (8, 12),
+            (8, 9),
+            (8, 14),
+            (9, 10),
+            (9, 12),
+            (10, 11),
+            (10, 16),
+            (11, 7),
+            (12, 13),
+            (13, 14),
+            (13, 15),
+            (14, 24),
+            (14, 22),
+            (15, 16),
+            (16, 17),
+            (16, 19),
+            (17, 18),
+            (19, 20),
+            (20, 21),
+            (21, 22),
+            (22, 23),
+            (24, 20),
+            (24, 22),
+            (13, 16),
+            (12, 15),
         ];
         let mut t = Topology::new("isp-na-backbone", N);
         for &(a, b) in links {
@@ -159,8 +197,20 @@ impl Topology {
     /// New York=10. West-coast PoPs are edge switches.
     pub fn abilene() -> Topology {
         let links: &[(usize, usize)] = &[
-            (0, 1), (0, 3), (1, 2), (1, 3), (2, 5), (3, 4), (4, 5), (4, 7), (5, 8),
-            (6, 7), (6, 10), (7, 8), (8, 9), (9, 10),
+            (0, 1),
+            (0, 3),
+            (1, 2),
+            (1, 3),
+            (2, 5),
+            (3, 4),
+            (4, 5),
+            (4, 7),
+            (5, 8),
+            (6, 7),
+            (6, 10),
+            (7, 8),
+            (8, 9),
+            (9, 10),
         ];
         let mut t = Topology::new("abilene", 11);
         for &(a, b) in links {

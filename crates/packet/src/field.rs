@@ -60,6 +60,7 @@ impl Field {
 
     /// Offset of this field's least-significant bit within the global
     /// field vector.
+    #[inline]
     pub const fn shift(self) -> u32 {
         match self {
             Field::SrcIp => 96,
@@ -74,7 +75,7 @@ impl Field {
 
     /// A mask over the global field vector selecting this entire field.
     pub const fn mask(self) -> u128 {
-        (((1u128 << self.width()) - 1) << self.shift()) as u128
+        ((1u128 << self.width()) - 1) << self.shift()
     }
 
     /// A mask selecting only the top `prefix` bits of this field
@@ -115,6 +116,7 @@ pub struct FieldVector(pub u128);
 
 impl FieldVector {
     /// Extract the full global field vector from a parsed packet.
+    #[inline]
     pub fn from_packet(pkt: &Packet) -> Self {
         let mut v: u128 = 0;
         v |= (pkt.src_ip as u128) << Field::SrcIp.shift();
@@ -128,11 +130,13 @@ impl FieldVector {
     }
 
     /// Apply a 𝕂-style bit mask, concealing all unselected bits.
+    #[inline]
     pub const fn masked(self, mask: u128) -> Self {
         FieldVector(self.0 & mask)
     }
 
     /// Read one field's value out of the vector.
+    #[inline]
     pub const fn get(self, field: Field) -> u64 {
         ((self.0 >> field.shift()) & ((1u128 << field.width()) - 1)) as u64
     }

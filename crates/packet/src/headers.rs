@@ -250,7 +250,8 @@ mod tests {
 
     #[test]
     fn tcp_roundtrip() {
-        let h = TcpHeader { src_port: 443, dst_port: 55000, seq: 7, ack: 9, flags: 0x12, window: 1024 };
+        let h =
+            TcpHeader { src_port: 443, dst_port: 55000, seq: 7, ack: 9, flags: 0x12, window: 1024 };
         let mut buf = Vec::new();
         h.write(&mut buf);
         assert_eq!(buf.len(), TcpHeader::LEN);

@@ -240,10 +240,7 @@ mod tests {
 
     #[test]
     fn builder_clears_flags_for_non_tcp() {
-        let p = PacketBuilder::new()
-            .tcp_flags(TcpFlags::SYN)
-            .protocol(Protocol::Udp)
-            .build();
+        let p = PacketBuilder::new().tcp_flags(TcpFlags::SYN).protocol(Protocol::Udp).build();
         assert_eq!(p.tcp_flags, TcpFlags::NONE);
         assert!(!p.is_tcp_syn());
     }

@@ -109,7 +109,10 @@ impl Predicate {
     /// Evaluate against a packet's field vector.
     pub fn eval(&self, v: FieldVector) -> bool {
         let masked = v.masked(self.expr.mask());
-        self.op.eval(masked.get(self.expr.field), self.value << (self.expr.field.width() - self.expr.prefix))
+        self.op.eval(
+            masked.get(self.expr.field),
+            self.value << (self.expr.field.width() - self.expr.prefix),
+        )
     }
 }
 
@@ -212,9 +215,9 @@ impl Branch {
     pub fn report_keys(&self) -> Vec<FieldExpr> {
         for p in self.primitives.iter().rev() {
             match p {
-                Primitive::Reduce { keys, .. } | Primitive::Distinct(keys) | Primitive::Map(keys) => {
-                    return keys.clone()
-                }
+                Primitive::Reduce { keys, .. }
+                | Primitive::Distinct(keys)
+                | Primitive::Map(keys) => return keys.clone(),
                 _ => {}
             }
         }
@@ -226,7 +229,9 @@ impl Branch {
     pub fn front_filters(&self) -> usize {
         self.primitives
             .iter()
-            .take_while(|p| matches!(p, Primitive::Filter(preds) if preds.iter().all(|q| is_init_matchable(q))))
+            .take_while(
+                |p| matches!(p, Primitive::Filter(preds) if preds.iter().all(is_init_matchable)),
+            )
             .count()
     }
 }
@@ -237,7 +242,12 @@ pub fn is_init_matchable(p: &Predicate) -> bool {
     p.op == CmpOp::Eq
         && matches!(
             p.expr.field,
-            Field::SrcIp | Field::DstIp | Field::SrcPort | Field::DstPort | Field::Proto | Field::TcpFlags
+            Field::SrcIp
+                | Field::DstIp
+                | Field::SrcPort
+                | Field::DstPort
+                | Field::Proto
+                | Field::TcpFlags
         )
 }
 
@@ -318,9 +328,8 @@ impl Query {
         let eqs: Vec<Vec<(Field, u64)>> = self.branches.iter().map(front_eqs).collect();
         for i in 0..eqs.len() {
             for j in i + 1..eqs.len() {
-                let disjoint = eqs[i].iter().any(|(f, v)| {
-                    eqs[j].iter().any(|(g, w)| f == g && v != w)
-                });
+                let disjoint =
+                    eqs[i].iter().any(|(f, v)| eqs[j].iter().any(|(g, w)| f == g && v != w));
                 if !disjoint {
                     return false;
                 }
@@ -372,11 +381,8 @@ mod tests {
         let pkt = PacketBuilder::new().dst_ip(0xC0A80115).build();
         let v = FieldVector::from_packet(&pkt);
         // dip in 192.168.1.0/24
-        let p = Predicate {
-            expr: FieldExpr::prefix(Field::DstIp, 24),
-            op: CmpOp::Eq,
-            value: 0xC0A801,
-        };
+        let p =
+            Predicate { expr: FieldExpr::prefix(Field::DstIp, 24), op: CmpOp::Eq, value: 0xC0A801 };
         assert!(p.eval(v));
     }
 
@@ -394,7 +400,10 @@ mod tests {
         let b = Branch::new(vec![
             Primitive::Filter(vec![]),
             Primitive::Map(vec![FieldExpr::whole(Field::SrcIp)]),
-            Primitive::Reduce { keys: vec![FieldExpr::whole(Field::DstIp)], func: ReduceFunc::Count },
+            Primitive::Reduce {
+                keys: vec![FieldExpr::whole(Field::DstIp)],
+                func: ReduceFunc::Count,
+            },
             Primitive::ResultFilter { op: CmpOp::Ge, value: 10 },
         ]);
         assert_eq!(b.report_keys(), vec![FieldExpr::whole(Field::DstIp)]);

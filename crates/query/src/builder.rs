@@ -170,10 +170,7 @@ mod tests {
 
     #[test]
     fn single_branch_build() {
-        let q = QueryBuilder::new("t")
-            .filter_eq(Field::Proto, 17)
-            .map(&[Field::DstIp])
-            .build();
+        let q = QueryBuilder::new("t").filter_eq(Field::Proto, 17).map(&[Field::DstIp]).build();
         assert_eq!(q.branches.len(), 1);
         assert_eq!(q.primitive_count(), 2);
         assert_eq!(q.epoch_ms, 100);

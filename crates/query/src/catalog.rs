@@ -276,10 +276,8 @@ mod tests {
         // §6.4: front-filter replacement applies to 8 of 9 queries — all but
         // the super-spreader query, which starts with a map.
         let qs = all_queries();
-        let with_front = qs
-            .iter()
-            .filter(|q| q.branches.iter().all(|b| b.front_filters() > 0))
-            .count();
+        let with_front =
+            qs.iter().filter(|q| q.branches.iter().all(|b| b.front_filters() > 0)).count();
         assert_eq!(with_front, 8);
         assert_eq!(q3_super_spreader().branches[0].front_filters(), 0);
     }

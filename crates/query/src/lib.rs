@@ -23,9 +23,7 @@ pub mod interp;
 pub mod parse;
 pub mod validate;
 
-pub use ast::{
-    Branch, CmpOp, FieldExpr, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc,
-};
+pub use ast::{Branch, CmpOp, FieldExpr, Merge, MergeOp, Predicate, Primitive, Query, ReduceFunc};
 pub use builder::QueryBuilder;
 pub use interp::{EpochResult, Interpreter};
 pub use parse::{parse_query, to_text, ParseError};

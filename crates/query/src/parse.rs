@@ -120,11 +120,8 @@ impl<'a> Parser<'a> {
         let start = self.pos;
         // Hex (0x...) or decimal.
         let rest = &self.src[start..];
-        let (digits, radix, skip) = if let Some(hex) = rest.strip_prefix("0x") {
-            (hex, 16, 2)
-        } else {
-            (rest, 10, 0)
-        };
+        let (digits, radix, skip) =
+            if let Some(hex) = rest.strip_prefix("0x") { (hex, 16, 2) } else { (rest, 10, 0) };
         let len = digits
             .char_indices()
             .take_while(|(_, c)| c.is_ascii_hexdigit())
@@ -512,11 +509,9 @@ mod tests {
 
     #[test]
     fn parsed_queries_compile_and_validate() {
-        let q = parse_query(
-            "t",
-            "filter(proto == 17) | map(dip) | reduce(dip, count) | where >= 50",
-        )
-        .unwrap();
+        let q =
+            parse_query("t", "filter(proto == 17) | map(dip) | reduce(dip, count) | where >= 50")
+                .unwrap();
         assert!(crate::validate::validate(&q).is_empty());
     }
 
@@ -524,8 +519,8 @@ mod tests {
     fn catalog_roundtrips_through_text() {
         for q in catalog::all_queries() {
             let text = super::to_text(&q);
-            let back = parse_query(&q.name, &text)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{text}", q.name));
+            let back =
+                parse_query(&q.name, &text).unwrap_or_else(|e| panic!("{}: {e}\n{text}", q.name));
             assert_eq!(back, q, "{}:\n{text}", q.name);
         }
     }

@@ -130,10 +130,8 @@ pub fn validate(query: &Query) -> Vec<ValidationError> {
             .collect();
         for w in widths.windows(2) {
             if w[0] != w[1] {
-                errors.push(ValidationError::MergeKeyWidthMismatch {
-                    width_a: w[0],
-                    width_b: w[1],
-                });
+                errors
+                    .push(ValidationError::MergeKeyWidthMismatch { width_a: w[0], width_b: w[1] });
             }
         }
     }
@@ -159,10 +157,8 @@ mod tests {
 
     #[test]
     fn result_filter_without_aggregate_is_rejected() {
-        let q = QueryBuilder::new("bad")
-            .filter_eq(Field::Proto, 6)
-            .result_filter(CmpOp::Ge, 5)
-            .build();
+        let q =
+            QueryBuilder::new("bad").filter_eq(Field::Proto, 6).result_filter(CmpOp::Ge, 5).build();
         assert!(matches!(
             validate(&q)[..],
             [ValidationError::ResultFilterWithoutAggregate { branch: 0, primitive: 1 }]
@@ -172,9 +168,10 @@ mod tests {
     #[test]
     fn oversized_filter_value_is_rejected() {
         let q = QueryBuilder::new("bad").filter_eq(Field::Proto, 999).build();
-        assert!(validate(&q)
-            .iter()
-            .any(|e| matches!(e, ValidationError::ValueOverflowsField { width: 8, value: 999, .. })));
+        assert!(validate(&q).iter().any(|e| matches!(
+            e,
+            ValidationError::ValueOverflowsField { width: 8, value: 999, .. }
+        )));
     }
 
     #[test]
@@ -204,9 +201,10 @@ mod tests {
             .reduce(&[Field::DstPort], ReduceFunc::Count) // 16-bit key
             .merge_combine(MergeOp::Min, CmpOp::Ge, 1)
             .build();
-        assert!(validate(&q)
-            .iter()
-            .any(|e| matches!(e, ValidationError::MergeKeyWidthMismatch { width_a: 32, width_b: 16 })));
+        assert!(validate(&q).iter().any(|e| matches!(
+            e,
+            ValidationError::MergeKeyWidthMismatch { width_a: 32, width_b: 16 }
+        )));
     }
 
     #[test]

@@ -41,7 +41,9 @@ impl BloomFilter {
         let words = bits_per_array.div_ceil(32) as usize;
         BloomFilter {
             arrays: vec![vec![0u32; words]; k],
-            hashes: (0..k).map(|i| HashFn::new(seed.wrapping_add(i as u64), bits_per_array)).collect(),
+            hashes: (0..k)
+                .map(|i| HashFn::new(seed.wrapping_add(i as u64), bits_per_array))
+                .collect(),
             bits_per_array,
             inserted: 0,
         }
@@ -153,9 +155,7 @@ mod tests {
         }
         // Probe keys never inserted.
         let probes = 4000;
-        let fp = (0..probes)
-            .filter(|i| bf.contains(0xF000_0000_0000 + *i as u128))
-            .count();
+        let fp = (0..probes).filter(|i| bf.contains(0xF000_0000_0000 + *i as u128)).count();
         let measured = fp as f64 / probes as f64;
         let theory = bf.theoretical_fpr(600);
         assert!(

@@ -102,7 +102,8 @@ mod tests {
     #[test]
     fn never_underestimates() {
         let mut cm = CountMinSketch::new(3, 128, 77);
-        let keys: Vec<(u128, u32)> = (0..300).map(|i| (i as u128 * 131 + 7, (i % 5) as u32 + 1)).collect();
+        let keys: Vec<(u128, u32)> =
+            (0..300).map(|i| (i as u128 * 131 + 7, (i % 5) as u32 + 1)).collect();
         let mut truth = std::collections::HashMap::new();
         for &(k, c) in &keys {
             cm.update(k, c);

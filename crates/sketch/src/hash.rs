@@ -21,6 +21,7 @@ impl HashFn {
     ///
     /// # Panics
     /// Panics if `range == 0`.
+    #[inline]
     pub fn new(seed: u64, range: u32) -> Self {
         assert!(range >= 1, "hash output range must be >= 1");
         HashFn { seed, range }
@@ -37,6 +38,7 @@ impl HashFn {
     }
 
     /// Hash a 128-bit key (the masked global field vector) into `0..range`.
+    #[inline]
     pub fn hash(&self, key: u128) -> u32 {
         let h = mix128(key, self.seed);
         // Multiply-shift range reduction avoids modulo bias for power-of-two

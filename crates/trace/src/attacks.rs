@@ -182,14 +182,15 @@ pub fn inject(kind: AttackKind, spec: &InjectSpec, packets: &mut Vec<Packet>) ->
                 let client = CLIENT_BASE + rng.gen_range(0..4096);
                 let sport = rng.gen_range(1024..u16::MAX);
                 let t = ts(spec, i);
-                let base = PacketBuilder::new()
-                    .src_ip(client)
-                    .dst_ip(server)
-                    .src_port(sport)
-                    .dst_port(80);
+                let base =
+                    PacketBuilder::new().src_ip(client).dst_ip(server).src_port(sport).dst_port(80);
                 packets.push(base.clone().tcp_flags(TcpFlags::SYN).ts_ns(t).build());
                 packets.push(
-                    base.clone().tcp_flags(TcpFlags::ACK | TcpFlags::PSH).wire_len(700).ts_ns(t + 1000).build(),
+                    base.clone()
+                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                        .wire_len(700)
+                        .ts_ns(t + 1000)
+                        .build(),
                 );
                 packets.push(base.tcp_flags(TcpFlags::FIN | TcpFlags::ACK).ts_ns(t + 2000).build());
             }
@@ -286,10 +287,8 @@ mod tests {
     fn completed_conns_have_full_lifecycle() {
         let (_, pkts) = run(AttackKind::CompletedConns);
         let syns = pkts.iter().filter(|p| p.tcp_flags.is_pure_syn()).count();
-        let fins = pkts
-            .iter()
-            .filter(|p| p.tcp_flags.contains(TcpFlags::FIN | TcpFlags::ACK))
-            .count();
+        let fins =
+            pkts.iter().filter(|p| p.tcp_flags.contains(TcpFlags::FIN | TcpFlags::ACK)).count();
         assert_eq!(syns, fins);
         assert_eq!(pkts.len(), syns * 3);
     }

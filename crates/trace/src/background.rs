@@ -212,7 +212,8 @@ mod tests {
         let mut clients = HashSet::new();
         for p in &pkts {
             // One side is a client, the other a server (either direction).
-            let (c, s) = if p.src_ip >= SERVER_BASE { (p.dst_ip, p.src_ip) } else { (p.src_ip, p.dst_ip) };
+            let (c, s) =
+                if p.src_ip >= SERVER_BASE { (p.dst_ip, p.src_ip) } else { (p.src_ip, p.dst_ip) };
             assert!((CLIENT_BASE..CLIENT_BASE + cfg.clients).contains(&c), "client {c:#x}");
             assert!((SERVER_BASE..SERVER_BASE + cfg.servers).contains(&s), "server {s:#x}");
             clients.insert(c);

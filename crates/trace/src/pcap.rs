@@ -92,8 +92,7 @@ pub fn read_pcap<R: Read>(mut r: R) -> Result<Vec<Packet>, PcapError> {
         let incl = u32::from_le_bytes([rec[8], rec[9], rec[10], rec[11]]) as usize;
         let mut frame = vec![0u8; incl];
         r.read_exact(&mut frame)?;
-        let mut pkt =
-            wire::decode(&frame).map_err(|_| PcapError::BadFrame(idx))?.packet;
+        let mut pkt = wire::decode(&frame).map_err(|_| PcapError::BadFrame(idx))?.packet;
         pkt.ts_ns = ts_sec * 1_000_000_000 + ts_usec * 1_000;
         packets.push(pkt);
         idx += 1;
@@ -109,11 +108,8 @@ mod tests {
 
     #[test]
     fn roundtrip_preserves_headers_and_timestamps() {
-        let trace = Trace::background(&TraceConfig {
-            packets: 500,
-            flows: 40,
-            ..Default::default()
-        });
+        let trace =
+            Trace::background(&TraceConfig { packets: 500, flows: 40, ..Default::default() });
         let mut buf = Vec::new();
         write_pcap(&mut buf, trace.packets()).unwrap();
         let back = read_pcap(&buf[..]).unwrap();
@@ -138,7 +134,7 @@ mod tests {
 
     #[test]
     fn bad_magic_is_rejected() {
-        let garbage = vec![0u8; 40];
+        let garbage = [0u8; 40];
         assert!(matches!(read_pcap(&garbage[..]), Err(PcapError::BadMagic(0))));
     }
 

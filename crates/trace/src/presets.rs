@@ -49,7 +49,12 @@ mod tests {
     fn presets_differ_in_flow_density() {
         let c = caida_like(1, 20_000).stats();
         let m = mawi_like(1, 20_000).stats();
-        assert!(c.flows > m.flows, "CAIDA-like should have more flows ({} vs {})", c.flows, m.flows);
+        assert!(
+            c.flows > m.flows,
+            "CAIDA-like should have more flows ({} vs {})",
+            c.flows,
+            m.flows
+        );
     }
 
     #[test]

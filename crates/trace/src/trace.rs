@@ -160,7 +160,8 @@ mod tests {
 
     #[test]
     fn stats_count_protocols_and_flows() {
-        let cfg = TraceConfig { packets: 2_000, flows: 100, udp_fraction: 0.3, ..Default::default() };
+        let cfg =
+            TraceConfig { packets: 2_000, flows: 100, udp_fraction: 0.3, ..Default::default() };
         let trace = Trace::background(&cfg);
         let s = trace.stats();
         assert_eq!(s.packets, 2_000);

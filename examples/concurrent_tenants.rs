@@ -72,7 +72,10 @@ fn main() {
     // The Fig. 16 comparison at N = 1, 10, 100 concurrent clones of Q4.
     let q4 = catalog::q4_port_scan();
     println!("\nFig.16-style scaling (clones of Q4):");
-    println!("{:>5} {:>28} {:>28} {:>28}", "N", "Sonata (mod/stages)", "S-Newton (mod/stages)", "P-Newton (mod/stages)");
+    println!(
+        "{:>5} {:>28} {:>28} {:>28}",
+        "N", "Sonata (mod/stages)", "S-Newton (mod/stages)", "P-Newton (mod/stages)"
+    );
     for n in [1usize, 10, 50, 100] {
         let so = concurrent::sonata_chained(&q4, n);
         let s = concurrent::s_newton(&q4, n, &cfg);

@@ -46,7 +46,12 @@ fn main() {
     let injection = trace
         .inject(
             AttackKind::UdpDdos,
-            &InjectSpec { intensity: 3_000, start_ns: 0, window_ns: 250_000_000, ..Default::default() },
+            &InjectSpec {
+                intensity: 3_000,
+                start_ns: 0,
+                window_ns: 250_000_000,
+                ..Default::default()
+            },
         )
         .clone();
 

@@ -9,13 +9,13 @@
 //!
 //! [`NewtonSystem`]: newton::NewtonSystem
 
-use newton::packet::flow::fmt_ipv4;
 use newton::net::Topology;
+use newton::packet::flow::fmt_ipv4;
 use newton::query::catalog;
 use newton::trace::attacks::InjectSpec;
+use newton::trace::background::TraceConfig;
 use newton::trace::pcap;
 use newton::trace::{AttackKind, Trace};
-use newton::trace::background::TraceConfig;
 use newton::{HostMapping, NewtonSystem};
 
 fn main() {
@@ -39,7 +39,11 @@ fn main() {
             receipt.rules,
             receipt.switches,
             receipt.delay_ms,
-            if receipt.slices > 1 { format!(" ({} CQE slices)", receipt.slices) } else { String::new() },
+            if receipt.slices > 1 {
+                format!(" ({} CQE slices)", receipt.slices)
+            } else {
+                String::new()
+            },
         );
         names.insert(receipt.id, q.name.clone());
     }
@@ -58,7 +62,12 @@ fn main() {
     ] {
         trace.inject(
             kind,
-            &InjectSpec { intensity: 200, start_ns: start, window_ns: 80_000_000, ..Default::default() },
+            &InjectSpec {
+                intensity: 200,
+                start_ns: start,
+                window_ns: 80_000_000,
+                ..Default::default()
+            },
         );
     }
 
@@ -95,8 +104,7 @@ fn main() {
     // Verify the injected identities were all caught.
     for kind in [AttackKind::PortScan, AttackKind::SynFlood, AttackKind::DnsNoTcp] {
         for guilty in trace.guilty(kind) {
-            let caught =
-                report.reported.values().any(|keys| keys.contains(&(guilty as u64)));
+            let caught = report.reported.values().any(|keys| keys.contains(&(guilty as u64)));
             assert!(caught, "{kind:?} culprit {} missed", fmt_ipv4(guilty));
         }
     }

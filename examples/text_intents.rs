@@ -25,10 +25,7 @@ const INTENTS: &[(&str, &str)] = &[
         "filter(proto == 6) | filter(tcp.flags == 2) | map(sip, dport) \
          | distinct(sip, dport) | map(sip) | reduce(sip, count) | where >= 30",
     ),
-    (
-        "jumbo_senders",
-        "map(sip) | reduce(sip, max(len)) | where >= 1200",
-    ),
+    ("jumbo_senders", "map(sip) | reduce(sip, max(len)) | where >= 1200"),
 ];
 
 /// An intent with a bug, to show the validator at work.

@@ -1,0 +1,299 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no crates.io access, so this workspace vendors
+//! the property-testing API subset its tests use: the [`proptest!`] macro,
+//! [`Strategy`] with `prop_map`, range/tuple/`Just`/[`prop_oneof!`]
+//! strategies, `prop::collection::{vec, hash_set}`, `any::<T>()`, and the
+//! `prop_assert*` macros. Cases are generated from a deterministic
+//! per-test seed (derived from the test name) so failures reproduce; there
+//! is **no shrinking** — a failing case reports its exact inputs instead.
+//! Import paths match `proptest 1.x` so swapping the real crate back in is
+//! a one-line Cargo change.
+
+pub mod strategy;
+pub mod test_runner;
+
+pub mod collection {
+    //! `prop::collection` — sized collection strategies.
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::Range;
+
+    /// Strategy for `Vec`s with a length drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec<S::Value>` with length in `size`.
+    pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let len = rng.below_range(self.size.start, self.size.end);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// Strategy for `HashSet`s with a cardinality drawn from `size`.
+    #[derive(Debug, Clone)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: Range<usize>,
+    }
+
+    /// `HashSet<S::Value>` with cardinality in `size` (best effort: tiny
+    /// value domains may cap below the requested minimum).
+    pub fn hash_set<S: Strategy>(element: S, size: Range<usize>) -> HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        HashSetStrategy { element, size }
+    }
+
+    impl<S: Strategy> Strategy for HashSetStrategy<S>
+    where
+        S::Value: Hash + Eq,
+    {
+        type Value = HashSet<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let target = rng.below_range(self.size.start, self.size.end);
+            let mut out = HashSet::with_capacity(target);
+            // Bounded retries: duplicate draws must not hang on small domains.
+            let mut budget = target * 20 + 20;
+            while out.len() < target && budget > 0 {
+                out.insert(self.element.generate(rng));
+                budget -= 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything a test file needs, mirroring `proptest::prelude`.
+
+    pub use crate::strategy::{any, Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
+
+    pub mod prop {
+        pub use crate::collection;
+    }
+}
+
+/// Run each `#[test] fn name(arg in strategy, ...) { body }` against
+/// `Config::cases` generated inputs. No shrinking: failures print the case
+/// seed and the exact generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::proptest!(@impl ($cfg); $($rest)*);
+    };
+    (@impl ($cfg:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            for case in 0..config.cases {
+                let mut rng = $crate::test_runner::TestRng::for_case(stringify!($name), case);
+                $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                let inputs = format!(
+                    concat!($("  ", stringify!($arg), " = {:?}\n"),+),
+                    $(&$arg),+
+                );
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    Ok(())
+                })();
+                if let Err(e) = outcome {
+                    if e.is_rejection() {
+                        continue; // prop_assume! precondition unmet: skip.
+                    }
+                    panic!(
+                        "proptest {} failed at case {case}/{}:\n{e}\ninputs:\n{inputs}",
+                        stringify!($name),
+                        config.cases,
+                    );
+                }
+            }
+        }
+    )*};
+    ($($rest:tt)*) => {
+        $crate::proptest!(@impl ($crate::test_runner::Config::default()); $($rest)*);
+    };
+}
+
+/// Uniform choice between same-typed strategies.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$($strat),+])
+    };
+}
+
+/// Like `assert!`, but fails the property (with its inputs) instead of
+/// panicking outright.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_eq!`, but fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!("assertion failed: {:?} == {:?}", lhs, rhs),
+            ));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(lhs == rhs) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: {:?} == {:?}: {}",
+                    lhs,
+                    rhs,
+                    format!($($fmt)+)
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skip cases whose generated inputs don't satisfy a precondition. Unlike
+/// real proptest there is no global rejection cap — skipped cases simply
+/// don't count.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!("assumption failed: {}", stringify!($cond)),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Like `assert_ne!`, but fails the property instead of panicking.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if lhs == rhs {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(format!(
+                "assertion failed: {:?} != {:?}",
+                lhs, rhs
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn generation_is_deterministic_per_case() {
+        let s = (0u32..100, any::<bool>());
+        let mut a = crate::test_runner::TestRng::for_case("t", 3);
+        let mut b = crate::test_runner::TestRng::for_case("t", 3);
+        assert_eq!(s.generate(&mut a), s.generate(&mut b));
+    }
+
+    #[test]
+    fn union_and_map_compose() {
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)].prop_map(|x| x * 10);
+        let mut rng = crate::test_runner::TestRng::for_case("u", 0);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!([10, 20, 30].contains(&v));
+        }
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let s = crate::collection::vec(any::<u8>(), 3..7);
+        let mut rng = crate::test_runner::TestRng::for_case("v", 1);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((3..7).contains(&v.len()));
+        }
+        let hs = crate::collection::hash_set(any::<u64>(), 5..9);
+        for _ in 0..20 {
+            let set = hs.generate(&mut rng);
+            assert!((5..9).contains(&set.len()));
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+        /// The macro itself: ranges stay in bounds, asserts work.
+        #[test]
+        fn macro_end_to_end(x in 1u32..50, flip in any::<bool>(), v in prop::collection::vec(0u8..4, 0..10)) {
+            prop_assert!((1..50).contains(&x), "x out of range: {x}");
+            let negated = !flip;
+            prop_assert_eq!(flip, !negated);
+            for b in &v {
+                prop_assert!(*b < 4);
+            }
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn default_config_runs(seed in 0u64..1000) {
+            prop_assert!(seed < 1000);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inputs")]
+    fn failing_case_reports_inputs() {
+        // No #[test] meta: the runner fn is invoked directly (attribute
+        // collection can't see items nested inside a function).
+        proptest! {
+            fn inner(x in 0u32..10) {
+                prop_assert!(x > 100, "forced failure");
+            }
+        }
+        inner();
+    }
+}

@@ -1,0 +1,92 @@
+//! Case execution plumbing: config, rng, and the test-case error type.
+
+/// How many cases each property runs (`#![proptest_config(...)]`).
+#[derive(Debug, Clone)]
+pub struct Config {
+    pub cases: u32,
+}
+
+impl Config {
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config { cases: 256 }
+    }
+}
+
+/// A failed or rejected property case. Produced by the `prop_assert*` /
+/// `prop_assume!` macros; the `proptest!` runner panics on failures (with
+/// the generated inputs attached) and silently skips rejections.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TestCaseError {
+    reason: String,
+    rejected: bool,
+}
+
+impl TestCaseError {
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError { reason: reason.into(), rejected: false }
+    }
+
+    /// A case whose inputs don't satisfy a `prop_assume!` precondition;
+    /// the runner skips it rather than failing the property.
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError { reason: reason.into(), rejected: true }
+    }
+
+    /// Whether this case was rejected (vs failed).
+    pub fn is_rejection(&self) -> bool {
+        self.rejected
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.reason.fmt(f)
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
+/// Deterministic per-case generator: seeded from (test name, case index)
+/// so every failure reproduces by rerunning the test.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    pub fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the name, mixed with the case index.
+        let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+        for b in test_name.bytes() {
+            h = (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        TestRng { state: h ^ (case as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) }
+    }
+
+    /// SplitMix64 step.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0);
+        self.next_u64() % n
+    }
+
+    /// Uniform in `[lo, hi)`.
+    pub fn below_range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "empty size range");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+}

@@ -49,11 +49,8 @@ fn unmonitored_traffic_carries_no_snapshot_bytes() {
     // Q5 monitors UDP only; TCP traffic must stay header-free.
     ctl.install(&catalog::q5_udp_ddos(), &mut net, 12).unwrap();
     for i in 0..500u16 {
-        let pkt = PacketBuilder::new()
-            .src_port(1000 + i)
-            .tcp_flags(TcpFlags::ACK)
-            .wire_len(1500)
-            .build();
+        let pkt =
+            PacketBuilder::new().src_port(1000 + i).tcp_flags(TcpFlags::ACK).wire_len(1500).build();
         net.deliver(&pkt, 0, 2);
     }
     assert_eq!(net.peak_link_overhead(), 0.0, "TCP packets must not carry the SP header");

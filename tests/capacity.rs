@@ -90,8 +90,10 @@ fn resource_usage_grows_with_rules_and_stays_normalized_sane() {
     use newton::dataplane::resources::SWITCH_P4_REFERENCE;
     let mut sw = Switch::new(PipelineConfig::default());
     let empty = sw.resource_usage();
-    sw.install(&compile(&newton::query::catalog::q4_port_scan(), 1, &CompilerConfig::default()).rules)
-        .unwrap();
+    sw.install(
+        &compile(&newton::query::catalog::q4_port_scan(), 1, &CompilerConfig::default()).rules,
+    )
+    .unwrap();
     let loaded = sw.resource_usage();
     assert!(loaded.sram > empty.sram, "rules add amortized SRAM share");
     // Whole Newton deployment (layout + one heavy query) must fit the

@@ -12,9 +12,9 @@ use newton::dataplane::{PipelineConfig, Switch};
 use newton::packet::Packet;
 use newton::query::ast::Query;
 use newton::query::{catalog, Interpreter};
-use newton::trace::{AttackKind, Trace};
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
+use newton::trace::{AttackKind, Trace};
 use std::collections::HashSet;
 
 /// Run one epoch of `packets` through both the interpreter and a freshly
@@ -79,11 +79,7 @@ fn data_plane_matches_reference_for_dp_complete_queries() {
             "{}: workload failed to trigger the reference query",
             query.name
         );
-        assert_eq!(
-            reported, reference,
-            "{}: data plane and reference disagree",
-            query.name
-        );
+        assert_eq!(reported, reference, "{}: data plane and reference disagree", query.name);
     }
 }
 
@@ -102,9 +98,13 @@ fn injected_attacks_are_detected_on_the_data_plane() {
             duration_ms: 100,
             ..Default::default()
         });
-        let guilty =
-            trace.inject(attack, &InjectSpec { intensity: 200, window_ns: 90_000_000, ..Default::default() }).guilty;
-        let (_, reported) = run_both(&query, &trace.packets().to_vec());
+        let guilty = trace
+            .inject(
+                attack,
+                &InjectSpec { intensity: 200, window_ns: 90_000_000, ..Default::default() },
+            )
+            .guilty;
+        let (_, reported) = run_both(&query, trace.packets());
         assert!(
             reported.contains(&(guilty as u64)),
             "{}: injected {:?} victim {:#x} not reported",
@@ -126,7 +126,7 @@ fn quiet_background_produces_no_reports() {
         ..Default::default()
     });
     for query in [catalog::q4_port_scan(), catalog::q5_udp_ddos(), catalog::q6_syn_flood()] {
-        let (reference, reported) = run_both(&query, &trace.packets().to_vec());
+        let (reference, reported) = run_both(&query, trace.packets());
         assert!(reference.is_empty(), "{}: reference fired on background", query.name);
         assert!(reported.is_empty(), "{}: data plane fired on background", query.name);
     }

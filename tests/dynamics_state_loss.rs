@@ -43,13 +43,19 @@ fn mid_epoch_reroute_fragments_state() {
     // Half the flood, then a failure on the used path, then the other half.
     let mut reports = 0;
     for i in 0..threshold / 2 {
-        reports += net.deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress).reports.len();
+        reports += net
+            .deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress)
+            .reports
+            .len();
     }
     let probe = syn(1, victim, 1);
     let path = net.router().path(ingress, egress, &probe.flow_key()).unwrap();
     net.router_mut().fail_link(path[1], path[2]);
     for i in threshold / 2..threshold {
-        reports += net.deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress).reports.len();
+        reports += net
+            .deliver(&syn(0x0A000000 + i as u32, victim, 1000 + i), ingress, egress)
+            .reports
+            .len();
     }
     // The counts split across the old and new ingress-edge replicas of the
     // query state... except Q1's state lives at the INGRESS edge switch,
@@ -79,8 +85,10 @@ fn ingress_change_loses_the_epoch_but_recovers() {
     let mut reports = 0;
     for i in 0..threshold {
         let ingress = if i < threshold / 2 { in_a } else { in_b };
-        reports +=
-            net.deliver(&syn(0x0B000000 + i as u32, victim, 2000 + i), ingress, egress).reports.len();
+        reports += net
+            .deliver(&syn(0x0B000000 + i as u32, victim, 2000 + i), ingress, egress)
+            .reports
+            .len();
     }
     assert_eq!(reports, 0, "fragmented state must miss the threshold (documented loss)");
 

@@ -15,10 +15,10 @@ use std::collections::HashSet;
 fn arb_stream() -> impl Strategy<Value = Vec<Packet>> {
     prop::collection::vec(
         (
-            0u32..6,   // src hosts
-            0u32..6,   // dst hosts
-            0u16..8,   // src ports
-            0u16..4,   // dst ports
+            0u32..6,       // src hosts
+            0u32..6,       // dst hosts
+            0u16..8,       // src ports
+            0u16..4,       // dst ports
             any::<bool>(), // tcp?
             prop_oneof![Just(0u8), Just(0x02), Just(0x10), Just(0x11), Just(0x12)],
             64u16..512,

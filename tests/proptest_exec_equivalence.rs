@@ -1,0 +1,247 @@
+//! Old-vs-new equivalence: the compiled [`ExecPlan`] packet path and the
+//! batched delivery API must be bit-identical to the seed semantics.
+//!
+//! Two properties over random queries, topologies and traces:
+//!
+//! 1. `Switch::process` (plan + scratch) ≡ `Switch::process_reference`
+//!    (per-packet dispatch rebuild + per-stage PHV clone), for whole and
+//!    CQE-sliced queries: same reports, same snapshot headers, same
+//!    register state.
+//! 2. `Network::deliver_batch` ≡ sequential `Network::deliver`: same
+//!    reports, same snapshot bytes, same per-link load counters.
+
+use newton::compiler::{compile, compile_sliced, CompilerConfig};
+use newton::dataplane::{PipelineConfig, SliceInfo, Switch};
+use newton::net::{Network, NodeId, Topology};
+use newton::packet::Field;
+use newton::packet::{Packet, PacketBuilder, Protocol, TcpFlags};
+use newton::query::ast::{CmpOp, Query, ReduceFunc};
+use newton::query::QueryBuilder;
+use proptest::prelude::*;
+
+/// Packets from a small universe so counts actually accumulate.
+fn arb_stream() -> impl Strategy<Value = Vec<Packet>> {
+    prop::collection::vec(
+        (
+            0u32..6,
+            0u32..6,
+            0u16..8,
+            0u16..4,
+            any::<bool>(),
+            prop_oneof![Just(0u8), Just(0x02), Just(0x10), Just(0x11), Just(0x12)],
+            64u16..512,
+        )
+            .prop_map(|(s, d, sp, dp, tcp, flags, len)| {
+                let mut b = PacketBuilder::new()
+                    .src_ip(0x0A00_0000 + s)
+                    .dst_ip(0xAC10_0000 + d)
+                    .src_port(1000 + sp)
+                    .dst_port(if dp == 0 { 80 } else { 8000 + dp })
+                    .wire_len(len);
+                if tcp {
+                    b = b.protocol(Protocol::Tcp).tcp_flags(TcpFlags::from_bits(flags));
+                } else {
+                    b = b.protocol(Protocol::Udp);
+                }
+                b.build()
+            }),
+        20..300,
+    )
+}
+
+#[derive(Debug, Clone)]
+struct QuerySpec {
+    filter_tcp: bool,
+    key: Field,
+    distinct: bool,
+    sum_len: bool,
+    threshold: u64,
+}
+
+fn arb_query() -> impl Strategy<Value = QuerySpec> {
+    (
+        any::<bool>(),
+        prop_oneof![Just(Field::SrcIp), Just(Field::DstIp), Just(Field::DstPort)],
+        any::<bool>(),
+        any::<bool>(),
+        1u64..25,
+    )
+        .prop_map(|(filter_tcp, key, distinct, sum_len, threshold)| QuerySpec {
+            filter_tcp,
+            key,
+            distinct,
+            sum_len,
+            threshold,
+        })
+}
+
+fn build(spec: &QuerySpec, name: &str) -> Query {
+    let mut b = QueryBuilder::new(name);
+    if spec.filter_tcp {
+        b = b.filter_eq(Field::Proto, 6);
+    }
+    b = b.map(&[spec.key]);
+    if spec.distinct {
+        b = b.distinct(&[spec.key, Field::SrcPort]);
+    }
+    let (func, threshold) = if spec.sum_len {
+        (ReduceFunc::SumField(Field::PktLen), spec.threshold * 200)
+    } else {
+        (ReduceFunc::Count, spec.threshold)
+    };
+    b.reduce(&[spec.key], func).result_filter(CmpOp::Ge, threshold).build()
+}
+
+const BIG_REGS: usize = 1 << 20;
+
+fn pipeline() -> PipelineConfig {
+    PipelineConfig { registers_per_array: BIG_REGS, ..Default::default() }
+}
+
+fn compiler_cfg() -> CompilerConfig {
+    CompilerConfig { registers_per_array: BIG_REGS as u32, ..Default::default() }
+}
+
+/// Assert both switches expose identical 𝕊 register state at the rule
+/// addresses of `rules`, sampling a spread of indices.
+fn assert_registers_eq(planned: &Switch, reference: &Switch, rules: &newton::dataplane::RuleSet) {
+    for (addr, _) in &rules.s {
+        for idx in (0..BIG_REGS).step_by(BIG_REGS / 64) {
+            assert_eq!(
+                planned.read_register(*addr, idx),
+                reference.read_register(*addr, idx),
+                "register {addr:?}[{idx}] diverged"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+    #[test]
+    fn planned_process_matches_reference_whole(
+        specs in prop::collection::vec(arb_query(), 1..3),
+        stream in arb_stream(),
+    ) {
+        let mut planned = Switch::new(pipeline());
+        let mut reference = Switch::new(pipeline());
+        let mut rulesets = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let compiled = compile(&build(spec, "prop"), i as u32 + 1, &compiler_cfg());
+            planned.install(&compiled.rules).unwrap();
+            reference.install(&compiled.rules).unwrap();
+            rulesets.push(compiled.rules);
+        }
+        for pkt in &stream {
+            let a = planned.process(pkt, None);
+            let b = reference.process_reference(pkt, None);
+            prop_assert_eq!(&a.reports, &b.reports, "reports diverged on {:?}", pkt);
+            prop_assert_eq!(a.snapshot, b.snapshot, "snapshot diverged on {:?}", pkt);
+        }
+        for rules in &rulesets {
+            assert_registers_eq(&planned, &reference, rules);
+        }
+    }
+
+    #[test]
+    fn planned_process_matches_reference_sliced(
+        spec in arb_query(),
+        stream in arb_stream(),
+        budget in 2usize..5,
+    ) {
+        // CQE: slice one query over a chain of switches; each hop's planned
+        // pipeline must mirror its reference twin, snapshot headers
+        // included.
+        let sliced = compile_sliced(&build(&spec, "prop"), 1, &compiler_cfg(), budget);
+        let n = sliced.slice_count();
+        prop_assume!(n >= 2);
+        let mut planned: Vec<Switch> = (0..n).map(|_| Switch::new(pipeline())).collect();
+        let mut reference: Vec<Switch> = (0..n).map(|_| Switch::new(pipeline())).collect();
+        for i in 0..n {
+            let info = SliceInfo {
+                index: i as u8,
+                total: n as u8,
+                capture_set: sliced.capture_sets[i],
+                restore_set: if i == 0 { sliced.capture_sets[0] } else { sliced.capture_sets[i - 1] },
+                stages: (0, 12),
+            };
+            planned[i].install(&sliced.slices[i]).unwrap();
+            planned[i].set_slice(1, info).unwrap();
+            reference[i].install(&sliced.slices[i]).unwrap();
+            reference[i].set_slice(1, info).unwrap();
+        }
+        for pkt in &stream {
+            let mut sp_a = None;
+            let mut sp_b = None;
+            for i in 0..n {
+                let a = planned[i].process(pkt, sp_a.as_ref());
+                let b = reference[i].process_reference(pkt, sp_b.as_ref());
+                prop_assert_eq!(&a.reports, &b.reports, "hop {} reports diverged", i);
+                prop_assert_eq!(a.snapshot, b.snapshot, "hop {} snapshot diverged", i);
+                sp_a = a.snapshot;
+                sp_b = b.snapshot;
+            }
+        }
+        for i in 0..n {
+            assert_registers_eq(&planned[i], &reference[i], &sliced.slices[i]);
+        }
+    }
+
+    #[test]
+    fn deliver_batch_matches_sequential_deliver(
+        specs in prop::collection::vec(arb_query(), 1..3),
+        stream in arb_stream(),
+        topo_pick in 0usize..3,
+        endpoint_seed in any::<u64>(),
+    ) {
+        let make_topo = || match topo_pick {
+            0 => Topology::chain(3),
+            1 => Topology::chain(5),
+            _ => Topology::fat_tree(4),
+        };
+        let topo = make_topo();
+        let edges = topo.edge_switches();
+        let build_net = || {
+            let mut net = Network::new(make_topo(), pipeline());
+            // Spread the queries over the edge switches.
+            for (i, spec) in specs.iter().enumerate() {
+                let compiled = compile(&build(spec, "prop"), i as u32 + 1, &compiler_cfg());
+                let sw = edges[i % edges.len()];
+                net.switch_mut(sw).install(&compiled.rules).unwrap();
+            }
+            net
+        };
+        let pick = |i: usize, salt: u64| {
+            edges[((endpoint_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64 + salt))
+                % edges.len() as u64) as usize]
+        };
+        let triples: Vec<(&Packet, NodeId, NodeId)> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, pick(i, 1), pick(i, 2)))
+            .collect();
+
+        let mut seq = build_net();
+        let mut seq_reports = Vec::new();
+        let mut seq_sp = 0usize;
+        let mut seq_delivered = 0usize;
+        for &(p, ig, eg) in &triples {
+            let r = seq.deliver(p, ig, eg);
+            seq_reports.extend(r.reports);
+            seq_sp += r.snapshot_bytes;
+            seq_delivered += usize::from(r.clean_delivery);
+        }
+
+        let mut bat = build_net();
+        let out = bat.deliver_batch(&triples);
+        prop_assert_eq!(&out.reports, &seq_reports);
+        prop_assert_eq!(out.snapshot_bytes, seq_sp);
+        prop_assert_eq!(out.delivered, seq_delivered);
+        prop_assert_eq!(out.unrouted, triples.len() - seq_delivered);
+        for a in 0..seq.switch_count() {
+            for b in a + 1..seq.switch_count() {
+                prop_assert_eq!(seq.link_load(a, b), bat.link_load(a, b), "link ({}, {})", a, b);
+            }
+        }
+    }
+}

@@ -2,7 +2,9 @@
 //! compiler, on randomized inputs.
 
 use newton::compiler::{compile, compile_sliced, CompilerConfig, OptLevel};
-use newton::packet::{Field, FieldVector, Packet, PacketBuilder, Protocol, SnapshotHeader, TcpFlags};
+use newton::packet::{
+    Field, FieldVector, Packet, PacketBuilder, Protocol, SnapshotHeader, TcpFlags,
+};
 use newton::query::ast::{CmpOp, ReduceFunc};
 use newton::query::QueryBuilder;
 use newton::sketch::{BloomFilter, CountMinSketch};
@@ -50,7 +52,7 @@ proptest! {
     /// Wire encode/decode is lossless, snapshot or not.
     #[test]
     fn frames_roundtrip(pkt in arb_packet(), with_sp in any::<bool>(), cursor in 0u8..5) {
-        let sp = with_sp.then(|| SnapshotHeader {
+        let sp = with_sp.then_some(SnapshotHeader {
             cursor,
             active_mask: 0b111,
             hash_result: 42,
@@ -182,9 +184,18 @@ proptest! {
 
 /// A single arbitrary packet (shared by the pcap roundtrip property).
 fn arb_stream_packet() -> impl Strategy<Value = Packet> {
-    (any::<u32>(), any::<u32>(), any::<u16>(), any::<u16>(), any::<bool>(), any::<u8>(), 64u16..1514)
+    (
+        any::<u32>(),
+        any::<u32>(),
+        any::<u16>(),
+        any::<u16>(),
+        any::<bool>(),
+        any::<u8>(),
+        64u16..1514,
+    )
         .prop_map(|(s, d, sp, dp, tcp, flags, len)| {
-            let mut b = PacketBuilder::new().src_ip(s).dst_ip(d).src_port(sp).dst_port(dp).wire_len(len);
+            let mut b =
+                PacketBuilder::new().src_ip(s).dst_ip(d).src_port(sp).dst_port(dp).wire_len(len);
             if tcp {
                 b = b.tcp_flags(TcpFlags::from_bits(flags & 0x3F));
             } else {

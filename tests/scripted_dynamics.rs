@@ -32,25 +32,16 @@ fn scan_detected_in_epochs_before_and_after_a_failure() {
     );
     trace.inject(
         AttackKind::PortScan,
-        &InjectSpec {
-            seed: 9,
-            intensity: 100,
-            start_ns: 100_000_000,
-            window_ns: 90_000_000,
-        },
+        &InjectSpec { seed: 9, intensity: 100, start_ns: 100_000_000, window_ns: 90_000_000 },
     );
     let scanner = *trace.guilty(AttackKind::PortScan).iter().next().unwrap();
 
     // Find the link the scan currently uses and schedule its death.
-    let probe = trace
-        .packets()
-        .iter()
-        .find(|p| p.src_ip == scanner)
-        .expect("scan packets exist")
-        .clone();
+    let probe =
+        trace.packets().iter().find(|p| p.src_ip == scanner).expect("scan packets exist").clone();
     let path = sys.network().router().path(ingress, egress, &probe.flow_key()).unwrap();
-    let mut events = EventSchedule::new()
-        .at(100_000_000, NetworkEvent::FailLink { a: path[1], b: path[2] });
+    let mut events =
+        EventSchedule::new().at(100_000_000, NetworkEvent::FailLink { a: path[1], b: path[2] });
 
     let report = sys.run_trace_with_events(&trace, 100, &mut events);
     assert_eq!(report.epochs, 2);

@@ -20,20 +20,22 @@ fn cqe_over_serialized_frames() {
         (0..sliced.slice_count()).map(|_| Switch::new(PipelineConfig::default())).collect();
     for (i, rules) in sliced.slices.iter().enumerate() {
         switches[i].install(rules).unwrap();
-        switches[i].set_slice(
-            1,
-            SliceInfo {
-                index: i as u8,
-                total: sliced.slice_count() as u8,
-                capture_set: sliced.capture_sets[i],
-                restore_set: if i == 0 {
-                    sliced.capture_sets[0]
-                } else {
-                    sliced.capture_sets[i - 1]
+        switches[i]
+            .set_slice(
+                1,
+                SliceInfo {
+                    index: i as u8,
+                    total: sliced.slice_count() as u8,
+                    capture_set: sliced.capture_sets[i],
+                    restore_set: if i == 0 {
+                        sliced.capture_sets[0]
+                    } else {
+                        sliced.capture_sets[i - 1]
+                    },
+                    stages: (0, 12),
                 },
-                stages: (0, 12),
-            },
-        );
+            )
+            .unwrap();
     }
 
     let mut reports = 0usize;
