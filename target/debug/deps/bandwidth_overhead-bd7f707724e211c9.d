@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/bandwidth_overhead-bd7f707724e211c9.d: tests/bandwidth_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbandwidth_overhead-bd7f707724e211c9.rmeta: tests/bandwidth_overhead.rs Cargo.toml
+
+tests/bandwidth_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/bandwidth_overhead-fa457a2f260e6b66.d: tests/bandwidth_overhead.rs
+
+/root/repo/target/debug/deps/bandwidth_overhead-fa457a2f260e6b66: tests/bandwidth_overhead.rs
+
+tests/bandwidth_overhead.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/capacity-b27a23be447d40cd.d: tests/capacity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcapacity-b27a23be447d40cd.rmeta: tests/capacity.rs Cargo.toml
+
+tests/capacity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/capacity-bc5866b9d4bec6de.d: tests/capacity.rs
+
+/root/repo/target/debug/deps/capacity-bc5866b9d4bec6de: tests/capacity.rs
+
+tests/capacity.rs:

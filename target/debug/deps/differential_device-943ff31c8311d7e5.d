@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential_device-943ff31c8311d7e5.d: tests/differential_device.rs
+
+/root/repo/target/debug/deps/differential_device-943ff31c8311d7e5: tests/differential_device.rs
+
+tests/differential_device.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential_device-96bc7530d68426a9.d: tests/differential_device.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential_device-96bc7530d68426a9.rmeta: tests/differential_device.rs Cargo.toml
+
+tests/differential_device.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/dynamics_state_loss-9330e1d90706ed19.d: tests/dynamics_state_loss.rs
+
+/root/repo/target/debug/deps/dynamics_state_loss-9330e1d90706ed19: tests/dynamics_state_loss.rs
+
+tests/dynamics_state_loss.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/dynamics_state_loss-b3d36261c6413c33.d: tests/dynamics_state_loss.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdynamics_state_loss-b3d36261c6413c33.rmeta: tests/dynamics_state_loss.rs Cargo.toml
+
+tests/dynamics_state_loss.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/evaluation_shapes-846d86069783017c.d: tests/evaluation_shapes.rs
+
+/root/repo/target/debug/deps/evaluation_shapes-846d86069783017c: tests/evaluation_shapes.rs
+
+tests/evaluation_shapes.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/evaluation_shapes-f3917ad5ae790113.d: tests/evaluation_shapes.rs Cargo.toml
+
+/root/repo/target/debug/deps/libevaluation_shapes-f3917ad5ae790113.rmeta: tests/evaluation_shapes.rs Cargo.toml
+
+tests/evaluation_shapes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

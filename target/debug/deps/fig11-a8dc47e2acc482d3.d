@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-a8dc47e2acc482d3.d: crates/bench/benches/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-a8dc47e2acc482d3.rmeta: crates/bench/benches/fig11.rs Cargo.toml
+
+crates/bench/benches/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

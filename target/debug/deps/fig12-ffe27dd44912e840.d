@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig12-ffe27dd44912e840.d: crates/bench/benches/fig12.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig12-ffe27dd44912e840.rmeta: crates/bench/benches/fig12.rs Cargo.toml
+
+crates/bench/benches/fig12.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-e07c5e99ceb34752.d: crates/bench/benches/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-e07c5e99ceb34752.rmeta: crates/bench/benches/fig13.rs Cargo.toml
+
+crates/bench/benches/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

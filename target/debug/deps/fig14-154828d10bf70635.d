@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14-154828d10bf70635.d: crates/bench/benches/fig14.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14-154828d10bf70635.rmeta: crates/bench/benches/fig14.rs Cargo.toml
+
+crates/bench/benches/fig14.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

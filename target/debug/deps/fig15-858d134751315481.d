@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig15-858d134751315481.d: crates/bench/benches/fig15.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig15-858d134751315481.rmeta: crates/bench/benches/fig15.rs Cargo.toml
+
+crates/bench/benches/fig15.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig16-b81bf31286d3fb11.d: crates/bench/benches/fig16.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig16-b81bf31286d3fb11.rmeta: crates/bench/benches/fig16.rs Cargo.toml
+
+crates/bench/benches/fig16.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

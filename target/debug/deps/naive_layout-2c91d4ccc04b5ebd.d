@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/naive_layout-2c91d4ccc04b5ebd.d: tests/naive_layout.rs
+
+/root/repo/target/debug/deps/naive_layout-2c91d4ccc04b5ebd: tests/naive_layout.rs
+
+tests/naive_layout.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/naive_layout-5e16b50fc27a47df.d: tests/naive_layout.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnaive_layout-5e16b50fc27a47df.rmeta: tests/naive_layout.rs Cargo.toml
+
+tests/naive_layout.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/network_cqe-3c593f32b2025618.d: tests/network_cqe.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnetwork_cqe-3c593f32b2025618.rmeta: tests/network_cqe.rs Cargo.toml
+
+tests/network_cqe.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

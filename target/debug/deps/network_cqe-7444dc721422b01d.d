@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/network_cqe-7444dc721422b01d.d: tests/network_cqe.rs
+
+/root/repo/target/debug/deps/network_cqe-7444dc721422b01d: tests/network_cqe.rs
+
+tests/network_cqe.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/newton-058effb99af05725.d: crates/core/src/lib.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libnewton-058effb99af05725.rlib: crates/core/src/lib.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/libnewton-058effb99af05725.rmeta: crates/core/src/lib.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/newton-d85823c2367d00a5.d: crates/core/src/lib.rs crates/core/src/system.rs
+
+/root/repo/target/debug/deps/newton-d85823c2367d00a5: crates/core/src/lib.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/newton-efda6cb9bae5f0a6.d: crates/core/src/lib.rs crates/core/src/system.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton-efda6cb9bae5f0a6.rmeta: crates/core/src/lib.rs crates/core/src/system.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

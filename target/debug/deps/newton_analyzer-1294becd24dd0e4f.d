@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_analyzer-1294becd24dd0e4f.d: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_analyzer-1294becd24dd0e4f.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/accuracy.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/incidents.rs:
+crates/analyzer/src/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_analyzer-91863a812db21c92.d: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+/root/repo/target/debug/deps/libnewton_analyzer-91863a812db21c92.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+/root/repo/target/debug/deps/libnewton_analyzer-91863a812db21c92.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/accuracy.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/incidents.rs:
+crates/analyzer/src/overhead.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_analyzer-c3a27d046d37d66e.d: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_analyzer-c3a27d046d37d66e.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs Cargo.toml
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/accuracy.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/incidents.rs:
+crates/analyzer/src/overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

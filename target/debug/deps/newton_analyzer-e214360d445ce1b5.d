@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_analyzer-e214360d445ce1b5.d: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+/root/repo/target/debug/deps/newton_analyzer-e214360d445ce1b5: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/accuracy.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/incidents.rs:
+crates/analyzer/src/overhead.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/newton_baselines-1bed75cf0b3ff453.d: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+/root/repo/target/debug/deps/newton_baselines-1bed75cf0b3ff453: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/flowradar.rs:
+crates/baselines/src/scream.rs:
+crates/baselines/src/sonata.rs:
+crates/baselines/src/starflow.rs:
+crates/baselines/src/turboflow.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/newton_baselines-631b46f4d6622503.d: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+/root/repo/target/debug/deps/libnewton_baselines-631b46f4d6622503.rlib: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+/root/repo/target/debug/deps/libnewton_baselines-631b46f4d6622503.rmeta: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/flowradar.rs:
+crates/baselines/src/scream.rs:
+crates/baselines/src/sonata.rs:
+crates/baselines/src/starflow.rs:
+crates/baselines/src/turboflow.rs:

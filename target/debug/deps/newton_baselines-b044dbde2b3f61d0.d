@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/newton_baselines-b044dbde2b3f61d0.d: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_baselines-b044dbde2b3f61d0.rmeta: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs Cargo.toml
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/flowradar.rs:
+crates/baselines/src/scream.rs:
+crates/baselines/src/sonata.rs:
+crates/baselines/src/starflow.rs:
+crates/baselines/src/turboflow.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

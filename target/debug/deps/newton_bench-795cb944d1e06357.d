@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_bench-795cb944d1e06357.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_bench-795cb944d1e06357.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

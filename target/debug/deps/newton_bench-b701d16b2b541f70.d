@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_bench-b701d16b2b541f70.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_bench-b701d16b2b541f70.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

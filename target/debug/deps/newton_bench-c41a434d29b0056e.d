@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newton_bench-c41a434d29b0056e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnewton_bench-c41a434d29b0056e.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libnewton_bench-c41a434d29b0056e.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

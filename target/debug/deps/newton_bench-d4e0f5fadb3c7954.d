@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newton_bench-d4e0f5fadb3c7954.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/newton_bench-d4e0f5fadb3c7954: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

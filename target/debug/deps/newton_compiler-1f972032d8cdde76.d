@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/newton_compiler-1f972032d8cdde76.d: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_compiler-1f972032d8cdde76.rmeta: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs Cargo.toml
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/compose.rs:
+crates/compiler/src/concurrent.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/rulegen.rs:
+crates/compiler/src/slicing.rs:
+crates/compiler/src/sonata.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/newton_compiler-6c347ce3a25bbb65.d: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+/root/repo/target/debug/deps/newton_compiler-6c347ce3a25bbb65: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/compose.rs:
+crates/compiler/src/concurrent.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/rulegen.rs:
+crates/compiler/src/slicing.rs:
+crates/compiler/src/sonata.rs:

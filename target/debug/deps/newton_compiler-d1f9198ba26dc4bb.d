@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/newton_compiler-d1f9198ba26dc4bb.d: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+/root/repo/target/debug/deps/libnewton_compiler-d1f9198ba26dc4bb.rlib: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+/root/repo/target/debug/deps/libnewton_compiler-d1f9198ba26dc4bb.rmeta: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/compose.rs:
+crates/compiler/src/concurrent.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/rulegen.rs:
+crates/compiler/src/slicing.rs:
+crates/compiler/src/sonata.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_controller-7f79fb83875b21ee.d: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_controller-7f79fb83875b21ee.rmeta: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs Cargo.toml
+
+crates/controller/src/lib.rs:
+crates/controller/src/allocation.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/placement.rs:
+crates/controller/src/timing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_controller-ad3cf886c1e2472c.d: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+/root/repo/target/debug/deps/libnewton_controller-ad3cf886c1e2472c.rlib: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+/root/repo/target/debug/deps/libnewton_controller-ad3cf886c1e2472c.rmeta: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/allocation.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/placement.rs:
+crates/controller/src/timing.rs:

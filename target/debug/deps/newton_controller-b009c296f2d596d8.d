@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_controller-b009c296f2d596d8.d: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+/root/repo/target/debug/deps/newton_controller-b009c296f2d596d8: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/allocation.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/placement.rs:
+crates/controller/src/timing.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/newton_dataplane-04fd0a632fe57b4c.d: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_dataplane-04fd0a632fe57b4c.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs Cargo.toml
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/debug.rs:
+crates/dataplane/src/exec.rs:
+crates/dataplane/src/init.rs:
+crates/dataplane/src/layout.rs:
+crates/dataplane/src/mirror.rs:
+crates/dataplane/src/modules.rs:
+crates/dataplane/src/phv.rs:
+crates/dataplane/src/resources.rs:
+crates/dataplane/src/rules.rs:
+crates/dataplane/src/switch.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

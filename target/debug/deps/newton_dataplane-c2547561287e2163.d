@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/newton_dataplane-c2547561287e2163.d: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+/root/repo/target/debug/deps/libnewton_dataplane-c2547561287e2163.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+/root/repo/target/debug/deps/libnewton_dataplane-c2547561287e2163.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/debug.rs:
+crates/dataplane/src/exec.rs:
+crates/dataplane/src/init.rs:
+crates/dataplane/src/layout.rs:
+crates/dataplane/src/mirror.rs:
+crates/dataplane/src/modules.rs:
+crates/dataplane/src/phv.rs:
+crates/dataplane/src/resources.rs:
+crates/dataplane/src/rules.rs:
+crates/dataplane/src/switch.rs:

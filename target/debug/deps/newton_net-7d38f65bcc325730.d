@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_net-7d38f65bcc325730.d: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libnewton_net-7d38f65bcc325730.rlib: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/libnewton_net-7d38f65bcc325730.rmeta: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/events.rs:
+crates/net/src/routing.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

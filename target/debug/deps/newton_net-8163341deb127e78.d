@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_net-8163341deb127e78.d: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/debug/deps/newton_net-8163341deb127e78: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/events.rs:
+crates/net/src/routing.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

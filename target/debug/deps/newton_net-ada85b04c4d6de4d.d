@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_net-ada85b04c4d6de4d.d: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_net-ada85b04c4d6de4d.rmeta: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs Cargo.toml
+
+crates/net/src/lib.rs:
+crates/net/src/events.rs:
+crates/net/src/routing.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_packet-11362cb2c06dfa69.d: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+/root/repo/target/debug/deps/libnewton_packet-11362cb2c06dfa69.rlib: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+/root/repo/target/debug/deps/libnewton_packet-11362cb2c06dfa69.rmeta: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/field.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/snapshot.rs:
+crates/packet/src/wire.rs:

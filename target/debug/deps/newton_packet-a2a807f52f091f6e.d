@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_packet-a2a807f52f091f6e.d: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+/root/repo/target/debug/deps/newton_packet-a2a807f52f091f6e: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/field.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/snapshot.rs:
+crates/packet/src/wire.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/newton_packet-e41173f005ab2996.d: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_packet-e41173f005ab2996.rmeta: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs Cargo.toml
+
+crates/packet/src/lib.rs:
+crates/packet/src/field.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/snapshot.rs:
+crates/packet/src/wire.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_query-617cba4f917ed698.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+/root/repo/target/debug/deps/libnewton_query-617cba4f917ed698.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+/root/repo/target/debug/deps/libnewton_query-617cba4f917ed698.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/builder.rs:
+crates/query/src/catalog.rs:
+crates/query/src/interp.rs:
+crates/query/src/parse.rs:
+crates/query/src/validate.rs:

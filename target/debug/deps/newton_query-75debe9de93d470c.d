@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/newton_query-75debe9de93d470c.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_query-75debe9de93d470c.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs Cargo.toml
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/builder.rs:
+crates/query/src/catalog.rs:
+crates/query/src/interp.rs:
+crates/query/src/parse.rs:
+crates/query/src/validate.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_query-8f6bc775e0b12819.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+/root/repo/target/debug/deps/newton_query-8f6bc775e0b12819: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/builder.rs:
+crates/query/src/catalog.rs:
+crates/query/src/interp.rs:
+crates/query/src/parse.rs:
+crates/query/src/validate.rs:

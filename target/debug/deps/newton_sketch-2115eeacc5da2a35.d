@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_sketch-2115eeacc5da2a35.d: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+/root/repo/target/debug/deps/newton_sketch-2115eeacc5da2a35: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/bloom.rs:
+crates/sketch/src/cms.rs:
+crates/sketch/src/exact.rs:
+crates/sketch/src/hash.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/newton_sketch-439819af393acaf4.d: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_sketch-439819af393acaf4.rmeta: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs Cargo.toml
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/bloom.rs:
+crates/sketch/src/cms.rs:
+crates/sketch/src/exact.rs:
+crates/sketch/src/hash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

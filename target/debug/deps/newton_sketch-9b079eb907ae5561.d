@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/newton_sketch-9b079eb907ae5561.d: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+/root/repo/target/debug/deps/libnewton_sketch-9b079eb907ae5561.rlib: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+/root/repo/target/debug/deps/libnewton_sketch-9b079eb907ae5561.rmeta: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/bloom.rs:
+crates/sketch/src/cms.rs:
+crates/sketch/src/exact.rs:
+crates/sketch/src/hash.rs:

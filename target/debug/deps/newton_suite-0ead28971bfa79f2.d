@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/newton_suite-0ead28971bfa79f2.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnewton_suite-0ead28971bfa79f2.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnewton_suite-0ead28971bfa79f2.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_suite-2aa51c65310567aa.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_suite-2aa51c65310567aa.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

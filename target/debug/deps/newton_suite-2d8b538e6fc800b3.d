@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/newton_suite-2d8b538e6fc800b3.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_suite-2d8b538e6fc800b3.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/newton_suite-811e7d660682a3c7.d: src/lib.rs
+
+/root/repo/target/debug/deps/newton_suite-811e7d660682a3c7: src/lib.rs
+
+src/lib.rs:

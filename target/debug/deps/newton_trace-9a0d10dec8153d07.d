@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/newton_trace-9a0d10dec8153d07.d: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnewton_trace-9a0d10dec8153d07.rmeta: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs Cargo.toml
+
+crates/trace/src/lib.rs:
+crates/trace/src/attacks.rs:
+crates/trace/src/background.rs:
+crates/trace/src/pcap.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/zipf.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/newton_trace-a0d0b5afbae12af4.d: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+/root/repo/target/debug/deps/newton_trace-a0d0b5afbae12af4: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/attacks.rs:
+crates/trace/src/background.rs:
+crates/trace/src/pcap.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/zipf.rs:

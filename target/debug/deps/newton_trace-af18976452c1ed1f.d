@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/newton_trace-af18976452c1ed1f.d: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+/root/repo/target/debug/deps/libnewton_trace-af18976452c1ed1f.rlib: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+/root/repo/target/debug/deps/libnewton_trace-af18976452c1ed1f.rmeta: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/attacks.rs:
+crates/trace/src/background.rs:
+crates/trace/src/pcap.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/zipf.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/no_interruption-3f11b7961d08efe0.d: tests/no_interruption.rs
+
+/root/repo/target/debug/deps/no_interruption-3f11b7961d08efe0: tests/no_interruption.rs
+
+tests/no_interruption.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/no_interruption-86e6b0902c540808.d: tests/no_interruption.rs Cargo.toml
+
+/root/repo/target/debug/deps/libno_interruption-86e6b0902c540808.rmeta: tests/no_interruption.rs Cargo.toml
+
+tests/no_interruption.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/partial_deployment-dc8f56be642e2cf2.d: tests/partial_deployment.rs
+
+/root/repo/target/debug/deps/partial_deployment-dc8f56be642e2cf2: tests/partial_deployment.rs
+
+tests/partial_deployment.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/partial_deployment-f1af4af5adeccc0d.d: tests/partial_deployment.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpartial_deployment-f1af4af5adeccc0d.rmeta: tests/partial_deployment.rs Cargo.toml
+
+tests/partial_deployment.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/perf-85a7290b6f035be7.d: crates/bench/benches/perf.rs Cargo.toml
+
+/root/repo/target/debug/deps/libperf-85a7290b6f035be7.rmeta: crates/bench/benches/perf.rs Cargo.toml
+
+crates/bench/benches/perf.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_differential-61fea5e892bb7d45.d: tests/proptest_differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_differential-61fea5e892bb7d45.rmeta: tests/proptest_differential.rs Cargo.toml
+
+tests/proptest_differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_differential-f56e00d1d7be3f10.d: tests/proptest_differential.rs
+
+/root/repo/target/debug/deps/proptest_differential-f56e00d1d7be3f10: tests/proptest_differential.rs
+
+tests/proptest_differential.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_exec_equivalence-117d55470bf7fdf7.d: tests/proptest_exec_equivalence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_exec_equivalence-117d55470bf7fdf7.rmeta: tests/proptest_exec_equivalence.rs Cargo.toml
+
+tests/proptest_exec_equivalence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

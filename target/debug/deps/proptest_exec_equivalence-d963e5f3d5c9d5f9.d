@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_exec_equivalence-d963e5f3d5c9d5f9.d: tests/proptest_exec_equivalence.rs
+
+/root/repo/target/debug/deps/proptest_exec_equivalence-d963e5f3d5c9d5f9: tests/proptest_exec_equivalence.rs
+
+tests/proptest_exec_equivalence.rs:

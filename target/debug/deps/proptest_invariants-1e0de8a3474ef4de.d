@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_invariants-1e0de8a3474ef4de.d: tests/proptest_invariants.rs
+
+/root/repo/target/debug/deps/proptest_invariants-1e0de8a3474ef4de: tests/proptest_invariants.rs
+
+tests/proptest_invariants.rs:

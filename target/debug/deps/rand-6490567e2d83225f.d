@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand-6490567e2d83225f.d: shims/rand/src/lib.rs
+
+/root/repo/target/debug/deps/rand-6490567e2d83225f: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

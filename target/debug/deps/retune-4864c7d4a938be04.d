@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/retune-4864c7d4a938be04.d: tests/retune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libretune-4864c7d4a938be04.rmeta: tests/retune.rs Cargo.toml
+
+tests/retune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

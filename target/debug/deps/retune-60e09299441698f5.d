@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/retune-60e09299441698f5.d: tests/retune.rs
+
+/root/repo/target/debug/deps/retune-60e09299441698f5: tests/retune.rs
+
+tests/retune.rs:

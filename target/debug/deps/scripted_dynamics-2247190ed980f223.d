@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/scripted_dynamics-2247190ed980f223.d: tests/scripted_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libscripted_dynamics-2247190ed980f223.rmeta: tests/scripted_dynamics.rs Cargo.toml
+
+tests/scripted_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

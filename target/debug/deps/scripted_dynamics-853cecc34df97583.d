@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/scripted_dynamics-853cecc34df97583.d: tests/scripted_dynamics.rs
+
+/root/repo/target/debug/deps/scripted_dynamics-853cecc34df97583: tests/scripted_dynamics.rs
+
+tests/scripted_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3-0144eb2f63333f12.d: crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-0144eb2f63333f12.rmeta: crates/bench/benches/table3.rs Cargo.toml
+
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

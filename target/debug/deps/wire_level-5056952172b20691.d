@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/wire_level-5056952172b20691.d: tests/wire_level.rs Cargo.toml
+
+/root/repo/target/debug/deps/libwire_level-5056952172b20691.rmeta: tests/wire_level.rs Cargo.toml
+
+tests/wire_level.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

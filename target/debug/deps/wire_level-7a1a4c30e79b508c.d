@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/wire_level-7a1a4c30e79b508c.d: tests/wire_level.rs
+
+/root/repo/target/debug/deps/wire_level-7a1a4c30e79b508c: tests/wire_level.rs
+
+tests/wire_level.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/concurrent_tenants-bb191351aa784300.d: examples/concurrent_tenants.rs Cargo.toml
+
+/root/repo/target/debug/examples/libconcurrent_tenants-bb191351aa784300.rmeta: examples/concurrent_tenants.rs Cargo.toml
+
+examples/concurrent_tenants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

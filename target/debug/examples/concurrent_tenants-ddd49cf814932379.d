@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/concurrent_tenants-ddd49cf814932379.d: examples/concurrent_tenants.rs
+
+/root/repo/target/debug/examples/concurrent_tenants-ddd49cf814932379: examples/concurrent_tenants.rs
+
+examples/concurrent_tenants.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ddos_drilldown-a84c29cb1a0b5b1d.d: examples/ddos_drilldown.rs Cargo.toml
+
+/root/repo/target/debug/examples/libddos_drilldown-a84c29cb1a0b5b1d.rmeta: examples/ddos_drilldown.rs Cargo.toml
+
+examples/ddos_drilldown.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ddos_drilldown-cd99ad97717f7af9.d: examples/ddos_drilldown.rs
+
+/root/repo/target/debug/examples/ddos_drilldown-cd99ad97717f7af9: examples/ddos_drilldown.rs
+
+examples/ddos_drilldown.rs:

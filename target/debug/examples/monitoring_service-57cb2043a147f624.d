@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/monitoring_service-57cb2043a147f624.d: examples/monitoring_service.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmonitoring_service-57cb2043a147f624.rmeta: examples/monitoring_service.rs Cargo.toml
+
+examples/monitoring_service.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/monitoring_service-8cac2c86cf996947.d: examples/monitoring_service.rs
+
+/root/repo/target/debug/examples/monitoring_service-8cac2c86cf996947: examples/monitoring_service.rs
+
+examples/monitoring_service.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/network_wide-07ec4ea4eb1f0c7b.d: examples/network_wide.rs Cargo.toml
+
+/root/repo/target/debug/examples/libnetwork_wide-07ec4ea4eb1f0c7b.rmeta: examples/network_wide.rs Cargo.toml
+
+examples/network_wide.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/network_wide-132e89274836b2f2.d: examples/network_wide.rs
+
+/root/repo/target/debug/examples/network_wide-132e89274836b2f2: examples/network_wide.rs
+
+examples/network_wide.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-7db2708e76cd79d4.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-7db2708e76cd79d4: examples/quickstart.rs
+
+examples/quickstart.rs:

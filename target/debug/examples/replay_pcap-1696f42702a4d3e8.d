@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/replay_pcap-1696f42702a4d3e8.d: examples/replay_pcap.rs Cargo.toml
+
+/root/repo/target/debug/examples/libreplay_pcap-1696f42702a4d3e8.rmeta: examples/replay_pcap.rs Cargo.toml
+
+examples/replay_pcap.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/replay_pcap-6c21f0c6572bb7ab.d: examples/replay_pcap.rs
+
+/root/repo/target/debug/examples/replay_pcap-6c21f0c6572bb7ab: examples/replay_pcap.rs
+
+examples/replay_pcap.rs:

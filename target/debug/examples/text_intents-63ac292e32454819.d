@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_intents-63ac292e32454819.d: examples/text_intents.rs
+
+/root/repo/target/debug/examples/text_intents-63ac292e32454819: examples/text_intents.rs
+
+examples/text_intents.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/text_intents-f2f97ba3723003ec.d: examples/text_intents.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtext_intents-f2f97ba3723003ec.rmeta: examples/text_intents.rs Cargo.toml
+
+examples/text_intents.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

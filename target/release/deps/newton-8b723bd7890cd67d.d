@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/newton-8b723bd7890cd67d.d: crates/core/src/lib.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libnewton-8b723bd7890cd67d.rlib: crates/core/src/lib.rs crates/core/src/system.rs
+
+/root/repo/target/release/deps/libnewton-8b723bd7890cd67d.rmeta: crates/core/src/lib.rs crates/core/src/system.rs
+
+crates/core/src/lib.rs:
+crates/core/src/system.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newton_analyzer-f369222b1ab33585.d: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+/root/repo/target/release/deps/libnewton_analyzer-f369222b1ab33585.rlib: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+/root/repo/target/release/deps/libnewton_analyzer-f369222b1ab33585.rmeta: crates/analyzer/src/lib.rs crates/analyzer/src/accuracy.rs crates/analyzer/src/analyzer.rs crates/analyzer/src/incidents.rs crates/analyzer/src/overhead.rs
+
+crates/analyzer/src/lib.rs:
+crates/analyzer/src/accuracy.rs:
+crates/analyzer/src/analyzer.rs:
+crates/analyzer/src/incidents.rs:
+crates/analyzer/src/overhead.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/newton_baselines-9baca7374cca194e.d: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+/root/repo/target/release/deps/libnewton_baselines-9baca7374cca194e.rlib: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+/root/repo/target/release/deps/libnewton_baselines-9baca7374cca194e.rmeta: crates/baselines/src/lib.rs crates/baselines/src/flowradar.rs crates/baselines/src/scream.rs crates/baselines/src/sonata.rs crates/baselines/src/starflow.rs crates/baselines/src/turboflow.rs
+
+crates/baselines/src/lib.rs:
+crates/baselines/src/flowradar.rs:
+crates/baselines/src/scream.rs:
+crates/baselines/src/sonata.rs:
+crates/baselines/src/starflow.rs:
+crates/baselines/src/turboflow.rs:

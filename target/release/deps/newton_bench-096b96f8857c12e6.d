@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newton_bench-096b96f8857c12e6.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnewton_bench-096b96f8857c12e6.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libnewton_bench-096b96f8857c12e6.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/newton_compiler-8f36f33f6cc8c89c.d: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+/root/repo/target/release/deps/libnewton_compiler-8f36f33f6cc8c89c.rlib: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+/root/repo/target/release/deps/libnewton_compiler-8f36f33f6cc8c89c.rmeta: crates/compiler/src/lib.rs crates/compiler/src/compose.rs crates/compiler/src/concurrent.rs crates/compiler/src/decompose.rs crates/compiler/src/plan.rs crates/compiler/src/rulegen.rs crates/compiler/src/slicing.rs crates/compiler/src/sonata.rs
+
+crates/compiler/src/lib.rs:
+crates/compiler/src/compose.rs:
+crates/compiler/src/concurrent.rs:
+crates/compiler/src/decompose.rs:
+crates/compiler/src/plan.rs:
+crates/compiler/src/rulegen.rs:
+crates/compiler/src/slicing.rs:
+crates/compiler/src/sonata.rs:

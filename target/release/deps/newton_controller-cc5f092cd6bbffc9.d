@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newton_controller-cc5f092cd6bbffc9.d: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+/root/repo/target/release/deps/libnewton_controller-cc5f092cd6bbffc9.rlib: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+/root/repo/target/release/deps/libnewton_controller-cc5f092cd6bbffc9.rmeta: crates/controller/src/lib.rs crates/controller/src/allocation.rs crates/controller/src/controller.rs crates/controller/src/placement.rs crates/controller/src/timing.rs
+
+crates/controller/src/lib.rs:
+crates/controller/src/allocation.rs:
+crates/controller/src/controller.rs:
+crates/controller/src/placement.rs:
+crates/controller/src/timing.rs:

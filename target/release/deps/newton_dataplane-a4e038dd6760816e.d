@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/newton_dataplane-a4e038dd6760816e.d: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+/root/repo/target/release/deps/libnewton_dataplane-a4e038dd6760816e.rlib: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+/root/repo/target/release/deps/libnewton_dataplane-a4e038dd6760816e.rmeta: crates/dataplane/src/lib.rs crates/dataplane/src/debug.rs crates/dataplane/src/exec.rs crates/dataplane/src/init.rs crates/dataplane/src/layout.rs crates/dataplane/src/mirror.rs crates/dataplane/src/modules.rs crates/dataplane/src/phv.rs crates/dataplane/src/resources.rs crates/dataplane/src/rules.rs crates/dataplane/src/switch.rs
+
+crates/dataplane/src/lib.rs:
+crates/dataplane/src/debug.rs:
+crates/dataplane/src/exec.rs:
+crates/dataplane/src/init.rs:
+crates/dataplane/src/layout.rs:
+crates/dataplane/src/mirror.rs:
+crates/dataplane/src/modules.rs:
+crates/dataplane/src/phv.rs:
+crates/dataplane/src/resources.rs:
+crates/dataplane/src/rules.rs:
+crates/dataplane/src/switch.rs:

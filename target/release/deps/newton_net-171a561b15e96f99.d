@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newton_net-171a561b15e96f99.d: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libnewton_net-171a561b15e96f99.rlib: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+/root/repo/target/release/deps/libnewton_net-171a561b15e96f99.rmeta: crates/net/src/lib.rs crates/net/src/events.rs crates/net/src/routing.rs crates/net/src/sim.rs crates/net/src/topology.rs
+
+crates/net/src/lib.rs:
+crates/net/src/events.rs:
+crates/net/src/routing.rs:
+crates/net/src/sim.rs:
+crates/net/src/topology.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/newton_packet-e1d181aa6f459608.d: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+/root/repo/target/release/deps/libnewton_packet-e1d181aa6f459608.rlib: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+/root/repo/target/release/deps/libnewton_packet-e1d181aa6f459608.rmeta: crates/packet/src/lib.rs crates/packet/src/field.rs crates/packet/src/flow.rs crates/packet/src/headers.rs crates/packet/src/packet.rs crates/packet/src/snapshot.rs crates/packet/src/wire.rs
+
+crates/packet/src/lib.rs:
+crates/packet/src/field.rs:
+crates/packet/src/flow.rs:
+crates/packet/src/headers.rs:
+crates/packet/src/packet.rs:
+crates/packet/src/snapshot.rs:
+crates/packet/src/wire.rs:

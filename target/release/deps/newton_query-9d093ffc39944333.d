@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/newton_query-9d093ffc39944333.d: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+/root/repo/target/release/deps/libnewton_query-9d093ffc39944333.rlib: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+/root/repo/target/release/deps/libnewton_query-9d093ffc39944333.rmeta: crates/query/src/lib.rs crates/query/src/ast.rs crates/query/src/builder.rs crates/query/src/catalog.rs crates/query/src/interp.rs crates/query/src/parse.rs crates/query/src/validate.rs
+
+crates/query/src/lib.rs:
+crates/query/src/ast.rs:
+crates/query/src/builder.rs:
+crates/query/src/catalog.rs:
+crates/query/src/interp.rs:
+crates/query/src/parse.rs:
+crates/query/src/validate.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/newton_sketch-9947834dfe72f346.d: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+/root/repo/target/release/deps/libnewton_sketch-9947834dfe72f346.rlib: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+/root/repo/target/release/deps/libnewton_sketch-9947834dfe72f346.rmeta: crates/sketch/src/lib.rs crates/sketch/src/bloom.rs crates/sketch/src/cms.rs crates/sketch/src/exact.rs crates/sketch/src/hash.rs
+
+crates/sketch/src/lib.rs:
+crates/sketch/src/bloom.rs:
+crates/sketch/src/cms.rs:
+crates/sketch/src/exact.rs:
+crates/sketch/src/hash.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/newton_suite-7bd1b73fb4a7052f.d: src/lib.rs
+
+/root/repo/target/release/deps/libnewton_suite-7bd1b73fb4a7052f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnewton_suite-7bd1b73fb4a7052f.rmeta: src/lib.rs
+
+src/lib.rs:

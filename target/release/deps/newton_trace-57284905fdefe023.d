@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/newton_trace-57284905fdefe023.d: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+/root/repo/target/release/deps/libnewton_trace-57284905fdefe023.rlib: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+/root/repo/target/release/deps/libnewton_trace-57284905fdefe023.rmeta: crates/trace/src/lib.rs crates/trace/src/attacks.rs crates/trace/src/background.rs crates/trace/src/pcap.rs crates/trace/src/presets.rs crates/trace/src/stats.rs crates/trace/src/trace.rs crates/trace/src/zipf.rs
+
+crates/trace/src/lib.rs:
+crates/trace/src/attacks.rs:
+crates/trace/src/background.rs:
+crates/trace/src/pcap.rs:
+crates/trace/src/presets.rs:
+crates/trace/src/stats.rs:
+crates/trace/src/trace.rs:
+crates/trace/src/zipf.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/perf-a7819f5920c95f86.d: crates/bench/benches/perf.rs
+
+/root/repo/target/release/deps/perf-a7819f5920c95f86: crates/bench/benches/perf.rs
+
+crates/bench/benches/perf.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

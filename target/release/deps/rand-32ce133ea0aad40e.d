@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-32ce133ea0aad40e.d: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32ce133ea0aad40e.rlib: shims/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-32ce133ea0aad40e.rmeta: shims/rand/src/lib.rs
+
+shims/rand/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_verify-79c8d50f54faa6fe.d: examples/_probe_verify.rs
+
+/root/repo/target/release/examples/_probe_verify-79c8d50f54faa6fe: examples/_probe_verify.rs
+
+examples/_probe_verify.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/concurrent_tenants-d531089268b00906.d: examples/concurrent_tenants.rs
+
+/root/repo/target/release/examples/concurrent_tenants-d531089268b00906: examples/concurrent_tenants.rs
+
+examples/concurrent_tenants.rs:

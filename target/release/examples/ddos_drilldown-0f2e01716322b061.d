@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/ddos_drilldown-0f2e01716322b061.d: examples/ddos_drilldown.rs
+
+/root/repo/target/release/examples/ddos_drilldown-0f2e01716322b061: examples/ddos_drilldown.rs
+
+examples/ddos_drilldown.rs:

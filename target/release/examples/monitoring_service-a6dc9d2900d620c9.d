@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/monitoring_service-a6dc9d2900d620c9.d: examples/monitoring_service.rs
+
+/root/repo/target/release/examples/monitoring_service-a6dc9d2900d620c9: examples/monitoring_service.rs
+
+examples/monitoring_service.rs:

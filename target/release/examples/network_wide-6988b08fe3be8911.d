@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/network_wide-6988b08fe3be8911.d: examples/network_wide.rs
+
+/root/repo/target/release/examples/network_wide-6988b08fe3be8911: examples/network_wide.rs
+
+examples/network_wide.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/probe_tmp-182b0581c7334979.d: examples/probe_tmp.rs
+
+/root/repo/target/release/examples/probe_tmp-182b0581c7334979: examples/probe_tmp.rs
+
+examples/probe_tmp.rs:

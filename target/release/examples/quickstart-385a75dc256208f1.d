@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-385a75dc256208f1.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-385a75dc256208f1: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/text_intents-5fc63af774700b5b.d: examples/text_intents.rs
+
+/root/repo/target/release/examples/text_intents-5fc63af774700b5b: examples/text_intents.rs
+
+examples/text_intents.rs:
