@@ -4,8 +4,7 @@ use newton_compiler::{AnalyzerTask, ProbeSpec, QueryPlan};
 use newton_dataplane::{ModuleAddr, QueryId, Report};
 use newton_packet::FieldVector;
 use newton_query::ast::MergeOp;
-use newton_sketch::HashFn;
-use std::collections::{HashMap, HashSet};
+use newton_sketch::{FastMap, FastSet, HashFn};
 
 /// How the analyzer reads a switch register: given the query, the probe's
 /// CQE slice index, the 𝕊 instance address within that slice, and a
@@ -19,9 +18,9 @@ pub type RegisterReader<'a> = dyn Fn(QueryId, usize, ModuleAddr, usize) -> Optio
 /// The software analyzer for a set of installed queries.
 #[derive(Debug, Default)]
 pub struct Analyzer {
-    plans: HashMap<QueryId, QueryPlan>,
+    plans: FastMap<QueryId, QueryPlan>,
     /// Candidate keys reported by each query's driver branch this epoch.
-    candidates: HashMap<QueryId, HashSet<u64>>,
+    candidates: FastMap<QueryId, FastSet<u64>>,
     /// Raw report count this epoch (overhead accounting).
     reports_seen: u64,
 }
@@ -59,17 +58,22 @@ impl Analyzer {
     }
 
     /// Candidate keys of one query (before epoch-end checks).
-    pub fn candidates(&self, id: QueryId) -> HashSet<u64> {
+    pub fn candidates(&self, id: QueryId) -> FastSet<u64> {
         self.candidates.get(&id).cloned().unwrap_or_default()
     }
 
     /// Close the epoch: apply every deferred task by probing switch state,
     /// returning the final per-query report sets. All per-epoch analyzer
     /// state resets.
-    pub fn end_epoch(&mut self, read: &RegisterReader<'_>) -> HashMap<QueryId, HashSet<u64>> {
-        let mut out = HashMap::new();
-        for (&id, plan) in &self.plans {
-            let mut keys = self.candidates.get(&id).cloned().unwrap_or_default();
+    ///
+    /// Candidate sets are *moved* into the output (not cloned): the epoch
+    /// boundary is on the critical path between delivery batches, and the
+    /// sets can hold thousands of keys under attack traffic.
+    pub fn end_epoch(&mut self, read: &RegisterReader<'_>) -> FastMap<QueryId, FastSet<u64>> {
+        let Analyzer { plans, candidates, reports_seen } = self;
+        let mut out = FastMap::default();
+        for (&id, plan) in plans.iter() {
+            let mut keys = candidates.remove(&id).unwrap_or_default();
             for task in &plan.tasks {
                 match *task {
                     AnalyzerTask::ProbeCheck { branch, cmp, value } => {
@@ -114,8 +118,8 @@ impl Analyzer {
             }
             out.insert(id, keys);
         }
-        self.candidates.clear();
-        self.reports_seen = 0;
+        candidates.clear();
+        *reports_seen = 0;
         out
     }
 }
@@ -177,14 +181,20 @@ mod tests {
                 analyzer.ingest(&r);
             }
         }
-        // `normal` then opens a connection.
-        let syn = PacketBuilder::new()
-            .src_ip(normal)
-            .dst_ip(0xAC10_0001)
-            .tcp_flags(TcpFlags::SYN)
-            .build();
-        for r in sw.process(&syn, None).reports {
-            analyzer.ingest(&r);
+        // `normal` then opens connections — more than POLLUTION_SLACK of
+        // them: the probe's upper bound is widened by the slack so that
+        // sketch-row pollution cannot fake TCP activity for a truly silent
+        // host, which means a count at or below the slack reads as silence.
+        for port in 0..=newton_compiler::POLLUTION_SLACK as u16 {
+            let syn = PacketBuilder::new()
+                .src_ip(normal)
+                .dst_ip(0xAC10_0001)
+                .src_port(40_000 + port)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            for r in sw.process(&syn, None).reports {
+                analyzer.ingest(&r);
+            }
         }
 
         assert_eq!(analyzer.candidates(9).len(), 2, "both hosts are candidates");

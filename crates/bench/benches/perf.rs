@@ -1,11 +1,16 @@
 //! Library performance: single-switch pipeline throughput (compiled
 //! [`ExecPlan`] path vs the per-packet reference path) and network delivery
-//! throughput (sequential `deliver` vs `deliver_batch`), on the full Q1–Q9
-//! workload.
+//! throughput (sequential `deliver` vs `deliver_batch` vs the multi-core
+//! `deliver_batch_parallel`), on the full Q1–Q9 workload.
 //!
 //! Prints a table and writes machine-readable results to `BENCH_perf.json`
-//! at the repository root. The refactor's acceptance bar is a ≥2× pipeline
-//! speedup; the bench asserts it.
+//! at the repository root, including a `thread_scaling` series for the
+//! parallel executor. Acceptance bars asserted here: the ExecPlan pipeline
+//! is ≥2× the reference path, and — on machines with ≥4 cores — parallel
+//! delivery is ≥2× the sequential batch path.
+//!
+//! Set `NEWTON_PERF_SMOKE=1` for a CI-sized run: a small trace, one timed
+//! pass, threads {1, 2}, equality assertions only, and no JSON output.
 
 use std::time::Instant;
 
@@ -81,17 +86,41 @@ fn fmt_rate(r: f64) -> String {
     format!("{:.2} Mpkt/s", r / 1e6)
 }
 
+/// Packets/sec (and total reports) for `reps` parallel passes at a fixed
+/// thread count.
+fn time_parallel(
+    triples: &[(&Packet, NodeId, NodeId)],
+    threads: usize,
+    reps: usize,
+) -> (f64, usize) {
+    let (mut net, _) = q19_network();
+    let mut reports = 0usize;
+    let start = Instant::now();
+    for _ in 0..reps {
+        reports += net.deliver_batch_parallel(triples, threads).reports.len();
+    }
+    ((reps * triples.len()) as f64 / start.elapsed().as_secs_f64(), reports)
+}
+
 fn main() {
+    let smoke = std::env::var_os("NEWTON_PERF_SMOKE").is_some();
+    let (trace_len, pipeline_reps, delivery_reps, thread_counts): (usize, usize, usize, &[usize]) =
+        if smoke {
+            (4_000, 1, 1, &[1, 2])
+        } else {
+            (40_000, PIPELINE_REPS, DELIVERY_REPS, &[1, 2, 4, 8])
+        };
+
     // One evaluation trace with all nine attack behaviours injected, so
     // every query has work to do.
-    let traces = evaluation_traces(40_000);
+    let traces = evaluation_traces(trace_len);
     let packets = traces[0].1.packets();
 
     // --- Single-switch pipeline: ExecPlan path vs reference path. ---
-    let (ref_rate, ref_sink) = time_pipeline(q19_switch(), packets, PIPELINE_REPS, |sw, p| {
+    let (ref_rate, ref_sink) = time_pipeline(q19_switch(), packets, pipeline_reps, |sw, p| {
         sw.process_reference(p, None).reports.len()
     });
-    let (plan_rate, plan_sink) = time_pipeline(q19_switch(), packets, PIPELINE_REPS, |sw, p| {
+    let (plan_rate, plan_sink) = time_pipeline(q19_switch(), packets, pipeline_reps, |sw, p| {
         sw.process(p, None).reports.len()
     });
     assert_eq!(plan_sink, ref_sink, "planned and reference paths must emit equal report counts");
@@ -105,45 +134,83 @@ fn main() {
     let mut seq_reports = 0usize;
     let (mut net, _) = q19_network();
     let start = Instant::now();
-    for _ in 0..DELIVERY_REPS {
+    for _ in 0..delivery_reps {
         for &(p, ig, eg) in &triples {
             seq_reports += net.deliver(p, ig, eg).reports.len();
         }
     }
-    let seq_rate = (DELIVERY_REPS * triples.len()) as f64 / start.elapsed().as_secs_f64();
+    let seq_rate = (delivery_reps * triples.len()) as f64 / start.elapsed().as_secs_f64();
 
     let mut batch_reports = 0usize;
     let (mut net, _) = q19_network();
     let start = Instant::now();
-    for _ in 0..DELIVERY_REPS {
+    for _ in 0..delivery_reps {
         batch_reports += net.deliver_batch(&triples).reports.len();
     }
-    let batch_rate = (DELIVERY_REPS * triples.len()) as f64 / start.elapsed().as_secs_f64();
+    let batch_rate = (delivery_reps * triples.len()) as f64 / start.elapsed().as_secs_f64();
     assert_eq!(
         batch_reports, seq_reports,
         "batch and sequential delivery must emit equal report counts"
     );
     let delivery_speedup = batch_rate / seq_rate;
 
+    // --- Multi-core delivery: deliver_batch_parallel at each thread count.
+    // The executor is bit-identical to deliver_batch by construction; the
+    // report-count equality below is the smoke-level check of that claim.
+    let mut scaling: Vec<(usize, f64)> = Vec::new();
+    for &threads in thread_counts {
+        let (rate, reports) = time_parallel(&triples, threads, delivery_reps);
+        assert_eq!(
+            reports, batch_reports,
+            "parallel delivery at {threads} threads must emit equal report counts"
+        );
+        scaling.push((threads, rate));
+    }
+    let par_rate = scaling.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    let par_speedup = par_rate / batch_rate;
+
+    let mut rows = vec![
+        vec!["Switch::process_reference".into(), fmt_rate(ref_rate), "1.00x".into()],
+        vec![
+            "Switch::process (ExecPlan)".into(),
+            fmt_rate(plan_rate),
+            format!("{pipeline_speedup:.2}x"),
+        ],
+        vec!["Network::deliver (sequential)".into(), fmt_rate(seq_rate), "1.00x".into()],
+        vec![
+            "Network::deliver_batch".into(),
+            fmt_rate(batch_rate),
+            format!("{delivery_speedup:.2}x"),
+        ],
+    ];
+    for &(threads, rate) in &scaling {
+        rows.push(vec![
+            format!("deliver_batch_parallel ({threads}t)"),
+            fmt_rate(rate),
+            format!("{:.2}x", rate / batch_rate),
+        ]);
+    }
     print_table(
         "Pipeline & delivery throughput (Q1–Q9 workload)",
         &["Path", "Throughput", "Speedup"],
-        &[
-            vec!["Switch::process_reference".into(), fmt_rate(ref_rate), "1.00x".into()],
-            vec![
-                "Switch::process (ExecPlan)".into(),
-                fmt_rate(plan_rate),
-                format!("{pipeline_speedup:.2}x"),
-            ],
-            vec!["Network::deliver (sequential)".into(), fmt_rate(seq_rate), "1.00x".into()],
-            vec![
-                "Network::deliver_batch".into(),
-                fmt_rate(batch_rate),
-                format!("{delivery_speedup:.2}x"),
-            ],
-        ],
+        &rows,
     );
 
+    if smoke {
+        println!("\nsmoke mode: equality checks passed, skipping BENCH_perf.json");
+        return;
+    }
+
+    let scaling_json = scaling
+        .iter()
+        .map(|&(threads, rate)| {
+            format!(
+                "    {{ \"threads\": {threads}, \"pkts_per_sec\": {rate:.0}, \"speedup_vs_batch\": {:.3} }}",
+                rate / batch_rate
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
     let json = format!(
         "{{\n  \"workload\": \"Q1-Q9, CAIDA-like trace, {} packets\",\n  \
          \"pipeline_reference_pkts_per_sec\": {ref_rate:.0},\n  \
@@ -151,8 +218,13 @@ fn main() {
          \"pipeline_speedup\": {pipeline_speedup:.3},\n  \
          \"delivery_sequential_pkts_per_sec\": {seq_rate:.0},\n  \
          \"delivery_batch_pkts_per_sec\": {batch_rate:.0},\n  \
-         \"delivery_speedup\": {delivery_speedup:.3}\n}}\n",
+         \"delivery_speedup\": {delivery_speedup:.3},\n  \
+         \"delivery_parallel_pkts_per_sec\": {par_rate:.0},\n  \
+         \"delivery_parallel_speedup\": {par_speedup:.3},\n  \
+         \"benched_on_cores\": {cores},\n  \
+         \"thread_scaling\": [\n{scaling_json}\n  ]\n}}\n",
         packets.len(),
+        cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     std::fs::write(out, &json).expect("write BENCH_perf.json");
@@ -162,4 +234,16 @@ fn main() {
         pipeline_speedup >= 2.0,
         "acceptance: ExecPlan pipeline must be >= 2x reference (got {pipeline_speedup:.2}x)"
     );
+    // The parallel speedup bar only means something with real cores under
+    // it; single-core machines still run the equality checks above.
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    if cores >= 4 {
+        assert!(
+            par_speedup >= 2.0,
+            "acceptance: parallel delivery must be >= 2x batch on {cores} cores \
+             (got {par_speedup:.2}x)"
+        );
+    } else {
+        println!("note: {cores} core(s) available, skipping the >=2x parallel speedup bar");
+    }
 }

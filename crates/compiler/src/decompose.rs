@@ -24,6 +24,23 @@ use newton_query::ast::{
 /// window width for sum-threshold crossing detection.
 pub const MAX_WIRE_LEN: u32 = 1514;
 
+/// Slack absorbing sketch-row pollution at detection-critical readings. A
+/// key's own counter advances by at most one step per packet, but its
+/// *reading* comes from hash rows shared with every other key: traffic
+/// that collides in all rows between two of the key's packets can advance
+/// the reading by several steps at once — stepping over an exact-width
+/// report window, or lifting a truly-zero count above an exact upper
+/// bound. Two steps cover the observed jump sizes.
+///
+/// Applied only where pollution was observed to lose real detections and
+/// the cost is bounded: the data-plane merge threshold (at most
+/// `1 + POLLUTION_SLACK` mirrors per crossing key, merged queries only)
+/// and epoch-end analyzer probes (no messages at all). Per-branch crossing
+/// windows stay exact — they fire for every query's every crossing key,
+/// where any widening multiplies the network-wide mirroring rate that
+/// Fig. 12 bounds to two orders below the mirror-everything baselines.
+pub const POLLUTION_SLACK: u32 = 2;
+
 /// What rule a module occurrence will carry.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ModuleRole {
@@ -431,7 +448,10 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
                 kind: ModuleKind::ResultProcess,
                 role: ModuleRole::Threshold {
                     lo,
-                    hi: lo, // counts cross one step at a time through min
+                    // Counts step through the min one at a time, but row
+                    // pollution can nudge the reading a few steps between
+                    // this key's packets — widen the window accordingly.
+                    hi: lo.saturating_add(POLLUTION_SLACK),
                     on_global: true,
                     report: true,
                     stop_below: false,
@@ -454,7 +474,17 @@ pub fn decompose_query(query: &Query, config: &CompilerConfig) -> Decomposition 
             }
         }
         Some(Merge::And { left: _, right }) => {
-            tasks.push(AnalyzerTask::ProbeCheck { branch: 1, cmp: right.0, value: right.1 });
+            // The epoch-end probe reads sketch rows that only OVER-count:
+            // colliding keys can lift a truly-zero reading above an exact
+            // upper bound (Q9's "no TCP" = `Le 0`), silently dropping a
+            // real detection. A polluted reading can never prove the true
+            // count exceeds the bound, so upper-bound checks get the same
+            // slack as crossing windows — erring toward reporting.
+            let value = match right.0 {
+                CmpOp::Le | CmpOp::Lt => right.1.saturating_add(POLLUTION_SLACK as u64),
+                _ => right.1,
+            };
+            tasks.push(AnalyzerTask::ProbeCheck { branch: 1, cmp: right.0, value });
         }
     }
 
@@ -486,7 +516,12 @@ fn add_driver_threshold(specs: &mut Vec<ModuleSpec>, query: &Query, cmp: CmpOp, 
 }
 
 /// Crossing-window width for a threshold after the `p`-th primitive of a
-/// branch: 1 for counters, [`MAX_WIRE_LEN`] for byte sums.
+/// branch: one step for counters, [`MAX_WIRE_LEN`] for byte sums. Exact —
+/// no [`POLLUTION_SLACK`]: per-branch thresholds fire on every crossing
+/// key of every query, so widening here multiplies the network-wide
+/// mirroring rate and breaks the Fig. 12 two-orders bound. The slack is
+/// reserved for the two narrow places pollution was observed to lose
+/// detections: the data-plane merge threshold and epoch-end probes.
 fn crossing_window(branch: &newton_query::ast::Branch, p: usize) -> u32 {
     let sums_bytes = branch.primitives[..p].iter().rev().find_map(|prim| match prim {
         Primitive::Reduce { func: ReduceFunc::SumField(_) | ReduceFunc::MaxField(_), .. } => {

@@ -36,7 +36,7 @@ pub mod sonata;
 
 pub use compose::{compose, compose_naive_executable, retarget_to_naive, Composition, OptLevel};
 pub use concurrent::{p_newton, s_newton, sonata_chained, ConcurrentCost};
-pub use decompose::{decompose_query, ModuleRole, ModuleSpec, SketchPolicy};
+pub use decompose::{decompose_query, ModuleRole, ModuleSpec, SketchPolicy, POLLUTION_SLACK};
 pub use plan::{
     stats_for, AnalyzerTask, BranchPlan, Compilation, CompileStats, ProbeSpec, QueryPlan,
 };

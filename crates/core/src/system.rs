@@ -15,14 +15,15 @@ use newton_analyzer::{Analyzer, IncidentLog, OverheadMeter};
 use newton_compiler::CompilerConfig;
 use newton_controller::{Controller, InstallReceipt};
 use newton_dataplane::{PipelineConfig, QueryId};
-use newton_net::{Network, NodeId, Topology};
+use newton_net::{Network, NodeId, Parallelism, Topology};
 use newton_packet::FieldVector;
 use newton_packet::Packet;
 use newton_query::ast::Primitive;
 use newton_query::{Interpreter, Query};
 use newton_sketch::hash::mix64;
+use newton_sketch::{FastMap, FastSet};
 use newton_trace::Trace;
-use std::collections::{HashMap, HashSet};
+use std::collections::HashMap;
 
 /// How packets map to (ingress, egress) edge switches.
 pub enum HostMapping {
@@ -36,7 +37,7 @@ pub enum HostMapping {
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Per query: the union of finally-reported keys across epochs.
-    pub reported: HashMap<QueryId, HashSet<u64>>,
+    pub reported: FastMap<QueryId, FastSet<u64>>,
     /// Monitoring messages vs raw packets.
     pub messages: u64,
     pub packets: u64,
@@ -70,7 +71,13 @@ pub struct NewtonSystem {
     /// logic on the analyzer instead (§5.2): the data plane forwards, the
     /// software executes — at per-packet mirroring cost.
     software_fallback: HashMap<QueryId, (Query, Interpreter)>,
+    /// Thread budget of the epoch executor (delivery + epoch reset).
+    parallelism: Parallelism,
 }
+
+/// Epoch batches below this size run sequentially even when more threads
+/// are configured: spawning workers costs more than the delivery itself.
+const PAR_BATCH_MIN: usize = 256;
 
 impl NewtonSystem {
     /// Build a system over `topo` with default pipelines and compiler.
@@ -92,12 +99,34 @@ impl NewtonSystem {
             mapping: HostMapping::ByAddress,
             stages_per_switch,
             software_fallback: HashMap::new(),
+            parallelism: Parallelism::default(),
         }
     }
 
     /// Select the packet → edge-switch mapping.
     pub fn set_mapping(&mut self, mapping: HostMapping) {
         self.mapping = mapping;
+    }
+
+    /// Set the epoch executor's thread budget (`Parallelism::sequential()`
+    /// restores the single-threaded path). Output is bit-identical at any
+    /// setting; only wall-clock changes.
+    pub fn set_parallelism(&mut self, parallelism: Parallelism) {
+        self.parallelism = parallelism;
+    }
+
+    /// The configured thread budget.
+    pub fn parallelism(&self) -> Parallelism {
+        self.parallelism
+    }
+
+    /// Threads to use for a delivery batch of `len` packets.
+    fn batch_threads(&self, len: usize) -> usize {
+        if len < PAR_BATCH_MIN {
+            1
+        } else {
+            self.parallelism.threads
+        }
     }
 
     /// The underlying network (failure injection, inspection).
@@ -196,7 +225,8 @@ impl NewtonSystem {
                 // state: flush the batch before any scheduled dynamic
                 // fires, then advance the schedule.
                 if events.next_ts().is_some_and(|t| pkt.ts_ns >= t) {
-                    let out = self.net.deliver_batch(&batch);
+                    let threads = self.batch_threads(batch.len());
+                    let out = self.net.deliver_batch_parallel(&batch, threads);
                     batch.clear();
                     report.snapshot_bytes += out.snapshot_bytes as u64;
                     for (_, r) in out.reports {
@@ -214,7 +244,8 @@ impl NewtonSystem {
                     }
                 }
             }
-            let out = self.net.deliver_batch(&batch);
+            let threads = self.batch_threads(batch.len());
+            let out = self.net.deliver_batch_parallel(&batch, threads);
             batch.clear();
             report.snapshot_bytes += out.snapshot_bytes as u64;
             for (_, r) in out.reports {
@@ -231,7 +262,7 @@ impl NewtonSystem {
                 report.reported.entry(id).or_default().extend(keys);
             }
             report.incidents.end_epoch();
-            self.net.clear_state();
+            self.net.clear_state_parallel(self.parallelism.threads);
         }
         report.messages = meter.messages();
         report.packets = meter.raw_packets();
@@ -244,7 +275,7 @@ impl NewtonSystem {
     /// probed slice (one per traffic entry point), so register reads SUM
     /// over holders — partial counters add up to the network-wide
     /// aggregate, and Bloom bits saturate harmlessly.
-    pub fn finish_epoch(&mut self) -> HashMap<QueryId, HashSet<u64>> {
+    pub fn finish_epoch(&mut self) -> FastMap<QueryId, FastSet<u64>> {
         let net = &self.net;
         let read = move |query: QueryId,
                          slice: usize,

@@ -27,7 +27,7 @@ use crate::init::InitTable;
 use crate::phv::Phv;
 use crate::rules::QueryId;
 use crate::switch::SliceInfo;
-use std::collections::HashMap;
+use newton_sketch::FastMap;
 
 /// Pre-resolved module ops of one (query, slice): the slots holding rules
 /// of the query — each with the rule-table indices of exactly those rules
@@ -90,7 +90,7 @@ impl ExecPlan {
     /// instance's rules belonging to the query.
     pub fn build(
         init: &InitTable,
-        slices: &HashMap<QueryId, Vec<SliceInfo>>,
+        slices: &FastMap<QueryId, Vec<SliceInfo>>,
         stage_slots: &[usize],
         rules_for: impl Fn(usize, usize, QueryId, &mut Vec<u32>),
     ) -> ExecPlan {

@@ -20,7 +20,7 @@ use crate::phv::{Phv, Report, SetId};
 use crate::resources::ResourceVector;
 use crate::rules::{QueryId, RuleSet};
 use newton_packet::{FieldVector, Packet, SnapshotHeader};
-use std::collections::HashMap;
+use newton_sketch::FastMap;
 
 /// Pipeline initialization parameters (the "P4 program" knobs).
 #[derive(Debug, Clone, Copy)]
@@ -193,7 +193,7 @@ pub struct Switch {
     layout: Layout,
     init: InitTable,
     stages: Vec<Vec<Instance>>,
-    slices: HashMap<QueryId, Vec<SliceInfo>>,
+    slices: FastMap<QueryId, Vec<SliceInfo>>,
     forwarded: u64,
     /// Compiled from `init`/`stages`/`slices` on every configuration
     /// mutation; [`process`](Self::process) only reads it.
@@ -232,7 +232,7 @@ impl Switch {
             layout,
             init: InitTable::new(),
             stages,
-            slices: HashMap::new(),
+            slices: FastMap::default(),
             forwarded: 0,
             plan: ExecPlan::default(),
             scratch: ExecScratch::new(),

@@ -10,11 +10,13 @@
 //! between Newton hops and stripping it before host delivery.
 
 pub mod events;
+pub mod parallel;
 pub mod routing;
 pub mod sim;
 pub mod topology;
 
 pub use events::{EventSchedule, NetworkEvent};
-pub use routing::{EcmpMode, RouteScratch, Router};
+pub use parallel::Parallelism;
+pub use routing::{EcmpMode, PathTable, RouteScratch, Router};
 pub use sim::{BatchDelivery, DeliveryResult, LinkKey, LinkLoad, Network};
 pub use topology::{NodeId, Topology};

@@ -1,0 +1,272 @@
+//! Deterministic multi-core epoch executor.
+//!
+//! Newton's own structure makes switches natural shards: each switch owns
+//! its state banks 𝕊 exclusively, and cross-switch query state moves
+//! *only* via the 12-byte result snapshot riding the packet (§5 CQE). The
+//! executor exploits exactly that: switches are partitioned across worker
+//! threads (each worker holds `&mut` to its switches — no locks around
+//! pipeline state), and the only inter-thread dataflow is the snapshot
+//! handoff between a packet's consecutive hops.
+//!
+//! ## Determinism contract
+//!
+//! The parallel result is **bit-identical** to the sequential
+//! [`deliver_batch`](crate::Network::deliver_batch) at any thread count.
+//! Sequential delivery imposes two orders that matter for stateful
+//! execution:
+//!
+//! 1. every switch processes its packets in ascending batch order (switch
+//!    state mutates per packet — e.g. which packet crosses a threshold
+//!    depends on arrival order), and
+//! 2. each packet's hops execute in path order (the snapshot produced at
+//!    hop *h* feeds hop *h+1*).
+//!
+//! Any schedule respecting both produces the same per-hop outputs, because
+//! a hop's result depends only on (a) its switch's state, fully determined
+//! by the switch's packet order, and (b) its incoming snapshot, fully
+//! determined by the packet's previous hop. The executor enforces (1) with
+//! one FIFO work queue per switch, filled in batch order, popped only at
+//! the head; and (2) with a per-packet hop counter a hop must match before
+//! it runs. Everything else — which worker runs which switch, interleaving
+//! across switches, thread count — is free parallelism.
+//!
+//! There is no barrier: a worker sweeps its switches' queue heads and runs
+//! every hop whose predecessor finished, so hop *h+1* of packet 0 can
+//! execute while hop 0 of packet 50 is still in flight. Progress is
+//! guaranteed — take the lowest-numbered packet with unfinished hops: all
+//! earlier packets are fully processed, so its next hop sits at the head
+//! of its switch's queue with its hop counter matching.
+//!
+//! Merged outputs are made order-independent: reports carry their
+//! `(packet, hop, index-within-hop)` coordinates and are sorted into
+//! sequential order after the scope joins; link-load deltas are summed
+//! (commutative); snapshot-byte counters add up.
+
+use crate::routing::PathTable;
+use crate::sim::LinkKey;
+use crate::topology::NodeId;
+use newton_dataplane::{Report, Switch};
+use newton_packet::{Packet, SnapshotHeader, SP_HEADER_LEN};
+use std::sync::atomic::{AtomicU16, Ordering};
+use std::sync::Mutex;
+
+/// A report tagged with its `(packet, hop, index-within-hop)` coordinates
+/// plus the emitting switch — unique coordinates, so sorting on them
+/// rebuilds exactly the sequential emission order.
+type TaggedReport = (u32, u16, u16, NodeId, Report);
+
+/// A worker's contribution to the batch: its tagged reports, per-link
+/// load deltas, and snapshot bytes carried across its hops.
+type WorkerPart = (Vec<TaggedReport>, Vec<(LinkKey, u64, u64)>, usize);
+
+/// How many threads the epoch executor may use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Parallelism {
+    /// Worker thread budget; `1` is the sequential path.
+    pub threads: usize,
+}
+
+impl Parallelism {
+    pub fn new(threads: usize) -> Self {
+        Parallelism { threads: threads.max(1) }
+    }
+
+    /// Today's single-threaded path.
+    pub fn sequential() -> Self {
+        Self::new(1)
+    }
+}
+
+impl Default for Parallelism {
+    /// One worker per available core.
+    fn default() -> Self {
+        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+    }
+}
+
+/// Reusable buffers of the parallel delivery path, owned by
+/// [`Network`](crate::Network) so epoch after epoch performs no
+/// steady-state allocation.
+#[derive(Debug, Default)]
+pub(crate) struct ParScratch {
+    /// Precomputed routes of the current batch.
+    pub(crate) paths: PathTable,
+    /// Per-switch FIFO work queues: `(packet index, hop position)` in
+    /// batch order.
+    queues: Vec<Vec<(u32, u16)>>,
+    /// Per-packet count of completed hops — a hop `(p, h)` is ready when
+    /// `done[p] == h`. Release on store / Acquire on load orders the
+    /// flight-slot handoff.
+    done: Vec<AtomicU16>,
+    /// Per-packet snapshot in flight between consecutive hops. Only one
+    /// hop of a packet runs at a time, so the lock is never contended; it
+    /// exists to make the cross-thread handoff safe, with the `done`
+    /// counter providing the happens-before edge.
+    flight: Vec<Mutex<Option<SnapshotHeader>>>,
+}
+
+/// What the executor hands back to [`Network`](crate::Network): reports in
+/// sequential order, raw link deltas (flushed by the caller into the
+/// link-load map), and the aggregate counters.
+pub(crate) struct ParOutcome {
+    pub reports: Vec<(NodeId, Report)>,
+    pub deltas: Vec<(LinkKey, u64, u64)>,
+    pub snapshot_bytes: usize,
+    pub delivered: usize,
+    pub unrouted: usize,
+}
+
+/// Run one routed batch on up to `threads` workers. `scratch.paths` must
+/// already hold the batch's routes.
+pub(crate) fn execute_batch(
+    switches: &mut [Switch],
+    newton_enabled: &[bool],
+    batch: &[(&Packet, NodeId, NodeId)],
+    scratch: &mut ParScratch,
+    threads: usize,
+) -> ParOutcome {
+    let ParScratch { paths, queues, done, flight } = scratch;
+
+    // Fill the per-switch queues in batch order (order (1) above).
+    queues.resize_with(switches.len(), Vec::new);
+    for q in queues.iter_mut() {
+        q.clear();
+    }
+    let mut delivered = 0;
+    let mut unrouted = 0;
+    for i in 0..batch.len() {
+        let path = paths.path(i);
+        if path.is_empty() {
+            unrouted += 1;
+            continue;
+        }
+        delivered += 1;
+        for (h, &node) in path.iter().enumerate() {
+            queues[node].push((i as u32, h as u16));
+        }
+    }
+    done.clear();
+    done.extend((0..batch.len()).map(|_| AtomicU16::new(0)));
+    flight.clear();
+    flight.extend((0..batch.len()).map(|_| Mutex::new(None)));
+
+    // Partition switches across workers, greedily balancing queue length:
+    // heaviest switches first, each to the least-loaded worker. The
+    // partition only affects scheduling, never output, but is kept
+    // deterministic anyway (ties break by switch id, then worker index).
+    let mut busy: Vec<NodeId> = (0..switches.len()).filter(|&s| !queues[s].is_empty()).collect();
+    busy.sort_unstable_by_key(|&s| (std::cmp::Reverse(queues[s].len()), s));
+    let workers = threads.clamp(1, busy.len().max(1));
+    let mut owner = vec![usize::MAX; switches.len()];
+    let mut load = vec![0usize; workers];
+    for &s in &busy {
+        let w = (0..workers).min_by_key(|&w| load[w]).expect("workers >= 1");
+        owner[s] = w;
+        load[w] += queues[s].len();
+    }
+
+    // Hand each worker exclusive `&mut` to its switches.
+    let mut owned: Vec<Vec<(NodeId, &mut Switch)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (node, sw) in switches.iter_mut().enumerate() {
+        if owner[node] != usize::MAX {
+            owned[owner[node]].push((node, sw));
+        }
+    }
+
+    let queues = &*queues;
+    let done = &*done;
+    let flight = &*flight;
+    let paths = &*paths;
+    let parts: Vec<WorkerPart> = std::thread::scope(|s| {
+        let handles: Vec<_> = owned
+            .into_iter()
+            .map(|mine| {
+                s.spawn(move || {
+                    run_worker(mine, queues, done, flight, paths, batch, newton_enabled)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("delivery worker panicked")).collect()
+    });
+
+    // Merge into sequential order: report coordinates `(packet, hop,
+    // index-within-hop)` are unique, so the sort reproduces exactly the
+    // order the sequential walk emits.
+    let mut tagged: Vec<TaggedReport> = Vec::new();
+    let mut deltas: Vec<(LinkKey, u64, u64)> = Vec::new();
+    let mut snapshot_bytes = 0usize;
+    for (r, d, sp) in parts {
+        tagged.extend(r);
+        deltas.extend(d);
+        snapshot_bytes += sp;
+    }
+    tagged.sort_unstable_by_key(|&(p, h, j, _, _)| (p, h, j));
+    let reports = tagged.into_iter().map(|(_, _, _, node, r)| (node, r)).collect();
+    ParOutcome { reports, deltas, snapshot_bytes, delivered, unrouted }
+}
+
+/// One worker: sweep the owned switches' queue heads, running every hop
+/// whose predecessor has finished, until all owned work is done. Yields
+/// the CPU on unproductive sweeps (the machine may have fewer cores than
+/// workers).
+#[allow(clippy::type_complexity)]
+fn run_worker(
+    mut mine: Vec<(NodeId, &mut Switch)>,
+    queues: &[Vec<(u32, u16)>],
+    done: &[AtomicU16],
+    flight: &[Mutex<Option<SnapshotHeader>>],
+    paths: &PathTable,
+    batch: &[(&Packet, NodeId, NodeId)],
+    newton_enabled: &[bool],
+) -> WorkerPart {
+    let total: usize = mine.iter().map(|&(node, _)| queues[node].len()).sum();
+    let mut heads = vec![0usize; mine.len()];
+    let mut processed = 0usize;
+    let mut reports = Vec::new();
+    let mut deltas = Vec::new();
+    let mut snapshot_bytes = 0usize;
+
+    while processed < total {
+        let mut progressed = false;
+        for (k, (node, sw)) in mine.iter_mut().enumerate() {
+            let q = &queues[*node];
+            while heads[k] < q.len() {
+                let (p, h) = q[heads[k]];
+                if done[p as usize].load(Ordering::Acquire) != h {
+                    break;
+                }
+                let pkt = batch[p as usize].0;
+                let path = paths.path(p as usize);
+                let sp_in: Option<SnapshotHeader> =
+                    if h == 0 { None } else { *flight[p as usize].lock().expect("flight slot") };
+                let mut sp_out = sp_in;
+                if newton_enabled[*node] {
+                    let out = sw.process(pkt, sp_in.as_ref());
+                    for (j, r) in out.reports.into_iter().enumerate() {
+                        reports.push((p, h, j as u16, *node, r));
+                    }
+                    sp_out = out.snapshot;
+                }
+                let next = h as usize + 1;
+                if next < path.len() {
+                    let sp = if sp_out.is_some() {
+                        snapshot_bytes += SP_HEADER_LEN;
+                        SP_HEADER_LEN as u64
+                    } else {
+                        0
+                    };
+                    deltas.push((LinkKey::new(*node, path[next]), pkt.wire_len as u64, sp));
+                    *flight[p as usize].lock().expect("flight slot") = sp_out;
+                }
+                done[p as usize].store(next as u16, Ordering::Release);
+                heads[k] += 1;
+                processed += 1;
+                progressed = true;
+            }
+        }
+        if !progressed && processed < total {
+            std::thread::yield_now();
+        }
+    }
+    (reports, deltas, snapshot_bytes)
+}

@@ -9,6 +9,10 @@ use newton_packet::FlowKey;
 use newton_sketch::hash::mix64;
 use std::collections::{HashSet, VecDeque};
 
+/// One route shard's output: concatenated path nodes plus the shard-local
+/// `(start, end)` range of each path within them.
+type RouteShard = (Vec<NodeId>, Vec<(u32, u32)>);
+
 /// What ECMP hashes to break ties between equal-cost next hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum EcmpMode {
@@ -28,6 +32,45 @@ pub struct RouteScratch {
     dist: Vec<usize>,
     queue: VecDeque<NodeId>,
     candidates: Vec<NodeId>,
+}
+
+/// A batch of precomputed routes, stored flat: one shared node pool plus a
+/// `(lo, hi)` range per packet. An empty range means the packet was
+/// unroutable. Built by [`Router::route_batch_into`]; the flat layout lets
+/// the buffer be reused across epochs and shared read-only by executor
+/// threads.
+#[derive(Debug, Clone, Default)]
+pub struct PathTable {
+    nodes: Vec<NodeId>,
+    ranges: Vec<(u32, u32)>,
+}
+
+impl PathTable {
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.ranges.clear();
+    }
+
+    /// Number of routed entries (one per batch packet).
+    pub fn len(&self) -> usize {
+        self.ranges.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.ranges.is_empty()
+    }
+
+    /// Packet `i`'s hop sequence; empty if unroutable.
+    pub fn path(&self, i: usize) -> &[NodeId] {
+        let (lo, hi) = self.ranges[i];
+        &self.nodes[lo as usize..hi as usize]
+    }
+
+    fn push(&mut self, path: &[NodeId]) {
+        let lo = self.nodes.len() as u32;
+        self.nodes.extend_from_slice(path);
+        self.ranges.push((lo, self.nodes.len() as u32));
+    }
 }
 
 /// Routing over a topology with a mutable failure set.
@@ -148,6 +191,69 @@ impl Router {
         true
     }
 
+    /// Precompute the routes of a whole batch into `table` (cleared
+    /// first). `item(i)` yields the `(flow, src, dst)` of packet `i`.
+    /// Routing is pure (`path_into` takes `&self`), so chunks are computed
+    /// on `threads` scoped threads and merged in chunk order — the table
+    /// is bit-identical to sequential routing at any thread count.
+    pub fn route_batch_into(
+        &self,
+        count: usize,
+        item: impl Fn(usize) -> (FlowKey, NodeId, NodeId) + Sync,
+        threads: usize,
+        table: &mut PathTable,
+    ) {
+        table.clear();
+        if count == 0 {
+            return;
+        }
+        let threads = threads.clamp(1, count);
+        if threads == 1 {
+            let mut scratch = RouteScratch::default();
+            let mut path = Vec::new();
+            for i in 0..count {
+                let (flow, src, dst) = item(i);
+                if self.path_into(src, dst, &flow, &mut scratch, &mut path) {
+                    table.push(&path);
+                } else {
+                    table.push(&[]);
+                }
+            }
+            return;
+        }
+        let chunk = count.div_ceil(threads);
+        let parts: Vec<RouteShard> = std::thread::scope(|s| {
+            let item = &item;
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    s.spawn(move || {
+                        let lo = t * chunk;
+                        let hi = ((t + 1) * chunk).min(count);
+                        let mut nodes = Vec::new();
+                        let mut ranges = Vec::with_capacity(hi - lo);
+                        let mut scratch = RouteScratch::default();
+                        let mut path = Vec::new();
+                        for i in lo..hi {
+                            let (flow, src, dst) = item(i);
+                            let start = nodes.len() as u32;
+                            if self.path_into(src, dst, &flow, &mut scratch, &mut path) {
+                                nodes.extend_from_slice(&path);
+                            }
+                            ranges.push((start, nodes.len() as u32));
+                        }
+                        (nodes, ranges)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("route worker panicked")).collect()
+        });
+        for (nodes, ranges) in parts {
+            let base = table.nodes.len() as u32;
+            table.ranges.extend(ranges.into_iter().map(|(lo, hi)| (lo + base, hi + base)));
+            table.nodes.extend(nodes);
+        }
+    }
+
     /// All switches on *any* live shortest path between two endpoints —
     /// what resilient placement must cover for this pair.
     pub fn shortest_path_dag_nodes(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
@@ -232,6 +338,40 @@ mod tests {
         let (e1, e2) = (t.edge_switches()[0], t.edge_switches()[7]);
         let r = Router::new(t);
         assert_eq!(r.path(e1, e2, &flow(5)), r.path(e1, e2, &flow(5)));
+    }
+
+    #[test]
+    fn route_batch_matches_per_packet_routing_at_any_thread_count() {
+        let t = Topology::fat_tree(4);
+        let edges = t.edge_switches().to_vec();
+        let mut r = Router::new(t);
+        // An isolated node makes some pairs unroutable.
+        let cut = edges[2];
+        let nbrs: Vec<NodeId> = r.topology().neighbors(cut).collect();
+        for nb in nbrs {
+            r.fail_link(cut, nb);
+        }
+        let items: Vec<(FlowKey, NodeId, NodeId)> = (0..97u16)
+            .map(|i| {
+                (flow(i), edges[i as usize % edges.len()], edges[(i as usize + 3) % edges.len()])
+            })
+            .collect();
+        let mut expect = PathTable::default();
+        r.route_batch_into(items.len(), |i| items[i], 1, &mut expect);
+        for (i, &(f, src, dst)) in items.iter().enumerate() {
+            match r.path(src, dst, &f) {
+                Some(p) => assert_eq!(expect.path(i), &p[..]),
+                None => assert!(expect.path(i).is_empty()),
+            }
+        }
+        for threads in [2, 3, 8] {
+            let mut got = PathTable::default();
+            r.route_batch_into(items.len(), |i| items[i], threads, &mut got);
+            assert_eq!(got.len(), expect.len(), "threads={threads}");
+            for i in 0..items.len() {
+                assert_eq!(got.path(i), expect.path(i), "packet {i}, threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -6,10 +6,12 @@
 //! adjacent Newton hops and is stripped before the last hop hands the
 //! packet to the destination host (§5.1).
 
+use crate::parallel::{self, ParScratch};
 use crate::routing::{RouteScratch, Router};
 use crate::topology::{NodeId, Topology};
 use newton_dataplane::{PipelineConfig, Report, Switch};
 use newton_packet::{Packet, SnapshotHeader};
+use newton_sketch::FastMap;
 
 /// Canonical identifier of an undirected link: `LinkKey::new(a, b)` and
 /// `LinkKey::new(b, a)` name the same link.
@@ -96,12 +98,14 @@ struct DeliverScratch {
 pub struct Network {
     router: Router,
     switches: Vec<Switch>,
-    link_load: std::collections::HashMap<LinkKey, LinkLoad>,
+    link_load: FastMap<LinkKey, LinkLoad>,
     /// Switches running Newton modules; the rest forward only (§7:
     /// "Newton supports partial deployment, and CQE only works in
     /// adjacent Newton-enabled switches").
     newton_enabled: Vec<bool>,
     scratch: DeliverScratch,
+    /// Reusable buffers of the parallel delivery path.
+    par: ParScratch,
 }
 
 impl Network {
@@ -111,9 +115,10 @@ impl Network {
         Network {
             router: Router::new(topo),
             switches: (0..n).map(|_| Switch::new(pipeline)).collect(),
-            link_load: std::collections::HashMap::new(),
+            link_load: FastMap::default(),
             newton_enabled: vec![true; n],
             scratch: DeliverScratch::default(),
+            par: ParScratch::default(),
         }
     }
 
@@ -220,6 +225,49 @@ impl Network {
         out
     }
 
+    /// [`deliver_batch`](Self::deliver_batch) on up to `threads` worker
+    /// threads — **bit-identical output at any thread count** (see
+    /// [`parallel`] for the determinism contract).
+    /// Routes are precomputed in parallel chunks, then switches execute as
+    /// shards: one FIFO work queue per switch in batch order, snapshot
+    /// headers handed between a packet's consecutive hops. `threads <= 1`
+    /// is exactly the sequential path.
+    pub fn deliver_batch_parallel(
+        &mut self,
+        batch: &[(&Packet, NodeId, NodeId)],
+        threads: usize,
+    ) -> BatchDelivery {
+        if threads <= 1 || batch.len() <= 1 {
+            return self.deliver_batch(batch);
+        }
+        let mut par = std::mem::take(&mut self.par);
+        self.router.route_batch_into(
+            batch.len(),
+            |i| {
+                let (pkt, ingress, egress) = batch[i];
+                (pkt.flow_key(), ingress, egress)
+            },
+            threads,
+            &mut par.paths,
+        );
+        let outcome = parallel::execute_batch(
+            &mut self.switches,
+            &self.newton_enabled,
+            batch,
+            &mut par,
+            threads,
+        );
+        self.par = par;
+        let mut deltas = outcome.deltas;
+        Self::flush_link_deltas(&mut self.link_load, &mut deltas);
+        BatchDelivery {
+            reports: outcome.reports,
+            snapshot_bytes: outcome.snapshot_bytes,
+            delivered: outcome.delivered,
+            unrouted: outcome.unrouted,
+        }
+    }
+
     /// Walk one routed packet through its hops: execute Newton pipelines,
     /// tag mirrored reports, and record per-link byte deltas. Returns the
     /// snapshot bytes the packet put on the wire.
@@ -261,7 +309,7 @@ impl Network {
     /// Merge accumulated per-hop byte deltas into the link-load map: sort
     /// by link, then one map operation per distinct link.
     fn flush_link_deltas(
-        link_load: &mut std::collections::HashMap<LinkKey, LinkLoad>,
+        link_load: &mut FastMap<LinkKey, LinkLoad>,
         deltas: &mut Vec<(LinkKey, u64, u64)>,
     ) {
         deltas.sort_unstable_by_key(|&(key, _, _)| key);
@@ -286,6 +334,27 @@ impl Network {
         for sw in &mut self.switches {
             sw.clear_state();
         }
+    }
+
+    /// [`clear_state`](Self::clear_state) with switches cleared on up to
+    /// `threads` scoped threads — register zeroing is per-switch
+    /// independent, so epoch boundaries need not serialize.
+    pub fn clear_state_parallel(&mut self, threads: usize) {
+        let threads = threads.clamp(1, self.switches.len().max(1));
+        if threads <= 1 {
+            self.clear_state();
+            return;
+        }
+        let chunk = self.switches.len().div_ceil(threads);
+        std::thread::scope(|s| {
+            for group in self.switches.chunks_mut(chunk) {
+                s.spawn(move || {
+                    for sw in group {
+                        sw.clear_state();
+                    }
+                });
+            }
+        });
     }
 
     /// Total rules installed across all switches.
@@ -454,6 +523,84 @@ mod tests {
                 assert_eq!(seq.link_load(a, b), bat.link_load(a, b), "link ({a},{b})");
             }
         }
+    }
+
+    #[test]
+    fn parallel_delivery_is_bit_identical_to_batch() {
+        // CQE-sliced Q1 across a chain, a disabled (forward-only) middle
+        // hop's cousin topology, plus unroutable packets: the parallel
+        // executor must reproduce the sequential batch exactly.
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let total_stages = compiled.composition.stages();
+        let cut = total_stages / 2;
+        let first = compiled.rules.slice_stages(0, cut);
+        let second = compiled.rules.slice_stages(cut, total_stages);
+        let slice = |index: u8| SliceInfo {
+            index,
+            total: 2,
+            capture_set: SetId::Set1,
+            restore_set: SetId::Set1,
+            stages: (0, 12),
+        };
+        let build = || {
+            let mut net = Network::new(Topology::fat_tree(4), PipelineConfig::default());
+            let edges: Vec<NodeId> = net.topology().edge_switches().to_vec();
+            let (a, b) = (edges[0], edges[1]);
+            net.switch_mut(a).install(&first).unwrap();
+            net.switch_mut(a).set_slice(1, slice(0)).unwrap();
+            net.switch_mut(b).install(&second).unwrap();
+            net.switch_mut(b).set_slice(1, slice(1)).unwrap();
+            // One forward-only core switch exercises pass-through hops.
+            let core = net.switch_count() - 1;
+            net.set_newton_enabled(core, false);
+            net.router_mut().fail_link(edges[2], edges[2] + 4);
+            net
+        };
+        let topo = Topology::fat_tree(4);
+        let edges = topo.edge_switches();
+        let pkts: Vec<Packet> = (0..300u16).map(|i| syn(0xBEEF + (i % 5) as u32, i)).collect();
+        let triples: Vec<(&Packet, NodeId, NodeId)> = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, edges[i % edges.len()], edges[(i + 3) % edges.len()]))
+            .collect();
+
+        let mut seq = build();
+        let expected = seq.deliver_batch(&triples);
+        for threads in [2, 4, 8] {
+            let mut par = build();
+            let got = par.deliver_batch_parallel(&triples, threads);
+            assert_eq!(got.reports, expected.reports, "threads={threads}");
+            assert_eq!(got.snapshot_bytes, expected.snapshot_bytes, "threads={threads}");
+            assert_eq!(got.delivered, expected.delivered, "threads={threads}");
+            assert_eq!(got.unrouted, expected.unrouted, "threads={threads}");
+            for a in 0..seq.switch_count() {
+                assert_eq!(seq.switch(a).forwarded(), par.switch(a).forwarded(), "switch {a}");
+                for b in a + 1..seq.switch_count() {
+                    assert_eq!(seq.link_load(a, b), par.link_load(a, b), "link ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_clear_matches_sequential_clear() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let mut net = Network::new(Topology::chain(4), PipelineConfig::default());
+        for s in 0..4 {
+            net.switch_mut(s).install(&compiled.rules).unwrap();
+        }
+        for i in 0..30u16 {
+            net.deliver(&syn(7, 3000 + i), 0, 3);
+        }
+        net.clear_state_parallel(4);
+        let mut reports = 0;
+        for i in 0..30u16 {
+            reports += net.deliver(&syn(7, 4000 + i), 0, 3).reports.len();
+        }
+        assert_eq!(reports, 0, "30 SYNs after parallel reset stay below the threshold of 40");
     }
 
     #[test]

@@ -58,6 +58,88 @@ impl HashFn {
     }
 }
 
+/// A [`std::hash::Hasher`] built on [`mix64`]: deterministic across runs,
+/// processes, and platforms — unlike the `RandomState` SipHash default —
+/// and much cheaper on the small fixed-width keys (query ids, node ids,
+/// report keys) the hot paths index by.
+///
+/// Determinism matters beyond speed: map iteration order feeds derived
+/// structures (recompiled execution plans, epoch report sets), and
+/// reproducibility of whole-system runs is part of the simulator's
+/// contract.
+#[derive(Debug, Clone, Copy)]
+pub struct Mix64Hasher {
+    state: u64,
+}
+
+impl std::hash::Hasher for Mix64Hasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        for chunk in bytes.chunks(8) {
+            let mut word = [0u8; 8];
+            word[..chunk.len()].copy_from_slice(chunk);
+            self.state = mix64(self.state ^ u64::from_le_bytes(word) ^ chunk.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, i: u8) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u16(&mut self, i: u16) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, i: u32) {
+        self.write_u64(i as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, i: u64) {
+        self.state = mix64(self.state ^ i);
+    }
+
+    #[inline]
+    fn write_u128(&mut self, i: u128) {
+        self.write_u64(i as u64);
+        self.write_u64((i >> 64) as u64);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, i: usize) {
+        self.write_u64(i as u64);
+    }
+}
+
+/// [`std::hash::BuildHasher`] for [`Mix64Hasher`]; every build starts from
+/// the same state, so equal keys hash equally in every map and every run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BuildMix64;
+
+impl std::hash::BuildHasher for BuildMix64 {
+    type Hasher = Mix64Hasher;
+
+    #[inline]
+    fn build_hasher(&self) -> Mix64Hasher {
+        Mix64Hasher { state: 0x9E37_79B9_7F4A_7C15 }
+    }
+}
+
+/// A `HashMap` keyed by the deterministic [`Mix64Hasher`] — the hot-path
+/// replacement for SipHash maps. Construct with `FastMap::default()`.
+pub type FastMap<K, V> = std::collections::HashMap<K, V, BuildMix64>;
+
+/// The companion `HashSet`. Construct with `FastSet::default()`.
+pub type FastSet<T> = std::collections::HashSet<T, BuildMix64>;
+
 /// SplitMix64 finalizer.
 #[inline]
 pub fn mix64(mut z: u64) -> u64 {
@@ -131,5 +213,37 @@ mod tests {
     #[should_panic(expected = "range must be >= 1")]
     fn zero_range_panics() {
         let _ = HashFn::new(0, 0);
+    }
+
+    #[test]
+    fn fast_map_is_deterministic_and_order_stable() {
+        let build = |keys: &[u64]| {
+            let mut m: FastMap<u64, usize> = FastMap::default();
+            for (i, &k) in keys.iter().enumerate() {
+                m.insert(k, i);
+            }
+            m.keys().copied().collect::<Vec<u64>>()
+        };
+        let keys: Vec<u64> = (0..200).map(|i| i * 7 + 3).collect();
+        // Same insertion sequence → same iteration order, every time.
+        assert_eq!(build(&keys), build(&keys));
+        let mut set: FastSet<u64> = FastSet::default();
+        assert!(set.insert(42));
+        assert!(!set.insert(42));
+        assert!(set.contains(&42));
+    }
+
+    #[test]
+    fn mix64_hasher_separates_nearby_keys() {
+        use std::hash::{BuildHasher, Hasher};
+        let hash_one = |k: u64| BuildMix64.hash_one(k);
+        let hashes: std::collections::HashSet<u64> = (0..10_000u64).map(hash_one).collect();
+        assert_eq!(hashes.len(), 10_000, "sequential keys must not collide");
+        // Byte-stream writes are length-sensitive.
+        let mut a = BuildMix64.build_hasher();
+        a.write(b"ab");
+        let mut b = BuildMix64.build_hasher();
+        b.write(b"abc");
+        assert_ne!(a.finish(), b.finish());
     }
 }

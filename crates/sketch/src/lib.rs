@@ -25,4 +25,4 @@ pub mod hash;
 pub use bloom::BloomFilter;
 pub use cms::CountMinSketch;
 pub use exact::{ExactCounter, ExactDistinct};
-pub use hash::HashFn;
+pub use hash::{BuildMix64, FastMap, FastSet, HashFn, Mix64Hasher};

@@ -6,6 +6,7 @@
 
 use crate::background::{CLIENT_BASE, SERVER_BASE};
 use newton_packet::{Packet, PacketBuilder, Protocol, TcpFlags};
+use newton_sketch::hash::mix64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -68,172 +69,191 @@ fn ts(spec: &InjectSpec, i: u32) -> u64 {
     spec.start_ns + (i as u64) * spec.window_ns / (spec.intensity.max(1) as u64)
 }
 
+/// The fixed shard count of [`inject`]: event indices split into this many
+/// contiguous ranges, each with a derived RNG. Purely spec-driven, so the
+/// injected packets are identical at any thread count.
+const ATK_SHARDS: u32 = 8;
+
+/// Below this intensity, shards run on the calling thread.
+const PAR_MIN_EVENTS: u32 = 4_096;
+
+/// The IP the corresponding query should report for each attack kind.
+fn guilty_ip(kind: AttackKind) -> u32 {
+    match kind {
+        AttackKind::NewTcpBurst => SERVER_BASE + 0xFFF0,
+        AttackKind::SshBrute => SERVER_BASE + 0xFFF1,
+        AttackKind::SuperSpreader => CLIENT_BASE + 0xEEEE,
+        AttackKind::PortScan => CLIENT_BASE + 0xDDDD,
+        AttackKind::UdpDdos => SERVER_BASE + 0xFFF3,
+        AttackKind::SynFlood => SERVER_BASE + 0xFFF4,
+        AttackKind::CompletedConns => SERVER_BASE + 0xFFF5,
+        AttackKind::Slowloris => SERVER_BASE + 0xFFF6,
+        AttackKind::DnsNoTcp => CLIENT_BASE + 0xCCCC,
+    }
+}
+
+/// Emit attack event `i`'s packet(s). Index-driven values (timestamps,
+/// port sweeps) use the global event index; randomized values draw from
+/// the shard's RNG.
+fn emit(kind: AttackKind, spec: &InjectSpec, i: u32, rng: &mut StdRng, out: &mut Vec<Packet>) {
+    let guilty = guilty_ip(kind);
+    match kind {
+        AttackKind::NewTcpBurst => out.push(
+            PacketBuilder::new()
+                .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 16))
+                .dst_ip(guilty)
+                .src_port(rng.gen_range(1024..u16::MAX))
+                .dst_port(443)
+                .tcp_flags(TcpFlags::SYN)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::SshBrute => out.push(
+            // Brute-force tools: one client, many attempts, uniform-ish
+            // packet sizes; distinct (dip, sip, len) tuples come from a
+            // small set of lengths across many clients.
+            PacketBuilder::new()
+                .src_ip(CLIENT_BASE + rng.gen_range(0..2048))
+                .dst_ip(guilty)
+                .src_port(rng.gen_range(1024..u16::MAX))
+                .dst_port(22)
+                .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                .wire_len(96 + (i % 13) as u16)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::SuperSpreader => out.push(
+            PacketBuilder::new()
+                .src_ip(guilty)
+                .dst_ip(SERVER_BASE + i) // a fresh destination each time
+                .src_port(40000)
+                .dst_port(80)
+                .tcp_flags(TcpFlags::SYN)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::PortScan => out.push(
+            PacketBuilder::new()
+                .src_ip(guilty)
+                .dst_ip(SERVER_BASE + 0xFFF2)
+                .src_port(41000)
+                .dst_port(1 + (i as u16 % 60000)) // sweep ports
+                .tcp_flags(TcpFlags::SYN)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::UdpDdos => out.push(
+            PacketBuilder::new()
+                .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 20)) // botnet
+                .dst_ip(guilty)
+                .src_port(rng.gen_range(1024..u16::MAX))
+                .dst_port(53)
+                .protocol(Protocol::Udp)
+                .wire_len(512)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::SynFlood => out.push(
+            PacketBuilder::new()
+                .src_ip(rng.gen()) // spoofed sources
+                .dst_ip(guilty)
+                .src_port(rng.gen()) // random sports
+                .dst_port(80)
+                .tcp_flags(TcpFlags::SYN)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::CompletedConns => {
+            let client = CLIENT_BASE + rng.gen_range(0..4096);
+            let sport = rng.gen_range(1024..u16::MAX);
+            let t = ts(spec, i);
+            let base =
+                PacketBuilder::new().src_ip(client).dst_ip(guilty).src_port(sport).dst_port(80);
+            out.push(base.clone().tcp_flags(TcpFlags::SYN).ts_ns(t).build());
+            out.push(
+                base.clone()
+                    .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                    .wire_len(700)
+                    .ts_ns(t + 1000)
+                    .build(),
+            );
+            out.push(base.tcp_flags(TcpFlags::FIN | TcpFlags::ACK).ts_ns(t + 2000).build());
+        }
+        AttackKind::Slowloris => out.push(
+            // Many connections (distinct sip/sport), headers only.
+            PacketBuilder::new()
+                .src_ip(CLIENT_BASE + rng.gen_range(0..256))
+                .dst_ip(guilty)
+                .src_port(20000 + (i as u16 % 40000))
+                .dst_port(80)
+                .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
+                .wire_len(64)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+        AttackKind::DnsNoTcp => out.push(
+            // DNS responses arrive; the host never opens a connection.
+            PacketBuilder::new()
+                .src_ip(0x0808_0808)
+                .dst_ip(guilty)
+                .src_port(53)
+                .dst_port(rng.gen_range(1024..u16::MAX))
+                .protocol(Protocol::Udp)
+                .wire_len(120)
+                .ts_ns(ts(spec, i))
+                .build(),
+        ),
+    }
+}
+
+/// One shard's events: indices `lo..hi` emitted with the shard's RNG.
+fn inject_shard(kind: AttackKind, spec: &InjectSpec, shard: u32, lo: u32, hi: u32) -> Vec<Packet> {
+    let mut rng = StdRng::seed_from_u64(mix64(
+        spec.seed ^ (kind as u64).wrapping_mul(0x9E37) ^ (shard as u64 + 1).wrapping_mul(0xA77A),
+    ));
+    let mut out = Vec::with_capacity((hi - lo) as usize);
+    for i in lo..hi {
+        emit(kind, spec, i, &mut rng, &mut out);
+    }
+    out
+}
+
 /// Inject an attack of `kind` into `packets`, returning its label.
 /// `packets` is re-sorted by timestamp afterwards by [`crate::trace::Trace`].
+///
+/// Event indices split into `ATK_SHARDS` contiguous ranges with derived
+/// per-shard RNGs, run on threads for large intensities and merged in
+/// shard order — deterministic in the spec at any thread count.
 pub fn inject(kind: AttackKind, spec: &InjectSpec, packets: &mut Vec<Packet>) -> Injection {
-    let mut rng = StdRng::seed_from_u64(spec.seed ^ (kind as u64).wrapping_mul(0x9E37));
     let before = packets.len();
-    let guilty = match kind {
-        AttackKind::NewTcpBurst => {
-            let victim = SERVER_BASE + 0xFFF0;
-            for i in 0..spec.intensity {
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 16))
-                        .dst_ip(victim)
-                        .src_port(rng.gen_range(1024..u16::MAX))
-                        .dst_port(443)
-                        .tcp_flags(TcpFlags::SYN)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            victim
+    let n = ATK_SHARDS.min(spec.intensity).max(1);
+    let bounds = |s: u32| (s * spec.intensity / n, (s + 1) * spec.intensity / n);
+    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
+    if n > 1 && cores > 1 && spec.intensity >= PAR_MIN_EVENTS {
+        let parts: Vec<Vec<Packet>> = std::thread::scope(|sc| {
+            let handles: Vec<_> = (0..n)
+                .map(|s| {
+                    let (lo, hi) = bounds(s);
+                    sc.spawn(move || inject_shard(kind, spec, s, lo, hi))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().expect("inject shard panicked")).collect()
+        });
+        for part in parts {
+            packets.extend(part);
         }
-        AttackKind::SshBrute => {
-            let victim = SERVER_BASE + 0xFFF1;
-            for i in 0..spec.intensity {
-                // Brute-force tools: one client, many attempts, uniform-ish
-                // packet sizes; distinct (dip, sip, len) tuples come from a
-                // small set of lengths across many clients.
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(CLIENT_BASE + rng.gen_range(0..2048))
-                        .dst_ip(victim)
-                        .src_port(rng.gen_range(1024..u16::MAX))
-                        .dst_port(22)
-                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
-                        .wire_len(96 + (i % 13) as u16)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            victim
+    } else {
+        for s in 0..n {
+            let (lo, hi) = bounds(s);
+            packets.extend(inject_shard(kind, spec, s, lo, hi));
         }
-        AttackKind::SuperSpreader => {
-            let spreader = CLIENT_BASE + 0xEEEE;
-            for i in 0..spec.intensity {
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(spreader)
-                        .dst_ip(SERVER_BASE + i) // a fresh destination each time
-                        .src_port(40000)
-                        .dst_port(80)
-                        .tcp_flags(TcpFlags::SYN)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            spreader
-        }
-        AttackKind::PortScan => {
-            let scanner = CLIENT_BASE + 0xDDDD;
-            let target = SERVER_BASE + 0xFFF2;
-            for i in 0..spec.intensity {
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(scanner)
-                        .dst_ip(target)
-                        .src_port(41000)
-                        .dst_port(1 + (i as u16 % 60000)) // sweep ports
-                        .tcp_flags(TcpFlags::SYN)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            scanner
-        }
-        AttackKind::UdpDdos => {
-            let victim = SERVER_BASE + 0xFFF3;
-            for i in 0..spec.intensity {
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(CLIENT_BASE + rng.gen_range(0..1 << 20)) // botnet
-                        .dst_ip(victim)
-                        .src_port(rng.gen_range(1024..u16::MAX))
-                        .dst_port(53)
-                        .protocol(Protocol::Udp)
-                        .wire_len(512)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            victim
-        }
-        AttackKind::SynFlood => {
-            let victim = SERVER_BASE + 0xFFF4;
-            for i in 0..spec.intensity {
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(rng.gen()) // spoofed sources
-                        .dst_ip(victim)
-                        .src_port(rng.gen()) // random sports
-                        .dst_port(80)
-                        .tcp_flags(TcpFlags::SYN)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            victim
-        }
-        AttackKind::CompletedConns => {
-            let server = SERVER_BASE + 0xFFF5;
-            for i in 0..spec.intensity {
-                let client = CLIENT_BASE + rng.gen_range(0..4096);
-                let sport = rng.gen_range(1024..u16::MAX);
-                let t = ts(spec, i);
-                let base =
-                    PacketBuilder::new().src_ip(client).dst_ip(server).src_port(sport).dst_port(80);
-                packets.push(base.clone().tcp_flags(TcpFlags::SYN).ts_ns(t).build());
-                packets.push(
-                    base.clone()
-                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
-                        .wire_len(700)
-                        .ts_ns(t + 1000)
-                        .build(),
-                );
-                packets.push(base.tcp_flags(TcpFlags::FIN | TcpFlags::ACK).ts_ns(t + 2000).build());
-            }
-            server
-        }
-        AttackKind::Slowloris => {
-            let victim = SERVER_BASE + 0xFFF6;
-            for i in 0..spec.intensity {
-                // Many connections (distinct sip/sport), headers only.
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(CLIENT_BASE + rng.gen_range(0..256))
-                        .dst_ip(victim)
-                        .src_port(20000 + (i as u16 % 40000))
-                        .dst_port(80)
-                        .tcp_flags(TcpFlags::ACK | TcpFlags::PSH)
-                        .wire_len(64)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            victim
-        }
-        AttackKind::DnsNoTcp => {
-            let silent = CLIENT_BASE + 0xCCCC;
-            for i in 0..spec.intensity {
-                // DNS responses arrive; the host never opens a connection.
-                packets.push(
-                    PacketBuilder::new()
-                        .src_ip(0x0808_0808)
-                        .dst_ip(silent)
-                        .src_port(53)
-                        .dst_port(rng.gen_range(1024..u16::MAX))
-                        .protocol(Protocol::Udp)
-                        .wire_len(120)
-                        .ts_ns(ts(spec, i))
-                        .build(),
-                );
-            }
-            silent
-        }
-    };
-    Injection { kind, guilty, packets: packets.len() - before, start_ns: spec.start_ns }
+    }
+    Injection {
+        kind,
+        guilty: guilty_ip(kind),
+        packets: packets.len() - before,
+        start_ns: spec.start_ns,
+    }
 }
 
 #[cfg(test)]

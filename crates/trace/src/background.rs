@@ -6,6 +6,7 @@
 
 use crate::zipf::Zipf;
 use newton_packet::{Packet, Protocol, TcpFlags};
+use newton_sketch::hash::mix64;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -66,10 +67,69 @@ fn pick_service_port(rng: &mut StdRng) -> u16 {
     80
 }
 
+/// The fixed shard count of [`generate`]. Shard structure is a pure
+/// function of the config — never of the machine — so a trace is
+/// bit-identical whether its shards run sequentially or on any number of
+/// threads.
+const GEN_SHARDS: usize = 8;
+
+/// Below this packet count, shards run on the calling thread (spawning
+/// costs more than generating). The output is identical either way.
+const PAR_MIN_PACKETS: usize = 16_384;
+
+/// Split `total` into `n` near-equal parts (remainder to the early parts).
+fn share(total: usize, n: usize, i: usize) -> usize {
+    total / n + usize::from(i < total % n)
+}
+
+/// The per-shard configs of a trace: flows and packets split near-evenly,
+/// each shard seeded by a value derived from the trace seed and the shard
+/// index. Purely config-driven — see `GEN_SHARDS`.
+fn shard_plan(cfg: &TraceConfig) -> Vec<TraceConfig> {
+    let n = GEN_SHARDS.min(cfg.flows).min(cfg.packets).max(1);
+    (0..n)
+        .map(|i| TraceConfig {
+            seed: mix64(cfg.seed ^ (i as u64 + 1).wrapping_mul(0xB0A0_5EED)),
+            packets: share(cfg.packets, n, i),
+            flows: share(cfg.flows, n, i),
+            ..cfg.clone()
+        })
+        .collect()
+}
+
 /// Generate the background packets described by `cfg`, sorted by timestamp.
+///
+/// Generation is split into `GEN_SHARDS` config-derived shards, run on
+/// threads when the trace is large and cores are available; shard outputs
+/// merge in shard order and then stable-sort by timestamp, so the trace is
+/// deterministic in the seed regardless of thread count.
 pub fn generate(cfg: &TraceConfig) -> Vec<Packet> {
     assert!(cfg.flows > 0 && cfg.packets > 0, "empty trace config");
     assert!(cfg.clients > 0 && cfg.servers > 0, "empty address pools");
+    let shards = shard_plan(cfg);
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let parts: Vec<Vec<Packet>> = if shards.len() > 1 && cores > 1 && cfg.packets >= PAR_MIN_PACKETS
+    {
+        std::thread::scope(|s| {
+            let handles: Vec<_> =
+                shards.iter().map(|sc| s.spawn(move || generate_shard(sc))).collect();
+            handles.into_iter().map(|h| h.join().expect("trace shard panicked")).collect()
+        })
+    } else {
+        shards.iter().map(generate_shard).collect()
+    };
+    let mut packets: Vec<Packet> = Vec::with_capacity(cfg.packets);
+    for part in parts {
+        packets.extend(part);
+    }
+    // Stable: equal timestamps keep shard order, so the merge is
+    // deterministic no matter how the shards were executed.
+    packets.sort_by_key(|p| p.ts_ns);
+    packets
+}
+
+/// Generate one shard's packets (unsorted).
+fn generate_shard(cfg: &TraceConfig) -> Vec<Packet> {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sizes = Zipf::new(cfg.flows, cfg.zipf_exponent).partition(cfg.packets as u64);
 
@@ -118,7 +178,6 @@ pub fn generate(cfg: &TraceConfig) -> Vec<Packet> {
             packets.push(p);
         }
     }
-    packets.sort_by_key(|p| p.ts_ns);
     packets
 }
 
@@ -144,6 +203,35 @@ mod tests {
         assert_eq!(a, b);
         let c = generate(&TraceConfig { seed: 999, ..small() });
         assert_ne!(a, c);
+    }
+
+    #[test]
+    fn sharded_generation_is_execution_order_independent() {
+        // Large enough to take the threaded path when cores allow it.
+        let cfg = TraceConfig { packets: 20_000, flows: 1_000, ..Default::default() };
+        let via_generate = generate(&cfg);
+        // Hand-run the shards in REVERSE order, then merge in shard order:
+        // the result must match exactly — proving the trace does not
+        // depend on when (or where) each shard executed.
+        let shards = shard_plan(&cfg);
+        let mut parts: Vec<Vec<Packet>> = shards.iter().rev().map(generate_shard).collect();
+        parts.reverse();
+        let mut manual: Vec<Packet> = parts.into_iter().flatten().collect();
+        manual.sort_by_key(|p| p.ts_ns);
+        assert_eq!(via_generate, manual);
+        assert_eq!(via_generate.len(), cfg.packets);
+    }
+
+    #[test]
+    fn shard_plan_preserves_totals_and_is_config_pure() {
+        for (packets, flows) in [(5_000usize, 300usize), (7usize, 3usize), (1, 1), (100, 999)] {
+            let cfg = TraceConfig { packets, flows, ..Default::default() };
+            let shards = shard_plan(&cfg);
+            assert_eq!(shards.iter().map(|s| s.packets).sum::<usize>(), packets);
+            assert_eq!(shards.iter().map(|s| s.flows).sum::<usize>(), flows);
+            assert!(shards.iter().all(|s| s.packets > 0 && s.flows > 0));
+            assert_eq!(shard_plan(&cfg).len(), shards.len());
+        }
     }
 
     #[test]

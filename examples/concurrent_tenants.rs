@@ -66,8 +66,12 @@ fn main() {
         }
     }
     println!("scan against tenant 5: reports {fired:?}");
-    assert_eq!(fired.len(), 1);
-    assert_eq!(fired[0].0, 6, "query id 6 = tenant 5");
+    // The threshold-crossing window is POLLUTION_SLACK + 1 steps wide, so a
+    // scanner that keeps going reports once per packet inside it; the
+    // analyzer deduplicates. What matters: only tenant 5's query fired.
+    let window = 1 + newton::compiler::POLLUTION_SLACK as usize;
+    assert!((1..=window).contains(&fired.len()), "got {} reports", fired.len());
+    assert!(fired.iter().all(|&(q, _)| q == 6), "query id 6 = tenant 5");
 
     // The Fig. 16 comparison at N = 1, 10, 100 concurrent clones of Q4.
     let q4 = catalog::q4_port_scan();

@@ -4,12 +4,18 @@
 //! workload as a pcap for inspection with standard tools.
 //!
 //! ```sh
-//! cargo run --example monitoring_service
+//! cargo run --example monitoring_service            # all cores
+//! cargo run --example monitoring_service -- --threads 4
+//! cargo run --example monitoring_service -- --threads 1   # sequential
 //! ```
+//!
+//! `--threads N` sets the epoch executor's worker count; results are
+//! bit-identical at every setting (see DESIGN.md, "Parallel execution
+//! model").
 //!
 //! [`NewtonSystem`]: newton::NewtonSystem
 
-use newton::net::Topology;
+use newton::net::{Parallelism, Topology};
 use newton::packet::flow::fmt_ipv4;
 use newton::query::catalog;
 use newton::trace::attacks::InjectSpec;
@@ -18,10 +24,28 @@ use newton::trace::pcap;
 use newton::trace::{AttackKind, Trace};
 use newton::{HostMapping, NewtonSystem};
 
+/// Parse `--threads N` from the command line; default is all cores.
+fn parallelism_from_args() -> Parallelism {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        if a == "--threads" {
+            let n = args
+                .next()
+                .and_then(|v| v.parse::<usize>().ok())
+                .expect("--threads expects a positive integer");
+            return Parallelism::new(n);
+        }
+    }
+    Parallelism::default()
+}
+
 fn main() {
     // One fabric, one system handle.
     let mut sys = NewtonSystem::new(Topology::fat_tree(4));
     sys.set_mapping(HostMapping::Fixed { ingress: 6, egress: 19 });
+    let par = parallelism_from_args();
+    sys.set_parallelism(par);
+    println!("epoch executor: {} worker thread(s)", par.threads);
 
     // The operator's standing intents.
     let intents = [

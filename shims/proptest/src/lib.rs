@@ -2,7 +2,7 @@
 //!
 //! The build environment has no crates.io access, so this workspace vendors
 //! the property-testing API subset its tests use: the [`proptest!`] macro,
-//! [`Strategy`] with `prop_map`, range/tuple/`Just`/[`prop_oneof!`]
+//! [`Strategy`](strategy::Strategy) with `prop_map`, range/tuple/`Just`/[`prop_oneof!`]
 //! strategies, `prop::collection::{vec, hash_set}`, `any::<T>()`, and the
 //! `prop_assert*` macros. Cases are generated from a deterministic
 //! per-test seed (derived from the test name) so failures reproduce; there

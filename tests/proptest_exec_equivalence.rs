@@ -9,6 +9,11 @@
 //!    register state.
 //! 2. `Network::deliver_batch` ≡ sequential `Network::deliver`: same
 //!    reports, same snapshot bytes, same per-link load counters.
+//! 3. `Network::deliver_batch_parallel` ≡ `Network::deliver_batch` at any
+//!    thread count (1, 2, 4, 8), for whole and CQE-sliced installs — with
+//!    (2), the parallel executor is transitively bit-identical to the
+//!    per-packet path. The full system loop is likewise invariant in
+//!    [`Parallelism`](newton::net::Parallelism).
 
 use newton::compiler::{compile, compile_sliced, CompilerConfig};
 use newton::dataplane::{PipelineConfig, SliceInfo, Switch};
@@ -243,5 +248,137 @@ proptest! {
                 prop_assert_eq!(seq.link_load(a, b), bat.link_load(a, b), "link ({}, {})", a, b);
             }
         }
+    }
+
+    #[test]
+    fn parallel_batch_matches_sequential_at_any_thread_count(
+        specs in prop::collection::vec(arb_query(), 1..3),
+        stream in arb_stream(),
+        topo_pick in 0usize..3,
+        endpoint_seed in any::<u64>(),
+        slice_first in any::<bool>(),
+    ) {
+        let make_topo = || match topo_pick {
+            0 => Topology::chain(3),
+            1 => Topology::chain(5),
+            _ => Topology::fat_tree(4),
+        };
+        let topo = make_topo();
+        let edges = topo.edge_switches().to_vec();
+        // Optionally CQE-slice the first query over the edge switches so
+        // snapshot headers must flow between hops; remaining queries
+        // install whole. Equivalence must hold either way.
+        let sliced = slice_first
+            .then(|| compile_sliced(&build(&specs[0], "prop"), 1, &compiler_cfg(), 3))
+            .filter(|s| (2..=edges.len()).contains(&s.slice_count()));
+        let build_net = || {
+            let mut net = Network::new(make_topo(), pipeline());
+            let mut next_id = 1u32;
+            if let Some(s) = &sliced {
+                let n = s.slice_count();
+                for (i, &edge) in edges.iter().enumerate().take(n) {
+                    let info = SliceInfo {
+                        index: i as u8,
+                        total: n as u8,
+                        capture_set: s.capture_sets[i],
+                        restore_set: if i == 0 {
+                            s.capture_sets[0]
+                        } else {
+                            s.capture_sets[i - 1]
+                        },
+                        stages: (0, 12),
+                    };
+                    net.switch_mut(edge).install(&s.slices[i]).unwrap();
+                    net.switch_mut(edge).set_slice(1, info).unwrap();
+                }
+                next_id = 2;
+            }
+            for (i, spec) in specs.iter().enumerate().skip(usize::from(sliced.is_some())) {
+                let compiled = compile(&build(spec, "prop"), next_id, &compiler_cfg());
+                next_id += 1;
+                net.switch_mut(edges[i % edges.len()]).install(&compiled.rules).unwrap();
+            }
+            net
+        };
+        let pick = |i: usize, salt: u64| {
+            edges[((endpoint_seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ (i as u64 + salt))
+                % edges.len() as u64) as usize]
+        };
+        let triples: Vec<(&Packet, NodeId, NodeId)> = stream
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, pick(i, 1), pick(i, 2)))
+            .collect();
+
+        let mut seq = build_net();
+        let base = seq.deliver_batch(&triples);
+        for threads in [1usize, 2, 4, 8] {
+            let mut par = build_net();
+            let out = par.deliver_batch_parallel(&triples, threads);
+            prop_assert_eq!(&out.reports, &base.reports, "reports diverged at {} threads", threads);
+            prop_assert_eq!(out.snapshot_bytes, base.snapshot_bytes, "threads={}", threads);
+            prop_assert_eq!(out.delivered, base.delivered, "threads={}", threads);
+            prop_assert_eq!(out.unrouted, base.unrouted, "threads={}", threads);
+            for a in 0..seq.switch_count() {
+                for b in a + 1..seq.switch_count() {
+                    prop_assert_eq!(
+                        seq.link_load(a, b),
+                        par.link_load(a, b),
+                        "link ({}, {}) at {} threads", a, b, threads
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// The production loop end to end: identical [`RunReport`]s — detections,
+/// packet/epoch counts, snapshot bytes — at every thread count, on a trace
+/// large enough that epochs cross the parallel-batch threshold.
+#[test]
+fn system_run_is_thread_count_invariant() {
+    use newton::net::Parallelism;
+    use newton::query::catalog;
+    use newton::system::NewtonSystem;
+    use newton::trace::attacks::InjectSpec;
+    use newton::trace::{AttackKind, Trace, TraceConfig};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let mut trace = Trace::background(&TraceConfig {
+        packets: 6_000,
+        flows: 400,
+        duration_ms: 100,
+        ..Default::default()
+    });
+    let scanner = trace
+        .inject(
+            AttackKind::PortScan,
+            &InjectSpec { intensity: 150, window_ns: 90_000_000, ..Default::default() },
+        )
+        .guilty;
+
+    let runs: Vec<_> = [1usize, 2, 4, 8]
+        .into_iter()
+        .map(|threads| {
+            let mut sys = NewtonSystem::new(Topology::fat_tree(4));
+            sys.set_parallelism(Parallelism::new(threads));
+            let q4 = sys.install(&catalog::q4_port_scan()).unwrap();
+            sys.install(&catalog::q1_new_tcp()).unwrap();
+            let r = sys.run_trace(&trace, 50);
+            let reported: BTreeMap<u32, BTreeSet<u64>> =
+                r.reported.iter().map(|(&id, keys)| (id, keys.iter().copied().collect())).collect();
+            (threads, q4.id, reported, r.packets, r.epochs, r.snapshot_bytes)
+        })
+        .collect();
+
+    let (_, q4, reported, packets, epochs, snapshot_bytes) = runs[0].clone();
+    assert!(packets > 0 && epochs >= 2);
+    assert!(
+        reported.get(&q4).is_some_and(|k| k.contains(&(scanner as u64))),
+        "scanner {scanner:#x} not reported: {reported:?}"
+    );
+    for (threads, _, rep, pk, ep, sp) in &runs[1..] {
+        assert_eq!(*rep, reported, "detections diverged at {threads} threads");
+        assert_eq!((*pk, *ep, *sp), (packets, epochs, snapshot_bytes), "at {threads} threads");
     }
 }
