@@ -5,18 +5,39 @@
 //!
 //! Prints a table and writes machine-readable results to `BENCH_perf.json`
 //! at the repository root, including a `thread_scaling` series for the
-//! parallel executor. Acceptance bars asserted here: the ExecPlan pipeline
-//! is ≥2× the reference path, and — on machines with ≥4 cores — parallel
-//! delivery is ≥2× the sequential batch path.
+//! parallel executor.
 //!
-//! Set `NEWTON_PERF_SMOKE=1` for a CI-sized run: a small trace, one timed
-//! pass, threads {1, 2}, equality assertions only, and no JSON output.
+//! ## Honest measurement
+//!
+//! Every path is timed as **fastest-of-N passes after one untimed warm-up
+//! pass**: the minimum pass time is the best estimator of the code's true
+//! cost on a shared machine, where scheduler noise, frequency scaling and
+//! cold caches only ever make a pass *slower*. All compared paths run the
+//! same pass count, so the report-count equality checks still pin them to
+//! bit-identical behaviour.
+//!
+//! Thread counts are **capped at the machine's cores** — running more
+//! workers than cores measures time-slicing, not scaling, and must not be
+//! published as scaling data. `NEWTON_BENCH_THREADS=1,2,16` overrides the
+//! list; entries beyond the core count are then tagged
+//! `oversubscribed: true` and excluded from the headline parallel speedup.
+//!
+//! Acceptance bars asserted here: the ExecPlan pipeline is ≥2× the
+//! reference path; parallel delivery at 1 worker stays within 10% of
+//! `deliver_batch` (it dispatches straight to it, so a miss means dispatch
+//! overhead crept in); and — on machines with ≥4 cores — parallel delivery
+//! is ≥2× the sequential batch path.
+//!
+//! Set `NEWTON_PERF_SMOKE=1` for a CI-sized run: a small trace, fewer
+//! passes, threads {1, 2} (2 kept even on one core, purely as a
+//! bit-equality check of the pool), the speedup gate at 1 worker, and no
+//! JSON output.
 
 use std::time::Instant;
 
 use newton::compiler::{compile, CompilerConfig};
 use newton::dataplane::{PipelineConfig, Switch};
-use newton::net::{Network, NodeId, Topology};
+use newton::net::{effective_parallelism, Network, NodeId, Topology};
 use newton::packet::Packet;
 use newton::query::catalog;
 use newton_bench::{evaluation_traces, print_table};
@@ -24,7 +45,7 @@ use newton_bench::{evaluation_traces, print_table};
 /// Timed passes over the trace; small enough to keep the bench under a
 /// minute, large enough that per-packet costs dominate setup.
 const PIPELINE_REPS: usize = 5;
-const DELIVERY_REPS: usize = 3;
+const DELIVERY_REPS: usize = 4;
 
 fn q19_switch() -> Switch {
     let mut sw = Switch::new(PipelineConfig::default());
@@ -35,27 +56,19 @@ fn q19_switch() -> Switch {
     sw
 }
 
-/// Packets/sec over `reps` passes of the trace; the returned `sink` keeps
-/// report counts observable so the loop isn't optimized away.
-fn time_pipeline(
-    mut sw: Switch,
-    packets: &[Packet],
-    reps: usize,
-    mut run: impl FnMut(&mut Switch, &Packet) -> usize,
-) -> (f64, usize) {
-    let mut sink = 0usize;
-    // Warm-up pass: populate registers and fault in the dispatch path.
-    for p in packets {
-        sink += run(&mut sw, p);
+/// Fastest-pass packets/sec over `passes` timed passes of `pass` (after
+/// one untimed warm-up pass that faults in pages, grows maps and spawns
+/// worker pools), plus the report-count sink across **all** passes so the
+/// work is observable and comparable across paths.
+fn best_rate(packets: usize, passes: usize, mut pass: impl FnMut() -> usize) -> (f64, usize) {
+    let mut sink = pass();
+    let mut best = f64::INFINITY;
+    for _ in 0..passes {
+        let start = Instant::now();
+        sink += pass();
+        best = best.min(start.elapsed().as_secs_f64());
     }
-    let start = Instant::now();
-    for _ in 0..reps {
-        for p in packets {
-            sink += run(&mut sw, p);
-        }
-    }
-    let secs = start.elapsed().as_secs_f64();
-    ((reps * packets.len()) as f64 / secs, sink)
+    (packets as f64 / best, sink)
 }
 
 fn q19_network() -> (Network, Vec<NodeId>) {
@@ -86,30 +99,52 @@ fn fmt_rate(r: f64) -> String {
     format!("{:.2} Mpkt/s", r / 1e6)
 }
 
-/// Packets/sec (and total reports) for `reps` parallel passes at a fixed
-/// thread count.
-fn time_parallel(
-    triples: &[(&Packet, NodeId, NodeId)],
+/// One `thread_scaling` measurement.
+struct ScalingEntry {
     threads: usize,
-    reps: usize,
-) -> (f64, usize) {
-    let (mut net, _) = q19_network();
-    let mut reports = 0usize;
-    let start = Instant::now();
-    for _ in 0..reps {
-        reports += net.deliver_batch_parallel(triples, threads).reports.len();
+    rate: f64,
+    /// More workers than the machine has cores: bit-identical output, but
+    /// the timing measures time-slicing, not scaling.
+    oversubscribed: bool,
+}
+
+/// The thread counts to measure: `{1, 2, 4, 8} ∪ {cores}` capped at the
+/// core count, or the `NEWTON_BENCH_THREADS` override (which may
+/// oversubscribe — those entries get tagged). Smoke mode keeps `{1, 2}`
+/// even on one core so CI always bit-checks the pool; the 2-worker timing
+/// is then marked oversubscribed and carries no gate.
+fn thread_counts(cores: usize, smoke: bool) -> Vec<(usize, bool)> {
+    if let Ok(list) = std::env::var("NEWTON_BENCH_THREADS") {
+        let mut counts: Vec<(usize, bool)> = list
+            .split(',')
+            .filter_map(|s| s.trim().parse::<usize>().ok())
+            .map(|t| (t.max(1), t > cores))
+            .collect();
+        counts.sort_unstable();
+        counts.dedup();
+        if !counts.is_empty() {
+            return counts;
+        }
     }
-    ((reps * triples.len()) as f64 / start.elapsed().as_secs_f64(), reports)
+    let base: &[usize] = if smoke { &[1, 2] } else { &[1, 2, 4, 8] };
+    let mut counts: Vec<(usize, bool)> =
+        base.iter().copied().filter(|&t| t <= cores).map(|t| (t, false)).collect();
+    if !smoke && cores > 1 && !counts.iter().any(|&(t, _)| t == cores) {
+        counts.push((cores, false));
+    }
+    if smoke && !counts.iter().any(|&(t, _)| t == 2) {
+        counts.push((2, true));
+    }
+    counts.sort_unstable();
+    counts
 }
 
 fn main() {
     let smoke = std::env::var_os("NEWTON_PERF_SMOKE").is_some();
-    let (trace_len, pipeline_reps, delivery_reps, thread_counts): (usize, usize, usize, &[usize]) =
-        if smoke {
-            (4_000, 1, 1, &[1, 2])
-        } else {
-            (40_000, PIPELINE_REPS, DELIVERY_REPS, &[1, 2, 4, 8])
-        };
+    let cores = effective_parallelism();
+    let (trace_len, pipeline_reps, delivery_reps): (usize, usize, usize) =
+        if smoke { (4_000, 1, 2) } else { (40_000, PIPELINE_REPS, DELIVERY_REPS) };
+    let counts = thread_counts(cores, smoke);
 
     // One evaluation trace with all nine attack behaviours injected, so
     // every query has work to do.
@@ -117,57 +152,59 @@ fn main() {
     let packets = traces[0].1.packets();
 
     // --- Single-switch pipeline: ExecPlan path vs reference path. ---
-    let (ref_rate, ref_sink) = time_pipeline(q19_switch(), packets, pipeline_reps, |sw, p| {
-        sw.process_reference(p, None).reports.len()
+    let mut sw = q19_switch();
+    let (ref_rate, ref_sink) = best_rate(packets.len() * pipeline_reps, pipeline_reps, || {
+        packets.iter().map(|p| sw.process_reference(p, None).reports.len()).sum()
     });
-    let (plan_rate, plan_sink) = time_pipeline(q19_switch(), packets, pipeline_reps, |sw, p| {
-        sw.process(p, None).reports.len()
+    let mut sw = q19_switch();
+    let (plan_rate, plan_sink) = best_rate(packets.len() * pipeline_reps, pipeline_reps, || {
+        packets.iter().map(|p| sw.process(p, None).reports.len()).sum()
     });
     assert_eq!(plan_sink, ref_sink, "planned and reference paths must emit equal report counts");
     let pipeline_speedup = plan_rate / ref_rate;
 
-    // --- Network delivery: sequential deliver vs deliver_batch. ---
+    // --- Network delivery: sequential deliver vs deliver_batch vs the
+    // multi-core executor, all timed identically (fastest of N passes).
     let pairs = endpoints(&q19_network().1, packets.len());
     let triples: Vec<(&Packet, NodeId, NodeId)> =
         packets.iter().zip(&pairs).map(|(p, &(ig, eg))| (p, ig, eg)).collect();
 
-    let mut seq_reports = 0usize;
     let (mut net, _) = q19_network();
-    let start = Instant::now();
-    for _ in 0..delivery_reps {
-        for &(p, ig, eg) in &triples {
-            seq_reports += net.deliver(p, ig, eg).reports.len();
-        }
-    }
-    let seq_rate = (delivery_reps * triples.len()) as f64 / start.elapsed().as_secs_f64();
+    let (seq_rate, seq_reports) = best_rate(triples.len(), delivery_reps, || {
+        triples.iter().map(|&(p, ig, eg)| net.deliver(p, ig, eg).reports.len()).sum()
+    });
 
-    let mut batch_reports = 0usize;
     let (mut net, _) = q19_network();
-    let start = Instant::now();
-    for _ in 0..delivery_reps {
-        batch_reports += net.deliver_batch(&triples).reports.len();
-    }
-    let batch_rate = (delivery_reps * triples.len()) as f64 / start.elapsed().as_secs_f64();
+    let (batch_rate, batch_reports) =
+        best_rate(triples.len(), delivery_reps, || net.deliver_batch(&triples).reports.len());
     assert_eq!(
         batch_reports, seq_reports,
         "batch and sequential delivery must emit equal report counts"
     );
     let delivery_speedup = batch_rate / seq_rate;
 
-    // --- Multi-core delivery: deliver_batch_parallel at each thread count.
     // The executor is bit-identical to deliver_batch by construction; the
     // report-count equality below is the smoke-level check of that claim.
-    let mut scaling: Vec<(usize, f64)> = Vec::new();
-    for &threads in thread_counts {
-        let (rate, reports) = time_parallel(&triples, threads, delivery_reps);
+    let mut scaling: Vec<ScalingEntry> = Vec::new();
+    for &(threads, oversubscribed) in &counts {
+        let (mut net, _) = q19_network();
+        let (rate, reports) = best_rate(triples.len(), delivery_reps, || {
+            net.deliver_batch_parallel(&triples, threads).reports.len()
+        });
         assert_eq!(
             reports, batch_reports,
             "parallel delivery at {threads} threads must emit equal report counts"
         );
-        scaling.push((threads, rate));
+        scaling.push(ScalingEntry { threads, rate, oversubscribed });
     }
-    let par_rate = scaling.iter().map(|&(_, r)| r).fold(0.0f64, f64::max);
+    let par_rate = scaling
+        .iter()
+        .filter(|e| !e.oversubscribed)
+        .map(|e| e.rate)
+        .fold(0.0f64, f64::max)
+        .max(f64::MIN_POSITIVE);
     let par_speedup = par_rate / batch_rate;
+    let par1_speedup = scaling.iter().find(|e| e.threads == 1).map(|e| e.rate / batch_rate);
 
     let mut rows = vec![
         vec!["Switch::process_reference".into(), fmt_rate(ref_rate), "1.00x".into()],
@@ -183,12 +220,13 @@ fn main() {
             format!("{delivery_speedup:.2}x"),
         ],
     ];
-    for &(threads, rate) in &scaling {
-        rows.push(vec![
-            format!("deliver_batch_parallel ({threads}t)"),
-            fmt_rate(rate),
-            format!("{:.2}x", rate / batch_rate),
-        ]);
+    for e in &scaling {
+        let label = if e.oversubscribed {
+            format!("deliver_batch_parallel ({}t, oversubscribed)", e.threads)
+        } else {
+            format!("deliver_batch_parallel ({}t)", e.threads)
+        };
+        rows.push(vec![label, fmt_rate(e.rate), format!("{:.2}x", e.rate / batch_rate)]);
     }
     print_table(
         "Pipeline & delivery throughput (Q1–Q9 workload)",
@@ -196,23 +234,66 @@ fn main() {
         &rows,
     );
 
+    assert!(
+        pipeline_speedup >= 2.0,
+        "acceptance: ExecPlan pipeline must be >= 2x reference (got {pipeline_speedup:.2}x)"
+    );
+    // The 1-worker parallel path dispatches straight to deliver_batch, so
+    // any real gap is dispatch overhead — the regression class this gate
+    // exists to catch (the seed executor shipped at 0.82x and collapsing).
+    if let Some(s1) = par1_speedup {
+        assert!(
+            s1 >= 0.9,
+            "acceptance: parallel delivery at 1 worker must stay within 10% of \
+             deliver_batch (got {s1:.2}x)"
+        );
+    }
+    // Scaling must not go backwards as real cores are added.
+    let measured: Vec<&ScalingEntry> = scaling.iter().filter(|e| !e.oversubscribed).collect();
+    for pair in measured.windows(2) {
+        assert!(
+            pair[1].rate >= pair[0].rate * 0.9,
+            "acceptance: thread scaling regressed from {}t ({}) to {}t ({})",
+            pair[0].threads,
+            fmt_rate(pair[0].rate),
+            pair[1].threads,
+            fmt_rate(pair[1].rate),
+        );
+    }
+    // The parallel speedup bar only means something with real cores under
+    // it; single-core machines still run the equality checks above.
+    if cores >= 4 {
+        assert!(
+            par_speedup >= 2.0,
+            "acceptance: parallel delivery must be >= 2x batch on {cores} cores \
+             (got {par_speedup:.2}x)"
+        );
+    } else {
+        println!("note: {cores} core(s) available, skipping the >=2x parallel speedup bar");
+    }
+
     if smoke {
-        println!("\nsmoke mode: equality checks passed, skipping BENCH_perf.json");
+        println!("\nsmoke mode: equality + speedup gates passed, skipping BENCH_perf.json");
         return;
     }
 
     let scaling_json = scaling
         .iter()
-        .map(|&(threads, rate)| {
+        .map(|e| {
             format!(
-                "    {{ \"threads\": {threads}, \"pkts_per_sec\": {rate:.0}, \"speedup_vs_batch\": {:.3} }}",
-                rate / batch_rate
+                "    {{ \"threads\": {}, \"pkts_per_sec\": {:.0}, \"speedup_vs_batch\": {:.3}, \
+                 \"oversubscribed\": {} }}",
+                e.threads,
+                e.rate,
+                e.rate / batch_rate,
+                e.oversubscribed,
             )
         })
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
         "{{\n  \"workload\": \"Q1-Q9, CAIDA-like trace, {} packets\",\n  \
+         \"timing\": \"fastest of {delivery_reps} passes after 1 warm-up pass\",\n  \
          \"pipeline_reference_pkts_per_sec\": {ref_rate:.0},\n  \
          \"pipeline_execplan_pkts_per_sec\": {plan_rate:.0},\n  \
          \"pipeline_speedup\": {pipeline_speedup:.3},\n  \
@@ -224,26 +305,8 @@ fn main() {
          \"benched_on_cores\": {cores},\n  \
          \"thread_scaling\": [\n{scaling_json}\n  ]\n}}\n",
         packets.len(),
-        cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     std::fs::write(out, &json).expect("write BENCH_perf.json");
     println!("\nwrote {out}");
-
-    assert!(
-        pipeline_speedup >= 2.0,
-        "acceptance: ExecPlan pipeline must be >= 2x reference (got {pipeline_speedup:.2}x)"
-    );
-    // The parallel speedup bar only means something with real cores under
-    // it; single-core machines still run the equality checks above.
-    let cores = std::thread::available_parallelism().map(|c| c.get()).unwrap_or(1);
-    if cores >= 4 {
-        assert!(
-            par_speedup >= 2.0,
-            "acceptance: parallel delivery must be >= 2x batch on {cores} cores \
-             (got {par_speedup:.2}x)"
-        );
-    } else {
-        println!("note: {cores} core(s) available, skipping the >=2x parallel speedup bar");
-    }
 }

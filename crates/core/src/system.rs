@@ -123,10 +123,15 @@ impl NewtonSystem {
     /// Threads to use for a delivery batch of `len` packets.
     fn batch_threads(&self, len: usize) -> usize {
         if len < PAR_BATCH_MIN {
-            1
-        } else {
-            self.parallelism.threads
+            return 1;
         }
+        // Workers beyond the machine's cores cannot speed anything up and
+        // actively slow the executor down (they time-slice against the
+        // peers they wait on), so the configured budget is capped at the
+        // effective parallelism. When the cap leaves a single worker —
+        // every single-core host — `deliver_batch_parallel` short-circuits
+        // to the plain batched path and pays zero parallel overhead.
+        self.parallelism.threads.min(newton_net::effective_parallelism())
     }
 
     /// The underlying network (failure injection, inspection).
@@ -346,6 +351,20 @@ mod tests {
         let report = sys.run_trace(&trace, 100);
         let keys = report.reported.get(&receipt.id).cloned().unwrap_or_default();
         assert!(keys.contains(&(silent as u64)), "silent DNS host not flagged: {keys:?}");
+    }
+
+    #[test]
+    fn batch_threads_clamps_to_cores_and_small_batches_stay_sequential() {
+        let mut sys = NewtonSystem::new(Topology::chain(2));
+        sys.set_parallelism(Parallelism::new(4096));
+        assert_eq!(sys.batch_threads(PAR_BATCH_MIN - 1), 1, "small batches run sequentially");
+        let t = sys.batch_threads(PAR_BATCH_MIN);
+        assert!(
+            t <= newton_net::effective_parallelism(),
+            "budget {t} must be capped at the core count"
+        );
+        sys.set_parallelism(Parallelism::sequential());
+        assert_eq!(sys.batch_threads(1 << 20), 1, "threads=1 is always the sequential path");
     }
 
     #[test]

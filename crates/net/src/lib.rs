@@ -16,7 +16,7 @@ pub mod sim;
 pub mod topology;
 
 pub use events::{EventSchedule, NetworkEvent};
-pub use parallel::Parallelism;
-pub use routing::{EcmpMode, PathTable, RouteScratch, Router};
+pub use parallel::{effective_parallelism, Parallelism, WorkerPool};
+pub use routing::{EcmpMode, PathTable, RouteScratch, Router, ShardScratch};
 pub use sim::{BatchDelivery, DeliveryResult, LinkKey, LinkLoad, Network};
 pub use topology::{NodeId, Topology};

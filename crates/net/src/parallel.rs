@@ -4,9 +4,30 @@
 //! its state banks 𝕊 exclusively, and cross-switch query state moves
 //! *only* via the 12-byte result snapshot riding the packet (§5 CQE). The
 //! executor exploits exactly that: switches are partitioned across worker
-//! threads (each worker holds `&mut` to its switches — no locks around
-//! pipeline state), and the only inter-thread dataflow is the snapshot
-//! handoff between a packet's consecutive hops.
+//! threads (each worker holds exclusive `&mut` access to its switches — no
+//! locks around pipeline state), and the only inter-thread dataflow is the
+//! snapshot handoff between a packet's consecutive hops.
+//!
+//! ## Persistent worker pool
+//!
+//! Workers are spawned **once** (lazily, on the first multi-worker batch)
+//! and owned by [`Network`](crate::Network) through its scratch state; batch
+//! dispatch is a condvar wake, not a thread creation. The caller's thread
+//! participates as worker 0, so a 2-worker batch wakes exactly one pool
+//! thread. The same pool also runs batch routing
+//! ([`Router::route_batch_into`](crate::Router::route_batch_into)) and the
+//! parallel epoch reset, so the steady-state epoch loop creates no OS
+//! threads at all.
+//!
+//! [`WorkerPool::run`] hands a borrowing closure to the pool by erasing its
+//! lifetime; this is sound because `run` does not return (or unwind) until
+//! every participating worker has finished the job and dropped its handle
+//! to the closure — the classic scoped-pool argument, with the scope held
+//! open by the job's completion count instead of a `thread::scope` join.
+//! A panicking participant is caught, recorded, and re-raised on the
+//! calling thread after the job drains; the job's `abort` flag is raised so
+//! peers blocked on work the dead worker will never produce bail out
+//! instead of deadlocking.
 //!
 //! ## Determinism contract
 //!
@@ -37,9 +58,21 @@
 //! earlier packets are fully processed, so its next hop sits at the head
 //! of its switch's queue with its hop counter matching.
 //!
+//! ## Lock-free hop handoff
+//!
+//! The snapshot in flight between a packet's consecutive hops lives in a
+//! plain [`UnsafeCell`] slot (`FlightSlot`), not a mutex. The per-packet
+//! `done` counter already serializes the slot: hop *h* is the only runnable
+//! hop of packet *p* while `done[p] == h`, so at most one worker can touch
+//! slot *p* at any instant. The counter's Release store (writer, after the
+//! slot write) / Acquire load (reader, before the slot read) edge makes the
+//! handoff a happens-before, so the read sees exactly the bytes written —
+//! the mutex the seed executor took twice per hop bought nothing but
+//! cache-line ping-pong.
+//!
 //! Merged outputs are made order-independent: reports carry their
 //! `(packet, hop, index-within-hop)` coordinates and are sorted into
-//! sequential order after the scope joins; link-load deltas are summed
+//! sequential order after the job drains; link-load deltas are summed
 //! (commutative); snapshot-byte counters add up.
 
 use crate::routing::PathTable;
@@ -47,17 +80,29 @@ use crate::sim::LinkKey;
 use crate::topology::NodeId;
 use newton_dataplane::{Report, Switch};
 use newton_packet::{Packet, SnapshotHeader, SP_HEADER_LEN};
-use std::sync::atomic::{AtomicU16, Ordering};
-use std::sync::Mutex;
+use std::any::Any;
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// Cached `std::thread::available_parallelism()` — one syscall for the
+/// process lifetime. Dispatch layers clamp their worker budgets here:
+/// running more workers than cores cannot go faster, and on a loaded or
+/// single-core host it actively goes slower (workers time-slice against
+/// the very peers they are waiting on).
+pub fn effective_parallelism() -> usize {
+    static CORES: OnceLock<usize> = OnceLock::new();
+    *CORES.get_or_init(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
 
 /// A report tagged with its `(packet, hop, index-within-hop)` coordinates
 /// plus the emitting switch — unique coordinates, so sorting on them
 /// rebuilds exactly the sequential emission order.
 type TaggedReport = (u32, u16, u16, NodeId, Report);
-
-/// A worker's contribution to the batch: its tagged reports, per-link
-/// load deltas, and snapshot bytes carried across its hops.
-type WorkerPart = (Vec<TaggedReport>, Vec<(LinkKey, u64, u64)>, usize);
 
 /// How many threads the epoch executor may use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,17 +125,278 @@ impl Parallelism {
 impl Default for Parallelism {
     /// One worker per available core.
     fn default() -> Self {
-        Self::new(std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+        Self::new(effective_parallelism())
     }
 }
 
+type Task = Arc<dyn Fn(usize) + Send + Sync + 'static>;
+
+#[derive(Default)]
+struct PoolState {
+    /// The current job's erased closure; `None` between jobs.
+    task: Option<Task>,
+    /// Job sequence number — lets a waking worker distinguish a fresh job
+    /// from the one it just finished.
+    seq: u64,
+    /// Worker indices `1..workers` participate in the current job.
+    workers: usize,
+    /// Pool participants still running the current job.
+    active: usize,
+    /// First panic payload raised by a pool participant of the current job.
+    panic: Option<Box<dyn Any + Send>>,
+    shutdown: bool,
+}
+
+struct PoolShared {
+    state: Mutex<PoolState>,
+    /// Workers wait here for the next job (or shutdown).
+    work_cv: Condvar,
+    /// The coordinator waits here for `active == 0`.
+    done_cv: Condvar,
+    /// Raised when any participant of the current job panics, so peers
+    /// blocked on dataflow the dead worker will never produce can bail out
+    /// instead of deadlocking. Reset at the start of each job.
+    abort: AtomicBool,
+}
+
+/// A persistent pool of parked worker threads for scoped fork-join jobs.
+///
+/// Threads spawn lazily on the first job that needs them and park between
+/// jobs; dispatch is a condvar wake. The calling thread always executes
+/// worker index 0 inline, so `run(1, ..)` touches no synchronization at
+/// all. Jobs may borrow the caller's stack: `run` blocks until every
+/// participant is done, and re-raises the first panic any participant hit.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    threads: Vec<JoinHandle<()>>,
+}
+
+impl Default for WorkerPool {
+    fn default() -> Self {
+        WorkerPool {
+            shared: Arc::new(PoolShared {
+                state: Mutex::new(PoolState::default()),
+                work_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                abort: AtomicBool::new(false),
+            }),
+            threads: Vec::new(),
+        }
+    }
+}
+
+impl fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("WorkerPool").field("spawned", &self.threads.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pool threads spawned so far (excluding the caller, worker 0).
+    pub fn spawned(&self) -> usize {
+        self.threads.len()
+    }
+
+    fn ensure_threads(&mut self, pool_threads: usize) {
+        while self.threads.len() < pool_threads {
+            let index = self.threads.len() + 1;
+            let shared = Arc::clone(&self.shared);
+            let handle = std::thread::Builder::new()
+                .name(format!("newton-worker-{index}"))
+                .spawn(move || worker_loop(index, shared))
+                .expect("spawn delivery worker");
+            self.threads.push(handle);
+        }
+    }
+
+    /// Run `task(w, abort)` once for every worker index `w < workers`,
+    /// blocking until all are done. Worker 0 runs on the calling thread;
+    /// the rest on parked pool threads (spawned on first use). If any
+    /// participant panics, the job's `abort` flag is raised (tasks blocked
+    /// on peer progress should poll it and return early) and the first
+    /// panic is re-raised here after the job fully drains.
+    pub fn run<'env>(
+        &mut self,
+        workers: usize,
+        task: impl Fn(usize, &AtomicBool) + Send + Sync + 'env,
+    ) {
+        self.shared.abort.store(false, Ordering::Relaxed);
+        if workers <= 1 {
+            task(0, &self.shared.abort);
+            return;
+        }
+        self.ensure_threads(workers - 1);
+        let shared = Arc::clone(&self.shared);
+        let task: Arc<dyn Fn(usize) + Send + Sync + 'env> =
+            Arc::new(move |w| task(w, &shared.abort));
+        // SAFETY: the erased closure is only reachable by this pool's
+        // workers, and `run` does not return or unwind before every
+        // participant has dropped its clone (`active == 0` below, and
+        // workers drop the task before decrementing `active`), so the
+        // closure's 'env borrows strictly outlive every use. The captures
+        // hold no drop glue beyond the Arc'd `shared`.
+        let task: Task =
+            unsafe { std::mem::transmute::<Arc<dyn Fn(usize) + Send + Sync + 'env>, Task>(task) };
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.task = Some(Arc::clone(&task));
+            st.workers = workers;
+            st.active = workers - 1;
+            st.seq += 1;
+            self.shared.work_cv.notify_all();
+        }
+        // The coordinator is worker 0. Its panic must not skip the drain
+        // below — the pool workers still borrow the caller's stack.
+        let main = catch_unwind(AssertUnwindSafe(|| task(0)));
+        if main.is_err() {
+            self.shared.abort.store(true, Ordering::Relaxed);
+        }
+        let pool_panic = {
+            let mut st = self.shared.state.lock().expect("pool state");
+            while st.active > 0 {
+                st = self.shared.done_cv.wait(st).expect("pool state");
+            }
+            st.task = None;
+            st.panic.take()
+        };
+        drop(task);
+        if let Err(payload) = main {
+            resume_unwind(payload);
+        }
+        if let Some(payload) = pool_panic {
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut st = self.shared.state.lock().expect("pool state");
+            st.shutdown = true;
+            self.shared.work_cv.notify_all();
+        }
+        for handle in self.threads.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(index: usize, shared: Arc<PoolShared>) {
+    let mut seen = 0u64;
+    loop {
+        let task: Task = {
+            let mut st = shared.state.lock().expect("pool state");
+            loop {
+                if st.shutdown {
+                    return;
+                }
+                if st.seq != seen {
+                    // A new job was published since we last looked; join it
+                    // if our index participates, otherwise skip it (the
+                    // coordinator only waits on participants).
+                    seen = st.seq;
+                    if index < st.workers {
+                        if let Some(task) = &st.task {
+                            break Arc::clone(task);
+                        }
+                    }
+                }
+                st = shared.work_cv.wait(st).expect("pool state");
+            }
+        };
+        let result = catch_unwind(AssertUnwindSafe(|| task(index)));
+        // Drop our handle to the borrowed closure *before* reporting
+        // completion — `run` may invalidate the borrows once `active == 0`.
+        drop(task);
+        let mut st = shared.state.lock().expect("pool state");
+        if let Err(payload) = result {
+            shared.abort.store(true, Ordering::Relaxed);
+            if st.panic.is_none() {
+                st.panic = Some(payload);
+            }
+        }
+        st.active -= 1;
+        if st.active == 0 {
+            shared.done_cv.notify_one();
+        }
+    }
+}
+
+/// Per-packet snapshot slot handed between a packet's consecutive hops.
+///
+/// Safety of the unsynchronized interior: a slot for packet *p* is written
+/// only by the worker retiring hop *h* (before its Release store of
+/// `done[p] = h + 1`) and read only by the worker starting hop *h + 1*
+/// (after its Acquire load observed `done[p] == h + 1`). The counter makes
+/// at most one hop of a packet runnable at a time, so accesses never
+/// overlap, and the Release/Acquire edge orders the write before the read.
+#[derive(Default)]
+struct FlightSlot(UnsafeCell<Option<SnapshotHeader>>);
+
+// SAFETY: see the type docs — the `done` counter serializes all access.
+unsafe impl Sync for FlightSlot {}
+
+/// Shareable base pointer into the switch array. Workers only dereference
+/// the switch ids assigned to them, and the greedy partition assigns every
+/// switch to at most one worker, so mutable accesses never alias.
+#[derive(Clone, Copy)]
+pub(crate) struct SwitchesPtr(pub(crate) *mut Switch);
+
+// SAFETY: dereferences are partitioned by switch id across workers (see
+// type docs); the pointee array outlives the job (the coordinator blocks
+// in `WorkerPool::run` until the job drains).
+unsafe impl Send for SwitchesPtr {}
+unsafe impl Sync for SwitchesPtr {}
+
+impl SwitchesPtr {
+    /// Pointer to switch `i`. Going through a method (not the raw field)
+    /// keeps closures capturing the `Sync` wrapper, not the bare pointer.
+    /// Dereferencing still requires the partition argument above.
+    pub(crate) fn at(self, i: usize) -> *mut Switch {
+        self.0.wrapping_add(i)
+    }
+}
+
+/// One worker's reusable working set: its report/delta output buffers and
+/// its per-owned-switch queue cursors.
+#[derive(Debug, Default)]
+struct WorkerOut {
+    reports: Vec<TaggedReport>,
+    deltas: Vec<(LinkKey, u64, u64)>,
+    snapshot_bytes: usize,
+    heads: Vec<usize>,
+}
+
+/// A per-worker slot: worker `w` is the only task that touches slot `w`
+/// while a job runs, and the coordinator touches slots only between jobs
+/// (through `&mut`, via `get_mut`).
+#[derive(Default)]
+struct WorkerSlot(UnsafeCell<WorkerOut>);
+
+// SAFETY: see the type docs — slots are indexed by worker, never shared.
+unsafe impl Sync for WorkerSlot {}
+
 /// Reusable buffers of the parallel delivery path, owned by
 /// [`Network`](crate::Network) so epoch after epoch performs no
-/// steady-state allocation.
-#[derive(Debug, Default)]
+/// steady-state allocation — and the pool threads themselves persist right
+/// alongside the buffers they work on.
+#[derive(Default)]
 pub(crate) struct ParScratch {
     /// Precomputed routes of the current batch.
     pub(crate) paths: PathTable,
+    /// Per-worker shard buffers of batch routing.
+    pub(crate) route_shards: crate::routing::ShardScratch,
+    /// The persistent worker pool shared by batch routing, batch delivery,
+    /// and the parallel epoch reset.
+    pub(crate) pool: WorkerPool,
+    /// Merged per-link `(link, payload, snapshot)` byte deltas of the last
+    /// executed batch; the caller flushes them into its link-load map.
+    pub(crate) deltas: Vec<(LinkKey, u64, u64)>,
     /// Per-switch FIFO work queues: `(packet index, hop position)` in
     /// batch order.
     queues: Vec<Vec<(u32, u16)>>,
@@ -98,22 +404,52 @@ pub(crate) struct ParScratch {
     /// `done[p] == h`. Release on store / Acquire on load orders the
     /// flight-slot handoff.
     done: Vec<AtomicU16>,
-    /// Per-packet snapshot in flight between consecutive hops. Only one
-    /// hop of a packet runs at a time, so the lock is never contended; it
-    /// exists to make the cross-thread handoff safe, with the `done`
-    /// counter providing the happens-before edge.
-    flight: Vec<Mutex<Option<SnapshotHeader>>>,
+    /// Per-packet snapshot in flight between consecutive hops; guarded by
+    /// `done` (see [`FlightSlot`]).
+    flight: Vec<FlightSlot>,
+    /// Busy switches of the current batch, heaviest queue first.
+    busy: Vec<NodeId>,
+    /// Greedy per-worker balance of queued hops.
+    load: Vec<usize>,
+    /// Per-worker owned switch ids (the shard partition).
+    assign: Vec<Vec<NodeId>>,
+    /// Per-worker output slots.
+    slots: Vec<WorkerSlot>,
+    /// Merge buffer for sorting reports back into sequential order.
+    tagged: Vec<TaggedReport>,
+}
+
+impl fmt::Debug for ParScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ParScratch")
+            .field("pool", &self.pool)
+            .field("switch_queues", &self.queues.len())
+            .field("packets", &self.done.len())
+            .finish()
+    }
 }
 
 /// What the executor hands back to [`Network`](crate::Network): reports in
-/// sequential order, raw link deltas (flushed by the caller into the
-/// link-load map), and the aggregate counters.
+/// sequential order and the aggregate counters. Link deltas stay in
+/// [`ParScratch::deltas`] so their buffer is reused across batches.
 pub(crate) struct ParOutcome {
     pub reports: Vec<(NodeId, Report)>,
-    pub deltas: Vec<(LinkKey, u64, u64)>,
     pub snapshot_bytes: usize,
     pub delivered: usize,
     pub unrouted: usize,
+}
+
+/// Everything a worker shares read-only (or via guarded slots) with its
+/// peers for one batch.
+#[derive(Clone, Copy)]
+struct BatchCtx<'a, 'p> {
+    switches: SwitchesPtr,
+    queues: &'a [Vec<(u32, u16)>],
+    done: &'a [AtomicU16],
+    flight: &'a [FlightSlot],
+    paths: &'a PathTable,
+    batch: &'a [(&'p Packet, NodeId, NodeId)],
+    newton_enabled: &'a [bool],
 }
 
 /// Run one routed batch on up to `threads` workers. `scratch.paths` must
@@ -125,7 +461,20 @@ pub(crate) fn execute_batch(
     scratch: &mut ParScratch,
     threads: usize,
 ) -> ParOutcome {
-    let ParScratch { paths, queues, done, flight } = scratch;
+    let ParScratch {
+        paths,
+        pool,
+        deltas,
+        queues,
+        done,
+        flight,
+        busy,
+        load,
+        assign,
+        slots,
+        tagged,
+        ..
+    } = scratch;
 
     // Fill the per-switch queues in batch order (order (1) above).
     queues.resize_with(switches.len(), Vec::new);
@@ -145,128 +494,266 @@ pub(crate) fn execute_batch(
             queues[node].push((i as u32, h as u16));
         }
     }
-    done.clear();
-    done.extend((0..batch.len()).map(|_| AtomicU16::new(0)));
-    flight.clear();
-    flight.extend((0..batch.len()).map(|_| Mutex::new(None)));
+    // Reset hop counters in place (plain stores through `get_mut`: the
+    // batch is not visible to any worker yet). Flight slots need no reset —
+    // hop 0 never reads its slot, and a read at hop h > 0 is always
+    // preceded by hop h-1's write within the same batch.
+    done.resize_with(batch.len(), AtomicU16::default);
+    for d in done.iter_mut() {
+        *d.get_mut() = 0;
+    }
+    flight.resize_with(batch.len(), FlightSlot::default);
 
     // Partition switches across workers, greedily balancing queue length:
     // heaviest switches first, each to the least-loaded worker. The
     // partition only affects scheduling, never output, but is kept
     // deterministic anyway (ties break by switch id, then worker index).
-    let mut busy: Vec<NodeId> = (0..switches.len()).filter(|&s| !queues[s].is_empty()).collect();
+    busy.clear();
+    busy.extend((0..switches.len()).filter(|&s| !queues[s].is_empty()));
     busy.sort_unstable_by_key(|&s| (std::cmp::Reverse(queues[s].len()), s));
     let workers = threads.clamp(1, busy.len().max(1));
-    let mut owner = vec![usize::MAX; switches.len()];
-    let mut load = vec![0usize; workers];
-    for &s in &busy {
+    load.clear();
+    load.resize(workers, 0);
+    if assign.len() < workers {
+        assign.resize_with(workers, Vec::new);
+    }
+    for a in assign.iter_mut() {
+        a.clear();
+    }
+    for &s in busy.iter() {
         let w = (0..workers).min_by_key(|&w| load[w]).expect("workers >= 1");
-        owner[s] = w;
         load[w] += queues[s].len();
+        assign[w].push(s);
     }
 
-    // Hand each worker exclusive `&mut` to its switches.
-    let mut owned: Vec<Vec<(NodeId, &mut Switch)>> = (0..workers).map(|_| Vec::new()).collect();
-    for (node, sw) in switches.iter_mut().enumerate() {
-        if owner[node] != usize::MAX {
-            owned[owner[node]].push((node, sw));
-        }
+    if slots.len() < workers {
+        slots.resize_with(workers, WorkerSlot::default);
+    }
+    for (w, slot) in slots.iter_mut().enumerate().take(workers) {
+        let out = slot.0.get_mut();
+        out.reports.clear();
+        out.deltas.clear();
+        out.snapshot_bytes = 0;
+        out.heads.clear();
+        out.heads.resize(assign[w].len(), 0);
     }
 
-    let queues = &*queues;
-    let done = &*done;
-    let flight = &*flight;
-    let paths = &*paths;
-    let parts: Vec<WorkerPart> = std::thread::scope(|s| {
-        let handles: Vec<_> = owned
-            .into_iter()
-            .map(|mine| {
-                s.spawn(move || {
-                    run_worker(mine, queues, done, flight, paths, batch, newton_enabled)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("delivery worker panicked")).collect()
-    });
+    {
+        let ctx = BatchCtx {
+            switches: SwitchesPtr(switches.as_mut_ptr()),
+            queues,
+            done,
+            flight,
+            paths,
+            batch,
+            newton_enabled,
+        };
+        let assign: &[Vec<NodeId>] = assign;
+        let slots: &[WorkerSlot] = slots;
+        pool.run(workers, |w, aborted| {
+            // SAFETY: worker `w` is the only task of this job dereferencing
+            // slot `w` (see WorkerSlot); the coordinator regains `&mut`
+            // access only after the job drains.
+            let out = unsafe { &mut *slots[w].0.get() };
+            run_worker(&assign[w], ctx, out, aborted);
+        });
+    }
 
     // Merge into sequential order: report coordinates `(packet, hop,
     // index-within-hop)` are unique, so the sort reproduces exactly the
-    // order the sequential walk emits.
-    let mut tagged: Vec<TaggedReport> = Vec::new();
-    let mut deltas: Vec<(LinkKey, u64, u64)> = Vec::new();
+    // order the sequential walk emits. Deltas accumulate into the reusable
+    // scratch buffer for the caller to flush.
+    tagged.clear();
+    deltas.clear();
     let mut snapshot_bytes = 0usize;
-    for (r, d, sp) in parts {
-        tagged.extend(r);
-        deltas.extend(d);
-        snapshot_bytes += sp;
+    for slot in slots.iter_mut().take(workers) {
+        let out = slot.0.get_mut();
+        tagged.append(&mut out.reports);
+        deltas.append(&mut out.deltas);
+        snapshot_bytes += out.snapshot_bytes;
     }
     tagged.sort_unstable_by_key(|&(p, h, j, _, _)| (p, h, j));
-    let reports = tagged.into_iter().map(|(_, _, _, node, r)| (node, r)).collect();
-    ParOutcome { reports, deltas, snapshot_bytes, delivered, unrouted }
+    let reports = tagged.drain(..).map(|(_, _, _, node, r)| (node, r)).collect();
+    ParOutcome { reports, snapshot_bytes, delivered, unrouted }
 }
 
 /// One worker: sweep the owned switches' queue heads, running every hop
-/// whose predecessor has finished, until all owned work is done. Yields
-/// the CPU on unproductive sweeps (the machine may have fewer cores than
-/// workers).
-#[allow(clippy::type_complexity)]
-fn run_worker(
-    mut mine: Vec<(NodeId, &mut Switch)>,
-    queues: &[Vec<(u32, u16)>],
-    done: &[AtomicU16],
-    flight: &[Mutex<Option<SnapshotHeader>>],
-    paths: &PathTable,
-    batch: &[(&Packet, NodeId, NodeId)],
-    newton_enabled: &[bool],
-) -> WorkerPart {
-    let total: usize = mine.iter().map(|&(node, _)| queues[node].len()).sum();
-    let mut heads = vec![0usize; mine.len()];
+/// whose predecessor has finished, until all owned work is done.
+fn run_worker(mine: &[NodeId], ctx: BatchCtx<'_, '_>, out: &mut WorkerOut, aborted: &AtomicBool) {
+    let total: usize = mine.iter().map(|&node| ctx.queues[node].len()).sum();
     let mut processed = 0usize;
-    let mut reports = Vec::new();
-    let mut deltas = Vec::new();
-    let mut snapshot_bytes = 0usize;
-
+    let mut idle = 0u32;
     while processed < total {
         let mut progressed = false;
-        for (k, (node, sw)) in mine.iter_mut().enumerate() {
-            let q = &queues[*node];
-            while heads[k] < q.len() {
-                let (p, h) = q[heads[k]];
-                if done[p as usize].load(Ordering::Acquire) != h {
+        for (k, &node) in mine.iter().enumerate() {
+            // SAFETY: the partition assigns each switch id to exactly one
+            // worker, so this worker holds the only live access to `node`'s
+            // switch for the whole job; the caller's `&mut [Switch]` borrow
+            // is dormant until the job drains (see SwitchesPtr).
+            let sw = unsafe { &mut *ctx.switches.at(node) };
+            let q = &ctx.queues[node];
+            while out.heads[k] < q.len() {
+                let (p, h) = q[out.heads[k]];
+                if ctx.done[p as usize].load(Ordering::Acquire) != h {
                     break;
                 }
-                let pkt = batch[p as usize].0;
-                let path = paths.path(p as usize);
+                let pkt = ctx.batch[p as usize].0;
+                let path = ctx.paths.path(p as usize);
+                // SAFETY: guarded by the Acquire load above — hop h-1's
+                // writer released this slot before storing `done[p] = h`
+                // (see FlightSlot).
                 let sp_in: Option<SnapshotHeader> =
-                    if h == 0 { None } else { *flight[p as usize].lock().expect("flight slot") };
+                    if h == 0 { None } else { unsafe { *ctx.flight[p as usize].0.get() } };
                 let mut sp_out = sp_in;
-                if newton_enabled[*node] {
-                    let out = sw.process(pkt, sp_in.as_ref());
-                    for (j, r) in out.reports.into_iter().enumerate() {
-                        reports.push((p, h, j as u16, *node, r));
+                if ctx.newton_enabled[node] {
+                    let o = sw.process(pkt, sp_in.as_ref());
+                    for (j, r) in o.reports.into_iter().enumerate() {
+                        out.reports.push((p, h, j as u16, node, r));
                     }
-                    sp_out = out.snapshot;
+                    sp_out = o.snapshot;
                 }
                 let next = h as usize + 1;
                 if next < path.len() {
                     let sp = if sp_out.is_some() {
-                        snapshot_bytes += SP_HEADER_LEN;
+                        out.snapshot_bytes += SP_HEADER_LEN;
                         SP_HEADER_LEN as u64
                     } else {
                         0
                     };
-                    deltas.push((LinkKey::new(*node, path[next]), pkt.wire_len as u64, sp));
-                    *flight[p as usize].lock().expect("flight slot") = sp_out;
+                    out.deltas.push((LinkKey::new(node, path[next]), pkt.wire_len as u64, sp));
+                    // SAFETY: this worker exclusively owns slot `p` while
+                    // `done[p] == h`; the Release store below publishes the
+                    // write to hop h+1's Acquire load (see FlightSlot).
+                    unsafe { *ctx.flight[p as usize].0.get() = sp_out };
                 }
-                done[p as usize].store(next as u16, Ordering::Release);
-                heads[k] += 1;
+                ctx.done[p as usize].store(next as u16, Ordering::Release);
+                out.heads[k] += 1;
                 processed += 1;
                 progressed = true;
             }
         }
-        if !progressed && processed < total {
-            std::thread::yield_now();
+        if progressed {
+            idle = 0;
+        } else if processed < total {
+            if aborted.load(Ordering::Relaxed) {
+                // A peer panicked: the hops we are waiting on will never
+                // retire. Bail out with partial output instead of spinning
+                // forever; the pool re-raises the peer's panic.
+                return;
+            }
+            backoff(idle);
+            idle = idle.saturating_add(1);
         }
     }
-    (reports, deltas, snapshot_bytes)
+}
+
+/// Bounded backoff for a worker whose every queue head waits on a hop
+/// owned by another worker: spin briefly (on a genuinely parallel run the
+/// dependency retires in nanoseconds), then yield, then sleep in small
+/// slices — workers may outnumber cores (determinism tests oversubscribe
+/// deliberately), where hot spinning would starve the very peer being
+/// waited on.
+fn backoff(idle: u32) {
+    if idle < 16 {
+        std::hint::spin_loop();
+    } else if idle < 64 {
+        std::thread::yield_now();
+    } else {
+        std::thread::sleep(Duration::from_micros(50));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn pool_runs_every_participant_and_reuses_threads() {
+        let mut pool = WorkerPool::new();
+        for workers in 1..=4usize {
+            let hits: Vec<AtomicUsize> = (0..workers).map(|_| AtomicUsize::new(0)).collect();
+            pool.run(workers, |w, _| {
+                hits[w].fetch_add(1, Ordering::Relaxed);
+            });
+            let counts: Vec<usize> = hits.iter().map(|h| h.load(Ordering::Relaxed)).collect();
+            assert_eq!(counts, vec![1; workers], "each participant runs exactly once");
+        }
+        assert_eq!(pool.spawned(), 3, "pool grows to workers-1 threads and keeps them");
+        // Shrinking the worker count reuses the parked threads.
+        let hits = AtomicUsize::new(0);
+        pool.run(2, |_, _| {
+            hits.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(hits.load(Ordering::Relaxed), 2);
+        assert_eq!(pool.spawned(), 3, "no threads spawned or dropped on smaller jobs");
+    }
+
+    #[test]
+    fn single_worker_jobs_run_inline_without_pool_threads() {
+        let mut pool = WorkerPool::new();
+        let caller = std::thread::current().id();
+        let ran_on = Mutex::new(None);
+        pool.run(1, |w, _| {
+            assert_eq!(w, 0);
+            *ran_on.lock().unwrap() = Some(std::thread::current().id());
+        });
+        assert_eq!(*ran_on.lock().unwrap(), Some(caller), "worker 0 is the calling thread");
+        assert_eq!(pool.spawned(), 0, "no threads for sequential jobs");
+    }
+
+    #[test]
+    fn worker_panic_propagates_and_unblocks_waiting_peers() {
+        let mut pool = WorkerPool::new();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(3, |w, aborted| match w {
+                1 => panic!("switch exploded"),
+                2 => {
+                    // Models a worker parked on a hop dependency the
+                    // panicking peer would have produced: it must see the
+                    // abort flag rather than wait forever.
+                    while !aborted.load(Ordering::Relaxed) {
+                        std::thread::yield_now();
+                    }
+                }
+                _ => {}
+            });
+        }))
+        .expect_err("the worker panic must reach the caller");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"switch exploded"));
+        // The pool survives the panic and stays usable.
+        let ran = AtomicUsize::new(0);
+        pool.run(3, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 3, "pool reusable after a worker panic");
+    }
+
+    #[test]
+    fn coordinator_panic_aborts_pool_workers() {
+        let mut pool = WorkerPool::new();
+        let payload = catch_unwind(AssertUnwindSafe(|| {
+            pool.run(2, |w, aborted| {
+                if w == 0 {
+                    panic!("coordinator died");
+                }
+                while !aborted.load(Ordering::Relaxed) {
+                    std::thread::yield_now();
+                }
+            });
+        }))
+        .expect_err("the coordinator panic must propagate");
+        assert_eq!(payload.downcast_ref::<&str>(), Some(&"coordinator died"));
+        let ran = AtomicUsize::new(0);
+        pool.run(2, |_, _| {
+            ran.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), 2);
+    }
+
+    #[test]
+    fn default_parallelism_is_the_effective_core_count() {
+        assert_eq!(Parallelism::default().threads, effective_parallelism());
+        assert!(effective_parallelism() >= 1);
+    }
 }

@@ -4,14 +4,47 @@
 //! links excluded). Ties between equal-cost next hops break by hashing the
 //! flow key — deterministic per flow, spreading flows like hardware ECMP.
 
+use crate::parallel::WorkerPool;
 use crate::topology::{NodeId, Topology};
 use newton_packet::FlowKey;
 use newton_sketch::hash::mix64;
+use std::cell::UnsafeCell;
 use std::collections::{HashSet, VecDeque};
+use std::fmt;
 
-/// One route shard's output: concatenated path nodes plus the shard-local
-/// `(start, end)` range of each path within them.
-type RouteShard = (Vec<NodeId>, Vec<(u32, u32)>);
+/// One route shard's reusable working set: concatenated path nodes, the
+/// shard-local `(start, end)` range of each path within them, and the BFS
+/// scratch of the worker that fills it.
+#[derive(Debug, Default)]
+struct RouteShard {
+    nodes: Vec<NodeId>,
+    ranges: Vec<(u32, u32)>,
+    scratch: RouteScratch,
+    path: Vec<NodeId>,
+}
+
+/// A per-worker shard slot: worker `w` is the only task touching slot `w`
+/// while a routing job runs; the coordinator touches slots only between
+/// jobs, through `&mut` (`get_mut`).
+#[derive(Default)]
+struct ShardSlot(UnsafeCell<RouteShard>);
+
+// SAFETY: see the type docs — slots are indexed by worker, never shared.
+unsafe impl Sync for ShardSlot {}
+
+/// Reusable per-worker buffers of [`Router::route_batch_into`], owned next
+/// to the [`WorkerPool`] so batch routing allocates nothing in steady
+/// state.
+#[derive(Default)]
+pub struct ShardScratch {
+    shards: Vec<ShardSlot>,
+}
+
+impl fmt::Debug for ShardScratch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ShardScratch").field("shards", &self.shards.len()).finish()
+    }
+}
 
 /// What ECMP hashes to break ties between equal-cost next hops.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -64,12 +97,6 @@ impl PathTable {
     pub fn path(&self, i: usize) -> &[NodeId] {
         let (lo, hi) = self.ranges[i];
         &self.nodes[lo as usize..hi as usize]
-    }
-
-    fn push(&mut self, path: &[NodeId]) {
-        let lo = self.nodes.len() as u32;
-        self.nodes.extend_from_slice(path);
-        self.ranges.push((lo, self.nodes.len() as u32));
     }
 }
 
@@ -194,63 +221,57 @@ impl Router {
     /// Precompute the routes of a whole batch into `table` (cleared
     /// first). `item(i)` yields the `(flow, src, dst)` of packet `i`.
     /// Routing is pure (`path_into` takes `&self`), so chunks are computed
-    /// on `threads` scoped threads and merged in chunk order — the table
-    /// is bit-identical to sequential routing at any thread count.
+    /// by `threads` workers of the persistent `pool` (the caller's thread
+    /// included) and merged in chunk order — the table is bit-identical to
+    /// sequential routing at any thread count, and the `shards` buffers
+    /// are reused so steady-state batch routing neither spawns threads nor
+    /// allocates.
     pub fn route_batch_into(
         &self,
         count: usize,
         item: impl Fn(usize) -> (FlowKey, NodeId, NodeId) + Sync,
         threads: usize,
         table: &mut PathTable,
+        shards: &mut ShardScratch,
+        pool: &mut WorkerPool,
     ) {
         table.clear();
         if count == 0 {
             return;
         }
         let threads = threads.clamp(1, count);
-        if threads == 1 {
-            let mut scratch = RouteScratch::default();
-            let mut path = Vec::new();
-            for i in 0..count {
-                let (flow, src, dst) = item(i);
-                if self.path_into(src, dst, &flow, &mut scratch, &mut path) {
-                    table.push(&path);
-                } else {
-                    table.push(&[]);
-                }
-            }
-            return;
-        }
         let chunk = count.div_ceil(threads);
-        let parts: Vec<RouteShard> = std::thread::scope(|s| {
+        if shards.shards.len() < threads {
+            shards.shards.resize_with(threads, ShardSlot::default);
+        }
+        for slot in shards.shards.iter_mut().take(threads) {
+            let shard = slot.0.get_mut();
+            shard.nodes.clear();
+            shard.ranges.clear();
+        }
+        {
             let item = &item;
-            let handles: Vec<_> = (0..threads)
-                .map(|t| {
-                    s.spawn(move || {
-                        let lo = t * chunk;
-                        let hi = ((t + 1) * chunk).min(count);
-                        let mut nodes = Vec::new();
-                        let mut ranges = Vec::with_capacity(hi - lo);
-                        let mut scratch = RouteScratch::default();
-                        let mut path = Vec::new();
-                        for i in lo..hi {
-                            let (flow, src, dst) = item(i);
-                            let start = nodes.len() as u32;
-                            if self.path_into(src, dst, &flow, &mut scratch, &mut path) {
-                                nodes.extend_from_slice(&path);
-                            }
-                            ranges.push((start, nodes.len() as u32));
-                        }
-                        (nodes, ranges)
-                    })
-                })
-                .collect();
-            handles.into_iter().map(|h| h.join().expect("route worker panicked")).collect()
-        });
-        for (nodes, ranges) in parts {
+            let slots: &[ShardSlot] = &shards.shards;
+            pool.run(threads, |w, _| {
+                // SAFETY: worker `w` is the only task of this job touching
+                // slot `w` (see ShardSlot); the coordinator regains `&mut`
+                // access only after the job drains.
+                let shard = unsafe { &mut *slots[w].0.get() };
+                for i in w * chunk..((w + 1) * chunk).min(count) {
+                    let (flow, src, dst) = item(i);
+                    let start = shard.nodes.len() as u32;
+                    if self.path_into(src, dst, &flow, &mut shard.scratch, &mut shard.path) {
+                        shard.nodes.extend_from_slice(&shard.path);
+                    }
+                    shard.ranges.push((start, shard.nodes.len() as u32));
+                }
+            });
+        }
+        for slot in shards.shards.iter_mut().take(threads) {
+            let shard = slot.0.get_mut();
             let base = table.nodes.len() as u32;
-            table.ranges.extend(ranges.into_iter().map(|(lo, hi)| (lo + base, hi + base)));
-            table.nodes.extend(nodes);
+            table.ranges.extend(shard.ranges.iter().map(|&(lo, hi)| (lo + base, hi + base)));
+            table.nodes.extend_from_slice(&shard.nodes);
         }
     }
 
@@ -356,8 +377,10 @@ mod tests {
                 (flow(i), edges[i as usize % edges.len()], edges[(i as usize + 3) % edges.len()])
             })
             .collect();
+        let mut shards = ShardScratch::default();
+        let mut pool = WorkerPool::new();
         let mut expect = PathTable::default();
-        r.route_batch_into(items.len(), |i| items[i], 1, &mut expect);
+        r.route_batch_into(items.len(), |i| items[i], 1, &mut expect, &mut shards, &mut pool);
         for (i, &(f, src, dst)) in items.iter().enumerate() {
             match r.path(src, dst, &f) {
                 Some(p) => assert_eq!(expect.path(i), &p[..]),
@@ -366,7 +389,14 @@ mod tests {
         }
         for threads in [2, 3, 8] {
             let mut got = PathTable::default();
-            r.route_batch_into(items.len(), |i| items[i], threads, &mut got);
+            r.route_batch_into(
+                items.len(),
+                |i| items[i],
+                threads,
+                &mut got,
+                &mut shards,
+                &mut pool,
+            );
             assert_eq!(got.len(), expect.len(), "threads={threads}");
             for i in 0..items.len() {
                 assert_eq!(got.path(i), expect.path(i), "packet {i}, threads={threads}");

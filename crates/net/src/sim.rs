@@ -230,8 +230,13 @@ impl Network {
     /// [`parallel`] for the determinism contract).
     /// Routes are precomputed in parallel chunks, then switches execute as
     /// shards: one FIFO work queue per switch in batch order, snapshot
-    /// headers handed between a packet's consecutive hops. `threads <= 1`
-    /// is exactly the sequential path.
+    /// headers handed between a packet's consecutive hops. Workers come
+    /// from a persistent pool owned by the network (the caller's thread
+    /// included), so steady-state batches spawn no threads and perform no
+    /// allocation beyond the returned reports. `threads <= 1` is exactly
+    /// the sequential path. Thread counts above
+    /// [`effective_parallelism`](crate::effective_parallelism) stay
+    /// bit-identical but only cost time; policy layers should clamp.
     pub fn deliver_batch_parallel(
         &mut self,
         batch: &[(&Packet, NodeId, NodeId)],
@@ -249,6 +254,8 @@ impl Network {
             },
             threads,
             &mut par.paths,
+            &mut par.route_shards,
+            &mut par.pool,
         );
         let outcome = parallel::execute_batch(
             &mut self.switches,
@@ -257,9 +264,8 @@ impl Network {
             &mut par,
             threads,
         );
+        Self::flush_link_deltas(&mut self.link_load, &mut par.deltas);
         self.par = par;
-        let mut deltas = outcome.deltas;
-        Self::flush_link_deltas(&mut self.link_load, &mut deltas);
         BatchDelivery {
             reports: outcome.reports,
             snapshot_bytes: outcome.snapshot_bytes,
@@ -336,23 +342,25 @@ impl Network {
         }
     }
 
-    /// [`clear_state`](Self::clear_state) with switches cleared on up to
-    /// `threads` scoped threads — register zeroing is per-switch
-    /// independent, so epoch boundaries need not serialize.
+    /// [`clear_state`](Self::clear_state) with switches cleared by up to
+    /// `threads` workers of the persistent pool — register zeroing is
+    /// per-switch independent, so epoch boundaries need not serialize,
+    /// and the boundary costs a pool wake rather than thread spawns.
     pub fn clear_state_parallel(&mut self, threads: usize) {
-        let threads = threads.clamp(1, self.switches.len().max(1));
+        let threads =
+            threads.min(parallel::effective_parallelism()).clamp(1, self.switches.len().max(1));
         if threads <= 1 {
             self.clear_state();
             return;
         }
-        let chunk = self.switches.len().div_ceil(threads);
-        std::thread::scope(|s| {
-            for group in self.switches.chunks_mut(chunk) {
-                s.spawn(move || {
-                    for sw in group {
-                        sw.clear_state();
-                    }
-                });
+        let n = self.switches.len();
+        let chunk = n.div_ceil(threads);
+        let base = parallel::SwitchesPtr(self.switches.as_mut_ptr());
+        self.par.pool.run(threads, |w, _| {
+            // SAFETY: the per-worker chunks are disjoint, and `run` blocks
+            // until every worker is done with its slice of the array.
+            for i in w * chunk..((w + 1) * chunk).min(n) {
+                unsafe { (*base.at(i)).clear_state() };
             }
         });
     }
@@ -577,6 +585,51 @@ mod tests {
             assert_eq!(got.unrouted, expected.unrouted, "threads={threads}");
             for a in 0..seq.switch_count() {
                 assert_eq!(seq.switch(a).forwarded(), par.switch(a).forwarded(), "switch {a}");
+                for b in a + 1..seq.switch_count() {
+                    assert_eq!(seq.link_load(a, b), par.link_load(a, b), "link ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pool_is_reused_across_epochs_batch_sizes_and_topologies() {
+        // One network (one worker pool) drives many epochs with wildly
+        // different batch sizes, interleaved with parallel epoch resets;
+        // the whole lifecycle must match a sequential twin bit for bit.
+        // Repeating on a second topology exercises independent pools.
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        for topo_pick in 0..2 {
+            let make_topo = || match topo_pick {
+                0 => Topology::chain(5),
+                _ => Topology::fat_tree(4),
+            };
+            let edges: Vec<NodeId> = make_topo().edge_switches().to_vec();
+            let build = || {
+                let mut net = Network::new(make_topo(), PipelineConfig::default());
+                net.switch_mut(edges[0]).install(&compiled.rules).unwrap();
+                net
+            };
+            let mut par = build();
+            let mut seq = build();
+            for (epoch, &size) in [3usize, 180, 41, 260].iter().enumerate() {
+                let pkts: Vec<Packet> =
+                    (0..size).map(|i| syn(0xBEEF + epoch as u32, i as u16)).collect();
+                let triples: Vec<(&Packet, NodeId, NodeId)> = pkts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, p)| (p, edges[i % edges.len()], edges[(i + 1) % edges.len()]))
+                    .collect();
+                let a = par.deliver_batch_parallel(&triples, 4);
+                let b = seq.deliver_batch(&triples);
+                assert_eq!(a.reports, b.reports, "epoch {epoch} (size {size})");
+                assert_eq!(a.snapshot_bytes, b.snapshot_bytes, "epoch {epoch}");
+                assert_eq!((a.delivered, a.unrouted), (b.delivered, b.unrouted), "epoch {epoch}");
+                par.clear_state_parallel(4);
+                seq.clear_state();
+            }
+            for a in 0..seq.switch_count() {
                 for b in a + 1..seq.switch_count() {
                     assert_eq!(seq.link_load(a, b), par.link_load(a, b), "link ({a},{b})");
                 }

@@ -12,7 +12,9 @@
 //! 3. `Network::deliver_batch_parallel` ≡ `Network::deliver_batch` at any
 //!    thread count (1, 2, 4, 8), for whole and CQE-sliced installs — with
 //!    (2), the parallel executor is transitively bit-identical to the
-//!    per-packet path. The full system loop is likewise invariant in
+//!    per-packet path. A second batch on the same network re-checks the
+//!    property through the *reused* persistent worker pool and scratch
+//!    buffers. The full system loop is likewise invariant in
 //!    [`Parallelism`](newton::net::Parallelism).
 
 use newton::compiler::{compile, compile_sliced, CompilerConfig};
@@ -312,6 +314,9 @@ proptest! {
 
         let mut seq = build_net();
         let base = seq.deliver_batch(&triples);
+        // Second batch on the same (now stateful) network: equivalence must
+        // survive the persistent pool and scratch buffers being *reused*.
+        let base2 = seq.deliver_batch(&triples);
         for threads in [1usize, 2, 4, 8] {
             let mut par = build_net();
             let out = par.deliver_batch_parallel(&triples, threads);
@@ -319,6 +324,14 @@ proptest! {
             prop_assert_eq!(out.snapshot_bytes, base.snapshot_bytes, "threads={}", threads);
             prop_assert_eq!(out.delivered, base.delivered, "threads={}", threads);
             prop_assert_eq!(out.unrouted, base.unrouted, "threads={}", threads);
+            let out2 = par.deliver_batch_parallel(&triples, threads);
+            prop_assert_eq!(
+                &out2.reports, &base2.reports,
+                "reused-pool reports diverged at {} threads", threads
+            );
+            prop_assert_eq!(out2.snapshot_bytes, base2.snapshot_bytes, "reuse threads={}", threads);
+            prop_assert_eq!(out2.delivered, base2.delivered, "reuse threads={}", threads);
+            prop_assert_eq!(out2.unrouted, base2.unrouted, "reuse threads={}", threads);
             for a in 0..seq.switch_count() {
                 for b in a + 1..seq.switch_count() {
                     prop_assert_eq!(
