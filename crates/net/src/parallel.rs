@@ -24,6 +24,9 @@
 //! every participating worker has finished the job and dropped its handle
 //! to the closure — the classic scoped-pool argument, with the scope held
 //! open by the job's completion count instead of a `thread::scope` join.
+//! The drain itself must therefore be infallible: it takes the state lock
+//! through a poison-tolerant helper, so even a poisoned mutex (some thread
+//! panicking with the guard held) cannot make `run` unwind early.
 //! A panicking participant is caught, recorded, and re-raised on the
 //! calling thread after the job drains; the job's `abort` flag is raised so
 //! peers blocked on work the dead worker will never produce bail out
@@ -85,7 +88,7 @@ use std::cell::UnsafeCell;
 use std::fmt;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU16, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -157,6 +160,20 @@ struct PoolShared {
     /// blocked on dataflow the dead worker will never produce can bail out
     /// instead of deadlocking. Reset at the start of each job.
     abort: AtomicBool,
+}
+
+impl PoolShared {
+    /// Lock the pool state, shrugging off poisoning. The soundness of the
+    /// lifetime-erased task in [`WorkerPool::run`] requires that `run`
+    /// *never* unwinds between publishing the task and draining the job —
+    /// a panic there would free the borrowed stack while workers still
+    /// hold clones of the closure. A poisoned guard is safe to reuse:
+    /// everything mutated under this lock (counters, the task slot, the
+    /// panic payload) is written in single statements that cannot be
+    /// observed half-done.
+    fn lock_state(&self) -> MutexGuard<'_, PoolState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
 }
 
 /// A persistent pool of parked worker threads for scoped fork-join jobs.
@@ -242,7 +259,7 @@ impl WorkerPool {
         let task: Task =
             unsafe { std::mem::transmute::<Arc<dyn Fn(usize) + Send + Sync + 'env>, Task>(task) };
         {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = self.shared.lock_state();
             st.task = Some(Arc::clone(&task));
             st.workers = workers;
             st.active = workers - 1;
@@ -250,15 +267,17 @@ impl WorkerPool {
             self.shared.work_cv.notify_all();
         }
         // The coordinator is worker 0. Its panic must not skip the drain
-        // below — the pool workers still borrow the caller's stack.
+        // below — the pool workers still borrow the caller's stack. Nothing
+        // between here and the end of the drain may unwind (the drain locks
+        // via `lock_state`, which tolerates poisoning, exactly so).
         let main = catch_unwind(AssertUnwindSafe(|| task(0)));
         if main.is_err() {
             self.shared.abort.store(true, Ordering::Relaxed);
         }
         let pool_panic = {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = self.shared.lock_state();
             while st.active > 0 {
-                st = self.shared.done_cv.wait(st).expect("pool state");
+                st = self.shared.done_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
             st.task = None;
             st.panic.take()
@@ -276,7 +295,7 @@ impl WorkerPool {
 impl Drop for WorkerPool {
     fn drop(&mut self) {
         {
-            let mut st = self.shared.state.lock().expect("pool state");
+            let mut st = self.shared.lock_state();
             st.shutdown = true;
             self.shared.work_cv.notify_all();
         }
@@ -290,7 +309,7 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
     let mut seen = 0u64;
     loop {
         let task: Task = {
-            let mut st = shared.state.lock().expect("pool state");
+            let mut st = shared.lock_state();
             loop {
                 if st.shutdown {
                     return;
@@ -306,14 +325,16 @@ fn worker_loop(index: usize, shared: Arc<PoolShared>) {
                         }
                     }
                 }
-                st = shared.work_cv.wait(st).expect("pool state");
+                st = shared.work_cv.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
         let result = catch_unwind(AssertUnwindSafe(|| task(index)));
         // Drop our handle to the borrowed closure *before* reporting
         // completion — `run` may invalidate the borrows once `active == 0`.
+        // A poisoned lock must not unwind this loop either: dying here
+        // would leave `active` stuck above zero and the coordinator parked.
         drop(task);
-        let mut st = shared.state.lock().expect("pool state");
+        let mut st = shared.lock_state();
         if let Err(payload) = result {
             shared.abort.store(true, Ordering::Relaxed);
             if st.panic.is_none() {
