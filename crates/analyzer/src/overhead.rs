@@ -12,6 +12,9 @@ pub struct OverheadMeter {
     raw_packets: u64,
     messages: u64,
     message_bytes: u64,
+    /// Packets the network dropped for lack of a route (failures,
+    /// partitions) — traffic monitoring never saw and never will.
+    unrouted: u64,
 }
 
 impl OverheadMeter {
@@ -33,6 +36,16 @@ impl OverheadMeter {
     pub fn message(&mut self, bytes: u64) {
         self.messages += 1;
         self.message_bytes += bytes;
+    }
+
+    /// Count `n` packets dropped unrouted. They stay in `raw_packets` too
+    /// (they entered the network); this tracks how many never came out.
+    pub fn unrouted(&mut self, n: u64) {
+        self.unrouted += n;
+    }
+
+    pub fn unrouted_packets(&self) -> u64 {
+        self.unrouted
     }
 
     pub fn raw_packets(&self) -> u64 {
@@ -70,6 +83,9 @@ mod tests {
         }
         assert!((m.ratio() - 0.01).abs() < 1e-12);
         assert_eq!(m.message_bytes(), 640);
+        m.unrouted(7);
+        assert_eq!(m.unrouted_packets(), 7);
+        assert_eq!(m.raw_packets(), 1000, "unrouted packets are not double-counted");
     }
 
     #[test]

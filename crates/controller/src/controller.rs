@@ -4,10 +4,10 @@
 //! packet forwarding continues throughout (the §6.1 property — contrast
 //! with the Sonata reboot model in `newton-baselines`).
 
-use crate::placement::{place_parts, Placement};
+use crate::placement::{place_parts, reachable_depth, Placement};
 use crate::timing::RuleTimingModel;
 use newton_compiler::{compile, compile_sliced, CompilerConfig, QueryPlan};
-use newton_dataplane::{QueryId, SetId, SliceInfo};
+use newton_dataplane::{QueryId, RuleSet, SetId, SliceInfo};
 use newton_net::Network;
 use newton_query::Query;
 use std::collections::HashMap;
@@ -31,12 +31,44 @@ pub struct InstallReceipt {
     pub overflow_slices: usize,
 }
 
-/// One installed query's bookkeeping.
+/// One installed query's bookkeeping. Keeps the compiled artifacts so the
+/// controller can re-place slices after a switch failure (or restore the
+/// old query when an update's install fails) without recompiling.
 #[derive(Debug, Clone)]
 pub struct InstalledQuery {
     /// The analyzer plan (probe addresses are slice-relative).
     pub plan: QueryPlan,
     pub placement: Placement,
+    /// The original intent — drives the software-interpreter fallback when
+    /// a failure degrades the query below data-plane coverage.
+    pub query: Query,
+    /// Compiled per-slice rule sets, unshifted (stage 0 based).
+    pub slices: Vec<RuleSet>,
+    /// Pipeline stages each slice occupies.
+    pub stage_counts: Vec<usize>,
+    /// Snapshot capture set of each slice boundary.
+    pub captures: Vec<SetId>,
+}
+
+/// Outcome of one [`Controller::repair`] pass over the live topology.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RepairOutcome {
+    /// Installed queries examined.
+    pub examined: usize,
+    /// Queries that had missing slices re-placed this pass.
+    pub repaired: Vec<QueryId>,
+    /// Queries the live data plane cannot fully execute right now
+    /// (placement no longer fits, or the healthy subgraph is too shallow /
+    /// partitioned) — they must run on the software analyzer until a later
+    /// pass clears them.
+    pub degraded: Vec<QueryId>,
+    /// Rules pushed network-wide by this pass.
+    pub rules_installed: usize,
+    /// Switches that received rules.
+    pub switches_touched: usize,
+    /// Modelled rule-channel wall clock (max over switches — installs are
+    /// issued in parallel).
+    pub delay_ms: f64,
 }
 
 /// The centralized Newton controller.
@@ -155,11 +187,57 @@ impl Controller {
         let parts: Vec<usize> = rulesets.iter().map(|r| r.total_rule_count()).collect();
         let placement = place_parts(parts, &topo, topo.edge_switches());
 
+        let (total_rules, switches, max_delay) = Self::apply_placement(
+            &mut self.timing,
+            net,
+            id,
+            &placement,
+            &rulesets,
+            &stage_counts,
+            &captures,
+        )?;
+
+        let depth = reachable_depth(&topo, topo.edge_switches());
+        self.installed.insert(
+            id,
+            InstalledQuery {
+                plan,
+                placement: placement.clone(),
+                query: query.clone(),
+                slices: rulesets,
+                stage_counts,
+                captures,
+            },
+        );
+        Ok(InstallReceipt {
+            id,
+            delay_ms: max_delay,
+            rules: total_rules,
+            switches,
+            slices: placement.slice_count,
+            overflow_slices: placement.slice_count.saturating_sub(depth),
+        })
+    }
+
+    /// Push a full placement's rules to the network: every switch named by
+    /// `placement` receives its slices at stacked stage offsets. Dead
+    /// switches are skipped — a crashed box cannot accept config; the
+    /// repair pass covers it when it returns. Returns `(rules, switches,
+    /// delay_ms)`.
+    fn apply_placement(
+        timing: &mut RuleTimingModel,
+        net: &mut Network,
+        id: QueryId,
+        placement: &Placement,
+        rulesets: &[RuleSet],
+        stage_counts: &[usize],
+        captures: &[SetId],
+    ) -> Result<(usize, usize, f64), newton_dataplane::SwitchError> {
         let mut total_rules = 0usize;
         let mut switches = 0usize;
         let mut max_delay: f64 = 0.0;
         for (sw_id, slices) in placement.slices.iter().enumerate() {
-            if slices.is_empty() {
+            if slices.is_empty() || !net.router().switch_up(sw_id) {
                 continue;
             }
             switches += 1;
@@ -185,19 +263,9 @@ impl Controller {
                 offset += len;
             }
             total_rules += sw_rules;
-            max_delay = max_delay.max(self.timing.install_ms(sw_rules));
+            max_delay = max_delay.max(timing.install_ms(sw_rules));
         }
-
-        let depth = crate::placement::reachable_depth(&topo, topo.edge_switches());
-        self.installed.insert(id, InstalledQuery { plan, placement: placement.clone() });
-        Ok(InstallReceipt {
-            id,
-            delay_ms: max_delay,
-            rules: total_rules,
-            switches,
-            slices: placement.slice_count,
-            overflow_slices: placement.slice_count.saturating_sub(depth),
-        })
+        Ok((total_rules, switches, max_delay))
     }
 
     /// Remove an installed query everywhere.
@@ -280,6 +348,11 @@ impl Controller {
 
     /// Update = atomic remove + install of the new definition. Forwarding
     /// is untouched; only the query's rules change.
+    ///
+    /// Atomic in outcome: if the new query's install fails, the old query
+    /// is re-installed from its stored artifacts (same register slot, same
+    /// placement) and the error is returned — the caller observes either
+    /// the new query running or the old one untouched, never neither.
     pub fn update(
         &mut self,
         old: QueryId,
@@ -287,12 +360,151 @@ impl Controller {
         net: &mut Network,
         stages_per_switch: usize,
     ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+        let prior = self.installed.get(&old).cloned();
+        let prior_slot = self.slots_in_use.get(&old).copied();
         let removal = self.remove(old, net);
-        let mut receipt = self.install(query, net, stages_per_switch)?;
-        if let Some(r) = removal {
-            receipt.delay_ms += r.delay_ms;
+        match self.install(query, net, stages_per_switch) {
+            Ok(mut receipt) => {
+                if let Some(r) = removal {
+                    receipt.delay_ms += r.delay_ms;
+                }
+                Ok(receipt)
+            }
+            Err(e) => {
+                if let Some(entry) = prior {
+                    // Put the old query back. Its rules were just removed
+                    // and the failed install was rolled back, so the very
+                    // capacity it occupied is free again.
+                    if let Some(slot) = prior_slot {
+                        self.slots_in_use.insert(old, slot);
+                    }
+                    let restored = Self::apply_placement(
+                        &mut self.timing,
+                        net,
+                        old,
+                        &entry.placement,
+                        &entry.slices,
+                        &entry.stage_counts,
+                        &entry.captures,
+                    );
+                    match restored {
+                        Ok(_) => {
+                            self.installed.insert(old, entry);
+                        }
+                        Err(_) => {
+                            // Should be unreachable (see above); leave the
+                            // network clean rather than half-restored.
+                            for sw in 0..net.switch_count() {
+                                net.switch_mut(sw).remove_query(old);
+                            }
+                            self.slots_in_use.remove(&old);
+                        }
+                    }
+                }
+                Err(e)
+            }
         }
-        Ok(receipt)
+    }
+
+    /// One repair pass after topology churn: re-run Algorithm 2 over the
+    /// *healthy* subgraph and push every slice the live placement wants
+    /// that its switch no longer holds — the missing slices of queries
+    /// whose holders crashed and rebooted blank. Queries the live data
+    /// plane cannot fully execute (the healthy subgraph is too shallow,
+    /// partitioned from all edges, or a switch rejects its rules) are
+    /// listed as degraded for the driver to mirror into the software
+    /// analyzer.
+    ///
+    /// Deterministic: queries are visited in id order, switches in id
+    /// order, so the rule-channel timing model draws identically on every
+    /// run.
+    pub fn repair(&mut self, net: &mut Network) -> RepairOutcome {
+        let mut out = RepairOutcome::default();
+        if self.installed.is_empty() {
+            return out;
+        }
+        let full = net.topology().clone();
+        let full_depth = reachable_depth(&full, full.edge_switches());
+        let live = net.live_topology();
+        let live_edges: Vec<usize> = live.edge_switches().to_vec();
+        let live_depth = reachable_depth(&live, &live_edges);
+        let mut ids: Vec<QueryId> = self.installed.keys().copied().collect();
+        ids.sort_unstable();
+        for id in ids {
+            let entry = &self.installed[&id];
+            out.examined += 1;
+            // Slices beyond the full topology's depth never ran on the
+            // data plane (install-time overflow, §5.2); only the runnable
+            // prefix gauges failure-induced degradation.
+            let runnable = entry.placement.slice_count.min(full_depth);
+            let mut degraded = live_edges.is_empty() || live_depth < runnable;
+            let parts: Vec<usize> = entry.slices.iter().map(RuleSet::total_rule_count).collect();
+            let want = place_parts(parts, &live, &live_edges);
+            let mut query_rules = 0usize;
+            for (sw_id, slices) in want.slices.iter().enumerate() {
+                if slices.is_empty() {
+                    continue;
+                }
+                let have = net.switch(sw_id).assigned_slices(id);
+                let missing: Vec<usize> = slices
+                    .iter()
+                    .copied()
+                    .filter(|&c| !have.iter().any(|i| i.index as usize == c))
+                    .collect();
+                if missing.is_empty() {
+                    continue;
+                }
+                let mut offset = have.iter().map(|i| i.stages.1).max().unwrap_or(0);
+                let mut sw_rules = 0usize;
+                let mut failed = false;
+                for c in missing {
+                    let len = entry.stage_counts[c];
+                    let slice = entry.slices[c].shift_stages(offset);
+                    sw_rules += slice.total_rule_count();
+                    let pushed = net.switch_mut(sw_id).install(&slice).and_then(|()| {
+                        net.switch_mut(sw_id).add_slice(
+                            id,
+                            SliceInfo {
+                                index: c as u8,
+                                total: entry.placement.slice_count as u8,
+                                capture_set: entry.captures[c],
+                                restore_set: if c == 0 {
+                                    entry.captures[0]
+                                } else {
+                                    entry.captures[c - 1]
+                                },
+                                stages: (offset, offset + len),
+                            },
+                        )
+                    });
+                    if pushed.is_err() {
+                        failed = true;
+                        break;
+                    }
+                    offset += len;
+                }
+                if failed {
+                    // The switch can't take the query back consistently
+                    // (capacity reclaimed by others, slice-cursor clash);
+                    // drop whatever of the query it held so it is either
+                    // whole or absent, and degrade to software.
+                    net.switch_mut(sw_id).remove_query(id);
+                    degraded = true;
+                    continue;
+                }
+                query_rules += sw_rules;
+                out.switches_touched += 1;
+                out.delay_ms = out.delay_ms.max(self.timing.install_ms(sw_rules));
+            }
+            if query_rules > 0 {
+                out.rules_installed += query_rules;
+                out.repaired.push(id);
+            }
+            if degraded {
+                out.degraded.push(id);
+            }
+        }
+        out
     }
 }
 
@@ -414,6 +626,118 @@ mod tests {
         // The controller remains usable: a small query still installs.
         let ok = ctl.install(&catalog::q1_new_tcp(), &mut net, 12);
         assert!(ok.is_ok(), "controller must recover after a failed install: {ok:?}");
+    }
+
+    #[test]
+    fn failed_update_restores_the_old_query() {
+        // Sabotage mirroring failed_install_rolls_back_every_switch: the
+        // old (small) query fits beside the foreign filler, the new one
+        // does not — update must fail AND leave the old query installed,
+        // running, and detecting.
+        let mut ctl = controller();
+        let mut net = Network::new(
+            Topology::chain(2),
+            newton_dataplane::PipelineConfig { rule_capacity: 3, ..Default::default() },
+        );
+        let filler_cfg = CompilerConfig { registers_per_array: 128, ..Default::default() };
+        let filler = newton_compiler::compile(&catalog::q2_ssh_brute(), 9_000, &filler_cfg);
+        net.switch_mut(1).install(&filler.rules).expect("filler fits alone");
+
+        let old = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).expect("q1 fits");
+        let baseline_total = net.total_rules();
+        let baseline_sw0 = net.switch(0).total_rule_count();
+
+        let result = ctl.update(old.id, &catalog::q2_ssh_brute(), &mut net, 12);
+        assert!(result.is_err(), "switch 1 must reject the bigger query at capacity 3");
+        assert!(ctl.installed().contains_key(&old.id), "old query must survive the failure");
+        assert_eq!(net.total_rules(), baseline_total, "network restored to pre-update state");
+        assert_eq!(net.switch(0).total_rule_count(), baseline_sw0);
+
+        // The restored query still detects end-to-end.
+        let mut reports = 0;
+        for i in 0..catalog::thresholds::NEW_TCP as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(i as u32 + 1)
+                .dst_ip(0xAC10_0001)
+                .src_port(1000 + i)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports += net.deliver(&pkt, 0, 1).reports.len();
+        }
+        assert_eq!(reports, 1, "restored query must keep detecting");
+
+        // And a later legitimate update still works.
+        let mut tighter = catalog::q1_new_tcp();
+        tighter.name = "q1_tight".into();
+        let swapped = ctl.update(old.id, &tighter, &mut net, 12).expect("small update fits");
+        assert!(ctl.installed().contains_key(&swapped.id));
+        assert!(!ctl.installed().contains_key(&old.id));
+    }
+
+    #[test]
+    fn repair_reinstalls_slices_on_a_rebooted_switch() {
+        let mut ctl = controller();
+        let mut net = net(4);
+        // 4-stage budget → Q4 slices across the chain: switch i holds
+        // slice i.
+        let r = ctl.install(&catalog::q4_port_scan(), &mut net, 4).unwrap();
+        assert_eq!(r.slices, 4);
+        let victim = 2usize;
+        let rules_before = net.switch(victim).total_rule_count();
+        assert!(rules_before > 0);
+
+        // Crash: while the switch is down the live placement can't cover
+        // the full chain (the chain is cut), so the query degrades.
+        assert!(net.fail_switch(victim));
+        let out = ctl.repair(&mut net);
+        assert_eq!(out.examined, 1);
+        assert!(out.repaired.is_empty(), "nothing to install while the holder is down");
+        assert_eq!(out.degraded, vec![r.id], "a cut chain cannot run 4 slices");
+
+        // Reboot blank → repair must re-place exactly the lost slice.
+        net.restore_switch(victim);
+        assert_eq!(net.switch(victim).total_rule_count(), 0, "rebooted blank");
+        let out = ctl.repair(&mut net);
+        assert_eq!(out.repaired, vec![r.id]);
+        assert!(out.degraded.is_empty(), "full coverage is back");
+        assert_eq!(out.rules_installed, rules_before);
+        assert_eq!(out.switches_touched, 1);
+        assert!(out.delay_ms > 0.0, "rule pushes take rule-channel time");
+        assert_eq!(net.switch(victim).total_rule_count(), rules_before);
+
+        // CQE detects end-to-end again after the repair.
+        let mut reports = Vec::new();
+        for port in 0..catalog::thresholds::PORT_SCAN as u16 {
+            let pkt = PacketBuilder::new()
+                .src_ip(0xDEAD)
+                .dst_ip(0xAC10_0002)
+                .src_port(41_000)
+                .dst_port(1000 + port)
+                .tcp_flags(TcpFlags::SYN)
+                .build();
+            reports.extend(net.deliver(&pkt, 0, 3).reports);
+        }
+        assert_eq!(reports.len(), 1, "repaired CQE chain reports once");
+
+        // A healthy network needs no further repair.
+        let out = ctl.repair(&mut net);
+        assert!(out.repaired.is_empty() && out.degraded.is_empty());
+        assert_eq!(out.rules_installed, 0);
+    }
+
+    #[test]
+    fn repair_is_a_noop_without_installed_queries_or_failures() {
+        let mut ctl = controller();
+        let mut net = net(3);
+        assert_eq!(ctl.repair(&mut net), RepairOutcome::default());
+        ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+        let out = ctl.repair(&mut net);
+        assert_eq!(out.examined, 1);
+        assert!(out.repaired.is_empty() && out.degraded.is_empty());
+        let mut twin_net = Network::new(Topology::chain(3), PipelineConfig::default());
+        let mut twin = controller();
+        twin.install(&catalog::q1_new_tcp(), &mut twin_net, 12).unwrap();
+        assert_eq!(net.total_rules(), twin_net.total_rules(), "repair installed nothing");
     }
 
     #[test]

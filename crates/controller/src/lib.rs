@@ -19,6 +19,6 @@ pub mod placement;
 pub mod timing;
 
 pub use allocation::{allocate, AllocationPolicy, RegisterSlice};
-pub use controller::{Controller, InstallReceipt};
+pub use controller::{Controller, InstallReceipt, InstalledQuery, RepairOutcome};
 pub use placement::{place_parts, place_query, reachable_depth, Placement};
 pub use timing::RuleTimingModel;

@@ -47,6 +47,21 @@ pub struct RunReport {
     pub snapshot_bytes: u64,
     /// Per-(query, key) incidents with first/last epoch timing.
     pub incidents: IncidentLog,
+    /// Packets dropped for lack of a route (failures, partitions) —
+    /// traffic no query could observe on the data plane.
+    pub unrouted: u64,
+    /// Queries that had missing slices re-placed by the controller's
+    /// repair loop, summed over repair passes.
+    pub repairs: u64,
+    /// Modelled rule-channel wall clock spent on repairs, summed over
+    /// passes (each pass's delay is the max over its switches).
+    pub repair_delay_ms: f64,
+    /// (query, epoch) pairs that ran on the software interpreter because a
+    /// failure left the live data plane unable to execute the query.
+    pub degraded_query_epochs: u64,
+    /// Switch failures that destroyed installed rules — each is a
+    /// detection gap until the repair loop re-places the lost slices.
+    pub state_loss_events: u64,
 }
 
 impl RunReport {
@@ -71,6 +86,15 @@ pub struct NewtonSystem {
     /// logic on the analyzer instead (§5.2): the data plane forwards, the
     /// software executes — at per-packet mirroring cost.
     software_fallback: HashMap<QueryId, (Query, Interpreter)>,
+    /// Queries a failure has degraded below data-plane coverage: their
+    /// software twins run until a repair pass restores full placement.
+    /// Cleared at the start of every trace run.
+    degraded: HashMap<QueryId, (Query, Interpreter)>,
+    /// The ids the *latest* repair pass still lists as degraded; entries of
+    /// `degraded` absent from this set retire at the next epoch boundary.
+    degraded_ids: FastSet<QueryId>,
+    /// Whether scheduled events trigger the controller's repair loop.
+    repair_enabled: bool,
     /// Thread budget of the epoch executor (delivery + epoch reset).
     parallelism: Parallelism,
 }
@@ -99,8 +123,24 @@ impl NewtonSystem {
             mapping: HostMapping::ByAddress,
             stages_per_switch,
             software_fallback: HashMap::new(),
+            degraded: HashMap::new(),
+            degraded_ids: FastSet::default(),
+            repair_enabled: true,
             parallelism: Parallelism::default(),
         }
+    }
+
+    /// Enable/disable the controller's failure-repair loop (on by
+    /// default). With repair off, a switch that crashes and reboots blank
+    /// stays blank — the before/after comparison of the Fig. 9 failure
+    /// experiments.
+    pub fn set_repair(&mut self, enabled: bool) {
+        self.repair_enabled = enabled;
+    }
+
+    /// Whether the repair loop runs after scheduled events.
+    pub fn repair_enabled(&self) -> bool {
+        self.repair_enabled
     }
 
     /// Select the packet → edge-switch mapping.
@@ -212,7 +252,13 @@ impl NewtonSystem {
 
     /// [`run_trace`](Self::run_trace) with scheduled network dynamics: each
     /// event fires once simulated time passes its timestamp (Fig. 9's
-    /// failure scenarios, scripted).
+    /// failure scenarios, scripted). After every advance that fired, the
+    /// controller's repair loop re-places slices lost to switch crashes
+    /// and degrades unexecutable queries to the software interpreter for
+    /// the remainder of the epoch (unless [`set_repair`](Self::set_repair)
+    /// disabled it). The schedule is also advanced at each epoch boundary
+    /// and drained past trace end, so every event fires exactly once and
+    /// `events.pending()` is 0 when this returns.
     pub fn run_trace_with_events(
         &mut self,
         trace: &Trace,
@@ -222,23 +268,23 @@ impl NewtonSystem {
         let mut report = RunReport::default();
         let mut meter = OverheadMeter::new();
         let mut batch: Vec<(&Packet, NodeId, NodeId)> = Vec::new();
+        self.degraded.clear();
+        self.degraded_ids.clear();
+        let epoch_ns = epoch_ms.max(1) * 1_000_000;
         for epoch in trace.epochs(epoch_ms) {
             report.epochs += 1;
+            // Epochs are timestamp windows; the window's own end, not the
+            // last packet's timestamp, is when boundary work happens.
+            let epoch_end_ns = (epoch[0].ts_ns / epoch_ns + 1) * epoch_ns;
             for pkt in epoch {
                 meter.packet();
                 // Packets queued so far must route under the pre-event
                 // state: flush the batch before any scheduled dynamic
-                // fires, then advance the schedule.
+                // fires, then advance the schedule and repair.
                 if events.next_ts().is_some_and(|t| pkt.ts_ns >= t) {
-                    let threads = self.batch_threads(batch.len());
-                    let out = self.net.deliver_batch_parallel(&batch, threads);
-                    batch.clear();
-                    report.snapshot_bytes += out.snapshot_bytes as u64;
-                    for (_, r) in out.reports {
-                        meter.message(32);
-                        self.analyzer.ingest(&r);
-                    }
-                    events.advance(pkt.ts_ns, self.net.router_mut());
+                    self.flush_batch(&mut batch, &mut report, &mut meter);
+                    let adv = events.advance_network(pkt.ts_ns, &mut self.net);
+                    self.apply_dynamics(adv, &mut report, &mut meter);
                 }
                 let (ingress, egress) = self.endpoints(pkt);
                 batch.push((pkt, ingress, egress));
@@ -248,14 +294,21 @@ impl NewtonSystem {
                         interp.observe(pkt);
                     }
                 }
+                for (query, interp) in self.degraded.values_mut() {
+                    if Self::fallback_mirrors(query, pkt) {
+                        meter.message(pkt.wire_len as u64);
+                        interp.observe(pkt);
+                    }
+                }
             }
-            let threads = self.batch_threads(batch.len());
-            let out = self.net.deliver_batch_parallel(&batch, threads);
-            batch.clear();
-            report.snapshot_bytes += out.snapshot_bytes as u64;
-            for (_, r) in out.reports {
-                meter.message(32);
-                self.analyzer.ingest(&r);
+            self.flush_batch(&mut batch, &mut report, &mut meter);
+            // Events timestamped after the epoch's last packet still
+            // belong to this window: fire them before the boundary probes,
+            // exactly as wall-clock hardware would lose state before the
+            // epoch read-out.
+            if events.next_ts().is_some_and(|t| t <= epoch_end_ns) {
+                let adv = events.advance_network(epoch_end_ns, &mut self.net);
+                self.apply_dynamics(adv, &mut report, &mut meter);
             }
             for (id, keys) in self.finish_epoch() {
                 report.incidents.observe_epoch(id, keys.iter().copied());
@@ -266,12 +319,92 @@ impl NewtonSystem {
                 report.incidents.observe_epoch(id, keys.iter().copied());
                 report.reported.entry(id).or_default().extend(keys);
             }
+            // Degraded queries report from their software twins; twins the
+            // latest repair pass cleared retire here — degradation lasts
+            // "the remainder of the epoch".
+            let mut healed: Vec<QueryId> = Vec::new();
+            for (&id, (_, interp)) in &mut self.degraded {
+                report.degraded_query_epochs += 1;
+                let keys = interp.end_epoch().reported;
+                report.incidents.observe_epoch(id, keys.iter().copied());
+                report.reported.entry(id).or_default().extend(keys);
+                if !self.degraded_ids.contains(&id) {
+                    healed.push(id);
+                }
+            }
+            for id in healed {
+                self.degraded.remove(&id);
+            }
             report.incidents.end_epoch();
             self.net.clear_state_parallel(self.parallelism.threads);
         }
+        // Drain events scheduled past the trace end so schedules always
+        // finish empty (replays would otherwise see stale cursors).
+        let adv = events.advance_network(u64::MAX, &mut self.net);
+        self.apply_dynamics(adv, &mut report, &mut meter);
         report.messages = meter.messages();
         report.packets = meter.raw_packets();
+        report.unrouted = meter.unrouted_packets();
         report
+    }
+
+    /// Deliver and drain the queued batch into the report and meter.
+    fn flush_batch(
+        &mut self,
+        batch: &mut Vec<(&Packet, NodeId, NodeId)>,
+        report: &mut RunReport,
+        meter: &mut OverheadMeter,
+    ) {
+        let threads = self.batch_threads(batch.len());
+        let out = self.net.deliver_batch_parallel(batch, threads);
+        batch.clear();
+        report.snapshot_bytes += out.snapshot_bytes as u64;
+        meter.unrouted(out.unrouted as u64);
+        for (_, r) in out.reports {
+            meter.message(32);
+            self.analyzer.ingest(&r);
+        }
+    }
+
+    /// Bookkeeping after an [`EventSchedule`](newton_net::EventSchedule)
+    /// advance: account state loss, then run the controller's repair pass
+    /// and refresh the degraded set. Repair rule pushes are charged to the
+    /// meter as control-channel messages and to the report as modelled
+    /// rule-channel delay.
+    fn apply_dynamics(
+        &mut self,
+        adv: newton_net::AdvanceOutcome,
+        report: &mut RunReport,
+        meter: &mut OverheadMeter,
+    ) {
+        if adv.fired == 0 {
+            return;
+        }
+        report.state_loss_events += adv.state_loss as u64;
+        if !self.repair_enabled {
+            return;
+        }
+        let outcome = self.controller.repair(&mut self.net);
+        report.repairs += outcome.repaired.len() as u64;
+        report.repair_delay_ms += outcome.delay_ms;
+        for _ in 0..outcome.rules_installed {
+            meter.message(64);
+        }
+        self.degraded_ids.clear();
+        for &id in &outcome.degraded {
+            // Overflow queries already run whole in software; no second
+            // interpreter.
+            if self.software_fallback.contains_key(&id) {
+                continue;
+            }
+            self.degraded_ids.insert(id);
+            if !self.degraded.contains_key(&id) {
+                if let Some(entry) = self.controller.installed().get(&id) {
+                    self.degraded
+                        .insert(id, (entry.query.clone(), Interpreter::new(entry.query.clone())));
+                }
+            }
+        }
     }
 
     /// Probe-and-finalize the current epoch without resetting state.

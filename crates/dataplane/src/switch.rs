@@ -418,6 +418,14 @@ impl Switch {
         self.slices.get(&query).cloned().unwrap_or_else(|| vec![SliceInfo::whole()])
     }
 
+    /// The slice assignments *explicitly* held for `query` — empty when
+    /// the switch holds nothing, unlike [`slices_of`](Self::slices_of)
+    /// which defaults to a whole-query view. Repair uses this to tell
+    /// "never placed here" apart from "placed as a whole query".
+    pub fn assigned_slices(&self, query: QueryId) -> &[SliceInfo] {
+        self.slices.get(&query).map(Vec::as_slice).unwrap_or(&[])
+    }
+
     /// Total installed rules (init + modules).
     pub fn total_rule_count(&self) -> usize {
         self.init.rule_count()

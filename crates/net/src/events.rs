@@ -1,16 +1,45 @@
 //! Scheduled network dynamics: the failure/recovery timelines of Fig. 9.
 //!
-//! Experiments inject link events at trace timestamps; the driver applies
-//! each event as simulated time passes it. Deterministic by construction.
+//! Experiments inject link and switch events at trace timestamps; the
+//! driver applies each event as simulated time passes it. Deterministic by
+//! construction.
 
 use crate::routing::Router;
+use crate::sim::Network;
 use crate::topology::NodeId;
 
 /// One network dynamic.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum NetworkEvent {
-    FailLink { a: NodeId, b: NodeId },
-    RestoreLink { a: NodeId, b: NodeId },
+    FailLink {
+        a: NodeId,
+        b: NodeId,
+    },
+    RestoreLink {
+        a: NodeId,
+        b: NodeId,
+    },
+    /// A whole switch crashes: routing excludes it and the device loses
+    /// rules, slice assignments, and register state (see
+    /// [`Network::fail_switch`]).
+    FailSwitch {
+        s: NodeId,
+    },
+    /// The crashed switch reboots *blank*: it forwards again but holds no
+    /// rules until the controller repairs placement.
+    RestoreSwitch {
+        s: NodeId,
+    },
+}
+
+/// What one [`EventSchedule::advance_network`] call did.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct AdvanceOutcome {
+    /// Events applied by this call.
+    pub fired: usize,
+    /// Switch failures that destroyed installed rules — each is a
+    /// potential detection gap until repaired.
+    pub state_loss: usize,
 }
 
 /// A time-ordered schedule of events (timestamps in trace nanoseconds).
@@ -45,7 +74,9 @@ impl EventSchedule {
     }
 
     /// Apply every event with `ts ≤ now_ns` to the router; returns how many
-    /// fired.
+    /// fired. Routing-only view: switch events toggle reachability but no
+    /// device state exists to wipe — drivers that own a full [`Network`]
+    /// should use [`advance_network`](Self::advance_network) instead.
     pub fn advance(&mut self, now_ns: u64, router: &mut Router) -> usize {
         let mut fired = 0;
         while let Some(&(ts, event)) = self.events.get(self.cursor) {
@@ -55,11 +86,38 @@ impl EventSchedule {
             match event {
                 NetworkEvent::FailLink { a, b } => router.fail_link(a, b),
                 NetworkEvent::RestoreLink { a, b } => router.restore_link(a, b),
+                NetworkEvent::FailSwitch { s } => router.fail_switch(s),
+                NetworkEvent::RestoreSwitch { s } => router.restore_switch(s),
             }
             self.cursor += 1;
             fired += 1;
         }
         fired
+    }
+
+    /// Apply every event with `ts ≤ now_ns` to the full network: link
+    /// events toggle routing, switch failures also wipe the device (rules,
+    /// slices, state), and restores bring it back blank.
+    pub fn advance_network(&mut self, now_ns: u64, net: &mut Network) -> AdvanceOutcome {
+        let mut out = AdvanceOutcome::default();
+        while let Some(&(ts, event)) = self.events.get(self.cursor) {
+            if ts > now_ns {
+                break;
+            }
+            match event {
+                NetworkEvent::FailLink { a, b } => net.router_mut().fail_link(a, b),
+                NetworkEvent::RestoreLink { a, b } => net.router_mut().restore_link(a, b),
+                NetworkEvent::FailSwitch { s } => {
+                    if net.fail_switch(s) {
+                        out.state_loss += 1;
+                    }
+                }
+                NetworkEvent::RestoreSwitch { s } => net.restore_switch(s),
+            }
+            self.cursor += 1;
+            out.fired += 1;
+        }
+        out
     }
 
     /// Reset to the beginning (replaying a schedule).
@@ -106,6 +164,32 @@ mod tests {
         assert!(router.path(0, 2, &flow()).is_none());
         sched.advance(25, &mut router);
         assert_eq!(router.path(0, 2, &flow()).unwrap(), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn switch_events_wipe_and_restore_blank() {
+        use newton_dataplane::PipelineConfig;
+        let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+        // Give the middle switch something to lose: a slice assignment.
+        net.switch_mut(1)
+            .add_slice(7, newton_dataplane::SliceInfo::whole())
+            .expect("fresh switch accepts a slice");
+        let mut sched = EventSchedule::new()
+            .at(10, NetworkEvent::FailSwitch { s: 1 })
+            .at(20, NetworkEvent::RestoreSwitch { s: 1 });
+
+        let out = sched.advance_network(15, &mut net);
+        assert_eq!(out, AdvanceOutcome { fired: 1, state_loss: 0 }, "slices alone are free");
+        assert!(!net.router().switch_up(1));
+        assert!(net.router().path(0, 2, &flow()).is_none(), "chain is cut by the dead switch");
+        assert!(net.switch(1).assigned_slices(7).is_empty(), "wipe dropped the assignment");
+
+        let out = sched.advance_network(25, &mut net);
+        assert_eq!(out.fired, 1);
+        assert!(net.router().switch_up(1));
+        assert!(net.router().path(0, 2, &flow()).is_some());
+        assert!(net.switch(1).assigned_slices(7).is_empty(), "restore comes back blank");
+        assert_eq!(sched.pending(), 0);
     }
 
     #[test]

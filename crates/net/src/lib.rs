@@ -15,7 +15,7 @@ pub mod routing;
 pub mod sim;
 pub mod topology;
 
-pub use events::{EventSchedule, NetworkEvent};
+pub use events::{AdvanceOutcome, EventSchedule, NetworkEvent};
 pub use parallel::{effective_parallelism, Parallelism, WorkerPool};
 pub use routing::{EcmpMode, PathTable, RouteScratch, Router, ShardScratch};
 pub use sim::{BatchDelivery, DeliveryResult, LinkKey, LinkLoad, Network};

@@ -471,6 +471,10 @@ struct BatchCtx<'a, 'p> {
     paths: &'a PathTable,
     batch: &'a [(&'p Packet, NodeId, NodeId)],
     newton_enabled: &'a [bool],
+    /// Per-switch liveness ([`Router::live_switches`]): dead switches
+    /// forward without executing, exactly as the sequential walk skips
+    /// them.
+    alive: &'a [bool],
 }
 
 /// Run one routed batch on up to `threads` workers. `scratch.paths` must
@@ -478,6 +482,7 @@ struct BatchCtx<'a, 'p> {
 pub(crate) fn execute_batch(
     switches: &mut [Switch],
     newton_enabled: &[bool],
+    alive: &[bool],
     batch: &[(&Packet, NodeId, NodeId)],
     scratch: &mut ParScratch,
     threads: usize,
@@ -568,6 +573,7 @@ pub(crate) fn execute_batch(
             paths,
             batch,
             newton_enabled,
+            alive,
         };
         let assign: &[Vec<NodeId>] = assign;
         let slots: &[WorkerSlot] = slots;
@@ -626,7 +632,7 @@ fn run_worker(mine: &[NodeId], ctx: BatchCtx<'_, '_>, out: &mut WorkerOut, abort
                 let sp_in: Option<SnapshotHeader> =
                     if h == 0 { None } else { unsafe { *ctx.flight[p as usize].0.get() } };
                 let mut sp_out = sp_in;
-                if ctx.newton_enabled[node] {
+                if ctx.newton_enabled[node] && ctx.alive[node] {
                     let o = sw.process(pkt, sp_in.as_ref());
                     for (j, r) in o.reports.into_iter().enumerate() {
                         out.reports.push((p, h, j as u16, node, r));

@@ -100,17 +100,20 @@ impl PathTable {
     }
 }
 
-/// Routing over a topology with a mutable failure set.
+/// Routing over a topology with a mutable failure set (links and whole
+/// switches).
 #[derive(Debug, Clone)]
 pub struct Router {
     topo: Topology,
     failed: HashSet<(NodeId, NodeId)>,
+    alive: Vec<bool>,
     ecmp: EcmpMode,
 }
 
 impl Router {
     pub fn new(topo: Topology) -> Self {
-        Router { topo, failed: HashSet::new(), ecmp: EcmpMode::default() }
+        let alive = vec![true; topo.len()];
+        Router { topo, failed: HashSet::new(), alive, ecmp: EcmpMode::default() }
     }
 
     /// Select the ECMP tie-break mode.
@@ -140,9 +143,54 @@ impl Router {
         self.failed.remove(&Self::canon(a, b));
     }
 
-    /// Whether the link is currently up.
+    /// Whether the link is currently up. A link with a dead endpoint is
+    /// down regardless of its own state.
     pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
-        !self.failed.contains(&Self::canon(a, b))
+        self.alive[a] && self.alive[b] && !self.failed.contains(&Self::canon(a, b))
+    }
+
+    /// Fail a whole switch: every incident link goes dark and the node is
+    /// excluded from all paths until restored.
+    pub fn fail_switch(&mut self, s: NodeId) {
+        self.alive[s] = false;
+    }
+
+    /// Bring a failed switch back. Its links recover too, unless they were
+    /// failed independently via [`fail_link`](Self::fail_link).
+    pub fn restore_switch(&mut self, s: NodeId) {
+        self.alive[s] = true;
+    }
+
+    /// Whether the switch is currently up.
+    pub fn switch_up(&self, s: NodeId) -> bool {
+        self.alive[s]
+    }
+
+    /// Per-switch liveness, indexed by `NodeId` — shared read-only with
+    /// the batch executors so dead switches are skipped identically on
+    /// every path.
+    pub fn live_switches(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// The healthy subgraph as a [`Topology`]: live switches, live links,
+    /// and only the live subset of the edge switches. This is what
+    /// Algorithm 2 must re-place over after a failure.
+    pub fn live_topology(&self) -> Topology {
+        let mut live = Topology::new(format!("{}-live", self.topo.name()), self.topo.len());
+        for a in 0..self.topo.len() {
+            for b in self.topo.neighbors(a) {
+                if a < b && self.link_up(a, b) {
+                    live.add_link(a, b);
+                }
+            }
+        }
+        for &e in self.topo.edge_switches() {
+            if self.alive[e] {
+                live.mark_edge(e);
+            }
+        }
+        live
     }
 
     /// Live neighbors of a switch.
@@ -172,6 +220,9 @@ impl Router {
         out: &mut Vec<NodeId>,
     ) -> bool {
         out.clear();
+        if !self.alive[src] || !self.alive[dst] {
+            return false;
+        }
         if src == dst {
             out.push(src);
             return true;
@@ -278,6 +329,9 @@ impl Router {
     /// All switches on *any* live shortest path between two endpoints —
     /// what resilient placement must cover for this pair.
     pub fn shortest_path_dag_nodes(&self, src: NodeId, dst: NodeId) -> Vec<NodeId> {
+        if !self.alive[src] || !self.alive[dst] {
+            return Vec::new();
+        }
         let n = self.topo.len();
         let bfs = |root: NodeId| {
             let mut d = vec![usize::MAX; n];
@@ -402,6 +456,39 @@ mod tests {
                 assert_eq!(got.path(i), expect.path(i), "packet {i}, threads={threads}");
             }
         }
+    }
+
+    #[test]
+    fn dead_switch_is_excluded_from_paths() {
+        let t = Topology::fat_tree(4);
+        let (e1, e2) = (t.edge_switches()[0], t.edge_switches()[7]);
+        let mut r = Router::new(t);
+        let p = r.path(e1, e2, &flow(9)).unwrap();
+        // Kill the first transit switch; the flow must route around it.
+        r.fail_switch(p[1]);
+        assert!(!r.switch_up(p[1]));
+        let p2 = r.path(e1, e2, &flow(9)).unwrap();
+        assert!(!p2.contains(&p[1]), "rerouted path still visits dead switch");
+        // A dead endpoint makes the pair unroutable, even src == dst.
+        r.fail_switch(e1);
+        assert!(r.path(e1, e2, &flow(9)).is_none());
+        assert!(r.path(e1, e1, &flow(9)).is_none());
+        assert!(r.shortest_path_dag_nodes(e1, e2).is_empty());
+        r.restore_switch(e1);
+        r.restore_switch(p[1]);
+        assert_eq!(r.path(e1, e2, &flow(9)).unwrap(), p, "restore heals routing exactly");
+    }
+
+    #[test]
+    fn live_topology_drops_dead_switches_and_their_links() {
+        let mut r = Router::new(Topology::chain(4));
+        r.fail_switch(3);
+        r.fail_link(0, 1);
+        let live = r.live_topology();
+        assert_eq!(live.len(), 4, "node ids keep their meaning");
+        assert_eq!(live.link_count(), 1, "only 1-2 survives");
+        assert_eq!(live.edge_switches(), &[0], "dead edge switch unmarked");
+        assert!(live.neighbors(3).next().is_none());
     }
 
     #[test]

@@ -144,6 +144,33 @@ impl Network {
         self.link_load.values().map(LinkLoad::overhead_fraction).fold(0.0, f64::max)
     }
 
+    /// Fail a whole switch, as a hardware crash would: the router stops
+    /// sending traffic through it, and the device loses *everything* —
+    /// installed rules, slice assignments, and per-epoch register state.
+    /// Returns `true` if installed rules were lost, so callers can account
+    /// the loss. [`restore_switch`](Self::restore_switch)
+    /// brings the node back *blank*; the controller must re-place whatever
+    /// lived there (see `newton-controller`'s repair pass).
+    pub fn fail_switch(&mut self, s: NodeId) -> bool {
+        self.router.fail_switch(s);
+        let lost = self.switches[s].total_rule_count() > 0;
+        self.switches[s] = Switch::new(*self.switches[s].config());
+        lost
+    }
+
+    /// Bring a failed switch back into the topology. The device rebooted:
+    /// it forwards again immediately but carries no rules until the
+    /// controller re-installs them.
+    pub fn restore_switch(&mut self, s: NodeId) {
+        self.router.restore_switch(s);
+    }
+
+    /// The healthy subgraph (live switches, live links, live edge set) —
+    /// what placement repair must cover.
+    pub fn live_topology(&self) -> Topology {
+        self.router.live_topology()
+    }
+
     pub fn router(&self) -> &Router {
         &self.router
     }
@@ -260,6 +287,7 @@ impl Network {
         let outcome = parallel::execute_batch(
             &mut self.switches,
             &self.newton_enabled,
+            self.router.live_switches(),
             batch,
             &mut par,
             threads,
@@ -287,13 +315,16 @@ impl Network {
         let mut snapshot: Option<SnapshotHeader> = None;
         let mut snapshot_bytes = 0usize;
         for (i, &hop) in path.iter().enumerate() {
-            if self.newton_enabled[hop] {
+            if self.newton_enabled[hop] && self.router.switch_up(hop) {
                 let out = self.switches[hop].process(pkt, snapshot.as_ref());
                 reports.extend(out.reports.into_iter().map(|r| (hop, r)));
                 snapshot = out.snapshot;
             }
-            // A non-Newton hop forwards the frame (and any snapshot on it)
-            // untouched.
+            // A non-Newton (or failed) hop forwards the frame (and any
+            // snapshot on it) untouched. The router never routes *through*
+            // a dead switch, but a path computed just before the failure
+            // may still name one; skipping keeps the sequential and
+            // parallel executors in lockstep.
             // The snapshot travels on the wire to the next hop, if any.
             if i + 1 < path.len() {
                 let sp = if snapshot.is_some() {
@@ -654,6 +685,65 @@ mod tests {
             reports += net.deliver(&syn(7, 4000 + i), 0, 3).reports.len();
         }
         assert_eq!(reports, 0, "30 SYNs after parallel reset stay below the threshold of 40");
+    }
+
+    #[test]
+    fn failed_switch_loses_rules_and_packets_route_around_it() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let mut net = Network::new(Topology::fat_tree(4), PipelineConfig::default());
+        let edges: Vec<NodeId> = net.topology().edge_switches().to_vec();
+        let (src, dst) = (edges[0], edges[7]);
+        let first_hop = net.router().path(src, dst, &syn(1, 1).flow_key()).unwrap()[1];
+        net.switch_mut(first_hop).install(&compiled.rules).unwrap();
+        assert!(net.fail_switch(first_hop), "rules were on the box");
+        assert_eq!(net.switch(first_hop).total_rule_count(), 0, "crash wipes rules");
+        let r = net.deliver(&syn(1, 1), src, dst);
+        assert!(r.clean_delivery, "fat-tree routes around the dead switch");
+        assert!(!r.path.contains(&first_hop));
+        // Restore: blank box forwards but reports nothing.
+        net.restore_switch(first_hop);
+        for i in 0..200u16 {
+            let out = net.deliver(&syn(0xBEEF, i), src, dst);
+            assert!(out.reports.is_empty(), "blank switch cannot detect");
+        }
+    }
+
+    #[test]
+    fn parallel_delivery_matches_batch_with_dead_switches() {
+        let q = catalog::q1_new_tcp();
+        let compiled = compile(&q, 1, &CompilerConfig::default());
+        let topo = Topology::fat_tree(4);
+        let edges: Vec<NodeId> = topo.edge_switches().to_vec();
+        let build = || {
+            let mut net = Network::new(Topology::fat_tree(4), PipelineConfig::default());
+            net.switch_mut(edges[0]).install(&compiled.rules).unwrap();
+            net.switch_mut(edges[1]).install(&compiled.rules).unwrap();
+            // One dead transit switch, one dead edge switch (its packets
+            // become unroutable), one dead-then-restored switch.
+            net.fail_switch(0);
+            net.fail_switch(edges[2]);
+            net.fail_switch(edges[1]);
+            net.restore_switch(edges[1]);
+            net
+        };
+        let pkts: Vec<Packet> = (0..300u16).map(|i| syn(0xBEEF + (i % 5) as u32, i)).collect();
+        let triples: Vec<(&Packet, NodeId, NodeId)> = pkts
+            .iter()
+            .enumerate()
+            .map(|(i, p)| (p, edges[i % edges.len()], edges[(i + 3) % edges.len()]))
+            .collect();
+        let mut seq = build();
+        let expected = seq.deliver_batch(&triples);
+        assert!(expected.unrouted > 0, "dead edge switch must strand its packets");
+        for threads in [2, 4, 8] {
+            let mut par = build();
+            let got = par.deliver_batch_parallel(&triples, threads);
+            assert_eq!(got.reports, expected.reports, "threads={threads}");
+            assert_eq!(got.snapshot_bytes, expected.snapshot_bytes, "threads={threads}");
+            assert_eq!(got.delivered, expected.delivered, "threads={threads}");
+            assert_eq!(got.unrouted, expected.unrouted, "threads={threads}");
+        }
     }
 
     #[test]

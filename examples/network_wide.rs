@@ -7,9 +7,23 @@
 //! possible path, so when a link fails and ECMP reroutes the scanner's
 //! flows, monitoring keeps working with **no controller intervention**.
 //!
+//! A *switch* failure is the harder case: the crashed switch reboots
+//! blank, so its slice of the query is simply gone. The fat-tree's
+//! multiplexed placement still detects (another ordered slice chain on
+//! the path covers the hole), but the redundancy margin is spent — and
+//! `Controller::repair` is what restores it, re-placing the orphaned
+//! slice on the rebooted switch. Pick the victim with `--fail-switch N`
+//! (default: the first aggregation hop on the scanner's path):
+//!
 //! ```sh
 //! cargo run --example network_wide
+//! cargo run --example network_wide -- --fail-switch 17
 //! ```
+//!
+//! When a crashed switch is the *sole* holder of a slice (a single
+//! monitored edge), detection genuinely dies with it and only repair
+//! brings it back — `tests/failure_timeline.rs` scripts that timeline
+//! end to end.
 
 use newton::compiler::CompilerConfig;
 use newton::controller::Controller;
@@ -90,4 +104,61 @@ fn main() {
     assert_eq!(detected, 1, "resilient placement keeps monitoring correct after rerouting");
 
     println!("resilient placement held: no rule changes were needed after the failure");
+    net.clear_state();
+    net.router_mut().restore_link(old_path[1], old_path[2]);
+
+    // Act 2: a switch crashes and reboots *blank* — its slice of the
+    // query (and all register state) is gone for good. The multiplexed
+    // placement detects through the hole, but the redundancy Algorithm 2
+    // paid for is spent until `Controller::repair` re-places the slice.
+    let victim = std::env::args()
+        .skip_while(|a| a != "--fail-switch")
+        .nth(1)
+        .map(|n| n.parse().expect("--fail-switch takes a switch id"))
+        .unwrap_or(old_path[1]);
+    let default_victim = victim == old_path[1];
+    let rules_before = net.switch(victim).total_rule_count();
+
+    net.fail_switch(victim);
+    println!("\nswitch {victim} crashed ({rules_before} rules and all register state wiped)");
+    let detected = run_scan(&mut net, 2_000);
+    println!("epoch 3 (crashed):   scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    if default_victim {
+        assert_eq!(detected, 1, "pre-placed slices on the detour keep monitoring live");
+    }
+    net.clear_state();
+
+    net.restore_switch(victim);
+    let detected = run_scan(&mut net, 3_000);
+    println!(
+        "epoch 4 (rebooted):  scanner {} reported {detected} time(s) — switch {victim} is back but BLANK ({} rules)",
+        fmt_ipv4(scanner),
+        net.switch(victim).total_rule_count()
+    );
+    if default_victim {
+        assert_eq!(detected, 1, "another slice chain on the path covers the hole — for now");
+        assert_eq!(net.switch(victim).total_rule_count(), 0, "the reboot lost the slice");
+    }
+    net.clear_state();
+
+    let outcome = controller.repair(&mut net);
+    println!(
+        "repair: {}/{} queries re-placed, {} rules over {} switch(es), {:.1} ms of rule pushes",
+        outcome.repaired.len(),
+        outcome.examined,
+        outcome.rules_installed,
+        outcome.switches_touched,
+        outcome.delay_ms
+    );
+    let detected = run_scan(&mut net, 4_000);
+    println!("epoch 5 (repaired):  scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    if default_victim {
+        assert!(outcome.rules_installed > 0, "repair found the blank switch");
+        assert_eq!(
+            net.switch(victim).total_rule_count(),
+            rules_before,
+            "the orphaned slice is back where Algorithm 2 wanted it"
+        );
+        assert_eq!(detected, 1, "detection at pre-failure accuracy, redundancy margin restored");
+    }
 }

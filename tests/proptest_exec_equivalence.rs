@@ -395,3 +395,116 @@ fn system_run_is_thread_count_invariant() {
         assert_eq!((*pk, *ep, *sp), (packets, epochs, snapshot_bytes), "at {threads} threads");
     }
 }
+
+/// Random mid-trace dynamics — switch crashes, reboots, link cuts and
+/// restores — must leave the full system loop thread-count invariant:
+/// identical detections, unrouted counts and repair outcomes at 1, 2, 4
+/// and 8 threads, repair loop included.
+mod dynamic_equivalence {
+    use super::*;
+    use newton::net::{EventSchedule, NetworkEvent, Parallelism};
+    use newton::query::catalog;
+    use newton::system::NewtonSystem;
+    use newton::trace::attacks::InjectSpec;
+    use newton::trace::{AttackKind, Trace, TraceConfig};
+    use std::collections::{BTreeMap, BTreeSet};
+
+    /// (kind, subject, timestamp-in-trace): kind picks fail/restore of a
+    /// switch or a link; subjects index into the node/link tables.
+    fn arb_events() -> impl Strategy<Value = Vec<(u8, usize, u64)>> {
+        prop::collection::vec((0u8..4, 0usize..64, 1_000_000u64..99_000_000), 1..5)
+    }
+
+    fn links_of(topo: &Topology) -> Vec<(NodeId, NodeId)> {
+        let mut links = Vec::new();
+        for a in 0..topo.len() {
+            for b in topo.neighbors(a) {
+                if a < b {
+                    links.push((a, b));
+                }
+            }
+        }
+        links
+    }
+
+    fn schedule(topo: &Topology, raw: &[(u8, usize, u64)]) -> EventSchedule {
+        let links = links_of(topo);
+        let mut events = EventSchedule::new();
+        for &(kind, subject, ts) in raw {
+            let s = subject % topo.len();
+            let (a, b) = links[subject % links.len()];
+            events = events.at(
+                ts,
+                match kind {
+                    0 => NetworkEvent::FailSwitch { s },
+                    1 => NetworkEvent::RestoreSwitch { s },
+                    2 => NetworkEvent::FailLink { a, b },
+                    _ => NetworkEvent::RestoreLink { a, b },
+                },
+            );
+        }
+        events
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(12))]
+        #[test]
+        fn system_with_dynamics_is_thread_count_invariant(
+            raw_events in arb_events(),
+            topo_pick in 0usize..2,
+            repair in any::<bool>(),
+        ) {
+            let make_topo = || match topo_pick {
+                0 => Topology::chain(5),
+                _ => Topology::fat_tree(4),
+            };
+            let mut trace = Trace::background(&TraceConfig {
+                packets: 2_000,
+                flows: 200,
+                duration_ms: 100,
+                ..Default::default()
+            });
+            trace.inject(
+                AttackKind::PortScan,
+                &InjectSpec { intensity: 120, window_ns: 90_000_000, ..Default::default() },
+            );
+
+            let runs: Vec<_> = [1usize, 2, 4, 8]
+                .into_iter()
+                .map(|threads| {
+                    let mut sys = NewtonSystem::new(make_topo());
+                    sys.set_parallelism(Parallelism::new(threads));
+                    sys.set_repair(repair);
+                    sys.install(&catalog::q4_port_scan()).unwrap();
+                    sys.install(&catalog::q1_new_tcp()).unwrap();
+                    let mut events = schedule(&make_topo(), &raw_events);
+                    let r = sys.run_trace_with_events(&trace, 50, &mut events);
+                    prop_assert_eq!(events.pending(), 0, "schedules always drain");
+                    let reported: BTreeMap<u32, BTreeSet<u64>> = r
+                        .reported
+                        .iter()
+                        .map(|(&id, keys)| (id, keys.iter().copied().collect()))
+                        .collect();
+                    Ok((threads, reported, r))
+                })
+                .collect::<Result<_, _>>()?;
+
+            let (_, base_reported, base) = &runs[0];
+            for (threads, reported, r) in &runs[1..] {
+                prop_assert_eq!(reported, base_reported, "detections diverged at {} threads", threads);
+                prop_assert_eq!(
+                    (r.packets, r.epochs, r.snapshot_bytes, r.messages, r.unrouted),
+                    (base.packets, base.epochs, base.snapshot_bytes, base.messages, base.unrouted),
+                    "traffic accounting diverged at {} threads", threads
+                );
+                prop_assert_eq!(
+                    (r.repairs, r.degraded_query_epochs, r.state_loss_events,
+                     r.repair_delay_ms.to_bits()),
+                    (base.repairs, base.degraded_query_epochs, base.state_loss_events,
+                     base.repair_delay_ms.to_bits()),
+                    "repair outcomes diverged at {} threads", threads
+                );
+            }
+        }
+    }
+}

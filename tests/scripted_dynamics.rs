@@ -9,6 +9,15 @@ use newton::trace::background::TraceConfig;
 use newton::trace::{AttackKind, Trace};
 use newton::{HostMapping, NewtonSystem};
 
+fn short_trace() -> Trace {
+    Trace::background(&TraceConfig {
+        packets: 1_000,
+        flows: 100,
+        duration_ms: 100,
+        ..Default::default()
+    })
+}
+
 #[test]
 fn scan_detected_in_epochs_before_and_after_a_failure() {
     let topo = Topology::fat_tree(4);
@@ -51,4 +60,48 @@ fn scan_detected_in_epochs_before_and_after_a_failure() {
         "scanner must be reported despite the failure: {:?}",
         report.reported
     );
+}
+
+/// A link failure that partitions a chain mid-trace: every packet after
+/// the cut has no route, and the report says so instead of silently
+/// dropping the count (the seed discarded `BatchOutcome::unrouted` at
+/// both flush sites).
+#[test]
+fn partitioning_link_failure_shows_up_as_unrouted_packets() {
+    let mut sys = NewtonSystem::new(Topology::chain(3));
+    sys.set_mapping(HostMapping::Fixed { ingress: 0, egress: 2 });
+    let trace = short_trace();
+    let mut events = EventSchedule::new().at(50_000_000, NetworkEvent::FailLink { a: 0, b: 1 });
+
+    let report = sys.run_trace_with_events(&trace, 100, &mut events);
+    assert_eq!(events.pending(), 0);
+    assert!(report.unrouted > 0, "the cut chain must drop packets: {report:?}");
+    assert!(report.unrouted < report.packets, "packets before the cut were delivered: {report:?}");
+}
+
+/// Events timestamped after the trace's last packet still fire: the run
+/// drains the schedule, so a replay on the same (healed) network sees
+/// current link state, not a stale cursor. The seed left such events
+/// pending forever.
+#[test]
+fn trailing_events_past_trace_end_still_fire() {
+    let mut sys = NewtonSystem::new(Topology::chain(3));
+    sys.set_mapping(HostMapping::Fixed { ingress: 0, egress: 2 });
+    let trace = short_trace();
+    // Fail mid-trace; the repair crew only arrives long after the last
+    // packet (t = 10 s on a 100 ms trace).
+    let mut events = EventSchedule::new()
+        .at(50_000_000, NetworkEvent::FailLink { a: 1, b: 2 })
+        .at(10_000_000_000, NetworkEvent::RestoreLink { a: 1, b: 2 });
+
+    let report = sys.run_trace_with_events(&trace, 100, &mut events);
+    assert_eq!(events.pending(), 0, "the trailing restore must fire in the drain");
+    assert!(report.unrouted > 0, "the mid-trace cut partitioned the chain");
+    assert!(
+        sys.network().router().link_up(1, 2),
+        "the drained restore healed the link for the next run"
+    );
+    // And the healed network really does deliver again.
+    let report2 = sys.run_trace(&trace, 100);
+    assert_eq!(report2.unrouted, 0, "no drops after the restore: {report2:?}");
 }
