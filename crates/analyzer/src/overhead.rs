@@ -68,6 +68,15 @@ impl OverheadMeter {
             self.messages as f64 / self.raw_packets as f64
         }
     }
+
+    /// Fold another meter into this one — used to combine per-epoch meters
+    /// into a whole-run total.
+    pub fn merge(&mut self, other: &OverheadMeter) {
+        self.raw_packets += other.raw_packets;
+        self.messages += other.messages;
+        self.message_bytes += other.message_bytes;
+        self.unrouted += other.unrouted;
+    }
 }
 
 #[cfg(test)]
@@ -90,7 +99,34 @@ mod tests {
 
     #[test]
     fn empty_meter_is_zero() {
-        assert_eq!(OverheadMeter::new().ratio(), 0.0);
+        // A meter that saw no packets must not divide by zero, even if
+        // messages somehow arrived (e.g. a repair span with no traffic).
+        let mut m = OverheadMeter::new();
+        assert_eq!(m.ratio(), 0.0);
+        m.message(64);
+        assert_eq!(m.ratio(), 0.0, "messages with zero packets still yield a finite ratio");
+    }
+
+    #[test]
+    fn merge_folds_every_counter() {
+        let mut total = OverheadMeter::new();
+        let mut a = OverheadMeter::new();
+        a.packets(100);
+        a.message(64);
+        a.unrouted(3);
+        let mut b = OverheadMeter::new();
+        b.packets(50);
+        b.message(32);
+        b.message(32);
+        total.merge(&a);
+        total.merge(&b);
+        assert_eq!(total.raw_packets(), 150);
+        assert_eq!(total.messages(), 3);
+        assert_eq!(total.message_bytes(), 128);
+        assert_eq!(total.unrouted_packets(), 3);
+        // Merging an empty meter is the identity.
+        total.merge(&OverheadMeter::default());
+        assert_eq!(total.raw_packets(), 150);
     }
 
     #[test]

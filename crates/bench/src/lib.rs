@@ -9,24 +9,11 @@ use newton::packet::Packet;
 use newton::trace::attacks::InjectSpec;
 use newton::trace::{AttackKind, Trace};
 
-/// Print a Markdown-ish table: header row, separator, then rows.
+/// Print a Markdown-ish table: header row, separator, then rows. The
+/// rendering itself lives in `newton-telemetry`, shared with the examples'
+/// `--report` output.
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}\n");
-    let widths: Vec<usize> = header
-        .iter()
-        .enumerate()
-        .map(|(i, h)| rows.iter().map(|r| r[i].len()).chain([h.len()]).max().unwrap_or(4))
-        .collect();
-    let fmt_row = |cells: Vec<String>| {
-        let cells: Vec<String> =
-            cells.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}", w = w)).collect();
-        println!("| {} |", cells.join(" | "));
-    };
-    fmt_row(header.iter().map(|s| s.to_string()).collect());
-    println!("|{}|", widths.iter().map(|w| "-".repeat(w + 2)).collect::<Vec<_>>().join("|"));
-    for r in rows {
-        fmt_row(r.clone());
-    }
+    print!("{}", newton::telemetry::render_table(title, header, rows));
 }
 
 /// The two evaluation traces (CAIDA-like, MAWI-like) with every attack

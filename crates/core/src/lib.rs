@@ -43,6 +43,7 @@
 //! assert!(out.reports.is_empty(), "one SYN is below Q1's threshold");
 //! ```
 
+pub mod report;
 pub mod system;
 
 pub use newton_analyzer as analyzer;
@@ -54,5 +55,6 @@ pub use newton_net as net;
 pub use newton_packet as packet;
 pub use newton_query as query;
 pub use newton_sketch as sketch;
+pub use newton_telemetry as telemetry;
 pub use newton_trace as trace;
-pub use system::{HostMapping, NewtonSystem, RunReport};
+pub use system::{EpochReport, HostMapping, NewtonSystem, RunReport};

@@ -14,14 +14,15 @@
 use newton_analyzer::{Analyzer, IncidentLog, OverheadMeter};
 use newton_compiler::CompilerConfig;
 use newton_controller::{Controller, InstallReceipt};
-use newton_dataplane::{PipelineConfig, QueryId};
-use newton_net::{Network, NodeId, Parallelism, Topology};
+use newton_dataplane::{BankStats, PipelineConfig, QueryId};
+use newton_net::{LinkKey, LinkLoad, Network, NodeId, Parallelism, Topology};
 use newton_packet::FieldVector;
 use newton_packet::Packet;
 use newton_query::ast::Primitive;
 use newton_query::{Interpreter, Query};
 use newton_sketch::hash::mix64;
 use newton_sketch::{FastMap, FastSet};
+use newton_telemetry::{Event, Recorder, Telemetry};
 use newton_trace::Trace;
 use std::collections::HashMap;
 
@@ -33,6 +34,26 @@ pub enum HostMapping {
     Fixed { ingress: NodeId, egress: NodeId },
 }
 
+/// One epoch's counters in the [`RunReport`] time series — the per-window
+/// view the paper's figures plot (message overhead over time, failure
+/// timelines), derived deterministically from modeled time.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpochReport {
+    /// Epoch index (0-based) within the run.
+    pub index: u64,
+    /// Raw packets the window carried.
+    pub packets: u64,
+    /// Monitoring messages emitted during the window.
+    pub messages: u64,
+    pub message_bytes: u64,
+    /// Packets dropped for lack of a route during the window.
+    pub unrouted: u64,
+    /// Snapshot-header bytes added on internal links during the window.
+    pub snapshot_bytes: u64,
+    /// Reported-key count per query this epoch, sorted by query id.
+    pub reported: Vec<(QueryId, u64)>,
+}
+
 /// Results of running one trace through the system.
 #[derive(Debug, Clone, Default)]
 pub struct RunReport {
@@ -41,8 +62,8 @@ pub struct RunReport {
     /// Monitoring messages vs raw packets.
     pub messages: u64,
     pub packets: u64,
-    /// Epochs executed.
-    pub epochs: usize,
+    /// Per-epoch time series; `epochs.len()` is the epoch count.
+    pub epochs: Vec<EpochReport>,
     /// Extra bytes the snapshot header put on internal links.
     pub snapshot_bytes: u64,
     /// Per-(query, key) incidents with first/last epoch timing.
@@ -97,6 +118,16 @@ pub struct NewtonSystem {
     repair_enabled: bool,
     /// Thread budget of the epoch executor (delivery + epoch reset).
     parallelism: Parallelism,
+    /// Telemetry sink: `None` (the default) costs nothing; a [`Recorder`]
+    /// journals deterministic per-epoch events plus a nondeterministic
+    /// executor profile.
+    recorder: Option<Recorder>,
+    /// Global packet index to journal a full execution trace for
+    /// (the `NEWTON_TRACE_PACKET` hook).
+    trace_packet_idx: Option<u64>,
+    /// Modeled-time cursor: the epoch currently executing, stamped onto
+    /// controller spans and dynamics events.
+    current_epoch: u64,
 }
 
 /// Epoch batches below this size run sequentially even when more threads
@@ -127,7 +158,38 @@ impl NewtonSystem {
             degraded_ids: FastSet::default(),
             repair_enabled: true,
             parallelism: Parallelism::default(),
+            recorder: None,
+            trace_packet_idx: std::env::var("NEWTON_TRACE_PACKET")
+                .ok()
+                .and_then(|v| v.parse().ok()),
+            current_epoch: 0,
         }
+    }
+
+    /// Attach (or fetch) the telemetry recorder: subsequent installs,
+    /// removes, and trace runs journal into it. With no recorder attached
+    /// (the default) telemetry costs nothing.
+    pub fn enable_recorder(&mut self) -> &mut Recorder {
+        self.recorder.get_or_insert_with(Recorder::new)
+    }
+
+    /// The attached recorder, if any.
+    pub fn recorder(&self) -> Option<&Recorder> {
+        self.recorder.as_ref()
+    }
+
+    /// Detach and return the recorder (journal + profile), leaving the
+    /// system telemetry-free again.
+    pub fn take_recorder(&mut self) -> Option<Recorder> {
+        self.recorder.take()
+    }
+
+    /// Journal one packet's full execution trace at its ingress switch
+    /// during the next run (`None` disables). Defaults from the
+    /// `NEWTON_TRACE_PACKET` environment variable; the packet index is
+    /// global across the trace. Requires an attached recorder.
+    pub fn set_trace_packet(&mut self, idx: Option<u64>) {
+        self.trace_packet_idx = idx;
     }
 
     /// Enable/disable the controller's failure-repair loop (on by
@@ -194,6 +256,17 @@ impl NewtonSystem {
         query: &Query,
     ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
         let receipt = self.controller.install(query, &mut self.net, self.stages_per_switch)?;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(Event::Install {
+                epoch: self.current_epoch,
+                query: receipt.id,
+                rules: receipt.rules,
+                switches: receipt.switches,
+                slices: receipt.slices,
+                overflow_slices: receipt.overflow_slices,
+                delay_ms: receipt.delay_ms,
+            });
+        }
         let plan = self.controller.installed()[&receipt.id].plan.clone();
         self.analyzer.register(receipt.id, plan);
         if receipt.overflow_slices > 0 {
@@ -210,7 +283,17 @@ impl NewtonSystem {
     pub fn remove(&mut self, id: QueryId) -> Option<InstallReceipt> {
         self.analyzer.unregister(id);
         self.software_fallback.remove(&id);
-        self.controller.remove(id, &mut self.net)
+        let receipt = self.controller.remove(id, &mut self.net);
+        if let (Some(r), Some(rec)) = (&receipt, self.recorder.as_mut()) {
+            rec.record(Event::Remove {
+                epoch: self.current_epoch,
+                query: r.id,
+                rules: r.rules,
+                switches: r.switches,
+                delay_ms: r.delay_ms,
+            });
+        }
+        receipt
     }
 
     /// Whether a query fell back to software execution.
@@ -271,8 +354,13 @@ impl NewtonSystem {
         self.degraded.clear();
         self.degraded_ids.clear();
         let epoch_ns = epoch_ms.max(1) * 1_000_000;
-        for epoch in trace.epochs(epoch_ms) {
-            report.epochs += 1;
+        // Cumulative-counter checkpoints that turn the run meter into the
+        // per-epoch time series.
+        let mut prev = EpochReport::default();
+        let mut prev_links: FastMap<LinkKey, LinkLoad> = FastMap::default();
+        let mut pkt_index: u64 = 0;
+        for (epoch_idx, epoch) in trace.epochs(epoch_ms).enumerate() {
+            self.current_epoch = epoch_idx as u64;
             // Epochs are timestamp windows; the window's own end, not the
             // last packet's timestamp, is when boundary work happens.
             let epoch_end_ns = (epoch[0].ts_ns / epoch_ns + 1) * epoch_ns;
@@ -287,6 +375,25 @@ impl NewtonSystem {
                     self.apply_dynamics(adv, &mut report, &mut meter);
                 }
                 let (ingress, egress) = self.endpoints(pkt);
+                if self.trace_packet_idx == Some(pkt_index) && self.recorder.is_some() {
+                    // Flush so the traced packet sees exactly the ingress
+                    // state it would meet in delivery order, then walk a
+                    // cloned switch — the real one is untouched.
+                    self.flush_batch(&mut batch, &mut report, &mut meter);
+                    let traces: Vec<String> =
+                        newton_dataplane::debug::trace_packet(self.net.switch(ingress), pkt)
+                            .iter()
+                            .map(|t| t.to_string())
+                            .collect();
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(Event::PacketTrace {
+                            index: pkt_index,
+                            switch: ingress,
+                            traces,
+                        });
+                    }
+                }
+                pkt_index += 1;
                 batch.push((pkt, ingress, egress));
                 for (query, interp) in self.software_fallback.values_mut() {
                     if Self::fallback_mirrors(query, pkt) {
@@ -310,12 +417,15 @@ impl NewtonSystem {
                 let adv = events.advance_network(epoch_end_ns, &mut self.net);
                 self.apply_dynamics(adv, &mut report, &mut meter);
             }
+            let mut epoch_reported: FastMap<QueryId, u64> = FastMap::default();
             for (id, keys) in self.finish_epoch() {
+                *epoch_reported.entry(id).or_default() += keys.len() as u64;
                 report.incidents.observe_epoch(id, keys.iter().copied());
                 report.reported.entry(id).or_default().extend(keys);
             }
             for (&id, (_, interp)) in &mut self.software_fallback {
                 let keys = interp.end_epoch().reported;
+                *epoch_reported.entry(id).or_default() += keys.len() as u64;
                 report.incidents.observe_epoch(id, keys.iter().copied());
                 report.reported.entry(id).or_default().extend(keys);
             }
@@ -326,18 +436,51 @@ impl NewtonSystem {
             for (&id, (_, interp)) in &mut self.degraded {
                 report.degraded_query_epochs += 1;
                 let keys = interp.end_epoch().reported;
+                *epoch_reported.entry(id).or_default() += keys.len() as u64;
                 report.incidents.observe_epoch(id, keys.iter().copied());
                 report.reported.entry(id).or_default().extend(keys);
                 if !self.degraded_ids.contains(&id) {
                     healed.push(id);
                 }
             }
+            // Sorted so heal events journal in a canonical order (the
+            // degraded map iterates in hash order).
+            healed.sort_unstable();
             for id in healed {
                 self.degraded.remove(&id);
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(Event::QueryHealed { epoch: epoch_idx as u64, query: id });
+                }
             }
             report.incidents.end_epoch();
+            // The epoch's time-series entry: deltas of the cumulative run
+            // counters since the previous boundary.
+            let mut reported: Vec<(QueryId, u64)> = epoch_reported.into_iter().collect();
+            reported.sort_unstable_by_key(|&(q, _)| q);
+            let ep = EpochReport {
+                index: epoch_idx as u64,
+                packets: meter.raw_packets() - prev.packets,
+                messages: meter.messages() - prev.messages,
+                message_bytes: meter.message_bytes() - prev.message_bytes,
+                unrouted: meter.unrouted_packets() - prev.unrouted,
+                snapshot_bytes: report.snapshot_bytes - prev.snapshot_bytes,
+                reported,
+            };
+            prev = EpochReport {
+                packets: meter.raw_packets(),
+                messages: meter.messages(),
+                message_bytes: meter.message_bytes(),
+                unrouted: meter.unrouted_packets(),
+                snapshot_bytes: report.snapshot_bytes,
+                ..EpochReport::default()
+            };
+            if self.recorder.is_some() {
+                self.emit_epoch_telemetry(&ep, &mut prev_links);
+            }
+            report.epochs.push(ep);
             self.net.clear_state_parallel(self.parallelism.threads);
         }
+        self.current_epoch = report.epochs.len() as u64;
         // Drain events scheduled past the trace end so schedules always
         // finish empty (replays would otherwise see stale cursors).
         let adv = events.advance_network(u64::MAX, &mut self.net);
@@ -345,7 +488,81 @@ impl NewtonSystem {
         report.messages = meter.messages();
         report.packets = meter.raw_packets();
         report.unrouted = meter.unrouted_packets();
+        if let Some(rec) = self.recorder.as_mut() {
+            let prof = self.net.take_parallel_profile();
+            rec.profile.merge(&prof);
+        }
         report
+    }
+
+    /// Journal the epoch-boundary telemetry: the epoch summary, then each
+    /// switch's state-bank counters and occupied stage gauges (switch-id
+    /// order), then the epoch's per-link load deltas (canonical link
+    /// order). Every value derives from modeled state that is identical at
+    /// any executor thread count, so the journal stays byte-identical.
+    fn emit_epoch_telemetry(
+        &mut self,
+        ep: &EpochReport,
+        prev_links: &mut FastMap<LinkKey, LinkLoad>,
+    ) {
+        let Some(rec) = self.recorder.as_mut() else { return };
+        rec.record(Event::EpochSummary {
+            epoch: ep.index,
+            packets: ep.packets,
+            messages: ep.messages,
+            message_bytes: ep.message_bytes,
+            unrouted: ep.unrouted,
+            snapshot_bytes: ep.snapshot_bytes,
+            reported: ep.reported.clone(),
+        });
+        for sw in 0..self.net.switch_count() {
+            // Drained before the epoch reset, so the counters cover exactly
+            // this window.
+            let stats = self.net.switch_mut(sw).take_bank_stats();
+            if stats != BankStats::default() {
+                rec.record(Event::StateBank {
+                    epoch: ep.index,
+                    switch: sw,
+                    insertions: stats.insertions,
+                    collisions: stats.collisions,
+                    evictions: stats.evictions,
+                });
+            }
+            let stages = self.net.switch(sw).config().stages;
+            for stage in 0..stages {
+                let u = self.net.switch(sw).stage_utilization(stage);
+                if u.rules == 0 {
+                    continue;
+                }
+                rec.record(Event::StageGauge {
+                    epoch: ep.index,
+                    switch: sw,
+                    stage,
+                    modules: u.modules,
+                    rules: u.rules,
+                    sram: u.resources.sram,
+                    tcam: u.resources.tcam,
+                    hash_bits: u.resources.hash_bits,
+                    salus: u.resources.salu,
+                });
+            }
+        }
+        for (key, load) in self.net.link_loads_sorted() {
+            let delta = prev_links.get(&key).map_or(load, |p| load.since(p));
+            if delta.is_empty() {
+                continue;
+            }
+            let (a, b) = key.endpoints();
+            rec.record(Event::LinkLoad {
+                epoch: ep.index,
+                a,
+                b,
+                packets: delta.packets,
+                payload_bytes: delta.payload_bytes,
+                snapshot_bytes: delta.snapshot_bytes,
+            });
+            prev_links.insert(key, load);
+        }
     }
 
     /// Deliver and drain the queued batch into the report and meter.
@@ -381,6 +598,14 @@ impl NewtonSystem {
             return;
         }
         report.state_loss_events += adv.state_loss as u64;
+        if adv.state_loss > 0 {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(Event::StateLoss {
+                    epoch: self.current_epoch,
+                    switches: adv.state_loss,
+                });
+            }
+        }
         if !self.repair_enabled {
             return;
         }
@@ -389,6 +614,19 @@ impl NewtonSystem {
         report.repair_delay_ms += outcome.delay_ms;
         for _ in 0..outcome.rules_installed {
             meter.message(64);
+        }
+        if let Some(rec) = self.recorder.as_mut() {
+            // `repaired`/`degraded` come out sorted (the repair pass walks
+            // query ids in order), so the span is canonical as-is.
+            rec.record(Event::Repair {
+                epoch: self.current_epoch,
+                examined: outcome.examined,
+                repaired: outcome.repaired.clone(),
+                degraded: outcome.degraded.clone(),
+                rules_installed: outcome.rules_installed,
+                switches_touched: outcome.switches_touched,
+                delay_ms: outcome.delay_ms,
+            });
         }
         self.degraded_ids.clear();
         for &id in &outcome.degraded {
@@ -402,6 +640,9 @@ impl NewtonSystem {
                 if let Some(entry) = self.controller.installed().get(&id) {
                     self.degraded
                         .insert(id, (entry.query.clone(), Interpreter::new(entry.query.clone())));
+                    if let Some(rec) = self.recorder.as_mut() {
+                        rec.record(Event::QueryDegraded { epoch: self.current_epoch, query: id });
+                    }
                 }
             }
         }

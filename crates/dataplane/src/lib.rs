@@ -45,10 +45,13 @@ pub mod switch;
 pub use exec::{ExecPlan, ExecScratch};
 pub use init::InitTable;
 pub use layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
+pub use modules::BankStats;
 pub use phv::{MetadataSet, Phv, Report, SetId};
 pub use resources::{ResourceVector, StageBudget};
 pub use rules::{
     HRule, HashMode, InitRule, KRule, Operand, QueryId, RAction, RMatch, RRule, RuleSet, SRule,
     SaluOp,
 };
-pub use switch::{PipelineConfig, PipelineOutput, SliceInfo, Switch, SwitchError};
+pub use switch::{
+    PipelineConfig, PipelineOutput, SliceInfo, StageUtilization, Switch, SwitchError,
+};

@@ -67,6 +67,40 @@ pub struct SModule {
     rules: Vec<SRule>,
     capacity: usize,
     registers: Vec<u32>,
+    stats: BankStats,
+}
+
+/// State-bank activity counters, accumulated per epoch: how full the
+/// sketch rows are getting (insertions), how often distinct keys land on
+/// an occupied register (collisions), and how often a `Write`/`Max`
+/// displaces a live value (evictions). Plain saturating-free `u64` adds
+/// on the SALU path; the epoch driver drains them with
+/// [`SModule::take_stats`] before the register reset.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BankStats {
+    /// Operations that turned a zero register nonzero.
+    pub insertions: u64,
+    /// Operations that touched an already-nonzero register.
+    pub collisions: u64,
+    /// `Write`/`Max` operations that replaced a live value with a
+    /// different one.
+    pub evictions: u64,
+}
+
+impl BankStats {
+    /// Fold another bank's counters into this one.
+    pub fn merge(&mut self, o: &BankStats) {
+        self.insertions += o.insertions;
+        self.collisions += o.collisions;
+        self.evictions += o.evictions;
+    }
+
+    #[inline(always)]
+    fn observe(&mut self, old: u32, new: u32, evicting: bool) {
+        self.insertions += u64::from(old == 0 && new != 0);
+        self.collisions += u64::from(old != 0);
+        self.evictions += u64::from(evicting && old != 0 && new != old);
+    }
 }
 
 /// Result-process module instance (ℝ).
@@ -197,7 +231,12 @@ impl HModule {
 impl SModule {
     pub fn new(capacity: usize, registers: usize) -> Self {
         assert!(registers > 0, "state bank needs at least one register");
-        SModule { rules: Vec::new(), capacity, registers: vec![0; registers] }
+        SModule {
+            rules: Vec::new(),
+            capacity,
+            registers: vec![0; registers],
+            stats: BankStats::default(),
+        }
     }
 
     pub fn install(&mut self, rule: SRule) -> Result<(), InstallError> {
@@ -221,9 +260,21 @@ impl SModule {
         self.registers[idx % self.registers.len()]
     }
 
-    /// Reset all registers (the 100 ms epoch reset).
+    /// Reset all registers (the 100 ms epoch reset). Activity counters
+    /// survive the reset; drain them with [`take_stats`](Self::take_stats).
     pub fn clear_registers(&mut self) {
         self.registers.fill(0);
+    }
+
+    /// Activity counters accumulated since the last
+    /// [`take_stats`](Self::take_stats).
+    pub fn stats(&self) -> BankStats {
+        self.stats
+    }
+
+    /// Drain and reset the activity counters (end of epoch).
+    pub fn take_stats(&mut self) -> BankStats {
+        std::mem::take(&mut self.stats)
     }
 
     /// Execute: one transactional SALU operation per matching branch.
@@ -232,7 +283,7 @@ impl SModule {
             if r.query != input.query || !input.branch_active(r.branch) {
                 continue;
             }
-            Self::fire(r, &mut self.registers, input, output);
+            Self::fire(r, &mut self.registers, &mut self.stats, input, output);
         }
     }
 
@@ -241,35 +292,47 @@ impl SModule {
         for &i in idx {
             let r = &self.rules[i as usize];
             if input.branch_active(r.branch) {
-                Self::fire(r, &mut self.registers, input, output);
+                Self::fire(r, &mut self.registers, &mut self.stats, input, output);
             }
         }
     }
 
-    fn fire(r: &SRule, registers: &mut [u32], input: &Phv, output: &mut Phv) {
+    fn fire(
+        r: &SRule,
+        registers: &mut [u32],
+        stats: &mut BankStats,
+        input: &Phv,
+        output: &mut Phv,
+    ) {
         let idx = input.set(r.set).hash_result as usize % registers.len();
         let state = match r.op {
             SaluOp::PassHash => input.set(r.set).hash_result,
             SaluOp::Add(op) => {
                 let v = resolve(op, input.fields);
-                registers[idx] = registers[idx].saturating_add(v);
+                let old = registers[idx];
+                registers[idx] = old.saturating_add(v);
+                stats.observe(old, registers[idx], false);
                 registers[idx]
             }
             SaluOp::Or(op) => {
                 let v = resolve(op, input.fields);
                 let old = registers[idx];
                 registers[idx] |= v;
+                stats.observe(old, registers[idx], false);
                 old
             }
             SaluOp::Max(op) => {
                 let v = resolve(op, input.fields);
-                registers[idx] = registers[idx].max(v);
+                let old = registers[idx];
+                registers[idx] = old.max(v);
+                stats.observe(old, registers[idx], true);
                 registers[idx]
             }
             SaluOp::Write(op) => {
                 let v = resolve(op, input.fields);
                 let old = registers[idx];
                 registers[idx] = v;
+                stats.observe(old, v, true);
                 old
             }
         };
@@ -555,6 +618,58 @@ mod tests {
         s.execute(&input, &mut out);
         assert_eq!(out.set(SetId::Set1).state_result, 42);
         assert!(s.registers.iter().all(|&r| r == 0));
+    }
+
+    #[test]
+    fn s_bank_stats_count_insertions_and_collisions() {
+        let mut s = SModule::new(4, 8);
+        s.install(SRule {
+            query: 1,
+            branch: 0,
+            set: SetId::Set1,
+            op: SaluOp::Add(Operand::Const(1)),
+        })
+        .unwrap();
+        let mut input = phv();
+        input.set_mut(SetId::Set1).hash_result = 3;
+        let mut out = input.clone();
+        s.execute(&input, &mut out); // 0 → 1: insertion
+        s.execute(&input, &mut out); // 1 → 2: collision
+        assert_eq!(s.stats(), BankStats { insertions: 1, collisions: 1, evictions: 0 });
+        assert_eq!(s.take_stats().insertions, 1, "take drains");
+        assert_eq!(s.stats(), BankStats::default());
+        s.clear_registers();
+        s.execute(&input, &mut out); // registers cleared: counts as a fresh insertion
+        assert_eq!(s.stats(), BankStats { insertions: 1, collisions: 0, evictions: 0 });
+    }
+
+    #[test]
+    fn s_bank_stats_count_evictions_on_displacing_writes() {
+        let mut s = SModule::new(4, 8);
+        // Branch 0 writes 5, branch 1 then maxes with 9: the max displaces
+        // a live value (5 → 9), which is one eviction; re-running, max(9, 9)
+        // changes nothing, so no further eviction.
+        s.install(SRule {
+            query: 1,
+            branch: 0,
+            set: SetId::Set1,
+            op: SaluOp::Write(Operand::Const(5)),
+        })
+        .unwrap();
+        s.install(SRule {
+            query: 1,
+            branch: 1,
+            set: SetId::Set1,
+            op: SaluOp::Max(Operand::Const(9)),
+        })
+        .unwrap();
+        let mut input = phv();
+        input.set_mut(SetId::Set1).hash_result = 2;
+        let mut out = input.clone();
+        s.execute(&input, &mut out);
+        assert_eq!(s.stats(), BankStats { insertions: 1, collisions: 1, evictions: 1 });
+        s.execute(&input, &mut out); // write 9→5 evicts, max 5→9 evicts again
+        assert_eq!(s.stats(), BankStats { insertions: 1, collisions: 3, evictions: 3 });
     }
 
     #[test]

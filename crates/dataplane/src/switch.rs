@@ -15,12 +15,15 @@
 use crate::exec::{ExecPlan, ExecScratch, OpList};
 use crate::init::InitTable;
 use crate::layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
-use crate::modules::{HModule, InstallError, KModule, RModule, SModule, DEFAULT_RULE_CAPACITY};
+use crate::modules::{
+    BankStats, HModule, InstallError, KModule, RModule, SModule, DEFAULT_RULE_CAPACITY,
+};
 use crate::phv::{Phv, Report, SetId};
 use crate::resources::ResourceVector;
 use crate::rules::{QueryId, RuleSet};
 use newton_packet::{FieldVector, Packet, SnapshotHeader};
 use newton_sketch::FastMap;
+use newton_telemetry::{Event, Telemetry};
 
 /// Pipeline initialization parameters (the "P4 program" knobs).
 #[derive(Debug, Clone, Copy)]
@@ -184,6 +187,19 @@ pub struct PipelineOutput {
     pub reports: Vec<Report>,
     /// Outgoing result snapshot, if the query continues on a later switch.
     pub snapshot: Option<SnapshotHeader>,
+}
+
+/// One physical stage's occupancy and resource utilization (see
+/// [`Switch::stage_utilization`]) — the per-stage gauge behind the
+/// Fig. 10–13 resource curves.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageUtilization {
+    /// Module instances resident in the stage.
+    pub modules: usize,
+    /// Table rules installed across those instances.
+    pub rules: usize,
+    /// Hardware cost: layout cost + amortized rule share, absolute units.
+    pub resources: ResourceVector,
 }
 
 /// A programmable switch running Newton modules.
@@ -511,6 +527,39 @@ impl Switch {
         }
     }
 
+    /// Drain the state-bank activity counters accumulated since the last
+    /// call, summed over every 𝕊 instance (end-of-epoch telemetry; call
+    /// *before* [`clear_state`](Self::clear_state)).
+    pub fn take_bank_stats(&mut self) -> BankStats {
+        let mut total = BankStats::default();
+        for stage in &mut self.stages {
+            for inst in stage {
+                if let Instance::S(m) = inst {
+                    total.merge(&m.take_stats());
+                }
+            }
+        }
+        total
+    }
+
+    /// Occupancy and resource utilization of one physical stage: resident
+    /// module instances, their installed rules, and the stage's hardware
+    /// cost (layout cost plus each rule's amortized 1/capacity share of
+    /// its instance — the same accounting as
+    /// [`resource_usage`](Self::resource_usage), per stage).
+    pub fn stage_utilization(&self, stage: usize) -> StageUtilization {
+        let instances = &self.stages[stage];
+        let mut resources = self.layout.stage_cost(stage);
+        let mut rules = 0usize;
+        for (slot, inst) in instances.iter().enumerate() {
+            let kind = self.layout.kind_at(ModuleAddr { stage, slot }).expect("laid out");
+            rules += inst.rule_count();
+            resources +=
+                kind.cost() * (inst.rule_count() as f64 / self.config.rule_capacity as f64);
+        }
+        StageUtilization { modules: instances.len(), rules, resources }
+    }
+
     /// Process one packet: forward it, execute matching query slices,
     /// return reports and an outgoing snapshot.
     ///
@@ -568,6 +617,33 @@ impl Switch {
                     }
                 }
                 out.snapshot = Some(next);
+            }
+        }
+        out
+    }
+
+    /// [`process`](Self::process) with a telemetry sink: emits one
+    /// [`Event::SwitchReport`] per report the walk produced. Every sink
+    /// touch sits behind `T::ENABLED`, a compile-time constant, so with
+    /// [`newton_telemetry::NoopSink`] this monomorphizes to exactly
+    /// `process` — the perf bench gates that at < 2 % overhead on the
+    /// pipeline hot path.
+    #[inline]
+    pub fn process_sink<T: Telemetry>(
+        &mut self,
+        pkt: &Packet,
+        sp_in: Option<&SnapshotHeader>,
+        sink: &mut T,
+    ) -> PipelineOutput {
+        let out = self.process(pkt, sp_in);
+        if T::ENABLED {
+            for r in &out.reports {
+                sink.record(Event::SwitchReport {
+                    query: r.query,
+                    branch: r.branch,
+                    hash: r.hash_result,
+                    state: r.state_result,
+                });
             }
         }
         out

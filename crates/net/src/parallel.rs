@@ -83,6 +83,7 @@ use crate::sim::LinkKey;
 use crate::topology::NodeId;
 use newton_dataplane::{Report, Switch};
 use newton_packet::{Packet, SnapshotHeader, SP_HEADER_LEN};
+use newton_telemetry::Profile;
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -391,6 +392,13 @@ struct WorkerOut {
     deltas: Vec<(LinkKey, u64, u64)>,
     snapshot_bytes: usize,
     heads: Vec<usize>,
+    /// Wall-clock nanoseconds this worker spent inside the job — profiling
+    /// only, never part of the deterministic journal.
+    busy_ns: u64,
+    /// Backoff events by tier (see [`backoff`]): spin, yield, sleep.
+    spins: u64,
+    yields: u64,
+    sleeps: u64,
 }
 
 /// A per-worker slot: worker `w` is the only task that touches slot `w`
@@ -438,6 +446,10 @@ pub(crate) struct ParScratch {
     slots: Vec<WorkerSlot>,
     /// Merge buffer for sorting reports back into sequential order.
     tagged: Vec<TaggedReport>,
+    /// Accumulated executor profile (wall timings, backoff events) across
+    /// batches — explicitly nondeterministic, drained by
+    /// [`Network::take_parallel_profile`](crate::Network::take_parallel_profile).
+    pub(crate) profile: Profile,
 }
 
 impl fmt::Debug for ParScratch {
@@ -499,6 +511,7 @@ pub(crate) fn execute_batch(
         assign,
         slots,
         tagged,
+        profile,
         ..
     } = scratch;
 
@@ -562,6 +575,10 @@ pub(crate) fn execute_batch(
         out.snapshot_bytes = 0;
         out.heads.clear();
         out.heads.resize(assign[w].len(), 0);
+        out.busy_ns = 0;
+        out.spins = 0;
+        out.yields = 0;
+        out.sleeps = 0;
     }
 
     {
@@ -582,7 +599,9 @@ pub(crate) fn execute_batch(
             // slot `w` (see WorkerSlot); the coordinator regains `&mut`
             // access only after the job drains.
             let out = unsafe { &mut *slots[w].0.get() };
+            let start = std::time::Instant::now();
             run_worker(&assign[w], ctx, out, aborted);
+            out.busy_ns += start.elapsed().as_nanos() as u64;
         });
     }
 
@@ -593,8 +612,16 @@ pub(crate) fn execute_batch(
     tagged.clear();
     deltas.clear();
     let mut snapshot_bytes = 0usize;
+    profile.batches += 1;
+    profile.max_queue_depth =
+        profile.max_queue_depth.max(busy.first().map_or(0, |&s| queues[s].len()));
     for slot in slots.iter_mut().take(workers) {
         let out = slot.0.get_mut();
+        profile.hops += out.heads.iter().map(|&h| h as u64).sum::<u64>();
+        profile.busy_ns += out.busy_ns;
+        profile.spins += out.spins;
+        profile.yields += out.yields;
+        profile.sleeps += out.sleeps;
         tagged.append(&mut out.reports);
         deltas.append(&mut out.deltas);
         snapshot_bytes += out.snapshot_bytes;
@@ -667,6 +694,13 @@ fn run_worker(mine: &[NodeId], ctx: BatchCtx<'_, '_>, out: &mut WorkerOut, abort
                 // retire. Bail out with partial output instead of spinning
                 // forever; the pool re-raises the peer's panic.
                 return;
+            }
+            if idle < 16 {
+                out.spins += 1;
+            } else if idle < 64 {
+                out.yields += 1;
+            } else {
+                out.sleeps += 1;
             }
             backoff(idle);
             idle = idle.saturating_add(1);

@@ -48,10 +48,12 @@ pub struct DeliveryResult {
     pub clean_delivery: bool,
 }
 
-/// Per-link byte counters: payload bytes vs snapshot-header bytes, for
-/// bandwidth-overhead accounting (§5.1: "less than 1% bandwidth overhead").
+/// Per-link traffic counters: packets carried, payload bytes, and
+/// snapshot-header bytes, for bandwidth-overhead accounting (§5.1: "less
+/// than 1% bandwidth overhead").
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct LinkLoad {
+    pub packets: u64,
     pub payload_bytes: u64,
     pub snapshot_bytes: u64,
 }
@@ -65,6 +67,22 @@ impl LinkLoad {
         } else {
             self.snapshot_bytes as f64 / total as f64
         }
+    }
+
+    /// The counter delta `self - earlier` (per-epoch accounting over the
+    /// cumulative map; counters are monotone, so this never underflows
+    /// for a genuine earlier snapshot).
+    pub fn since(&self, earlier: &LinkLoad) -> LinkLoad {
+        LinkLoad {
+            packets: self.packets - earlier.packets,
+            payload_bytes: self.payload_bytes - earlier.payload_bytes,
+            snapshot_bytes: self.snapshot_bytes - earlier.snapshot_bytes,
+        }
+    }
+
+    /// Whether no traffic is recorded at all.
+    pub fn is_empty(&self) -> bool {
+        *self == LinkLoad::default()
     }
 }
 
@@ -142,6 +160,24 @@ impl Network {
     /// The worst snapshot-overhead fraction across all loaded links.
     pub fn peak_link_overhead(&self) -> f64 {
         self.link_load.values().map(LinkLoad::overhead_fraction).fold(0.0, f64::max)
+    }
+
+    /// Every loaded link's cumulative counters, sorted by canonical link
+    /// key — a deterministic view of the (hash-ordered) load map, for
+    /// per-epoch telemetry diffing.
+    pub fn link_loads_sorted(&self) -> Vec<(LinkKey, LinkLoad)> {
+        let mut v: Vec<(LinkKey, LinkLoad)> =
+            self.link_load.iter().map(|(&k, &l)| (k, l)).collect();
+        v.sort_unstable_by_key(|&(k, _)| k);
+        v
+    }
+
+    /// Drain the executor profile accumulated by the parallel delivery
+    /// path since the last call. **Nondeterministic** (wall clock, queue
+    /// depths); belongs in a telemetry `Profile` section, never in the
+    /// deterministic journal.
+    pub fn take_parallel_profile(&mut self) -> newton_telemetry::Profile {
+        std::mem::take(&mut self.par.profile)
     }
 
     /// Fail a whole switch, as a hardware crash would: the router stops
@@ -353,6 +389,7 @@ impl Network {
         let mut i = 0;
         while i < deltas.len() {
             let key = deltas[i].0;
+            let start = i;
             let (mut payload, mut snapshot) = (0u64, 0u64);
             while i < deltas.len() && deltas[i].0 == key {
                 payload += deltas[i].1;
@@ -360,6 +397,7 @@ impl Network {
                 i += 1;
             }
             let load = link_load.entry(key).or_default();
+            load.packets += (i - start) as u64;
             load.payload_bytes += payload;
             load.snapshot_bytes += snapshot;
         }
@@ -509,7 +547,7 @@ mod tests {
 
     #[test]
     fn link_load_accounting_is_per_link_and_fractional() {
-        let load = LinkLoad { payload_bytes: 1488 * 100, snapshot_bytes: 12 * 100 };
+        let load = LinkLoad { packets: 100, payload_bytes: 1488 * 100, snapshot_bytes: 12 * 100 };
         assert!((load.overhead_fraction() - 0.008).abs() < 1e-9);
         assert_eq!(LinkLoad::default().overhead_fraction(), 0.0);
         let net = Network::new(Topology::chain(2), PipelineConfig::default());

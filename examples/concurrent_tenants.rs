@@ -15,6 +15,7 @@ use newton::dataplane::{PipelineConfig, Switch};
 use newton::packet::{Field, FieldVector, PacketBuilder, TcpFlags};
 use newton::query::ast::{CmpOp, ReduceFunc};
 use newton::query::{catalog, QueryBuilder};
+use newton::telemetry::render_table;
 
 fn main() {
     let cfg = CompilerConfig::default();
@@ -75,20 +76,28 @@ fn main() {
 
     // The Fig. 16 comparison at N = 1, 10, 100 concurrent clones of Q4.
     let q4 = catalog::q4_port_scan();
-    println!("\nFig.16-style scaling (clones of Q4):");
-    println!(
-        "{:>5} {:>28} {:>28} {:>28}",
-        "N", "Sonata (mod/stages)", "S-Newton (mod/stages)", "P-Newton (mod/stages)"
+    let rows: Vec<Vec<String>> = [1usize, 10, 50, 100]
+        .iter()
+        .map(|&n| {
+            let so = concurrent::sonata_chained(&q4, n);
+            let s = concurrent::s_newton(&q4, n, &cfg);
+            let p = concurrent::p_newton(&q4, n, &cfg);
+            vec![
+                n.to_string(),
+                format!("{}/{}", so.modules, so.stages),
+                format!("{}/{}", s.modules, s.stages),
+                format!("{}/{}", p.modules, p.stages),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            "Fig.16-style scaling (clones of Q4, modules/stages)",
+            &["N", "Sonata", "S-Newton", "P-Newton"],
+            &rows,
+        )
     );
-    for n in [1usize, 10, 50, 100] {
-        let so = concurrent::sonata_chained(&q4, n);
-        let s = concurrent::s_newton(&q4, n, &cfg);
-        let p = concurrent::p_newton(&q4, n, &cfg);
-        println!(
-            "{n:>5} {:>15}/{:<12} {:>15}/{:<12} {:>15}/{:<12}",
-            so.modules, so.stages, s.modules, s.stages, p.modules, p.stages
-        );
-    }
     let sonata_100 = sonata_estimate(&q4).stages * 100;
     println!(
         "\nat N=100: Sonata needs {sonata_100} stages (≈{} switches); P-Newton still fits one pipeline",

@@ -20,6 +20,7 @@ use newton::packet::flow::fmt_ipv4;
 use newton::packet::{Field, FieldVector};
 use newton::query::ast::{CmpOp, FieldExpr, ReduceFunc};
 use newton::query::{catalog, QueryBuilder};
+use newton::telemetry::render_table;
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
 use newton::trace::{AttackKind, Trace};
@@ -106,10 +107,9 @@ fn main() {
         }
         net.clear_state();
     }
-    println!("[t=300ms] attack sources by /16 prefix:");
-    for p in &prefixes {
-        println!("    {}/16", fmt_ipv4(p << 16));
-    }
+    let rows: Vec<Vec<String>> =
+        prefixes.iter().map(|p| vec![format!("{}/16", fmt_ipv4(p << 16))]).collect();
+    print!("{}", render_table("[t=300ms] attack sources", &["prefix"], &rows));
     assert!(!prefixes.is_empty(), "drill-down must find source prefixes");
 
     // Phase 4: the incident is handled; remove the drill-down at runtime.

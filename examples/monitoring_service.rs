@@ -7,17 +7,22 @@
 //! cargo run --example monitoring_service            # all cores
 //! cargo run --example monitoring_service -- --threads 4
 //! cargo run --example monitoring_service -- --threads 1   # sequential
+//! cargo run --example monitoring_service -- --report            # epoch table
+//! cargo run --example monitoring_service -- --json run.jsonl    # telemetry journal
 //! ```
 //!
 //! `--threads N` sets the epoch executor's worker count; results are
 //! bit-identical at every setting (see DESIGN.md, "Parallel execution
-//! model").
+//! model"). `--report` renders the per-epoch time series; `--json PATH`
+//! writes the deterministic telemetry journal (plus the executor profile)
+//! as JSONL.
 //!
 //! [`NewtonSystem`]: newton::NewtonSystem
 
 use newton::net::{Parallelism, Topology};
 use newton::packet::flow::fmt_ipv4;
 use newton::query::catalog;
+use newton::report::ReportOptions;
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
 use newton::trace::pcap;
@@ -46,6 +51,10 @@ fn main() {
     let par = parallelism_from_args();
     sys.set_parallelism(par);
     println!("epoch executor: {} worker thread(s)", par.threads);
+    let opts = ReportOptions::from_args();
+    if opts.wants_recorder() {
+        sys.enable_recorder();
+    }
 
     // The operator's standing intents.
     let intents = [
@@ -103,13 +112,8 @@ fn main() {
 
     // Run the day.
     let report = sys.run_trace(&trace, 100);
-    println!(
-        "\nprocessed {} packets over {} epochs; monitoring overhead {:.6} msgs/pkt, {} snapshot bytes",
-        report.packets,
-        report.epochs,
-        report.overhead_ratio(),
-        report.snapshot_bytes
-    );
+    println!("\n{}", newton::report::render_summary(&report));
+    newton::report::emit(&mut sys, &report, &opts);
 
     println!("\nincidents (with epoch spans):");
     let incidents = report.incidents.incidents();

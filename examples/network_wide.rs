@@ -32,6 +32,7 @@ use newton::net::{Network, Topology};
 use newton::packet::flow::fmt_ipv4;
 use newton::packet::{PacketBuilder, TcpFlags};
 use newton::query::catalog;
+use newton::telemetry::render_table;
 
 fn main() {
     let topo = Topology::fat_tree(4);
@@ -58,6 +59,10 @@ fn main() {
     );
 
     let scanner = 0x0A00_DEAD;
+    let mut timeline: Vec<Vec<String>> = Vec::new();
+    let mut row = |epoch: usize, state: &str, detected: usize| {
+        timeline.push(vec![epoch.to_string(), state.to_string(), detected.to_string()]);
+    };
     let run_scan = |net: &mut Network, port_base: u16| -> usize {
         let mut reports = 0;
         for port in 0..catalog::thresholds::PORT_SCAN as u16 {
@@ -75,7 +80,7 @@ fn main() {
 
     // Epoch 1: the scan is detected on the healthy network.
     let detected = run_scan(&mut net, 1_000);
-    println!("epoch 1 (healthy):   scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    row(1, "healthy", detected);
     assert_eq!(detected, 1);
     net.clear_state();
 
@@ -100,7 +105,7 @@ fn main() {
     // Epoch 2: same scan, rerouted — the pre-placed slices on the new path
     // still execute the query end to end.
     let detected = run_scan(&mut net, 1_000);
-    println!("epoch 2 (rerouted):  scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    row(2, "rerouted", detected);
     assert_eq!(detected, 1, "resilient placement keeps monitoring correct after rerouting");
 
     println!("resilient placement held: no rule changes were needed after the failure");
@@ -122,7 +127,7 @@ fn main() {
     net.fail_switch(victim);
     println!("\nswitch {victim} crashed ({rules_before} rules and all register state wiped)");
     let detected = run_scan(&mut net, 2_000);
-    println!("epoch 3 (crashed):   scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    row(3, "crashed", detected);
     if default_victim {
         assert_eq!(detected, 1, "pre-placed slices on the detour keep monitoring live");
     }
@@ -130,11 +135,7 @@ fn main() {
 
     net.restore_switch(victim);
     let detected = run_scan(&mut net, 3_000);
-    println!(
-        "epoch 4 (rebooted):  scanner {} reported {detected} time(s) — switch {victim} is back but BLANK ({} rules)",
-        fmt_ipv4(scanner),
-        net.switch(victim).total_rule_count()
-    );
+    row(4, "rebooted blank", detected);
     if default_victim {
         assert_eq!(detected, 1, "another slice chain on the path covers the hole — for now");
         assert_eq!(net.switch(victim).total_rule_count(), 0, "the reboot lost the slice");
@@ -151,7 +152,15 @@ fn main() {
         outcome.delay_ms
     );
     let detected = run_scan(&mut net, 4_000);
-    println!("epoch 5 (repaired):  scanner {} reported {detected} time(s)", fmt_ipv4(scanner));
+    row(5, "repaired", detected);
+    print!(
+        "{}",
+        render_table(
+            &format!("failure timeline — scanner {}", fmt_ipv4(scanner)),
+            &["epoch", "network state", "reports"],
+            &timeline,
+        )
+    );
     if default_victim {
         assert!(outcome.rules_installed > 0, "repair found the blank switch");
         assert_eq!(

@@ -11,6 +11,7 @@ use newton::dataplane::{PipelineConfig, Switch};
 use newton::packet::flow::fmt_ipv4;
 use newton::packet::FieldVector;
 use newton::query::catalog;
+use newton::telemetry::{render_table, Event, Recorder};
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
 use newton::trace::{AttackKind, Trace};
@@ -66,30 +67,44 @@ fn main() {
     );
     let victim = injection.guilty;
 
-    // 5. Run the trace through the pipeline in 100 ms epochs.
+    // 5. Run the trace through the pipeline in 100 ms epochs, with a
+    //    telemetry recorder observing the hot path (`process_sink` with
+    //    the default `NoopSink` costs nothing; a `Recorder` journals every
+    //    report).
     let mut meter = OverheadMeter::new();
+    let mut recorder = Recorder::new();
     let report_field = compiled.plan.branches[0].report_field;
+    let mut rows: Vec<Vec<String>> = Vec::new();
     for (e, epoch) in trace.epochs(100).enumerate() {
         for pkt in epoch {
             meter.packet();
-            for report in switch.process(pkt, None).reports {
+            for report in switch.process_sink(pkt, None, &mut recorder).reports {
                 meter.message(32);
                 let key = FieldVector(report.op_keys).get(report_field);
-                println!(
-                    "epoch {e}: REPORT victim={} new_connections={}",
+                rows.push(vec![
+                    e.to_string(),
                     fmt_ipv4(key as u32),
-                    report.state_result
-                );
+                    report.state_result.to_string(),
+                ]);
                 assert_eq!(key as u32, victim, "the reported victim is the injected one");
             }
         }
         switch.clear_state();
     }
+    print!("{}", render_table("detections", &["epoch", "victim", "new connections"], &rows));
 
+    let journaled = recorder
+        .journal
+        .events()
+        .iter()
+        .filter(|e| matches!(e, Event::SwitchReport { .. }))
+        .count();
     println!(
-        "monitoring overhead: {} messages / {} packets = {:.6} (per-packet exporters sit near 1.0)",
+        "monitoring overhead: {} messages / {} packets = {:.6} (per-packet exporters sit \
+         near 1.0); telemetry journaled {journaled} report event(s)",
         meter.messages(),
         meter.raw_packets(),
         meter.ratio()
     );
+    assert_eq!(journaled as u64, meter.messages(), "the sink saw every report");
 }

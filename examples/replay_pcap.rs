@@ -14,6 +14,7 @@ use newton::dataplane::{PipelineConfig, Switch};
 use newton::packet::flow::fmt_ipv4;
 use newton::packet::FieldVector;
 use newton::query::catalog;
+use newton::telemetry::render_table;
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
 use newton::trace::{pcap, AttackKind, Trace};
@@ -78,9 +79,10 @@ fn main() {
         for p in epoch {
             for r in sw.process(p, None).reports {
                 let (name, field) = &plans[&r.query];
-                incidents.insert(format!(
-                    "epoch {e}: [{name}] {}",
-                    fmt_ipv4(FieldVector(r.op_keys).get(*field) as u32)
+                incidents.insert((
+                    e,
+                    name.clone(),
+                    fmt_ipv4(FieldVector(r.op_keys).get(*field) as u32),
                 ));
             }
         }
@@ -90,9 +92,10 @@ fn main() {
     if incidents.is_empty() {
         println!("no intents fired on this capture.");
     } else {
-        println!("incidents:");
-        for i in &incidents {
-            println!("  {i}");
-        }
+        let rows: Vec<Vec<String>> = incidents
+            .iter()
+            .map(|(e, name, key)| vec![e.to_string(), name.clone(), key.clone()])
+            .collect();
+        print!("{}", render_table("incidents", &["epoch", "intent", "key"], &rows));
     }
 }

@@ -3,11 +3,14 @@
 //!
 //! ```sh
 //! cargo run --example text_intents
+//! cargo run --example text_intents -- --report          # epoch table
+//! cargo run --example text_intents -- --json run.jsonl  # telemetry journal
 //! ```
 
 use newton::net::Topology;
 use newton::packet::flow::fmt_ipv4;
 use newton::query::{parse_query, to_text, validate};
+use newton::report::ReportOptions;
 use newton::trace::attacks::InjectSpec;
 use newton::trace::background::TraceConfig;
 use newton::trace::{AttackKind, Trace};
@@ -34,6 +37,10 @@ const BROKEN: &str = "filter(proto == 999) | where >= 0";
 fn main() {
     let mut sys = NewtonSystem::new(Topology::chain(3));
     sys.set_mapping(HostMapping::Fixed { ingress: 0, egress: 2 });
+    let opts = ReportOptions::from_args();
+    if opts.wants_recorder() {
+        sys.enable_recorder();
+    }
 
     let mut names = std::collections::HashMap::new();
     for (name, text) in INTENTS {
@@ -68,10 +75,12 @@ fn main() {
     );
 
     let report = sys.run_trace(&trace, 100);
-    println!("\nfindings over {} packets:", report.packets);
+    println!("\n{}", newton::report::render_summary(&report));
+    println!("findings:");
     for i in report.incidents.incidents() {
         println!("  [{}] {}", names[&i.query], fmt_ipv4(i.key as u32));
     }
+    newton::report::emit(&mut sys, &report, &opts);
     let scanner = *trace.guilty(AttackKind::PortScan).iter().next().unwrap();
     assert!(
         report.reported.values().any(|k| k.contains(&(scanner as u64))),

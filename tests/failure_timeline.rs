@@ -125,7 +125,7 @@ fn scanner_incident(report: &RunReport, query: u32, key: u64) -> (usize, usize, 
 fn repair_restores_detection_after_a_switch_reboot() {
     let (trace, scanner) = scan_every_epoch();
     let (id, report) = run(&trace, true, 1);
-    assert_eq!(report.epochs, 4);
+    assert_eq!(report.epochs.len(), 4);
 
     // Every epoch detects: epoch 0 in hardware, epoch 1 by the degraded
     // software twin, epochs 2-3 in re-placed hardware at pre-failure
@@ -150,7 +150,7 @@ fn repair_restores_detection_after_a_switch_reboot() {
 fn without_repair_the_query_dies_with_its_switch() {
     let (trace, scanner) = scan_every_epoch();
     let (id, report) = run(&trace, false, 1);
-    assert_eq!(report.epochs, 4);
+    assert_eq!(report.epochs.len(), 4);
 
     // Epoch 0 is pre-failure and detects; after the crash nothing ever
     // detects again — epoch 1's packets are unrouted and the rebooted
@@ -186,8 +186,8 @@ fn failure_timeline_is_thread_count_invariant() {
     for (threads, reported, r) in &runs[1..] {
         assert_eq!(reported, base_reported, "detections diverged at {threads} threads");
         assert_eq!(
-            (r.packets, r.epochs, r.snapshot_bytes, r.messages),
-            (base.packets, base.epochs, base.snapshot_bytes, base.messages),
+            (r.packets, &r.epochs, r.snapshot_bytes, r.messages),
+            (base.packets, &base.epochs, base.snapshot_bytes, base.messages),
             "traffic accounting diverged at {threads} threads"
         );
         assert_eq!(

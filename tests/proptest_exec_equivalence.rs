@@ -385,14 +385,14 @@ fn system_run_is_thread_count_invariant() {
         .collect();
 
     let (_, q4, reported, packets, epochs, snapshot_bytes) = runs[0].clone();
-    assert!(packets > 0 && epochs >= 2);
+    assert!(packets > 0 && epochs.len() >= 2);
     assert!(
         reported.get(&q4).is_some_and(|k| k.contains(&(scanner as u64))),
         "scanner {scanner:#x} not reported: {reported:?}"
     );
     for (threads, _, rep, pk, ep, sp) in &runs[1..] {
         assert_eq!(*rep, reported, "detections diverged at {threads} threads");
-        assert_eq!((*pk, *ep, *sp), (packets, epochs, snapshot_bytes), "at {threads} threads");
+        assert_eq!((*pk, ep, *sp), (packets, &epochs, snapshot_bytes), "at {threads} threads");
     }
 }
 
@@ -493,8 +493,8 @@ mod dynamic_equivalence {
             for (threads, reported, r) in &runs[1..] {
                 prop_assert_eq!(reported, base_reported, "detections diverged at {} threads", threads);
                 prop_assert_eq!(
-                    (r.packets, r.epochs, r.snapshot_bytes, r.messages, r.unrouted),
-                    (base.packets, base.epochs, base.snapshot_bytes, base.messages, base.unrouted),
+                    (r.packets, &r.epochs, r.snapshot_bytes, r.messages, r.unrouted),
+                    (base.packets, &base.epochs, base.snapshot_bytes, base.messages, base.unrouted),
                     "traffic accounting diverged at {} threads", threads
                 );
                 prop_assert_eq!(

@@ -53,7 +53,7 @@ fn scan_detected_in_epochs_before_and_after_a_failure() {
         EventSchedule::new().at(100_000_000, NetworkEvent::FailLink { a: path[1], b: path[2] });
 
     let report = sys.run_trace_with_events(&trace, 100, &mut events);
-    assert_eq!(report.epochs, 2);
+    assert_eq!(report.epochs.len(), 2);
     assert_eq!(events.pending(), 0, "the failure fired");
     assert!(
         report.reported[&receipt.id].contains(&(scanner as u64)),
