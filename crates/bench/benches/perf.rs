@@ -1,5 +1,6 @@
 //! Library performance: single-switch pipeline throughput (compiled
-//! [`ExecPlan`] path vs the per-packet reference path) and network delivery
+//! [`ExecPlan`] path vs the per-packet reference path vs the batch-first
+//! `process_batch` path, with a batch-size sweep) and network delivery
 //! throughput (sequential `deliver` vs `deliver_batch` vs the multi-core
 //! `deliver_batch_parallel`), on the full Q1–Q9 workload.
 //!
@@ -38,9 +39,9 @@
 use std::time::Instant;
 
 use newton::compiler::{compile, CompilerConfig};
-use newton::dataplane::{PipelineConfig, Switch};
+use newton::dataplane::{BatchOutput, PipelineConfig, Switch, DEFAULT_BATCH_LANES};
 use newton::net::{effective_parallelism, Network, NodeId, Topology};
-use newton::packet::Packet;
+use newton::packet::{Packet, SnapshotHeader};
 use newton::query::catalog;
 use newton::telemetry::{NoopSink, Recorder};
 use newton_bench::{evaluation_traces, print_table};
@@ -188,6 +189,43 @@ fn main() {
     });
     assert_eq!(recorder_sink, plan_sink, "the recorder sink must not change pipeline behaviour");
 
+    // --- Batch-first pipeline: `process_batch` over chunked slices of the
+    // trace, swept across batch sizes. Bit-identical to the scalar path
+    // (the report-count sink pins that per size); only throughput moves.
+    let batch_tuples: Vec<(&Packet, Option<SnapshotHeader>)> =
+        packets.iter().map(|p| (p, None)).collect();
+    let measure_batched = |lanes: usize| {
+        let mut sw = q19_switch();
+        sw.reserve_batch(lanes, lanes * 2);
+        let mut sink = NoopSink;
+        let mut bout = BatchOutput::default();
+        best_rate(packets.len(), pipeline_reps, || {
+            batch_tuples
+                .chunks(lanes)
+                .map(|chunk| {
+                    sw.process_batch(chunk, &mut sink, &mut bout);
+                    bout.reports.len()
+                })
+                .sum()
+        })
+    };
+    let batch_sweep: Vec<(usize, f64)> = [16usize, 32, 64, 128]
+        .into_iter()
+        .map(|lanes| {
+            let (rate, sink) = measure_batched(lanes);
+            assert_eq!(
+                sink, plan_sink,
+                "batched pipeline at {lanes} lanes must emit equal report counts"
+            );
+            (lanes, rate)
+        })
+        .collect();
+    let batch_rate_default = batch_sweep
+        .iter()
+        .find(|&&(lanes, _)| lanes == DEFAULT_BATCH_LANES)
+        .map(|&(_, rate)| rate)
+        .expect("the sweep covers the default batch size");
+
     // --- Network delivery: sequential deliver vs deliver_batch vs the
     // multi-core executor, all timed identically (fastest of N passes).
     let pairs = endpoints(&q19_network().1, packets.len());
@@ -250,13 +288,23 @@ fn main() {
             fmt_rate(recorder_rate),
             format!("{:.2}x", recorder_rate / plan_rate),
         ],
+    ];
+    for &(lanes, rate) in &batch_sweep {
+        let tag = if lanes == DEFAULT_BATCH_LANES { ", default" } else { "" };
+        rows.push(vec![
+            format!("Switch::process_batch ({lanes} lanes{tag})"),
+            fmt_rate(rate),
+            format!("{:.2}x", rate / plan_rate),
+        ]);
+    }
+    rows.extend([
         vec!["Network::deliver (sequential)".into(), fmt_rate(seq_rate), "1.00x".into()],
         vec![
             "Network::deliver_batch".into(),
             fmt_rate(batch_rate),
             format!("{delivery_speedup:.2}x"),
         ],
-    ];
+    ]);
     for e in &scaling {
         let label = if e.oversubscribed {
             format!("deliver_batch_parallel ({}t, oversubscribed)", e.threads)
@@ -320,6 +368,32 @@ fn main() {
         "acceptance: Recorder pipeline rate must stay within 15% of process \
          (smoke: 30%) — got {recorder_ratio:.3}x"
     );
+    // Batch-path gate. `process` now *is* the batch engine at batch size 1
+    // (the paths were unified), so the per-packet API already carries the
+    // engine's full speedup and the batch call's only remaining edge is
+    // amortized per-call overhead — measured at ~5-10% on this workload,
+    // inside runner noise. The gate is therefore a no-regression guard
+    // (batching must never lose to per-packet calls), not a speedup bar;
+    // smoke loosens it further (the tiny trace under-fills batches) and
+    // both modes re-measure once before failing, like the other gates.
+    let batch_floor = if smoke { 0.85 } else { 0.98 };
+    let mut batch_ratio = batch_rate_default / plan_rate;
+    if batch_ratio < batch_floor {
+        println!(
+            "note: batch-path gate at {batch_ratio:.3}x on first measurement, re-measuring once"
+        );
+        let mut sw = q19_switch();
+        let (plan2, _) = best_rate(packets.len(), pipeline_reps, || {
+            packets.iter().map(|p| sw.process(p, None).reports.len()).sum()
+        });
+        let (batch2, _) = measure_batched(DEFAULT_BATCH_LANES);
+        batch_ratio = batch_ratio.max(batch2 / plan2);
+    }
+    assert!(
+        batch_ratio >= batch_floor,
+        "acceptance: the batched pipeline at {DEFAULT_BATCH_LANES} lanes must not \
+         regress below {batch_floor}x the per-packet path (got {batch_ratio:.3}x)"
+    );
     // The 1-worker parallel path dispatches straight to deliver_batch, so
     // any real gap is dispatch overhead — the regression class this gate
     // exists to catch (the seed executor shipped at 0.82x and collapsing).
@@ -357,6 +431,16 @@ fn main() {
             fmt_rate(pair[0].rate),
             pair[1].threads,
             fmt_rate(pair[1].rate),
+        );
+    }
+    // On a single-core machine the scaling series degenerates to the
+    // 1-thread entry (plus oversubscribed bit-checks): say so explicitly,
+    // here and in the JSON, so nobody reads a flat series as a regression.
+    let scaling_degenerate = scaling.iter().filter(|e| !e.oversubscribed).count() <= 1;
+    if scaling_degenerate {
+        println!(
+            "note: thread_scaling has only the 1-core entry ({cores} core(s) available); \
+             multi-core scaling was not measured on this machine"
         );
     }
     // The parallel speedup bar only means something with real cores under
@@ -399,12 +483,35 @@ fn main() {
     // noise published as a headline rate.
     let par_rate_json = par_rate.map_or_else(|| "null".into(), |r| format!("{r:.0}"));
     let par_speedup_json = par_speedup.map_or_else(|| "null".into(), |s| format!("{s:.3}"));
+    let sweep_json = batch_sweep
+        .iter()
+        .map(|&(lanes, rate)| format!("    {{ \"lanes\": {lanes}, \"pkts_per_sec\": {rate:.0} }}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+    let scaling_note_json = if scaling_degenerate {
+        format!(
+            ",\n  \"thread_scaling_note\": \"only the 1-core entry was measured \
+             ({cores} core(s) available); multi-core scaling not measured on this machine\""
+        )
+    } else {
+        String::new()
+    };
     let json = format!(
         "{{\n  \"workload\": \"Q1-Q9, CAIDA-like trace, {} packets\",\n  \
          \"timing\": \"fastest of {delivery_reps} passes after 1 warm-up pass\",\n  \
          \"pipeline_reference_pkts_per_sec\": {ref_rate:.0},\n  \
          \"pipeline_execplan_pkts_per_sec\": {plan_rate:.0},\n  \
          \"pipeline_speedup\": {pipeline_speedup:.3},\n  \
+         \"pipeline_batch_pkts_per_sec\": {batch_rate_default:.0},\n  \
+         \"pipeline_batch_speedup_vs_execplan\": {batch_ratio:.3},\n  \
+         \"default_batch_lanes\": {DEFAULT_BATCH_LANES},\n  \
+         \"batch_lanes_rationale\": \"sweep is flat within noise from 32 lanes up (the \
+         walk is compute-bound on an L1-resident working set); 64 amortizes per-call \
+         overhead fully while keeping per-switch scratch small\",\n  \
+         \"batch_note\": \"process() shares the batch engine at batch size 1, so the \
+         per-packet path already carries the engine speedup; the batch call's edge is \
+         amortized per-call overhead only (~5-10%)\",\n  \
+         \"batch_sweep\": [\n{sweep_json}\n  ],\n  \
          \"pipeline_noop_sink_pkts_per_sec\": {noop_rate:.0},\n  \
          \"pipeline_recorder_pkts_per_sec\": {recorder_rate:.0},\n  \
          \"delivery_sequential_pkts_per_sec\": {seq_rate:.0},\n  \
@@ -412,7 +519,7 @@ fn main() {
          \"delivery_speedup\": {delivery_speedup:.3},\n  \
          \"delivery_parallel_pkts_per_sec\": {par_rate_json},\n  \
          \"delivery_parallel_speedup\": {par_speedup_json},\n  \
-         \"benched_on_cores\": {cores},\n  \
+         \"benched_on_cores\": {cores}{scaling_note_json},\n  \
          \"thread_scaling\": [\n{scaling_json}\n  ]\n}}\n",
         packets.len(),
     );

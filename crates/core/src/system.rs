@@ -222,6 +222,14 @@ impl NewtonSystem {
         self.parallelism
     }
 
+    /// Set the delivery engine's packets-per-batch budget — how many
+    /// queued packets a switch pipeline executes per batched call.
+    /// Output is bit-identical at any setting (the journal byte-identity
+    /// tests pin this); only throughput changes.
+    pub fn set_batch_lanes(&mut self, lanes: usize) {
+        self.net.set_batch_lanes(lanes);
+    }
+
     /// Threads to use for a delivery batch of `len` packets.
     fn batch_threads(&self, len: usize) -> usize {
         if len < PAR_BATCH_MIN {
@@ -351,6 +359,15 @@ impl NewtonSystem {
         let mut report = RunReport::default();
         let mut meter = OverheadMeter::new();
         let mut batch: Vec<(&Packet, NodeId, NodeId)> = Vec::new();
+        // Size every switch's batch scratch up front: the delivery engine
+        // hands at most `batch_lanes` packets per pipeline call, and lane
+        // expansion rarely exceeds two live query slices per packet. The
+        // scratch is recycled (cleared, never shrunk) across batches and
+        // epochs, so this is the only growth the hot path should see.
+        let lanes = self.net.batch_lanes();
+        for s in 0..self.net.switch_count() {
+            self.net.switch_mut(s).reserve_batch(lanes, lanes * 2);
+        }
         self.degraded.clear();
         self.degraded_ids.clear();
         let epoch_ns = epoch_ms.max(1) * 1_000_000;

@@ -30,7 +30,12 @@
 //! * [`exec`] — the configuration/execution split: rule operations compile
 //!   a flattened, immutable [`exec::ExecPlan`]; the per-packet path only
 //!   walks it, allocation-free, against a reusable [`exec::ExecScratch`].
+//! * [`batch`] — the batch-first hot path: packets expand into SoA PHV
+//!   lanes ([`batch::PhvBatch`]) and each stage's module instances run
+//!   across all live lanes before the pipeline advances
+//!   ([`Switch::process_batch`](switch::Switch::process_batch)).
 
+pub mod batch;
 pub mod debug;
 pub mod exec;
 pub mod init;
@@ -42,6 +47,7 @@ pub mod resources;
 pub mod rules;
 pub mod switch;
 
+pub use batch::{BatchOutput, DEFAULT_BATCH_LANES};
 pub use exec::{ExecPlan, ExecScratch};
 pub use init::InitTable;
 pub use layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
@@ -53,5 +59,5 @@ pub use rules::{
     SaluOp,
 };
 pub use switch::{
-    PipelineConfig, PipelineOutput, SliceInfo, StageUtilization, Switch, SwitchError,
+    BatchSchedule, PipelineConfig, PipelineOutput, SliceInfo, StageUtilization, Switch, SwitchError,
 };

@@ -7,10 +7,16 @@
 //! which is exactly why write-read-dependent modules cannot share a stage
 //! (Fig. 4) and why the two metadata sets make the compact layout work.
 
+use crate::batch::{lane_branch_active, PhvBatch};
 use crate::phv::{Phv, Report, GLOBAL_INIT};
 use crate::rules::{HRule, HashMode, KRule, Operand, QueryId, RAction, RRule, SRule, SaluOp};
 use newton_packet::FieldVector;
 use newton_sketch::HashFn;
+
+/// One batched op: the lane to execute plus its pre-resolved rule-table
+/// indices. Modules run all lanes of a stage bucket back-to-back, so the
+/// rule table is read hot across the whole batch.
+pub(crate) type BatchOp<'a> = (u32, &'a [u32]);
 
 /// Default rule capacity per module instance ("we configure each module to
 /// accommodate 256 rules", §6.2).
@@ -68,6 +74,11 @@ pub struct SModule {
     capacity: usize,
     registers: Vec<u32>,
     stats: BankStats,
+    /// `len - 1` when the register array length is a power of two (the
+    /// default 4096 is), so the hot index reduction is an `AND` instead of
+    /// an integer division; `0` otherwise (which also happens to be the
+    /// correct mask for a length-1 array).
+    pow2_mask: usize,
 }
 
 /// State-bank activity counters, accumulated per epoch: how full the
@@ -169,14 +180,26 @@ impl KModule {
         }
     }
 
-    /// Execute only the pre-resolved rules at `idx` (the compiled
-    /// [`ExecPlan`](crate::ExecPlan) path): the plan guarantees every
-    /// index holds a rule of the packet's query, in table order.
-    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
-        for &i in idx {
-            let r = &self.rules[i as usize];
-            if input.branch_active(r.branch) {
-                output.set_mut(r.set).op_keys = input.fields.masked(r.mask).0;
+    /// Execute the pre-resolved ops of one stage bucket across all lanes
+    /// (the compiled [`ExecPlan`](crate::ExecPlan) batch path): the plan
+    /// guarantees every rule index holds a rule of the lane's query, in
+    /// table order. Reads are against the frozen `entry_*` columns, writes
+    /// land in `cur_*` — identical stage semantics to
+    /// [`execute`](Self::execute).
+    pub(crate) fn execute_batch<'a>(
+        &self,
+        ops: impl Iterator<Item = BatchOp<'a>>,
+        b: &mut PhvBatch,
+    ) {
+        for (lane, idx) in ops {
+            let l = lane as usize;
+            let active = b.entry[l].active;
+            let fields = b.fields[b.lane_pkt[l] as usize];
+            for &i in idx {
+                let r = &self.rules[i as usize];
+                if lane_branch_active(active, r.branch) {
+                    b.cur[l].sets[r.set.index()].op_keys = fields.masked(r.mask).0;
+                }
             }
         }
     }
@@ -208,23 +231,38 @@ impl HModule {
         }
     }
 
-    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
-    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
-        for &i in idx {
-            let r = &self.rules[i as usize];
-            if input.branch_active(r.branch) {
-                Self::fire(r, input, output);
+    /// Execute the pre-resolved ops of one stage bucket across all lanes
+    /// (compiled plan batch path).
+    pub(crate) fn execute_batch<'a>(
+        &self,
+        ops: impl Iterator<Item = BatchOp<'a>>,
+        b: &mut PhvBatch,
+    ) {
+        for (lane, idx) in ops {
+            let l = lane as usize;
+            let active = b.entry[l].active;
+            for &i in idx {
+                let r = &self.rules[i as usize];
+                if lane_branch_active(active, r.branch) {
+                    let keys = FieldVector(b.entry[l].sets[r.set.index()].op_keys);
+                    b.cur[l].sets[r.set.index()].hash_result =
+                        Self::hash_of(r, keys).wrapping_add(r.offset);
+                }
             }
+        }
+    }
+
+    #[inline(always)]
+    fn hash_of(r: &HRule, keys: FieldVector) -> u32 {
+        match r.mode {
+            HashMode::Hash { seed, range } => HashFn::new(seed, range).hash(keys.0),
+            HashMode::Direct(field) => keys.get(field) as u32,
         }
     }
 
     fn fire(r: &HRule, input: &Phv, output: &mut Phv) {
         let keys = FieldVector(input.set(r.set).op_keys);
-        let h = match r.mode {
-            HashMode::Hash { seed, range } => HashFn::new(seed, range).hash(keys.0),
-            HashMode::Direct(field) => keys.get(field) as u32,
-        };
-        output.set_mut(r.set).hash_result = h.wrapping_add(r.offset);
+        output.set_mut(r.set).hash_result = Self::hash_of(r, keys).wrapping_add(r.offset);
     }
 }
 
@@ -236,6 +274,18 @@ impl SModule {
             capacity,
             registers: vec![0; registers],
             stats: BankStats::default(),
+            pow2_mask: if registers.is_power_of_two() { registers - 1 } else { 0 },
+        }
+    }
+
+    /// Register index of a hash result: `hash % len`, reduced to an `AND`
+    /// for power-of-two array lengths (identical result, no division).
+    #[inline(always)]
+    fn reg_index(pow2_mask: usize, len: usize, hash: u32) -> usize {
+        if pow2_mask != 0 {
+            hash as usize & pow2_mask
+        } else {
+            hash as usize % len
         }
     }
 
@@ -279,64 +329,87 @@ impl SModule {
 
     /// Execute: one transactional SALU operation per matching branch.
     pub fn execute(&mut self, input: &Phv, output: &mut Phv) {
+        let pow2_mask = self.pow2_mask;
         for r in &self.rules {
             if r.query != input.query || !input.branch_active(r.branch) {
                 continue;
             }
-            Self::fire(r, &mut self.registers, &mut self.stats, input, output);
+            let hash = input.set(r.set).hash_result;
+            let idx = Self::reg_index(pow2_mask, self.registers.len(), hash);
+            let state =
+                Self::salu(r, &mut self.registers, &mut self.stats, idx, hash, input.fields);
+            output.set_mut(r.set).state_result = state;
         }
     }
 
-    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
-    pub fn execute_planned(&mut self, idx: &[u32], input: &Phv, output: &mut Phv) {
-        for &i in idx {
-            let r = &self.rules[i as usize];
-            if input.branch_active(r.branch) {
-                Self::fire(r, &mut self.registers, &mut self.stats, input, output);
+    /// Execute the pre-resolved ops of one stage bucket across all lanes
+    /// (compiled plan batch path). Lanes are applied in lane order, so
+    /// each register sees operations in exactly the scalar per-packet
+    /// order — register contents and [`BankStats`] stay bit-identical.
+    pub(crate) fn execute_batch<'a>(
+        &mut self,
+        ops: impl Iterator<Item = BatchOp<'a>>,
+        b: &mut PhvBatch,
+    ) {
+        let SModule { rules, registers, stats, pow2_mask, .. } = self;
+        for (lane, idx) in ops {
+            let l = lane as usize;
+            let active = b.entry[l].active;
+            let fields = b.fields[b.lane_pkt[l] as usize];
+            for &i in idx {
+                let r = &rules[i as usize];
+                if lane_branch_active(active, r.branch) {
+                    let hash = b.entry[l].sets[r.set.index()].hash_result;
+                    let ridx = Self::reg_index(*pow2_mask, registers.len(), hash);
+                    let state = Self::salu(r, registers, stats, ridx, hash, fields);
+                    b.cur[l].sets[r.set.index()].state_result = state;
+                }
             }
         }
     }
 
-    fn fire(
+    /// The transactional SALU core shared by both execution paths:
+    /// read-modify-write one register, return the rule's state result.
+    #[inline(always)]
+    fn salu(
         r: &SRule,
         registers: &mut [u32],
         stats: &mut BankStats,
-        input: &Phv,
-        output: &mut Phv,
-    ) {
-        let idx = input.set(r.set).hash_result as usize % registers.len();
-        let state = match r.op {
-            SaluOp::PassHash => input.set(r.set).hash_result,
+        idx: usize,
+        hash: u32,
+        fields: FieldVector,
+    ) -> u32 {
+        match r.op {
+            SaluOp::PassHash => hash,
             SaluOp::Add(op) => {
-                let v = resolve(op, input.fields);
+                let v = resolve(op, fields);
                 let old = registers[idx];
                 registers[idx] = old.saturating_add(v);
                 stats.observe(old, registers[idx], false);
                 registers[idx]
             }
             SaluOp::Or(op) => {
-                let v = resolve(op, input.fields);
+                let v = resolve(op, fields);
                 let old = registers[idx];
                 registers[idx] |= v;
                 stats.observe(old, registers[idx], false);
                 old
             }
             SaluOp::Max(op) => {
-                let v = resolve(op, input.fields);
+                let v = resolve(op, fields);
                 let old = registers[idx];
                 registers[idx] = old.max(v);
                 stats.observe(old, registers[idx], true);
                 registers[idx]
             }
             SaluOp::Write(op) => {
-                let v = resolve(op, input.fields);
+                let v = resolve(op, fields);
                 let old = registers[idx];
                 registers[idx] = v;
                 stats.observe(old, v, true);
                 old
             }
-        };
-        output.set_mut(r.set).state_result = state;
+        }
     }
 }
 
@@ -393,41 +466,92 @@ impl RModule {
         }
     }
 
-    /// Execute only the pre-resolved rules at `idx` (compiled plan path).
-    /// Same per-branch highest-priority selection as
-    /// [`execute`](Self::execute), tracked on the stack: the PHV's branch
-    /// mask is a `u32`, so at most 32 branches can be active.
-    pub fn execute_planned(&self, idx: &[u32], input: &Phv, output: &mut Phv) {
-        // `best[b]` holds branch b's current winner; `order` preserves
-        // first-encounter branch order, matching `execute`'s fired list.
-        let mut best: [Option<&RRule>; 32] = [None; 32];
-        let mut order = [0u8; 32];
-        let mut n = 0usize;
-        for &i in idx {
-            let r = &self.rules[i as usize];
-            if !input.branch_active(r.branch) {
-                continue;
-            }
-            if !r.state_match.contains(input.set(r.set).state_result)
-                || !r.global_match.contains(input.global_result)
-            {
-                continue;
-            }
-            // Mirror `branch_active`'s release-mode shift masking so an
-            // out-of-range branch aliases the same mask bit it tests.
-            let b = (r.branch & 31) as usize;
-            match best[b] {
-                Some(cur) if cur.priority >= r.priority => {}
-                Some(_) => best[b] = Some(r),
-                None => {
-                    best[b] = Some(r);
-                    order[n] = r.branch;
+    /// Execute the pre-resolved ops of one stage bucket across all lanes
+    /// (compiled plan batch path). Same per-branch highest-priority
+    /// selection as [`execute`](Self::execute), tracked in the batch's
+    /// generation-tagged winner scratch: the PHV's branch mask is a `u32`,
+    /// so at most 32 branches can be active, and bumping the generation
+    /// replaces the 32-entry clear the scalar path paid per op.
+    pub(crate) fn execute_batch<'a>(
+        &self,
+        ops: impl Iterator<Item = BatchOp<'a>>,
+        b: &mut PhvBatch,
+    ) {
+        for (lane, idx) in ops {
+            let l = lane as usize;
+            let tag = b.r_next_gen();
+            let mut n = 0usize;
+            let active = b.entry[l].active;
+            for &i in idx {
+                let r = &self.rules[i as usize];
+                if !lane_branch_active(active, r.branch) {
+                    continue;
+                }
+                if !r.state_match.contains(b.entry[l].sets[r.set.index()].state_result)
+                    || !r.global_match.contains(b.entry[l].global)
+                {
+                    continue;
+                }
+                // Mirror `branch_active`'s release-mode shift masking so an
+                // out-of-range branch aliases the same mask bit it tests.
+                let bb = (r.branch & 31) as usize;
+                if b.r_tag[bb] != tag {
+                    b.r_tag[bb] = tag;
+                    b.r_best[bb] = i;
+                    b.r_order[n] = r.branch;
                     n += 1;
+                } else if self.rules[b.r_best[bb] as usize].priority < r.priority {
+                    b.r_best[bb] = i;
                 }
             }
+            for k in 0..n {
+                let branch = b.r_order[k];
+                let rule = &self.rules[b.r_best[(branch & 31) as usize] as usize];
+                Self::fire_batch(rule, branch, l, b);
+            }
         }
-        for &branch in &order[..n] {
-            Self::fire(best[(branch & 31) as usize].unwrap(), branch, input, output);
+    }
+
+    /// Apply a fired rule's actions to one lane's columns — the batched
+    /// twin of [`fire`](Self::fire): reads come from the frozen `entry_*`
+    /// columns, the global accumulator and branch mask mutate `cur_*`, and
+    /// reports are tagged `(lane, seq)` for canonical re-ordering.
+    fn fire_batch(rule: &RRule, branch: u8, l: usize, b: &mut PhvBatch) {
+        for action in &rule.actions {
+            let state = b.entry[l].sets[rule.set.index()].state_result;
+            match action {
+                RAction::Report => {
+                    let set = &b.entry[l].sets[rule.set.index()];
+                    let report = Report {
+                        query: b.lane_query[l],
+                        branch,
+                        op_keys: set.op_keys,
+                        hash_result: set.hash_result,
+                        state_result: set.state_result,
+                        global_result: b.cur[l].global,
+                    };
+                    let seq = b.reports.len() as u32;
+                    b.reports.push((l as u32, seq, report));
+                }
+                RAction::StopBranch => b.cur[l].active &= !(1 << branch),
+                RAction::GlobalMin => {
+                    b.cur[l].global = b.cur[l].global.min(state);
+                }
+                RAction::GlobalMax => {
+                    let g = if b.cur[l].global == GLOBAL_INIT { 0 } else { b.cur[l].global };
+                    b.cur[l].global = g.max(state);
+                }
+                RAction::GlobalAdd => {
+                    let g = if b.cur[l].global == GLOBAL_INIT { 0 } else { b.cur[l].global };
+                    b.cur[l].global = g.saturating_add(state);
+                }
+                RAction::GlobalSub => {
+                    let g = if b.cur[l].global == GLOBAL_INIT { 0 } else { b.cur[l].global };
+                    b.cur[l].global = g.saturating_sub(state);
+                }
+                RAction::GlobalSet => b.cur[l].global = state,
+                RAction::GlobalReset => b.cur[l].global = GLOBAL_INIT,
+            }
         }
     }
 

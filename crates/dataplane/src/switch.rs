@@ -12,7 +12,8 @@
 //! later slices activate when an incoming result snapshot's cursor matches.
 //! `newton_fin` captures an outgoing snapshot while slices remain.
 
-use crate::exec::{ExecPlan, ExecScratch, OpList};
+use crate::batch::{BatchOutput, PhvBatch};
+use crate::exec::{ExecPlan, ExecScratch};
 use crate::init::InitTable;
 use crate::layout::{Layout, LayoutKind, ModuleAddr, ModuleKind};
 use crate::modules::{
@@ -23,7 +24,28 @@ use crate::resources::ResourceVector;
 use crate::rules::{QueryId, RuleSet};
 use newton_packet::{FieldVector, Packet, SnapshotHeader};
 use newton_sketch::FastMap;
-use newton_telemetry::{Event, Telemetry};
+use newton_telemetry::{Event, NoopSink, Telemetry};
+
+/// Which scheduler drives the batched walk in
+/// [`Switch::process_batch`]. Both produce bit-identical results (see
+/// `walk_lanes_sequential`'s proof sketch); they differ only in memory
+/// access pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BatchSchedule {
+    /// Walk each lane straight through its compiled run list, one lane at
+    /// a time. The default: with the pooled `ExecPlan` (~1KB for the
+    /// full catalog) and per-instance rule tables L1-resident, this wins
+    /// at every measured batch size — there is no cross-lane locality
+    /// left for a smarter schedule to harvest.
+    #[default]
+    Sequential,
+    /// Advance stage-major: each stage freezes its live lanes, buckets
+    /// their ops per slot, and runs each module instance once over its
+    /// whole bucket. Keeps an instance's rule table hot across the batch;
+    /// the regime where that pays is large installed rule sets whose
+    /// tables spill out of L1, not the evaluation catalog.
+    StageMajor,
+}
 
 /// Pipeline initialization parameters (the "P4 program" knobs).
 #[derive(Debug, Clone, Copy)]
@@ -36,6 +58,8 @@ pub struct PipelineConfig {
     pub registers_per_array: usize,
     /// Rule capacity per module instance.
     pub rule_capacity: usize,
+    /// Scheduler for the batched walk.
+    pub batch_schedule: BatchSchedule,
 }
 
 impl Default for PipelineConfig {
@@ -45,6 +69,7 @@ impl Default for PipelineConfig {
             layout: LayoutKind::Compact,
             registers_per_array: 4096,
             rule_capacity: DEFAULT_RULE_CAPACITY,
+            batch_schedule: BatchSchedule::default(),
         }
     }
 }
@@ -212,10 +237,13 @@ pub struct Switch {
     slices: FastMap<QueryId, Vec<SliceInfo>>,
     forwarded: u64,
     /// Compiled from `init`/`stages`/`slices` on every configuration
-    /// mutation; [`process`](Self::process) only reads it.
+    /// mutation; [`process_batch`](Self::process_batch) only reads it.
     plan: ExecPlan,
     /// Reusable buffers of the zero-allocation packet path.
     scratch: ExecScratch,
+    /// Reusable output buffer backing the batch-of-1 scalar wrappers
+    /// ([`process`](Self::process) / [`process_sink`](Self::process_sink)).
+    batch_out: BatchOutput,
 }
 
 impl Switch {
@@ -252,6 +280,7 @@ impl Switch {
             forwarded: 0,
             plan: ExecPlan::default(),
             scratch: ExecScratch::new(),
+            batch_out: BatchOutput::default(),
         }
     }
 
@@ -516,6 +545,13 @@ impl Switch {
             .fold(0.0, f64::max)
     }
 
+    /// Pre-size the batch scratch for batches of `pkts` packets expanding
+    /// to about `lanes` lanes (epoch-loop scratch recycling: sized once
+    /// from the epoch's arrival count instead of growing mid-batch).
+    pub fn reserve_batch(&mut self, pkts: usize, lanes: usize) {
+        self.scratch.batch.reserve(pkts, lanes);
+    }
+
     /// Reset all stateful memory (epoch boundary).
     pub fn clear_state(&mut self) {
         for stage in &mut self.stages {
@@ -561,7 +597,8 @@ impl Switch {
     }
 
     /// Process one packet: forward it, execute matching query slices,
-    /// return reports and an outgoing snapshot.
+    /// return reports and an outgoing snapshot. A batch-of-1 wrapper
+    /// around [`process_batch`](Self::process_batch).
     ///
     /// The snapshot header doubles as a **processed marker**: resilient
     /// placement (Algorithm 2) installs slice 0 on *every* edge switch, so
@@ -571,63 +608,18 @@ impl Switch {
     /// until the last Newton hop strips it (done by `newton-net` before
     /// host delivery). A fully-executed query's marker has
     /// `cursor = u8::MAX`, matching no slice.
+    #[inline]
     pub fn process(&mut self, pkt: &Packet, sp_in: Option<&SnapshotHeader>) -> PipelineOutput {
-        self.forwarded += 1;
-        let mut out = PipelineOutput::default();
-        let fields = FieldVector::from_packet(pkt);
-        let ExecScratch { classify, cur, entry } = &mut self.scratch;
-
-        match sp_in {
-            None => {
-                // Slice-0 queries dispatched by newton_init.
-                self.init.classify_into(&fields, classify);
-                let mut continuation: Option<SnapshotHeader> = None;
-                let mut executed = false;
-                for &(query, branch_mask) in classify.iter() {
-                    let Some(d) = self.plan.slice0(query) else { continue };
-                    cur.reset(fields, query, 0);
-                    cur.active_branches = branch_mask;
-                    walk_ops(&mut self.stages, &d.ops, cur, entry);
-                    out.reports.append(&mut cur.reports);
-                    executed = true;
-                    if d.info.total > 1 && cur.any_active() {
-                        continuation = Some(cur.capture_snapshot(1, d.info.capture_set));
-                    }
-                }
-                out.snapshot = continuation.or(if executed { Some(DEAD_MARKER) } else { None });
-            }
-            Some(sp) => {
-                // The later slice resumed from the incoming snapshot
-                // cursor (unique by construction); by default the header
-                // passes through unchanged.
-                let mut next = *sp;
-                if let Some((query, d)) = self.plan.resume(sp.cursor) {
-                    cur.reset(fields, query, 0);
-                    cur.restore_snapshot(sp, d.info.restore_set);
-                    if !cur.any_active() {
-                        next = DEAD_MARKER;
-                    } else {
-                        walk_ops(&mut self.stages, &d.ops, cur, entry);
-                        out.reports.append(&mut cur.reports);
-                        next = if d.info.index + 1 < d.info.total && cur.any_active() {
-                            cur.capture_snapshot(d.info.index + 1, d.info.capture_set)
-                        } else {
-                            DEAD_MARKER
-                        };
-                    }
-                }
-                out.snapshot = Some(next);
-            }
-        }
-        out
+        self.process_sink(pkt, sp_in, &mut NoopSink)
     }
 
     /// [`process`](Self::process) with a telemetry sink: emits one
     /// [`Event::SwitchReport`] per report the walk produced. Every sink
     /// touch sits behind `T::ENABLED`, a compile-time constant, so with
-    /// [`newton_telemetry::NoopSink`] this monomorphizes to exactly
-    /// `process` — the perf bench gates that at < 2 % overhead on the
-    /// pipeline hot path.
+    /// [`newton_telemetry::NoopSink`] this monomorphizes to the
+    /// uninstrumented path — the perf bench gates that at < 2 % overhead
+    /// on the pipeline hot path. Both scalar entry points share the single
+    /// batched body, so there is no scalar/batch divergence to maintain.
     #[inline]
     pub fn process_sink<T: Telemetry>(
         &mut self,
@@ -635,9 +627,124 @@ impl Switch {
         sp_in: Option<&SnapshotHeader>,
         sink: &mut T,
     ) -> PipelineOutput {
-        let out = self.process(pkt, sp_in);
-        if T::ENABLED {
-            for r in &out.reports {
+        let mut bout = std::mem::take(&mut self.batch_out);
+        self.process_batch(&[(pkt, sp_in.copied())], sink, &mut bout);
+        let out = PipelineOutput {
+            reports: bout.reports.drain(..).map(|(_, r)| r).collect(),
+            snapshot: bout.snapshots.first().copied().flatten(),
+        };
+        self.batch_out = bout;
+        out
+    }
+
+    /// Process a whole packet batch through the batch-first execution
+    /// path: lanes are expanded packet-major into the SoA [`PhvBatch`] and
+    /// walked by the configured [`BatchSchedule`] (per-lane sequential by
+    /// default; stage-major runs each module instance across every live
+    /// lane of a stage before the pipeline advances).
+    ///
+    /// Output order is canonical and byte-identical to processing each
+    /// packet alone: `out.snapshots[p]` is packet `p`'s outgoing header,
+    /// `out.reports` is packet-major then classification order then
+    /// execution order, and sink events are emitted in exactly that
+    /// report order.
+    pub fn process_batch<T: Telemetry>(
+        &mut self,
+        pkts: &[(&Packet, Option<SnapshotHeader>)],
+        sink: &mut T,
+        out: &mut BatchOutput,
+    ) {
+        self.forwarded += pkts.len() as u64;
+        out.clear();
+        let ExecScratch { classify, batch, run_span, stage_q, cur_lanes, buckets } =
+            &mut self.scratch;
+        let plan = &self.plan;
+        batch.clear();
+
+        // Lane expansion, packet-major. Snapshots are pushed provisionally
+        // and finalized from lane egress state after the walk.
+        for (p, &(pkt, sp_in)) in pkts.iter().enumerate() {
+            let fields = FieldVector::from_packet(pkt);
+            batch.fields.push(fields);
+            match sp_in {
+                None => {
+                    // Slice-0 queries dispatched by newton_init.
+                    plan.classify_into(&fields, classify);
+                    let lane_lo = batch.lanes();
+                    for &(query, branch_mask) in classify.iter() {
+                        let Some(g) = plan.slice0_idx(query) else { continue };
+                        batch.push_lane(p as u32, query, g, branch_mask);
+                    }
+                    let executed = batch.lanes() > lane_lo;
+                    out.snapshots.push(if executed { Some(DEAD_MARKER) } else { None });
+                }
+                Some(sp) => {
+                    // The later slice resumed from the incoming snapshot
+                    // cursor (unique by construction); by default the
+                    // header passes through unchanged.
+                    match plan.resume_idx(sp.cursor) {
+                        Some((query, g)) if sp.active_mask != 0 => {
+                            let restore = plan.dispatch(g).info.restore_set.index();
+                            batch.push_resume_lane(p as u32, query, g, &sp, restore);
+                            out.snapshots.push(Some(sp));
+                        }
+                        // Resumed with nothing active: dead on arrival.
+                        Some(_) => out.snapshots.push(Some(DEAD_MARKER)),
+                        None => out.snapshots.push(Some(sp)),
+                    }
+                }
+            }
+        }
+
+        match self.config.batch_schedule {
+            BatchSchedule::Sequential => walk_lanes_sequential(&mut self.stages, plan, batch),
+            BatchSchedule::StageMajor => {
+                walk_batch(&mut self.stages, plan, batch, run_span, stage_q, cur_lanes, buckets)
+            }
+        }
+
+        // Finalize per-packet snapshots from lane egress state. Lanes are
+        // contiguous per packet by construction.
+        let mut l = 0usize;
+        for (p, &(_, sp_in)) in pkts.iter().enumerate() {
+            let lo = l;
+            while l < batch.lanes() && batch.lane_pkt[l] as usize == p {
+                l += 1;
+            }
+            if lo == l {
+                continue; // No lanes: the provisional snapshot stands.
+            }
+            if sp_in.is_some() {
+                // A resumed packet holds exactly one lane (cursors are
+                // unique): continue to the next slice or die.
+                let info = &plan.dispatch(batch.lane_group[lo]).info;
+                let next = if info.index + 1 < info.total && batch.cur[lo].active != 0 {
+                    batch.capture(lo, info.index + 1, info.capture_set.index())
+                } else {
+                    DEAD_MARKER
+                };
+                out.snapshots[p] = Some(next);
+            } else {
+                // Slice 0: the last classified query still active with
+                // slices remaining wins the continuation slot (scalar
+                // loop-carried overwrite order).
+                let mut continuation: Option<SnapshotHeader> = None;
+                for lane in lo..l {
+                    let info = &plan.dispatch(batch.lane_group[lane]).info;
+                    if info.total > 1 && batch.cur[lane].active != 0 {
+                        continuation = Some(batch.capture(lane, 1, info.capture_set.index()));
+                    }
+                }
+                out.snapshots[p] = Some(continuation.unwrap_or(DEAD_MARKER));
+            }
+        }
+
+        // Reports were tagged (lane, seq) at push time; sorting restores
+        // the canonical scalar emission order.
+        batch.reports.sort_unstable_by_key(|&(lane, seq, _)| (lane, seq));
+        let PhvBatch { reports, lane_pkt, .. } = batch;
+        for (lane, _, r) in reports.drain(..) {
+            if T::ENABLED {
                 sink.record(Event::SwitchReport {
                     query: r.query,
                     branch: r.branch,
@@ -645,8 +752,8 @@ impl Switch {
                     state: r.state_result,
                 });
             }
+            out.reports.push((lane_pkt[lane as usize], r));
         }
-        out
     }
 
     /// The seed (pre-plan) packet path, retained as the behavioural
@@ -780,29 +887,134 @@ impl Switch {
     }
 }
 
-/// Walk the PHV through a compiled op list with per-stage parallel
-/// semantics: `entry` freezes the stage-entry state, every instance reads
-/// it and writes into `cur` — the zero-allocation double-buffered twin of
-/// [`Switch::walk_reference`]. Stages without ops for the query are
-/// skipped: no instance there holds a rule that could observe or alter
-/// this query's PHV.
+/// Below this many lanes even the [`BatchSchedule::StageMajor`] engine
+/// falls back to the sequential walk: the stage-major machinery (queues,
+/// buckets, per-stage sorts) costs more than it amortizes, and single
+/// packets expand to at most one lane per installed query so whole
+/// batches-of-1 land under it. Bit-identical either way (see
+/// [`walk_lanes_sequential`]).
+const SEQUENTIAL_LANE_CUTOFF: usize = 16;
+
+/// Walk every live lane of the batch through its compiled op list,
+/// **stage-major** with per-stage parallel semantics: each stage in
+/// ascending order freezes its lanes' stage-entry columns, groups their
+/// ops into per-slot buckets, and runs each module instance once over its
+/// whole bucket. Scheduling is O(total runs): a lane is queued for the
+/// stage of its next run and re-queued as its cursor advances, never
+/// rescanned. Draining buckets slot-ascending with lanes in ascending
+/// lane order reproduces the scalar walk's per-instance operation order
+/// exactly — 𝕊 register sequences and [`BankStats`] stay bit-identical.
+/// Dead lanes (`cur.active == 0`) are dropped at stage boundaries like
+/// the scalar walk's `any_active` gate.
 ///
 /// Free function (not a method) so callers can hold disjoint borrows of
 /// the switch's plan, stages and scratch at once.
-fn walk_ops(stages: &mut [Vec<Instance>], ops: &OpList, cur: &mut Phv, entry: &mut Phv) {
-    for &(stage, lo, hi) in ops.runs() {
-        if !cur.any_active() {
-            break;
+fn walk_batch(
+    stages: &mut [Vec<Instance>],
+    plan: &ExecPlan,
+    batch: &mut PhvBatch,
+    run_span: &mut Vec<(u32, u32)>,
+    stage_q: &mut Vec<Vec<u32>>,
+    cur_lanes: &mut Vec<u32>,
+    buckets: &mut Vec<Vec<(u32, u32, u32)>>,
+) {
+    if batch.lanes() <= SEQUENTIAL_LANE_CUTOFF {
+        walk_lanes_sequential(stages, plan, batch);
+        return;
+    }
+    if stage_q.len() < stages.len() {
+        stage_q.resize_with(stages.len(), Vec::new);
+    }
+    // Seed every live lane into the stage of its first run (ascending
+    // lane order by construction).
+    run_span.clear();
+    for l in 0..batch.lanes() {
+        let span = plan.dispatch(batch.lane_group[l]).runs;
+        run_span.push(span);
+        if batch.cur[l].active != 0 && span.0 < span.1 {
+            stage_q[plan.run(span.0).0 as usize].push(l as u32);
         }
-        entry.copy_state_from(cur);
-        let insts = &mut stages[stage as usize];
-        for &(slot, rlo, rhi) in &ops.ops()[lo as usize..hi as usize] {
-            let idx = ops.rules(rlo, rhi);
-            match &mut insts[slot as usize] {
-                Instance::K(m) => m.execute_planned(idx, entry, cur),
-                Instance::H(m) => m.execute_planned(idx, entry, cur),
-                Instance::S(m) => m.execute_planned(idx, entry, cur),
-                Instance::R(m) => m.execute_planned(idx, entry, cur),
+    }
+    for s in 0..stages.len() {
+        if stage_q[s].is_empty() {
+            continue;
+        }
+        // Take the stage's lane list; re-pushed lanes arrive in source-
+        // stage order, so restore the canonical ascending lane order.
+        std::mem::swap(cur_lanes, &mut stage_q[s]);
+        cur_lanes.sort_unstable();
+        let insts = &mut stages[s];
+        if buckets.len() < insts.len() {
+            buckets.resize_with(insts.len(), Vec::new);
+        }
+        // Freeze stage-entry state, bucket the stage's ops per slot, and
+        // queue each lane for its next run's stage.
+        for &lq in cur_lanes.iter() {
+            let l = lq as usize;
+            if batch.cur[l].active == 0 {
+                continue; // Died in an earlier stage: the walk ends here.
+            }
+            let (cursor, end) = run_span[l];
+            let (_, lo, hi) = plan.run(cursor);
+            batch.entry[l] = batch.cur[l];
+            for &(slot, rlo, rhi) in plan.ops(lo, hi) {
+                buckets[slot as usize].push((lq, rlo, rhi));
+            }
+            run_span[l].0 = cursor + 1;
+            if cursor + 1 < end {
+                stage_q[plan.run(cursor + 1).0 as usize].push(lq);
+            }
+        }
+        cur_lanes.clear();
+
+        // One dispatch per (stage, slot): the instance runs across its
+        // whole bucket with the rule table hot.
+        for sl in 0..insts.len() {
+            if buckets[sl].is_empty() {
+                continue;
+            }
+            let ops = buckets[sl].iter().map(|&(l, rlo, rhi)| (l, plan.rules(rlo, rhi)));
+            match &mut insts[sl] {
+                Instance::K(m) => m.execute_batch(ops, batch),
+                Instance::H(m) => m.execute_batch(ops, batch),
+                Instance::S(m) => m.execute_batch(ops, batch),
+                Instance::R(m) => m.execute_batch(ops, batch),
+            }
+            buckets[sl].clear();
+        }
+    }
+}
+
+/// Walk each lane of a small batch straight through its compiled run
+/// list, one lane at a time — the degenerate-batch twin of [`walk_batch`]
+/// dispatching the same module kernels with single-lane buckets.
+///
+/// Bit-identical to the stage-major walk for ANY batch, not just small
+/// ones: per lane, both walks execute the same ops in the same run order
+/// against the same frozen stage-entry state; and the only *shared*
+/// mutable state — an 𝕊 instance's registers, [`BankStats`] — is owned by
+/// one module instance, which occupies exactly one (stage, slot), so two
+/// lanes touching it are ordered by lane index under both schedules.
+/// Reports are tagged `(lane, seq)` and re-sorted by the caller either
+/// way.
+fn walk_lanes_sequential(stages: &mut [Vec<Instance>], plan: &ExecPlan, batch: &mut PhvBatch) {
+    for l in 0..batch.lanes() {
+        let (lo, hi) = plan.dispatch(batch.lane_group[l]).runs;
+        for cursor in lo..hi {
+            if batch.cur[l].active == 0 {
+                break;
+            }
+            let (stage, olo, ohi) = plan.run(cursor);
+            batch.entry[l] = batch.cur[l];
+            let insts = &mut stages[stage as usize];
+            for &(slot, rlo, rhi) in plan.ops(olo, ohi) {
+                let ops = std::iter::once((l as u32, plan.rules(rlo, rhi)));
+                match &mut insts[slot as usize] {
+                    Instance::K(m) => m.execute_batch(ops, batch),
+                    Instance::H(m) => m.execute_batch(ops, batch),
+                    Instance::S(m) => m.execute_batch(ops, batch),
+                    Instance::R(m) => m.execute_batch(ops, batch),
+                }
             }
         }
     }

@@ -81,9 +81,9 @@
 use crate::routing::PathTable;
 use crate::sim::LinkKey;
 use crate::topology::NodeId;
-use newton_dataplane::{Report, Switch};
+use newton_dataplane::{BatchOutput, Report, Switch};
 use newton_packet::{Packet, SnapshotHeader, SP_HEADER_LEN};
-use newton_telemetry::Profile;
+use newton_telemetry::{NoopSink, Profile};
 use std::any::Any;
 use std::cell::UnsafeCell;
 use std::fmt;
@@ -487,10 +487,15 @@ struct BatchCtx<'a, 'p> {
     /// forward without executing, exactly as the sequential walk skips
     /// them.
     alive: &'a [bool],
+    /// Packets-per-batch budget of the pipeline's batch-first path: a
+    /// worker hands at most this many queued hops to one
+    /// [`Switch::process_batch`] call.
+    batch_lanes: usize,
 }
 
 /// Run one routed batch on up to `threads` workers. `scratch.paths` must
-/// already hold the batch's routes.
+/// already hold the batch's routes. `batch_lanes` caps how many queued
+/// hops a worker hands to one [`Switch::process_batch`] call.
 pub(crate) fn execute_batch(
     switches: &mut [Switch],
     newton_enabled: &[bool],
@@ -498,6 +503,7 @@ pub(crate) fn execute_batch(
     batch: &[(&Packet, NodeId, NodeId)],
     scratch: &mut ParScratch,
     threads: usize,
+    batch_lanes: usize,
 ) -> ParOutcome {
     let ParScratch {
         paths,
@@ -591,6 +597,7 @@ pub(crate) fn execute_batch(
             batch,
             newton_enabled,
             alive,
+            batch_lanes: batch_lanes.max(1),
         };
         let assign: &[Vec<NodeId>] = assign;
         let slots: &[WorkerSlot] = slots;
@@ -631,12 +638,25 @@ pub(crate) fn execute_batch(
     ParOutcome { reports, snapshot_bytes, delivered, unrouted }
 }
 
-/// One worker: sweep the owned switches' queue heads, running every hop
-/// whose predecessor has finished, until all owned work is done.
+/// One worker: sweep the owned switches' queue heads, running every
+/// ready *run* of hops — consecutive queue entries whose predecessor hop
+/// has finished — through one [`Switch::process_batch`] call, until all
+/// owned work is done.
+///
+/// Handing the whole run to the batch path is bit-identical to popping
+/// entries one at a time: a switch's queue lists packets in batch order,
+/// `process_batch` equals sequential `process` per packet (every 𝕊
+/// instance lives in one stage, so its register-op order under the
+/// stage-major batched walk is lane order = packet order), and a packet
+/// queued twice in a row on one switch self-limits the run — its second
+/// entry's `done` counter cannot match until the first retires.
 fn run_worker(mine: &[NodeId], ctx: BatchCtx<'_, '_>, out: &mut WorkerOut, aborted: &AtomicBool) {
     let total: usize = mine.iter().map(|&node| ctx.queues[node].len()).sum();
     let mut processed = 0usize;
     let mut idle = 0u32;
+    let mut sink = NoopSink;
+    let mut pkts: Vec<(&Packet, Option<SnapshotHeader>)> = Vec::new();
+    let mut bout = BatchOutput::default();
     while processed < total {
         let mut progressed = false;
         for (k, &node) in mine.iter().enumerate() {
@@ -646,43 +666,65 @@ fn run_worker(mine: &[NodeId], ctx: BatchCtx<'_, '_>, out: &mut WorkerOut, abort
             // is dormant until the job drains (see SwitchesPtr).
             let sw = unsafe { &mut *ctx.switches.at(node) };
             let q = &ctx.queues[node];
-            while out.heads[k] < q.len() {
-                let (p, h) = q[out.heads[k]];
-                if ctx.done[p as usize].load(Ordering::Acquire) != h {
+            loop {
+                // Collect the ready run at the queue head, capped at the
+                // pipeline's batch budget.
+                let start = out.heads[k];
+                pkts.clear();
+                while start + pkts.len() < q.len() && pkts.len() < ctx.batch_lanes {
+                    let (p, h) = q[start + pkts.len()];
+                    if ctx.done[p as usize].load(Ordering::Acquire) != h {
+                        break;
+                    }
+                    // SAFETY: guarded by the Acquire load above — hop h-1's
+                    // writer released this slot before storing `done[p] = h`
+                    // (see FlightSlot).
+                    let sp_in: Option<SnapshotHeader> =
+                        if h == 0 { None } else { unsafe { *ctx.flight[p as usize].0.get() } };
+                    pkts.push((ctx.batch[p as usize].0, sp_in));
+                }
+                if pkts.is_empty() {
                     break;
                 }
-                let pkt = ctx.batch[p as usize].0;
-                let path = ctx.paths.path(p as usize);
-                // SAFETY: guarded by the Acquire load above — hop h-1's
-                // writer released this slot before storing `done[p] = h`
-                // (see FlightSlot).
-                let sp_in: Option<SnapshotHeader> =
-                    if h == 0 { None } else { unsafe { *ctx.flight[p as usize].0.get() } };
-                let mut sp_out = sp_in;
-                if ctx.newton_enabled[node] && ctx.alive[node] {
-                    let o = sw.process(pkt, sp_in.as_ref());
-                    for (j, r) in o.reports.into_iter().enumerate() {
-                        out.reports.push((p, h, j as u16, node, r));
+                let execute = ctx.newton_enabled[node] && ctx.alive[node];
+                if execute {
+                    sw.process_batch(&pkts, &mut sink, &mut bout);
+                }
+                // Retire the run in order: reports come back packet-major,
+                // so a cursor walk re-tags them with queue coordinates.
+                let mut rep = 0usize;
+                for (i, &(pkt, sp_in)) in pkts.iter().enumerate() {
+                    let (p, h) = q[start + i];
+                    let mut sp_out = sp_in;
+                    if execute {
+                        let mut j = 0u16;
+                        while rep < bout.reports.len() && bout.reports[rep].0 as usize == i {
+                            out.reports.push((p, h, j, node, bout.reports[rep].1.clone()));
+                            j += 1;
+                            rep += 1;
+                        }
+                        sp_out = bout.snapshots[i];
                     }
-                    sp_out = o.snapshot;
+                    let path = ctx.paths.path(p as usize);
+                    let next = h as usize + 1;
+                    if next < path.len() {
+                        let sp = if sp_out.is_some() {
+                            out.snapshot_bytes += SP_HEADER_LEN;
+                            SP_HEADER_LEN as u64
+                        } else {
+                            0
+                        };
+                        out.deltas.push((LinkKey::new(node, path[next]), pkt.wire_len as u64, sp));
+                        // SAFETY: this worker exclusively owns slot `p` while
+                        // `done[p] == h`; the Release store below publishes
+                        // the write to hop h+1's Acquire load (see
+                        // FlightSlot).
+                        unsafe { *ctx.flight[p as usize].0.get() = sp_out };
+                    }
+                    ctx.done[p as usize].store(next as u16, Ordering::Release);
                 }
-                let next = h as usize + 1;
-                if next < path.len() {
-                    let sp = if sp_out.is_some() {
-                        out.snapshot_bytes += SP_HEADER_LEN;
-                        SP_HEADER_LEN as u64
-                    } else {
-                        0
-                    };
-                    out.deltas.push((LinkKey::new(node, path[next]), pkt.wire_len as u64, sp));
-                    // SAFETY: this worker exclusively owns slot `p` while
-                    // `done[p] == h`; the Release store below publishes the
-                    // write to hop h+1's Acquire load (see FlightSlot).
-                    unsafe { *ctx.flight[p as usize].0.get() = sp_out };
-                }
-                ctx.done[p as usize].store(next as u16, Ordering::Release);
-                out.heads[k] += 1;
-                processed += 1;
+                out.heads[k] += pkts.len();
+                processed += pkts.len();
                 progressed = true;
             }
         }

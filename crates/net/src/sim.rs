@@ -9,7 +9,7 @@
 use crate::parallel::{self, ParScratch};
 use crate::routing::{RouteScratch, Router};
 use crate::topology::{NodeId, Topology};
-use newton_dataplane::{PipelineConfig, Report, Switch};
+use newton_dataplane::{PipelineConfig, Report, Switch, DEFAULT_BATCH_LANES};
 use newton_packet::{Packet, SnapshotHeader};
 use newton_sketch::FastMap;
 
@@ -124,6 +124,9 @@ pub struct Network {
     scratch: DeliverScratch,
     /// Reusable buffers of the parallel delivery path.
     par: ParScratch,
+    /// Packets-per-batch budget of the batch-first pipeline path (see
+    /// [`set_batch_lanes`](Self::set_batch_lanes)).
+    batch_lanes: usize,
 }
 
 impl Network {
@@ -137,7 +140,22 @@ impl Network {
             newton_enabled: vec![true; n],
             scratch: DeliverScratch::default(),
             par: ParScratch::default(),
+            batch_lanes: DEFAULT_BATCH_LANES,
         }
+    }
+
+    /// Set how many queued packets a switch's batch-first pipeline path
+    /// executes per [`Switch::process_batch`] call (clamped to ≥ 1).
+    /// Output is bit-identical at every setting — this is purely a
+    /// throughput/locality knob; see `newton-dataplane`'s batch module
+    /// for the default's rationale.
+    pub fn set_batch_lanes(&mut self, lanes: usize) {
+        self.batch_lanes = lanes.max(1);
+    }
+
+    /// The configured packets-per-batch budget.
+    pub fn batch_lanes(&self) -> usize {
+        self.batch_lanes
     }
 
     /// Enable/disable Newton processing at a switch (partial deployment).
@@ -260,32 +278,15 @@ impl Network {
         DeliveryResult { path, reports, snapshot_bytes, clean_delivery: true }
     }
 
-    /// Deliver a batch of `(packet, ingress, egress)` triples, reusing one
-    /// routing/path/link scratch set across the whole slice. Behaviour is
+    /// Deliver a batch of `(packet, ingress, egress)` triples through the
+    /// batch-first pipeline path: one FIFO hop queue per switch in batch
+    /// order, with ready head runs handed to
+    /// [`Switch::process_batch`] up to
+    /// [`batch_lanes`](Self::batch_lanes) packets at a time. Behaviour is
     /// identical to calling [`deliver`](Self::deliver) per packet, in
     /// order; only the aggregate outcome is returned.
     pub fn deliver_batch(&mut self, batch: &[(&Packet, NodeId, NodeId)]) -> BatchDelivery {
-        let mut out = BatchDelivery::default();
-        let mut scratch = std::mem::take(&mut self.scratch);
-        for &(pkt, ingress, egress) in batch {
-            let routed = self.router.path_into(
-                ingress,
-                egress,
-                &pkt.flow_key(),
-                &mut scratch.route,
-                &mut scratch.path,
-            );
-            if !routed {
-                out.unrouted += 1;
-                continue;
-            }
-            out.snapshot_bytes +=
-                self.walk_path(pkt, &scratch.path, &mut out.reports, &mut scratch.deltas);
-            out.delivered += 1;
-        }
-        Self::flush_link_deltas(&mut self.link_load, &mut scratch.deltas);
-        self.scratch = scratch;
-        out
+        self.deliver_batch_on(batch, 1)
     }
 
     /// [`deliver_batch`](Self::deliver_batch) on up to `threads` worker
@@ -305,8 +306,19 @@ impl Network {
         batch: &[(&Packet, NodeId, NodeId)],
         threads: usize,
     ) -> BatchDelivery {
-        if threads <= 1 || batch.len() <= 1 {
-            return self.deliver_batch(batch);
+        self.deliver_batch_on(batch, if batch.len() <= 1 { 1 } else { threads.max(1) })
+    }
+
+    /// The shared delivery engine: route the batch, execute per-switch
+    /// hop queues on `threads` workers (1 = the caller's thread, no pool
+    /// wake), flush link deltas.
+    fn deliver_batch_on(
+        &mut self,
+        batch: &[(&Packet, NodeId, NodeId)],
+        threads: usize,
+    ) -> BatchDelivery {
+        if batch.is_empty() {
+            return BatchDelivery::default();
         }
         let mut par = std::mem::take(&mut self.par);
         self.router.route_batch_into(
@@ -327,6 +339,7 @@ impl Network {
             batch,
             &mut par,
             threads,
+            self.batch_lanes,
         );
         Self::flush_link_deltas(&mut self.link_load, &mut par.deltas);
         self.par = par;

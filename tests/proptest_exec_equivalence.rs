@@ -6,7 +6,9 @@
 //! 1. `Switch::process` (plan + scratch) ≡ `Switch::process_reference`
 //!    (per-packet dispatch rebuild + per-stage PHV clone), for whole and
 //!    CQE-sliced queries: same reports, same snapshot headers, same
-//!    register state.
+//!    register state. `Switch::process_batch` ≡ the same reference, at
+//!    arbitrary batch sizes (remainder chunks included), with mixed
+//!    drop/mirror/resume lanes and through the CQE snapshot path.
 //! 2. `Network::deliver_batch` ≡ sequential `Network::deliver`: same
 //!    reports, same snapshot bytes, same per-link load counters.
 //! 3. `Network::deliver_batch_parallel` ≡ `Network::deliver_batch` at any
@@ -18,12 +20,13 @@
 //!    [`Parallelism`](newton::net::Parallelism).
 
 use newton::compiler::{compile, compile_sliced, CompilerConfig};
-use newton::dataplane::{PipelineConfig, SliceInfo, Switch};
+use newton::dataplane::{BatchOutput, BatchSchedule, PipelineConfig, SliceInfo, Switch};
 use newton::net::{Network, NodeId, Topology};
 use newton::packet::Field;
-use newton::packet::{Packet, PacketBuilder, Protocol, TcpFlags};
+use newton::packet::{Packet, PacketBuilder, Protocol, SnapshotHeader, TcpFlags};
 use newton::query::ast::{CmpOp, Query, ReduceFunc};
 use newton::query::QueryBuilder;
+use newton::telemetry::NoopSink;
 use proptest::prelude::*;
 
 /// Packets from a small universe so counts actually accumulate.
@@ -187,6 +190,105 @@ proptest! {
                 prop_assert_eq!(a.snapshot, b.snapshot, "hop {} snapshot diverged", i);
                 sp_a = a.snapshot;
                 sp_b = b.snapshot;
+            }
+        }
+        for i in 0..n {
+            assert_registers_eq(&planned[i], &reference[i], &sliced.slices[i]);
+        }
+    }
+
+    #[test]
+    fn process_batch_matches_reference_whole(
+        specs in prop::collection::vec(arb_query(), 1..3),
+        stream in arb_stream(),
+        batch_size in 1usize..40,
+        schedule in prop_oneof![Just(BatchSchedule::Sequential), Just(BatchSchedule::StageMajor)],
+    ) {
+        // The batched SoA path at arbitrary batch sizes — stream lengths
+        // are rarely multiples of `batch_size`, so remainder chunks are
+        // exercised constantly. Drop/mirror lanes arise from the random
+        // queries' result filters and distinct StopBranch rules. Both walk
+        // schedules must match the scalar reference bit for bit.
+        let mut planned = Switch::new(PipelineConfig { batch_schedule: schedule, ..pipeline() });
+        let mut reference = Switch::new(pipeline());
+        let mut rulesets = Vec::new();
+        for (i, spec) in specs.iter().enumerate() {
+            let compiled = compile(&build(spec, "prop"), i as u32 + 1, &compiler_cfg());
+            planned.install(&compiled.rules).unwrap();
+            reference.install(&compiled.rules).unwrap();
+            rulesets.push(compiled.rules);
+        }
+        let mut sink = NoopSink;
+        let mut bout = BatchOutput::default();
+        for chunk in stream.chunks(batch_size) {
+            let tuples: Vec<(&Packet, Option<SnapshotHeader>)> =
+                chunk.iter().map(|p| (p, None)).collect();
+            planned.process_batch(&tuples, &mut sink, &mut bout);
+            let mut want_reports = Vec::new();
+            let mut want_snapshots = Vec::new();
+            for (i, pkt) in chunk.iter().enumerate() {
+                let o = reference.process_reference(pkt, None);
+                want_reports.extend(o.reports.into_iter().map(|r| (i as u32, r)));
+                want_snapshots.push(o.snapshot);
+            }
+            prop_assert_eq!(&bout.reports, &want_reports, "reports diverged in a chunk");
+            prop_assert_eq!(&bout.snapshots, &want_snapshots, "snapshots diverged in a chunk");
+        }
+        for rules in &rulesets {
+            assert_registers_eq(&planned, &reference, rules);
+        }
+    }
+
+    #[test]
+    fn process_batch_matches_reference_sliced_cqe(
+        spec in arb_query(),
+        stream in arb_stream(),
+        budget in 2usize..5,
+        batch_size in 1usize..40,
+        schedule in prop_oneof![Just(BatchSchedule::Sequential), Just(BatchSchedule::StageMajor)],
+    ) {
+        // CQE through the batch path: whole batches traverse the sliced
+        // chain hop by hop, resume lanes carrying each packet's snapshot
+        // header (live cursors, DEAD markers, and pass-throughs mixed in
+        // one batch).
+        let sliced = compile_sliced(&build(&spec, "prop"), 1, &compiler_cfg(), budget);
+        let n = sliced.slice_count();
+        prop_assume!(n >= 2);
+        let mut planned: Vec<Switch> = (0..n)
+            .map(|_| Switch::new(PipelineConfig { batch_schedule: schedule, ..pipeline() }))
+            .collect();
+        let mut reference: Vec<Switch> = (0..n).map(|_| Switch::new(pipeline())).collect();
+        for i in 0..n {
+            let info = SliceInfo {
+                index: i as u8,
+                total: n as u8,
+                capture_set: sliced.capture_sets[i],
+                restore_set: if i == 0 { sliced.capture_sets[0] } else { sliced.capture_sets[i - 1] },
+                stages: (0, 12),
+            };
+            planned[i].install(&sliced.slices[i]).unwrap();
+            planned[i].set_slice(1, info).unwrap();
+            reference[i].install(&sliced.slices[i]).unwrap();
+            reference[i].set_slice(1, info).unwrap();
+        }
+        let mut sink = NoopSink;
+        let mut bout = BatchOutput::default();
+        for chunk in stream.chunks(batch_size) {
+            let mut sp_a: Vec<Option<SnapshotHeader>> = vec![None; chunk.len()];
+            let mut sp_b = sp_a.clone();
+            for i in 0..n {
+                let tuples: Vec<(&Packet, Option<SnapshotHeader>)> =
+                    chunk.iter().zip(&sp_a).map(|(p, sp)| (p, *sp)).collect();
+                planned[i].process_batch(&tuples, &mut sink, &mut bout);
+                let mut want_reports = Vec::new();
+                for (j, pkt) in chunk.iter().enumerate() {
+                    let o = reference[i].process_reference(pkt, sp_b[j].as_ref());
+                    want_reports.extend(o.reports.into_iter().map(|r| (j as u32, r)));
+                    sp_b[j] = o.snapshot;
+                }
+                prop_assert_eq!(&bout.reports, &want_reports, "hop {} reports diverged", i);
+                prop_assert_eq!(&bout.snapshots, &sp_b, "hop {} snapshots diverged", i);
+                sp_a.copy_from_slice(&bout.snapshots);
             }
         }
         for i in 0..n {

@@ -2,9 +2,11 @@
 //! the `Recorder`'s event stream is keyed purely by modeled time (epoch
 //! index), so its JSONL serialization must be **byte-identical** across
 //! thread counts {1, 2, 4, 8} — with and without mid-trace failures — and
-//! between the batched and parallel executors. Wall-clock facts live only
-//! in the separate `Profile` section, which is excluded from these
-//! comparisons by construction.
+//! between the batched and parallel executors. The same holds for the
+//! pipeline's packets-per-batch budget: every batch-lanes setting {1, 32,
+//! 128} × thread count {1, 4} must journal the same bytes. Wall-clock
+//! facts live only in the separate `Profile` section, which is excluded
+//! from these comparisons by construction.
 //!
 //! Also covered here:
 //! * `NoopSink` functional equivalence: `Switch::process_sink` with the
@@ -76,6 +78,32 @@ fn journal_is_byte_identical_across_thread_counts() {
     for threads in [2usize, 4, 8] {
         let j = journal_at(&trace, threads, None, None);
         assert_eq!(j, base, "journal bytes diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn journal_is_byte_identical_across_batch_sizes_and_threads() {
+    // The packets-per-batch budget of the batch-first pipeline path is a
+    // pure throughput knob: reports are re-emitted in canonical per-lane
+    // order whatever the batch geometry, so the journal must not move by
+    // a byte across batch sizes (1 = effectively scalar) × thread counts.
+    let trace = busy_trace();
+    let journal = |lanes: usize, threads: usize| {
+        let mut sys = NewtonSystem::new(Topology::fat_tree(4));
+        sys.set_batch_lanes(lanes);
+        sys.set_parallelism(Parallelism::new(threads));
+        sys.install(&catalog::q4_port_scan()).unwrap();
+        sys.install(&catalog::q1_new_tcp()).unwrap();
+        sys.enable_recorder();
+        sys.run_trace(&trace, 50);
+        sys.take_recorder().expect("recorder attached").journal.to_jsonl()
+    };
+    let base = journal_at(&trace, 1, None, None);
+    for lanes in [1usize, 32, 128] {
+        for threads in [1usize, 4] {
+            let j = journal(lanes, threads);
+            assert_eq!(j, base, "journal bytes diverged at batch_lanes={lanes}, threads={threads}");
+        }
     }
 }
 
