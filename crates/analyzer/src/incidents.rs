@@ -34,7 +34,7 @@ impl Incident {
 }
 
 /// Folds per-epoch reports into per-(query, key) incidents.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct IncidentLog {
     incidents: HashMap<(QueryId, u64), Incident>,
     epoch: usize,

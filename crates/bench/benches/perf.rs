@@ -24,10 +24,11 @@
 //! `oversubscribed: true` and excluded from the headline parallel speedup.
 //!
 //! Acceptance bars asserted here: the ExecPlan pipeline is ≥2× the
-//! reference path; parallel delivery at 1 worker stays within 10% of
-//! `deliver_batch` (it dispatches straight to it, so a miss means dispatch
-//! overhead crept in); and — on machines with ≥4 cores — parallel delivery
-//! is ≥2× the sequential batch path.
+//! reference path; parallel delivery at 1 worker stays within 10% of both
+//! `deliver_batch` *and* sequential `deliver` (it dispatches to the plain
+//! per-packet walk, which must never lose to either reference path); and —
+//! on machines with ≥4 cores — parallel delivery is ≥2× the sequential
+//! batch path.
 //!
 //! Set `NEWTON_PERF_SMOKE=1` for a CI-sized run: a small trace, fewer
 //! passes, threads {1, 2} (2 kept even on one core, purely as a
@@ -44,7 +45,7 @@ use newton::net::{effective_parallelism, Network, NodeId, Topology};
 use newton::packet::{Packet, SnapshotHeader};
 use newton::query::catalog;
 use newton::telemetry::{NoopSink, Recorder};
-use newton_bench::{evaluation_traces, print_table};
+use newton_bench::{evaluation_traces, peak_rss_json, print_table};
 
 /// Timed passes over the trace; small enough to keep the bench under a
 /// minute, large enough that per-packet costs dominate setup.
@@ -269,7 +270,8 @@ fn main() {
         .map(|e| e.rate)
         .fold(None, |best: Option<f64>, r| Some(best.map_or(r, |b| b.max(r))));
     let par_speedup = par_rate.map(|r| r / batch_rate);
-    let par1_speedup = scaling.iter().find(|e| e.threads == 1).map(|e| e.rate / batch_rate);
+    let par1_rate = scaling.iter().find(|e| e.threads == 1).map(|e| e.rate);
+    let par1_speedup = par1_rate.map(|r| r / batch_rate);
 
     let mut rows = vec![
         vec!["Switch::process_reference".into(), fmt_rate(ref_rate), "1.00x".into()],
@@ -394,30 +396,49 @@ fn main() {
         "acceptance: the batched pipeline at {DEFAULT_BATCH_LANES} lanes must not \
          regress below {batch_floor}x the per-packet path (got {batch_ratio:.3}x)"
     );
-    // The 1-worker parallel path dispatches straight to deliver_batch, so
-    // any real gap is dispatch overhead — the regression class this gate
-    // exists to catch (the seed executor shipped at 0.82x and collapsing).
-    // Smoke runs on shared CI runners, where a noisy neighbor can skew even
-    // a fastest-of-N comparison: re-measure both sides once before failing,
-    // so only a *reproducible* gap — actual dispatch overhead, not
-    // scheduler noise — fails the job.
-    if let Some(mut s1) = par1_speedup {
-        if smoke && s1 < 0.9 {
-            println!("note: 1-worker gate at {s1:.2}x on first measurement, re-measuring once");
+    // The 1-worker parallel path dispatches to the plain per-packet walk
+    // (`deliver_batch_sequential`), not the batch engine: on one core the
+    // engine's queue/flight-slot machinery costs more than its stage-major
+    // locality buys (see `delivery_note` in the JSON). So the 1-worker rate
+    // must stay within 10% of *both* references — `deliver_batch` (the
+    // engine it used to dispatch to; losing to it would mean the dispatch
+    // decision is wrong on this machine) and sequential `deliver` (the walk
+    // it now shares, where a gap means per-batch overhead crept in). Smoke
+    // runs on shared CI runners, where a noisy neighbor can skew even a
+    // fastest-of-N comparison: re-measure both sides once before failing,
+    // so only a *reproducible* gap fails the job.
+    if let Some(s1) = par1_speedup {
+        let mut s1_batch = s1;
+        let mut s1_seq = par1_rate.expect("par1_speedup implies par1_rate") / seq_rate;
+        if smoke && (s1_batch < 0.9 || s1_seq < 0.9) {
+            println!(
+                "note: 1-worker gate at {s1_batch:.2}x batch / {s1_seq:.2}x seq on first \
+                 measurement, re-measuring once"
+            );
             let (mut net, _) = q19_network();
             let (b2, _) = best_rate(triples.len(), delivery_reps, || {
                 net.deliver_batch(&triples).reports.len()
             });
             let (mut net, _) = q19_network();
+            let (q2, _) = best_rate(triples.len(), delivery_reps, || {
+                triples.iter().map(|&(p, ig, eg)| net.deliver(p, ig, eg).reports.len()).sum()
+            });
+            let (mut net, _) = q19_network();
             let (p2, _) = best_rate(triples.len(), delivery_reps, || {
                 net.deliver_batch_parallel(&triples, 1).reports.len()
             });
-            s1 = s1.max(p2 / b2);
+            s1_batch = s1_batch.max(p2 / b2);
+            s1_seq = s1_seq.max(p2 / q2);
         }
         assert!(
-            s1 >= 0.9,
+            s1_batch >= 0.9,
             "acceptance: parallel delivery at 1 worker must stay within 10% of \
-             deliver_batch (got {s1:.2}x)"
+             deliver_batch (got {s1_batch:.2}x)"
+        );
+        assert!(
+            s1_seq >= 0.9,
+            "acceptance: parallel delivery at 1 worker must stay within 10% of \
+             sequential deliver (got {s1_seq:.2}x)"
         );
     }
     // Scaling must not go backwards as real cores are added.
@@ -517,11 +538,21 @@ fn main() {
          \"delivery_sequential_pkts_per_sec\": {seq_rate:.0},\n  \
          \"delivery_batch_pkts_per_sec\": {batch_rate:.0},\n  \
          \"delivery_speedup\": {delivery_speedup:.3},\n  \
+         \"delivery_note\": \"delivery_speedup compares the single-worker batch engine \
+         against sequential deliver and lands below 1.0 on single-core machines: the \
+         engine's per-switch queues, flight slots and report re-sort cost ~15-20% there, \
+         more than its stage-major locality buys without a second core. That is expected \
+         and documented, not a regression: deliver_batch_parallel dispatches threads<=1 \
+         to the plain per-packet walk (bit-identical by contract), so no caller pays the \
+         coordination cost single-threaded — the thread_scaling 1t entry is the rate \
+         callers actually get\",\n  \
          \"delivery_parallel_pkts_per_sec\": {par_rate_json},\n  \
          \"delivery_parallel_speedup\": {par_speedup_json},\n  \
+         \"peak_rss_bytes\": {},\n  \
          \"benched_on_cores\": {cores}{scaling_note_json},\n  \
          \"thread_scaling\": [\n{scaling_json}\n  ]\n}}\n",
         packets.len(),
+        peak_rss_json(),
     );
     let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     std::fs::write(out, &json).expect("write BENCH_perf.json");

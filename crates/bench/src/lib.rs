@@ -81,6 +81,23 @@ pub fn graded_syn_workload(hosts: u32, max_conns: u32, seed: u64) -> Vec<Packet>
     packets
 }
 
+/// The process's peak resident set size in bytes (Linux `VmHWM` from
+/// `/proc/self/status`), or `None` where that interface doesn't exist.
+/// Benches report this as JSON `null` rather than guessing.
+pub fn peak_rss_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    // Format: `VmHWM:     12345 kB`.
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+/// [`peak_rss_bytes`] rendered for hand-rolled JSON: the number, or
+/// `null` on platforms without the procfs interface.
+pub fn peak_rss_json() -> String {
+    peak_rss_bytes().map_or_else(|| "null".into(), |b| b.to_string())
+}
+
 /// Pretty format a ratio in scientific-ish notation.
 pub fn fmt_ratio(r: f64) -> String {
     if r == 0.0 {
@@ -112,6 +129,20 @@ mod tests {
         let count = |host: u32| a.iter().filter(|p| p.dst_ip == 0xAC10_0000 + host).count();
         assert!(count(99) > count(0));
         assert_eq!(count(0), 1);
+    }
+
+    #[test]
+    fn peak_rss_is_sane_on_linux() {
+        match peak_rss_bytes() {
+            // A running test process owns at least a megabyte and well
+            // under a terabyte.
+            Some(b) => {
+                assert!(b > 1 << 20, "VmHWM {b} implausibly small");
+                assert!(b < 1 << 40, "VmHWM {b} implausibly large");
+                assert_eq!(peak_rss_json(), b.to_string());
+            }
+            None => assert_eq!(peak_rss_json(), "null"),
+        }
     }
 
     #[test]

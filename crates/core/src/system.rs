@@ -23,6 +23,7 @@ use newton_query::{Interpreter, Query};
 use newton_sketch::hash::mix64;
 use newton_sketch::{FastMap, FastSet};
 use newton_telemetry::{Event, Recorder, Telemetry};
+use newton_trace::stream::{ReplayOptions, StreamConfig, StreamReplay};
 use newton_trace::Trace;
 use std::collections::HashMap;
 
@@ -55,15 +56,24 @@ pub struct EpochReport {
 }
 
 /// Results of running one trace through the system.
-#[derive(Debug, Clone, Default)]
+///
+/// `PartialEq` compares every field (including the f64 repair delay
+/// exactly): two runs are equal iff they are the *same deterministic
+/// execution* — the relation the streamed-vs-materialized equivalence
+/// tests pin.
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunReport {
     /// Per query: the union of finally-reported keys across epochs.
     pub reported: FastMap<QueryId, FastSet<u64>>,
     /// Monitoring messages vs raw packets.
     pub messages: u64,
     pub packets: u64,
-    /// Per-epoch time series; `epochs.len()` is the epoch count.
+    /// Per-epoch time series. Normally `epochs.len()` is the epoch count,
+    /// but [`NewtonSystem::set_epoch_retention`] may trim the head for
+    /// soak-length runs — `epoch_count` is always the true total.
     pub epochs: Vec<EpochReport>,
+    /// Total epochs the run closed (immune to retention trimming).
+    pub epoch_count: u64,
     /// Extra bytes the snapshot header put on internal links.
     pub snapshot_bytes: u64,
     /// Per-(query, key) incidents with first/last epoch timing.
@@ -94,6 +104,28 @@ impl RunReport {
             self.messages as f64 / self.packets as f64
         }
     }
+}
+
+/// In-flight state of one run of the packet-driven epoch driver
+/// (`begin_run` → `ingest_slice`* → `end_run`): everything the old
+/// monolithic trace loop kept on its stack, lifted into a cursor so
+/// materialized traces and streamed segments share the same loop.
+struct RunCursor {
+    report: RunReport,
+    meter: OverheadMeter,
+    /// Cumulative-counter checkpoint of the previous epoch boundary that
+    /// turns the run meter into the per-epoch time series.
+    prev: EpochReport,
+    prev_links: FastMap<LinkKey, LinkLoad>,
+    /// Global arrival index of the next packet (the trace-packet hook key).
+    pkt_index: u64,
+    epoch_ns: u64,
+    /// Timestamp window id (`ts_ns / epoch_ns`) of the open epoch, if any.
+    window: Option<u64>,
+    /// Ordinal of the open epoch among non-empty windows — the
+    /// `current_epoch` stamp while it executes and its
+    /// [`EpochReport::index`].
+    ordinal: u64,
 }
 
 /// The full Newton stack: network + controller + analyzer.
@@ -128,6 +160,12 @@ pub struct NewtonSystem {
     /// Modeled-time cursor: the epoch currently executing, stamped onto
     /// controller spans and dynamics events.
     current_epoch: u64,
+    /// Keep only this many trailing entries of `RunReport::epochs`
+    /// (`None` keeps all): bounds a soak run's only per-epoch growth.
+    epoch_retention: Option<usize>,
+    /// Capacity high-water mark of the per-slice delivery batch, carried
+    /// across slices so streamed segments reuse one steady allocation.
+    batch_hint: usize,
 }
 
 /// Epoch batches below this size run sequentially even when more threads
@@ -163,6 +201,8 @@ impl NewtonSystem {
                 .ok()
                 .and_then(|v| v.parse().ok()),
             current_epoch: 0,
+            epoch_retention: None,
+            batch_hint: 0,
         }
     }
 
@@ -228,6 +268,16 @@ impl NewtonSystem {
     /// tests pin this); only throughput changes.
     pub fn set_batch_lanes(&mut self, lanes: usize) {
         self.net.set_batch_lanes(lanes);
+    }
+
+    /// Keep only the trailing `cap` entries of [`RunReport::epochs`]
+    /// (`None`, the default, keeps the full time series). The per-epoch
+    /// series is the only run output that grows with modeled time, so
+    /// capping it makes a soak run's footprint independent of trace
+    /// length; [`RunReport::epoch_count`] still counts every epoch, and
+    /// the cumulative totals are unaffected.
+    pub fn set_epoch_retention(&mut self, cap: Option<usize>) {
+        self.epoch_retention = cap;
     }
 
     /// Threads to use for a delivery batch of `len` packets.
@@ -321,7 +371,12 @@ impl NewtonSystem {
         })
     }
 
-    fn endpoints(&self, pkt: &Packet) -> (NodeId, NodeId) {
+    /// The (ingress, egress) edge switches a packet enters and leaves
+    /// through under the configured [`HostMapping`]. Public so external
+    /// harnesses (the soak bench's sequential-delivery baseline) can
+    /// replay a trace through [`Network::deliver`] on exactly the routes
+    /// the system itself would use.
+    pub fn endpoints(&self, pkt: &Packet) -> (NodeId, NodeId) {
         match self.mapping {
             HostMapping::Fixed { ingress, egress } => (ingress, egress),
             HostMapping::ByAddress => {
@@ -356,9 +411,58 @@ impl NewtonSystem {
         epoch_ms: u64,
         events: &mut newton_net::EventSchedule,
     ) -> RunReport {
-        let mut report = RunReport::default();
-        let mut meter = OverheadMeter::new();
-        let mut batch: Vec<(&Packet, NodeId, NodeId)> = Vec::new();
+        let mut cur = self.begin_run(epoch_ms);
+        self.ingest_slice(trace.packets(), &mut cur, events);
+        self.end_run(cur, events)
+    }
+
+    /// Run a [`StreamConfig`]'s segments through the epoch loop without
+    /// ever materializing the trace: segments are generated on the fly by
+    /// [`StreamReplay`]'s bounded producer pool and their buffers recycled
+    /// after delivery, so peak memory is `O(producers × queue_depth ×
+    /// segment size)` — independent of the stream length. The run is
+    /// byte-identical (reports and telemetry journal) to
+    /// [`run_trace`](Self::run_trace) over
+    /// [`StreamConfig::materialize`]'s trace, at every thread count and
+    /// pool shape: the driver below is the same code for both, and segment
+    /// boundaries only add extra delivery-batch flushes, which the batched
+    /// executor's sequential-equivalence contract makes invisible.
+    pub fn run_stream(
+        &mut self,
+        cfg: &StreamConfig,
+        epoch_ms: u64,
+        opts: &ReplayOptions,
+    ) -> RunReport {
+        self.run_stream_with_events(cfg, epoch_ms, opts, &mut newton_net::EventSchedule::new())
+    }
+
+    /// [`run_stream`](Self::run_stream) with scheduled network dynamics —
+    /// the streamed twin of
+    /// [`run_trace_with_events`](Self::run_trace_with_events).
+    pub fn run_stream_with_events(
+        &mut self,
+        cfg: &StreamConfig,
+        epoch_ms: u64,
+        opts: &ReplayOptions,
+        events: &mut newton_net::EventSchedule,
+    ) -> RunReport {
+        let mut cur = self.begin_run(epoch_ms);
+        let mut replay = StreamReplay::start(cfg.clone(), opts);
+        while let Some(seg) = replay.next_segment() {
+            self.ingest_slice(seg.packets(), &mut cur, events);
+            replay.recycle(seg);
+        }
+        self.end_run(cur, events)
+    }
+
+    /// Set up a run of the packet-driven epoch driver: batch scratch
+    /// sizing, degraded-set reset, and a fresh [`RunCursor`]. The driver
+    /// is `begin_run` → [`ingest_slice`](Self::ingest_slice) (any number
+    /// of timestamp-ordered slices) → [`end_run`](Self::end_run); epoch
+    /// boundaries are detected per packet from its timestamp window, so
+    /// materialized traces and streamed segments share every line of the
+    /// loop.
+    fn begin_run(&mut self, epoch_ms: u64) -> RunCursor {
         // Size every switch's batch scratch up front: the delivery engine
         // hands at most `batch_lanes` packets per pipeline call, and lane
         // expansion rarely exceeds two live query slices per packet. The
@@ -370,146 +474,205 @@ impl NewtonSystem {
         }
         self.degraded.clear();
         self.degraded_ids.clear();
-        let epoch_ns = epoch_ms.max(1) * 1_000_000;
-        // Cumulative-counter checkpoints that turn the run meter into the
-        // per-epoch time series.
-        let mut prev = EpochReport::default();
-        let mut prev_links: FastMap<LinkKey, LinkLoad> = FastMap::default();
-        let mut pkt_index: u64 = 0;
-        for (epoch_idx, epoch) in trace.epochs(epoch_ms).enumerate() {
-            self.current_epoch = epoch_idx as u64;
-            // Epochs are timestamp windows; the window's own end, not the
-            // last packet's timestamp, is when boundary work happens.
-            let epoch_end_ns = (epoch[0].ts_ns / epoch_ns + 1) * epoch_ns;
-            for pkt in epoch {
-                meter.packet();
-                // Packets queued so far must route under the pre-event
-                // state: flush the batch before any scheduled dynamic
-                // fires, then advance the schedule and repair.
-                if events.next_ts().is_some_and(|t| pkt.ts_ns >= t) {
-                    self.flush_batch(&mut batch, &mut report, &mut meter);
-                    let adv = events.advance_network(pkt.ts_ns, &mut self.net);
-                    self.apply_dynamics(adv, &mut report, &mut meter);
-                }
-                let (ingress, egress) = self.endpoints(pkt);
-                if self.trace_packet_idx == Some(pkt_index) && self.recorder.is_some() {
-                    // Flush so the traced packet sees exactly the ingress
-                    // state it would meet in delivery order, then walk a
-                    // cloned switch — the real one is untouched.
-                    self.flush_batch(&mut batch, &mut report, &mut meter);
-                    let traces: Vec<String> =
-                        newton_dataplane::debug::trace_packet(self.net.switch(ingress), pkt)
-                            .iter()
-                            .map(|t| t.to_string())
-                            .collect();
-                    if let Some(rec) = self.recorder.as_mut() {
-                        rec.record(Event::PacketTrace {
-                            index: pkt_index,
-                            switch: ingress,
-                            traces,
-                        });
-                    }
-                }
-                pkt_index += 1;
-                batch.push((pkt, ingress, egress));
-                for (query, interp) in self.software_fallback.values_mut() {
-                    if Self::fallback_mirrors(query, pkt) {
-                        meter.message(pkt.wire_len as u64);
-                        interp.observe(pkt);
-                    }
-                }
-                for (query, interp) in self.degraded.values_mut() {
-                    if Self::fallback_mirrors(query, pkt) {
-                        meter.message(pkt.wire_len as u64);
-                        interp.observe(pkt);
-                    }
-                }
-            }
-            self.flush_batch(&mut batch, &mut report, &mut meter);
-            // Events timestamped after the epoch's last packet still
-            // belong to this window: fire them before the boundary probes,
-            // exactly as wall-clock hardware would lose state before the
-            // epoch read-out.
-            if events.next_ts().is_some_and(|t| t <= epoch_end_ns) {
-                let adv = events.advance_network(epoch_end_ns, &mut self.net);
-                self.apply_dynamics(adv, &mut report, &mut meter);
-            }
-            let mut epoch_reported: FastMap<QueryId, u64> = FastMap::default();
-            for (id, keys) in self.finish_epoch() {
-                *epoch_reported.entry(id).or_default() += keys.len() as u64;
-                report.incidents.observe_epoch(id, keys.iter().copied());
-                report.reported.entry(id).or_default().extend(keys);
-            }
-            for (&id, (_, interp)) in &mut self.software_fallback {
-                let keys = interp.end_epoch().reported;
-                *epoch_reported.entry(id).or_default() += keys.len() as u64;
-                report.incidents.observe_epoch(id, keys.iter().copied());
-                report.reported.entry(id).or_default().extend(keys);
-            }
-            // Degraded queries report from their software twins; twins the
-            // latest repair pass cleared retire here — degradation lasts
-            // "the remainder of the epoch".
-            let mut healed: Vec<QueryId> = Vec::new();
-            for (&id, (_, interp)) in &mut self.degraded {
-                report.degraded_query_epochs += 1;
-                let keys = interp.end_epoch().reported;
-                *epoch_reported.entry(id).or_default() += keys.len() as u64;
-                report.incidents.observe_epoch(id, keys.iter().copied());
-                report.reported.entry(id).or_default().extend(keys);
-                if !self.degraded_ids.contains(&id) {
-                    healed.push(id);
-                }
-            }
-            // Sorted so heal events journal in a canonical order (the
-            // degraded map iterates in hash order).
-            healed.sort_unstable();
-            for id in healed {
-                self.degraded.remove(&id);
-                if let Some(rec) = self.recorder.as_mut() {
-                    rec.record(Event::QueryHealed { epoch: epoch_idx as u64, query: id });
-                }
-            }
-            report.incidents.end_epoch();
-            // The epoch's time-series entry: deltas of the cumulative run
-            // counters since the previous boundary.
-            let mut reported: Vec<(QueryId, u64)> = epoch_reported.into_iter().collect();
-            reported.sort_unstable_by_key(|&(q, _)| q);
-            let ep = EpochReport {
-                index: epoch_idx as u64,
-                packets: meter.raw_packets() - prev.packets,
-                messages: meter.messages() - prev.messages,
-                message_bytes: meter.message_bytes() - prev.message_bytes,
-                unrouted: meter.unrouted_packets() - prev.unrouted,
-                snapshot_bytes: report.snapshot_bytes - prev.snapshot_bytes,
-                reported,
-            };
-            prev = EpochReport {
-                packets: meter.raw_packets(),
-                messages: meter.messages(),
-                message_bytes: meter.message_bytes(),
-                unrouted: meter.unrouted_packets(),
-                snapshot_bytes: report.snapshot_bytes,
-                ..EpochReport::default()
-            };
-            if self.recorder.is_some() {
-                self.emit_epoch_telemetry(&ep, &mut prev_links);
-            }
-            report.epochs.push(ep);
-            self.net.clear_state_parallel(self.parallelism.threads);
+        self.current_epoch = 0;
+        RunCursor {
+            report: RunReport::default(),
+            meter: OverheadMeter::new(),
+            prev: EpochReport::default(),
+            prev_links: FastMap::default(),
+            pkt_index: 0,
+            epoch_ns: epoch_ms.max(1) * 1_000_000,
+            window: None,
+            ordinal: 0,
         }
-        self.current_epoch = report.epochs.len() as u64;
-        // Drain events scheduled past the trace end so schedules always
-        // finish empty (replays would otherwise see stale cursors).
+    }
+
+    /// Drive one timestamp-ordered slice of packets through the run:
+    /// every epoch boundary the slice crosses gets its full boundary work
+    /// ([`close_epoch`](Self::close_epoch)), exactly as the materialized
+    /// loop performed between `Trace::epochs` windows. The delivery batch
+    /// is local to the slice (its `&Packet` borrows must end before a
+    /// streamed segment's buffer is recycled) and is flushed on exit; a
+    /// segment boundary mid-epoch therefore only splits a delivery batch,
+    /// which the executor's sequential-equivalence contract guarantees is
+    /// unobservable.
+    fn ingest_slice(
+        &mut self,
+        pkts: &[Packet],
+        cur: &mut RunCursor,
+        events: &mut newton_net::EventSchedule,
+    ) {
+        let mut batch: Vec<(&Packet, NodeId, NodeId)> =
+            Vec::with_capacity(self.batch_hint.min(pkts.len()));
+        for pkt in pkts {
+            let w = pkt.ts_ns / cur.epoch_ns;
+            match cur.window {
+                Some(open) if open == w => {}
+                Some(_) => {
+                    // The slice crossed into a later window (packets are
+                    // sorted): boundary work for the open epoch, then the
+                    // new window opens under the next ordinal.
+                    self.flush_batch(&mut batch, &mut cur.report, &mut cur.meter);
+                    self.close_epoch(cur, events);
+                    cur.window = Some(w);
+                    cur.ordinal += 1;
+                    self.current_epoch = cur.ordinal;
+                }
+                None => cur.window = Some(w),
+            }
+            cur.meter.packet();
+            // Packets queued so far must route under the pre-event
+            // state: flush the batch before any scheduled dynamic
+            // fires, then advance the schedule and repair.
+            if events.next_ts().is_some_and(|t| pkt.ts_ns >= t) {
+                self.flush_batch(&mut batch, &mut cur.report, &mut cur.meter);
+                let adv = events.advance_network(pkt.ts_ns, &mut self.net);
+                self.apply_dynamics(adv, &mut cur.report, &mut cur.meter);
+            }
+            let (ingress, egress) = self.endpoints(pkt);
+            if self.trace_packet_idx == Some(cur.pkt_index) && self.recorder.is_some() {
+                // Flush so the traced packet sees exactly the ingress
+                // state it would meet in delivery order, then walk a
+                // cloned switch — the real one is untouched.
+                self.flush_batch(&mut batch, &mut cur.report, &mut cur.meter);
+                let traces: Vec<String> =
+                    newton_dataplane::debug::trace_packet(self.net.switch(ingress), pkt)
+                        .iter()
+                        .map(|t| t.to_string())
+                        .collect();
+                if let Some(rec) = self.recorder.as_mut() {
+                    rec.record(Event::PacketTrace {
+                        index: cur.pkt_index,
+                        switch: ingress,
+                        traces,
+                    });
+                }
+            }
+            cur.pkt_index += 1;
+            batch.push((pkt, ingress, egress));
+            for (query, interp) in self.software_fallback.values_mut() {
+                if Self::fallback_mirrors(query, pkt) {
+                    cur.meter.message(pkt.wire_len as u64);
+                    interp.observe(pkt);
+                }
+            }
+            for (query, interp) in self.degraded.values_mut() {
+                if Self::fallback_mirrors(query, pkt) {
+                    cur.meter.message(pkt.wire_len as u64);
+                    interp.observe(pkt);
+                }
+            }
+        }
+        self.flush_batch(&mut batch, &mut cur.report, &mut cur.meter);
+        self.batch_hint = self.batch_hint.max(batch.capacity());
+    }
+
+    /// The boundary work of the open epoch: fire in-window trailing
+    /// events, probe-and-finalize the analyzer, retire healed software
+    /// twins, checkpoint the per-epoch time-series entry, journal the
+    /// epoch telemetry, and reset data-plane state. The delivery batch
+    /// must already be flushed.
+    fn close_epoch(&mut self, cur: &mut RunCursor, events: &mut newton_net::EventSchedule) {
+        let Some(window) = cur.window else { return };
+        let epoch_idx = cur.ordinal;
+        // Epochs are timestamp windows; the window's own end, not the
+        // last packet's timestamp, is when boundary work happens.
+        // Events timestamped after the epoch's last packet still
+        // belong to this window: fire them before the boundary probes,
+        // exactly as wall-clock hardware would lose state before the
+        // epoch read-out.
+        let epoch_end_ns = (window + 1) * cur.epoch_ns;
+        if events.next_ts().is_some_and(|t| t <= epoch_end_ns) {
+            let adv = events.advance_network(epoch_end_ns, &mut self.net);
+            self.apply_dynamics(adv, &mut cur.report, &mut cur.meter);
+        }
+        let report = &mut cur.report;
+        let mut epoch_reported: FastMap<QueryId, u64> = FastMap::default();
+        for (id, keys) in self.finish_epoch() {
+            *epoch_reported.entry(id).or_default() += keys.len() as u64;
+            report.incidents.observe_epoch(id, keys.iter().copied());
+            report.reported.entry(id).or_default().extend(keys);
+        }
+        for (&id, (_, interp)) in &mut self.software_fallback {
+            let keys = interp.end_epoch().reported;
+            *epoch_reported.entry(id).or_default() += keys.len() as u64;
+            report.incidents.observe_epoch(id, keys.iter().copied());
+            report.reported.entry(id).or_default().extend(keys);
+        }
+        // Degraded queries report from their software twins; twins the
+        // latest repair pass cleared retire here — degradation lasts
+        // "the remainder of the epoch".
+        let mut healed: Vec<QueryId> = Vec::new();
+        for (&id, (_, interp)) in &mut self.degraded {
+            report.degraded_query_epochs += 1;
+            let keys = interp.end_epoch().reported;
+            *epoch_reported.entry(id).or_default() += keys.len() as u64;
+            report.incidents.observe_epoch(id, keys.iter().copied());
+            report.reported.entry(id).or_default().extend(keys);
+            if !self.degraded_ids.contains(&id) {
+                healed.push(id);
+            }
+        }
+        // Sorted so heal events journal in a canonical order (the
+        // degraded map iterates in hash order).
+        healed.sort_unstable();
+        for id in healed {
+            self.degraded.remove(&id);
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(Event::QueryHealed { epoch: epoch_idx, query: id });
+            }
+        }
+        report.incidents.end_epoch();
+        // The epoch's time-series entry: deltas of the cumulative run
+        // counters since the previous boundary.
+        let mut reported: Vec<(QueryId, u64)> = epoch_reported.into_iter().collect();
+        reported.sort_unstable_by_key(|&(q, _)| q);
+        let ep = EpochReport {
+            index: epoch_idx,
+            packets: cur.meter.raw_packets() - cur.prev.packets,
+            messages: cur.meter.messages() - cur.prev.messages,
+            message_bytes: cur.meter.message_bytes() - cur.prev.message_bytes,
+            unrouted: cur.meter.unrouted_packets() - cur.prev.unrouted,
+            snapshot_bytes: report.snapshot_bytes - cur.prev.snapshot_bytes,
+            reported,
+        };
+        cur.prev = EpochReport {
+            packets: cur.meter.raw_packets(),
+            messages: cur.meter.messages(),
+            message_bytes: cur.meter.message_bytes(),
+            unrouted: cur.meter.unrouted_packets(),
+            snapshot_bytes: cur.report.snapshot_bytes,
+            ..EpochReport::default()
+        };
+        if self.recorder.is_some() {
+            self.emit_epoch_telemetry(&ep, &mut cur.prev_links);
+        }
+        cur.report.epoch_count += 1;
+        if let Some(cap) = self.epoch_retention {
+            while cur.report.epochs.len() >= cap.max(1) {
+                cur.report.epochs.remove(0);
+            }
+        }
+        cur.report.epochs.push(ep);
+        self.net.clear_state_parallel(self.parallelism.threads);
+    }
+
+    /// Close the final epoch, drain the event schedule past the trace end
+    /// (schedules always finish empty — replays would otherwise see stale
+    /// cursors), and finalize the run totals.
+    fn end_run(&mut self, mut cur: RunCursor, events: &mut newton_net::EventSchedule) -> RunReport {
+        self.close_epoch(&mut cur, events);
+        self.current_epoch = cur.report.epoch_count;
         let adv = events.advance_network(u64::MAX, &mut self.net);
-        self.apply_dynamics(adv, &mut report, &mut meter);
-        report.messages = meter.messages();
-        report.packets = meter.raw_packets();
-        report.unrouted = meter.unrouted_packets();
+        self.apply_dynamics(adv, &mut cur.report, &mut cur.meter);
+        cur.report.messages = cur.meter.messages();
+        cur.report.packets = cur.meter.raw_packets();
+        cur.report.unrouted = cur.meter.unrouted_packets();
         if let Some(rec) = self.recorder.as_mut() {
             let prof = self.net.take_parallel_profile();
             rec.profile.merge(&prof);
         }
-        report
+        cur.report
     }
 
     /// Journal the epoch-boundary telemetry: the epoch summary, then each

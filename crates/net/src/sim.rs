@@ -297,16 +297,56 @@ impl Network {
     /// headers handed between a packet's consecutive hops. Workers come
     /// from a persistent pool owned by the network (the caller's thread
     /// included), so steady-state batches spawn no threads and perform no
-    /// allocation beyond the returned reports. `threads <= 1` is exactly
-    /// the sequential path. Thread counts above
+    /// allocation beyond the returned reports. Thread counts above
     /// [`effective_parallelism`](crate::effective_parallelism) stay
     /// bit-identical but only cost time; policy layers should clamp.
+    ///
+    /// `threads <= 1` dispatches to the plain per-packet walk rather than
+    /// the single-worker batch engine: the engine's queue/flight-slot
+    /// machinery costs more than its stage-major locality gains without a
+    /// second core to amortize them (measured ~15% on the Q1–Q9 delivery
+    /// workload), and the two paths are bit-identical by contract — so a
+    /// one-worker caller should never pay for the coordination.
     pub fn deliver_batch_parallel(
         &mut self,
         batch: &[(&Packet, NodeId, NodeId)],
         threads: usize,
     ) -> BatchDelivery {
-        self.deliver_batch_on(batch, if batch.len() <= 1 { 1 } else { threads.max(1) })
+        if threads <= 1 || batch.len() <= 1 {
+            return self.deliver_batch_sequential(batch);
+        }
+        self.deliver_batch_on(batch, threads)
+    }
+
+    /// The per-packet walk over a whole batch: [`deliver`](Self::deliver)
+    /// in order, minus its per-call allocations (one reports vector, no
+    /// path clones, link deltas flushed once per batch). Output is
+    /// bit-identical to [`deliver_batch`](Self::deliver_batch) — the
+    /// batch engine retires each switch's queue in batch order and sorts
+    /// report tags back to (packet, hop, report) order, which is exactly
+    /// the order this loop emits them in.
+    fn deliver_batch_sequential(&mut self, batch: &[(&Packet, NodeId, NodeId)]) -> BatchDelivery {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut out = BatchDelivery::default();
+        for &(pkt, ingress, egress) in batch {
+            let routed = self.router.path_into(
+                ingress,
+                egress,
+                &pkt.flow_key(),
+                &mut scratch.route,
+                &mut scratch.path,
+            );
+            if !routed {
+                out.unrouted += 1;
+                continue;
+            }
+            out.snapshot_bytes +=
+                self.walk_path(pkt, &scratch.path, &mut out.reports, &mut scratch.deltas);
+            out.delivered += 1;
+        }
+        Self::flush_link_deltas(&mut self.link_load, &mut scratch.deltas);
+        self.scratch = scratch;
+        out
     }
 
     /// The shared delivery engine: route the batch, execute per-switch

@@ -78,7 +78,9 @@ const ATK_SHARDS: u32 = 8;
 const PAR_MIN_EVENTS: u32 = 4_096;
 
 /// The IP the corresponding query should report for each attack kind.
-fn guilty_ip(kind: AttackKind) -> u32 {
+/// Fixed per kind, so ground-truth labels exist without generating any
+/// packets — the streaming path relies on this.
+pub fn guilty_ip(kind: AttackKind) -> u32 {
     match kind {
         AttackKind::NewTcpBurst => SERVER_BASE + 0xFFF0,
         AttackKind::SshBrute => SERVER_BASE + 0xFFF1,

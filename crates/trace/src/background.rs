@@ -85,7 +85,7 @@ fn share(total: usize, n: usize, i: usize) -> usize {
 /// The per-shard configs of a trace: flows and packets split near-evenly,
 /// each shard seeded by a value derived from the trace seed and the shard
 /// index. Purely config-driven — see `GEN_SHARDS`.
-fn shard_plan(cfg: &TraceConfig) -> Vec<TraceConfig> {
+pub(crate) fn shard_plan(cfg: &TraceConfig) -> Vec<TraceConfig> {
     let n = GEN_SHARDS.min(cfg.flows).min(cfg.packets).max(1);
     (0..n)
         .map(|i| TraceConfig {
@@ -130,10 +130,18 @@ pub fn generate(cfg: &TraceConfig) -> Vec<Packet> {
 
 /// Generate one shard's packets (unsorted).
 fn generate_shard(cfg: &TraceConfig) -> Vec<Packet> {
+    let mut packets = Vec::with_capacity(cfg.packets);
+    generate_shard_into(cfg, &mut packets);
+    packets
+}
+
+/// [`generate_shard`] appending into a caller-owned buffer — the streaming
+/// producer path, where segment buffers are recycled and the producer pool
+/// itself is the parallelism (no nested shard threads).
+pub(crate) fn generate_shard_into(cfg: &TraceConfig, packets: &mut Vec<Packet>) {
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     let sizes = Zipf::new(cfg.flows, cfg.zipf_exponent).partition(cfg.packets as u64);
-
-    let mut packets = Vec::with_capacity(cfg.packets);
+    packets.reserve(cfg.packets);
     let duration_ns = cfg.duration_ms * 1_000_000;
     for &size in &sizes {
         let src = CLIENT_BASE + rng.gen_range(0..cfg.clients);
@@ -178,7 +186,6 @@ fn generate_shard(cfg: &TraceConfig) -> Vec<Packet> {
             packets.push(p);
         }
     }
-    packets
 }
 
 #[cfg(test)]

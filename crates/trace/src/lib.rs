@@ -23,10 +23,12 @@ pub mod background;
 pub mod pcap;
 pub mod presets;
 pub mod stats;
+pub mod stream;
 pub mod trace;
 pub mod zipf;
 
 pub use attacks::{AttackKind, Injection};
 pub use background::TraceConfig;
 pub use presets::{caida_like, mawi_like};
+pub use stream::{PulseSpec, ReplayOptions, StreamConfig, StreamReplay};
 pub use trace::Trace;

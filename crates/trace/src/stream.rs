@@ -1,0 +1,448 @@
+//! Streaming trace generation: bounded-memory replay of traces that
+//! never fit in memory.
+//!
+//! A [`StreamConfig`] describes an arbitrarily long modeled timeline as a
+//! sequence of fixed-shape *segments*. Segment `i` is a pure function of
+//! `(seed, i)`: its background traffic is the existing sharded generator
+//! run with a seed derived from the stream seed and the segment index, its
+//! attack pulses fire on a fixed `index % period == phase` schedule, and
+//! its timestamps are offset by `i × segment_ns`. Nothing about a segment
+//! depends on when, where, or on which thread it was generated — the same
+//! determinism argument the sharded generator (PR 2) makes, lifted one
+//! level up.
+//!
+//! [`StreamReplay`] turns that description into a bounded producer/consumer
+//! pipeline: each producer thread owns the segment indices congruent to
+//! its lane (`index % lanes == lane`) and a bounded SPSC queue of depth
+//! `queue_depth`; the consumer pops lanes round-robin **by segment index**,
+//! so delivery order is the segment order no matter how producer threads
+//! interleave — backpressure stalls can never reorder modeled time. Segment
+//! buffers return to their producer through a recycle channel, so after
+//! warm-up the pipeline allocates nothing: peak packet-buffer footprint is
+//! `lanes × (queue_depth + 2)` segments (queued + being generated + at the
+//! consumer), independent of the stream length.
+
+use crate::attacks::{guilty_ip, inject, AttackKind, InjectSpec};
+use crate::background::{generate_shard_into, shard_plan, TraceConfig};
+use crate::trace::Trace;
+use newton_packet::Packet;
+use newton_sketch::hash::mix64;
+use std::sync::mpsc;
+use std::thread;
+
+/// Headroom kept free at the end of every pulse window: the
+/// `CompletedConns` injector emits its ACK/FIN packets up to 2 µs after
+/// the connection's SYN timestamp, and a segment's packets must stay
+/// strictly inside `[i × segment_ns, (i+1) × segment_ns)`.
+const PULSE_MARGIN_NS: u64 = 10_000;
+
+/// An attack pulse that recurs on a fixed segment schedule.
+///
+/// The pulse fires on every segment whose index satisfies
+/// `index % period == phase % period`, spread over the whole segment
+/// (minus a small margin, `PULSE_MARGIN_NS`). Its injector seed derives
+/// from the stream
+/// seed, the segment index, and the pulse's position in
+/// [`StreamConfig::pulses`], so two pulses of the same kind draw distinct
+/// randomness.
+#[derive(Debug, Clone)]
+pub struct PulseSpec {
+    pub kind: AttackKind,
+    /// Attack events per firing segment (see [`InjectSpec::intensity`]).
+    pub intensity: u32,
+    /// Fire every `period`-th segment (0 is treated as 1: every segment).
+    pub period: u64,
+    /// Offset of the firing segments within the period.
+    pub phase: u64,
+}
+
+impl PulseSpec {
+    fn fires_at(&self, index: u64) -> bool {
+        let period = self.period.max(1);
+        index % period == self.phase % period
+    }
+}
+
+/// A segment-structured stream of traffic: the bounded-memory twin of a
+/// materialized [`Trace`].
+#[derive(Debug, Clone)]
+pub struct StreamConfig {
+    /// Stream seed; every segment and pulse seed derives from it.
+    pub seed: u64,
+    /// Number of segments in the stream.
+    pub segments: u64,
+    /// Shape of one segment of background traffic. `seed` is ignored
+    /// (overridden per segment); `duration_ms` is the segment length, so
+    /// flows are confined to their segment by construction.
+    pub segment: TraceConfig,
+    /// Recurring attack pulses layered over the background.
+    pub pulses: Vec<PulseSpec>,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            seed: 0x57AE_A12D,
+            segments: 4,
+            segment: TraceConfig { packets: 50_000, duration_ms: 100, ..TraceConfig::default() },
+            pulses: Vec::new(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Length of one segment in nanoseconds of modeled time.
+    pub fn segment_ns(&self) -> u64 {
+        self.segment.duration_ms.max(1) * 1_000_000
+    }
+
+    /// Background packets per segment (pulses add more on their firing
+    /// segments — `CompletedConns` emits three packets per event, every
+    /// other kind one).
+    pub fn segment_packets(&self) -> usize {
+        self.segment.packets
+    }
+
+    /// The IP ground truth says is guilty for `kind`, if some pulse
+    /// injects it. Injected identities are fixed per kind, so labels need
+    /// no generation.
+    pub fn guilty(&self, kind: AttackKind) -> Option<u32> {
+        self.pulses.iter().find(|p| p.kind == kind).map(|_| guilty_ip(kind))
+    }
+
+    /// The background config of segment `index` (derived seed, same shape).
+    fn segment_cfg(&self, index: u64) -> TraceConfig {
+        TraceConfig {
+            seed: mix64(self.seed ^ (index + 1).wrapping_mul(0x5E6_3EED)),
+            ..self.segment.clone()
+        }
+    }
+
+    /// Generate segment `index` into `out` (cleared first), sorted by
+    /// timestamp, timestamps offset into the segment's slot of the stream
+    /// timeline. Pure in `(self, index)`: any thread, any order, any
+    /// buffer history produces identical bytes.
+    pub fn segment_into(&self, index: u64, out: &mut Vec<Packet>) {
+        assert!(index < self.segments, "segment {index} out of range");
+        out.clear();
+        // Run the config-derived shards sequentially straight into the
+        // recycled buffer: the producer pool is the parallelism here, not
+        // nested shard threads.
+        for sc in shard_plan(&self.segment_cfg(index)) {
+            generate_shard_into(&sc, out);
+        }
+        let window_ns = self.segment_ns().saturating_sub(PULSE_MARGIN_NS);
+        assert!(window_ns > 0, "segment too short for a pulse window");
+        for (k, pulse) in self.pulses.iter().enumerate() {
+            if !pulse.fires_at(index) {
+                continue;
+            }
+            let spec = InjectSpec {
+                seed: mix64(
+                    self.seed
+                        ^ (index + 1).wrapping_mul(0xA77A_C4E5)
+                        ^ (k as u64 + 1).wrapping_mul(0x9E37_79B9),
+                ),
+                intensity: pulse.intensity,
+                start_ns: 0,
+                window_ns,
+            };
+            inject(pulse.kind, &spec, out);
+        }
+        // Stable, like Trace: equal timestamps keep emission order.
+        out.sort_by_key(|p| p.ts_ns);
+        let base = index * self.segment_ns();
+        if base > 0 {
+            for p in out.iter_mut() {
+                p.ts_ns += base;
+            }
+        }
+    }
+
+    /// Materialize the whole stream as one [`Trace`] — the in-memory twin
+    /// streamed runs are proven byte-identical against. Only feasible for
+    /// test-sized streams; soak streams never call this.
+    pub fn materialize(&self) -> Trace {
+        let mut all = Vec::with_capacity(self.segment.packets * self.segments as usize);
+        let mut seg = Vec::new();
+        for i in 0..self.segments {
+            self.segment_into(i, &mut seg);
+            all.extend_from_slice(&seg);
+        }
+        Trace::from_packets(all)
+    }
+}
+
+/// How a [`StreamReplay`] produces segments.
+#[derive(Debug, Clone, Copy)]
+pub struct ReplayOptions {
+    /// Producer threads. `0` generates segments inline on the consumer
+    /// thread (no threads, one recycled buffer — the minimal-footprint
+    /// mode and the natural choice on single-core hosts).
+    pub producers: usize,
+    /// Bounded depth of each producer's segment queue: the backpressure
+    /// knob. Peak buffered segments are `producers × (queue_depth + 2)`.
+    pub queue_depth: usize,
+}
+
+impl Default for ReplayOptions {
+    fn default() -> Self {
+        ReplayOptions { producers: 1, queue_depth: 4 }
+    }
+}
+
+/// One generated segment in flight from a producer to the consumer.
+#[derive(Debug)]
+pub struct Segment {
+    /// The segment's index in the stream.
+    pub index: u64,
+    packets: Vec<Packet>,
+}
+
+impl Segment {
+    /// The segment's packets, sorted by timestamp.
+    pub fn packets(&self) -> &[Packet] {
+        &self.packets
+    }
+}
+
+/// One producer lane: its bounded segment queue (SPSC by construction —
+/// one producer thread, one consumer) and the recycle channel returning
+/// spent buffers.
+struct Lane {
+    rx: mpsc::Receiver<Segment>,
+    recycle_tx: mpsc::Sender<Vec<Packet>>,
+    handle: thread::JoinHandle<()>,
+}
+
+/// A running producer pool delivering a [`StreamConfig`]'s segments in
+/// order with bounded memory. See the module docs for the ordering and
+/// footprint argument.
+pub struct StreamReplay {
+    cfg: StreamConfig,
+    next: u64,
+    /// Inline-mode recycled buffer (`producers == 0`).
+    inline_buf: Option<Vec<Packet>>,
+    lanes: Vec<Lane>,
+}
+
+fn producer(
+    cfg: StreamConfig,
+    first: u64,
+    stride: u64,
+    tx: mpsc::SyncSender<Segment>,
+    recycle_rx: mpsc::Receiver<Vec<Packet>>,
+) {
+    let mut index = first;
+    while index < cfg.segments {
+        // Reuse a spent buffer when one has come back; otherwise this is
+        // one of the pool's at most `queue_depth + 2` warm-up allocations.
+        let mut buf = recycle_rx.try_recv().unwrap_or_default();
+        cfg.segment_into(index, &mut buf);
+        if tx.send(Segment { index, packets: buf }).is_err() {
+            // Consumer hung up (drop or early stop): exit quietly.
+            return;
+        }
+        index += stride;
+    }
+}
+
+impl StreamReplay {
+    /// Start producing `cfg`'s segments under `opts`.
+    pub fn start(cfg: StreamConfig, opts: &ReplayOptions) -> StreamReplay {
+        let lanes_n = opts.producers.min(cfg.segments as usize);
+        let mut lanes = Vec::with_capacity(lanes_n);
+        for lane in 0..lanes_n {
+            let (tx, rx) = mpsc::sync_channel(opts.queue_depth.max(1));
+            let (recycle_tx, recycle_rx) = mpsc::channel();
+            let c = cfg.clone();
+            let handle = thread::Builder::new()
+                .name(format!("newton-stream-{lane}"))
+                .spawn(move || producer(c, lane as u64, lanes_n as u64, tx, recycle_rx))
+                .expect("spawn stream producer");
+            lanes.push(Lane { rx, recycle_tx, handle });
+        }
+        StreamReplay { cfg, next: 0, inline_buf: None, lanes }
+    }
+
+    /// The next segment in stream order, or `None` past the end. Blocks on
+    /// the owning producer when its queue is empty (and the producers
+    /// block on [`StreamReplay::start`]'s bounded queues when the consumer
+    /// falls behind — that is the backpressure).
+    pub fn next_segment(&mut self) -> Option<Segment> {
+        if self.next >= self.cfg.segments {
+            return None;
+        }
+        let index = self.next;
+        self.next += 1;
+        if self.lanes.is_empty() {
+            let mut buf = self.inline_buf.take().unwrap_or_default();
+            self.cfg.segment_into(index, &mut buf);
+            return Some(Segment { index, packets: buf });
+        }
+        let lane = &self.lanes[(index % self.lanes.len() as u64) as usize];
+        let seg = lane.rx.recv().expect("stream producer died");
+        debug_assert_eq!(seg.index, index, "lane delivered out of order");
+        Some(seg)
+    }
+
+    /// Return a spent segment's buffer to its producer for reuse. Not
+    /// calling this is only a performance bug, never a correctness one.
+    pub fn recycle(&mut self, seg: Segment) {
+        if self.lanes.is_empty() {
+            self.inline_buf = Some(seg.packets);
+            return;
+        }
+        let lane = &self.lanes[(seg.index % self.lanes.len() as u64) as usize];
+        // A producer that already finished its lane dropped its receiver;
+        // the buffer just dies with the send error.
+        let _ = lane.recycle_tx.send(seg.packets);
+    }
+}
+
+impl Drop for StreamReplay {
+    fn drop(&mut self) {
+        for lane in self.lanes.drain(..) {
+            let Lane { rx, recycle_tx, handle } = lane;
+            // Dropping the receiver unblocks a producer parked on a full
+            // queue; it sees the send error and exits.
+            drop(rx);
+            drop(recycle_tx);
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> StreamConfig {
+        StreamConfig {
+            seed: 42,
+            segments: 5,
+            segment: TraceConfig {
+                packets: 1_200,
+                flows: 80,
+                duration_ms: 50,
+                ..TraceConfig::default()
+            },
+            pulses: vec![
+                PulseSpec { kind: AttackKind::PortScan, intensity: 40, period: 2, phase: 0 },
+                PulseSpec { kind: AttackKind::CompletedConns, intensity: 10, period: 3, phase: 1 },
+            ],
+        }
+    }
+
+    #[test]
+    fn segments_are_deterministic_and_buffer_independent() {
+        let cfg = small();
+        let mut a = Vec::new();
+        // Dirty recycled buffer: segment_into must clear it first.
+        let mut b = vec![newton_packet::PacketBuilder::new().build(); 7];
+        for i in 0..cfg.segments {
+            cfg.segment_into(i, &mut a);
+            cfg.segment_into(i, &mut b);
+            assert_eq!(a, b, "segment {i} depends on buffer history");
+            assert!(!a.is_empty());
+        }
+    }
+
+    #[test]
+    fn segments_stay_inside_their_time_slot() {
+        let cfg = small();
+        let seg_ns = cfg.segment_ns();
+        let mut buf = Vec::new();
+        for i in 0..cfg.segments {
+            cfg.segment_into(i, &mut buf);
+            let (lo, hi) = (i * seg_ns, (i + 1) * seg_ns);
+            assert!(
+                buf.iter().all(|p| (lo..hi).contains(&p.ts_ns)),
+                "segment {i} leaked outside [{lo}, {hi})"
+            );
+            for w in buf.windows(2) {
+                assert!(w[0].ts_ns <= w[1].ts_ns, "segment {i} unsorted");
+            }
+        }
+    }
+
+    #[test]
+    fn pulses_fire_on_schedule_and_carry_ground_truth() {
+        let cfg = small();
+        let scanner = cfg.guilty(AttackKind::PortScan).expect("port-scan pulse configured");
+        assert_eq!(cfg.guilty(AttackKind::SynFlood), None);
+        let mut buf = Vec::new();
+        for i in 0..cfg.segments {
+            cfg.segment_into(i, &mut buf);
+            let scans = buf.iter().filter(|p| p.src_ip == scanner).count();
+            if i % 2 == 0 {
+                assert_eq!(scans, 40, "segment {i} should carry the scan pulse");
+            } else {
+                assert_eq!(scans, 0, "segment {i} should be scan-free");
+            }
+        }
+    }
+
+    #[test]
+    fn materialize_concatenates_segments_in_order() {
+        let cfg = small();
+        let trace = cfg.materialize();
+        let mut manual = Vec::new();
+        let mut seg = Vec::new();
+        for i in 0..cfg.segments {
+            cfg.segment_into(i, &mut seg);
+            manual.extend_from_slice(&seg);
+        }
+        assert_eq!(trace.packets(), &manual[..], "materialize reorders segments");
+    }
+
+    #[test]
+    fn replay_matches_materialize_at_any_pool_shape() {
+        let cfg = small();
+        let expected = cfg.materialize();
+        for producers in [0usize, 1, 3, 8] {
+            for queue_depth in [1usize, 2, 64] {
+                let mut replay =
+                    StreamReplay::start(cfg.clone(), &ReplayOptions { producers, queue_depth });
+                let mut got: Vec<Packet> = Vec::new();
+                let mut indices = Vec::new();
+                while let Some(seg) = replay.next_segment() {
+                    indices.push(seg.index);
+                    got.extend_from_slice(seg.packets());
+                    replay.recycle(seg);
+                }
+                assert_eq!(indices, (0..cfg.segments).collect::<Vec<_>>());
+                assert_eq!(
+                    got,
+                    expected.packets(),
+                    "stream diverged at producers={producers} depth={queue_depth}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dropping_a_replay_mid_stream_does_not_hang() {
+        let cfg = StreamConfig { segments: 64, ..small() };
+        let mut replay = StreamReplay::start(cfg, &ReplayOptions { producers: 2, queue_depth: 1 });
+        let seg = replay.next_segment().expect("first segment");
+        replay.recycle(seg);
+        drop(replay); // producers parked on full queues must exit
+    }
+
+    #[test]
+    fn recycled_buffers_are_actually_reused() {
+        // Inline mode makes reuse observable: after the first segment the
+        // buffer's capacity is carried forward, so a warm replay performs
+        // no further segment-buffer allocation.
+        let cfg = small();
+        let mut replay = StreamReplay::start(cfg, &ReplayOptions { producers: 0, queue_depth: 1 });
+        let first = replay.next_segment().expect("segment 0");
+        let cap = first.packets.capacity();
+        let ptr = first.packets.as_ptr();
+        replay.recycle(first);
+        let second = replay.next_segment().expect("segment 1");
+        assert!(second.packets.capacity() >= cap);
+        assert_eq!(second.packets.as_ptr(), ptr, "inline replay must reuse the buffer");
+    }
+}
