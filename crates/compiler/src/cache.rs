@@ -1,0 +1,261 @@
+//! Incremental compilation: a cache over Algorithm-1 composition and
+//! Opt.1–3 rule generation, keyed on query *structure* + target config.
+//!
+//! Under churn the controller compiles the same handful of intent shapes
+//! over and over — drill-down variants, renamed re-submissions, the same
+//! catalog query re-installed after a remove. Composition and rule
+//! generation are pure functions of `(query structure, CompilerConfig,
+//! stage budget)`; only the [`QueryId`] stamped into the emitted rules
+//! differs between generations. The cache therefore stores one canonical
+//! compilation per key and **rebinds** the query id (and display name) on
+//! every fetch — a linear pass over the rule vectors, orders of magnitude
+//! cheaper than re-running decomposition, composition and rule generation.
+//!
+//! The key deliberately excludes `Query::name`: renaming an intent (the
+//! common "q1 → q1_tight" drill-down resubmission) is a cache hit.
+//! Everything else that influences the emitted artifacts is in the key:
+//! branches/merge/epoch (structure) and every [`CompilerConfig`] field
+//! (register slice geometry, sketch shape, hash seeds).
+
+use crate::plan::Compilation;
+use crate::slicing::{compile_sliced, SlicedCompilation};
+use crate::CompilerConfig;
+use newton_dataplane::{QueryId, RuleSet};
+use newton_query::Query;
+use std::collections::HashMap;
+
+/// Cache key: the query structure (name excluded) plus the full compiler
+/// configuration. `Query` intentionally does not implement `Hash`, so the
+/// structural part is its canonical `Debug` rendering — stable, total, and
+/// collision-free (it spells out every branch, primitive and merge).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct CacheKey {
+    structure: String,
+    registers_per_array: u32,
+    register_offset: u32,
+    bf_hashes: usize,
+    cm_depth: usize,
+    seed: u64,
+}
+
+impl CacheKey {
+    fn new(query: &Query, config: &CompilerConfig) -> Self {
+        CacheKey {
+            structure: format!("{:?}|{:?}|{}", query.branches, query.merge, query.epoch_ms),
+            registers_per_array: config.registers_per_array,
+            register_offset: config.register_offset,
+            bf_hashes: config.bf_hashes,
+            cm_depth: config.cm_depth,
+            seed: config.seed,
+        }
+    }
+}
+
+/// Hit/miss counters of one [`CompileCache`], for churn-bench reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of lookups served from the cache (0 when never used).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// The compilation cache. One per controller; see the module docs.
+#[derive(Debug, Clone, Default)]
+pub struct CompileCache {
+    whole: HashMap<CacheKey, Compilation>,
+    sliced: HashMap<(CacheKey, usize), SlicedCompilation>,
+    stats: CacheStats,
+}
+
+fn rebind_ruleset(rules: &mut RuleSet, id: QueryId) {
+    for r in &mut rules.init {
+        r.query = id;
+    }
+    for (_, r) in &mut rules.k {
+        r.query = id;
+    }
+    for (_, r) in &mut rules.h {
+        r.query = id;
+    }
+    for (_, r) in &mut rules.s {
+        r.query = id;
+    }
+    for (_, r) in &mut rules.r {
+        r.query = id;
+    }
+}
+
+impl CompileCache {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Cached [`crate::compile`]: identical output, reused composition.
+    pub fn compile(&mut self, query: &Query, id: QueryId, config: &CompilerConfig) -> Compilation {
+        let key = CacheKey::new(query, config);
+        let mut out = match self.whole.get(&key) {
+            Some(c) => {
+                self.stats.hits += 1;
+                c.clone()
+            }
+            None => {
+                self.stats.misses += 1;
+                let c = crate::compile(query, id, config);
+                self.whole.insert(key, c.clone());
+                c
+            }
+        };
+        out.id = id;
+        out.query_name = query.name.clone();
+        out.stats.query_name = query.name.clone();
+        rebind_ruleset(&mut out.rules, id);
+        out
+    }
+
+    /// Cached [`compile_sliced`]: identical output, reused composition and
+    /// chunking. The stage budget joins the key — the same structure slices
+    /// differently on 4-stage and 12-stage switches.
+    pub fn compile_sliced(
+        &mut self,
+        query: &Query,
+        id: QueryId,
+        config: &CompilerConfig,
+        stages_per_switch: usize,
+    ) -> SlicedCompilation {
+        let key = (CacheKey::new(query, config), stages_per_switch);
+        let mut out = match self.sliced.get(&key) {
+            Some(c) => {
+                self.stats.hits += 1;
+                c.clone()
+            }
+            None => {
+                self.stats.misses += 1;
+                let c = compile_sliced(query, id, config, stages_per_switch);
+                self.sliced.insert(key, c.clone());
+                c
+            }
+        };
+        out.id = id;
+        out.query_name = query.name.clone();
+        for slice in &mut out.slices {
+            rebind_ruleset(slice, id);
+        }
+        out
+    }
+
+    /// Hit/miss counters since construction (or the last [`Self::clear`]).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Cached compilations currently held.
+    pub fn len(&self) -> usize {
+        self.whole.len() + self.sliced.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.whole.is_empty() && self.sliced.is_empty()
+    }
+
+    /// Drop every cached compilation and reset the counters.
+    pub fn clear(&mut self) {
+        self.whole.clear();
+        self.sliced.clear();
+        self.stats = CacheStats::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use newton_query::catalog;
+
+    fn cfg() -> CompilerConfig {
+        CompilerConfig::default()
+    }
+
+    #[test]
+    fn fetch_equals_fresh_compile_with_rebound_id() {
+        let mut cache = CompileCache::new();
+        for q in catalog::all_queries() {
+            let warm = cache.compile(&q, 7, &cfg());
+            let fresh = crate::compile(&q, 7, &cfg());
+            assert_eq!(warm.rules, fresh.rules, "{}: warm-miss compile diverged", q.name);
+
+            // Second fetch under a different id: every rule rebound.
+            let hit = cache.compile(&q, 42, &cfg());
+            let direct = crate::compile(&q, 42, &cfg());
+            assert_eq!(hit.rules, direct.rules, "{}: rebound rules diverged", q.name);
+            assert_eq!(hit.id, 42);
+            assert_eq!(format!("{:?}", hit.plan), format!("{:?}", direct.plan));
+        }
+    }
+
+    #[test]
+    fn renamed_query_is_a_hit_but_config_change_is_a_miss() {
+        let mut cache = CompileCache::new();
+        let q = catalog::q1_new_tcp();
+        cache.compile(&q, 1, &cfg());
+        assert_eq!(cache.stats(), CacheStats { hits: 0, misses: 1 });
+
+        let mut renamed = q.clone();
+        renamed.name = "q1_tight".into();
+        let c = cache.compile(&renamed, 2, &cfg());
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(c.query_name, "q1_tight", "display name rebinds on fetch");
+
+        let other = CompilerConfig { register_offset: 512, ..cfg() };
+        cache.compile(&q, 3, &other);
+        assert_eq!(cache.stats().misses, 2, "register slice geometry is part of the key");
+    }
+
+    #[test]
+    fn sliced_fetch_matches_fresh_and_keys_on_budget() {
+        let mut cache = CompileCache::new();
+        let q = catalog::q4_port_scan();
+        let warm = cache.compile_sliced(&q, 3, &cfg(), 4);
+        let fresh = compile_sliced(&q, 3, &cfg(), 4);
+        assert_eq!(warm.slices, fresh.slices);
+
+        let hit = cache.compile_sliced(&q, 9, &cfg(), 4);
+        let direct = compile_sliced(&q, 9, &cfg(), 4);
+        assert_eq!(hit.slices, direct.slices, "rebound slices diverged");
+        assert_eq!(hit.slice_stage_counts, direct.slice_stage_counts);
+        assert_eq!(hit.capture_sets, direct.capture_sets);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+
+        cache.compile_sliced(&q, 10, &cfg(), 6);
+        assert_eq!(cache.stats().misses, 2, "stage budget is part of the key");
+    }
+
+    #[test]
+    fn threshold_change_is_a_structural_miss() {
+        // A retuned threshold changes the emitted ℝ rules, so it must not
+        // collide with the original structure's cache entry.
+        let mut cache = CompileCache::new();
+        let q = catalog::q1_new_tcp();
+        let a = cache.compile(&q, 1, &cfg());
+        let mut tighter = q.clone();
+        for b in &mut tighter.branches {
+            for p in &mut b.primitives {
+                if let newton_query::ast::Primitive::ResultFilter { value, .. } = p {
+                    *value += 5;
+                }
+            }
+        }
+        let b = cache.compile(&tighter, 1, &cfg());
+        assert_eq!(cache.stats().misses, 2);
+        assert_ne!(a.rules, b.rules, "different thresholds compile differently");
+    }
+}

@@ -26,6 +26,7 @@
 //!
 //! [`RuleSet`]: newton_dataplane::RuleSet
 
+pub mod cache;
 pub mod compose;
 pub mod concurrent;
 pub mod decompose;
@@ -34,6 +35,7 @@ pub mod rulegen;
 pub mod slicing;
 pub mod sonata;
 
+pub use cache::{CacheStats, CompileCache};
 pub use compose::{compose, compose_naive_executable, retarget_to_naive, Composition, OptLevel};
 pub use concurrent::{p_newton, s_newton, sonata_chained, ConcurrentCost};
 pub use decompose::{decompose_query, ModuleRole, ModuleSpec, SketchPolicy, POLLUTION_SLACK};

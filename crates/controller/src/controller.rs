@@ -4,13 +4,14 @@
 //! packet forwarding continues throughout (the §6.1 property — contrast
 //! with the Sonata reboot model in `newton-baselines`).
 
-use crate::placement::{place_parts, reachable_depth, Placement};
+use crate::placement::{reachable_depth, topology_fingerprint, Placement, PlacementTemplate};
 use crate::timing::RuleTimingModel;
-use newton_compiler::{compile, compile_sliced, CompilerConfig, QueryPlan};
-use newton_dataplane::{QueryId, RuleSet, SetId, SliceInfo};
-use newton_net::Network;
+use newton_compiler::{CacheStats, CompileCache, CompilerConfig, QueryPlan};
+use newton_dataplane::{QueryId, RuleSet, SetId, SliceInfo, SwitchError};
+use newton_net::{Network, Topology};
 use newton_query::Query;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Outcome of one query operation.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -29,6 +30,10 @@ pub struct InstallReceipt {
     /// on the data plane, so the query's remainder defers to the software
     /// analyzer (§5.2).
     pub overflow_slices: usize,
+    /// Whether the diff-install path served this operation (only ever set
+    /// by [`Controller::update`]; plain installs/removals are full-path
+    /// by definition).
+    pub diff: bool,
 }
 
 /// One installed query's bookkeeping. Keeps the compiled artifacts so the
@@ -71,6 +76,77 @@ pub struct RepairOutcome {
     pub delay_ms: f64,
 }
 
+/// A failed [`Controller::update`]: the switch error that sank the new
+/// definition, plus the modelled rule-channel delay spent re-installing
+/// the prior query (the restore is real traffic — hiding it would make
+/// failed updates look free).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UpdateError {
+    pub error: SwitchError,
+    /// Rule-channel wall clock of putting the old query back (0 when
+    /// there was no prior query to restore, or the restore itself failed
+    /// and the query was scrubbed instead).
+    pub restore_delay_ms: f64,
+}
+
+impl fmt::Display for UpdateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "update failed ({:?}); restore took {:.3} ms", self.error, self.restore_delay_ms)
+    }
+}
+
+impl std::error::Error for UpdateError {}
+
+/// Cumulative rule-channel accounting: what the controller shipped to
+/// switches since construction (or the last reset), in the same modelled
+/// units the epoch driver charges for repair traffic (64-byte control
+/// messages). Installs and in-place modifications carry a full rule body;
+/// removals carry only an address; each per-switch batch pays one header.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelStats {
+    pub rules_installed: u64,
+    pub rules_removed: u64,
+    pub rules_modified: u64,
+    /// Per-switch batches issued.
+    pub messages: u64,
+    /// Modelled bytes over the rule channel.
+    pub bytes: u64,
+}
+
+impl ChannelStats {
+    const INSTALL_BYTES: u64 = 64;
+    const REMOVE_BYTES: u64 = 16;
+    const MODIFY_BYTES: u64 = 64;
+    const HEADER_BYTES: u64 = 24;
+
+    fn install(&mut self, rules: usize) {
+        if rules == 0 {
+            return;
+        }
+        self.rules_installed += rules as u64;
+        self.messages += 1;
+        self.bytes += Self::HEADER_BYTES + rules as u64 * Self::INSTALL_BYTES;
+    }
+
+    fn remove(&mut self, rules: usize) {
+        if rules == 0 {
+            return;
+        }
+        self.rules_removed += rules as u64;
+        self.messages += 1;
+        self.bytes += Self::HEADER_BYTES + rules as u64 * Self::REMOVE_BYTES;
+    }
+
+    fn modify(&mut self, rules: usize) {
+        if rules == 0 {
+            return;
+        }
+        self.rules_modified += rules as u64;
+        self.messages += 1;
+        self.bytes += Self::HEADER_BYTES + rules as u64 * Self::MODIFY_BYTES;
+    }
+}
+
 /// The centralized Newton controller.
 #[derive(Debug)]
 pub struct Controller {
@@ -84,6 +160,19 @@ pub struct Controller {
     register_slots: u32,
     /// Slot index each live query occupies.
     slots_in_use: HashMap<QueryId, u32>,
+    /// Incremental compilation: Algorithm-1 composition and Opt.1–3 rule
+    /// generation reused across generations of the same intent shape.
+    cache: CompileCache,
+    /// Amortized Algorithm 2: one placement DFS per topology fingerprint,
+    /// trimmed per query instead of re-derived per install/repair.
+    templates: HashMap<u64, PlacementTemplate>,
+    channel: ChannelStats,
+    /// When set (the default), [`Self::update`] diffs old vs new slices
+    /// per switch and pushes only the changed ones; when cleared, every
+    /// update takes the full remove+reinstall path (the from-scratch
+    /// baseline the churn bench and equivalence proptests compare
+    /// against — both paths keep the query's id and register slot).
+    diff_install: bool,
 }
 
 impl Controller {
@@ -102,14 +191,15 @@ impl Controller {
             installed: HashMap::new(),
             register_slots,
             slots_in_use: HashMap::new(),
+            cache: CompileCache::new(),
+            templates: HashMap::new(),
+            channel: ChannelStats::default(),
+            diff_install: true,
         }
     }
 
-    /// The register slice (range, offset) for a new query.
-    fn allocate_slot(&mut self, id: QueryId) -> CompilerConfig {
-        let used: std::collections::HashSet<u32> = self.slots_in_use.values().copied().collect();
-        let slot = (0..self.register_slots).find(|s| !used.contains(s)).unwrap_or(0);
-        self.slots_in_use.insert(id, slot);
+    /// The compiler config for a query occupying register `slot`.
+    fn slot_config(&self, slot: u32) -> CompilerConfig {
         let slice = (self.compiler_cfg.registers_per_array / self.register_slots).max(1);
         CompilerConfig {
             registers_per_array: slice,
@@ -118,8 +208,40 @@ impl Controller {
         }
     }
 
+    /// The register slice (range, offset) for a new query.
+    fn allocate_slot(&mut self, id: QueryId) -> CompilerConfig {
+        let used: std::collections::HashSet<u32> = self.slots_in_use.values().copied().collect();
+        let slot = (0..self.register_slots).find(|s| !used.contains(s)).unwrap_or(0);
+        self.slots_in_use.insert(id, slot);
+        self.slot_config(slot)
+    }
+
     pub fn compiler_config(&self) -> &CompilerConfig {
         &self.compiler_cfg
+    }
+
+    /// Cumulative rule-channel traffic (see [`ChannelStats`]).
+    pub fn channel_stats(&self) -> ChannelStats {
+        self.channel
+    }
+
+    /// Zero the rule-channel counters (steady-state measurements).
+    pub fn reset_channel_stats(&mut self) {
+        self.channel = ChannelStats::default();
+    }
+
+    /// Compilation-cache hit/miss counters.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
+
+    /// Toggle diff-based updates (on by default). Off forces every
+    /// [`Self::update`] through the full remove+reinstall path — the
+    /// from-scratch baseline; ids and register slots are preserved either
+    /// way, so the two paths are observably equivalent except for
+    /// rule-channel traffic and modelled latency.
+    pub fn set_diff_install(&mut self, on: bool) {
+        self.diff_install = on;
     }
 
     /// The installed queries.
@@ -147,13 +269,67 @@ impl Controller {
             Ok(receipt) => Ok(receipt),
             Err(e) => {
                 // Roll back every switch the partial install touched.
-                for sw in 0..net.switch_count() {
-                    net.switch_mut(sw).remove_query(id);
-                }
+                Self::scrub(&mut self.channel, net, id);
                 self.slots_in_use.remove(&id);
                 Err(e)
             }
         }
+    }
+
+    /// Compile `query` for `id` via the compilation cache and cut it for
+    /// the stage budget: whole query per switch if it fits, otherwise
+    /// snapshot-aware CQE slices (chunked in spec order with restored 𝕂s).
+    /// Returns `(rulesets, stage_counts, captures, plan)` — per-slice and
+    /// unshifted (stage 0 based).
+    fn compile_parts(
+        &mut self,
+        query: &Query,
+        id: QueryId,
+        query_cfg: &CompilerConfig,
+        stages_per_switch: usize,
+    ) -> (Vec<RuleSet>, Vec<usize>, Vec<SetId>, QueryPlan) {
+        let compilation = self.cache.compile(query, id, query_cfg);
+        if compilation.composition.stages() <= stages_per_switch {
+            let stages = compilation.composition.stages();
+            (vec![compilation.rules], vec![stages], vec![SetId::Set1], compilation.plan)
+        } else {
+            let sliced = self.cache.compile_sliced(query, id, query_cfg, stages_per_switch);
+            (sliced.slices, sliced.slice_stage_counts, sliced.capture_sets, sliced.plan)
+        }
+    }
+
+    /// Algorithm 2 via the per-topology template cache: one DFS per
+    /// distinct topology (fingerprinted by structure), trimmed to this
+    /// query's slice count — exactly `place_parts` at a fraction of the
+    /// cost under churn and repeated repair passes.
+    fn template_place(
+        templates: &mut HashMap<u64, PlacementTemplate>,
+        topo: &Topology,
+        parts: Vec<usize>,
+    ) -> Placement {
+        let fp = topology_fingerprint(topo);
+        let needed = parts.len().max(1);
+        let stale = templates.get(&fp).is_none_or(|t| t.max_depth() < needed);
+        if stale {
+            if templates.len() >= 16 {
+                templates.clear(); // bound memory under topology churn
+            }
+            templates
+                .insert(fp, PlacementTemplate::build(topo, topo.edge_switches(), needed.max(8)));
+        }
+        templates[&fp].place(parts)
+    }
+
+    /// Remove every rule of `id` network-wide (rollback/restore scrub),
+    /// recording the rule-channel traffic. Returns rules removed.
+    fn scrub(channel: &mut ChannelStats, net: &mut Network, id: QueryId) -> usize {
+        let mut total = 0;
+        for sw in 0..net.switch_count() {
+            let removed = net.switch_mut(sw).remove_query(id);
+            channel.remove(removed);
+            total += removed;
+        }
+        total
     }
 
     fn try_install(
@@ -163,32 +339,17 @@ impl Controller {
         query_cfg: &CompilerConfig,
         net: &mut Network,
         stages_per_switch: usize,
-    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
-        let compilation = compile(query, id, query_cfg);
-
-        // Whole query per switch if it fits; otherwise snapshot-aware CQE
-        // slices (chunked in spec order with restored 𝕂s).
+    ) -> Result<InstallReceipt, SwitchError> {
         let (rulesets, stage_counts, captures, plan) =
-            if compilation.composition.stages() <= stages_per_switch {
-                let stages = compilation.composition.stages();
-                (
-                    vec![compilation.rules.clone()],
-                    vec![stages],
-                    vec![SetId::Set1],
-                    compilation.plan.clone(),
-                )
-            } else {
-                let sliced = compile_sliced(query, id, query_cfg, stages_per_switch);
-                let counts = sliced.slice_stage_counts.clone();
-                (sliced.slices, counts, sliced.capture_sets, sliced.plan)
-            };
+            self.compile_parts(query, id, query_cfg, stages_per_switch);
 
         let topo = net.topology().clone();
         let parts: Vec<usize> = rulesets.iter().map(|r| r.total_rule_count()).collect();
-        let placement = place_parts(parts, &topo, topo.edge_switches());
+        let placement = Self::template_place(&mut self.templates, &topo, parts);
 
         let (total_rules, switches, max_delay) = Self::apply_placement(
             &mut self.timing,
+            &mut self.channel,
             net,
             id,
             &placement,
@@ -216,6 +377,7 @@ impl Controller {
             switches,
             slices: placement.slice_count,
             overflow_slices: placement.slice_count.saturating_sub(depth),
+            diff: false,
         })
     }
 
@@ -224,15 +386,21 @@ impl Controller {
     /// switches are skipped — a crashed box cannot accept config; the
     /// repair pass covers it when it returns. Returns `(rules, switches,
     /// delay_ms)`.
+    ///
+    /// An associated fn taking split borrows (timing/channel/net alongside
+    /// `&self.installed` entries at call sites), so the artifact slices
+    /// stay separate parameters.
+    #[allow(clippy::too_many_arguments)]
     fn apply_placement(
         timing: &mut RuleTimingModel,
+        channel: &mut ChannelStats,
         net: &mut Network,
         id: QueryId,
         placement: &Placement,
         rulesets: &[RuleSet],
         stage_counts: &[usize],
         captures: &[SetId],
-    ) -> Result<(usize, usize, f64), newton_dataplane::SwitchError> {
+    ) -> Result<(usize, usize, f64), SwitchError> {
         let mut total_rules = 0usize;
         let mut switches = 0usize;
         let mut max_delay: f64 = 0.0;
@@ -263,6 +431,7 @@ impl Controller {
                 offset += len;
             }
             total_rules += sw_rules;
+            channel.install(sw_rules);
             max_delay = max_delay.max(timing.install_ms(sw_rules));
         }
         Ok((total_rules, switches, max_delay))
@@ -280,6 +449,7 @@ impl Controller {
             if removed > 0 {
                 switches += 1;
                 total += removed;
+                self.channel.remove(removed);
                 max_delay = max_delay.max(self.timing.remove_ms(removed));
             }
         }
@@ -290,6 +460,7 @@ impl Controller {
             switches,
             slices: entry.placement.slice_count,
             overflow_slices: 0,
+            diff: false,
         })
     }
 
@@ -310,97 +481,301 @@ impl Controller {
         if !self.installed.contains_key(&id) {
             return None;
         }
+        let mut rewrite = |rule: &mut newton_dataplane::RRule| {
+            use newton_dataplane::{RAction, RMatch};
+            if !rule.actions.contains(&RAction::Report) {
+                return;
+            }
+            // The reporting match lives on whichever side is bounded;
+            // its window width (crossing semantics) is preserved.
+            let on_global = rule.global_match != RMatch::ANY;
+            let old = if on_global { rule.global_match } else { rule.state_match };
+            let lo = new_threshold as u32;
+            let hi = lo.saturating_add(old.hi.saturating_sub(old.lo));
+            let new = RMatch { lo, hi };
+            if on_global {
+                rule.global_match = new;
+            } else {
+                rule.state_match = new;
+            }
+        };
         let mut total = 0usize;
+        let mut switches = 0usize;
         let mut max_delay: f64 = 0.0;
         for sw_id in 0..net.switch_count() {
-            let touched = net.switch_mut(sw_id).update_r_rules(id, &mut |rule| {
-                use newton_dataplane::{RAction, RMatch};
-                if !rule.actions.contains(&RAction::Report) {
-                    return;
-                }
-                // The reporting match lives on whichever side is bounded;
-                // its window width (crossing semantics) is preserved.
-                let on_global = rule.global_match != RMatch::ANY;
-                let old = if on_global { rule.global_match } else { rule.state_match };
-                let lo = new_threshold as u32;
-                let hi = lo.saturating_add(old.hi.saturating_sub(old.lo));
-                let new = RMatch { lo, hi };
-                if on_global {
-                    rule.global_match = new;
-                } else {
-                    rule.state_match = new;
-                }
-            });
+            let touched = net.switch_mut(sw_id).update_r_rules(id, &mut rewrite);
             if touched > 0 {
                 total += touched;
+                switches += 1;
+                self.channel.modify(touched);
                 max_delay = max_delay.max(self.timing.install_ms(touched));
+            }
+        }
+        // Keep the stored artifacts in sync: repair re-installs from them
+        // (a rebooted holder must come back with the *retuned* rules, not
+        // the install-time threshold) and the diff-install path compares
+        // against them.
+        let entry = self.installed.get_mut(&id).expect("checked above");
+        for rs in &mut entry.slices {
+            for (_, r) in &mut rs.r {
+                rewrite(r);
             }
         }
         Some(InstallReceipt {
             id,
             delay_ms: max_delay,
             rules: total,
-            switches: 0,
-            slices: self.installed[&id].placement.slice_count,
+            switches,
+            slices: entry.placement.slice_count,
             overflow_slices: 0,
+            diff: false,
         })
     }
 
-    /// Update = atomic remove + install of the new definition. Forwarding
-    /// is untouched; only the query's rules change.
+    /// Update a live query **in place**: the query keeps its [`QueryId`]
+    /// and register slot, so journal spans, analyzer attribution, and
+    /// `installed()` keys stay continuous across updates. Forwarding is
+    /// untouched; only the query's rules change.
     ///
-    /// Atomic in outcome: if the new query's install fails, the old query
-    /// is re-installed from its stored artifacts (same register slot, same
-    /// placement) and the error is returned — the caller observes either
-    /// the new query running or the old one untouched, never neither.
+    /// When the new definition places with the same shape (same slice
+    /// count, same per-switch slice assignment — the overwhelmingly common
+    /// drill-down/retune case), the update is a *diff install*: old and
+    /// new slices are compared per switch and only changed ones cross the
+    /// rule channel (one remove batch + one install batch per touched
+    /// switch). When the shape changes — or diffing is disabled via
+    /// [`Self::set_diff_install`] — the whole query is removed and
+    /// re-installed under the same id and slot.
+    ///
+    /// Atomic in outcome: if the new rules are rejected anywhere, the old
+    /// query is re-installed from its stored artifacts and
+    /// [`UpdateError::restore_delay_ms`] reports what that restore cost
+    /// over the rule channel — the caller observes either the new query
+    /// running or the old one restored, never neither.
+    ///
+    /// Updating an id that is not installed falls back to a plain
+    /// [`Self::install`] (a fresh id — there is nothing to keep).
     pub fn update(
         &mut self,
         old: QueryId,
         query: &Query,
         net: &mut Network,
         stages_per_switch: usize,
-    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
-        let prior = self.installed.get(&old).cloned();
-        let prior_slot = self.slots_in_use.get(&old).copied();
-        let removal = self.remove(old, net);
-        match self.install(query, net, stages_per_switch) {
-            Ok(mut receipt) => {
-                if let Some(r) = removal {
-                    receipt.delay_ms += r.delay_ms;
+    ) -> Result<InstallReceipt, UpdateError> {
+        let Some(prior) = self.installed.get(&old).cloned() else {
+            return self
+                .install(query, net, stages_per_switch)
+                .map_err(|error| UpdateError { error, restore_delay_ms: 0.0 });
+        };
+        let slot = self.slots_in_use.get(&old).copied().unwrap_or(0);
+        let query_cfg = self.slot_config(slot);
+        let (rulesets, stage_counts, captures, plan) =
+            self.compile_parts(query, old, &query_cfg, stages_per_switch);
+
+        let topo = net.topology().clone();
+        let parts: Vec<usize> = rulesets.iter().map(|r| r.total_rule_count()).collect();
+        let placement = Self::template_place(&mut self.templates, &topo, parts);
+        let depth = reachable_depth(&topo, topo.edge_switches());
+        let overflow_slices = placement.slice_count.saturating_sub(depth);
+
+        let same_shape = self.diff_install
+            && placement.slice_count == prior.placement.slice_count
+            && placement.slices == prior.placement.slices;
+
+        let result = if same_shape {
+            self.diff_update(old, &prior, net, &placement, &rulesets, &stage_counts, &captures)
+        } else {
+            self.full_update(old, net, &placement, &rulesets, &stage_counts, &captures)
+        };
+
+        match result {
+            Ok((rules, switches, delay_ms)) => {
+                self.installed.insert(
+                    old,
+                    InstalledQuery {
+                        plan,
+                        placement: placement.clone(),
+                        query: query.clone(),
+                        slices: rulesets,
+                        stage_counts,
+                        captures,
+                    },
+                );
+                Ok(InstallReceipt {
+                    id: old,
+                    delay_ms,
+                    rules,
+                    switches,
+                    slices: placement.slice_count,
+                    overflow_slices,
+                    diff: same_shape,
+                })
+            }
+            Err(error) => {
+                // Put the old query back from its stored artifacts: the new
+                // rules were scrubbed, so the capacity it occupied is free
+                // again. Surface what the restore cost — it is real
+                // rule-channel traffic.
+                let restored = Self::apply_placement(
+                    &mut self.timing,
+                    &mut self.channel,
+                    net,
+                    old,
+                    &prior.placement,
+                    &prior.slices,
+                    &prior.stage_counts,
+                    &prior.captures,
+                );
+                match restored {
+                    Ok((_, _, restore_delay_ms)) => {
+                        self.installed.insert(old, prior);
+                        Err(UpdateError { error, restore_delay_ms })
+                    }
+                    Err(_) => {
+                        // Should be unreachable (the old rules fit before);
+                        // leave the network clean rather than half-restored.
+                        Self::scrub(&mut self.channel, net, old);
+                        self.installed.remove(&old);
+                        self.slots_in_use.remove(&old);
+                        Err(UpdateError { error, restore_delay_ms: 0.0 })
+                    }
                 }
-                Ok(receipt)
+            }
+        }
+    }
+
+    /// The diff-install path of [`Self::update`]: same placement shape, so
+    /// walk each holder switch, compare old vs new artifacts slice by
+    /// slice, and replace only what changed. Returns `(rules_touched,
+    /// switches_touched, delay_ms)`; on error the query has been scrubbed
+    /// network-wide (the caller restores the prior artifacts).
+    #[allow(clippy::too_many_arguments)]
+    fn diff_update(
+        &mut self,
+        id: QueryId,
+        prior: &InstalledQuery,
+        net: &mut Network,
+        placement: &Placement,
+        rulesets: &[RuleSet],
+        stage_counts: &[usize],
+        captures: &[SetId],
+    ) -> Result<(usize, usize, f64), SwitchError> {
+        let mut total_rules = 0usize;
+        let mut switches = 0usize;
+        let mut max_delay: f64 = 0.0;
+        for (sw_id, slices) in placement.slices.iter().enumerate() {
+            if slices.is_empty() || !net.router().switch_up(sw_id) {
+                continue; // dead holders are the repair pass's job
+            }
+            // Stack offsets exactly as apply_placement would, in both the
+            // old and the new layout, and collect the slices whose
+            // installed image must change.
+            let mut old_off = 0usize;
+            let mut new_off = 0usize;
+            let mut changed: Vec<(usize, SliceInfo)> = Vec::new();
+            for &c in slices {
+                let old_len = prior.stage_counts[c];
+                let new_len = stage_counts[c];
+                let info = SliceInfo {
+                    index: c as u8,
+                    total: placement.slice_count as u8,
+                    capture_set: captures[c],
+                    restore_set: if c == 0 { captures[0] } else { captures[c - 1] },
+                    stages: (new_off, new_off + new_len),
+                };
+                let artifacts_same = old_off == new_off
+                    && old_len == new_len
+                    && prior.captures[c] == captures[c]
+                    && (c == 0 || prior.captures[c - 1] == captures[c - 1])
+                    && prior.slices[c] == rulesets[c];
+                // A restored-blank holder (pre-repair) simply doesn't hold
+                // the slice yet — install it even if the artifacts agree,
+                // exactly as the from-scratch path would.
+                let held = net.switch(sw_id).assigned_slices(id).contains(&info);
+                if !(artifacts_same && held) {
+                    changed.push((c, info));
+                }
+                old_off += old_len;
+                new_off += new_len;
+            }
+            if changed.is_empty() {
+                continue;
+            }
+            // Two passes: clear every changed slice first, then install —
+            // a growing slice may overlap a shrinking neighbor's old
+            // stage range, so removals must all land before installs.
+            let mut removed = 0usize;
+            for &(c, _) in &changed {
+                removed += net.switch_mut(sw_id).remove_slice(id, c as u8);
+            }
+            let mut installed = 0usize;
+            for &(c, info) in &changed {
+                let slice = rulesets[c].shift_stages(info.stages.0);
+                installed += slice.total_rule_count();
+                let pushed = net
+                    .switch_mut(sw_id)
+                    .install(&slice)
+                    .and_then(|()| net.switch_mut(sw_id).add_slice(id, info));
+                if let Err(e) = pushed {
+                    // Whole-or-absent: scrub the query everywhere and let
+                    // the caller restore the prior artifacts.
+                    Self::scrub(&mut self.channel, net, id);
+                    return Err(e);
+                }
+            }
+            let mut sw_delay = 0.0;
+            if removed > 0 {
+                self.channel.remove(removed);
+                sw_delay += self.timing.remove_ms(removed);
+            }
+            if installed > 0 {
+                self.channel.install(installed);
+                sw_delay += self.timing.install_ms(installed);
+            }
+            total_rules += removed + installed;
+            switches += 1;
+            max_delay = max_delay.max(sw_delay);
+        }
+        Ok((total_rules, switches, max_delay))
+    }
+
+    /// The from-scratch path of [`Self::update`]: remove the old query
+    /// everywhere and re-apply the new placement under the **same** id and
+    /// slot. Returns `(rules_touched, switches_touched, delay_ms)`; on
+    /// error the query has been scrubbed network-wide.
+    fn full_update(
+        &mut self,
+        id: QueryId,
+        net: &mut Network,
+        placement: &Placement,
+        rulesets: &[RuleSet],
+        stage_counts: &[usize],
+        captures: &[SetId],
+    ) -> Result<(usize, usize, f64), SwitchError> {
+        let mut removed_total = 0usize;
+        let mut remove_delay: f64 = 0.0;
+        for sw_id in 0..net.switch_count() {
+            let removed = net.switch_mut(sw_id).remove_query(id);
+            if removed > 0 {
+                removed_total += removed;
+                self.channel.remove(removed);
+                remove_delay = remove_delay.max(self.timing.remove_ms(removed));
+            }
+        }
+        match Self::apply_placement(
+            &mut self.timing,
+            &mut self.channel,
+            net,
+            id,
+            placement,
+            rulesets,
+            stage_counts,
+            captures,
+        ) {
+            Ok((rules, switches, install_delay)) => {
+                Ok((removed_total + rules, switches, remove_delay + install_delay))
             }
             Err(e) => {
-                if let Some(entry) = prior {
-                    // Put the old query back. Its rules were just removed
-                    // and the failed install was rolled back, so the very
-                    // capacity it occupied is free again.
-                    if let Some(slot) = prior_slot {
-                        self.slots_in_use.insert(old, slot);
-                    }
-                    let restored = Self::apply_placement(
-                        &mut self.timing,
-                        net,
-                        old,
-                        &entry.placement,
-                        &entry.slices,
-                        &entry.stage_counts,
-                        &entry.captures,
-                    );
-                    match restored {
-                        Ok(_) => {
-                            self.installed.insert(old, entry);
-                        }
-                        Err(_) => {
-                            // Should be unreachable (see above); leave the
-                            // network clean rather than half-restored.
-                            for sw in 0..net.switch_count() {
-                                net.switch_mut(sw).remove_query(old);
-                            }
-                            self.slots_in_use.remove(&old);
-                        }
-                    }
-                }
+                Self::scrub(&mut self.channel, net, id);
                 Err(e)
             }
         }
@@ -439,7 +814,7 @@ impl Controller {
             let runnable = entry.placement.slice_count.min(full_depth);
             let mut degraded = live_edges.is_empty() || live_depth < runnable;
             let parts: Vec<usize> = entry.slices.iter().map(RuleSet::total_rule_count).collect();
-            let want = place_parts(parts, &live, &live_edges);
+            let want = Self::template_place(&mut self.templates, &live, parts);
             let mut query_rules = 0usize;
             for (sw_id, slices) in want.slices.iter().enumerate() {
                 if slices.is_empty() {
@@ -488,12 +863,14 @@ impl Controller {
                     // (capacity reclaimed by others, slice-cursor clash);
                     // drop whatever of the query it held so it is either
                     // whole or absent, and degrade to software.
-                    net.switch_mut(sw_id).remove_query(id);
+                    let dropped = net.switch_mut(sw_id).remove_query(id);
+                    self.channel.remove(dropped);
                     degraded = true;
                     continue;
                 }
                 query_rules += sw_rules;
                 out.switches_touched += 1;
+                self.channel.install(sw_rules);
                 out.delay_ms = out.delay_ms.max(self.timing.install_ms(sw_rules));
             }
             if query_rules > 0 {
@@ -648,7 +1025,8 @@ mod tests {
         let baseline_sw0 = net.switch(0).total_rule_count();
 
         let result = ctl.update(old.id, &catalog::q2_ssh_brute(), &mut net, 12);
-        assert!(result.is_err(), "switch 1 must reject the bigger query at capacity 3");
+        let err = result.expect_err("switch 1 must reject the bigger query at capacity 3");
+        assert!(err.restore_delay_ms > 0.0, "the restore's rule-channel cost must surface");
         assert!(ctl.installed().contains_key(&old.id), "old query must survive the failure");
         assert_eq!(net.total_rules(), baseline_total, "network restored to pre-update state");
         assert_eq!(net.switch(0).total_rule_count(), baseline_sw0);
@@ -666,12 +1044,12 @@ mod tests {
         }
         assert_eq!(reports, 1, "restored query must keep detecting");
 
-        // And a later legitimate update still works.
+        // And a later legitimate update still works, under the same id.
         let mut tighter = catalog::q1_new_tcp();
         tighter.name = "q1_tight".into();
         let swapped = ctl.update(old.id, &tighter, &mut net, 12).expect("small update fits");
-        assert!(ctl.installed().contains_key(&swapped.id));
-        assert!(!ctl.installed().contains_key(&old.id));
+        assert_eq!(swapped.id, old.id, "an update keeps the query's id");
+        assert!(ctl.installed().contains_key(&old.id));
     }
 
     #[test]
@@ -746,13 +1124,85 @@ mod tests {
         let mut net = net(2);
         let q = catalog::q1_new_tcp();
         let first = ctl.install(&q, &mut net, 12).unwrap();
+        let slot_before = ctl.slots_in_use[&first.id];
         // Drill-down: tighter variant of the same intent.
         let mut tighter = q.clone();
         tighter.name = "q1_tight".into();
         let receipt = ctl.update(first.id, &tighter, &mut net, 12).unwrap();
-        assert_ne!(receipt.id, first.id);
-        assert!(ctl.installed().contains_key(&receipt.id));
-        assert!(!ctl.installed().contains_key(&first.id));
-        assert!(receipt.delay_ms < 40.0, "update = remove + install, both fast");
+        assert_eq!(receipt.id, first.id, "an update keeps the query's id");
+        assert_eq!(ctl.slots_in_use[&first.id], slot_before, "and its register slot");
+        assert!(ctl.installed().contains_key(&first.id));
+        assert_eq!(ctl.installed().len(), 1);
+        assert!(receipt.delay_ms < 40.0, "an update never costs more than remove + install");
+    }
+
+    #[test]
+    fn rename_only_update_moves_no_rules() {
+        // A renamed intent compiles to identical rules — the diff finds
+        // nothing to push, and the compilation cache serves the fetch.
+        let mut ctl = controller();
+        let mut net = net(2);
+        let q = catalog::q1_new_tcp();
+        let first = ctl.install(&q, &mut net, 12).unwrap();
+        let rules_before = net.total_rules();
+        let mut renamed = q.clone();
+        renamed.name = "q1_renamed".into();
+        let receipt = ctl.update(first.id, &renamed, &mut net, 12).unwrap();
+        assert_eq!(receipt.rules, 0, "identical rules: nothing crosses the rule channel");
+        assert_eq!(receipt.switches, 0);
+        assert_eq!(receipt.delay_ms, 0.0);
+        assert_eq!(net.total_rules(), rules_before);
+        assert_eq!(ctl.installed()[&first.id].query.name, "q1_renamed");
+        assert!(ctl.cache_stats().hits >= 1, "the rename is a cache hit");
+    }
+
+    #[test]
+    fn diff_update_moves_fewer_rules_than_from_scratch() {
+        // A threshold change on a CQE-sliced query only alters reporting ℝ
+        // rules in the final slice; the diff path must not re-push the
+        // untouched 𝕂/ℍ/𝕊 slices the from-scratch path re-installs.
+        let build = || (controller(), net(4));
+        let tighten = |q: &mut newton_query::Query| {
+            for b in &mut q.branches {
+                for p in &mut b.primitives {
+                    if let newton_query::ast::Primitive::ResultFilter { value, .. } = p {
+                        *value += 5;
+                    }
+                }
+            }
+        };
+
+        let (mut diff_ctl, mut diff_net) = build();
+        let r = diff_ctl.install(&catalog::q4_port_scan(), &mut diff_net, 4).unwrap();
+        assert!(r.slices > 1, "must exercise the sliced path");
+        let mut tighter = catalog::q4_port_scan();
+        tighten(&mut tighter);
+        diff_ctl.reset_channel_stats();
+        let diff_receipt = diff_ctl.update(r.id, &tighter, &mut diff_net, 4).unwrap();
+        let diff_traffic = diff_ctl.channel_stats();
+
+        let (mut full_ctl, mut full_net) = build();
+        full_ctl.set_diff_install(false);
+        let fr = full_ctl.install(&catalog::q4_port_scan(), &mut full_net, 4).unwrap();
+        full_ctl.reset_channel_stats();
+        let full_receipt = full_ctl.update(fr.id, &tighter, &mut full_net, 4).unwrap();
+        let full_traffic = full_ctl.channel_stats();
+
+        assert!(
+            diff_receipt.rules < full_receipt.rules,
+            "diff ({}) must touch fewer rules than from-scratch ({})",
+            diff_receipt.rules,
+            full_receipt.rules
+        );
+        assert!(diff_traffic.bytes < full_traffic.bytes, "and move fewer rule-channel bytes");
+
+        // Both paths leave the network in the same state.
+        for sw in 0..diff_net.switch_count() {
+            assert_eq!(
+                diff_net.switch(sw).rules_of_query(r.id),
+                full_net.switch(sw).rules_of_query(fr.id),
+                "switch {sw}: diff and from-scratch must converge to identical rules"
+            );
+        }
     }
 }

@@ -19,6 +19,10 @@ pub mod placement;
 pub mod timing;
 
 pub use allocation::{allocate, AllocationPolicy, RegisterSlice};
-pub use controller::{Controller, InstallReceipt, InstalledQuery, RepairOutcome};
-pub use placement::{place_parts, place_query, reachable_depth, Placement};
+pub use controller::{
+    ChannelStats, Controller, InstallReceipt, InstalledQuery, RepairOutcome, UpdateError,
+};
+pub use placement::{
+    place_parts, place_query, reachable_depth, topology_fingerprint, Placement, PlacementTemplate,
+};
 pub use timing::RuleTimingModel;

@@ -308,6 +308,12 @@ impl NewtonSystem {
         &self.controller
     }
 
+    /// Mutable controller access (diff-install toggle, channel-stats
+    /// resets in benches and equivalence tests).
+    pub fn controller_mut(&mut self) -> &mut Controller {
+        &mut self.controller
+    }
+
     /// Install a query network-wide; the analyzer learns its plan.
     pub fn install(
         &mut self,
@@ -352,6 +358,46 @@ impl NewtonSystem {
             });
         }
         receipt
+    }
+
+    /// Update a live query in place: same [`QueryId`], same register
+    /// slot, diff-based rule push when the placement shape is unchanged
+    /// (see [`Controller::update`]). The analyzer re-learns the plan and
+    /// the software-fallback twin is refreshed under the stable id, so
+    /// incident attribution and journal spans stay continuous.
+    pub fn update(
+        &mut self,
+        id: QueryId,
+        query: &Query,
+    ) -> Result<InstallReceipt, newton_controller::UpdateError> {
+        let receipt = self.controller.update(id, query, &mut self.net, self.stages_per_switch)?;
+        if let Some(rec) = self.recorder.as_mut() {
+            rec.record(Event::Update {
+                epoch: self.current_epoch,
+                query: receipt.id,
+                rules: receipt.rules,
+                switches: receipt.switches,
+                slices: receipt.slices,
+                diff: receipt.diff,
+                delay_ms: receipt.delay_ms,
+            });
+        }
+        let plan = self.controller.installed()[&receipt.id].plan.clone();
+        self.analyzer.unregister(id);
+        self.analyzer.register(receipt.id, plan);
+        self.software_fallback.remove(&id);
+        if receipt.overflow_slices > 0 {
+            self.software_fallback
+                .insert(receipt.id, (query.clone(), Interpreter::new(query.clone())));
+        }
+        Ok(receipt)
+    }
+
+    /// Retune a live query's report threshold in place (a handful of rule
+    /// modifications; epoch state survives — see
+    /// [`Controller::retune_threshold`]).
+    pub fn retune_threshold(&mut self, id: QueryId, new_threshold: u64) -> Option<InstallReceipt> {
+        self.controller.retune_threshold(id, new_threshold, &mut self.net)
     }
 
     /// Whether a query fell back to software execution.

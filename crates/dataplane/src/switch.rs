@@ -458,6 +458,54 @@ impl Switch {
         Ok(())
     }
 
+    /// Remove ONE CQE slice of `query` — its module rules (the query's
+    /// rules within the slice's stage range), its `newton_init` entries
+    /// when it is slice 0, and the [`SliceInfo`] assignment — leaving the
+    /// query's other slices untouched. This is the unit the controller's
+    /// diff-install path replaces without a full remove+reinstall.
+    /// Returns the number of rules removed (0 when the slice is not held).
+    ///
+    /// Sound because slices of one query occupy disjoint stage ranges, so
+    /// a module instance only ever hosts rules of one slice per query.
+    pub fn remove_slice(&mut self, query: QueryId, index: u8) -> usize {
+        let Some(pos) =
+            self.slices.get(&query).and_then(|v| v.iter().position(|i| i.index == index))
+        else {
+            return 0;
+        };
+        let (lo, hi) = self.slices[&query][pos].stages;
+        let mut removed = self.remove_rules_in_stages(query, lo, hi);
+        if index == 0 {
+            removed += self.init.remove_query(query);
+        }
+        let infos = self.slices.get_mut(&query).expect("checked above");
+        infos.remove(pos);
+        if infos.is_empty() {
+            self.slices.remove(&query);
+        }
+        self.rebuild_plan();
+        removed
+    }
+
+    /// Remove `query`'s module rules in stages `[lo, hi)`; returns the
+    /// count. Init entries are stage-less and not touched here.
+    fn remove_rules_in_stages(&mut self, query: QueryId, lo: usize, hi: usize) -> usize {
+        let hi = hi.min(self.stages.len());
+        let lo = lo.min(hi);
+        let mut removed = 0usize;
+        for stage in &mut self.stages[lo..hi] {
+            for inst in stage {
+                removed += match inst {
+                    Instance::K(m) => m.remove_query(query),
+                    Instance::H(m) => m.remove_query(query),
+                    Instance::S(m) => m.remove_query(query),
+                    Instance::R(m) => m.remove_query(query),
+                };
+            }
+        }
+        removed
+    }
+
     /// The slice assignments for `query` (a whole query if unassigned).
     pub fn slices_of(&self, query: QueryId) -> Vec<SliceInfo> {
         self.slices.get(&query).cloned().unwrap_or_else(|| vec![SliceInfo::whole()])
@@ -497,6 +545,55 @@ impl Switch {
             })
             .sum();
         init + modules
+    }
+
+    /// Canonical rendering of the switch's installed configuration: every
+    /// init entry, every module rule per stage and instance slot, and the
+    /// slice assignments sorted by (query, index). Two switches with equal
+    /// digests are configured identically — the churn equivalence tests
+    /// compare diff-installed switches against from-scratch twins through
+    /// this. (Register *contents* are runtime state, not configuration,
+    /// and are excluded; run-report comparisons cover them.)
+    ///
+    /// Each table's rules are stable-sorted by query id before rendering:
+    /// inter-query order within a table carries no behavioral weight (the
+    /// classifier and resume paths sort by query id, and ℝ tie-breaking is
+    /// per-query), but it does differ between a diff install — which leaves
+    /// unchanged rules in place — and a from-scratch reinstall, which
+    /// appends everything. Intra-query order, which ℝ tie-breaking *does*
+    /// observe, is preserved by the stable sort.
+    pub fn config_digest(&self) -> String {
+        use std::fmt::Write as _;
+        fn by_query<R: Clone>(rules: &[R], query: impl Fn(&R) -> QueryId) -> Vec<R> {
+            let mut v = rules.to_vec();
+            v.sort_by_key(query);
+            v
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "init={:?}", by_query(self.init.rules(), |r| r.query));
+        for (si, stage) in self.stages.iter().enumerate() {
+            for (ii, inst) in stage.iter().enumerate() {
+                let _ = match inst {
+                    Instance::K(m) => {
+                        writeln!(out, "s{si}i{ii}K={:?}", by_query(m.rules(), |r| r.query))
+                    }
+                    Instance::H(m) => {
+                        writeln!(out, "s{si}i{ii}H={:?}", by_query(m.rules(), |r| r.query))
+                    }
+                    Instance::S(m) => {
+                        writeln!(out, "s{si}i{ii}S={:?}", by_query(m.rules(), |r| r.query))
+                    }
+                    Instance::R(m) => {
+                        writeln!(out, "s{si}i{ii}R={:?}", by_query(m.rules(), |r| r.query))
+                    }
+                };
+            }
+        }
+        let mut assigns: Vec<(QueryId, SliceInfo)> =
+            self.slices.iter().flat_map(|(q, infos)| infos.iter().map(move |i| (*q, *i))).collect();
+        assigns.sort_by_key(|(q, i)| (*q, i.index));
+        let _ = writeln!(out, "slices={assigns:?}");
+        out
     }
 
     /// Apply `f` to every ℝ rule of `query` across the pipeline — the

@@ -85,6 +85,21 @@ pub enum Event {
     },
     /// Controller span: a query removal.
     Remove { epoch: u64, query: QueryId, rules: usize, switches: usize, delay_ms: f64 },
+    /// Controller span: an in-place query update. Keyed to the query's
+    /// **stable** id (updates never mint a new one), so a query's journal
+    /// trail reads install → update* → remove under a single key.
+    /// `diff` tells whether the diff-install path served it; `rules`
+    /// counts rules actually moved (removed + installed, 0 for a no-op
+    /// diff such as a rename).
+    Update {
+        epoch: u64,
+        query: QueryId,
+        rules: usize,
+        switches: usize,
+        slices: usize,
+        diff: bool,
+        delay_ms: f64,
+    },
     /// Controller span: one repair pass over the live topology.
     Repair {
         epoch: u64,
@@ -272,6 +287,14 @@ fn write_event_json(out: &mut String, e: &Event) {
                 out,
                 "{{\"type\":\"remove\",\"epoch\":{epoch},\"query\":{query},\"rules\":{rules},\
                  \"switches\":{switches},\"delay_ms\":{delay_ms}}}"
+            );
+        }
+        Event::Update { epoch, query, rules, switches, slices, diff, delay_ms } => {
+            let _ = write!(
+                out,
+                "{{\"type\":\"update\",\"epoch\":{epoch},\"query\":{query},\"rules\":{rules},\
+                 \"switches\":{switches},\"slices\":{slices},\"diff\":{diff},\
+                 \"delay_ms\":{delay_ms}}}"
             );
         }
         Event::Repair {

@@ -1,0 +1,298 @@
+//! Query churn: incremental compilation, diff-based update, and the
+//! stable-id update path, exercised end to end.
+//!
+//! The contract under test: `Controller::update` keeps the query's id and
+//! register slot, pushes only changed slices when the placement shape is
+//! unchanged, restores the old query (surfacing the restore's modelled
+//! delay) when the new rules are rejected, and — the core equivalence —
+//! a diff-installed network is **indistinguishable** from a from-scratch
+//! remove+reinstall twin: identical per-switch configuration, identical
+//! `RunReport`, identical telemetry journal on a subsequent run.
+
+use newton::compiler::CompilerConfig;
+use newton::controller::Controller;
+use newton::dataplane::PipelineConfig;
+use newton::net::{Network, Topology};
+use newton::packet::{PacketBuilder, TcpFlags};
+use newton::query::ast::Primitive;
+use newton::query::{catalog, Query};
+use newton::trace::background::TraceConfig;
+use newton::trace::Trace;
+use newton::NewtonSystem;
+use proptest::prelude::*;
+
+/// `query` with every `result_filter` threshold shifted by `delta`.
+fn with_threshold_delta(query: &Query, delta: u64) -> Query {
+    let mut q = query.clone();
+    for b in &mut q.branches {
+        for p in &mut b.primitives {
+            if let Primitive::ResultFilter { value, .. } = p {
+                *value += delta;
+            }
+        }
+    }
+    q
+}
+
+fn syn(i: u16, dst: u32) -> newton::packet::Packet {
+    PacketBuilder::new()
+        .src_ip(0x0A00_0000 + i as u32)
+        .dst_ip(dst)
+        .src_port(5_000 + i)
+        .tcp_flags(TcpFlags::SYN)
+        .build()
+}
+
+/// Canonical rendering of a whole network's installed configuration.
+fn net_digest(net: &Network) -> String {
+    (0..net.switch_count()).map(|sw| net.switch(sw).config_digest()).collect()
+}
+
+#[test]
+fn repeated_updates_keep_id_slot_and_keep_detecting() {
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 81);
+    let base = catalog::q1_new_tcp();
+    let first = ctl.install(&base, &mut net, 12).unwrap();
+
+    // A drill-down session: the same intent retuned over and over. Every
+    // generation must keep the id, and the cache must serve the repeats.
+    for round in 0..6u64 {
+        let variant = with_threshold_delta(&base, (round % 3) * 10);
+        let receipt = ctl.update(first.id, &variant, &mut net, 12).unwrap();
+        assert_eq!(receipt.id, first.id, "round {round}: id must never churn");
+        assert_eq!(ctl.installed().len(), 1);
+        assert!(receipt.diff, "same shape: every round takes the diff path");
+    }
+    let stats = ctl.cache_stats();
+    assert!(
+        stats.hits >= 3,
+        "three distinct variants cycled twice: the second cycle hits ({stats:?})"
+    );
+
+    // The last variant ran round=5 → delta 20 → threshold 60. 59 SYNs
+    // stay silent, the 60th fires: the *final* definition is live.
+    let final_threshold = catalog::thresholds::NEW_TCP + 20;
+    let mut reports = 0;
+    for i in 0..final_threshold as u16 {
+        reports += net.deliver(&syn(i, 0xAC10_0099), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 1, "the last update's threshold is the live one");
+}
+
+#[test]
+fn update_while_holder_down_converges_after_repair() {
+    // Q4 sliced across a 4-chain. A threshold change rewrites the final
+    // slice's reporting rules, and edge switch 0 holds that slice (it
+    // sits at depth 3 from the far edge). Update while switch 0 is down:
+    // the diff path can only touch live switches; the repair pass must
+    // later bring the rebooted holder back with the *new* definition —
+    // byte-identical to a twin network that never failed.
+    let build = || {
+        let mut net = Network::new(Topology::chain(4), PipelineConfig::default());
+        let mut ctl = Controller::new(CompilerConfig::default(), 82);
+        let r = ctl.install(&catalog::q4_port_scan(), &mut net, 4).unwrap();
+        assert_eq!(r.slices, 4);
+        (ctl, net, r)
+    };
+    let tighter = with_threshold_delta(&catalog::q4_port_scan(), 7);
+
+    let (mut ctl, mut net, r) = build();
+    assert!(net.fail_switch(0));
+    let receipt = ctl.update(r.id, &tighter, &mut net, 4).unwrap();
+    assert_eq!(receipt.id, r.id);
+    net.restore_switch(0);
+    assert_eq!(net.switch(0).total_rule_count(), 0, "rebooted blank");
+    let out = ctl.repair(&mut net);
+    assert_eq!(out.repaired, vec![r.id], "repair re-places the lost slice");
+    assert!(out.degraded.is_empty());
+
+    // Twin that did the same update with all switches up.
+    let (mut twin_ctl, mut twin_net, twin_r) = build();
+    twin_ctl.update(twin_r.id, &tighter, &mut twin_net, 4).unwrap();
+    assert_eq!(
+        net_digest(&net),
+        net_digest(&twin_net),
+        "post-repair network must match the never-failed twin"
+    );
+
+    // And the updated CQE chain detects at the tightened threshold.
+    let threshold = catalog::thresholds::PORT_SCAN + 7;
+    let mut reports = Vec::new();
+    for port in 0..threshold as u16 {
+        let pkt = PacketBuilder::new()
+            .src_ip(0xBEEF)
+            .dst_ip(0xAC10_0002)
+            .src_port(41_000)
+            .dst_port(1_000 + port)
+            .tcp_flags(TcpFlags::SYN)
+            .build();
+        reports.extend(net.deliver(&pkt, 0, 3).reports);
+    }
+    assert_eq!(reports.len(), 1, "repaired chain runs the updated definition");
+}
+
+#[test]
+fn retune_receipt_counts_touched_switches() {
+    let mut net = Network::new(Topology::chain(3), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 83);
+    let r = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+    // Chain(3): both ends are edges, each holds the single slice.
+    let retune = ctl.retune_threshold(r.id, 25, &mut net).unwrap();
+    assert!(retune.rules >= 2, "both holders' reporting rules rewritten");
+    assert_eq!(retune.switches, 2, "receipt counts switches actually touched");
+    assert_eq!(retune.id, r.id);
+    assert_eq!(retune.slices, 1);
+}
+
+#[test]
+fn repair_reinstalls_retuned_rules_not_stale_artifacts() {
+    // Retune, then crash + reboot the holder: the repair pass installs
+    // from the stored artifacts, which must carry the retuned threshold —
+    // not the install-time one.
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 84);
+    let r = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+    ctl.retune_threshold(r.id, 25, &mut net).unwrap();
+    let retuned_digest = net.switch(0).config_digest();
+
+    assert!(net.fail_switch(0));
+    net.restore_switch(0);
+    let out = ctl.repair(&mut net);
+    assert_eq!(out.repaired, vec![r.id]);
+    assert_eq!(
+        net.switch(0).config_digest(),
+        retuned_digest,
+        "the rebooted holder comes back with the retuned rules"
+    );
+
+    // Behavioral check: 25 fresh SYNs cross the retuned threshold (the
+    // epoch state died with the switch; the threshold must not have).
+    let mut reports = 0;
+    for i in 0..25 {
+        reports += net.deliver(&syn(i, 0xAC10_0042), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 1, "retuned threshold survives the reboot");
+}
+
+#[test]
+fn update_journal_spans_stay_on_the_stable_id() {
+    let mut sys = NewtonSystem::new(Topology::fat_tree(4));
+    let r = sys.install(&catalog::q6_syn_flood()).unwrap();
+    sys.enable_recorder();
+    let tighter = with_threshold_delta(&catalog::q6_syn_flood(), 5);
+    let up = sys.update(r.id, &tighter).unwrap();
+    assert_eq!(up.id, r.id);
+    let journal = sys.take_recorder().unwrap().journal.to_jsonl();
+    let expected = format!("\"type\":\"update\",\"epoch\":0,\"query\":{}", r.id);
+    assert!(
+        journal.contains(&expected),
+        "update span keyed to the stable id; journal was: {journal}"
+    );
+    assert!(journal.contains("\"diff\":true"), "same shape → diff path recorded");
+}
+
+/// The operations a churn schedule draws from. Retunes and removals ride
+/// along to prove the diff path composes with the rest of the runtime
+/// reconfiguration surface.
+#[derive(Debug, Clone, Copy)]
+enum ChurnOp {
+    /// Update query `slot` to the structure-preserving threshold variant.
+    Update { slot: usize, delta: u64 },
+    /// Retune query `slot`'s threshold in place.
+    Retune { slot: usize, threshold: u64 },
+    /// Remove query `slot` and immediately re-install it (a fresh id —
+    /// identical on both twins since they mint ids in lockstep).
+    Cycle { slot: usize },
+}
+
+fn arb_op() -> impl Strategy<Value = ChurnOp> {
+    // Updates dominate the mix (4/7), retunes ride along (2/7), and the
+    // occasional remove+reinstall cycle (1/7) keeps id minting honest.
+    (0u8..7, 0usize..3, 0u64..60).prop_map(|(kind, slot, x)| match kind {
+        0..=3 => ChurnOp::Update { slot, delta: (x % 3) * 5 },
+        4 | 5 => ChurnOp::Retune { slot, threshold: 15 + (x % 45) },
+        _ => ChurnOp::Cycle { slot },
+    })
+}
+
+/// Build a system, install the three base queries, and play `ops`.
+/// `diff` selects the update path; everything else is identical.
+fn churned_system(ops: &[ChurnOp], diff: bool) -> (NewtonSystem, Vec<newton::dataplane::QueryId>) {
+    // chain(4) with a 6-stage budget: Q1 and Q8 install whole, Q4 slices —
+    // the schedule exercises both the whole-query and the CQE diff. (Only
+    // one sliced query: the data plane rejects two queries sharing a resume
+    // cursor index on a switch, so a second 11-stage query cannot coexist.)
+    // Q8 has no ResultFilter, so threshold "updates" to it are no-op diffs.
+    let mut sys = NewtonSystem::with_config(
+        Topology::chain(4),
+        PipelineConfig::default(),
+        CompilerConfig::default(),
+        6,
+    );
+    sys.controller_mut().set_diff_install(diff);
+    let bases = [catalog::q1_new_tcp(), catalog::q4_port_scan(), catalog::q8_slowloris()];
+    let mut ids: Vec<newton::dataplane::QueryId> =
+        bases.iter().map(|q| sys.install(q).unwrap().id).collect();
+    for op in ops {
+        match *op {
+            ChurnOp::Update { slot, delta } => {
+                let variant = with_threshold_delta(&bases[slot], delta);
+                let r = sys.update(ids[slot], &variant).unwrap();
+                assert_eq!(r.id, ids[slot], "updates never mint a new id");
+            }
+            ChurnOp::Retune { slot, threshold } => {
+                sys.retune_threshold(ids[slot], threshold).unwrap();
+            }
+            ChurnOp::Cycle { slot } => {
+                sys.remove(ids[slot]).unwrap();
+                ids[slot] = sys.install(&bases[slot]).unwrap().id;
+            }
+        }
+    }
+    (sys, ids)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole equivalence: after ANY churn schedule, the
+    /// diff-installed network is indistinguishable from the from-scratch
+    /// twin — identical per-switch configuration, and a subsequent trace
+    /// run produces an identical `RunReport` and byte-identical telemetry
+    /// journal. (Recorders attach *after* the churn: the two paths model
+    /// different rule-channel timings by design, which is exactly the
+    /// saving the churn bench measures.)
+    #[test]
+    fn diff_install_is_equivalent_to_from_scratch(
+        ops in proptest::collection::vec(arb_op(), 1..12),
+        seed in 0u64..1000,
+    ) {
+        let (mut diff_sys, diff_ids) = churned_system(&ops, true);
+        let (mut full_sys, full_ids) = churned_system(&ops, false);
+        prop_assert_eq!(&diff_ids, &full_ids, "twins mint ids in lockstep");
+        prop_assert_eq!(
+            net_digest(diff_sys.network()),
+            net_digest(full_sys.network()),
+            "switch configuration diverged after {:?}", ops
+        );
+
+        let trace = Trace::background(&TraceConfig {
+            packets: 1_500,
+            flows: 120,
+            duration_ms: 100,
+            seed,
+            ..Default::default()
+        });
+        diff_sys.enable_recorder();
+        full_sys.enable_recorder();
+        let diff_report = diff_sys.run_trace(&trace, 50);
+        let full_report = full_sys.run_trace(&trace, 50);
+        prop_assert_eq!(diff_report, full_report, "RunReport diverged");
+        prop_assert_eq!(
+            diff_sys.take_recorder().unwrap().journal.to_jsonl(),
+            full_sys.take_recorder().unwrap().journal.to_jsonl(),
+            "telemetry journal diverged"
+        );
+    }
+}
