@@ -76,26 +76,103 @@ pub struct RepairOutcome {
     pub delay_ms: f64,
 }
 
-/// A failed [`Controller::update`]: the switch error that sank the new
-/// definition, plus the modelled rule-channel delay spent re-installing
-/// the prior query (the restore is real traffic — hiding it would make
-/// failed updates look free).
+/// A failed [`Controller::install`].
 #[derive(Debug, Clone, Copy, PartialEq)]
-pub struct UpdateError {
-    pub error: SwitchError,
-    /// Rule-channel wall clock of putting the old query back (0 when
-    /// there was no prior query to restore, or the restore itself failed
-    /// and the query was scrubbed instead).
-    pub restore_delay_ms: f64,
+pub enum InstallError {
+    /// Every register slot is occupied by a live query: a further install
+    /// would have to share another query's register ranges, violating the
+    /// §4.1 flexible-allocation invariant (disjoint `1/slots` slices of
+    /// every physical array). Remove a query first, or provision the
+    /// controller with more slots ([`Controller::with_slots`]).
+    SlotsExhausted {
+        /// The controller's slot capacity (all in use).
+        slots: u32,
+    },
+    /// A switch rejected the compiled rules (capacity, layout mismatch);
+    /// the partial install was rolled back network-wide.
+    Switch(SwitchError),
+}
+
+impl fmt::Display for InstallError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InstallError::SlotsExhausted { slots } => {
+                write!(f, "all {slots} register slots are in use by live queries")
+            }
+            InstallError::Switch(e) => write!(f, "switch rejected rules: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for InstallError {}
+
+impl From<SwitchError> for InstallError {
+    fn from(e: SwitchError) -> Self {
+        InstallError::Switch(e)
+    }
+}
+
+/// A failed [`Controller::update`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum UpdateError {
+    /// The id was never installed (or has already been removed): there is
+    /// nothing to update in place. Callers wanting install-or-update
+    /// semantics must call [`Controller::install`] explicitly — silently
+    /// minting a fresh install here used to hide dangling-id bugs (and,
+    /// worse, assumed register slot 0, aliasing whichever query held it).
+    UnknownQuery(QueryId),
+    /// The switch error that sank the new definition, plus the modelled
+    /// rule-channel delay spent re-installing the prior query (the restore
+    /// is real traffic — hiding it would make failed updates look free).
+    Rejected {
+        error: SwitchError,
+        /// Rule-channel wall clock of putting the old query back (0 when
+        /// the restore itself failed and the query was scrubbed instead).
+        restore_delay_ms: f64,
+    },
 }
 
 impl fmt::Display for UpdateError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "update failed ({:?}); restore took {:.3} ms", self.error, self.restore_delay_ms)
+        match self {
+            UpdateError::UnknownQuery(id) => write!(f, "query {id} is not installed"),
+            UpdateError::Rejected { error, restore_delay_ms } => {
+                write!(f, "update failed ({error:?}); restore took {restore_delay_ms:.3} ms")
+            }
+        }
     }
 }
 
 impl std::error::Error for UpdateError {}
+
+/// A failed [`Controller::retune_threshold`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RetuneError {
+    /// The id was never installed (or has already been removed).
+    UnknownQuery(QueryId),
+    /// Report thresholds live in 32-bit match ranges on the data plane;
+    /// a wider value used to be truncated silently (`as u32`), retuning
+    /// the query to `threshold mod 2^32` — almost always *looser* than
+    /// asked. Rejected instead.
+    ThresholdOutOfRange {
+        requested: u64,
+        /// The widest representable threshold (`u32::MAX`).
+        max: u32,
+    },
+}
+
+impl fmt::Display for RetuneError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RetuneError::UnknownQuery(id) => write!(f, "query {id} is not installed"),
+            RetuneError::ThresholdOutOfRange { requested, max } => {
+                write!(f, "threshold {requested} exceeds the data plane's 32-bit range (max {max})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RetuneError {}
 
 /// Cumulative rule-channel accounting: what the controller shipped to
 /// switches since construction (or the last reset), in the same modelled
@@ -209,11 +286,36 @@ impl Controller {
     }
 
     /// The register slice (range, offset) for a new query.
-    fn allocate_slot(&mut self, id: QueryId) -> CompilerConfig {
+    ///
+    /// Errors when every slot is occupied: falling back to slot 0 (the old
+    /// behavior) silently aliased the new query's register ranges onto
+    /// whichever live query held that slot — two queries reading and
+    /// resetting each other's 𝕊 state.
+    fn allocate_slot(&mut self, id: QueryId) -> Result<CompilerConfig, InstallError> {
         let used: std::collections::HashSet<u32> = self.slots_in_use.values().copied().collect();
-        let slot = (0..self.register_slots).find(|s| !used.contains(s)).unwrap_or(0);
+        let Some(slot) = (0..self.register_slots).find(|s| !used.contains(s)) else {
+            return Err(InstallError::SlotsExhausted { slots: self.register_slots });
+        };
         self.slots_in_use.insert(id, slot);
-        self.slot_config(slot)
+        Ok(self.slot_config(slot))
+    }
+
+    /// The controller's concurrent-query slot capacity.
+    pub fn register_slots(&self) -> u32 {
+        self.register_slots
+    }
+
+    /// The register slot a live query occupies (`None` if not installed).
+    pub fn register_slot(&self, id: QueryId) -> Option<u32> {
+        self.slots_in_use.get(&id).copied()
+    }
+
+    /// The register-array offset a live query's compiled rules address —
+    /// `slot × (registers_per_array / slots)`. Live queries always hold
+    /// pairwise disjoint `[offset, offset + slice)` ranges.
+    pub fn register_offset(&self, id: QueryId) -> Option<u32> {
+        let slot = self.register_slot(id)?;
+        Some(self.slot_config(slot).register_offset)
     }
 
     pub fn compiler_config(&self) -> &CompilerConfig {
@@ -255,23 +357,25 @@ impl Controller {
     /// Transactional across the network: if any switch rejects its rules
     /// (capacity, layout mismatch), every switch already touched is rolled
     /// back and the register slot is freed — the network is exactly as it
-    /// was before the call.
+    /// was before the call. With every register slot occupied the call
+    /// fails up front ([`InstallError::SlotsExhausted`]) without minting an
+    /// id or touching a switch.
     pub fn install(
         &mut self,
         query: &Query,
         net: &mut Network,
         stages_per_switch: usize,
-    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+    ) -> Result<InstallReceipt, InstallError> {
         let id = self.next_id;
+        let query_cfg = self.allocate_slot(id)?;
         self.next_id += 1;
-        let query_cfg = self.allocate_slot(id);
         match self.try_install(query, id, &query_cfg, net, stages_per_switch) {
             Ok(receipt) => Ok(receipt),
             Err(e) => {
                 // Roll back every switch the partial install touched.
                 Self::scrub(&mut self.channel, net, id);
                 self.slots_in_use.remove(&id);
-                Err(e)
+                Err(InstallError::Switch(e))
             }
         }
     }
@@ -472,14 +576,25 @@ impl Controller {
     ///
     /// The crossing-window width is preserved (the difference `hi - lo` of
     /// each reporting rule), so count vs byte-sum semantics carry over.
+    ///
+    /// Thresholds are 32-bit match bounds on the data plane; values above
+    /// `u32::MAX` are rejected ([`RetuneError::ThresholdOutOfRange`])
+    /// instead of silently truncated — the old `as u32` cast retuned to
+    /// `threshold mod 2^32`, usually far *looser* than requested.
     pub fn retune_threshold(
         &mut self,
         id: QueryId,
         new_threshold: u64,
         net: &mut Network,
-    ) -> Option<InstallReceipt> {
+    ) -> Result<InstallReceipt, RetuneError> {
         if !self.installed.contains_key(&id) {
-            return None;
+            return Err(RetuneError::UnknownQuery(id));
+        }
+        if new_threshold > u64::from(u32::MAX) {
+            return Err(RetuneError::ThresholdOutOfRange {
+                requested: new_threshold,
+                max: u32::MAX,
+            });
         }
         let mut rewrite = |rule: &mut newton_dataplane::RRule| {
             use newton_dataplane::{RAction, RMatch};
@@ -521,7 +636,7 @@ impl Controller {
                 rewrite(r);
             }
         }
-        Some(InstallReceipt {
+        Ok(InstallReceipt {
             id,
             delay_ms: max_delay,
             rules: total,
@@ -548,12 +663,14 @@ impl Controller {
     ///
     /// Atomic in outcome: if the new rules are rejected anywhere, the old
     /// query is re-installed from its stored artifacts and
-    /// [`UpdateError::restore_delay_ms`] reports what that restore cost
-    /// over the rule channel — the caller observes either the new query
-    /// running or the old one restored, never neither.
+    /// [`UpdateError::Rejected`]'s `restore_delay_ms` reports what that
+    /// restore cost over the rule channel — the caller observes either the
+    /// new query running or the old one restored, never neither.
     ///
-    /// Updating an id that is not installed falls back to a plain
-    /// [`Self::install`] (a fresh id — there is nothing to keep).
+    /// Updating an id that is not installed (never was, or already
+    /// removed) is [`UpdateError::UnknownQuery`]: the old fall-back to a
+    /// plain install assumed register slot 0 for the slot lookup, silently
+    /// aliasing whichever live query held it.
     pub fn update(
         &mut self,
         old: QueryId,
@@ -562,11 +679,14 @@ impl Controller {
         stages_per_switch: usize,
     ) -> Result<InstallReceipt, UpdateError> {
         let Some(prior) = self.installed.get(&old).cloned() else {
-            return self
-                .install(query, net, stages_per_switch)
-                .map_err(|error| UpdateError { error, restore_delay_ms: 0.0 });
+            return Err(UpdateError::UnknownQuery(old));
         };
-        let slot = self.slots_in_use.get(&old).copied().unwrap_or(0);
+        // `installed` and `slots_in_use` are updated in lock-step, so a
+        // live entry always has a slot; treat a missing one as unknown
+        // rather than assuming slot 0.
+        let Some(slot) = self.slots_in_use.get(&old).copied() else {
+            return Err(UpdateError::UnknownQuery(old));
+        };
         let query_cfg = self.slot_config(slot);
         let (rulesets, stage_counts, captures, plan) =
             self.compile_parts(query, old, &query_cfg, stages_per_switch);
@@ -628,7 +748,7 @@ impl Controller {
                 match restored {
                     Ok((_, _, restore_delay_ms)) => {
                         self.installed.insert(old, prior);
-                        Err(UpdateError { error, restore_delay_ms })
+                        Err(UpdateError::Rejected { error, restore_delay_ms })
                     }
                     Err(_) => {
                         // Should be unreachable (the old rules fit before);
@@ -636,7 +756,7 @@ impl Controller {
                         Self::scrub(&mut self.channel, net, old);
                         self.installed.remove(&old);
                         self.slots_in_use.remove(&old);
-                        Err(UpdateError { error, restore_delay_ms: 0.0 })
+                        Err(UpdateError::Rejected { error, restore_delay_ms: 0.0 })
                     }
                 }
             }
@@ -1026,7 +1146,10 @@ mod tests {
 
         let result = ctl.update(old.id, &catalog::q2_ssh_brute(), &mut net, 12);
         let err = result.expect_err("switch 1 must reject the bigger query at capacity 3");
-        assert!(err.restore_delay_ms > 0.0, "the restore's rule-channel cost must surface");
+        let UpdateError::Rejected { restore_delay_ms, .. } = err else {
+            panic!("expected Rejected, got {err:?}");
+        };
+        assert!(restore_delay_ms > 0.0, "the restore's rule-channel cost must surface");
         assert!(ctl.installed().contains_key(&old.id), "old query must survive the failure");
         assert_eq!(net.total_rules(), baseline_total, "network restored to pre-update state");
         assert_eq!(net.switch(0).total_rule_count(), baseline_sw0);
@@ -1050,6 +1173,96 @@ mod tests {
         let swapped = ctl.update(old.id, &tighter, &mut net, 12).expect("small update fits");
         assert_eq!(swapped.id, old.id, "an update keeps the query's id");
         assert!(ctl.installed().contains_key(&old.id));
+    }
+
+    #[test]
+    fn fifth_install_on_four_slots_errors_and_live_offsets_stay_disjoint() {
+        // The regression: allocate_slot used to fall back to slot 0 when
+        // all slots were occupied, silently aliasing the 5th query's
+        // register ranges onto the 1st's.
+        let mut ctl = controller(); // 4 register slots
+        let mut net = net(3);
+        let queries = catalog::all_queries();
+        let ids: Vec<QueryId> =
+            (0..4).map(|i| ctl.install(&queries[i], &mut net, 12).unwrap().id).collect();
+
+        // §4.1 invariant: the 4 live queries hold pairwise disjoint
+        // register ranges.
+        let offsets: Vec<u32> = ids.iter().map(|&id| ctl.register_offset(id).unwrap()).collect();
+        let slice = ctl.compiler_config().registers_per_array / ctl.register_slots();
+        for (i, &a) in offsets.iter().enumerate() {
+            for &b in &offsets[i + 1..] {
+                assert!(
+                    a.abs_diff(b) >= slice,
+                    "offsets {offsets:?} overlap within a {slice}-register slice"
+                );
+            }
+        }
+
+        let rules_before = net.total_rules();
+        let err = ctl.install(&queries[4], &mut net, 12).expect_err("5th install must not alias");
+        assert_eq!(err, InstallError::SlotsExhausted { slots: 4 });
+        assert_eq!(ctl.installed().len(), 4, "the failed install must not register anything");
+        assert_eq!(net.total_rules(), rules_before, "and must not touch a switch");
+        // The 4 live queries still hold their original offsets.
+        for (&id, &off) in ids.iter().zip(&offsets) {
+            assert_eq!(ctl.register_offset(id), Some(off));
+        }
+
+        // Freeing any slot makes the install go through — on the freed
+        // slot, not slot 0.
+        let freed = ctl.register_slot(ids[2]).unwrap();
+        ctl.remove(ids[2], &mut net).unwrap();
+        let r = ctl.install(&queries[4], &mut net, 12).expect("a freed slot must be reusable");
+        assert_eq!(ctl.register_slot(r.id), Some(freed));
+    }
+
+    #[test]
+    fn updating_an_unknown_id_is_a_structured_error_not_a_slot0_install() {
+        let mut ctl = controller();
+        let mut net = net(2);
+        // Never installed.
+        let err = ctl.update(42, &catalog::q1_new_tcp(), &mut net, 12).unwrap_err();
+        assert_eq!(err, UpdateError::UnknownQuery(42));
+        assert!(ctl.installed().is_empty(), "no phantom install");
+        assert_eq!(net.total_rules(), 0, "no rules reached any switch");
+
+        // Already removed: same contract.
+        let r = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+        ctl.remove(r.id, &mut net).unwrap();
+        let err = ctl.update(r.id, &catalog::q1_new_tcp(), &mut net, 12).unwrap_err();
+        assert_eq!(err, UpdateError::UnknownQuery(r.id));
+        assert_eq!(net.total_rules(), 0);
+    }
+
+    #[test]
+    fn retune_rejects_thresholds_beyond_u32_instead_of_wrapping() {
+        let mut ctl = controller();
+        let mut net = net(2);
+        let r = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+
+        // The exact boundary is representable and must succeed…
+        let receipt = ctl.retune_threshold(r.id, u64::from(u32::MAX), &mut net).unwrap();
+        assert!(receipt.rules >= 1);
+
+        // …one past it used to wrap to threshold 0 (`as u32`); now it is a
+        // structured rejection and the installed artifacts keep the last
+        // good threshold.
+        let err = ctl.retune_threshold(r.id, u64::from(u32::MAX) + 1, &mut net).unwrap_err();
+        assert_eq!(
+            err,
+            RetuneError::ThresholdOutOfRange { requested: u64::from(u32::MAX) + 1, max: u32::MAX }
+        );
+        use newton_dataplane::RAction;
+        let floor = ctl.installed()[&r.id]
+            .slices
+            .iter()
+            .flat_map(|rs| rs.r.iter())
+            .filter(|(_, rule)| rule.actions.contains(&RAction::Report))
+            .map(|(_, rule)| rule.state_match.lo.max(rule.global_match.lo))
+            .max()
+            .expect("q1 has a reporting rule");
+        assert_eq!(floor, u32::MAX, "rejected retune must leave the last good threshold");
     }
 
     #[test]

@@ -20,7 +20,8 @@ pub mod timing;
 
 pub use allocation::{allocate, AllocationPolicy, RegisterSlice};
 pub use controller::{
-    ChannelStats, Controller, InstallReceipt, InstalledQuery, RepairOutcome, UpdateError,
+    ChannelStats, Controller, InstallError, InstallReceipt, InstalledQuery, RepairOutcome,
+    RetuneError, UpdateError,
 };
 pub use placement::{
     place_parts, place_query, reachable_depth, topology_fingerprint, Placement, PlacementTemplate,

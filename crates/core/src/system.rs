@@ -13,7 +13,7 @@
 
 use newton_analyzer::{Analyzer, IncidentLog, OverheadMeter};
 use newton_compiler::CompilerConfig;
-use newton_controller::{Controller, InstallReceipt};
+use newton_controller::{Controller, InstallReceipt, RepairOutcome};
 use newton_dataplane::{BankStats, PipelineConfig, QueryId};
 use newton_net::{LinkKey, LinkLoad, Network, NodeId, Parallelism, Topology};
 use newton_packet::FieldVector;
@@ -178,16 +178,30 @@ impl NewtonSystem {
         Self::with_config(topo, PipelineConfig::default(), CompilerConfig::default(), 12)
     }
 
-    /// Full-control constructor.
+    /// Full-control constructor (8 concurrent-query register slots).
     pub fn with_config(
         topo: Topology,
         pipeline: PipelineConfig,
         compiler: CompilerConfig,
         stages_per_switch: usize,
     ) -> Self {
+        Self::with_config_slots(topo, pipeline, compiler, stages_per_switch, 8)
+    }
+
+    /// [`with_config`](Self::with_config) with an explicit concurrent-query
+    /// slot budget: installs beyond it fail with
+    /// [`InstallError::SlotsExhausted`](newton_controller::InstallError)
+    /// instead of aliasing register ranges.
+    pub fn with_config_slots(
+        topo: Topology,
+        pipeline: PipelineConfig,
+        compiler: CompilerConfig,
+        stages_per_switch: usize,
+        register_slots: u32,
+    ) -> Self {
         NewtonSystem {
             net: Network::new(topo, pipeline),
-            controller: Controller::with_slots(compiler, 0xA11CE, 8),
+            controller: Controller::with_slots(compiler, 0xA11CE, register_slots),
             analyzer: Analyzer::new(),
             mapping: HostMapping::ByAddress,
             stages_per_switch,
@@ -318,7 +332,7 @@ impl NewtonSystem {
     pub fn install(
         &mut self,
         query: &Query,
-    ) -> Result<InstallReceipt, newton_dataplane::SwitchError> {
+    ) -> Result<InstallReceipt, newton_controller::InstallError> {
         let receipt = self.controller.install(query, &mut self.net, self.stages_per_switch)?;
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(Event::Install {
@@ -396,7 +410,11 @@ impl NewtonSystem {
     /// Retune a live query's report threshold in place (a handful of rule
     /// modifications; epoch state survives — see
     /// [`Controller::retune_threshold`]).
-    pub fn retune_threshold(&mut self, id: QueryId, new_threshold: u64) -> Option<InstallReceipt> {
+    pub fn retune_threshold(
+        &mut self,
+        id: QueryId,
+        new_threshold: u64,
+    ) -> Result<InstallReceipt, newton_controller::RetuneError> {
         self.controller.retune_threshold(id, new_threshold, &mut self.net)
     }
 
@@ -835,12 +853,23 @@ impl NewtonSystem {
         if !self.repair_enabled {
             return;
         }
-        let outcome = self.controller.repair(&mut self.net);
+        let outcome = self.repair_pass();
         report.repairs += outcome.repaired.len() as u64;
         report.repair_delay_ms += outcome.delay_ms;
         for _ in 0..outcome.rules_installed {
             meter.message(64);
         }
+    }
+
+    /// One controller repair pass over the live topology, with full
+    /// telemetry and degraded-twin bookkeeping: re-places slices lost to
+    /// switch crashes, journals the span, and swaps software interpreters
+    /// in (or marks them for retirement) for queries the live data plane
+    /// can or cannot execute. Shared by the in-run event path
+    /// ([`apply_dynamics`](Self::apply_dynamics)) and the live service path
+    /// ([`repair_now`](Self::repair_now)).
+    fn repair_pass(&mut self) -> RepairOutcome {
+        let outcome = self.controller.repair(&mut self.net);
         if let Some(rec) = self.recorder.as_mut() {
             // `repaired`/`degraded` come out sorted (the repair pass walks
             // query ids in order), so the span is canonical as-is.
@@ -872,6 +901,37 @@ impl NewtonSystem {
                 }
             }
         }
+        outcome
+    }
+
+    /// Apply one network dynamic **now** — the live service path (no open
+    /// trace run): `newtond` routes operator-injected failures/restores
+    /// through here. State loss is journaled exactly as a scheduled event
+    /// would be; the caller decides whether to follow with
+    /// [`repair_now`](Self::repair_now).
+    pub fn inject_event(&mut self, event: newton_net::NetworkEvent) -> newton_net::AdvanceOutcome {
+        let mut once = newton_net::EventSchedule::new().at(0, event);
+        let adv = once.advance_network(u64::MAX, &mut self.net);
+        if adv.state_loss > 0 {
+            if let Some(rec) = self.recorder.as_mut() {
+                rec.record(Event::StateLoss {
+                    epoch: self.current_epoch,
+                    switches: adv.state_loss,
+                });
+            }
+        }
+        adv
+    }
+
+    /// Run a controller repair pass **now** — the live service twin of the
+    /// in-run repair triggered by scheduled events. Journals the repair
+    /// span and maintains the degraded-query software twins. Note the live
+    /// path caveat: software twins only observe traffic inside a
+    /// subsequent `run_*` call, and `begin_run` re-derives nothing — a
+    /// failure left standing across runs should be repaired (or scheduled
+    /// as an in-run event) before the next run starts.
+    pub fn repair_now(&mut self) -> RepairOutcome {
+        self.repair_pass()
     }
 
     /// Probe-and-finalize the current epoch without resetting state.

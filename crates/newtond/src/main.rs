@@ -1,0 +1,191 @@
+//! The `newtond` binary: serve a resident Newton controller, or talk to
+//! one (`--client`).
+//!
+//! Serve (default): bind a socket, own a live system, accept intents.
+//!
+//! ```text
+//! newtond --listen 127.0.0.1:0 --port-file /tmp/newtond.port \
+//!         --topology fat_tree:4 --slots 4
+//! ```
+//!
+//! Client mode: one command per invocation against a running daemon.
+//!
+//! ```text
+//! newtond --client 127.0.0.1:7424 install scan \
+//!         'filter(proto == 6) | map(sip) | reduce(sip, count) | where >= 30'
+//! newtond --client 127.0.0.1:7424 list
+//! newtond --client 127.0.0.1:7424 shutdown
+//! ```
+
+use newtond::json::Value;
+use newtond::{Client, Daemon, DaemonConfig};
+use std::process::ExitCode;
+use std::time::Duration;
+
+const USAGE: &str = "\
+newtond — the Newton controller as a resident service
+
+Serve:
+  newtond [--listen ADDR] [--port-file PATH] [--topology chain:N|fat_tree:K]
+          [--slots N] [--stages N] [--epoch-ms N]
+
+Client:
+  newtond --client ADDR COMMAND [ARGS..]
+
+Client commands:
+  ping                          liveness probe
+  install NAME INTENT           compile + install a textual intent
+  update ID NAME INTENT         replace a live query in place
+  remove ID                     remove a live query
+  retune ID THRESHOLD           move a report threshold in place
+  list                          live queries and their register slots
+  fail-switch S | restore-switch S
+  repair                        run a repair pass now
+  run [SEGMENTS]                replay the workload stream
+  report                        last run's summary
+  subscribe [COUNT]             stream journal events (default 10)
+  shutdown                      stop the daemon";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        println!("{USAGE}");
+        return ExitCode::SUCCESS;
+    }
+    let result = if let Some(pos) = args.iter().position(|a| a == "--client") {
+        client_main(&args[pos + 1..])
+    } else {
+        serve_main(&args)
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("newtond: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn parse_topology(spec: &str) -> Result<newton::net::Topology, String> {
+    let (kind, n) = spec.split_once(':').ok_or("topology must be chain:N or fat_tree:K")?;
+    let n: usize = n.parse().map_err(|_| format!("bad topology size {n:?}"))?;
+    match kind {
+        "chain" => Ok(newton::net::Topology::chain(n)),
+        "fat_tree" => Ok(newton::net::Topology::fat_tree(n)),
+        other => Err(format!("unknown topology {other:?}")),
+    }
+}
+
+fn serve_main(args: &[String]) -> Result<(), String> {
+    let mut cfg = DaemonConfig::default();
+    let mut listen = "127.0.0.1:7424".to_string();
+    let mut port_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next().map(String::as_str).ok_or(format!("{name} needs a value")).map(str::to_string)
+        };
+        match flag.as_str() {
+            "--listen" => listen = value("--listen")?,
+            "--port-file" => port_file = Some(value("--port-file")?),
+            "--topology" => cfg.topology = parse_topology(&value("--topology")?)?,
+            "--slots" => {
+                cfg.register_slots =
+                    value("--slots")?.parse().map_err(|_| "--slots wants a u32")?;
+            }
+            "--stages" => {
+                cfg.stages_per_switch =
+                    value("--stages")?.parse().map_err(|_| "--stages wants a usize")?;
+            }
+            "--epoch-ms" => {
+                cfg.epoch_ms =
+                    value("--epoch-ms")?.parse().map_err(|_| "--epoch-ms wants a u64")?;
+            }
+            other => return Err(format!("unknown flag {other:?} (see --help)")),
+        }
+    }
+
+    let daemon = Daemon::start(cfg, &listen).map_err(|e| format!("bind {listen}: {e}"))?;
+    let addr = daemon.addr();
+    if let Some(path) = port_file {
+        // Write-then-rename so pollers never read a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, format!("{addr}\n")).map_err(|e| format!("write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("rename to {path}: {e}"))?;
+    }
+    println!("newtond listening on {addr}");
+    daemon.join();
+    println!("newtond stopped");
+    Ok(())
+}
+
+fn client_main(args: &[String]) -> Result<(), String> {
+    let [addr, command, rest @ ..] = args else {
+        return Err("usage: newtond --client ADDR COMMAND [ARGS..] (see --help)".into());
+    };
+    let mut client = Client::connect(addr, Duration::from_secs(30))
+        .map_err(|e| format!("connect {addr}: {e}"))?;
+    let arg = |i: usize, what: &str| -> Result<&str, String> {
+        rest.get(i).map(String::as_str).ok_or(format!("{command} needs {what}"))
+    };
+    let id_arg = |i: usize| -> Result<u32, String> {
+        arg(i, "a query id")?.parse().map_err(|_| "query id must be a u32".to_string())
+    };
+    let print = |v: Value| {
+        println!("{v}");
+        Ok(())
+    };
+    let fail = |e: newtond::ClientError| e.to_string();
+    match command.as_str() {
+        "ping" => client.ping().map_err(fail).and_then(|()| print(Value::Bool(true))),
+        "install" => {
+            client.install(arg(0, "NAME")?, arg(1, "INTENT")?).map_err(fail).and_then(print)
+        }
+        "update" => client
+            .update(id_arg(0)?, arg(1, "NAME")?, arg(2, "INTENT")?)
+            .map_err(fail)
+            .and_then(print),
+        "remove" => client.remove(id_arg(0)?).map_err(fail).and_then(print),
+        "retune" => {
+            let threshold: u64 =
+                arg(1, "THRESHOLD")?.parse().map_err(|_| "threshold must be a u64".to_string())?;
+            client.retune(id_arg(0)?, threshold).map_err(fail).and_then(print)
+        }
+        "list" => client.list().map_err(fail).and_then(print),
+        "fail-switch" => {
+            let s: usize =
+                arg(0, "S")?.parse().map_err(|_| "switch must be an index".to_string())?;
+            client.fail_switch(s).map_err(fail).and_then(print)
+        }
+        "restore-switch" => {
+            let s: usize =
+                arg(0, "S")?.parse().map_err(|_| "switch must be an index".to_string())?;
+            client.restore_switch(s).map_err(fail).and_then(print)
+        }
+        "repair" => client.repair().map_err(fail).and_then(print),
+        "run" => {
+            let segments = match rest.first() {
+                Some(n) => Some(n.parse().map_err(|_| "segments must be a u64".to_string())?),
+                None => None,
+            };
+            client.run(segments, None).map_err(fail).and_then(print)
+        }
+        "report" => client.report().map_err(fail).and_then(print),
+        "subscribe" => {
+            let count: usize = match rest.first() {
+                Some(n) => n.parse().map_err(|_| "count must be a usize".to_string())?,
+                None => 10,
+            };
+            let mut sub = client.subscribe().map_err(fail)?;
+            for _ in 0..count {
+                match sub.next_event().map_err(fail)? {
+                    Some(event) => println!("{event}"),
+                    None => break,
+                }
+            }
+            Ok(())
+        }
+        "shutdown" => client.shutdown().map_err(fail).and_then(|()| print(Value::Bool(true))),
+        other => Err(format!("unknown client command {other:?} (see --help)")),
+    }
+}

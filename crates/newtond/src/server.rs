@@ -1,0 +1,478 @@
+//! The resident controller service.
+//!
+//! One **core thread** owns the [`NewtonSystem`] and serializes every
+//! operation; one **acceptor thread** takes TCP connections and spawns a
+//! thread per client. Connection threads never touch the system: they
+//! decode request lines, forward them over an mpsc channel, and write
+//! back whatever line the core sends — so N concurrent clients get
+//! interleaving at request granularity, never mid-pipeline (the
+//! compile → place → install transaction stays atomic per request).
+//!
+//! Subscribers are connection threads that traded their request loop for
+//! a one-way stream: the core pushes every new telemetry journal event to
+//! them as it is recorded (installs, removes, repairs, state loss, epoch
+//! summaries during `run`). The journal is flushed incrementally and
+//! truncated once drained, so a long-lived daemon holds O(subscriber
+//! backlog) telemetry, not O(lifetime).
+
+use crate::proto::{self, ErrorKind, Op, Request};
+use crate::{json, json::Value};
+use newton::compiler::CompilerConfig;
+use newton::controller::{InstallError, InstallReceipt, RepairOutcome, RetuneError, UpdateError};
+use newton::dataplane::PipelineConfig;
+use newton::net::Topology;
+use newton::query::{parse_query, validate};
+use newton::telemetry::QueryId;
+use newton::trace::{ReplayOptions, StreamConfig};
+use newton::{NewtonSystem, RunReport};
+use std::io::{self, BufRead, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+
+/// Journal events kept buffered after the last subscriber flush before
+/// the core truncates the journal (bounds daemon memory on long
+/// lifetimes).
+const JOURNAL_TRUNCATE_AT: usize = 4096;
+
+/// Everything the daemon needs to build and drive its system.
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    pub topology: Topology,
+    /// Concurrent-query register slots (§4.1): the N+1th install fails
+    /// with a structured `slots_exhausted` error.
+    pub register_slots: u32,
+    pub stages_per_switch: usize,
+    /// Epoch window for `run` replays.
+    pub epoch_ms: u64,
+    /// The workload template `run` replays (bounded-memory streaming;
+    /// `segments`/`seed` are overridable per request).
+    pub workload: StreamConfig,
+    pub replay: ReplayOptions,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        DaemonConfig {
+            topology: Topology::chain(4),
+            register_slots: 8,
+            stages_per_switch: 12,
+            epoch_ms: 100,
+            workload: StreamConfig::default(),
+            replay: ReplayOptions::default(),
+        }
+    }
+}
+
+/// One in-flight client request, as the core thread sees it.
+enum Cmd {
+    Request {
+        req: Request,
+        /// Where the response line goes (the connection's outbox).
+        reply: Sender<String>,
+        /// Present on `subscribe`: the same outbox, to be retained by the
+        /// core as a journal stream sink.
+        stream: Option<Sender<String>>,
+        /// Present on `shutdown`: fires once the connection thread has
+        /// flushed the response to the socket, so the core does not tear
+        /// the process down underneath the final write.
+        fence: Option<Receiver<()>>,
+    },
+}
+
+/// A running daemon. Dropping the handle does NOT stop it; send a
+/// `shutdown` request (or use [`Client::shutdown`](crate::Client)) and
+/// then [`join`](Daemon::join).
+pub struct Daemon {
+    addr: SocketAddr,
+    core: JoinHandle<()>,
+    acceptor: JoinHandle<()>,
+}
+
+impl Daemon {
+    /// Bind `addr` (use port 0 for an OS-assigned port) and start serving.
+    pub fn start(cfg: DaemonConfig, addr: &str) -> io::Result<Daemon> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        let stopping = Arc::new(AtomicBool::new(false));
+        let (tx, rx) = channel::<Cmd>();
+
+        let core = {
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new()
+                .name("newtond-core".into())
+                .spawn(move || core_loop(cfg, rx, stopping, addr))?
+        };
+        let acceptor = {
+            let stopping = Arc::clone(&stopping);
+            thread::Builder::new().name("newtond-accept".into()).spawn(move || {
+                for conn in listener.incoming() {
+                    if stopping.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let Ok(sock) = conn else { continue };
+                    let tx = tx.clone();
+                    let _ = thread::Builder::new()
+                        .name("newtond-conn".into())
+                        .spawn(move || serve_connection(sock, tx));
+                }
+            })?
+        };
+        Ok(Daemon { addr, core, acceptor })
+    }
+
+    /// The bound address (read the OS-assigned port here).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Wait for the daemon to stop (it stops on a `shutdown` request).
+    pub fn join(self) {
+        let _ = self.core.join();
+        let _ = self.acceptor.join();
+    }
+}
+
+/// Per-connection loop: decode lines, round-trip them through the core.
+/// On `subscribe` the same outbox channel becomes the event stream and
+/// this thread degenerates into a forwarding pump.
+fn serve_connection(sock: TcpStream, tx: Sender<Cmd>) {
+    let Ok(read_half) = sock.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = BufWriter::new(sock);
+    let (outbox, inbox) = channel::<String>();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        let req = match proto::parse_request(trimmed) {
+            Ok(req) => req,
+            Err(bad) => {
+                let resp = proto::err_line(bad.id, ErrorKind::BadRequest, &bad.detail);
+                if write_line(&mut writer, &resp).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let subscribing = req.op == Op::Subscribe;
+        let mut fence_tx = None;
+        let fence = (req.op == Op::Shutdown).then(|| {
+            let (ftx, frx) = channel::<()>();
+            fence_tx = Some(ftx);
+            frx
+        });
+        let cmd = Cmd::Request {
+            req,
+            reply: outbox.clone(),
+            stream: subscribing.then(|| outbox.clone()),
+            fence,
+        };
+        if tx.send(cmd).is_err() {
+            return; // daemon stopping
+        }
+        let Ok(resp) = inbox.recv() else { return };
+        if write_line(&mut writer, &resp).is_err() {
+            return;
+        }
+        if let Some(ftx) = fence_tx {
+            let _ = ftx.send(());
+            return; // daemon is coming down
+        }
+        if subscribing {
+            // One-way from here: forward journal events until the core
+            // drops our sender (shutdown) or the client disconnects. Our
+            // own outbox handle must go first, or recv() never
+            // disconnects — the core's retained clone is the only sender
+            // that should keep the stream open.
+            drop(outbox);
+            while let Ok(event_line) = inbox.recv() {
+                if write_line(&mut writer, &event_line).is_err() {
+                    return;
+                }
+            }
+            return;
+        }
+    }
+}
+
+fn write_line(w: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
+    w.write_all(line.as_bytes())?;
+    w.write_all(b"\n")?;
+    w.flush()
+}
+
+/// The state the core thread threads through requests.
+struct Core {
+    sys: NewtonSystem,
+    cfg: DaemonConfig,
+    /// Journal index of the first event not yet pushed to subscribers.
+    flushed: usize,
+    subscribers: Vec<Sender<String>>,
+    last_report: Option<RunReport>,
+    runs: u64,
+}
+
+fn core_loop(cfg: DaemonConfig, rx: Receiver<Cmd>, stopping: Arc<AtomicBool>, addr: SocketAddr) {
+    let mut sys = NewtonSystem::with_config_slots(
+        cfg.topology.clone(),
+        PipelineConfig::default(),
+        CompilerConfig::default(),
+        cfg.stages_per_switch,
+        cfg.register_slots,
+    );
+    sys.enable_recorder();
+    let mut core =
+        Core { sys, cfg, flushed: 0, subscribers: Vec::new(), last_report: None, runs: 0 };
+
+    while let Ok(Cmd::Request { req, reply, stream, fence }) = rx.recv() {
+        let shutdown = req.op == Op::Shutdown;
+        let resp = match req.op {
+            Op::Subscribe => {
+                if let Some(sink) = stream {
+                    core.subscribers.push(sink);
+                }
+                proto::ok_line(req.id, json::obj(vec![("subscribed", Value::Bool(true))]))
+            }
+            _ => match handle(&mut core, &req.op) {
+                Ok(result) => proto::ok_line(req.id, result),
+                Err((kind, detail)) => proto::err_line(req.id, kind, &detail),
+            },
+        };
+        let _ = reply.send(resp);
+        flush_journal(&mut core);
+        if shutdown {
+            // Wait (bounded) for the requester's connection thread to
+            // flush the acknowledgement before tearing everything down.
+            if let Some(fence) = fence {
+                let _ = fence.recv_timeout(std::time::Duration::from_secs(5));
+            }
+            break;
+        }
+    }
+
+    // Closing the subscriber senders ends every stream connection; the
+    // dummy connect unblocks the acceptor so it can observe the flag.
+    stopping.store(true, Ordering::SeqCst);
+    core.subscribers.clear();
+    let _ = TcpStream::connect(addr);
+}
+
+/// Push journal events recorded since the last flush to every subscriber,
+/// dropping subscribers whose connection has gone away, then truncate the
+/// journal once the backlog exceeds [`JOURNAL_TRUNCATE_AT`].
+fn flush_journal(core: &mut Core) {
+    let Some(rec) = core.sys.recorder() else { return };
+    let events = rec.journal.events();
+    if core.flushed < events.len() {
+        let lines: Vec<String> =
+            events[core.flushed..].iter().map(|e| proto::stream_line(&e.to_json())).collect();
+        core.flushed = events.len();
+        core.subscribers.retain(|sub| lines.iter().all(|l| sub.send(l.clone()).is_ok()));
+    }
+    if core.flushed >= JOURNAL_TRUNCATE_AT {
+        core.sys.enable_recorder().journal.clear();
+        core.flushed = 0;
+    }
+}
+
+type OpError = (ErrorKind, String);
+
+fn handle(core: &mut Core, op: &Op) -> Result<Value, OpError> {
+    match op {
+        Op::Ping => Ok(json::obj(vec![("pong", Value::Bool(true))])),
+        Op::Install { name, intent } => {
+            let query = compile_intent(name, intent)?;
+            let receipt = core.sys.install(&query).map_err(install_error)?;
+            Ok(receipt_result(core, &receipt, name))
+        }
+        Op::Update { query: id, name, intent } => {
+            let query = compile_intent(name, intent)?;
+            let receipt = core.sys.update(*id, &query).map_err(update_error)?;
+            Ok(receipt_result(core, &receipt, name))
+        }
+        Op::Remove { query: id } => {
+            let receipt = core
+                .sys
+                .remove(*id)
+                .ok_or_else(|| (ErrorKind::UnknownQuery, format!("query {id} is not installed")))?;
+            Ok(json::obj(vec![
+                ("query", json::num(receipt.id)),
+                ("rules", json::num(receipt.rules as f64)),
+                ("switches", json::num(receipt.switches as f64)),
+                ("delay_ms", json::num(receipt.delay_ms)),
+            ]))
+        }
+        Op::Retune { query: id, threshold } => {
+            let receipt = core.sys.retune_threshold(*id, *threshold).map_err(|e| match e {
+                RetuneError::UnknownQuery(_) => (ErrorKind::UnknownQuery, e.to_string()),
+                RetuneError::ThresholdOutOfRange { .. } => {
+                    (ErrorKind::ThresholdOutOfRange, e.to_string())
+                }
+            })?;
+            Ok(json::obj(vec![
+                ("query", json::num(receipt.id)),
+                ("rules", json::num(receipt.rules as f64)),
+                ("delay_ms", json::num(receipt.delay_ms)),
+            ]))
+        }
+        Op::List => Ok(list_result(core)),
+        Op::Inject { event } => {
+            let outcome = core.sys.inject_event(*event);
+            Ok(json::obj(vec![
+                ("fired", json::num(outcome.fired as f64)),
+                ("state_loss", json::num(outcome.state_loss as f64)),
+            ]))
+        }
+        Op::Repair => {
+            let outcome = core.sys.repair_now();
+            Ok(repair_result(&outcome))
+        }
+        Op::Run { segments, seed } => {
+            let mut workload = core.cfg.workload.clone();
+            if let Some(n) = segments {
+                workload.segments = *n;
+            }
+            // Unseeded runs draw fresh (but reproducible) traffic: the
+            // run ordinal perturbs the template seed.
+            workload.seed = seed.unwrap_or(workload.seed.wrapping_add(core.runs));
+            let epoch_ms = core.cfg.epoch_ms;
+            let replay = core.cfg.replay;
+            let report = core.sys.run_stream(&workload, epoch_ms, &replay);
+            core.runs += 1;
+            let result = report_result(&report, core.runs - 1);
+            core.last_report = Some(report);
+            Ok(result)
+        }
+        Op::Report => {
+            let report = core
+                .last_report
+                .as_ref()
+                .ok_or_else(|| (ErrorKind::Unavailable, "no run has completed yet".to_string()))?;
+            Ok(report_result(report, core.runs.saturating_sub(1)))
+        }
+        Op::Shutdown => Ok(json::obj(vec![("stopping", Value::Bool(true))])),
+        // Subscribe is intercepted by the core loop (it needs the sink).
+        Op::Subscribe => unreachable!("subscribe handled by the core loop"),
+    }
+}
+
+/// Textual intent → validated [`Query`](newton::query::ast::Query).
+fn compile_intent(name: &str, intent: &str) -> Result<newton::query::Query, OpError> {
+    let query = parse_query(name, intent).map_err(|e| (ErrorKind::Parse, e.to_string()))?;
+    let problems = validate(&query);
+    if !problems.is_empty() {
+        let detail = problems.iter().map(ToString::to_string).collect::<Vec<_>>().join("; ");
+        return Err((ErrorKind::Validate, detail));
+    }
+    Ok(query)
+}
+
+fn install_error(e: InstallError) -> OpError {
+    match e {
+        InstallError::SlotsExhausted { .. } => (ErrorKind::SlotsExhausted, e.to_string()),
+        InstallError::Switch(_) => (ErrorKind::Switch, e.to_string()),
+    }
+}
+
+fn update_error(e: UpdateError) -> OpError {
+    match e {
+        UpdateError::UnknownQuery(_) => (ErrorKind::UnknownQuery, e.to_string()),
+        UpdateError::Rejected { .. } => (ErrorKind::Rejected, e.to_string()),
+    }
+}
+
+fn receipt_result(core: &Core, receipt: &InstallReceipt, name: &str) -> Value {
+    json::obj(vec![
+        ("query", json::num(receipt.id)),
+        ("name", json::str(name)),
+        ("slot", slot_num(core, receipt.id, |s, id| s.register_slot(id))),
+        ("offset", slot_num(core, receipt.id, |s, id| s.register_offset(id))),
+        ("rules", json::num(receipt.rules as f64)),
+        ("switches", json::num(receipt.switches as f64)),
+        ("slices", json::num(receipt.slices as f64)),
+        ("overflow_slices", json::num(receipt.overflow_slices as f64)),
+        ("diff", Value::Bool(receipt.diff)),
+        ("delay_ms", json::num(receipt.delay_ms)),
+        ("software", Value::Bool(core.sys.runs_in_software(receipt.id))),
+    ])
+}
+
+fn slot_num(
+    core: &Core,
+    id: QueryId,
+    read: impl Fn(&newton::controller::Controller, QueryId) -> Option<u32>,
+) -> Value {
+    read(core.sys.controller(), id).map_or(Value::Null, json::num)
+}
+
+fn list_result(core: &Core) -> Value {
+    let controller = core.sys.controller();
+    let mut ids: Vec<QueryId> = controller.installed().keys().copied().collect();
+    ids.sort_unstable();
+    let queries = ids
+        .into_iter()
+        .map(|id| {
+            let iq = &controller.installed()[&id];
+            json::obj(vec![
+                ("query", json::num(id)),
+                ("name", json::str(iq.query.name.as_str())),
+                ("slot", slot_num(core, id, |c, id| c.register_slot(id))),
+                ("offset", slot_num(core, id, |c, id| c.register_offset(id))),
+                ("slices", json::num(iq.slices.len() as f64)),
+                ("software", Value::Bool(core.sys.runs_in_software(id))),
+            ])
+        })
+        .collect();
+    json::obj(vec![
+        ("slots", json::num(controller.register_slots())),
+        ("in_use", json::num(controller.installed().len() as f64)),
+        ("queries", Value::Arr(queries)),
+    ])
+}
+
+fn repair_result(outcome: &RepairOutcome) -> Value {
+    let ids = |ids: &[QueryId]| Value::Arr(ids.iter().map(|&id| json::num(id)).collect());
+    json::obj(vec![
+        ("examined", json::num(outcome.examined as f64)),
+        ("repaired", ids(&outcome.repaired)),
+        ("degraded", ids(&outcome.degraded)),
+        ("rules_installed", json::num(outcome.rules_installed as f64)),
+        ("switches_touched", json::num(outcome.switches_touched as f64)),
+        ("delay_ms", json::num(outcome.delay_ms)),
+    ])
+}
+
+fn report_result(report: &RunReport, run: u64) -> Value {
+    let mut reported: Vec<(QueryId, usize)> =
+        report.reported.iter().map(|(&id, keys)| (id, keys.len())).collect();
+    reported.sort_unstable();
+    let reported = reported
+        .into_iter()
+        .map(|(id, keys)| {
+            json::obj(vec![("query", json::num(id)), ("keys", json::num(keys as f64))])
+        })
+        .collect();
+    json::obj(vec![
+        ("run", json::num(run as f64)),
+        ("packets", json::num(report.packets as f64)),
+        ("messages", json::num(report.messages as f64)),
+        ("overhead_ratio", json::num(report.overhead_ratio())),
+        ("epochs", json::num(report.epoch_count as f64)),
+        ("unrouted", json::num(report.unrouted as f64)),
+        ("repairs", json::num(report.repairs as f64)),
+        ("repair_delay_ms", json::num(report.repair_delay_ms)),
+        ("degraded_query_epochs", json::num(report.degraded_query_epochs as f64)),
+        ("state_loss_events", json::num(report.state_loss_events as f64)),
+        ("reported", Value::Arr(reported)),
+    ])
+}

@@ -1,0 +1,201 @@
+//! End-to-end daemon test: boot `newtond`, drive it exactly as an
+//! operator would — textual intents over the socket — then break the
+//! network and watch the repair surface on a subscription stream.
+
+use newtond::json::Value;
+use newtond::{Client, Daemon, DaemonConfig, ErrorKind};
+use std::time::Duration;
+
+/// The examples/text_intents.rs suite, sent over the wire this time.
+const INTENTS: [(&str, &str); 3] = [
+    (
+        "web_conn_burst",
+        "filter(proto == 6) | filter(tcp.flags == 2) | map(dip) \
+         | reduce(dip, count) | where >= 40",
+    ),
+    (
+        "port_scanners",
+        "filter(proto == 6) | filter(tcp.flags == 2) | map(sip, dport) \
+         | distinct(sip, dport) | map(sip) | reduce(sip, count) | where >= 30",
+    ),
+    ("jumbo_senders", "map(sip) | reduce(sip, max(len)) | where >= 1200"),
+];
+
+const TIMEOUT: Duration = Duration::from_secs(60);
+
+fn test_daemon() -> Daemon {
+    let cfg = DaemonConfig {
+        topology: newton::net::Topology::chain(4),
+        register_slots: 4,
+        workload: newton::trace::StreamConfig {
+            segments: 2,
+            segment: newton::trace::background::TraceConfig {
+                packets: 4_000,
+                duration_ms: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    Daemon::start(cfg, "127.0.0.1:0").expect("bind an ephemeral port")
+}
+
+fn u64_field(v: &Value, key: &str) -> u64 {
+    v.get(key).and_then(Value::as_u64).unwrap_or_else(|| panic!("missing u64 {key:?} in {v}"))
+}
+
+#[test]
+fn daemon_serves_intents_failures_and_reports_over_the_socket() {
+    let daemon = test_daemon();
+    let addr = daemon.addr().to_string();
+    let mut ctl = Client::connect(&addr, TIMEOUT).expect("connect");
+    ctl.ping().expect("ping");
+
+    // Install the textual-intent suite over the wire; every install lands
+    // in its own register slot with pairwise-distinct offsets.
+    let mut ids = Vec::new();
+    let mut slots = Vec::new();
+    for (name, intent) in INTENTS {
+        let r = ctl.install(name, intent).expect("install over the socket");
+        ids.push(u64_field(&r, "query") as u32);
+        slots.push((u64_field(&r, "slot"), u64_field(&r, "offset")));
+    }
+    let fourth =
+        ctl.install("busy_dsts", "map(dip) | reduce(dip, count) | where >= 1000").expect("4th");
+    slots.push((u64_field(&fourth, "slot"), u64_field(&fourth, "offset")));
+    for (i, a) in slots.iter().enumerate() {
+        for b in &slots[i + 1..] {
+            assert_ne!(a.0, b.0, "register slots must be disjoint across live queries");
+            assert_ne!(a.1, b.1, "register offsets must be disjoint across live queries");
+        }
+    }
+
+    // The 5th install must round-trip the allocator error as a structured
+    // response — the daemon stays up, nothing panics.
+    let err = ctl
+        .install("one_too_many", "map(sip) | reduce(sip, count) | where >= 10")
+        .expect_err("5th install on 4 slots");
+    assert!(err.is_kind(ErrorKind::SlotsExhausted), "got {err}");
+    ctl.ping().expect("daemon alive after a rejected install");
+
+    // Broken intents are rejected at the right layer.
+    let err = ctl.install("broken", "scan(everything!!)").expect_err("parse error");
+    assert!(err.is_kind(ErrorKind::Parse), "got {err}");
+    let err = ctl
+        .install("invalid", "filter(proto == 999) | map(sip) | reduce(sip, count) | where >= 1")
+        .expect_err("validation error");
+    assert!(err.is_kind(ErrorKind::Validate), "got {err}");
+    let err = ctl.retune(9999, 10).expect_err("retune of an unknown id");
+    assert!(err.is_kind(ErrorKind::UnknownQuery), "got {err}");
+    let err =
+        ctl.retune(ids[0], u64::from(u32::MAX) + 1).expect_err("retune beyond the register range");
+    assert!(err.is_kind(ErrorKind::ThresholdOutOfRange), "got {err}");
+    ctl.retune(ids[0], 35).expect("an in-range retune still lands");
+
+    // Removing a query frees its slot for the next install.
+    let freed = slots[1];
+    ctl.remove(ids[1]).expect("remove");
+    let again =
+        ctl.install("retry", "map(sip) | reduce(sip, count) | where >= 10").expect("freed slot");
+    assert_eq!(
+        (u64_field(&again, "slot"), u64_field(&again, "offset")),
+        freed,
+        "the freed slot is the one reused"
+    );
+
+    // Second connection: a journal subscriber (sees events from here on).
+    let mut sub = Client::connect(&addr, TIMEOUT)
+        .expect("subscriber connect")
+        .subscribe()
+        .expect("subscribe");
+
+    // Fail an edge switch: placement starts at the edges, so it holds
+    // rules and the crash is a state-loss event; restore + repair then
+    // re-places the lost slices. Both surface on the stream.
+    let outcome = ctl.fail_switch(0).expect("inject failure");
+    assert_eq!(u64_field(&outcome, "fired"), 1);
+    assert_eq!(u64_field(&outcome, "state_loss"), 1, "edge switch held rules");
+    let loss = sub
+        .wait_for(|e| e.get("type").and_then(Value::as_str) == Some("state_loss"))
+        .expect("stream readable")
+        .expect("stream still open");
+    assert!(u64_field(&loss, "switches") >= 1);
+
+    ctl.restore_switch(0).expect("restore (blank)");
+    let repair = ctl.repair().expect("repair pass");
+    assert_eq!(u64_field(&repair, "examined"), 4, "all live queries examined");
+    assert!(
+        !repair.get("repaired").unwrap().as_array().unwrap().is_empty(),
+        "the blank switch got its slices back: {repair}"
+    );
+    let streamed = sub
+        .wait_for(|e| e.get("type").and_then(Value::as_str) == Some("repair"))
+        .expect("stream readable")
+        .expect("stream still open");
+    assert!(!streamed.get("repaired").unwrap().as_array().unwrap().is_empty());
+
+    // Replay the workload and fetch the summary back.
+    let run = ctl.run(None, Some(0x5EED)).expect("run");
+    assert!(u64_field(&run, "packets") > 0);
+    assert!(u64_field(&run, "epochs") >= 1);
+    let report = ctl.report().expect("report");
+    assert_eq!(u64_field(&report, "packets"), u64_field(&run, "packets"));
+    assert_eq!(u64_field(&report, "messages"), u64_field(&run, "messages"));
+
+    // Concurrent clients: each gets coherent responses on its own
+    // connection while the main one keeps working.
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let addr = addr.clone();
+            std::thread::spawn(move || {
+                let mut c = Client::connect(&addr, TIMEOUT).expect("worker connect");
+                for _ in 0..10 {
+                    let list = c.list().expect("list");
+                    assert_eq!(u64_field(&list, "slots"), 4);
+                    assert_eq!(u64_field(&list, "in_use"), 4);
+                    c.ping().expect("ping");
+                }
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker clean");
+    }
+
+    // Clean shutdown: the subscription stream ends, the daemon joins.
+    ctl.shutdown().expect("shutdown acknowledged");
+    while let Some(_event) = sub.next_event().expect("stream drains") {}
+    daemon.join();
+}
+
+#[test]
+fn update_round_trips_structured_errors_and_keeps_ids_stable() {
+    let daemon = test_daemon();
+    let addr = daemon.addr().to_string();
+    let mut ctl = Client::connect(&addr, TIMEOUT).expect("connect");
+
+    let err = ctl
+        .update(7, "ghost", "map(sip) | reduce(sip, count) | where >= 5")
+        .expect_err("updating a never-installed id");
+    assert!(err.is_kind(ErrorKind::UnknownQuery), "got {err}");
+
+    let installed = ctl.install(INTENTS[0].0, INTENTS[0].1).expect("install");
+    let id = u64_field(&installed, "query") as u32;
+    let updated =
+        ctl.update(id, "web_conn_burst_v2", INTENTS[1].1).expect("in-place update over the socket");
+    assert_eq!(u64_field(&updated, "query"), u64::from(id), "update keeps the id");
+    assert_eq!(
+        u64_field(&updated, "slot"),
+        u64_field(&installed, "slot"),
+        "update keeps the register slot"
+    );
+
+    let list = ctl.list().expect("list");
+    let queries = list.get("queries").unwrap().as_array().unwrap();
+    assert_eq!(queries.len(), 1);
+    assert_eq!(queries[0].get("name").unwrap().as_str(), Some("web_conn_burst_v2"));
+
+    ctl.shutdown().expect("shutdown");
+    daemon.join();
+}

@@ -126,6 +126,19 @@ pub enum Event {
     PacketTrace { index: u64, switch: NodeId, traces: Vec<String> },
 }
 
+impl Event {
+    /// One event as a single JSON object — the same bytes
+    /// [`Journal::to_jsonl`] would emit for it (fixed key order, shortest
+    /// round-trip floats). Lets streaming consumers (`newtond`
+    /// subscribers) forward events one at a time without re-serializing
+    /// the whole journal.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        write_event_json(&mut out, self);
+        out
+    }
+}
+
 /// A telemetry sink. Instrumentation sites guard event construction with
 /// `if T::ENABLED { ... }`; [`NoopSink`] sets the flag to `false` so the
 /// whole branch — including event construction — compiles away.

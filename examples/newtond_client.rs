@@ -1,0 +1,93 @@
+//! An operator session against a resident `newtond` daemon.
+//!
+//! Boots the daemon in-process on an ephemeral port (exactly what the
+//! `newtond` binary does behind `--listen 127.0.0.1:0`), then speaks the
+//! socket protocol like an operator console would: install intents,
+//! inspect the slot inventory, break a switch and watch the repair on a
+//! subscription stream, replay traffic, and read the report back.
+//!
+//! Run with: `cargo run --release --example newtond_client`
+
+use newtond::json::Value;
+use newtond::{Client, Daemon, DaemonConfig, ErrorKind};
+use std::time::Duration;
+
+fn main() {
+    let topology = newton::net::Topology::fat_tree(4);
+    let edge = topology.edge_switches()[0];
+    let cfg = DaemonConfig {
+        topology,
+        register_slots: 4,
+        workload: newton::trace::StreamConfig {
+            segments: 4,
+            segment: newton::trace::TraceConfig {
+                packets: 20_000,
+                duration_ms: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        ..Default::default()
+    };
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind an ephemeral port");
+    let addr = daemon.addr().to_string();
+    println!("daemon up on {addr}\n");
+
+    let timeout = Duration::from_secs(30);
+    let mut ctl = Client::connect(&addr, timeout).expect("connect");
+
+    // A second connection watches the telemetry journal live.
+    let mut sub = Client::connect(&addr, timeout)
+        .expect("subscriber connect")
+        .subscribe()
+        .expect("subscribe");
+
+    println!("== install intents over the socket");
+    for (name, intent) in [
+        (
+            "web_conn_burst",
+            "filter(proto == 6) | filter(tcp.flags == 2) | map(dip) \
+             | reduce(dip, count) | where >= 40",
+        ),
+        (
+            "port_scanners",
+            "filter(proto == 6) | filter(tcp.flags == 2) | map(sip, dport) \
+             | distinct(sip, dport) | map(sip) | reduce(sip, count) | where >= 30",
+        ),
+        ("jumbo_senders", "map(sip) | reduce(sip, max(len)) | where >= 1200"),
+        ("busy_dsts", "map(dip) | reduce(dip, count) | where >= 1000"),
+    ] {
+        let r = ctl.install(name, intent).expect("install");
+        println!("  {r}");
+    }
+
+    println!("\n== the 5th intent finds every register slot taken");
+    let err = ctl
+        .install("one_too_many", "map(sip) | reduce(sip, count) | where >= 10")
+        .expect_err("slots are full");
+    assert!(err.is_kind(ErrorKind::SlotsExhausted));
+    println!("  rejected: {err}");
+
+    println!("\n== live inventory");
+    println!("  {}", ctl.list().expect("list"));
+
+    println!("\n== fail edge switch {edge}, restore it blank, repair");
+    println!("  inject: {}", ctl.fail_switch(edge).expect("fail"));
+    println!("  restore: {}", ctl.restore_switch(edge).expect("restore"));
+    println!("  repair: {}", ctl.repair().expect("repair"));
+    let repair_event = sub
+        .wait_for(|e| e.get("type").and_then(Value::as_str) == Some("repair"))
+        .expect("stream readable")
+        .expect("stream open");
+    println!("  streamed to subscriber: {repair_event}");
+
+    println!("\n== replay the workload and read the report back");
+    let run = ctl.run(None, Some(0xD05)).expect("run");
+    println!("  run: {run}");
+    let report = ctl.report().expect("report");
+    assert_eq!(report.get("packets"), run.get("packets"));
+
+    ctl.shutdown().expect("shutdown");
+    daemon.join();
+    println!("\ndaemon stopped cleanly");
+}

@@ -1,0 +1,73 @@
+#!/usr/bin/env bash
+# Smoke-test the resident controller end to end, as CI's newtond-smoke
+# job: boot the release daemon on an ephemeral port, drive it through an
+# operator round trip with the --client CLI (ping → install → list →
+# run → report → shutdown), and require a clean daemon exit. Every step
+# runs under a timeout so a wedged daemon fails the job instead of
+# hanging it.
+set -euo pipefail
+
+STEP_TIMEOUT="${STEP_TIMEOUT:-60}"
+BOOT_TIMEOUT="${BOOT_TIMEOUT:-30}"
+WORKDIR="$(mktemp -d)"
+PORT_FILE="$WORKDIR/port"
+DAEMON_LOG="$WORKDIR/daemon.log"
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+cargo build --release -p newtond
+
+BIN=target/release/newtond
+"$BIN" --listen 127.0.0.1:0 --port-file "$PORT_FILE" \
+    --topology chain:4 --slots 4 >"$DAEMON_LOG" 2>&1 &
+DAEMON_PID=$!
+
+# Wait for the port file (written atomically once the socket is bound).
+for _ in $(seq 1 $((BOOT_TIMEOUT * 10))); do
+    [ -s "$PORT_FILE" ] && break
+    kill -0 "$DAEMON_PID" 2>/dev/null || {
+        echo "daemon died during boot:"
+        cat "$DAEMON_LOG"
+        exit 1
+    }
+    sleep 0.1
+done
+[ -s "$PORT_FILE" ] || { echo "daemon never wrote $PORT_FILE"; exit 1; }
+ADDR="$(cat "$PORT_FILE")"
+echo "daemon up on $ADDR (pid $DAEMON_PID)"
+
+client() {
+    timeout "$STEP_TIMEOUT" "$BIN" --client "$ADDR" "$@"
+}
+
+client ping
+INSTALL_OUT="$(client install smoke_scan \
+    'filter(proto == 6) | filter(tcp.flags == 2) | map(dip) | reduce(dip, count) | where >= 40')"
+echo "install: $INSTALL_OUT"
+grep -q '"slot":' <<<"$INSTALL_OUT" || { echo "install lost its slot"; exit 1; }
+
+LIST_OUT="$(client list)"
+echo "list: $LIST_OUT"
+grep -q '"in_use":1' <<<"$LIST_OUT" || { echo "inventory disagrees"; exit 1; }
+
+RUN_OUT="$(client run 2)"
+echo "run: $RUN_OUT"
+grep -q '"packets":' <<<"$RUN_OUT" || { echo "run returned no packet count"; exit 1; }
+
+REPORT_OUT="$(client report)"
+echo "report: $REPORT_OUT"
+PACKETS="$(sed -n 's/.*"packets":\([0-9]*\).*/\1/p' <<<"$RUN_OUT")"
+grep -q "\"packets\":$PACKETS" <<<"$REPORT_OUT" || {
+    echo "report does not match the run it summarizes"
+    exit 1
+}
+
+client shutdown
+
+# The daemon must exit on its own after shutdown.
+if ! timeout "$STEP_TIMEOUT" tail --pid="$DAEMON_PID" -f /dev/null; then
+    echo "daemon still running after shutdown:"
+    cat "$DAEMON_LOG"
+    exit 1
+fi
+wait "$DAEMON_PID" || { echo "daemon exited non-zero"; cat "$DAEMON_LOG"; exit 1; }
+echo "newtond smoke OK"

@@ -74,8 +74,39 @@ fn retuning_a_merged_query_moves_the_global_threshold() {
 }
 
 #[test]
-fn retuning_unknown_query_is_none() {
+fn retuning_unknown_query_is_a_structured_error() {
     let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
     let mut ctl = Controller::new(CompilerConfig::default(), 73);
-    assert!(ctl.retune_threshold(99, 5, &mut net).is_none());
+    assert_eq!(
+        ctl.retune_threshold(99, 5, &mut net),
+        Err(newton::controller::RetuneError::UnknownQuery(99))
+    );
+}
+
+#[test]
+fn retuning_beyond_u32_is_rejected_at_the_boundary() {
+    // The silent-wrap regression: `as u32` used to turn u32::MAX + 1 into
+    // threshold 0, reporting every key. The boundary itself must work,
+    // one past it must be a structured rejection that changes nothing.
+    let mut net = Network::new(Topology::chain(2), PipelineConfig::default());
+    let mut ctl = Controller::new(CompilerConfig::default(), 74);
+    let receipt = ctl.install(&catalog::q1_new_tcp(), &mut net, 12).unwrap();
+
+    assert!(ctl.retune_threshold(receipt.id, u64::from(u32::MAX), &mut net).is_ok());
+    let err = ctl.retune_threshold(receipt.id, u64::from(u32::MAX) + 1, &mut net).unwrap_err();
+    assert_eq!(
+        err,
+        newton::controller::RetuneError::ThresholdOutOfRange {
+            requested: u64::from(u32::MAX) + 1,
+            max: u32::MAX,
+        }
+    );
+
+    // With the threshold pinned at the ceiling, a small burst must NOT
+    // report — under the wrap bug (threshold 0) every SYN reported.
+    let mut reports = 0;
+    for i in 0..25 {
+        reports += net.deliver(&syn(i, 0xAC10_0099), 0, 1).reports.len();
+    }
+    assert_eq!(reports, 0, "a u32::MAX threshold never fires on 25 SYNs");
 }

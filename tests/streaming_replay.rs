@@ -150,6 +150,75 @@ fn streamed_equals_materialized_under_failures() {
     }
 }
 
+/// Soak-horizon equivalence: a 16-segment stream (64 000 packets, 40
+/// epochs) with THREE full fail/repair cycles spread across it — two
+/// victims, overlapping mid-stream — must stay byte-identical to the
+/// materialized run at every thread count and pool shape tried. This is
+/// the long-haul version of `streamed_equals_materialized_under_failures`:
+/// repeated repair passes, re-placed slices, and degraded/healed churn
+/// accumulate journal state for hundreds of events, so any drift between
+/// the streamed and materialized drivers compounds and gets caught.
+#[test]
+fn soak_stream_with_repeated_failures_matches_materialized_across_threads() {
+    let cfg = StreamConfig {
+        seed: 0x50AC,
+        segments: 16,
+        segment: TraceConfig {
+            packets: 4_000,
+            flows: 300,
+            duration_ms: 50,
+            ..TraceConfig::default()
+        },
+        pulses: vec![
+            PulseSpec { kind: AttackKind::PortScan, intensity: 150, period: 3, phase: 0 },
+            PulseSpec { kind: AttackKind::CompletedConns, intensity: 10, period: 4, phase: 2 },
+        ],
+    };
+    // Three crash/reboot cycles over the 800 ms stream, on two different
+    // edge switches; the second victim's outage overlaps a pulse segment.
+    let edges = Topology::fat_tree(4).edge_switches().to_vec();
+    let (a, b) = (edges[0], edges[1]);
+    let schedule = move || {
+        EventSchedule::new()
+            .at(70_000_001, NetworkEvent::FailSwitch { s: a })
+            .at(150_000_000, NetworkEvent::RestoreSwitch { s: a })
+            .at(310_000_003, NetworkEvent::FailSwitch { s: b })
+            .at(420_000_000, NetworkEvent::RestoreSwitch { s: b })
+            .at(585_000_007, NetworkEvent::FailSwitch { s: a })
+            .at(730_000_000, NetworkEvent::RestoreSwitch { s: a })
+    };
+
+    let (base_report, base_journal) = run_materialized(&cfg, 1, Some(schedule()));
+    assert_eq!(base_report.epoch_count, 40, "16 × 50 ms over 20 ms epochs");
+    assert!(
+        base_report.state_loss_events >= 3,
+        "every crash destroys rules: {}",
+        base_report.state_loss_events
+    );
+    assert!(base_report.repairs >= 3, "every cycle repairs: {}", base_report.repairs);
+    assert!(base_journal.matches("\"type\":\"repair\"").count() >= 3);
+
+    for threads in [1usize, 4] {
+        let (mr, mj) = run_materialized(&cfg, threads, Some(schedule()));
+        assert_eq!(mr, base_report, "soak materialized report diverged at {threads} threads");
+        assert_eq!(mj, base_journal, "soak materialized journal diverged at {threads} threads");
+        for opts in [
+            ReplayOptions { producers: 0, queue_depth: 1 },
+            ReplayOptions { producers: 2, queue_depth: 3 },
+        ] {
+            let (sr, sj) = run_streamed(&cfg, threads, &opts, Some(schedule()));
+            assert_eq!(
+                sr, base_report,
+                "soak streamed report diverged: threads={threads} opts={opts:?}"
+            );
+            assert_eq!(
+                sj, base_journal,
+                "soak streamed journal diverged: threads={threads} opts={opts:?}"
+            );
+        }
+    }
+}
+
 #[test]
 fn epoch_retention_keeps_the_tail_and_counts_every_epoch() {
     let cfg = stream_cfg();
