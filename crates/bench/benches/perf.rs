@@ -41,7 +41,8 @@ use std::time::Instant;
 
 use newton::compiler::{compile, CompilerConfig};
 use newton::dataplane::{BatchOutput, PipelineConfig, Switch, DEFAULT_BATCH_LANES};
-use newton::net::{effective_parallelism, Network, NodeId, Topology};
+use newton::metrics::MetricsRegistry;
+use newton::net::{effective_parallelism, Network, NodeId, PoolMetrics, Topology};
 use newton::packet::{Packet, SnapshotHeader};
 use newton::query::catalog;
 use newton::telemetry::{NoopSink, Recorder};
@@ -261,6 +262,37 @@ fn main() {
         );
         scaling.push(ScalingEntry { threads, rate, oversubscribed });
     }
+    // --- Metrics-enabled delivery: the same executor with a live
+    // `PoolMetrics` attached. The handles are relaxed atomics updated once
+    // per *batch* (never per packet), so the rate must stay within 2% of
+    // the plain executor at the same thread count (smoke: 15%) — the
+    // "observability is free enough to leave on" contract.
+    let metrics_threads =
+        counts.iter().filter(|&&(_, over)| !over).map(|&(t, _)| t).max().unwrap_or(1);
+    let measure_with_metrics = || {
+        let (mut net, _) = q19_network();
+        let registry = MetricsRegistry::new();
+        net.set_metrics(Some(PoolMetrics::register(&registry)));
+        let out = best_rate(triples.len(), delivery_reps, || {
+            net.deliver_batch_parallel(&triples, metrics_threads).reports.len()
+        });
+        (out, registry)
+    };
+    let ((metrics_rate, metrics_reports), metrics_registry) = measure_with_metrics();
+    assert_eq!(
+        metrics_reports, batch_reports,
+        "metrics-observed delivery must emit equal report counts"
+    );
+    if metrics_threads > 1 {
+        // threads <= 1 short-circuits to the sequential walk, which the
+        // executor profile (and thus the metrics family) documents as
+        // unobserved; with real workers the counters must have moved.
+        assert!(
+            metrics_registry.value("executor_batches_total").unwrap_or(0) > 0,
+            "PoolMetrics must observe executor batches during the measurement"
+        );
+    }
+
     // `None` when every measured thread count oversubscribes the machine
     // (only possible via a NEWTON_BENCH_THREADS override) — the headline
     // parallel speedup is then meaningless and its bar is skipped.
@@ -315,6 +347,11 @@ fn main() {
         };
         rows.push(vec![label, fmt_rate(e.rate), format!("{:.2}x", e.rate / batch_rate)]);
     }
+    rows.push(vec![
+        format!("deliver_batch_parallel ({metrics_threads}t, metrics on)"),
+        fmt_rate(metrics_rate),
+        format!("{:.2}x", metrics_rate / batch_rate),
+    ]);
     print_table(
         "Pipeline & delivery throughput (Q1–Q9 workload)",
         &["Path", "Throughput", "Speedup"],
@@ -395,6 +432,32 @@ fn main() {
         batch_ratio >= batch_floor,
         "acceptance: the batched pipeline at {DEFAULT_BATCH_LANES} lanes must not \
          regress below {batch_floor}x the per-packet path (got {batch_ratio:.3}x)"
+    );
+    // Metrics-overhead gate: attaching a registry must not slow the
+    // executor measurably. Same re-measure-once discipline as the other
+    // wall-clock gates — only a reproducible gap fails the job.
+    let metrics_floor = if smoke { 0.85 } else { 0.98 };
+    let metrics_base = scaling
+        .iter()
+        .find(|e| e.threads == metrics_threads)
+        .map(|e| e.rate)
+        .expect("metrics_threads comes from the measured set");
+    let mut metrics_ratio = metrics_rate / metrics_base;
+    if metrics_ratio < metrics_floor {
+        println!(
+            "note: metrics gate at {metrics_ratio:.3}x on first measurement, re-measuring once"
+        );
+        let (mut net, _) = q19_network();
+        let (base2, _) = best_rate(triples.len(), delivery_reps, || {
+            net.deliver_batch_parallel(&triples, metrics_threads).reports.len()
+        });
+        let ((m2, _), _) = measure_with_metrics();
+        metrics_ratio = metrics_ratio.max(m2 / base2);
+    }
+    assert!(
+        metrics_ratio >= metrics_floor,
+        "acceptance: the metrics-observed executor must stay within 2% of the plain \
+         executor (smoke: 15%) — got {metrics_ratio:.3}x"
     );
     // The 1-worker parallel path dispatches to the plain per-packet walk
     // (`deliver_batch_sequential`), not the batch engine: on one core the
@@ -548,6 +611,9 @@ fn main() {
          callers actually get\",\n  \
          \"delivery_parallel_pkts_per_sec\": {par_rate_json},\n  \
          \"delivery_parallel_speedup\": {par_speedup_json},\n  \
+         \"pipeline_metrics_pkts_per_sec\": {metrics_rate:.0},\n  \
+         \"pipeline_metrics_threads\": {metrics_threads},\n  \
+         \"pipeline_metrics_ratio_vs_plain\": {metrics_ratio:.3},\n  \
          \"peak_rss_bytes\": {},\n  \
          \"benched_on_cores\": {cores}{scaling_note_json},\n  \
          \"thread_scaling\": [\n{scaling_json}\n  ]\n}}\n",

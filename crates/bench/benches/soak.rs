@@ -36,8 +36,13 @@
 //! re-measures both sides once before failing, like every other smoke
 //! gate.
 
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
+use newton::compiler::CompilerConfig;
+use newton::dataplane::PipelineConfig;
+use newton::metrics::MetricsRegistry;
 use newton::net::Topology;
 use newton::query::catalog;
 use newton::trace::stream::{PulseSpec, ReplayOptions, StreamConfig};
@@ -79,25 +84,59 @@ fn soak_cfg(segments: u64) -> StreamConfig {
 
 /// Fat-tree with the full Q1–Q9 catalog installed and a bounded epoch
 /// window — the same shape a long-lived monitoring deployment would run.
+/// The slot budget is sized to the catalog: the default 8 concurrent-query
+/// slots would reject the ninth install with `SlotsExhausted`.
 fn soak_system() -> NewtonSystem {
-    let mut sys = NewtonSystem::new(Topology::fat_tree(4));
-    for q in catalog::all_queries() {
-        sys.install(&q).unwrap();
+    let queries = catalog::all_queries();
+    let mut sys = NewtonSystem::with_config_slots(
+        Topology::fat_tree(4),
+        PipelineConfig::default(),
+        CompilerConfig::default(),
+        12,
+        queries.len() as u32,
+    );
+    for q in &queries {
+        sys.install(q).unwrap();
     }
     sys.set_epoch_retention(Some(EPOCH_RETENTION));
     sys
 }
 
 /// One streamed soak run: returns (packets/sec over actual delivered
-/// packets, report). Single-pass timing — a soak *is* one long pass; the
-/// rate gate re-measures before failing instead.
-fn run_streamed(segments: u64, opts: &ReplayOptions) -> (f64, RunReport) {
+/// packets, report, live metrics registry). Single-pass timing — a soak
+/// *is* one long pass; the rate gate re-measures before failing instead.
+///
+/// A live [`MetricsRegistry`] rides along: the replay's recycle/stall
+/// counters register through the system, and a poller thread samples the
+/// process high-water mark into `process_peak_rss_bytes` *during* the
+/// run — the live max-tracked gauge a resident deployment would scrape,
+/// rather than one end-of-run read.
+fn run_streamed(segments: u64, opts: &ReplayOptions) -> (f64, RunReport, MetricsRegistry) {
     let cfg = soak_cfg(segments);
     let mut sys = soak_system();
+    let registry = MetricsRegistry::new();
+    sys.enable_metrics(&registry);
+    let rss = registry
+        .max_gauge("process_peak_rss_bytes", "Peak resident set size sampled during the run");
+    let stop = Arc::new(AtomicBool::new(false));
+    let poller = {
+        let stop = Arc::clone(&stop);
+        let rss = rss.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                rss.observe(newton::metrics::peak_rss_bytes());
+                std::thread::sleep(Duration::from_millis(50));
+            }
+        })
+    };
     let start = Instant::now();
     let report = sys.run_stream(&cfg, EPOCH_MS, opts);
     let rate = report.packets as f64 / start.elapsed().as_secs_f64();
-    (rate, report)
+    stop.store(true, Ordering::Relaxed);
+    let _ = poller.join();
+    // One final sample so a run shorter than the poll period still lands.
+    rss.observe(newton::metrics::peak_rss_bytes());
+    (rate, report, registry)
 }
 
 /// The materialized sequential-delivery baseline: the same packets the
@@ -162,7 +201,7 @@ fn fmt_mib(b: u64) -> String {
 
 /// Merge the soak keys into `BENCH_perf.json` if `--bench perf` wrote it
 /// (insert before the final brace), else write a standalone object.
-fn write_json(packets: u64, rate: f64, hwm: u64, small_hwm: u64, seq: f64) {
+fn write_json(packets: u64, rate: f64, hwm: u64, small_hwm: u64, seq: f64, recycle_rate: f64) {
     let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_perf.json");
     let keys = format!(
         "  \"soak_workload\": \"Q1-Q9 network-wide, streamed {SEGMENT_PACKETS}-packet/\
@@ -170,8 +209,11 @@ fn write_json(packets: u64, rate: f64, hwm: u64, small_hwm: u64, seq: f64) {
          \"soak_packets\": {packets},\n  \
          \"soak_pkts_per_sec\": {rate:.0},\n  \
          \"soak_peak_rss_bytes\": {hwm},\n  \
+         \"soak_rss_note\": \"process_peak_rss_bytes gauge, polled every 50ms during the \
+         run (not a single end-of-run read)\",\n  \
          \"soak_small_run_rss_bytes\": {small_hwm},\n  \
          \"soak_rss_ratio\": {:.3},\n  \
+         \"soak_recycle_hit_rate\": {recycle_rate:.4},\n  \
          \"soak_delivery_sequential_pkts_per_sec\": {seq:.0},\n  \
          \"soak_vs_sequential\": {:.3}\n",
         hwm as f64 / small_hwm as f64,
@@ -212,14 +254,30 @@ fn main() {
     // VmHWM is monotone, so run small-before-big (and both before the
     // baseline materializes anything): any growth the big run shows over
     // the small one is genuinely the big run's doing.
-    let (small_rate, small_report) = run_streamed(small_segments, &opts);
+    let (small_rate, small_report, small_metrics) = run_streamed(small_segments, &opts);
     check_report(&small_report, &soak_cfg(small_segments), "small run");
-    let small_hwm = peak_rss_bytes().expect("soak requires /proc/self/status (Linux)");
+    peak_rss_bytes().expect("soak requires /proc/self/status (Linux)");
+    let small_hwm = small_metrics
+        .value("process_peak_rss_bytes")
+        .filter(|&b| b > 0)
+        .expect("the RSS poller sampled the small run");
 
-    let (mut rate, report) = run_streamed(big_segments, &opts);
+    let (mut rate, report, metrics) = run_streamed(big_segments, &opts);
     check_report(&report, &soak_cfg(big_segments), "full run");
-    let hwm = peak_rss_bytes().expect("soak requires /proc/self/status (Linux)");
+    let hwm = metrics
+        .value("process_peak_rss_bytes")
+        .filter(|&b| b > 0)
+        .expect("the RSS poller sampled the full run");
     let rss_ratio = hwm as f64 / small_hwm as f64;
+    // Buffer-recycle effectiveness of the full run's replay: in steady
+    // state nearly every segment buffer should come back from the pool.
+    let recycle_hits = metrics.value("stream_recycle_hits_total").unwrap_or(0);
+    let recycle_misses = metrics.value("stream_recycle_misses_total").unwrap_or(0);
+    let recycle_rate = if recycle_hits + recycle_misses == 0 {
+        0.0
+    } else {
+        recycle_hits as f64 / (recycle_hits + recycle_misses) as f64
+    };
 
     print_table(
         &format!("Streaming soak (Q1-Q9, {} packets)", report.packets),
@@ -235,9 +293,11 @@ fn main() {
         ],
     );
     println!(
-        "epochs: {} counted, {} held (retention {EPOCH_RETENTION}); rss ratio {rss_ratio:.3}",
+        "epochs: {} counted, {} held (retention {EPOCH_RETENTION}); rss ratio {rss_ratio:.3}; \
+         buffer recycle {:.1}% ({recycle_hits} hits / {recycle_misses} misses)",
         report.epoch_count,
         report.epochs.len(),
+        recycle_rate * 100.0,
     );
 
     // Gate 1: bounded memory. A longer trace may not move the high-water
@@ -263,7 +323,7 @@ fn main() {
     if ratio < 0.85 {
         println!("note: rate gate at {ratio:.3}x on first measurement, re-measuring once");
         if smoke {
-            let (rate2, _) = run_streamed(big_segments, &opts);
+            let (rate2, _, _) = run_streamed(big_segments, &opts);
             rate = rate.max(rate2);
         }
         seq = seq.min(sequential_delivery_rate(seq_passes));
@@ -284,5 +344,5 @@ fn main() {
         println!("\nsmoke mode: soak gates passed, skipping BENCH_perf.json");
         return;
     }
-    write_json(report.packets, rate, hwm, small_hwm, seq);
+    write_json(report.packets, rate, hwm, small_hwm, seq, recycle_rate);
 }

@@ -83,13 +83,15 @@ pub fn graded_syn_workload(hosts: u32, max_conns: u32, seed: u64) -> Vec<Packet>
 
 /// The process's peak resident set size in bytes (Linux `VmHWM` from
 /// `/proc/self/status`), or `None` where that interface doesn't exist.
-/// Benches report this as JSON `null` rather than guessing.
+/// Benches report this as JSON `null` rather than guessing. One shared
+/// reader lives in `newton-metrics` (the daemon polls it into a live
+/// `process_peak_rss_bytes` gauge; the soak bench does the same during
+/// runs); this wrapper only adds the `Option` for JSON `null`.
 pub fn peak_rss_bytes() -> Option<u64> {
-    let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    // Format: `VmHWM:     12345 kB`.
-    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
-    Some(kb * 1024)
+    match newton::metrics::peak_rss_bytes() {
+        0 => None,
+        b => Some(b),
+    }
 }
 
 /// [`peak_rss_bytes`] rendered for hand-rolled JSON: the number, or

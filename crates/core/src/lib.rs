@@ -51,6 +51,7 @@ pub use newton_baselines as baselines;
 pub use newton_compiler as compiler;
 pub use newton_controller as controller;
 pub use newton_dataplane as dataplane;
+pub use newton_metrics as metrics;
 pub use newton_net as net;
 pub use newton_packet as packet;
 pub use newton_query as query;

@@ -15,7 +15,8 @@ use newton_analyzer::{Analyzer, IncidentLog, OverheadMeter};
 use newton_compiler::CompilerConfig;
 use newton_controller::{Controller, InstallReceipt, RepairOutcome};
 use newton_dataplane::{BankStats, PipelineConfig, QueryId};
-use newton_net::{LinkKey, LinkLoad, Network, NodeId, Parallelism, Topology};
+use newton_metrics::{Counter, Histogram, MetricsRegistry};
+use newton_net::{LinkKey, LinkLoad, Network, NodeId, Parallelism, PoolMetrics, Topology};
 use newton_packet::FieldVector;
 use newton_packet::Packet;
 use newton_query::ast::Primitive;
@@ -23,7 +24,7 @@ use newton_query::{Interpreter, Query};
 use newton_sketch::hash::mix64;
 use newton_sketch::{FastMap, FastSet};
 use newton_telemetry::{Event, Recorder, Telemetry};
-use newton_trace::stream::{ReplayOptions, StreamConfig, StreamReplay};
+use newton_trace::stream::{ReplayOptions, StreamConfig, StreamMetrics, StreamReplay};
 use newton_trace::Trace;
 use std::collections::HashMap;
 
@@ -128,6 +129,77 @@ struct RunCursor {
     ordinal: u64,
 }
 
+/// Live operational metrics of the control path, registered under one
+/// [`MetricsRegistry`] by [`NewtonSystem::enable_metrics`].
+///
+/// Two flavours of instrument live here. The `controller_*_ns` histograms
+/// time real wall clock around each control-plane operation — data that is
+/// nondeterministic by nature and therefore lives strictly outside the
+/// telemetry journal (the journal byte-identity tests pin that metrics
+/// on/off changes nothing the journal records). The `compile_cache_*` and
+/// `channel_*` counters mirror the controller's own cumulative stats
+/// structs ([`Controller::cache_stats`], [`Controller::channel_stats`])
+/// into the registry via [`Counter::store_total`] after every operation,
+/// so a scrape always sees the same totals the structs would report.
+struct SystemMetrics {
+    registry: MetricsRegistry,
+    install_ns: Histogram,
+    update_ns: Histogram,
+    remove_ns: Histogram,
+    retune_ns: Histogram,
+    repair_ns: Histogram,
+    cache_hits: Counter,
+    cache_misses: Counter,
+    channel_rules_installed: Counter,
+    channel_rules_removed: Counter,
+    channel_rules_modified: Counter,
+    channel_messages: Counter,
+    channel_bytes: Counter,
+}
+
+impl SystemMetrics {
+    fn register(reg: &MetricsRegistry) -> Self {
+        SystemMetrics {
+            registry: reg.clone(),
+            install_ns: reg
+                .histogram("controller_install_ns", "Wall-clock nanoseconds per query install"),
+            update_ns: reg
+                .histogram("controller_update_ns", "Wall-clock nanoseconds per in-place update"),
+            remove_ns: reg
+                .histogram("controller_remove_ns", "Wall-clock nanoseconds per query removal"),
+            retune_ns: reg
+                .histogram("controller_retune_ns", "Wall-clock nanoseconds per threshold retune"),
+            repair_ns: reg
+                .histogram("controller_repair_ns", "Wall-clock nanoseconds per repair pass"),
+            cache_hits: reg.counter("compile_cache_hits_total", "Compilation-cache lookups served"),
+            cache_misses: reg
+                .counter("compile_cache_misses_total", "Compilation-cache lookups compiled fresh"),
+            channel_rules_installed: reg
+                .counter("channel_rules_installed_total", "Rules shipped over the rule channel"),
+            channel_rules_removed: reg
+                .counter("channel_rules_removed_total", "Rule removals over the rule channel"),
+            channel_rules_modified: reg
+                .counter("channel_rules_modified_total", "In-place rule edits over the channel"),
+            channel_messages: reg
+                .counter("channel_messages_total", "Per-switch rule-channel batches issued"),
+            channel_bytes: reg.counter("channel_bytes_total", "Modelled rule-channel bytes"),
+        }
+    }
+
+    /// Mirror the controller's cumulative stats into the registry.
+    fn sync_controller(&self, controller: &Controller) {
+        let cache = controller.cache_stats();
+        self.cache_hits.store_total(cache.hits);
+        self.cache_misses.store_total(cache.misses);
+        let ch = controller.channel_stats();
+        self.channel_rules_installed.store_total(ch.rules_installed);
+        self.channel_rules_removed.store_total(ch.rules_removed);
+        self.channel_rules_modified.store_total(ch.rules_modified);
+        self.channel_messages.store_total(ch.messages);
+        self.channel_bytes.store_total(ch.bytes);
+    }
+}
+
 /// The full Newton stack: network + controller + analyzer.
 pub struct NewtonSystem {
     net: Network,
@@ -166,6 +238,9 @@ pub struct NewtonSystem {
     /// Capacity high-water mark of the per-slice delivery batch, carried
     /// across slices so streamed segments reuse one steady allocation.
     batch_hint: usize,
+    /// Live operational metrics (`None`, the default, costs nothing on any
+    /// path; see [`NewtonSystem::enable_metrics`]).
+    metrics: Option<SystemMetrics>,
 }
 
 /// Epoch batches below this size run sequentially even when more threads
@@ -217,7 +292,28 @@ impl NewtonSystem {
             current_epoch: 0,
             epoch_retention: None,
             batch_hint: 0,
+            metrics: None,
         }
+    }
+
+    /// Attach a live [`MetricsRegistry`]: control-plane operations time
+    /// themselves into `controller_*_ns` histograms, the executor pool
+    /// feeds the `executor_*` family, streamed replays feed `stream_*`,
+    /// and the controller's cache/channel stats mirror into counters.
+    ///
+    /// Metrics are wall-clock observations and therefore live strictly
+    /// outside the telemetry journal: enabling them never changes a byte
+    /// of what the [`Recorder`] journals (test-pinned). With no registry
+    /// attached every instrument is a no-op handle — one pointer test on
+    /// the slow (per-op, per-batch) paths, nothing on the per-packet path.
+    pub fn enable_metrics(&mut self, registry: &MetricsRegistry) {
+        self.net.set_metrics(Some(PoolMetrics::register(registry)));
+        self.metrics = Some(SystemMetrics::register(registry));
+    }
+
+    /// The attached metrics registry, if any.
+    pub fn metrics_registry(&self) -> Option<&MetricsRegistry> {
+        self.metrics.as_ref().map(|m| &m.registry)
     }
 
     /// Attach (or fetch) the telemetry recorder: subsequent installs,
@@ -333,7 +429,15 @@ impl NewtonSystem {
         &mut self,
         query: &Query,
     ) -> Result<InstallReceipt, newton_controller::InstallError> {
-        let receipt = self.controller.install(query, &mut self.net, self.stages_per_switch)?;
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let result = self.controller.install(query, &mut self.net, self.stages_per_switch);
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            // Failed installs are timed too: a scrape should see the cost
+            // of rejected work, not only the happy path.
+            m.install_ns.observe(t.elapsed().as_nanos() as u64);
+            m.sync_controller(&self.controller);
+        }
+        let receipt = result?;
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(Event::Install {
                 epoch: self.current_epoch,
@@ -361,7 +465,12 @@ impl NewtonSystem {
     pub fn remove(&mut self, id: QueryId) -> Option<InstallReceipt> {
         self.analyzer.unregister(id);
         self.software_fallback.remove(&id);
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let receipt = self.controller.remove(id, &mut self.net);
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            m.remove_ns.observe(t.elapsed().as_nanos() as u64);
+            m.sync_controller(&self.controller);
+        }
         if let (Some(r), Some(rec)) = (&receipt, self.recorder.as_mut()) {
             rec.record(Event::Remove {
                 epoch: self.current_epoch,
@@ -384,7 +493,13 @@ impl NewtonSystem {
         id: QueryId,
         query: &Query,
     ) -> Result<InstallReceipt, newton_controller::UpdateError> {
-        let receipt = self.controller.update(id, query, &mut self.net, self.stages_per_switch)?;
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let result = self.controller.update(id, query, &mut self.net, self.stages_per_switch);
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            m.update_ns.observe(t.elapsed().as_nanos() as u64);
+            m.sync_controller(&self.controller);
+        }
+        let receipt = result?;
         if let Some(rec) = self.recorder.as_mut() {
             rec.record(Event::Update {
                 epoch: self.current_epoch,
@@ -415,7 +530,13 @@ impl NewtonSystem {
         id: QueryId,
         new_threshold: u64,
     ) -> Result<InstallReceipt, newton_controller::RetuneError> {
-        self.controller.retune_threshold(id, new_threshold, &mut self.net)
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
+        let result = self.controller.retune_threshold(id, new_threshold, &mut self.net);
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            m.retune_ns.observe(t.elapsed().as_nanos() as u64);
+            m.sync_controller(&self.controller);
+        }
+        result
     }
 
     /// Whether a query fell back to software execution.
@@ -511,7 +632,19 @@ impl NewtonSystem {
         events: &mut newton_net::EventSchedule,
     ) -> RunReport {
         let mut cur = self.begin_run(epoch_ms);
-        let mut replay = StreamReplay::start(cfg.clone(), opts);
+        // With a registry attached the replay reports lane occupancy,
+        // backpressure stalls, and buffer-recycle hit rates; the packets
+        // it yields are byte-identical either way.
+        let stream_metrics = match self.metrics.as_ref() {
+            Some(m) => {
+                // Same lane count `start_observed` derives, so the gauge
+                // family matches the pool exactly (0 lanes = inline mode).
+                let lanes = opts.producers.min(cfg.segments as usize);
+                StreamMetrics::register(&m.registry, lanes)
+            }
+            None => StreamMetrics::default(),
+        };
+        let mut replay = StreamReplay::start_observed(cfg.clone(), opts, stream_metrics);
         while let Some(seg) = replay.next_segment() {
             self.ingest_slice(seg.packets(), &mut cur, events);
             replay.recycle(seg);
@@ -869,7 +1002,12 @@ impl NewtonSystem {
     /// ([`apply_dynamics`](Self::apply_dynamics)) and the live service path
     /// ([`repair_now`](Self::repair_now)).
     fn repair_pass(&mut self) -> RepairOutcome {
+        let start = self.metrics.as_ref().map(|_| std::time::Instant::now());
         let outcome = self.controller.repair(&mut self.net);
+        if let (Some(m), Some(t)) = (self.metrics.as_ref(), start) {
+            m.repair_ns.observe(t.elapsed().as_nanos() as u64);
+            m.sync_controller(&self.controller);
+        }
         if let Some(rec) = self.recorder.as_mut() {
             // `repaired`/`degraded` come out sorted (the repair pass walks
             // query ids in order), so the span is canonical as-is.

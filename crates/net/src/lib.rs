@@ -16,7 +16,7 @@ pub mod sim;
 pub mod topology;
 
 pub use events::{AdvanceOutcome, EventSchedule, NetworkEvent};
-pub use parallel::{effective_parallelism, Parallelism, WorkerPool};
+pub use parallel::{effective_parallelism, Parallelism, PoolMetrics, WorkerPool};
 pub use routing::{EcmpMode, PathTable, RouteScratch, Router, ShardScratch};
 pub use sim::{BatchDelivery, DeliveryResult, LinkKey, LinkLoad, Network};
 pub use topology::{NodeId, Topology};

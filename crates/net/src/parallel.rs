@@ -82,6 +82,7 @@ use crate::routing::PathTable;
 use crate::sim::LinkKey;
 use crate::topology::NodeId;
 use newton_dataplane::{BatchOutput, Report, Switch};
+use newton_metrics::{Counter, MaxGauge, MetricsRegistry};
 use newton_packet::{Packet, SnapshotHeader, SP_HEADER_LEN};
 use newton_telemetry::{NoopSink, Profile};
 use std::any::Any;
@@ -130,6 +131,61 @@ impl Default for Parallelism {
     /// One worker per available core.
     fn default() -> Self {
         Self::new(effective_parallelism())
+    }
+}
+
+/// Live executor metrics: the registry-backed twin of the accumulated
+/// [`Profile`]. Updated once per executed batch from the same per-worker
+/// outputs the profile merges, so the two views always agree; the
+/// difference is lifetime — the profile is drained per run
+/// ([`Network::take_parallel_profile`](crate::Network::take_parallel_profile)),
+/// these counters accumulate for the registry's lifetime and are readable
+/// mid-run from other threads.
+#[derive(Debug, Clone, Default)]
+pub struct PoolMetrics {
+    pub batches: Counter,
+    pub hops: Counter,
+    pub busy_ns: Counter,
+    pub spins: Counter,
+    pub yields: Counter,
+    pub sleeps: Counter,
+    pub max_queue_depth: MaxGauge,
+}
+
+impl PoolMetrics {
+    /// Register the executor metric family under `executor_*`.
+    pub fn register(reg: &MetricsRegistry) -> PoolMetrics {
+        PoolMetrics {
+            batches: reg.counter("executor_batches_total", "Parallel delivery batches executed"),
+            hops: reg.counter("executor_hops_total", "Packet-hops executed by pool workers"),
+            busy_ns: reg
+                .counter("executor_busy_ns_total", "Summed worker busy wall time in nanoseconds"),
+            spins: reg.counter(
+                "executor_backoff_spins_total",
+                "Spin-tier backoff events while waiting on an upstream hop",
+            ),
+            yields: reg.counter("executor_backoff_yields_total", "Yield-tier backoff events"),
+            sleeps: reg.counter("executor_backoff_sleeps_total", "Sleep-tier backoff events"),
+            max_queue_depth: reg.max_gauge(
+                "executor_max_queue_depth",
+                "Deepest per-switch FIFO queue seen at batch setup",
+            ),
+        }
+    }
+
+    /// The counters rendered as a [`Profile`] — the "profile is a view
+    /// over the registry" contract: ad-hoc profile plumbing can be
+    /// replaced by reading these totals at any time.
+    pub fn to_profile(&self) -> Profile {
+        Profile {
+            batches: self.batches.get(),
+            hops: self.hops.get(),
+            busy_ns: self.busy_ns.get(),
+            max_queue_depth: self.max_queue_depth.get() as usize,
+            spins: self.spins.get(),
+            yields: self.yields.get(),
+            sleeps: self.sleeps.get(),
+        }
     }
 }
 
@@ -450,6 +506,11 @@ pub(crate) struct ParScratch {
     /// batches — explicitly nondeterministic, drained by
     /// [`Network::take_parallel_profile`](crate::Network::take_parallel_profile).
     pub(crate) profile: Profile,
+    /// Live registry-backed twin of `profile`, fed the same per-batch
+    /// deltas when attached (see
+    /// [`Network::set_metrics`](crate::Network::set_metrics)). Strictly a
+    /// wall-clock observer: nothing here can reach the journal.
+    pub(crate) metrics: Option<PoolMetrics>,
 }
 
 impl fmt::Debug for ParScratch {
@@ -518,6 +579,7 @@ pub(crate) fn execute_batch(
         slots,
         tagged,
         profile,
+        metrics,
         ..
     } = scratch;
 
@@ -619,19 +681,34 @@ pub(crate) fn execute_batch(
     tagged.clear();
     deltas.clear();
     let mut snapshot_bytes = 0usize;
+    let deepest = busy.first().map_or(0, |&s| queues[s].len());
     profile.batches += 1;
-    profile.max_queue_depth =
-        profile.max_queue_depth.max(busy.first().map_or(0, |&s| queues[s].len()));
+    profile.max_queue_depth = profile.max_queue_depth.max(deepest);
+    let mut batch = Profile { batches: 1, max_queue_depth: deepest, ..Profile::default() };
     for slot in slots.iter_mut().take(workers) {
         let out = slot.0.get_mut();
-        profile.hops += out.heads.iter().map(|&h| h as u64).sum::<u64>();
-        profile.busy_ns += out.busy_ns;
-        profile.spins += out.spins;
-        profile.yields += out.yields;
-        profile.sleeps += out.sleeps;
+        batch.hops += out.heads.iter().map(|&h| h as u64).sum::<u64>();
+        batch.busy_ns += out.busy_ns;
+        batch.spins += out.spins;
+        batch.yields += out.yields;
+        batch.sleeps += out.sleeps;
         tagged.append(&mut out.reports);
         deltas.append(&mut out.deltas);
         snapshot_bytes += out.snapshot_bytes;
+    }
+    profile.hops += batch.hops;
+    profile.busy_ns += batch.busy_ns;
+    profile.spins += batch.spins;
+    profile.yields += batch.yields;
+    profile.sleeps += batch.sleeps;
+    if let Some(m) = metrics {
+        m.batches.inc();
+        m.hops.add(batch.hops);
+        m.busy_ns.add(batch.busy_ns);
+        m.spins.add(batch.spins);
+        m.yields.add(batch.yields);
+        m.sleeps.add(batch.sleeps);
+        m.max_queue_depth.observe(deepest as u64);
     }
     tagged.sort_unstable_by_key(|&(p, h, j, _, _)| (p, h, j));
     let reports = tagged.drain(..).map(|(_, _, _, node, r)| (node, r)).collect();

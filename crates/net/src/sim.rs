@@ -198,6 +198,19 @@ impl Network {
         std::mem::take(&mut self.par.profile)
     }
 
+    /// Attach (or detach) a live executor-metrics family: every executed
+    /// batch feeds it the same deltas the drained profile accumulates.
+    /// Metrics are wall-clock observers only — delivery output and the
+    /// telemetry journal are byte-identical with or without them.
+    pub fn set_metrics(&mut self, metrics: Option<crate::parallel::PoolMetrics>) {
+        self.par.metrics = metrics;
+    }
+
+    /// The attached executor metrics, if any.
+    pub fn metrics(&self) -> Option<&crate::parallel::PoolMetrics> {
+        self.par.metrics.as_ref()
+    }
+
     /// Fail a whole switch, as a hardware crash would: the router stops
     /// sending traffic through it, and the device loses *everything* —
     /// installed rules, slice assignments, and per-epoch register state.

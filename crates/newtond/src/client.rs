@@ -188,6 +188,21 @@ impl Client {
         self.request("report", vec![])
     }
 
+    /// Live metrics snapshot: `{"counters":{...},"gauges":{...},
+    /// "histograms":{name:{count,sum,max,p50,p90,p99}}}`.
+    pub fn metrics(&mut self) -> Result<Value, ClientError> {
+        self.request("metrics", vec![])
+    }
+
+    /// Live metrics in the Prometheus text exposition format.
+    pub fn metrics_prometheus(&mut self) -> Result<String, ClientError> {
+        let v = self.request("metrics", vec![("format", json::str("prometheus"))])?;
+        v.get("prometheus")
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ClientError::Protocol("metrics response missing \"prometheus\"".into()))
+    }
+
     pub fn shutdown(&mut self) -> Result<(), ClientError> {
         self.request("shutdown", vec![]).map(|_| ())
     }
@@ -199,25 +214,50 @@ impl Client {
     }
 }
 
+/// One line of a journal stream: an event, or a truncation notice (the
+/// daemon dropped `n` events for this subscriber because it fell behind
+/// its buffer).
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamItem {
+    Event(Value),
+    Truncated(u64),
+}
+
 /// A connection in streaming mode: yields journal events as they happen.
 pub struct Subscription {
     reader: BufReader<TcpStream>,
 }
 
 impl Subscription {
-    /// The next stream line's `event` object. `Ok(None)` means the daemon
+    /// The next stream line, marker-aware. `Ok(None)` means the daemon
     /// closed the stream (shutdown); a read timeout surfaces as `Err`.
-    pub fn next_event(&mut self) -> Result<Option<Value>, ClientError> {
+    pub fn next_item(&mut self) -> Result<Option<StreamItem>, ClientError> {
         let mut line = String::new();
         if self.reader.read_line(&mut line)? == 0 {
             return Ok(None);
         }
         let v = json::parse(line.trim())
             .map_err(|e| ClientError::Protocol(format!("unparseable stream line: {e}")))?;
-        v.get("event")
-            .cloned()
-            .map(Some)
-            .ok_or_else(|| ClientError::Protocol("stream line missing \"event\"".into()))
+        if let Some(event) = v.get("event") {
+            return Ok(Some(StreamItem::Event(event.clone())));
+        }
+        if let Some(n) = v.get("truncated").and_then(Value::as_u64) {
+            return Ok(Some(StreamItem::Truncated(n)));
+        }
+        Err(ClientError::Protocol("stream line missing \"event\"".into()))
+    }
+
+    /// The next stream line's `event` object, skipping truncation markers
+    /// (use [`next_item`](Self::next_item) to observe losses). `Ok(None)`
+    /// means the daemon closed the stream (shutdown).
+    pub fn next_event(&mut self) -> Result<Option<Value>, ClientError> {
+        loop {
+            match self.next_item()? {
+                Some(StreamItem::Event(event)) => return Ok(Some(event)),
+                Some(StreamItem::Truncated(_)) => continue,
+                None => return Ok(None),
+            }
+        }
     }
 
     /// Read events until `pred` matches one (returning it) or the stream

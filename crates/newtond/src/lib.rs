@@ -22,6 +22,6 @@ pub mod json;
 pub mod proto;
 pub mod server;
 
-pub use client::{Client, ClientError, Subscription};
+pub use client::{Client, ClientError, StreamItem, Subscription};
 pub use proto::{ErrorKind, Op, Request};
 pub use server::{Daemon, DaemonConfig};

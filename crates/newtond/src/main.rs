@@ -27,7 +27,7 @@ newtond — the Newton controller as a resident service
 
 Serve:
   newtond [--listen ADDR] [--port-file PATH] [--topology chain:N|fat_tree:K]
-          [--slots N] [--stages N] [--epoch-ms N]
+          [--slots N] [--stages N] [--epoch-ms N] [--subscriber-buffer N]
 
 Client:
   newtond --client ADDR COMMAND [ARGS..]
@@ -43,6 +43,7 @@ Client commands:
   repair                        run a repair pass now
   run [SEGMENTS]                replay the workload stream
   report                        last run's summary
+  metrics [--prom]              live metrics snapshot (JSON, or Prometheus text)
   subscribe [COUNT]             stream journal events (default 10)
   shutdown                      stop the daemon";
 
@@ -100,6 +101,11 @@ fn serve_main(args: &[String]) -> Result<(), String> {
             "--epoch-ms" => {
                 cfg.epoch_ms =
                     value("--epoch-ms")?.parse().map_err(|_| "--epoch-ms wants a u64")?;
+            }
+            "--subscriber-buffer" => {
+                cfg.subscriber_buffer = value("--subscriber-buffer")?
+                    .parse()
+                    .map_err(|_| "--subscriber-buffer wants a usize")?;
             }
             other => return Err(format!("unknown flag {other:?} (see --help)")),
         }
@@ -171,6 +177,15 @@ fn client_main(args: &[String]) -> Result<(), String> {
             client.run(segments, None).map_err(fail).and_then(print)
         }
         "report" => client.report().map_err(fail).and_then(print),
+        "metrics" => {
+            if rest.first().map(String::as_str) == Some("--prom") {
+                let text = client.metrics_prometheus().map_err(fail)?;
+                print!("{text}");
+                Ok(())
+            } else {
+                client.metrics().map_err(fail).and_then(print)
+            }
+        }
         "subscribe" => {
             let count: usize = match rest.first() {
                 Some(n) => n.parse().map_err(|_| "count must be a usize".to_string())?,

@@ -14,7 +14,10 @@
 //! server acknowledges, then pushes `{"stream":"journal","event":{...}}`
 //! lines (telemetry [`Event`](newton::telemetry::Event)s, same bytes as
 //! the journal's JSONL) until the client disconnects or the daemon shuts
-//! down. A streaming connection reads no further requests.
+//! down. A streaming connection reads no further requests. A subscriber
+//! that falls behind the configured buffer loses events rather than
+//! wedging the daemon; the loss is reported in-stream as a
+//! `{"stream":"journal","truncated":<n>}` marker once it catches up.
 
 use crate::json::{self, Value};
 use newton::net::NetworkEvent;
@@ -54,6 +57,9 @@ pub enum Op {
     Run { segments: Option<u64>, seed: Option<u64> },
     /// Summary of the most recent `run`.
     Report,
+    /// Live operational metrics snapshot (counters, gauges, histogram
+    /// quantiles); `prometheus` selects the text exposition format.
+    Metrics { prometheus: bool },
     /// Turn this connection into a journal event stream.
     Subscribe,
     /// Stop the daemon (all connections close).
@@ -122,6 +128,9 @@ pub fn parse_request(line: &str) -> Result<Request, BadRequest> {
             seed: v.get("seed").and_then(Value::as_u64),
         },
         "report" => Op::Report,
+        "metrics" => Op::Metrics {
+            prometheus: v.get("format").and_then(Value::as_str) == Some("prometheus"),
+        },
         "subscribe" => Op::Subscribe,
         "shutdown" => Op::Shutdown,
         other => return Err(fail(format!("unknown op {other:?}"))),
@@ -217,6 +226,14 @@ pub fn err_line(id: u64, kind: ErrorKind, detail: &str) -> String {
 /// embedded event bytes are exactly what `Journal::to_jsonl` emits.
 pub fn stream_line(event_json: &str) -> String {
     format!("{{\"stream\":\"journal\",\"event\":{event_json}}}")
+}
+
+/// Render a journal-truncation marker (no trailing newline): the daemon
+/// dropped `n` events for this subscriber because its backlog exceeded
+/// the configured buffer. Delivered in-stream, before the next event the
+/// subscriber does receive, once it catches up.
+pub fn truncated_line(n: u64) -> String {
+    format!("{{\"stream\":\"journal\",\"truncated\":{n}}}")
 }
 
 #[cfg(test)]

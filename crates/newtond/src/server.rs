@@ -20,6 +20,7 @@ use crate::{json, json::Value};
 use newton::compiler::CompilerConfig;
 use newton::controller::{InstallError, InstallReceipt, RepairOutcome, RetuneError, UpdateError};
 use newton::dataplane::PipelineConfig;
+use newton::metrics::{self, Counter, Gauge, MaxGauge, MetricsRegistry};
 use newton::net::Topology;
 use newton::query::{parse_query, validate};
 use newton::telemetry::QueryId;
@@ -27,10 +28,11 @@ use newton::trace::{ReplayOptions, StreamConfig};
 use newton::{NewtonSystem, RunReport};
 use std::io::{self, BufRead, BufReader, BufWriter, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
+use std::time::Instant;
 
 /// Journal events kept buffered after the last subscriber flush before
 /// the core truncates the journal (bounds daemon memory on long
@@ -51,6 +53,12 @@ pub struct DaemonConfig {
     /// `segments`/`seed` are overridable per request).
     pub workload: StreamConfig,
     pub replay: ReplayOptions,
+    /// Journal-stream lines a subscriber may have in flight (queued
+    /// behind its socket) before the core drops events for it instead of
+    /// buffering without bound. Dropped spans surface in-stream as a
+    /// `{"stream":"journal","truncated":<n>}` marker once the subscriber
+    /// catches up, and in `daemon_subscriber_dropped_events_total`.
+    pub subscriber_buffer: usize,
 }
 
 impl Default for DaemonConfig {
@@ -62,6 +70,7 @@ impl Default for DaemonConfig {
             epoch_ms: 100,
             workload: StreamConfig::default(),
             replay: ReplayOptions::default(),
+            subscriber_buffer: JOURNAL_TRUNCATE_AT,
         }
     }
 }
@@ -73,8 +82,11 @@ enum Cmd {
         /// Where the response line goes (the connection's outbox).
         reply: Sender<String>,
         /// Present on `subscribe`: the same outbox, to be retained by the
-        /// core as a journal stream sink.
-        stream: Option<Sender<String>>,
+        /// core as a journal stream sink, plus the connection's in-flight
+        /// line counter (the core increments per line queued, the
+        /// connection thread decrements per line written to the socket —
+        /// the backpressure signal behind bounded subscriber buffering).
+        stream: Option<(Sender<String>, Arc<AtomicUsize>)>,
         /// Present on `shutdown`: fires once the connection thread has
         /// flushed the response to the socket, so the core does not tear
         /// the process down underneath the final write.
@@ -98,12 +110,21 @@ impl Daemon {
         let addr = listener.local_addr()?;
         let stopping = Arc::new(AtomicBool::new(false));
         let (tx, rx) = channel::<Cmd>();
+        // One registry for the daemon's lifetime: the core thread feeds
+        // the system/controller/executor families into it, connection
+        // threads feed the connection gauge, and the `metrics` op scrapes
+        // it. Created here (not in the core) because the acceptor needs
+        // the connection gauge before the core thread runs.
+        let registry = MetricsRegistry::new();
+        let connections =
+            registry.gauge("daemon_active_connections", "Open client connections right now");
 
         let core = {
             let stopping = Arc::clone(&stopping);
+            let registry = registry.clone();
             thread::Builder::new()
                 .name("newtond-core".into())
-                .spawn(move || core_loop(cfg, rx, stopping, addr))?
+                .spawn(move || core_loop(cfg, rx, stopping, addr, registry))?
         };
         let acceptor = {
             let stopping = Arc::clone(&stopping);
@@ -114,9 +135,10 @@ impl Daemon {
                     }
                     let Ok(sock) = conn else { continue };
                     let tx = tx.clone();
+                    let gauge = connections.clone();
                     let _ = thread::Builder::new()
                         .name("newtond-conn".into())
-                        .spawn(move || serve_connection(sock, tx));
+                        .spawn(move || serve_connection(sock, tx, gauge));
                 }
             })?
         };
@@ -135,14 +157,26 @@ impl Daemon {
     }
 }
 
+/// Decrements the connection gauge however its thread exits.
+struct ConnGuard(Gauge);
+
+impl Drop for ConnGuard {
+    fn drop(&mut self) {
+        self.0.sub(1);
+    }
+}
+
 /// Per-connection loop: decode lines, round-trip them through the core.
 /// On `subscribe` the same outbox channel becomes the event stream and
 /// this thread degenerates into a forwarding pump.
-fn serve_connection(sock: TcpStream, tx: Sender<Cmd>) {
+fn serve_connection(sock: TcpStream, tx: Sender<Cmd>, connections: Gauge) {
+    connections.add(1);
+    let _guard = ConnGuard(connections);
     let Ok(read_half) = sock.try_clone() else { return };
     let mut reader = BufReader::new(read_half);
     let mut writer = BufWriter::new(sock);
     let (outbox, inbox) = channel::<String>();
+    let pending = Arc::new(AtomicUsize::new(0));
     let mut line = String::new();
     loop {
         line.clear();
@@ -174,7 +208,7 @@ fn serve_connection(sock: TcpStream, tx: Sender<Cmd>) {
         let cmd = Cmd::Request {
             req,
             reply: outbox.clone(),
-            stream: subscribing.then(|| outbox.clone()),
+            stream: subscribing.then(|| (outbox.clone(), Arc::clone(&pending))),
             fence,
         };
         if tx.send(cmd).is_err() {
@@ -196,7 +230,12 @@ fn serve_connection(sock: TcpStream, tx: Sender<Cmd>) {
             // that should keep the stream open.
             drop(outbox);
             while let Ok(event_line) = inbox.recv() {
-                if write_line(&mut writer, &event_line).is_err() {
+                let wrote = write_line(&mut writer, &event_line);
+                // Decrement only after the socket write: a slow client
+                // keeps its backlog visible to the core until the bytes
+                // actually leave, which is what the drop bound measures.
+                pending.fetch_sub(1, Ordering::Relaxed);
+                if wrote.is_err() {
                     return;
                 }
             }
@@ -211,18 +250,84 @@ fn write_line(w: &mut BufWriter<TcpStream>, line: &str) -> io::Result<()> {
     w.flush()
 }
 
+/// One retained journal-stream sink with its flow-control state.
+struct Subscriber {
+    sink: Sender<String>,
+    /// Lines queued to this connection but not yet written to its socket.
+    pending: Arc<AtomicUsize>,
+    /// Events dropped since the last truncation marker was delivered.
+    truncated: u64,
+}
+
+/// The daemon's own instruments (the system/controller/executor families
+/// register themselves through [`NewtonSystem::enable_metrics`]).
+struct DaemonMetrics {
+    journal_events: Counter,
+    subscribers: Gauge,
+    dropped_events: Counter,
+    max_lag: MaxGauge,
+    peak_rss: MaxGauge,
+}
+
+impl DaemonMetrics {
+    fn register(reg: &MetricsRegistry) -> DaemonMetrics {
+        DaemonMetrics {
+            journal_events: reg
+                .counter("daemon_journal_events_total", "Journal events flushed to the stream"),
+            subscribers: reg.gauge("daemon_subscribers", "Live journal-stream subscribers"),
+            dropped_events: reg.counter(
+                "daemon_subscriber_dropped_events_total",
+                "Journal events dropped because a subscriber exceeded its buffer",
+            ),
+            max_lag: reg.max_gauge(
+                "daemon_subscriber_max_lag_events",
+                "High-water mark of any subscriber's in-flight line backlog",
+            ),
+            peak_rss: reg
+                .max_gauge("process_peak_rss_bytes", "Peak resident set size of the daemon"),
+        }
+    }
+}
+
 /// The state the core thread threads through requests.
 struct Core {
     sys: NewtonSystem,
     cfg: DaemonConfig,
     /// Journal index of the first event not yet pushed to subscribers.
     flushed: usize,
-    subscribers: Vec<Sender<String>>,
+    subscribers: Vec<Subscriber>,
     last_report: Option<RunReport>,
     runs: u64,
+    registry: MetricsRegistry,
+    dm: DaemonMetrics,
 }
 
-fn core_loop(cfg: DaemonConfig, rx: Receiver<Cmd>, stopping: Arc<AtomicBool>, addr: SocketAddr) {
+/// The `daemon_request_ns_*` histogram family key for an op.
+fn op_kind(op: &Op) -> &'static str {
+    match op {
+        Op::Ping => "ping",
+        Op::Install { .. } => "install",
+        Op::Update { .. } => "update",
+        Op::Remove { .. } => "remove",
+        Op::Retune { .. } => "retune",
+        Op::List => "list",
+        Op::Inject { .. } => "inject",
+        Op::Repair => "repair",
+        Op::Run { .. } => "run",
+        Op::Report => "report",
+        Op::Metrics { .. } => "metrics",
+        Op::Subscribe => "subscribe",
+        Op::Shutdown => "shutdown",
+    }
+}
+
+fn core_loop(
+    cfg: DaemonConfig,
+    rx: Receiver<Cmd>,
+    stopping: Arc<AtomicBool>,
+    addr: SocketAddr,
+    registry: MetricsRegistry,
+) {
     let mut sys = NewtonSystem::with_config_slots(
         cfg.topology.clone(),
         PipelineConfig::default(),
@@ -231,15 +336,27 @@ fn core_loop(cfg: DaemonConfig, rx: Receiver<Cmd>, stopping: Arc<AtomicBool>, ad
         cfg.register_slots,
     );
     sys.enable_recorder();
-    let mut core =
-        Core { sys, cfg, flushed: 0, subscribers: Vec::new(), last_report: None, runs: 0 };
+    sys.enable_metrics(&registry);
+    let dm = DaemonMetrics::register(&registry);
+    let mut core = Core {
+        sys,
+        cfg,
+        flushed: 0,
+        subscribers: Vec::new(),
+        last_report: None,
+        runs: 0,
+        registry,
+        dm,
+    };
 
     while let Ok(Cmd::Request { req, reply, stream, fence }) = rx.recv() {
         let shutdown = req.op == Op::Shutdown;
+        let started = Instant::now();
         let resp = match req.op {
             Op::Subscribe => {
-                if let Some(sink) = stream {
-                    core.subscribers.push(sink);
+                if let Some((sink, pending)) = stream {
+                    core.subscribers.push(Subscriber { sink, pending, truncated: 0 });
+                    core.dm.subscribers.add(1);
                 }
                 proto::ok_line(req.id, json::obj(vec![("subscribed", Value::Bool(true))]))
             }
@@ -248,6 +365,14 @@ fn core_loop(cfg: DaemonConfig, rx: Receiver<Cmd>, stopping: Arc<AtomicBool>, ad
                 Err((kind, detail)) => proto::err_line(req.id, kind, &detail),
             },
         };
+        // Per-op request latency (registration is idempotent, so looking
+        // the histogram up by name each time shares one storage cell).
+        core.registry
+            .histogram(
+                &format!("daemon_request_ns_{}", op_kind(&req.op)),
+                "Wall-clock nanoseconds handling one request in the core thread",
+            )
+            .observe(started.elapsed().as_nanos() as u64);
         let _ = reply.send(resp);
         flush_journal(&mut core);
         if shutdown {
@@ -270,6 +395,13 @@ fn core_loop(cfg: DaemonConfig, rx: Receiver<Cmd>, stopping: Arc<AtomicBool>, ad
 /// Push journal events recorded since the last flush to every subscriber,
 /// dropping subscribers whose connection has gone away, then truncate the
 /// journal once the backlog exceeds [`JOURNAL_TRUNCATE_AT`].
+///
+/// Per subscriber the push is *bounded*: once its in-flight backlog
+/// reaches [`DaemonConfig::subscriber_buffer`] lines, further events are
+/// dropped for it (counted, and reported in-stream as a truncation
+/// marker when it catches up) instead of queueing without bound — one
+/// wedged client can no longer grow the daemon's memory or stall the
+/// stream for everyone else.
 fn flush_journal(core: &mut Core) {
     let Some(rec) = core.sys.recorder() else { return };
     let events = rec.journal.events();
@@ -277,7 +409,36 @@ fn flush_journal(core: &mut Core) {
         let lines: Vec<String> =
             events[core.flushed..].iter().map(|e| proto::stream_line(&e.to_json())).collect();
         core.flushed = events.len();
-        core.subscribers.retain(|sub| lines.iter().all(|l| sub.send(l.clone()).is_ok()));
+        core.dm.journal_events.add(lines.len() as u64);
+        let limit = core.cfg.subscriber_buffer.max(1);
+        let dm = &core.dm;
+        let before = core.subscribers.len();
+        core.subscribers.retain_mut(|sub| {
+            for l in &lines {
+                let backlog = sub.pending.load(Ordering::Relaxed);
+                dm.max_lag.observe(backlog as u64);
+                if sub.truncated > 0 && backlog < limit {
+                    // Caught up: tell the subscriber what it missed,
+                    // before the next event it does receive.
+                    if sub.sink.send(proto::truncated_line(sub.truncated)).is_err() {
+                        return false;
+                    }
+                    sub.pending.fetch_add(1, Ordering::Relaxed);
+                    sub.truncated = 0;
+                }
+                if sub.pending.load(Ordering::Relaxed) >= limit {
+                    sub.truncated += 1;
+                    dm.dropped_events.inc();
+                    continue;
+                }
+                if sub.sink.send(l.clone()).is_err() {
+                    return false;
+                }
+                sub.pending.fetch_add(1, Ordering::Relaxed);
+            }
+            true
+        });
+        core.dm.subscribers.sub((before - core.subscribers.len()) as u64);
     }
     if core.flushed >= JOURNAL_TRUNCATE_AT {
         core.sys.enable_recorder().journal.clear();
@@ -349,16 +510,29 @@ fn handle(core: &mut Core, op: &Op) -> Result<Value, OpError> {
             let replay = core.cfg.replay;
             let report = core.sys.run_stream(&workload, epoch_ms, &replay);
             core.runs += 1;
-            let result = report_result(&report, core.runs - 1);
+            core.dm.peak_rss.observe(metrics::peak_rss_bytes());
+            let result = report_result(core, &report, core.runs - 1);
             core.last_report = Some(report);
             Ok(result)
         }
         Op::Report => {
             let report = core
                 .last_report
-                .as_ref()
+                .take()
                 .ok_or_else(|| (ErrorKind::Unavailable, "no run has completed yet".to_string()))?;
-            Ok(report_result(report, core.runs.saturating_sub(1)))
+            let result = report_result(core, &report, core.runs.saturating_sub(1));
+            core.last_report = Some(report);
+            Ok(result)
+        }
+        Op::Metrics { prometheus } => {
+            core.dm.peak_rss.observe(metrics::peak_rss_bytes());
+            if *prometheus {
+                Ok(json::obj(vec![("prometheus", json::str(core.registry.render_prometheus()))]))
+            } else {
+                json::parse(&core.registry.render_json()).map_err(|e| {
+                    (ErrorKind::Unavailable, format!("metrics snapshot unrenderable: {e}"))
+                })
+            }
         }
         Op::Shutdown => Ok(json::obj(vec![("stopping", Value::Bool(true))])),
         // Subscribe is intercepted by the core loop (it needs the sink).
@@ -452,7 +626,7 @@ fn repair_result(outcome: &RepairOutcome) -> Value {
     ])
 }
 
-fn report_result(report: &RunReport, run: u64) -> Value {
+fn report_result(core: &Core, report: &RunReport, run: u64) -> Value {
     let mut reported: Vec<(QueryId, usize)> =
         report.reported.iter().map(|(&id, keys)| (id, keys.len())).collect();
     reported.sort_unstable();
@@ -462,6 +636,10 @@ fn report_result(report: &RunReport, run: u64) -> Value {
             json::obj(vec![("query", json::num(id)), ("keys", json::num(keys as f64))])
         })
         .collect();
+    // Controller-side accounting rides along so operators see compile-
+    // cache effectiveness and rule-channel traffic without a separate op.
+    let cache = core.sys.controller().cache_stats();
+    let channel = core.sys.controller().channel_stats();
     json::obj(vec![
         ("run", json::num(run as f64)),
         ("packets", json::num(report.packets as f64)),
@@ -474,5 +652,22 @@ fn report_result(report: &RunReport, run: u64) -> Value {
         ("degraded_query_epochs", json::num(report.degraded_query_epochs as f64)),
         ("state_loss_events", json::num(report.state_loss_events as f64)),
         ("reported", Value::Arr(reported)),
+        (
+            "cache",
+            json::obj(vec![
+                ("hits", json::num(cache.hits as f64)),
+                ("misses", json::num(cache.misses as f64)),
+            ]),
+        ),
+        (
+            "channel",
+            json::obj(vec![
+                ("rules_installed", json::num(channel.rules_installed as f64)),
+                ("rules_removed", json::num(channel.rules_removed as f64)),
+                ("rules_modified", json::num(channel.rules_modified as f64)),
+                ("messages", json::num(channel.messages as f64)),
+                ("bytes", json::num(channel.bytes as f64)),
+            ]),
+        ),
     ])
 }

@@ -169,6 +169,198 @@ fn daemon_serves_intents_failures_and_reports_over_the_socket() {
     daemon.join();
 }
 
+/// `v["counters"]["name"]` (or gauges/histograms member) as u64.
+fn metric(v: &Value, family: &str, name: &str) -> u64 {
+    v.get(family)
+        .and_then(|f| f.get(name))
+        .and_then(Value::as_u64)
+        .unwrap_or_else(|| panic!("missing {family}.{name} in metrics snapshot"))
+}
+
+#[test]
+fn metrics_op_serves_request_histograms_and_prometheus_text() {
+    let daemon = test_daemon();
+    let addr = daemon.addr().to_string();
+    let mut ctl = Client::connect(&addr, TIMEOUT).expect("connect");
+
+    // A known request sequence: exactly 7 pings and 1 install before the
+    // scrape, so the per-op histogram counts are fully determined.
+    for _ in 0..7 {
+        ctl.ping().expect("ping");
+    }
+    ctl.install(INTENTS[0].0, INTENTS[0].1).expect("install");
+
+    let m = ctl.metrics().expect("metrics snapshot");
+    let ping =
+        m.get("histograms").and_then(|h| h.get("daemon_request_ns_ping")).expect("ping hist");
+    assert_eq!(u64_field(ping, "count"), 7, "one observation per ping");
+    let (p50, p90, p99, max) = (
+        u64_field(ping, "p50"),
+        u64_field(ping, "p90"),
+        u64_field(ping, "p99"),
+        u64_field(ping, "max"),
+    );
+    assert!(p50 <= p90 && p90 <= p99 && p99 <= max, "quantiles ordered: {p50} {p90} {p99} {max}");
+    assert!(max > 0, "a request takes measurable wall-clock");
+    assert!(u64_field(ping, "sum") >= max, "sum dominates the max observation");
+    let wire =
+        m.get("histograms").and_then(|h| h.get("daemon_request_ns_install")).expect("install op");
+    assert_eq!(u64_field(wire, "count"), 1, "one observation per install request");
+    let install =
+        m.get("histograms").and_then(|h| h.get("controller_install_ns")).expect("install hist");
+    assert_eq!(u64_field(install, "count"), 1, "the system layer timed the one install");
+    assert!(metric(&m, "gauges", "daemon_active_connections") >= 1, "this connection is live");
+    assert!(
+        metric(&m, "counters", "compile_cache_misses_total") >= 1,
+        "the install compiled something"
+    );
+
+    // The same registry in the Prometheus text format: HELP/TYPE pairs,
+    // cumulative buckets, and a _count that matches the JSON view.
+    let text = ctl.metrics_prometheus().expect("prometheus text");
+    assert!(text.contains("# HELP daemon_request_ns_ping "), "HELP line present");
+    assert!(text.contains("# TYPE daemon_request_ns_ping histogram"), "TYPE line present");
+    assert!(text.contains("daemon_request_ns_ping_bucket{le=\"+Inf\"} 7"), "+Inf bucket == count");
+    assert!(text.contains("daemon_request_ns_ping_count 7"), "_count == 7");
+    assert!(text.contains("# TYPE daemon_active_connections gauge"), "gauges render");
+    assert!(text.contains("# TYPE compile_cache_misses_total counter"), "counters render");
+
+    // A run feeds the report op's controller accounting (cache/channel
+    // ride along in the result) and the peak-RSS gauge.
+    ctl.run(Some(1), Some(7)).expect("run");
+    let report = ctl.report().expect("report");
+    let cache = report.get("cache").expect("cache stats in report");
+    assert!(u64_field(cache, "misses") >= 1);
+    let channel = report.get("channel").expect("channel stats in report");
+    assert!(u64_field(channel, "rules_installed") >= 1);
+    assert!(u64_field(channel, "bytes") > 0);
+    let m = ctl.metrics().expect("metrics after run");
+    assert_eq!(
+        metric(&m, "counters", "channel_bytes_total"),
+        u64_field(channel, "bytes"),
+        "the live mirror equals the report's controller accounting"
+    );
+    let rss = metric(&m, "gauges", "process_peak_rss_bytes");
+    if newton::metrics::peak_rss_bytes() > 0 {
+        assert!(rss > 1 << 20, "peak RSS {rss} implausibly small for a live process");
+    }
+
+    ctl.shutdown().expect("shutdown");
+    daemon.join();
+}
+
+#[test]
+fn slow_subscribers_are_truncated_while_fast_ones_stay_lossless() {
+    // Small, epoch-dense runs: ~280 journal events per run, far under the
+    // 2048-line subscriber buffer, so a subscriber whose connection
+    // thread is alive never comes close to the drop bound — only a
+    // genuinely wedged one (socket unread until the kernel buffers fill
+    // and its connection thread blocks mid-write) accumulates backlog
+    // across flushes and starts losing events.
+    let cfg = DaemonConfig {
+        topology: newton::net::Topology::chain(4),
+        register_slots: 4,
+        epoch_ms: 10,
+        workload: newton::trace::StreamConfig {
+            segments: 1,
+            segment: newton::trace::background::TraceConfig {
+                packets: 800,
+                duration_ms: 100,
+                ..Default::default()
+            },
+            ..Default::default()
+        },
+        subscriber_buffer: 2048,
+        ..Default::default()
+    };
+    let daemon = Daemon::start(cfg, "127.0.0.1:0").expect("bind");
+    let addr = daemon.addr().to_string();
+    let mut ctl = Client::connect(&addr, TIMEOUT).expect("connect");
+
+    // Both subscribers attach before the first journal event, so every
+    // event ever flushed was addressed to both.
+    let fast = Client::connect(&addr, TIMEOUT).expect("fast connect").subscribe().expect("fast");
+    let mut slow =
+        Client::connect(&addr, TIMEOUT).expect("slow connect").subscribe().expect("slow");
+
+    // The fast subscriber drains continuously on its own thread and must
+    // never observe a truncation marker.
+    let fast_drain = std::thread::spawn(move || {
+        let mut fast = fast;
+        let mut events = 0u64;
+        loop {
+            match fast.next_item().expect("fast stream readable") {
+                Some(newtond::StreamItem::Event(_)) => events += 1,
+                Some(newtond::StreamItem::Truncated(n)) => {
+                    panic!("fast subscriber lost {n} events")
+                }
+                None => return events,
+            }
+        }
+    });
+
+    ctl.install(INTENTS[0].0, INTENTS[0].1).expect("install");
+
+    // Replay until the wedged subscriber's socket path fills and the core
+    // starts dropping for it (visible in the live counter). The kernel's
+    // loopback buffers absorb a bounded amount, so this terminates; the
+    // bail-out only fires if flow control is broken.
+    let mut dropped = 0u64;
+    for seed in 0..200u64 {
+        ctl.run(None, Some(seed)).expect("run");
+        let m = ctl.metrics().expect("metrics");
+        dropped = metric(&m, "counters", "daemon_subscriber_dropped_events_total");
+        if dropped > 0 {
+            break;
+        }
+    }
+    assert!(dropped > 0, "200 runs never overflowed the wedged subscriber");
+
+    // The slow subscriber wakes up and drains; once its backlog falls
+    // under the buffer again, the next flush owes it a truncation marker
+    // before any further event.
+    let slow_drain = std::thread::spawn(move || {
+        let mut events = 0u64;
+        let mut truncated = 0u64;
+        let mut markers = 0u64;
+        loop {
+            match slow.next_item().expect("slow stream readable") {
+                Some(newtond::StreamItem::Event(_)) => events += 1,
+                Some(newtond::StreamItem::Truncated(n)) => {
+                    truncated += n;
+                    markers += 1;
+                }
+                None => return (events, truncated, markers),
+            }
+        }
+    });
+    // Give the drain a moment to catch up, then flush fresh events so the
+    // marker has a ride.
+    std::thread::sleep(Duration::from_millis(500));
+    ctl.run(None, Some(9_000)).expect("post-catch-up run");
+
+    let m = ctl.metrics().expect("final metrics");
+    let total = metric(&m, "counters", "daemon_journal_events_total");
+    let dropped = metric(&m, "counters", "daemon_subscriber_dropped_events_total");
+    assert!(
+        metric(&m, "gauges", "daemon_subscriber_max_lag_events") >= 2048,
+        "the wedged subscriber's backlog high-water mark reached the buffer bound"
+    );
+    ctl.shutdown().expect("shutdown");
+
+    let fast_events = fast_drain.join().expect("fast drain clean");
+    let (slow_events, slow_truncated, slow_markers) = slow_drain.join().expect("slow drain clean");
+    assert_eq!(fast_events, total, "the fast subscriber got every flushed event");
+    assert!(slow_markers >= 1, "the slow subscriber saw a truncation marker");
+    assert_eq!(
+        slow_events + slow_truncated,
+        total,
+        "every event was either delivered or accounted to a marker"
+    );
+    assert_eq!(slow_truncated, dropped, "markers account exactly the counted drops");
+    daemon.join();
+}
+
 #[test]
 fn update_round_trips_structured_errors_and_keeps_ids_stable() {
     let daemon = test_daemon();

@@ -418,14 +418,17 @@ pub struct Profile {
 
 impl Profile {
     /// Fold another profile into this one (per-epoch accumulation).
+    /// Counters saturate at `u64::MAX` instead of wrapping: a profile
+    /// accumulated over an unbounded daemon lifetime must never panic a
+    /// debug build or wrap a release one mid-soak.
     pub fn merge(&mut self, o: &Profile) {
-        self.batches += o.batches;
-        self.hops += o.hops;
-        self.busy_ns += o.busy_ns;
+        self.batches = self.batches.saturating_add(o.batches);
+        self.hops = self.hops.saturating_add(o.hops);
+        self.busy_ns = self.busy_ns.saturating_add(o.busy_ns);
         self.max_queue_depth = self.max_queue_depth.max(o.max_queue_depth);
-        self.spins += o.spins;
-        self.yields += o.yields;
-        self.sleeps += o.sleeps;
+        self.spins = self.spins.saturating_add(o.spins);
+        self.yields = self.yields.saturating_add(o.yields);
+        self.sleeps = self.sleeps.saturating_add(o.sleeps);
     }
 
     /// Mean wall time per packet-hop, nanoseconds (0 when no hops ran on
@@ -567,6 +570,38 @@ mod tests {
         assert!(rec.journal.is_empty(), "profiling never touches the journal");
         assert!(rec.profile.to_json().contains("\"nondeterministic\":true"));
         assert_eq!(Profile::default().mean_hop_ns(), 0.0);
+    }
+
+    #[test]
+    fn profile_merge_saturates_instead_of_overflowing() {
+        let mut near_full = Profile {
+            batches: u64::MAX - 1,
+            hops: u64::MAX,
+            busy_ns: u64::MAX - 10,
+            max_queue_depth: usize::MAX,
+            spins: u64::MAX,
+            yields: 0,
+            sleeps: 5,
+        };
+        // Would panic in debug builds (and wrap in release) under `+=`.
+        near_full.merge(&Profile {
+            batches: 100,
+            hops: 100,
+            busy_ns: 100,
+            max_queue_depth: 3,
+            spins: 1,
+            yields: u64::MAX,
+            sleeps: 0,
+        });
+        assert_eq!(near_full.batches, u64::MAX);
+        assert_eq!(near_full.hops, u64::MAX);
+        assert_eq!(near_full.busy_ns, u64::MAX);
+        assert_eq!(near_full.max_queue_depth, usize::MAX);
+        assert_eq!(near_full.spins, u64::MAX);
+        assert_eq!(near_full.yields, u64::MAX);
+        assert_eq!(near_full.sleeps, 5);
+        // Saturated totals still render.
+        assert!(near_full.to_json().contains("\"nondeterministic\":true"));
     }
 
     #[test]

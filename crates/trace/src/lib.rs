@@ -30,5 +30,5 @@ pub mod zipf;
 pub use attacks::{AttackKind, Injection};
 pub use background::TraceConfig;
 pub use presets::{caida_like, mawi_like};
-pub use stream::{PulseSpec, ReplayOptions, StreamConfig, StreamReplay};
+pub use stream::{PulseSpec, ReplayOptions, StreamConfig, StreamMetrics, StreamReplay};
 pub use trace::Trace;

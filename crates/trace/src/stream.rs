@@ -25,6 +25,7 @@
 use crate::attacks::{guilty_ip, inject, AttackKind, InjectSpec};
 use crate::background::{generate_shard_into, shard_plan, TraceConfig};
 use crate::trace::Trace;
+use newton_metrics::{Counter, Gauge, MetricsRegistry};
 use newton_packet::Packet;
 use newton_sketch::hash::mix64;
 use std::sync::mpsc;
@@ -191,6 +192,65 @@ impl Default for ReplayOptions {
     }
 }
 
+/// Live replay-pipeline metrics, registered under `stream_*`. Purely
+/// observational: attaching them changes neither segment bytes nor
+/// delivery order (the determinism tests run with and without).
+#[derive(Debug, Clone, Default)]
+pub struct StreamMetrics {
+    /// Producer blocked on a full segment queue (backpressure stall).
+    pub stalls: Counter,
+    /// Producer reused a recycled buffer.
+    pub recycle_hits: Counter,
+    /// Producer allocated fresh (warm-up, or the consumer skipped
+    /// [`StreamReplay::recycle`]).
+    pub recycle_misses: Counter,
+    /// Per-lane queued-segment occupancy (index = lane).
+    pub lane_occupancy: Vec<Gauge>,
+}
+
+impl StreamMetrics {
+    /// Register the replay metric family for a pool of `lanes` producers.
+    pub fn register(reg: &MetricsRegistry, lanes: usize) -> StreamMetrics {
+        StreamMetrics {
+            stalls: reg.counter(
+                "stream_backpressure_stalls_total",
+                "Producer sends that blocked on a full segment queue",
+            ),
+            recycle_hits: reg.counter(
+                "stream_recycle_hits_total",
+                "Segment buffers reused from the recycle channel",
+            ),
+            recycle_misses: reg.counter(
+                "stream_recycle_misses_total",
+                "Segment buffers freshly allocated by producers",
+            ),
+            lane_occupancy: (0..lanes)
+                .map(|lane| {
+                    reg.gauge(
+                        &format!("stream_lane{lane}_occupancy"),
+                        "Segments queued (or in handoff) on this producer lane",
+                    )
+                })
+                .collect(),
+        }
+    }
+
+    fn lane(&self, lane: usize) -> Gauge {
+        self.lane_occupancy.get(lane).cloned().unwrap_or_default()
+    }
+
+    /// Recycle hit rate in `[0, 1]` (1.0 when nothing was requested yet).
+    pub fn recycle_hit_rate(&self) -> f64 {
+        let hits = self.recycle_hits.get();
+        let total = hits + self.recycle_misses.get();
+        if total == 0 {
+            1.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+}
+
 /// One generated segment in flight from a producer to the consumer.
 #[derive(Debug)]
 pub struct Segment {
@@ -213,6 +273,9 @@ struct Lane {
     rx: mpsc::Receiver<Segment>,
     recycle_tx: mpsc::Sender<Vec<Packet>>,
     handle: thread::JoinHandle<()>,
+    /// Consumer half of the lane's occupancy gauge (producer increments
+    /// before sending, consumer decrements after receiving).
+    occupancy: Gauge,
 }
 
 /// A running producer pool delivering a [`StreamConfig`]'s segments in
@@ -224,6 +287,9 @@ pub struct StreamReplay {
     /// Inline-mode recycled buffer (`producers == 0`).
     inline_buf: Option<Vec<Packet>>,
     lanes: Vec<Lane>,
+    /// Shared counters of the attached metrics family (inline mode
+    /// updates them from the consumer thread).
+    metrics: StreamMetrics,
 }
 
 fn producer(
@@ -232,37 +298,80 @@ fn producer(
     stride: u64,
     tx: mpsc::SyncSender<Segment>,
     recycle_rx: mpsc::Receiver<Vec<Packet>>,
+    metrics: StreamMetrics,
+    occupancy: Gauge,
 ) {
     let mut index = first;
     while index < cfg.segments {
         // Reuse a spent buffer when one has come back; otherwise this is
         // one of the pool's at most `queue_depth + 2` warm-up allocations.
-        let mut buf = recycle_rx.try_recv().unwrap_or_default();
+        let mut buf = match recycle_rx.try_recv() {
+            Ok(buf) => {
+                metrics.recycle_hits.inc();
+                buf
+            }
+            Err(_) => {
+                metrics.recycle_misses.inc();
+                Vec::new()
+            }
+        };
         cfg.segment_into(index, &mut buf);
-        if tx.send(Segment { index, packets: buf }).is_err() {
-            // Consumer hung up (drop or early stop): exit quietly.
-            return;
+        // Count the segment as queued before handing it over, so the
+        // consumer's decrement can never observe the gauge at zero first.
+        occupancy.add(1);
+        let seg = Segment { index, packets: buf };
+        match tx.try_send(seg) {
+            Ok(()) => {}
+            Err(mpsc::TrySendError::Full(seg)) => {
+                // Backpressure: the consumer is behind on this lane. Count
+                // the stall, then block — exactly the old behavior.
+                metrics.stalls.inc();
+                if tx.send(seg).is_err() {
+                    occupancy.sub(1);
+                    return;
+                }
+            }
+            Err(mpsc::TrySendError::Disconnected(_)) => {
+                // Consumer hung up (drop or early stop): exit quietly.
+                occupancy.sub(1);
+                return;
+            }
         }
         index += stride;
     }
 }
 
 impl StreamReplay {
-    /// Start producing `cfg`'s segments under `opts`.
+    /// Start producing `cfg`'s segments under `opts`, unobserved.
     pub fn start(cfg: StreamConfig, opts: &ReplayOptions) -> StreamReplay {
+        Self::start_observed(cfg, opts, StreamMetrics::default())
+    }
+
+    /// [`start`](Self::start) with a live metrics family attached
+    /// (occupancy gauges, stall and recycle counters). Detached handles
+    /// (the `StreamMetrics::default()` the plain constructor passes) make
+    /// every update a no-op.
+    pub fn start_observed(
+        cfg: StreamConfig,
+        opts: &ReplayOptions,
+        metrics: StreamMetrics,
+    ) -> StreamReplay {
         let lanes_n = opts.producers.min(cfg.segments as usize);
         let mut lanes = Vec::with_capacity(lanes_n);
         for lane in 0..lanes_n {
             let (tx, rx) = mpsc::sync_channel(opts.queue_depth.max(1));
             let (recycle_tx, recycle_rx) = mpsc::channel();
             let c = cfg.clone();
+            let m = metrics.clone();
+            let occupancy = metrics.lane(lane);
+            let occ = occupancy.clone();
             let handle = thread::Builder::new()
                 .name(format!("newton-stream-{lane}"))
-                .spawn(move || producer(c, lane as u64, lanes_n as u64, tx, recycle_rx))
+                .spawn(move || producer(c, lane as u64, lanes_n as u64, tx, recycle_rx, m, occ))
                 .expect("spawn stream producer");
-            lanes.push(Lane { rx, recycle_tx, handle });
+            lanes.push(Lane { rx, recycle_tx, handle, occupancy });
         }
-        StreamReplay { cfg, next: 0, inline_buf: None, lanes }
+        StreamReplay { cfg, next: 0, inline_buf: None, lanes, metrics }
     }
 
     /// The next segment in stream order, or `None` past the end. Blocks on
@@ -276,12 +385,22 @@ impl StreamReplay {
         let index = self.next;
         self.next += 1;
         if self.lanes.is_empty() {
-            let mut buf = self.inline_buf.take().unwrap_or_default();
+            let mut buf = match self.inline_buf.take() {
+                Some(buf) => {
+                    self.metrics.recycle_hits.inc();
+                    buf
+                }
+                None => {
+                    self.metrics.recycle_misses.inc();
+                    Vec::new()
+                }
+            };
             self.cfg.segment_into(index, &mut buf);
             return Some(Segment { index, packets: buf });
         }
         let lane = &self.lanes[(index % self.lanes.len() as u64) as usize];
         let seg = lane.rx.recv().expect("stream producer died");
+        lane.occupancy.sub(1);
         debug_assert_eq!(seg.index, index, "lane delivered out of order");
         Some(seg)
     }
@@ -303,7 +422,7 @@ impl StreamReplay {
 impl Drop for StreamReplay {
     fn drop(&mut self) {
         for lane in self.lanes.drain(..) {
-            let Lane { rx, recycle_tx, handle } = lane;
+            let Lane { rx, recycle_tx, handle, occupancy: _ } = lane;
             // Dropping the receiver unblocks a producer parked on a full
             // queue; it sees the send error and exits.
             drop(rx);
@@ -419,6 +538,45 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn observed_replay_is_byte_identical_and_counts_pipeline_events() {
+        let cfg = small();
+        let expected = cfg.materialize();
+        let reg = newton_metrics::MetricsRegistry::new();
+        let opts = ReplayOptions { producers: 2, queue_depth: 1 };
+        let metrics = StreamMetrics::register(&reg, opts.producers);
+        let mut replay = StreamReplay::start_observed(cfg.clone(), &opts, metrics.clone());
+        let mut got: Vec<Packet> = Vec::new();
+        // Consume slowly enough (recycling every buffer) that producers
+        // run ahead into their depth-1 queues.
+        while let Some(seg) = replay.next_segment() {
+            got.extend_from_slice(seg.packets());
+            replay.recycle(seg);
+        }
+        assert_eq!(got, expected.packets(), "metrics must not change the stream bytes");
+        let produced = metrics.recycle_hits.get() + metrics.recycle_misses.get();
+        assert_eq!(produced, cfg.segments, "every segment asks for a buffer once");
+        assert!(metrics.recycle_misses.get() >= 1, "warm-up allocates at least one buffer");
+        assert!(metrics.recycle_hit_rate() <= 1.0);
+        for (lane, g) in metrics.lane_occupancy.iter().enumerate() {
+            assert_eq!(g.get(), 0, "lane {lane} occupancy must drain to zero");
+        }
+        // Inline mode recycles through the consumer-held buffer: all hits
+        // after the first allocation.
+        let reg2 = newton_metrics::MetricsRegistry::new();
+        let m2 = StreamMetrics::register(&reg2, 0);
+        let mut inline = StreamReplay::start_observed(
+            cfg.clone(),
+            &ReplayOptions { producers: 0, queue_depth: 1 },
+            m2.clone(),
+        );
+        while let Some(seg) = inline.next_segment() {
+            inline.recycle(seg);
+        }
+        assert_eq!(m2.recycle_misses.get(), 1);
+        assert_eq!(m2.recycle_hits.get(), cfg.segments - 1);
     }
 
     #[test]

@@ -60,6 +60,44 @@ grep -q "\"packets\":$PACKETS" <<<"$REPORT_OUT" || {
     echo "report does not match the run it summarizes"
     exit 1
 }
+grep -q '"cache":{' <<<"$REPORT_OUT" || { echo "report lost its cache stats"; exit 1; }
+grep -q '"channel":{' <<<"$REPORT_OUT" || { echo "report lost its channel stats"; exit 1; }
+
+# Live metrics: the JSON snapshot carries the per-op request histograms
+# fed by the steps above, and the install the controller timed.
+METRICS_OUT="$(client metrics)"
+echo "metrics: ${METRICS_OUT:0:200}..."
+for key in '"histograms"' '"daemon_request_ns_ping"' '"daemon_request_ns_run"' \
+    '"controller_install_ns"' '"daemon_active_connections"' '"channel_bytes_total"'; do
+    grep -q "$key" <<<"$METRICS_OUT" || { echo "metrics snapshot missing $key"; exit 1; }
+done
+
+# The same registry in the Prometheus text format: HELP/TYPE pairs
+# present, and every histogram's cumulative buckets monotone with the
+# +Inf bucket equal to _count.
+PROM_OUT="$(client metrics --prom)"
+grep -q '^# HELP daemon_request_ns_run ' <<<"$PROM_OUT" || { echo "missing HELP line"; exit 1; }
+grep -q '^# TYPE daemon_request_ns_run histogram$' <<<"$PROM_OUT" || {
+    echo "missing TYPE line"
+    exit 1
+}
+awk '
+    /_bucket\{le="/ {
+        name = $1; sub(/\{.*/, "", name)
+        if (name == prev && $2 + 0 < last + 0) {
+            print "non-monotone buckets in " name; exit 1
+        }
+        prev = name; last = $2; inf[name] = $2
+        next
+    }
+    /_count / {
+        name = $1; sub(/_count$/, "", name); name = name "_bucket"
+        if (inf[name] != "" && inf[name] + 0 != $2 + 0) {
+            print "+Inf bucket disagrees with _count for " $1; exit 1
+        }
+    }
+' <<<"$PROM_OUT" || exit 1
+echo "prometheus rendering OK ($(grep -c '^# TYPE' <<<"$PROM_OUT") metrics)"
 
 client shutdown
 
